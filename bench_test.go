@@ -1,0 +1,309 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§B). Each benchmark reports ops/s (or bytes/s for the network figure);
+// cmd/recipe-bench runs the same experiments and prints them as paper-style
+// tables with the speedup columns.
+//
+// Absolute numbers will not match the authors' SGX + 40GbE testbed — the
+// substrate here is a calibrated simulator — but the shapes do: who wins, by
+// roughly what factor, and where the crossovers fall. See EXPERIMENTS.md.
+package recipe
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"recipe/internal/attest"
+	"recipe/internal/harness"
+	"recipe/internal/netstack"
+	"recipe/internal/tee"
+	"recipe/internal/workload"
+)
+
+// benchKeys keeps preload fast; the paper uses ~10k keys, which only
+// shifts absolute cache behaviour, not the protocol comparison.
+const benchKeys = 1024
+
+// benchClients is the closed-loop client count driving each cluster; it is
+// sized so throughput is capacity-bound (replica busy time), not bound by a
+// handful of clients' request latency.
+const benchClients = 32
+
+// benchSystems are the five systems of Figs 3-5: the four R-protocols plus
+// the PBFT baseline.
+var benchSystems = []struct {
+	name  string
+	proto harness.ProtocolKind
+	// shielded is ignored for PBFT/Damysus (they carry their own authn).
+	shielded bool
+}{
+	{"PBFT", harness.PBFT, false},
+	{"R-Raft", harness.Raft, true},
+	{"R-CR", harness.Chain, true},
+	{"R-AllConcur", harness.AllConcur, true},
+	{"R-ABD", harness.ABD, true},
+}
+
+// benchThroughput drives b.N workload operations against a fresh cluster
+// and reports ops/s.
+func benchThroughput(b *testing.B, opts harness.Options, w workload.Config) {
+	b.Helper()
+	w.Keys = benchKeys
+	w.Seed = opts.Seed
+	c, err := harness.New(opts)
+	if err != nil {
+		b.Fatalf("cluster: %v", err)
+	}
+	defer c.Stop()
+	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+		b.Fatalf("coordinator: %v", err)
+	}
+	if err := c.Preload(w); err != nil {
+		b.Fatalf("preload: %v", err)
+	}
+	b.ResetTimer()
+	ops, err := c.RunOps(w, benchClients, b.N)
+	b.StopTimer()
+	if err != nil {
+		b.Fatalf("driver: %v", err)
+	}
+	b.ReportMetric(ops, "ops/s")
+	b.ReportMetric(0, "ns/op") // throughput is the figure of merit here
+}
+
+// evalOptions builds the evaluation configuration for one system.
+func evalOptions(proto harness.ProtocolKind, shielded, confidential bool) harness.Options {
+	return harness.Options{
+		Protocol:     proto,
+		Shielded:     shielded,
+		Confidential: confidential,
+		Seed:         1,
+	}
+}
+
+// BenchmarkFig3ValueSizes reproduces Fig 3: throughput for value sizes
+// 256 B / 1 KiB / 4 KiB under a 90%-read YCSB workload. Expected shape:
+// throughput drops with value size (EPC pressure), R-* stay above PBFT.
+func BenchmarkFig3ValueSizes(b *testing.B) {
+	for _, sys := range benchSystems {
+		for _, size := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/%dB", sys.name, size), func(b *testing.B) {
+				benchThroughput(b,
+					evalOptions(sys.proto, sys.shielded, false),
+					workload.Config{ReadRatio: 0.90, ValueSize: size})
+			})
+		}
+	}
+}
+
+// BenchmarkFig4ReadRatios reproduces Fig 4: throughput across R/W mixes
+// (50/75/90/95/99% reads, 256 B values). Expected shape: all R-* beat PBFT
+// by 5x-24x; R-CR leads on read-heavy mixes thanks to local tail reads.
+func BenchmarkFig4ReadRatios(b *testing.B) {
+	for _, sys := range benchSystems {
+		for _, ratio := range []int{50, 75, 90, 95, 99} {
+			b.Run(fmt.Sprintf("%s/%dR", sys.name, ratio), func(b *testing.B) {
+				benchThroughput(b,
+					evalOptions(sys.proto, sys.shielded, false),
+					workload.Config{ReadRatio: float64(ratio) / 100, ValueSize: 256})
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Confidentiality reproduces Fig 5: the R-protocols with
+// confidentiality (values and payloads encrypted) at 50% and 95% reads vs
+// plain PBFT. Expected shape: ~2x cost over non-confidential R-*, still well
+// above PBFT.
+func BenchmarkFig5Confidentiality(b *testing.B) {
+	for _, sys := range benchSystems {
+		conf := sys.proto != harness.PBFT // PBFT offers no confidentiality
+		for _, ratio := range []int{50, 95} {
+			b.Run(fmt.Sprintf("%s/%dR", sys.name, ratio), func(b *testing.B) {
+				benchThroughput(b,
+					evalOptions(sys.proto, sys.shielded, conf),
+					workload.Config{ReadRatio: float64(ratio) / 100, ValueSize: 256})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6aOverheads reproduces Fig 6a: each CFT protocol natively
+// (no TEE cost, no authn layer, raw stack) versus Recipe-transformed.
+// Expected shape: the transformation costs 2x-15x, highest for the
+// total-order protocols (Raft, AllConcur).
+func BenchmarkFig6aOverheads(b *testing.B) {
+	native := tee.NativeCostModel()
+	for _, proto := range []harness.ProtocolKind{
+		harness.Raft, harness.Chain, harness.AllConcur, harness.ABD,
+	} {
+		for _, ratio := range []int{50, 75, 90, 95, 99} {
+			b.Run(fmt.Sprintf("native-%s/%dR", proto, ratio), func(b *testing.B) {
+				opts := evalOptions(proto, false, false)
+				opts.TEE = &native
+				opts.Stack = netstack.StackDirectIO
+				benchThroughput(b, opts, workload.Config{ReadRatio: float64(ratio) / 100, ValueSize: 256})
+			})
+			b.Run(fmt.Sprintf("recipe-%s/%dR", proto, ratio), func(b *testing.B) {
+				benchThroughput(b,
+					evalOptions(proto, true, false),
+					workload.Config{ReadRatio: float64(ratio) / 100, ValueSize: 256})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6bNetStacks reproduces Fig 6b: raw throughput of the five
+// network stacks across payload sizes. The benchmark streams packets
+// between two fabric endpoints; B/s output gives the Gb/s curve. Expected
+// shape: native direct I/O >> native kernel-net >> recipe-lib > kernel-net
+// in TEEs; TEE variants 4x-8x below native.
+func BenchmarkFig6bNetStacks(b *testing.B) {
+	stacks := []netstack.StackKind{
+		netstack.StackKernelNet,
+		netstack.StackDirectIO,
+		netstack.StackKernelNetTEE,
+		netstack.StackDirectIOTEE,
+		netstack.StackRecipeLib,
+	}
+	for _, stack := range stacks {
+		for _, payload := range []int{64, 256, 1024, 1460, 2048, 4096} {
+			b.Run(fmt.Sprintf("%s/%dB", stack, payload), func(b *testing.B) {
+				fabric := netstack.NewFabric(netstack.WithStack(netstack.Stacks[stack]))
+				src, err := fabric.Register("src")
+				if err != nil {
+					b.Fatalf("register: %v", err)
+				}
+				dst, err := fabric.Register("dst")
+				if err != nil {
+					b.Fatalf("register: %v", err)
+				}
+				buf := make([]byte, payload)
+				b.SetBytes(int64(payload))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := src.Send("dst", buf); err != nil {
+						b.Fatalf("send: %v", err)
+					}
+					<-dst.Inbox()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4Attestation reproduces Table 4: end-to-end remote
+// attestation latency through the in-datacenter CAS versus the vendor's IAS.
+// Latencies are scaled down 10x uniformly so the benchmark stays fast; the
+// CAS:IAS ratio (the paper's 18.2x) is preserved exactly.
+func BenchmarkTable4Attestation(b *testing.B) {
+	const scale = 0.1
+	for _, svc := range []struct {
+		name  string
+		build func() (*attest.Service, error)
+	}{
+		{"CAS", func() (*attest.Service, error) {
+			return attest.NewService(attest.WithLatencyScale(scale))
+		}},
+		{"IAS", func() (*attest.Service, error) {
+			return attest.NewIAS(attest.WithLatencyScale(scale))
+		}},
+	} {
+		b.Run(svc.name, func(b *testing.B) {
+			service, err := svc.build()
+			if err != nil {
+				b.Fatalf("service: %v", err)
+			}
+			plat, err := tee.NewPlatform("bench", tee.WithCostModel(tee.NativeCostModel()))
+			if err != nil {
+				b.Fatalf("platform: %v", err)
+			}
+			service.TrustPlatform(plat)
+			enclave := plat.NewEnclave([]byte("code"))
+			service.AllowMeasurement(enclave.Measurement())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent, err := attest.NewAgent(enclave)
+				if err != nil {
+					b.Fatalf("agent: %v", err)
+				}
+				if _, err := service.RemoteAttestation(agent, ""); err != nil {
+					b.Fatalf("attestation: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDamysusComparison reproduces the §B.3 Damysus comparison:
+// the Damysus-like hybrid baseline at payloads 0/64/256 B against the
+// R-protocols at 256 B (Fig 4's 50R column provides the Recipe side).
+// Expected shape: Recipe 1.1x-5.9x above Damysus.
+func BenchmarkDamysusComparison(b *testing.B) {
+	for _, payload := range []int{0, 64, 256} {
+		b.Run(fmt.Sprintf("Damysus/%dB", payload), func(b *testing.B) {
+			size := payload
+			if size == 0 {
+				size = 1 // zero-byte values are modelled as 1-byte
+			}
+			benchThroughput(b,
+				evalOptions(harness.Damysus, false, false),
+				workload.Config{ReadRatio: 0.50, ValueSize: size})
+		})
+	}
+	for _, sys := range benchSystems[1:] { // the four R-protocols
+		b.Run(fmt.Sprintf("%s/256B", sys.name), func(b *testing.B) {
+			benchThroughput(b,
+				evalOptions(sys.proto, sys.shielded, false),
+				workload.Config{ReadRatio: 0.50, ValueSize: 256})
+		})
+	}
+}
+
+// BenchmarkAblationAuthnLayer isolates the cost of the authentication and
+// non-equivocation layer alone (DESIGN.md ablation): same protocol, same TEE
+// cost model, shield on/off.
+func BenchmarkAblationAuthnLayer(b *testing.B) {
+	sgx := tee.DefaultCostModel()
+	for _, shielded := range []bool{false, true} {
+		name := "shield-off"
+		if shielded {
+			name = "shield-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := evalOptions(harness.Raft, shielded, false)
+			opts.TEE = &sgx
+			opts.Stack = netstack.StackDirectIOTEE
+			benchThroughput(b, opts, workload.Config{ReadRatio: 0.90, ValueSize: 256})
+		})
+	}
+}
+
+// BenchmarkAblationReadScaling compares R-CR (tail-only reads) with R-CRAQ
+// (reads apportioned to every replica) on a read-dominated workload — the
+// library-extension experiment motivating CRAQ's inclusion in the Table 1
+// taxonomy family.
+func BenchmarkAblationReadScaling(b *testing.B) {
+	for _, proto := range []harness.ProtocolKind{harness.Chain, harness.CRAQ} {
+		b.Run(fmt.Sprintf("R-%s/99R", proto), func(b *testing.B) {
+			benchThroughput(b,
+				evalOptions(proto, true, false),
+				workload.Config{ReadRatio: 0.99, ValueSize: 256})
+		})
+	}
+}
+
+// BenchmarkAblationEPCLimit varies the modelled EPC size at a fixed 4 KiB
+// value workload, showing that Fig 3's large-value slowdown is EPC pressure
+// (DESIGN.md ablation).
+func BenchmarkAblationEPCLimit(b *testing.B) {
+	for _, epcMB := range []int64{2, 8, 64} {
+		b.Run(fmt.Sprintf("EPC-%dMiB", epcMB), func(b *testing.B) {
+			model := tee.DefaultCostModel()
+			model.EPCLimitBytes = epcMB << 20
+			opts := evalOptions(harness.Chain, true, false)
+			opts.TEE = &model
+			benchThroughput(b, opts, workload.Config{ReadRatio: 0.90, ValueSize: 4096})
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Command recipe-cli issues PUT/GET requests against a recipe-node cluster
+// over TCP.
+//
+// Usage:
+//
+//	recipe-cli -nodes n1=localhost:7001,n2=localhost:7002,n3=localhost:7003 -master $KEY put greeting hello
+//	recipe-cli -nodes ... -master $KEY get greeting
+//	recipe-cli -nodes ... -master $KEY bench -ops 1000
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"recipe/internal/core"
+	"recipe/internal/netstack"
+	"recipe/internal/tee"
+	"recipe/internal/workload"
+)
+
+var (
+	nodesFlag  = flag.String("nodes", "", "comma-separated id=host:port pairs")
+	masterFlag = flag.String("master", "", "hex network master key (>=32 bytes)")
+	confFlag   = flag.Bool("confidential", false, "cluster runs in confidential mode")
+	nativeFlag = flag.Bool("native", false, "cluster runs without the Recipe shield (pbft/damysus/native)")
+	opsFlag    = flag.Int("ops", 1000, "operations for the bench subcommand")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	if *nodesFlag == "" || *masterFlag == "" || len(args) == 0 {
+		return fmt.Errorf("usage: recipe-cli -nodes id=addr,... -master <hexkey> put|get|bench ...")
+	}
+	master, err := hex.DecodeString(*masterFlag)
+	if err != nil || len(master) < 32 {
+		return fmt.Errorf("-master must be a hex key of at least 32 bytes")
+	}
+
+	addrs := make(map[string]string)
+	for _, pair := range strings.Split(*nodesFlag, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad -nodes entry %q", pair)
+		}
+		addrs[id] = addr
+	}
+	ids := make([]string, 0, len(addrs))
+	for id := range addrs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	tcp, err := netstack.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	clientID := "cli-" + tcp.Addr()
+	tr := netstack.NewMapped(tcp, tcp.Addr())
+	for id, addr := range addrs {
+		tr.Map(id, addr)
+	}
+
+	platform, err := tee.NewPlatform("cli", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		return err
+	}
+	cli, err := core.NewClient(platform.NewEnclave([]byte("recipe-client")), tr, core.ClientConfig{
+		ID:             clientID,
+		Nodes:          ids,
+		MasterKey:      master,
+		Shielded:       !*nativeFlag,
+		Confidential:   *confFlag,
+		RequestTimeout: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cli.Close() }()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		res, err := cli.Put(args[1], []byte(args[2]))
+		if err != nil {
+			return err
+		}
+		if !res.OK {
+			return fmt.Errorf("put rejected: %s", res.Err)
+		}
+		fmt.Printf("OK (version %d.%d)\n", res.Version.TS, res.Version.Writer)
+		return nil
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		res, err := cli.Get(args[1])
+		if err != nil {
+			return err
+		}
+		if !res.OK {
+			return fmt.Errorf("get failed: %s", res.Err)
+		}
+		fmt.Printf("%s\n", res.Value)
+		return nil
+	case "bench":
+		gen := workload.New(workload.Config{Keys: 256, ReadRatio: 0.9, ValueSize: 256})
+		start := time.Now()
+		for i := 0; i < *opsFlag; i++ {
+			op := gen.Next()
+			if op.Read {
+				_, err = cli.Get(op.Key)
+			} else {
+				_, err = cli.Put(op.Key, op.Value)
+			}
+			if err != nil && !strings.Contains(err.Error(), "not found") {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%d ops in %v: %.0f ops/s\n", *opsFlag, elapsed.Round(time.Millisecond),
+			float64(*opsFlag)/elapsed.Seconds())
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

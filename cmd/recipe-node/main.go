@@ -1,0 +1,163 @@
+// Command recipe-node runs one Recipe replica as an OS process over real
+// TCP, so a cluster can be deployed across machines (or terminals).
+//
+// The network master key plays the role of the secrets the CAS provisions
+// after attestation; in this multi-process deployment the operator acts as
+// the Protocol Designer and distributes it out of band (the full remote-
+// attestation flow runs in-process in the library and examples):
+//
+//	KEY=$(head -c32 /dev/urandom | xxd -p -c64)
+//	recipe-node -id n1 -listen :7001 -peers n1=localhost:7001,n2=localhost:7002,n3=localhost:7003 -master $KEY &
+//	recipe-node -id n2 -listen :7002 -peers ... -master $KEY &
+//	recipe-node -id n3 -listen :7003 -peers ... -master $KEY &
+//	recipe-cli  -nodes n1=localhost:7001,n2=localhost:7002,n3=localhost:7003 -master $KEY put greeting hello
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"recipe/internal/attest"
+	"recipe/internal/bftbase/damysus"
+	"recipe/internal/bftbase/pbft"
+	"recipe/internal/core"
+	"recipe/internal/netstack"
+	"recipe/internal/protocols/abd"
+	"recipe/internal/protocols/allconcur"
+	"recipe/internal/protocols/chain"
+	"recipe/internal/protocols/raft"
+	"recipe/internal/tee"
+)
+
+var (
+	idFlag       = flag.String("id", "", "this node's identity (must appear in -peers)")
+	listenFlag   = flag.String("listen", ":0", "TCP listen address")
+	peersFlag    = flag.String("peers", "", "comma-separated id=host:port pairs for the whole membership")
+	protocolFlag = flag.String("protocol", "raft", "protocol: raft, cr, abd, allconcur, pbft, damysus")
+	masterFlag   = flag.String("master", "", "hex network master key (>=32 bytes), shared by the membership")
+	confFlag     = flag.Bool("confidential", false, "encrypt values and message payloads")
+	verboseFlag  = flag.Bool("v", false, "verbose protocol logging")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if *idFlag == "" || *peersFlag == "" || *masterFlag == "" {
+		return fmt.Errorf("usage: recipe-node -id n1 -listen :7001 -peers n1=...,n2=... -master <hexkey>")
+	}
+	master, err := hex.DecodeString(*masterFlag)
+	if err != nil || len(master) < 32 {
+		return fmt.Errorf("-master must be a hex key of at least 32 bytes")
+	}
+
+	peerAddrs, order, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if _, ok := peerAddrs[*idFlag]; !ok {
+		return fmt.Errorf("-id %s not present in -peers", *idFlag)
+	}
+
+	tcp, err := netstack.NewTCPTransport(*listenFlag)
+	if err != nil {
+		return err
+	}
+	tr := netstack.NewMapped(tcp, *idFlag)
+	for id, addr := range peerAddrs {
+		tr.Map(id, addr)
+	}
+
+	platform, err := tee.NewPlatform("node-" + *idFlag)
+	if err != nil {
+		return err
+	}
+	enclave := platform.NewEnclave([]byte("recipe-protocol:" + *protocolFlag))
+
+	proto, shielded, err := buildProtocol(*protocolFlag, *idFlag)
+	if err != nil {
+		return err
+	}
+	logf := func(string, ...any) {}
+	if *verboseFlag {
+		logf = log.Printf
+	}
+	node, err := core.NewNode(enclave, tr, proto, core.NodeConfig{
+		Secrets: attest.Secrets{
+			NodeID:     *idFlag,
+			MasterKey:  master,
+			Membership: order,
+		},
+		Shielded:     shielded,
+		Confidential: *confFlag,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	node.Start()
+	log.Printf("recipe-node %s (%s) listening on %s, membership %v",
+		*idFlag, *protocolFlag, tcp.Addr(), order)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down %s", *idFlag)
+	node.Stop()
+	return nil
+}
+
+// parsePeers decodes "id=addr,id=addr" into a map plus a deterministic
+// membership order (sorted ids, same on every node).
+func parsePeers(s string) (map[string]string, []string, error) {
+	addrs := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", pair)
+		}
+		addrs[id] = addr
+	}
+	order := make([]string, 0, len(addrs))
+	for id := range addrs {
+		order = append(order, id)
+	}
+	sort.Strings(order)
+	return addrs, order, nil
+}
+
+// buildProtocol instantiates the protocol and reports whether it runs under
+// the Recipe shield (the BFT baselines carry their own authentication).
+func buildProtocol(name, id string) (core.Protocol, bool, error) {
+	switch name {
+	case "raft":
+		var seed int64
+		for _, c := range id {
+			seed = seed*31 + int64(c)
+		}
+		return raft.New(seed), true, nil
+	case "cr":
+		return chain.New(), true, nil
+	case "abd":
+		return abd.New(), true, nil
+	case "allconcur":
+		return allconcur.New(), true, nil
+	case "pbft":
+		return pbft.New(), false, nil
+	case "damysus":
+		return damysus.New(tee.DefaultCostModel()), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown protocol %q", name)
+	}
+}

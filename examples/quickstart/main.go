@@ -1,0 +1,67 @@
+// Command quickstart spins up a 3-node R-Raft cluster (Raft hardened for
+// Byzantine settings by the Recipe transformation), writes and reads a few
+// keys, and prints the cluster's security counters.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"recipe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("starting 3-node R-Raft cluster (attestation + initialization)...")
+	cluster, err := recipe.NewCluster(recipe.Options{Protocol: recipe.Raft, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	if err := cluster.WaitReady(5 * time.Second); err != nil {
+		return err
+	}
+	leader, err := cluster.Coordinator()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster ready: nodes=%v leader=%s\n", cluster.Nodes(), leader)
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	for i := 1; i <= 5; i++ {
+		key := fmt.Sprintf("greeting-%d", i)
+		if err := client.Put(key, []byte(fmt.Sprintf("hello #%d", i))); err != nil {
+			return fmt.Errorf("put %s: %w", key, err)
+		}
+		fmt.Printf("PUT %s ok\n", key)
+	}
+	for i := 1; i <= 5; i++ {
+		key := fmt.Sprintf("greeting-%d", i)
+		v, err := client.Get(key)
+		if err != nil {
+			return fmt.Errorf("get %s: %w", key, err)
+		}
+		fmt.Printf("GET %s = %q\n", key, v)
+	}
+
+	stats := cluster.SecurityStats()
+	fmt.Printf("\nauthn layer: %d messages verified & delivered, %d tampered rejected, %d replays rejected\n",
+		stats.Delivered, stats.RejectedTampered, stats.RejectedReplays)
+	return nil
+}

@@ -1,0 +1,155 @@
+// Command transform-your-own demonstrates the paper's headline claim on a
+// protocol Recipe has never seen: a ~100-line primary-backup (PB) protocol
+// written against recipe.Env, with zero security code — no MACs, no
+// attestation, no replay protection, no trusted timers. NewCustomCluster
+// wraps it in the full Recipe TCB and it comes out the other side tolerating
+// a Byzantine network.
+//
+// Compare with Listing 1 of the paper: the protocol author writes only the
+// blue (protocol) lines; every orange (security) line is supplied by the
+// library.
+//
+// Run with:
+//
+//	go run ./examples/transform-your-own
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"recipe"
+)
+
+// Message kinds of the primary-backup protocol.
+const (
+	kindReplicate = recipe.MessageKindBase + iota
+	kindAck
+)
+
+// primaryBackup is an unmodified CFT primary-backup protocol: the primary
+// serializes writes, replicates to all backups, and replies once a majority
+// acknowledged. Reads are served locally at the primary.
+type primaryBackup struct {
+	env recipe.Env
+
+	seq     uint64
+	pending map[uint64]pendingWrite
+}
+
+type pendingWrite struct {
+	cmd  recipe.Command
+	acks int
+}
+
+func newPrimaryBackup() *primaryBackup {
+	return &primaryBackup{pending: make(map[uint64]pendingWrite)}
+}
+
+func (p *primaryBackup) Name() string { return "primary-backup" }
+
+func (p *primaryBackup) Init(env recipe.Env) { p.env = env }
+
+func (p *primaryBackup) primary() string { return p.env.Peers()[0] }
+
+func (p *primaryBackup) quorum() int { return len(p.env.Peers())/2 + 1 }
+
+func (p *primaryBackup) Status() recipe.Status {
+	return recipe.Status{
+		Leader:        p.primary(),
+		IsCoordinator: p.env.ID() == p.primary(),
+	}
+}
+
+func (p *primaryBackup) Submit(cmd recipe.Command) {
+	switch cmd.Op {
+	case recipe.OpGet:
+		v, ver, err := p.env.Store().GetVersioned(cmd.Key)
+		if err != nil {
+			p.env.Reply(cmd, recipe.CommandResult{Err: err.Error()})
+			return
+		}
+		p.env.Reply(cmd, recipe.CommandResult{OK: true, Value: v, Version: ver})
+	case recipe.OpPut:
+		p.seq++
+		ver := recipe.Version{TS: p.seq}
+		if err := p.env.Store().WriteVersioned(cmd.Key, cmd.Value, ver); err != nil {
+			p.env.Reply(cmd, recipe.CommandResult{Err: err.Error()})
+			return
+		}
+		p.pending[p.seq] = pendingWrite{cmd: cmd, acks: 1} // self
+		p.env.Broadcast(&recipe.Message{
+			Kind: kindReplicate, Index: p.seq, Key: cmd.Key, Value: cmd.Value, TS: ver,
+		})
+	}
+}
+
+func (p *primaryBackup) Handle(from string, m *recipe.Message) {
+	switch m.Kind {
+	case kindReplicate:
+		// Backup: apply in version order and acknowledge.
+		_ = p.env.Store().WriteVersioned(m.Key, m.Value, m.TS)
+		p.env.Send(from, &recipe.Message{Kind: kindAck, Index: m.Index})
+	case kindAck:
+		w, ok := p.pending[m.Index]
+		if !ok {
+			return
+		}
+		w.acks++
+		if w.acks >= p.quorum() {
+			delete(p.pending, m.Index)
+			p.env.Reply(w.cmd, recipe.CommandResult{OK: true, Version: recipe.Version{TS: m.Index}})
+			return
+		}
+		p.pending[m.Index] = w
+	}
+}
+
+func (p *primaryBackup) Tick() {}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("transforming a hand-written primary-backup protocol with Recipe...")
+	cluster, err := recipe.NewCustomCluster(recipe.Options{Seed: 11},
+		func(replica int) recipe.CustomProtocol { return newPrimaryBackup() })
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+	if err := cluster.WaitReady(5 * time.Second); err != nil {
+		return err
+	}
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if err := client.Put(key, []byte(fmt.Sprintf("rev-%d", i))); err != nil {
+			return fmt.Errorf("put %s: %w", key, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		v, err := client.Get(key)
+		if err != nil {
+			return fmt.Errorf("get %s: %w", key, err)
+		}
+		fmt.Printf("GET %s = %s\n", key, v)
+	}
+
+	stats := cluster.SecurityStats()
+	fmt.Printf("\nthe protocol wrote zero security code, yet: %d messages MAC-verified, "+
+		"%d replays rejected, attestation gated membership\n",
+		stats.Delivered, stats.RejectedReplays)
+	return nil
+}

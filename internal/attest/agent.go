@@ -1,0 +1,87 @@
+package attest
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"recipe/internal/tee"
+)
+
+// Agent is the node-side attestation endpoint running inside the enclave. It
+// answers challenges by generating a quote whose report data binds the
+// challenger's nonce to the enclave's ephemeral Diffie-Hellman public key, so
+// a verified quote also authenticates the key exchange.
+type Agent struct {
+	enclave  *tee.Enclave
+	platform string
+	priv     *ecdh.PrivateKey
+}
+
+// NewAgent creates the attestation agent for an enclave.
+func NewAgent(e *tee.Enclave) (*Agent, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest agent: %w", err)
+	}
+	return &Agent{enclave: e, platform: e.Platform().Name(), priv: priv}, nil
+}
+
+// PlatformName identifies which platform's quote key verifies this agent's
+// quotes (attestation collateral lookup).
+func (a *Agent) PlatformName() string { return a.platform }
+
+// Enclave returns the enclave this agent fronts.
+func (a *Agent) Enclave() *tee.Enclave { return a.enclave }
+
+// Challenge answers an attestation challenge: it derives the DH shared
+// secret with the challenger and produces a quote binding nonce and the
+// agent's DH public key (Algorithm 2's attest + generate_quote).
+func (a *Agent) Challenge(nonce []byte, challengerPub *ecdh.PublicKey) (tee.Quote, *ecdh.PublicKey, error) {
+	if a.enclave.Crashed() {
+		return tee.Quote{}, nil, tee.ErrEnclaveCrashed
+	}
+	rd := reportData(nonce, a.priv.PublicKey())
+	q, err := a.enclave.GenerateQuote(rd)
+	if err != nil {
+		return tee.Quote{}, nil, fmt.Errorf("attest agent: quote: %w", err)
+	}
+	return q, a.priv.PublicKey(), nil
+}
+
+// SessionKey derives the attestation session key with the challenger,
+// matching the challenger's derivation.
+func (a *Agent) SessionKey(challengerPub *ecdh.PublicKey) ([]byte, error) {
+	shared, err := a.priv.ECDH(challengerPub)
+	if err != nil {
+		return nil, fmt.Errorf("attest agent: ecdh: %w", err)
+	}
+	k := sha256.Sum256(shared)
+	return k[:], nil
+}
+
+// Decrypt opens a provision blob encrypted under the session key.
+func (a *Agent) Decrypt(challengerPub *ecdh.PublicKey, blob []byte) ([]byte, error) {
+	if a.enclave.Crashed() {
+		return nil, tee.ErrEnclaveCrashed
+	}
+	key, err := a.SessionKey(challengerPub)
+	if err != nil {
+		return nil, err
+	}
+	return openBlob(key, blob)
+}
+
+// reportData binds the nonce and the enclave's DH public key into the 64-byte
+// report-data field.
+func reportData(nonce []byte, pub *ecdh.PublicKey) []byte {
+	h := sha256.New()
+	h.Write(nonce)
+	h.Write(pub.Bytes())
+	return h.Sum(nil)
+}
+
+// errNonceMismatch indicates the quote did not bind the expected nonce/key.
+var errNonceMismatch = errors.New("attest: quote report data mismatch")

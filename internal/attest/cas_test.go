@@ -1,0 +1,232 @@
+package attest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"recipe/internal/tee"
+)
+
+// testRig bundles a CAS plus one platform/enclave/agent for the common path.
+type testRig struct {
+	cas      *Service
+	platform *tee.Platform
+	agent    *Agent
+	slept    *[]time.Duration
+}
+
+func newRig(t *testing.T, code []byte, opts ...ServiceOption) *testRig {
+	t.Helper()
+	var slept []time.Duration
+	opts = append([]ServiceOption{
+		WithSleeper(func(d time.Duration) { slept = append(slept, d) }),
+	}, opts...)
+	cas, err := NewService(opts...)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	p, err := tee.NewPlatform("plat-1", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e := p.NewEnclave(code)
+	agent, err := NewAgent(e)
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	cas.TrustPlatform(p)
+	cas.AllowMeasurement(e.Measurement())
+	return &testRig{cas: cas, platform: p, agent: agent, slept: &slept}
+}
+
+func TestRemoteAttestationProvisionsSecrets(t *testing.T) {
+	rig := newRig(t, []byte("protocol-code"))
+	rig.cas.SetMembership([]string{"n1", "n2", "n3"})
+	rig.cas.SetConfig("protocol", "raft")
+
+	prov, err := rig.cas.RemoteAttestation(rig.agent, "")
+	if err != nil {
+		t.Fatalf("RemoteAttestation: %v", err)
+	}
+	sec, err := OpenSecrets(rig.agent, prov)
+	if err != nil {
+		t.Fatalf("OpenSecrets: %v", err)
+	}
+	if sec.NodeID != "node-1" || prov.NodeID != "node-1" {
+		t.Errorf("node id = %q/%q, want node-1", sec.NodeID, prov.NodeID)
+	}
+	if !bytes.Equal(sec.MasterKey, rig.cas.MasterKey()) {
+		t.Errorf("provisioned master key differs from CAS master key")
+	}
+	if len(sec.Membership) != 3 || sec.Config["protocol"] != "raft" {
+		t.Errorf("secrets = %+v", sec)
+	}
+}
+
+func TestSecretsNeverPlaintextOnWire(t *testing.T) {
+	rig := newRig(t, []byte("protocol-code"))
+	prov, err := rig.cas.RemoteAttestation(rig.agent, "")
+	if err != nil {
+		t.Fatalf("RemoteAttestation: %v", err)
+	}
+	if bytes.Contains(prov.Blob, rig.cas.MasterKey()) {
+		t.Errorf("provision blob contains plaintext master key")
+	}
+}
+
+func TestUntrustedMeasurementRejected(t *testing.T) {
+	rig := newRig(t, []byte("good-code"))
+	evil := rig.platform.NewEnclave([]byte("evil-code"))
+	agent, err := NewAgent(evil)
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if _, err := rig.cas.RemoteAttestation(agent, ""); !errors.Is(err, ErrUntrustedMeasurement) {
+		t.Errorf("evil code attested: err = %v", err)
+	}
+}
+
+func TestUntrustedPlatformRejected(t *testing.T) {
+	rig := newRig(t, []byte("code"))
+	rogue, err := tee.NewPlatform("rogue", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e := rogue.NewEnclave([]byte("code"))
+	agent, err := NewAgent(e)
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if _, err := rig.cas.RemoteAttestation(agent, ""); !errors.Is(err, ErrUntrustedPlatform) {
+		t.Errorf("rogue platform attested: err = %v", err)
+	}
+}
+
+func TestCrashedEnclaveCannotAttest(t *testing.T) {
+	rig := newRig(t, []byte("code"))
+	rig.agent.Enclave().Crash()
+	if _, err := rig.cas.RemoteAttestation(rig.agent, ""); !errors.Is(err, tee.ErrEnclaveCrashed) {
+		t.Errorf("crashed enclave attested: err = %v", err)
+	}
+}
+
+func TestFreshNodeIDsPerAttestation(t *testing.T) {
+	rig := newRig(t, []byte("code"))
+	ids := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		e := rig.platform.NewEnclave([]byte("code"))
+		agent, err := NewAgent(e)
+		if err != nil {
+			t.Fatalf("NewAgent: %v", err)
+		}
+		prov, err := rig.cas.RemoteAttestation(agent, "")
+		if err != nil {
+			t.Fatalf("RemoteAttestation %d: %v", i, err)
+		}
+		if ids[prov.NodeID] {
+			t.Fatalf("duplicate node id %s", prov.NodeID)
+		}
+		ids[prov.NodeID] = true
+	}
+	if got := len(rig.cas.AttestedNodes()); got != 5 {
+		t.Errorf("AttestedNodes = %d, want 5", got)
+	}
+}
+
+func TestRequestedNodeIDHonoured(t *testing.T) {
+	rig := newRig(t, []byte("code"))
+	prov, err := rig.cas.RemoteAttestation(rig.agent, "replica-7")
+	if err != nil {
+		t.Fatalf("RemoteAttestation: %v", err)
+	}
+	if prov.NodeID != "replica-7" {
+		t.Errorf("node id = %q, want replica-7", prov.NodeID)
+	}
+}
+
+func TestLatencyModelCASvsIAS(t *testing.T) {
+	var casSlept, iasSlept time.Duration
+	cas, err := NewService(WithSleeper(func(d time.Duration) { casSlept += d }))
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ias, err := NewIAS(WithSleeper(func(d time.Duration) { iasSlept += d }))
+	if err != nil {
+		t.Fatalf("NewIAS: %v", err)
+	}
+	p, err := tee.NewPlatform("p", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e := p.NewEnclave([]byte("code"))
+	for _, svc := range []*Service{cas, ias} {
+		svc.TrustPlatform(p)
+		svc.AllowMeasurement(e.Measurement())
+		agent, err := NewAgent(e)
+		if err != nil {
+			t.Fatalf("NewAgent: %v", err)
+		}
+		if _, err := svc.RemoteAttestation(agent, ""); err != nil {
+			t.Fatalf("RemoteAttestation: %v", err)
+		}
+	}
+	if casSlept != CASMeanLatency {
+		t.Errorf("CAS latency = %v, want %v", casSlept, CASMeanLatency)
+	}
+	if iasSlept != IASMeanLatency {
+		t.Errorf("IAS latency = %v, want %v", iasSlept, IASMeanLatency)
+	}
+	ratio := float64(iasSlept) / float64(casSlept)
+	if ratio < 15 || ratio > 20 {
+		t.Errorf("IAS/CAS ratio = %.1f, want ~17-18 (paper: 18.2)", ratio)
+	}
+}
+
+func TestLatencyScale(t *testing.T) {
+	var slept time.Duration
+	cas, err := NewService(
+		WithLatencyScale(0.01),
+		WithSleeper(func(d time.Duration) { slept += d }))
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	p, err := tee.NewPlatform("p", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e := p.NewEnclave([]byte("c"))
+	cas.TrustPlatform(p)
+	cas.AllowMeasurement(e.Measurement())
+	agent, err := NewAgent(e)
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if _, err := cas.RemoteAttestation(agent, ""); err != nil {
+		t.Fatalf("RemoteAttestation: %v", err)
+	}
+	if want := CASMeanLatency / 100; slept != want {
+		t.Errorf("scaled latency = %v, want %v", slept, want)
+	}
+}
+
+func TestChannelKeyDerivation(t *testing.T) {
+	master := bytes.Repeat([]byte{1}, 32)
+	k1 := ChannelKey(master, "n1->n2")
+	k2 := ChannelKey(master, "n1->n2")
+	k3 := ChannelKey(master, "n2->n1")
+	k4 := ChannelKey(bytes.Repeat([]byte{2}, 32), "n1->n2")
+	if !bytes.Equal(k1, k2) {
+		t.Errorf("same channel derived different keys")
+	}
+	if bytes.Equal(k1, k3) {
+		t.Errorf("different channels derived same key")
+	}
+	if bytes.Equal(k1, k4) {
+		t.Errorf("different masters derived same key")
+	}
+	if len(k1) != 32 {
+		t.Errorf("key length = %d, want 32", len(k1))
+	}
+}

@@ -1,0 +1,14 @@
+// Package attest implements Recipe's transferable-authentication phase
+// (Algorithm 2 and §3.6): the remote-attestation protocol between a
+// challenger and an enclave, the Configuration and Attestation Service (CAS)
+// that the Protocol Designer deploys inside the datacenter, and a simulator
+// of the hardware vendor's attestation service (IAS) with its much higher
+// verification latency (Table 4).
+//
+// Only nodes whose quotes verify against a trusted platform key and whose
+// measurement is on the allow-list receive the secrets bundle: the network
+// master key (from which per-channel session keys are derived), the cluster
+// membership, and a freshly assigned node identity. Recovered nodes always
+// re-attest and receive a fresh identity, which is what protects the
+// non-equivocation counters across restarts.
+package attest

@@ -1,0 +1,19 @@
+// Package authn implements Recipe's authentication and non-equivocation
+// layers (Algorithm 1 of the paper): the TEE-assisted ShieldRequest and
+// VerifyRequest primitives.
+//
+// Every message sent between two attested endpoints travels over a named
+// communication channel cq and carries a sequence tuple (view, cq, cnt_cq)
+// plus a MAC computed inside the TEE over header and payload. The receiver
+// keeps rcnt_cq, the last delivered counter for the channel:
+//
+//   - cnt <= rcnt            -> replay (stale but authenticated) — rejected;
+//   - cnt == rcnt+1          -> delivered immediately, rcnt advances, and any
+//     buffered consecutive "future" messages are delivered with it;
+//   - cnt >  rcnt+1          -> authenticated but out of order — buffered in
+//     the protected area until the gap closes.
+//
+// In confidential mode payloads are encrypted with AES-GCM under the channel
+// key (header bound as additional data), which is how Recipe offers
+// confidentiality beyond the BFT model (Fig 5).
+package authn

@@ -1,0 +1,147 @@
+package authn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Envelope is the wire format of a shielded message: the sequence tuple
+// (View, Channel, Seq), a protocol message kind, the (possibly encrypted)
+// payload, and the MAC covering all of it.
+type Envelope struct {
+	View    uint64
+	Channel string // cq: the communication-channel identifier
+	Seq     uint64 // cnt_cq: per-channel monotonically increasing counter
+	Kind    uint16 // protocol message type, opaque to this layer
+	Enc     bool   // payload is AES-GCM encrypted (confidential mode)
+	Payload []byte
+	MAC     []byte
+}
+
+// Codec errors.
+var (
+	// ErrTruncated is returned when decoding runs out of bytes.
+	ErrTruncated = errors.New("authn: truncated envelope")
+	// ErrOversized is returned when a length field exceeds sane bounds.
+	ErrOversized = errors.New("authn: oversized envelope field")
+)
+
+const maxFieldLen = 64 << 20 // 64 MiB cap on any single field
+
+// header serialises the authenticated header fields. The MAC covers exactly
+// header||payload, so any header tampering invalidates the MAC.
+func (e *Envelope) header() []byte {
+	buf := make([]byte, 0, 8+8+2+1+2+len(e.Channel))
+	buf = binary.BigEndian.AppendUint64(buf, e.View)
+	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, e.Kind)
+	if e.Enc {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Channel)))
+	buf = append(buf, e.Channel...)
+	return buf
+}
+
+// Encode serialises the envelope for transport.
+func (e *Envelope) Encode() []byte {
+	h := e.header()
+	buf := make([]byte, 0, len(h)+8+len(e.Payload)+len(e.MAC))
+	buf = append(buf, h...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.MAC)))
+	buf = append(buf, e.MAC...)
+	return buf
+}
+
+// DecodeEnvelope parses an envelope from wire bytes.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	var e Envelope
+	r := reader{buf: data}
+	e.View = r.uint64()
+	e.Seq = r.uint64()
+	e.Kind = r.uint16()
+	e.Enc = r.byte() == 1
+	e.Channel = string(r.bytesN(int(r.uint16())))
+	e.Payload = r.bytesN(int(r.uint32()))
+	e.MAC = r.bytesN(int(r.uint32()))
+	if r.err != nil {
+		return Envelope{}, fmt.Errorf("decode envelope: %w", r.err)
+	}
+	if r.pos != len(data) {
+		return Envelope{}, fmt.Errorf("decode envelope: %d trailing bytes", len(data)-r.pos)
+	}
+	return e, nil
+}
+
+// reader is a bounds-checked sequential decoder. After any failure all
+// subsequent reads return zero values and err is set.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxFieldLen {
+		r.err = ErrOversized
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) uint64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) uint16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// bytesN copies n bytes out of the buffer (copies so callers may retain).
+func (r *reader) bytesN(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

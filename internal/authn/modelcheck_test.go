@@ -1,0 +1,174 @@
+package authn
+
+import (
+	"bytes"
+	"testing"
+
+	"recipe/internal/tee"
+)
+
+// Exhaustive small-scope model check of the non-equivocation layer: for a
+// sender emitting up to 3 messages and an attacker who may deliver ANY
+// captured envelope at ANY point, any number of times (covering loss,
+// reordering, and replay exhaustively), every reachable acceptance sequence
+// must be a prefix of the send sequence. This explores the complete action
+// tree up to depth 8 — a bounded but exhaustive counterpart of the paper's
+// Tamarin proof of properties (1)-(3) in §4.3.
+
+const (
+	mcMaxSends = 3
+	mcMaxDepth = 11
+)
+
+// mcAction encodes one attacker-schedule step: -1 = honest send; i>=0 =
+// deliver captured envelope i.
+type mcRun struct {
+	t        *testing.T
+	plat     *tee.Platform
+	key      []byte
+	explored int
+}
+
+func TestModelCheckPrefixProperty(t *testing.T) {
+	plat, err := tee.NewPlatform("mc", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	r := &mcRun{t: t, plat: plat, key: bytes.Repeat([]byte{5}, 32)}
+	r.explore(nil)
+	if r.explored < 10_000 {
+		t.Fatalf("explored only %d schedules; scope too small to be meaningful", r.explored)
+	}
+	t.Logf("explored %d attacker schedules exhaustively", r.explored)
+}
+
+// explore extends the action schedule by every possible next action.
+func (r *mcRun) explore(schedule []int) {
+	r.check(schedule)
+	if len(schedule) >= mcMaxDepth {
+		return
+	}
+	sends := 0
+	for _, a := range schedule {
+		if a == -1 {
+			sends++
+		}
+	}
+	if sends < mcMaxSends {
+		r.explore(append(schedule, -1))
+	}
+	for i := 0; i < sends; i++ {
+		r.explore(append(schedule, i))
+	}
+}
+
+// check replays one schedule on fresh shielders and asserts the prefix
+// property over the acceptance log.
+func (r *mcRun) check(schedule []int) {
+	r.explored++
+	sender := NewShielder(r.plat.NewEnclave([]byte("mc")))
+	receiver := NewShielder(r.plat.NewEnclave([]byte("mc")))
+	for _, s := range []*Shielder{sender, receiver} {
+		if err := s.OpenChannel("mc", r.key); err != nil {
+			r.t.Fatalf("OpenChannel: %v", err)
+		}
+	}
+
+	var captured []Envelope
+	var accepted []byte
+	for _, action := range schedule {
+		if action == -1 {
+			env, err := sender.Shield("mc", 1, []byte{byte(len(captured))})
+			if err != nil {
+				r.t.Fatalf("Shield: %v", err)
+			}
+			captured = append(captured, env)
+			continue
+		}
+		_, delivered, err := receiver.Verify(captured[action])
+		if err != nil {
+			continue // replay/duplicate rejected: allowed
+		}
+		for _, d := range delivered {
+			accepted = append(accepted, d.Payload[0])
+		}
+	}
+
+	// Prefix property: accepted == [0,1,2,...][:len(accepted)].
+	for i, got := range accepted {
+		if int(got) != i {
+			r.t.Fatalf("schedule %v: accepted %v is not a send-order prefix", schedule, accepted)
+		}
+	}
+}
+
+// TestModelCheckWithGapSkip repeats the exploration with TickFutures
+// interleaved (the lost-packet recovery path): the prefix property weakens
+// to strict monotonicity without duplicates, which is exactly the paper's
+// freshness + ordering guarantee under an unreliable network.
+func TestModelCheckWithGapSkip(t *testing.T) {
+	plat, err := tee.NewPlatform("mc2", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	key := bytes.Repeat([]byte{6}, 32)
+
+	var explore func(schedule []int, sends int)
+	explored := 0
+	check := func(schedule []int) {
+		explored++
+		sender := NewShielder(plat.NewEnclave([]byte("mc")))
+		receiver := NewShielder(plat.NewEnclave([]byte("mc")))
+		for _, s := range []*Shielder{sender, receiver} {
+			if err := s.OpenChannel("mc", key); err != nil {
+				t.Fatalf("OpenChannel: %v", err)
+			}
+		}
+		var captured []Envelope
+		var accepted []byte
+		deliver := func(envs []Envelope) {
+			for _, d := range envs {
+				accepted = append(accepted, d.Payload[0])
+			}
+		}
+		for _, action := range schedule {
+			switch {
+			case action == -1:
+				env, err := sender.Shield("mc", 1, []byte{byte(len(captured))})
+				if err != nil {
+					t.Fatalf("Shield: %v", err)
+				}
+				captured = append(captured, env)
+			case action == -2:
+				deliver(receiver.TickFutures(1)) // gap-skip pump
+			default:
+				if _, envs, err := receiver.Verify(captured[action]); err == nil {
+					deliver(envs)
+				}
+			}
+		}
+		// Monotonic without duplicates (freshness + ordering).
+		last := -1
+		for _, got := range accepted {
+			if int(got) <= last {
+				t.Fatalf("schedule %v: accepted %v not strictly monotonic", schedule, accepted)
+			}
+			last = int(got)
+		}
+	}
+	explore = func(schedule []int, sends int) {
+		check(schedule)
+		if len(schedule) >= 7 {
+			return
+		}
+		if sends < mcMaxSends {
+			explore(append(schedule, -1), sends+1)
+		}
+		explore(append(schedule, -2), sends)
+		for i := 0; i < sends; i++ {
+			explore(append(schedule, i), sends)
+		}
+	}
+	explore(nil, 0)
+	t.Logf("explored %d schedules with gap-skip", explored)
+}

@@ -1,0 +1,383 @@
+package authn
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"recipe/internal/tee"
+)
+
+// Verification errors (the distinguishable rejection causes of Algorithm 1).
+var (
+	// ErrBadMAC means the message failed integrity/authenticity verification.
+	ErrBadMAC = errors.New("authn: MAC verification failed")
+	// ErrReplay means the message counter is not fresh (cnt <= rcnt).
+	ErrReplay = errors.New("authn: replayed message")
+	// ErrWrongView means the message was produced in a different view.
+	ErrWrongView = errors.New("authn: wrong view")
+	// ErrUnknownChannel means no key material exists for the channel.
+	ErrUnknownChannel = errors.New("authn: unknown channel")
+	// ErrFutureOverflow means the out-of-order buffer exceeded its bound.
+	ErrFutureOverflow = errors.New("authn: future buffer overflow")
+)
+
+// maxFutureBuffer bounds how many out-of-order messages are parked per
+// channel inside the protected area before the sender is considered faulty.
+const maxFutureBuffer = 4096
+
+// Status classifies the outcome of Verify.
+type Status int
+
+// Verification outcomes.
+const (
+	// Delivered: the message (and possibly buffered successors) is ready.
+	Delivered Status = iota + 1
+	// Buffered: the message is authentic but from the future; it is parked
+	// until the sequence gap closes.
+	Buffered
+)
+
+// Shielder implements ShieldRequest/VerifyRequest for one attested node. All
+// key material and counters live logically inside the node's enclave; the
+// untrusted host only ever sees encoded envelopes.
+type Shielder struct {
+	enclave      *tee.Enclave
+	confidential bool
+
+	mu   sync.Mutex
+	view uint64
+	send map[string]*sendState
+	recv map[string]*recvState
+}
+
+type sendState struct {
+	key  []byte
+	aead cipher.AEAD // non-nil in confidential mode
+	cnt  uint64
+}
+
+type recvState struct {
+	key    []byte
+	aead   cipher.AEAD
+	rcnt   uint64
+	future map[uint64]Envelope
+	// loose channels deliver any fresh message immediately (monotonicity
+	// and replay protection only, no gap closure) — used for client
+	// request/response channels where the application layer dedups.
+	loose bool
+	// age counts ticks the future buffer has been non-empty, driving the
+	// periodic gap-skip of TickFutures.
+	age int
+}
+
+// Option configures a Shielder.
+type Option func(*Shielder)
+
+// WithConfidentiality enables payload encryption on all channels.
+func WithConfidentiality() Option {
+	return func(s *Shielder) { s.confidential = true }
+}
+
+// NewShielder creates the authentication layer for a node. Channels must be
+// opened with the session keys received during attestation before use.
+func NewShielder(e *tee.Enclave, opts ...Option) *Shielder {
+	s := &Shielder{
+		enclave: e,
+		send:    make(map[string]*sendState),
+		recv:    make(map[string]*recvState),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Confidential reports whether payload encryption is enabled.
+func (s *Shielder) Confidential() bool { return s.confidential }
+
+// OpenChannel installs the symmetric session key for channel cq in both
+// directions. Keys come from the attestation phase; opening a channel twice
+// resets its counters (used only when a channel is re-keyed after recovery).
+func (s *Shielder) OpenChannel(cq string, key []byte) error {
+	if len(key) < 16 {
+		return fmt.Errorf("authn: channel %s key too short (%d bytes)", cq, len(key))
+	}
+	var aead cipher.AEAD
+	if s.confidential {
+		block, err := aes.NewCipher(key[:16])
+		if err != nil {
+			return fmt.Errorf("authn: channel %s: %w", cq, err)
+		}
+		aead, err = cipher.NewGCM(block)
+		if err != nil {
+			return fmt.Errorf("authn: channel %s: %w", cq, err)
+		}
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.send[cq] = &sendState{key: k, aead: aead}
+	s.recv[cq] = &recvState{key: k, aead: aead, future: make(map[uint64]Envelope)}
+	return nil
+}
+
+// OpenLooseChannel is OpenChannel with relaxed ordering on the receive side:
+// any authentic message fresher than rcnt is delivered immediately and rcnt
+// jumps to its counter. Replay protection and monotonicity still hold;
+// messages overtaken by a fresher delivery are treated as lost. Client
+// request/response channels use this (the client table and request retries
+// provide the end-to-end semantics).
+func (s *Shielder) OpenLooseChannel(cq string, key []byte) error {
+	if err := s.OpenChannel(cq, key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recv[cq].loose = true
+	return nil
+}
+
+// HasChannel reports whether key material is installed for cq.
+func (s *Shielder) HasChannel(cq string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.send[cq]
+	return ok
+}
+
+// SetView moves the shielder to a new view (after view change). Per the
+// paper, counters restart per view; receivers reject other-view messages.
+func (s *Shielder) SetView(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.view = v
+	for _, st := range s.send {
+		st.cnt = 0
+	}
+	for _, st := range s.recv {
+		st.rcnt = 0
+		st.future = make(map[uint64]Envelope)
+	}
+}
+
+// View returns the shielder's current view.
+func (s *Shielder) View() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// Shield implements Algorithm 1's shield_request: it assigns the next
+// sequence tuple for the channel and MACs (and optionally encrypts) the
+// payload inside the TEE.
+func (s *Shielder) Shield(cq string, kind uint16, payload []byte) (Envelope, error) {
+	if s.enclave.Crashed() {
+		return Envelope{}, tee.ErrEnclaveCrashed
+	}
+	s.mu.Lock()
+	st, ok := s.send[cq]
+	if !ok {
+		s.mu.Unlock()
+		return Envelope{}, fmt.Errorf("%w: %s", ErrUnknownChannel, cq)
+	}
+	st.cnt++
+	env := Envelope{
+		View:    s.view,
+		Channel: cq,
+		Seq:     st.cnt,
+		Kind:    kind,
+		Enc:     s.confidential,
+	}
+	key, aead := st.key, st.aead
+	s.mu.Unlock()
+
+	s.enclave.ChargeTransition()
+	if env.Enc {
+		s.enclave.ChargeConfidential(len(payload))
+		nonce := make([]byte, aead.NonceSize())
+		if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+			return Envelope{}, fmt.Errorf("authn: nonce: %w", err)
+		}
+		env.Payload = append(nonce, aead.Seal(nil, nonce, payload, env.header())...)
+		// GCM already authenticates header (AD) and payload; the MAC field
+		// carries a short tag marker so Encode/Decode stay uniform.
+		env.MAC = computeMAC(key, env.header(), env.Payload)
+		return env, nil
+	}
+	env.Payload = make([]byte, len(payload))
+	copy(env.Payload, payload)
+	env.MAC = computeMAC(key, env.header(), env.Payload)
+	return env, nil
+}
+
+// Verify implements Algorithm 1's verify_request. On Delivered it returns the
+// plaintext payloads of the message and of any consecutive buffered future
+// messages that the arrival unblocked, in sequence order.
+func (s *Shielder) Verify(env Envelope) (Status, []Envelope, error) {
+	if s.enclave.Crashed() {
+		return 0, nil, tee.ErrEnclaveCrashed
+	}
+	s.enclave.ChargeTransition()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.recv[env.Channel]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownChannel, env.Channel)
+	}
+	if !hmac.Equal(env.MAC, computeMAC(st.key, env.header(), env.Payload)) {
+		return 0, nil, ErrBadMAC
+	}
+	if env.View != s.view {
+		return 0, nil, fmt.Errorf("%w: got %d, current %d", ErrWrongView, env.View, s.view)
+	}
+	if env.Seq <= st.rcnt {
+		return 0, nil, fmt.Errorf("%w: seq %d <= rcnt %d on %s", ErrReplay, env.Seq, st.rcnt, env.Channel)
+	}
+	if st.loose && env.Seq > st.rcnt+1 {
+		plain, err := s.openPayload(st, env)
+		if err != nil {
+			return 0, nil, err
+		}
+		st.rcnt = env.Seq
+		env.Payload = plain
+		env.Enc = false
+		return Delivered, []Envelope{env}, nil
+	}
+	if env.Seq > st.rcnt+1 {
+		if _, dup := st.future[env.Seq]; !dup && len(st.future) >= maxFutureBuffer {
+			return 0, nil, ErrFutureOverflow
+		}
+		st.future[env.Seq] = env
+		return Buffered, nil, nil
+	}
+
+	// env.Seq == rcnt+1: deliver it and drain consecutive futures.
+	delivered := make([]Envelope, 0, 1+len(st.future))
+	cur := env
+	for {
+		plain, err := s.openPayload(st, cur)
+		if err != nil {
+			return 0, nil, err
+		}
+		cur.Payload = plain
+		cur.Enc = false
+		delivered = append(delivered, cur)
+		st.rcnt++
+		next, ok := st.future[st.rcnt+1]
+		if !ok {
+			break
+		}
+		delete(st.future, st.rcnt+1)
+		cur = next
+	}
+	return Delivered, delivered, nil
+}
+
+// openPayload decrypts the payload in confidential mode. Must hold s.mu.
+func (s *Shielder) openPayload(st *recvState, env Envelope) ([]byte, error) {
+	if !env.Enc {
+		return env.Payload, nil
+	}
+	s.enclave.ChargeConfidential(len(env.Payload))
+	if st.aead == nil {
+		return nil, fmt.Errorf("authn: encrypted payload on non-confidential channel %s", env.Channel)
+	}
+	ns := st.aead.NonceSize()
+	if len(env.Payload) < ns {
+		return nil, ErrBadMAC
+	}
+	plain, err := st.aead.Open(nil, env.Payload[:ns], env.Payload[ns:], env.header())
+	if err != nil {
+		return nil, ErrBadMAC
+	}
+	return plain, nil
+}
+
+// TickFutures ages every channel's future buffer and, for channels whose
+// buffer stayed non-empty for threshold consecutive ticks, skips the
+// sequence gap: rcnt jumps to just before the smallest buffered counter and
+// the consecutive run from there is delivered. This is the paper's
+// "periodically applies the queued requests eligible for execution" —
+// without it, a single packet lost on the unreliable network would strand a
+// channel forever. Replay protection is unaffected: rcnt only moves forward.
+func (s *Shielder) TickFutures(threshold int) []Envelope {
+	if s.enclave.Crashed() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Envelope
+	for _, st := range s.recv {
+		if len(st.future) == 0 {
+			st.age = 0
+			continue
+		}
+		st.age++
+		if st.age < threshold {
+			continue
+		}
+		st.age = 0
+		lowest := uint64(0)
+		for seq := range st.future {
+			if lowest == 0 || seq < lowest {
+				lowest = seq
+			}
+		}
+		st.rcnt = lowest - 1
+		for {
+			env, ok := st.future[st.rcnt+1]
+			if !ok {
+				break
+			}
+			delete(st.future, st.rcnt+1)
+			st.rcnt++
+			plain, err := s.openPayload(st, env)
+			if err != nil {
+				continue // undecryptable: count it consumed, drop it
+			}
+			env.Payload = plain
+			env.Enc = false
+			out = append(out, env)
+		}
+	}
+	return out
+}
+
+// PendingFuture returns how many out-of-order messages are buffered for cq
+// (observability for tests and metrics).
+func (s *Shielder) PendingFuture(cq string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.recv[cq]
+	if !ok {
+		return 0
+	}
+	return len(st.future)
+}
+
+// LastDelivered returns rcnt for the channel.
+func (s *Shielder) LastDelivered(cq string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.recv[cq]
+	if !ok {
+		return 0
+	}
+	return st.rcnt
+}
+
+func computeMAC(key, header, payload []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(header)
+	mac.Write(payload)
+	return mac.Sum(nil)
+}

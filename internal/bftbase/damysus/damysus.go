@@ -1,0 +1,257 @@
+// Package damysus implements a Damysus-like baseline (Decouchant et al.,
+// EuroSys'22): a streamlined, HotStuff-derived BFT protocol whose trusted
+// CHECKER/ACCUMULATOR components let it run with 2f+1 replicas and two
+// phases instead of PBFT's three.
+//
+// The model captured here, per the paper's comparison:
+//
+//   - leader-based, two broadcast phases (prepare, commit) per decision;
+//   - 2f+1 replicas, f+1 vote quorums (the trusted components rule out
+//     equivocation, so a Byzantine minority cannot split votes);
+//   - trusted-component calls on every step: each message passes through the
+//     TEE checker, charged via the TEE cost model (enclave transitions);
+//   - pairwise MACs (one real HMAC per receiver per broadcast);
+//   - no local reads: like PBFT, reads are ordered through consensus — this
+//     is what Recipe's KV-store design avoids.
+package damysus
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+	"recipe/internal/tee"
+)
+
+// Message kinds.
+const (
+	// KindPrepare is the leader's phase-1 proposal.
+	KindPrepare = core.KindProtocolBase + iota
+	// KindPrepVote is a replica's phase-1 vote.
+	KindPrepVote
+	// KindCommit is the leader's phase-2 commit certificate broadcast.
+	KindCommit
+	// KindCommitVote is a replica's phase-2 vote.
+	KindCommitVote
+)
+
+// slot is one decision's state.
+type slot struct {
+	cmd       *core.Command
+	prepVotes map[string]bool
+	comVotes  map[string]bool
+	prepared  bool
+	committed bool
+	executed  bool
+}
+
+// Damysus is one replica.
+type Damysus struct {
+	env   core.Env
+	id    string
+	peers []string
+	f     int
+	costs tee.CostModel
+
+	nextSeq uint64
+	execSeq uint64
+	slots   map[uint64]*slot
+	macKeys map[string][]byte
+}
+
+var _ core.Protocol = (*Damysus)(nil)
+
+// New creates a Damysus-like replica. The cost model charges the trusted
+// checker/accumulator calls (pass tee.DefaultCostModel() for the SGX-like
+// configuration the paper benchmarks).
+func New(costs tee.CostModel) *Damysus {
+	return &Damysus{costs: costs, slots: make(map[uint64]*slot)}
+}
+
+// Name implements core.Protocol.
+func (d *Damysus) Name() string { return "damysus" }
+
+// Init implements core.Protocol.
+func (d *Damysus) Init(env core.Env) {
+	d.env = env
+	d.id = env.ID()
+	d.peers = env.Peers()
+	d.f = (len(d.peers) - 1) / 2
+	d.macKeys = make(map[string][]byte, len(d.peers))
+	for _, peer := range d.peers {
+		k := sha256.Sum256([]byte("damysus-mac:" + pairName(d.id, peer)))
+		d.macKeys[peer] = k[:]
+	}
+}
+
+func pairName(a, b string) string {
+	if a < b {
+		return a + "|" + b
+	}
+	return b + "|" + a
+}
+
+// leader is static (view changes are out of scope for the throughput
+// baseline; the harness never crashes the Damysus leader).
+func (d *Damysus) leader() string { return d.peers[0] }
+
+// quorum is f+1 votes: the trusted components prevent equivocation, which is
+// what lets Damysus decide with a bare majority.
+func (d *Damysus) quorum() int { return d.f + 1 }
+
+// Status implements core.Protocol.
+func (d *Damysus) Status() core.Status {
+	return core.Status{
+		Leader:        d.leader(),
+		IsCoordinator: d.id == d.leader(),
+	}
+}
+
+// Submit implements core.Protocol.
+func (d *Damysus) Submit(cmd core.Command) {
+	if d.id != d.leader() {
+		d.env.Reply(cmd, core.Result{Err: "not leader"})
+		return
+	}
+	// The leader's ACCUMULATOR assigns the sequence inside the TEE.
+	d.costs.ChargeTransition()
+	d.nextSeq++
+	seq := d.nextSeq
+	s := d.getSlot(seq)
+	s.cmd = &cmd
+	s.prepVotes[d.id] = true
+	d.broadcastAuthenticated(&core.Wire{Kind: KindPrepare, Index: seq, Cmd: &cmd})
+}
+
+func (d *Damysus) getSlot(seq uint64) *slot {
+	s, ok := d.slots[seq]
+	if !ok {
+		s = &slot{prepVotes: make(map[string]bool), comVotes: make(map[string]bool)}
+		d.slots[seq] = s
+	}
+	return s
+}
+
+func (d *Damysus) broadcastAuthenticated(m *core.Wire) {
+	m.From = d.id
+	body := m.Encode()
+	for _, peer := range d.peers {
+		if peer == d.id {
+			continue
+		}
+		mm := *m
+		mm.Value = d.mac(peer, body)
+		d.env.Send(peer, &mm)
+	}
+}
+
+func (d *Damysus) sendAuthenticated(to string, m *core.Wire) {
+	m.From = d.id
+	body := m.Encode()
+	mm := *m
+	mm.Value = d.mac(to, body)
+	d.env.Send(to, &mm)
+}
+
+func (d *Damysus) mac(peer string, body []byte) []byte {
+	h := hmac.New(sha256.New, d.macKeys[peer])
+	h.Write(body)
+	return h.Sum(nil)
+}
+
+func (d *Damysus) verifyMAC(from string, m *core.Wire) bool {
+	got := m.Value
+	mm := *m
+	mm.Value = nil
+	mm.From = from
+	return hmac.Equal(got, d.mac(from, mm.Encode()))
+}
+
+// Handle implements core.Protocol.
+func (d *Damysus) Handle(from string, m *core.Wire) {
+	if !d.verifyMAC(from, m) {
+		return
+	}
+	// Every step passes through the trusted CHECKER.
+	d.costs.ChargeTransition()
+	switch m.Kind {
+	case KindPrepare:
+		if from != d.leader() || m.Cmd == nil {
+			return
+		}
+		s := d.getSlot(m.Index)
+		s.cmd = m.Cmd
+		d.sendAuthenticated(from, &core.Wire{Kind: KindPrepVote, Index: m.Index})
+	case KindPrepVote:
+		if d.id != d.leader() {
+			return
+		}
+		s := d.getSlot(m.Index)
+		s.prepVotes[from] = true
+		if !s.prepared && len(s.prepVotes) >= d.quorum() {
+			s.prepared = true
+			s.comVotes[d.id] = true
+			d.costs.ChargeTransition() // accumulator forms the certificate
+			d.broadcastAuthenticated(&core.Wire{Kind: KindCommit, Index: m.Index, Cmd: s.cmd})
+		}
+	case KindCommit:
+		if from != d.leader() || m.Cmd == nil {
+			return
+		}
+		s := d.getSlot(m.Index)
+		s.cmd = m.Cmd
+		s.committed = true
+		d.executeReady(false)
+		d.sendAuthenticated(from, &core.Wire{Kind: KindCommitVote, Index: m.Index})
+	case KindCommitVote:
+		if d.id != d.leader() {
+			return
+		}
+		s := d.getSlot(m.Index)
+		s.comVotes[from] = true
+		if !s.committed && len(s.comVotes) >= d.quorum() {
+			s.committed = true
+			d.executeReady(true)
+		}
+	}
+}
+
+// executeReady applies committed slots in order; the leader replies.
+func (d *Damysus) executeReady(reply bool) {
+	for {
+		s, ok := d.slots[d.execSeq+1]
+		if !ok || !s.committed || s.executed || s.cmd == nil {
+			return
+		}
+		d.execSeq++
+		s.executed = true
+		res := d.execute(s.cmd, d.execSeq)
+		if reply && d.id == d.leader() {
+			d.env.Reply(*s.cmd, res)
+		}
+		delete(d.slots, d.execSeq)
+	}
+}
+
+func (d *Damysus) execute(cmd *core.Command, seq uint64) core.Result {
+	switch cmd.Op {
+	case core.OpPut:
+		ver := kvstore.Version{TS: seq}
+		if err := d.env.Store().WriteVersioned(cmd.Key, cmd.Value, ver); err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Version: ver}
+	case core.OpGet:
+		v, ver, err := d.env.Store().GetVersioned(cmd.Key)
+		if err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Value: v, Version: ver}
+	default:
+		return core.Result{Err: "unknown op"}
+	}
+}
+
+// Tick implements core.Protocol (no timers in the static-leader baseline).
+func (d *Damysus) Tick() {}

@@ -1,0 +1,91 @@
+package damysus_test
+
+import (
+	"fmt"
+	"testing"
+
+	"recipe/internal/bftbase/damysus"
+	"recipe/internal/core"
+	"recipe/internal/prototest"
+	"recipe/internal/tee"
+)
+
+func newNet(t *testing.T, n int) *prototest.Net {
+	return prototest.NewNet(t, n, func(i int) core.Protocol {
+		return damysus.New(tee.NativeCostModel())
+	})
+}
+
+func TestRunsWithThreeReplicas(t *testing.T) {
+	// 2f+1 = 3 for f=1: the hybrid model needs one fewer replica than PBFT.
+	net := newNet(t, 3)
+	id, ok := net.Coordinator()
+	if !ok || id != "n1" {
+		t.Fatalf("coordinator = %q, want n1", id)
+	}
+}
+
+func TestTwoPhaseCommit(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("leader reply = %+v ok=%v", rep, ok)
+	}
+	for _, id := range net.Order() {
+		if v, err := net.Envs[id].Store().Get("k"); err != nil || string(v) != "v" {
+			t.Errorf("%s: %q, %v", id, v, err)
+		}
+	}
+}
+
+func TestMajorityQuorumSuffices(t *testing.T) {
+	// f+1 = 2 votes decide; one silent replica must not block.
+	net := newNet(t, 3)
+	net.Down["n3"] = true
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("commit with one silent replica failed: %+v ok=%v", rep, ok)
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	net := newNet(t, 3)
+	for i := 0; i < 10; i++ {
+		net.Submit("n1", core.Command{
+			Op: core.OpPut, Key: "k", Value: []byte(fmt.Sprintf("v%d", i)),
+			ClientID: "c", Seq: uint64(i + 1),
+		})
+	}
+	net.Run(1_000_000)
+	for _, id := range net.Order() {
+		if v, err := net.Envs[id].Store().Get("k"); err != nil || string(v) != "v9" {
+			t.Errorf("%s final = %q, %v; want v9", id, v, err)
+		}
+	}
+}
+
+func TestForgedMACRejected(t *testing.T) {
+	net := newNet(t, 3)
+	net.Protos["n2"].Handle("n1", &core.Wire{
+		Kind: damysus.KindPrepare, Index: 1, From: "n1",
+		Cmd:   &core.Command{Op: core.OpPut, Key: "evil", Value: []byte("x")},
+		Value: []byte("bogus"),
+	})
+	net.Run(10_000)
+	if _, err := net.Envs["n2"].Store().Get("evil"); err == nil {
+		t.Fatalf("forged prepare executed")
+	}
+}
+
+func TestFollowerRejectsSubmit(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n2", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v")})
+	rep, ok := net.LastReply("n2")
+	if !ok || rep.Res.OK {
+		t.Fatalf("follower accepted submit: %+v ok=%v", rep, ok)
+	}
+}

@@ -1,0 +1,398 @@
+// Package pbft implements a PBFT (Castro & Liskov) normal-operation baseline
+// in the style of BFT-smart, the comparator of the paper's evaluation. It
+// exists to reproduce the cost structure classical BFT pays and Recipe
+// avoids:
+//
+//   - 3f+1 replicas (the harness runs it with n=4, f=1 — one more replica
+//     than the 2f+1 Recipe clusters);
+//   - three broadcast phases (pre-prepare, prepare, commit) with O(n²)
+//     message complexity per request;
+//   - MAC-authenticator vectors: every broadcast carries one HMAC per
+//     receiver, computed and verified for real, so benchmarks measure the
+//     genuine O(n²) cryptographic work;
+//   - no local reads: reads are totally ordered like writes (a client of
+//     classical BFT cannot trust a single replica), which is why Recipe's
+//     read-heavy speedups are largest in Fig 4.
+//
+// A minimal view change (new primary on timeout) keeps the baseline live for
+// fault tests; checkpointing and state transfer are out of scope.
+package pbft
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// Message kinds.
+const (
+	// KindPrePrepare is the primary's ordering proposal.
+	KindPrePrepare = core.KindProtocolBase + iota
+	// KindPrepare is phase-2 agreement on the proposal.
+	KindPrepare
+	// KindCommit is phase-3 commitment.
+	KindCommit
+	// KindViewChange votes to replace the primary.
+	KindViewChange
+	// KindNewView announces the new primary's view.
+	KindNewView
+)
+
+// viewTimeoutTicks is how long a backup waits on pending requests before
+// voting out the primary.
+const viewTimeoutTicks = 40
+
+// slot tracks one sequence number's agreement state.
+type slot struct {
+	cmd       *core.Command
+	digest    [32]byte
+	preped    bool
+	prepares  map[string]bool
+	commits   map[string]bool
+	committed bool
+	executed  bool
+}
+
+// PBFT is one replica.
+type PBFT struct {
+	env   core.Env
+	id    string
+	peers []string
+	f     int
+
+	view     uint64
+	nextSeq  uint64
+	execSeq  uint64
+	slots    map[uint64]*slot
+	macKeys  map[string][]byte
+	pendingT int
+	vcVotes  map[string]bool
+}
+
+var _ core.Protocol = (*PBFT)(nil)
+
+// New creates a PBFT replica.
+func New() *PBFT {
+	return &PBFT{
+		slots:   make(map[uint64]*slot),
+		vcVotes: make(map[string]bool),
+	}
+}
+
+// Name implements core.Protocol.
+func (p *PBFT) Name() string { return "pbft" }
+
+// Init implements core.Protocol.
+func (p *PBFT) Init(env core.Env) {
+	p.env = env
+	p.id = env.ID()
+	p.peers = env.Peers()
+	p.f = (len(p.peers) - 1) / 3
+	p.macKeys = make(map[string][]byte, len(p.peers))
+	for _, peer := range p.peers {
+		// Pairwise session keys; derivation detail is irrelevant to the cost
+		// model — what matters is one real HMAC per (message, receiver).
+		k := sha256.Sum256([]byte("pbft-mac:" + pairName(p.id, peer)))
+		p.macKeys[peer] = k[:]
+	}
+}
+
+func pairName(a, b string) string {
+	if a < b {
+		return a + "|" + b
+	}
+	return b + "|" + a
+}
+
+// primary returns the current view's primary.
+func (p *PBFT) primary() string { return p.peers[int(p.view)%len(p.peers)] }
+
+// quorum2f1 is the 2f+1 agreement quorum.
+func (p *PBFT) quorum2f1() int { return 2*p.f + 1 }
+
+// Status implements core.Protocol.
+func (p *PBFT) Status() core.Status {
+	return core.Status{
+		Leader:        p.primary(),
+		IsCoordinator: p.id == p.primary(),
+		Term:          p.view,
+	}
+}
+
+// Submit implements core.Protocol: the primary orders every request —
+// including reads.
+func (p *PBFT) Submit(cmd core.Command) {
+	if p.id != p.primary() {
+		p.env.Reply(cmd, core.Result{Err: "not primary"})
+		return
+	}
+	p.nextSeq++
+	seq := p.nextSeq
+	s := p.getSlot(seq)
+	s.cmd = &cmd
+	s.digest = digestCmd(&cmd)
+	s.preped = true
+	s.prepares[p.id] = true
+	p.broadcastAuthenticated(&core.Wire{Kind: KindPrePrepare, Term: p.view, Index: seq, Cmd: &cmd})
+}
+
+func (p *PBFT) getSlot(seq uint64) *slot {
+	s, ok := p.slots[seq]
+	if !ok {
+		s = &slot{prepares: make(map[string]bool), commits: make(map[string]bool)}
+		p.slots[seq] = s
+	}
+	return s
+}
+
+// broadcastAuthenticated sends m to every peer with a per-receiver MAC over
+// the encoded message — the authenticator-vector cost of BFT-smart.
+func (p *PBFT) broadcastAuthenticated(m *core.Wire) {
+	m.From = p.id // the MAC covers the sender identity
+	body := m.Encode()
+	for _, peer := range p.peers {
+		if peer == p.id {
+			continue
+		}
+		mm := *m
+		mm.Value = p.mac(peer, body)
+		p.env.Send(peer, &mm)
+	}
+}
+
+// mac computes the pairwise HMAC for one receiver.
+func (p *PBFT) mac(peer string, body []byte) []byte {
+	h := hmac.New(sha256.New, p.macKeys[peer])
+	h.Write(body)
+	return h.Sum(nil)
+}
+
+// verifyMAC checks the pairwise HMAC from a sender. The MAC travels in
+// m.Value and covers the message with Value cleared.
+func (p *PBFT) verifyMAC(from string, m *core.Wire) bool {
+	got := m.Value
+	mm := *m
+	mm.Value = nil
+	mm.From = from
+	want := p.mac(from, mm.Encode())
+	return hmac.Equal(got, want)
+}
+
+// Handle implements core.Protocol.
+func (p *PBFT) Handle(from string, m *core.Wire) {
+	if !p.verifyMAC(from, m) {
+		return
+	}
+	switch m.Kind {
+	case KindPrePrepare:
+		p.onPrePrepare(from, m)
+	case KindPrepare:
+		p.onPrepare(from, m)
+	case KindCommit:
+		p.onCommit(from, m)
+	case KindViewChange:
+		p.onViewChange(from, m)
+	case KindNewView:
+		p.onNewView(from, m)
+	}
+}
+
+func (p *PBFT) onPrePrepare(from string, m *core.Wire) {
+	if m.Term != p.view || from != p.primary() || m.Cmd == nil {
+		return
+	}
+	s := p.getSlot(m.Index)
+	if s.preped {
+		return
+	}
+	s.cmd = m.Cmd
+	s.digest = digestCmd(m.Cmd)
+	s.preped = true
+	s.prepares[p.id] = true
+	s.prepares[from] = true // the pre-prepare doubles as the primary's prepare
+	p.pendingT = 0
+	p.broadcastAuthenticated(&core.Wire{
+		Kind: KindPrepare, Term: p.view, Index: m.Index, Key: string(s.digest[:]),
+	})
+	p.checkPrepared(m.Index, s)
+}
+
+func (p *PBFT) onPrepare(from string, m *core.Wire) {
+	if m.Term != p.view {
+		return
+	}
+	s := p.getSlot(m.Index)
+	if s.digest != ([32]byte{}) && m.Key != string(s.digest[:]) {
+		return // conflicting digest
+	}
+	s.prepares[from] = true
+	p.checkPrepared(m.Index, s)
+}
+
+// checkPrepared enters the commit phase once 2f+1 replicas prepared.
+func (p *PBFT) checkPrepared(seq uint64, s *slot) {
+	if !s.preped || s.committed || len(s.prepares) < p.quorum2f1() {
+		return
+	}
+	if s.commits[p.id] {
+		return
+	}
+	s.commits[p.id] = true
+	p.broadcastAuthenticated(&core.Wire{
+		Kind: KindCommit, Term: p.view, Index: seq, Key: string(s.digest[:]),
+	})
+	p.checkCommitted(seq, s)
+}
+
+func (p *PBFT) onCommit(from string, m *core.Wire) {
+	if m.Term != p.view {
+		return
+	}
+	s := p.getSlot(m.Index)
+	s.commits[from] = true
+	p.checkCommitted(m.Index, s)
+}
+
+// checkCommitted executes once 2f+1 replicas committed, in sequence order.
+func (p *PBFT) checkCommitted(seq uint64, s *slot) {
+	if !s.preped || len(s.commits) < p.quorum2f1() {
+		return
+	}
+	s.committed = true
+	p.executeReady()
+}
+
+// executeReady applies committed slots strictly in sequence order.
+func (p *PBFT) executeReady() {
+	for {
+		s, ok := p.slots[p.execSeq+1]
+		if !ok || !s.committed || s.executed || s.cmd == nil {
+			return
+		}
+		p.execSeq++
+		s.executed = true
+		res := p.execute(s.cmd, p.execSeq)
+		if p.id == p.primary() {
+			p.env.Reply(*s.cmd, res)
+		}
+		delete(p.slots, p.execSeq) // executed slots are no longer needed
+	}
+}
+
+func (p *PBFT) execute(cmd *core.Command, seq uint64) core.Result {
+	switch cmd.Op {
+	case core.OpPut:
+		ver := kvstore.Version{TS: seq}
+		if err := p.env.Store().WriteVersioned(cmd.Key, cmd.Value, ver); err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Version: ver}
+	case core.OpGet:
+		v, ver, err := p.env.Store().GetVersioned(cmd.Key)
+		if err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Value: v, Version: ver}
+	default:
+		return core.Result{Err: "unknown op"}
+	}
+}
+
+// Tick implements core.Protocol: backups watch the primary while requests
+// are pending and vote it out on timeout.
+func (p *PBFT) Tick() {
+	if p.id == p.primary() {
+		return
+	}
+	if !p.hasPending() {
+		p.pendingT = 0
+		return
+	}
+	p.pendingT++
+	if p.pendingT >= viewTimeoutTicks {
+		p.pendingT = 0
+		p.vcVotes[p.id] = true
+		p.broadcastAuthenticated(&core.Wire{Kind: KindViewChange, Term: p.view + 1})
+	}
+}
+
+func (p *PBFT) hasPending() bool {
+	for seq := p.execSeq + 1; ; seq++ {
+		s, ok := p.slots[seq]
+		if !ok {
+			return false
+		}
+		if !s.executed {
+			return true
+		}
+	}
+}
+
+func (p *PBFT) onViewChange(from string, m *core.Wire) {
+	if m.Term != p.view+1 {
+		return
+	}
+	p.vcVotes[from] = true
+	if len(p.vcVotes) < p.quorum2f1() {
+		return
+	}
+	newView := p.view + 1
+	newPrimary := p.peers[int(newView)%len(p.peers)]
+	if newPrimary == p.id {
+		p.adoptView(newView)
+		p.broadcastAuthenticated(&core.Wire{Kind: KindNewView, Term: newView})
+	}
+}
+
+func (p *PBFT) onNewView(from string, m *core.Wire) {
+	if m.Term <= p.view {
+		return
+	}
+	if p.peers[int(m.Term)%len(p.peers)] != from {
+		return
+	}
+	p.adoptView(m.Term)
+}
+
+// adoptView moves to the new view, dropping un-committed agreement state
+// (committed-but-unexecuted slots are preserved; a production view change
+// would re-propose prepared requests — clients re-submit here instead).
+func (p *PBFT) adoptView(v uint64) {
+	p.view = v
+	p.vcVotes = make(map[string]bool)
+	p.pendingT = 0
+	for seq, s := range p.slots {
+		if !s.committed {
+			delete(p.slots, seq)
+		}
+	}
+	if p.id == p.primary() && p.nextSeq < p.execSeq {
+		p.nextSeq = p.execSeq
+	}
+	if p.id == p.primary() {
+		// Resume sequencing after everything already executed or in flight.
+		for seq := range p.slots {
+			if seq > p.nextSeq {
+				p.nextSeq = seq
+			}
+		}
+	}
+}
+
+// digestCmd hashes a command for prepare/commit agreement.
+func digestCmd(cmd *core.Command) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{byte(cmd.Op)})
+	h.Write([]byte(cmd.Key))
+	h.Write(cmd.Value)
+	h.Write([]byte(cmd.ClientID))
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], cmd.Seq)
+	h.Write(seq[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

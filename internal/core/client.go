@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"recipe/internal/attest"
+	"recipe/internal/authn"
+	"recipe/internal/netstack"
+	"recipe/internal/tee"
+)
+
+// Client errors.
+var (
+	// ErrClientTimeout means no node answered within the retry budget.
+	ErrClientTimeout = errors.New("core: client request timed out")
+)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// ID is the client's principal identity (attested at the CAS).
+	ID string
+	// Nodes is the membership the client may contact.
+	Nodes []string
+	// MasterKey is the network master key from the client's attestation.
+	MasterKey []byte
+	// Shielded must match the cluster's mode.
+	Shielded bool
+	// Confidential must match the cluster's mode.
+	Confidential bool
+	// RequestTimeout bounds one attempt (default 250ms).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds retries across nodes (default 8).
+	MaxAttempts int
+	// Seed drives coordinator selection for leaderless protocols.
+	Seed int64
+}
+
+// Client issues PUT/GET commands against a Recipe cluster. Requests are
+// shielded on the client's attested channels; replies are verified before
+// being trusted — unlike classical BFT, one verified reply suffices because
+// replicas are individually trustworthy after attestation (paper §A.2 Q2).
+// A Client is not safe for concurrent use; create one per goroutine.
+type Client struct {
+	cfg      ClientConfig
+	shielder *authn.Shielder
+	tr       netstack.Transport
+	rng      *rand.Rand
+
+	seq         uint64
+	coordinator string
+}
+
+// NewClient builds a client from its attested enclave and transport.
+func NewClient(e *tee.Enclave, tr netstack.Transport, cfg ClientConfig) (*Client, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("core: client needs an ID")
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("core: client needs at least one node")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 250 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	var opts []authn.Option
+	if cfg.Confidential {
+		opts = append(opts, authn.WithConfidentiality())
+	}
+	c := &Client{
+		cfg:      cfg,
+		shielder: authn.NewShielder(e, opts...),
+		tr:       tr,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Shielded {
+		for _, node := range cfg.Nodes {
+			for _, cq := range []string{
+				clientChannel(cfg.ID, node),
+				clientChannel(node, cfg.ID),
+			} {
+				// Loose ordering: stale responses overtaken by fresher ones
+				// are simply lost; the request/retry loop provides the
+				// end-to-end semantics.
+				if err := c.shielder.OpenLooseChannel(cq, attest.ChannelKey(cfg.MasterKey, cq)); err != nil {
+					return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+				}
+			}
+		}
+	}
+	c.coordinator = cfg.Nodes[c.rng.Intn(len(cfg.Nodes))]
+	return c, nil
+}
+
+// Close releases the client's transport.
+func (c *Client) Close() error { return c.tr.Close() }
+
+// Put writes value under key.
+func (c *Client) Put(key string, value []byte) (Result, error) {
+	return c.do(Command{Op: OpPut, Key: key, Value: value})
+}
+
+// Get reads key.
+func (c *Client) Get(key string) (Result, error) {
+	return c.do(Command{Op: OpGet, Key: key})
+}
+
+// do runs one command to completion, following redirects and rotating
+// through nodes on timeouts.
+func (c *Client) do(cmd Command) (Result, error) {
+	c.seq++
+	cmd.Seq = c.seq
+	cmd.ClientID = c.cfg.ID
+	cmd.ClientAddr = c.tr.Addr()
+
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := c.send(c.coordinator, &Wire{Kind: KindClientReq, Cmd: &cmd}); err != nil {
+			c.rotate()
+			continue
+		}
+		res, redirect, ok := c.await(cmd.Seq)
+		switch {
+		case ok:
+			return res, nil
+		case redirect != "":
+			c.coordinator = redirect
+		default:
+			c.rotate()
+		}
+	}
+	return Result{}, fmt.Errorf("%w: %s %q after %d attempts", ErrClientTimeout, cmd.Op, cmd.Key, c.cfg.MaxAttempts)
+}
+
+// rotate picks a different coordinator.
+func (c *Client) rotate() {
+	if len(c.cfg.Nodes) == 1 {
+		return
+	}
+	prev := c.coordinator
+	for c.coordinator == prev {
+		c.coordinator = c.cfg.Nodes[c.rng.Intn(len(c.cfg.Nodes))]
+	}
+}
+
+// send shields (if configured) and transmits one request.
+func (c *Client) send(node string, w *Wire) error {
+	w.From = c.cfg.ID
+	payload := w.Encode()
+	if !c.cfg.Shielded {
+		return c.tr.Send(node, payload)
+	}
+	env, err := c.shielder.Shield(clientChannel(c.cfg.ID, node), w.Kind, payload)
+	if err != nil {
+		return err
+	}
+	return c.tr.Send(node, env.Encode())
+}
+
+// await waits for the response to request seq, returning the result, or a
+// redirect target, or neither on timeout.
+func (c *Client) await(seq uint64) (res Result, redirect string, ok bool) {
+	deadline := time.NewTimer(c.cfg.RequestTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case pkt, chOK := <-c.tr.Inbox():
+			if !chOK {
+				return Result{}, "", false
+			}
+			w := c.decode(pkt)
+			if w == nil || w.Index != seq {
+				continue // stale or unverifiable; keep waiting
+			}
+			switch w.Kind {
+			case KindClientResp:
+				if w.Res == nil {
+					continue
+				}
+				return *w.Res, "", true
+			case KindRedirect:
+				return Result{}, w.Key, false
+			}
+		case <-deadline.C:
+			return Result{}, "", false
+		}
+	}
+}
+
+// decode verifies and parses one inbound packet, returning nil for anything
+// not trustworthy.
+func (c *Client) decode(pkt netstack.Packet) *Wire {
+	if !c.cfg.Shielded {
+		w, err := DecodeWire(pkt.Data)
+		if err != nil {
+			return nil
+		}
+		return w
+	}
+	env, err := authn.DecodeEnvelope(pkt.Data)
+	if err != nil {
+		return nil
+	}
+	_, delivered, err := c.shielder.Verify(env)
+	if err != nil || len(delivered) == 0 {
+		return nil
+	}
+	// Client channels are strictly request/response; take the first message.
+	w, err := DecodeWire(delivered[0].Payload)
+	if err != nil {
+		return nil
+	}
+	if sender, ok := channelSender(env.Channel); !ok || sender != w.From {
+		return nil
+	}
+	return w
+}

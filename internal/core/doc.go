@@ -1,0 +1,21 @@
+// Package core implements the Recipe transformation — the paper's primary
+// contribution. It wraps an unmodified CFT replication protocol (anything
+// implementing Protocol) in a distributed trusted computing base:
+//
+//   - every node runs inside a (simulated) TEE; it joins only after the
+//     transferable-authentication phase (remote attestation via the CAS);
+//   - every protocol and client message crosses the untrusted network through
+//     the authn layer's shield/verify primitives, giving transferable
+//     authentication and non-equivocation;
+//   - failure detection and leader liveness use the trusted-lease primitive
+//     rather than untrusted OS timers;
+//   - recovered nodes re-attest, receive fresh identities, and catch up via
+//     state transfer before serving (shadow replicas);
+//   - client request deduplication (the client table) makes re-submission
+//     after timeouts safe.
+//
+// The protocol's own states, message rounds, and complexity are untouched:
+// the transformation wraps the environment the protocol talks to, not the
+// protocol. Running the same Protocol with shielding disabled yields the
+// "native" baseline of Fig 6a.
+package core

@@ -1,0 +1,56 @@
+package core
+
+import "recipe/internal/kvstore"
+
+// nodeEnv adapts *Node to the Env interface handed to protocols. It is a
+// distinct type so the Env surface stays minimal: protocols cannot reach
+// node internals like the shielder or client table.
+type nodeEnv Node
+
+var _ Env = (*nodeEnv)(nil)
+
+// ID implements Env.
+func (e *nodeEnv) ID() string { return e.id }
+
+// Peers implements Env.
+func (e *nodeEnv) Peers() []string { return (*Node)(e).Peers() }
+
+// Send implements Env.
+func (e *nodeEnv) Send(to string, m *Wire) { (*Node)(e).sendWire(to, m) }
+
+// Broadcast implements Env.
+func (e *nodeEnv) Broadcast(m *Wire) {
+	n := (*Node)(e)
+	for _, p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		n.sendWire(p, m)
+	}
+}
+
+// Store implements Env.
+func (e *nodeEnv) Store() *kvstore.Store { return e.store }
+
+// Reply implements Env: it records the result in the client table (so
+// retransmitted requests get the cached answer instead of re-executing) and
+// ships the response to the client.
+func (e *nodeEnv) Reply(cmd Command, r Result) {
+	n := (*Node)(e)
+	if cmd.ClientID != "" {
+		n.clientMu.Lock()
+		if rec, ok := n.clientTable[cmd.ClientID]; !ok || cmd.Seq >= rec.seq {
+			n.clientTable[cmd.ClientID] = clientRecord{seq: cmd.Seq, res: r}
+		}
+		n.clientMu.Unlock()
+	}
+	if cmd.ClientAddr != "" {
+		n.sendClientResp(cmd, r)
+	}
+}
+
+// LeaderAlive implements Env via the node's trusted lease table.
+func (e *nodeEnv) LeaderAlive() bool { return (*Node)(e).LeaderAlive() }
+
+// Logf implements Env.
+func (e *nodeEnv) Logf(format string, args ...any) { e.cfg.Logf(format, args...) }

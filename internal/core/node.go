@@ -1,0 +1,518 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recipe/internal/attest"
+	"recipe/internal/authn"
+	"recipe/internal/kvstore"
+	"recipe/internal/netstack"
+	"recipe/internal/tee"
+)
+
+// Node errors.
+var (
+	// ErrStopped is returned when submitting to a stopped node.
+	ErrStopped = errors.New("core: node stopped")
+	// ErrBusy is returned when the node's submit queue is full.
+	ErrBusy = errors.New("core: node busy")
+)
+
+// Stats counts the security-relevant events at one node's authn boundary.
+type Stats struct {
+	Delivered     atomic.Uint64 // verified protocol/client messages delivered
+	Buffered      atomic.Uint64 // authentic out-of-order messages parked
+	DropReplay    atomic.Uint64 // replays rejected
+	DropMAC       atomic.Uint64 // tampered/forged messages rejected
+	DropView      atomic.Uint64 // other-view messages rejected
+	DropMalformed atomic.Uint64 // undecodable packets
+}
+
+// NodeConfig configures a Recipe node.
+type NodeConfig struct {
+	// Secrets is the bundle received from the CAS during attestation.
+	Secrets attest.Secrets
+	// TickEvery is the protocol tick cadence (default 5ms).
+	TickEvery time.Duration
+	// LeaderLeaseTicks is the trusted-lease duration for leader liveness,
+	// measured in ticks (default 10).
+	LeaderLeaseTicks int
+	// Shielded selects the Recipe transformation; false runs the protocol
+	// natively (no authn layer) for the Fig 6a baseline.
+	Shielded bool
+	// Confidential additionally encrypts message payloads and stored values.
+	Confidential bool
+	// StoreConfig configures the local KV store.
+	StoreConfig kvstore.Config
+	// Logf, when set, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+// Node hosts one replica: the enclave, the authn layer, the KV store, the
+// transport endpoint, and the wrapped CFT protocol. It owns a single event
+// loop goroutine; Start launches it and Stop waits for it.
+type Node struct {
+	cfg      NodeConfig
+	id       string
+	enclave  *tee.Enclave
+	shielder *authn.Shielder
+	store    *kvstore.Store
+	tr       netstack.Transport
+	proto    Protocol
+	lease    *tee.LeaseTable
+	peers    []string
+
+	stats       Stats
+	submitCh    chan Command
+	stopCh      chan struct{}
+	doneCh      chan struct{}
+	startOnce   sync.Once
+	stopOnce    sync.Once
+	clientMu    sync.Mutex
+	clientTable map[string]clientRecord
+	recov       *recovery
+	recovToken  uint64
+
+	incMu sync.Mutex
+	inc   map[string]uint64 // peer incarnations (absent = 1)
+
+	// leaseTicks tracks the lease duration in wall time.
+	leaseDur time.Duration
+}
+
+type clientRecord struct {
+	seq uint64
+	res Result
+}
+
+// NewNode assembles a node from its attested enclave, transport, and
+// protocol. The caller must have completed attestation: cfg.Secrets carries
+// the provisioned identity, membership, and master key.
+func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConfig) (*Node, error) {
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 5 * time.Millisecond
+	}
+	if cfg.LeaderLeaseTicks <= 0 {
+		cfg.LeaderLeaseTicks = 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cfg.StoreConfig.Confidential = cfg.Confidential
+
+	store, err := kvstore.Open(e, cfg.StoreConfig)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", cfg.Secrets.NodeID, err)
+	}
+
+	var opts []authn.Option
+	if cfg.Confidential {
+		opts = append(opts, authn.WithConfidentiality())
+	}
+	n := &Node{
+		cfg:         cfg,
+		id:          cfg.Secrets.NodeID,
+		enclave:     e,
+		shielder:    authn.NewShielder(e, opts...),
+		store:       store,
+		tr:          tr,
+		proto:       proto,
+		lease:       tee.NewLeaseTable(tee.RealClock{}, 0.1),
+		peers:       append([]string(nil), cfg.Secrets.Membership...),
+		submitCh:    make(chan Command, 1024),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+		clientTable: make(map[string]clientRecord),
+		leaseDur:    time.Duration(cfg.LeaderLeaseTicks) * cfg.TickEvery,
+		inc:         make(map[string]uint64, len(cfg.Secrets.Incarnations)),
+	}
+	for id, inc := range cfg.Secrets.Incarnations {
+		n.inc[id] = inc
+	}
+
+	if cfg.Shielded {
+		for _, p := range n.peers {
+			if p == n.id {
+				continue
+			}
+			for _, cq := range []string{n.peerChannel(n.id, p), n.peerChannel(p, n.id)} {
+				if err := n.shielder.OpenChannel(cq, attest.ChannelKey(cfg.Secrets.MasterKey, cq)); err != nil {
+					return nil, fmt.Errorf("node %s: %w", n.id, err)
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// incOf returns a node's current incarnation as known here.
+func (n *Node) incOf(id string) uint64 {
+	n.incMu.Lock()
+	defer n.incMu.Unlock()
+	if v, ok := n.inc[id]; ok {
+		return v
+	}
+	return 1
+}
+
+// bumpInc raises a peer's incarnation (monotonic).
+func (n *Node) bumpInc(id string, inc uint64) {
+	n.incMu.Lock()
+	defer n.incMu.Unlock()
+	if n.inc[id] < inc {
+		n.inc[id] = inc
+	}
+}
+
+// peerChannel names the directional channel between two node incarnations.
+// Embedding incarnations means a recovered (re-attested) node communicates
+// over brand-new channels with fresh counters, exactly as §3.7 requires.
+func (n *Node) peerChannel(from, to string) string {
+	return fmt.Sprintf("ch:%s@%d->%s@%d", from, n.incOf(from), to, n.incOf(to))
+}
+
+// clientChannel names the directional channel between a client and a node.
+func clientChannel(from, to string) string { return "cli:" + from + "->" + to }
+
+// ID returns the node identity.
+func (n *Node) ID() string { return n.id }
+
+// Peers returns the membership (including this node).
+func (n *Node) Peers() []string { return append([]string(nil), n.peers...) }
+
+// Store returns the node's KV store.
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// Protocol returns the wrapped protocol (observability and tests).
+func (n *Node) Protocol() Protocol { return n.proto }
+
+// Enclave returns the node's enclave.
+func (n *Node) Enclave() *tee.Enclave { return n.enclave }
+
+// Stats returns the node's authn-boundary counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Start initialises the protocol and launches the event loop.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.proto.Init((*nodeEnv)(n))
+		go n.run()
+	})
+}
+
+// Stop terminates the event loop and waits for it to exit. The transport is
+// closed as part of stopping.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		<-n.doneCh
+		_ = n.tr.Close()
+	})
+}
+
+// Crash simulates a machine failure: the enclave crash-stops and the node
+// detaches from the network without orderly shutdown.
+func (n *Node) Crash() {
+	n.enclave.Crash()
+	n.Stop()
+}
+
+// Submit enqueues a client command at this node (used by the in-process
+// client path and tests; remote clients arrive through the transport).
+func (n *Node) Submit(cmd Command) error {
+	select {
+	case <-n.stopCh:
+		return ErrStopped
+	default:
+	}
+	select {
+	case n.submitCh <- cmd:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// Status exposes the protocol status.
+func (n *Node) Status() Status { return n.proto.Status() }
+
+func (n *Node) run() {
+	defer close(n.doneCh)
+	ticker := time.NewTicker(n.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case pkt, ok := <-n.tr.Inbox():
+			if !ok {
+				return
+			}
+			n.handlePacket(pkt)
+		case cmd := <-n.submitCh:
+			n.dispatchCommand(cmd)
+		case <-ticker.C:
+			n.proto.Tick()
+			if n.cfg.Shielded {
+				n.flushFutures()
+			}
+		}
+	}
+}
+
+// handlePacket verifies (if shielded) and dispatches one transport packet.
+func (n *Node) handlePacket(pkt netstack.Packet) {
+	if !n.cfg.Shielded {
+		w, err := DecodeWire(pkt.Data)
+		if err != nil {
+			n.stats.DropMalformed.Add(1)
+			return
+		}
+		n.dispatchWire(pkt.From, w)
+		return
+	}
+
+	env, err := authn.DecodeEnvelope(pkt.Data)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return
+	}
+	n.ensureChannel(env.Channel)
+	status, delivered, err := n.shielder.Verify(env)
+	if err != nil {
+		switch {
+		case errors.Is(err, authn.ErrReplay):
+			n.stats.DropReplay.Add(1)
+		case errors.Is(err, authn.ErrBadMAC):
+			n.stats.DropMAC.Add(1)
+		case errors.Is(err, authn.ErrWrongView):
+			n.stats.DropView.Add(1)
+		default:
+			n.stats.DropMalformed.Add(1)
+		}
+		return
+	}
+	if status == authn.Buffered {
+		n.stats.Buffered.Add(1)
+		return
+	}
+	for _, d := range delivered {
+		w, err := DecodeWire(d.Payload)
+		if err != nil {
+			n.stats.DropMalformed.Add(1)
+			continue
+		}
+		// The channel name authenticates the sender: a message claiming to
+		// be From=X must arrive on X's directional channel.
+		if sender, ok := channelSender(d.Channel); ok && sender != w.From {
+			n.stats.DropMAC.Add(1)
+			continue
+		}
+		n.stats.Delivered.Add(1)
+		n.dispatchWire(w.From, w)
+	}
+}
+
+// ensureChannel lazily opens channels not known at construction: client
+// channels and peer channels of newer incarnations (recovered nodes). Keys
+// are derived from the master key, so only attested principals holding it
+// can produce valid MACs — opening on demand grants nothing to an attacker.
+func (n *Node) ensureChannel(cq string) {
+	if !strings.HasPrefix(cq, "cli:") && !strings.HasPrefix(cq, "ch:") {
+		return
+	}
+	if n.shielder.HasChannel(cq) {
+		return
+	}
+	key := attest.ChannelKey(n.cfg.Secrets.MasterKey, cq)
+	if strings.HasPrefix(cq, "cli:") {
+		_ = n.shielder.OpenLooseChannel(cq, key)
+		return
+	}
+	_ = n.shielder.OpenChannel(cq, key)
+}
+
+// channelSender extracts the sending identity from a channel name,
+// stripping any incarnation suffix.
+func channelSender(cq string) (string, bool) {
+	rest := cq
+	switch {
+	case strings.HasPrefix(cq, "ch:"):
+		rest = cq[len("ch:"):]
+	case strings.HasPrefix(cq, "cli:"):
+		rest = cq[len("cli:"):]
+	default:
+		return "", false
+	}
+	i := strings.Index(rest, "->")
+	if i < 0 {
+		return "", false
+	}
+	sender := rest[:i]
+	if at := strings.Index(sender, "@"); at >= 0 {
+		sender = sender[:at]
+	}
+	return sender, true
+}
+
+// futureFlushTicks is how many ticks an out-of-order buffer may wait for
+// the gap to close before the node skips it (lost packet).
+const futureFlushTicks = 2
+
+// flushFutures drains stranded out-of-order messages (lost-packet gaps).
+func (n *Node) flushFutures() {
+	for _, d := range n.shielder.TickFutures(futureFlushTicks) {
+		w, err := DecodeWire(d.Payload)
+		if err != nil {
+			n.stats.DropMalformed.Add(1)
+			continue
+		}
+		if sender, ok := channelSender(d.Channel); ok && sender != w.From {
+			n.stats.DropMAC.Add(1)
+			continue
+		}
+		n.stats.Delivered.Add(1)
+		n.dispatchWire(w.From, w)
+	}
+}
+
+// dispatchWire routes one verified message.
+func (n *Node) dispatchWire(from string, w *Wire) {
+	switch w.Kind {
+	case KindClientReq:
+		if w.Cmd == nil {
+			n.stats.DropMalformed.Add(1)
+			return
+		}
+		n.dispatchCommand(*w.Cmd)
+	case KindStateReq:
+		n.serveStatePage(from, w)
+	case KindStateResp:
+		n.handleStateResp(from, w)
+	case KindJoin:
+		// A freshly attested incarnation of w.Key announced itself; future
+		// sends to it use its new channels.
+		n.bumpInc(w.Key, w.Index)
+	case KindClientResp, KindRedirect:
+		// Node-to-node these are unexpected; ignore.
+	default:
+		n.proto.Handle(from, w)
+		n.renewLeaderLease(from)
+	}
+}
+
+// dispatchCommand applies client-table dedup, then redirects or submits.
+func (n *Node) dispatchCommand(cmd Command) {
+	if cmd.ClientID != "" {
+		n.clientMu.Lock()
+		rec, ok := n.clientTable[cmd.ClientID]
+		n.clientMu.Unlock()
+		if ok {
+			if cmd.Seq < rec.seq {
+				return // stale duplicate
+			}
+			if cmd.Seq == rec.seq {
+				n.sendClientResp(cmd, rec.res) // retransmit cached result
+				return
+			}
+		}
+	}
+	st := n.proto.Status()
+	if !st.IsCoordinator {
+		if st.Leader != "" && st.Leader != n.id {
+			n.sendRedirect(cmd, st.Leader)
+		}
+		// No known coordinator: drop; the client retries elsewhere.
+		return
+	}
+	n.proto.Submit(cmd)
+}
+
+// renewLeaderLease keeps the trusted leader lease alive while verified
+// messages from the current leader keep arriving.
+func (n *Node) renewLeaderLease(from string) {
+	st := n.proto.Status()
+	if st.Leader == "" || from != st.Leader {
+		return
+	}
+	_, _ = n.lease.Grant("leader", from, n.leaseDur)
+}
+
+// LeaderAlive reports whether the trusted leader lease is still active.
+func (n *Node) LeaderAlive() bool {
+	st := n.proto.Status()
+	if st.Leader == "" {
+		return false
+	}
+	return !n.lease.Expired("leader")
+}
+
+// sendChannel returns (opening if needed) this node's send channel to a
+// peer, tracking incarnation bumps.
+func (n *Node) sendChannel(to string) string {
+	cq := n.peerChannel(n.id, to)
+	if !n.shielder.HasChannel(cq) {
+		_ = n.shielder.OpenChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq))
+	}
+	return cq
+}
+
+// AnnounceJoin broadcasts this node's (re-)attested incarnation to the
+// membership so peers switch to its fresh channels (§3.7 step 3).
+func (n *Node) AnnounceJoin() {
+	for _, p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		n.sendWire(p, &Wire{Kind: KindJoin, Key: n.id, Index: n.incOf(n.id)})
+	}
+}
+
+// sendWire shields (or plainly encodes) and transmits a message to a peer.
+func (n *Node) sendWire(to string, w *Wire) {
+	w.From = n.id
+	payload := w.Encode()
+	if !n.cfg.Shielded {
+		_ = n.tr.Send(to, payload)
+		return
+	}
+	env, err := n.shielder.Shield(n.sendChannel(to), w.Kind, payload)
+	if err != nil {
+		n.cfg.Logf("node %s: shield to %s: %v", n.id, to, err)
+		return
+	}
+	_ = n.tr.Send(to, env.Encode())
+}
+
+// sendToClient shields a reply onto the client's directional channel.
+func (n *Node) sendToClient(cmd Command, w *Wire) {
+	w.From = n.id
+	payload := w.Encode()
+	if !n.cfg.Shielded {
+		_ = n.tr.Send(cmd.ClientAddr, payload)
+		return
+	}
+	cq := clientChannel(n.id, cmd.ClientID)
+	if !n.shielder.HasChannel(cq) {
+		_ = n.shielder.OpenChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq))
+	}
+	env, err := n.shielder.Shield(cq, w.Kind, payload)
+	if err != nil {
+		n.cfg.Logf("node %s: shield client reply: %v", n.id, err)
+		return
+	}
+	_ = n.tr.Send(cmd.ClientAddr, env.Encode())
+}
+
+func (n *Node) sendClientResp(cmd Command, r Result) {
+	n.sendToClient(cmd, &Wire{Kind: KindClientResp, Index: cmd.Seq, Res: &r})
+}
+
+func (n *Node) sendRedirect(cmd Command, leader string) {
+	n.sendToClient(cmd, &Wire{Kind: KindRedirect, Index: cmd.Seq, Key: leader})
+}

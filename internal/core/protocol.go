@@ -1,0 +1,80 @@
+package core
+
+import "recipe/internal/kvstore"
+
+// Env is everything a replication protocol may touch. The Recipe
+// transformation supplies a shielded Env (messages cross the authn layer);
+// the native baseline supplies a plain one. Either way the protocol code is
+// identical — that is the paper's "no modifications to the core of the
+// protocol" claim made concrete.
+//
+// Env methods are only called from the node's event-loop goroutine, so
+// protocol implementations need no internal locking.
+type Env interface {
+	// ID returns this node's identity.
+	ID() string
+	// Peers returns all member identities, including this node, in a stable
+	// order shared by all members.
+	Peers() []string
+	// Send transmits a protocol message to one peer (unreliable).
+	Send(to string, m *Wire)
+	// Broadcast transmits a protocol message to every other peer.
+	Broadcast(m *Wire)
+	// Store is the node's local KV store (the data layer).
+	Store() *kvstore.Store
+	// Reply completes a client command. The Recipe layer records it in the
+	// client table and ships it back to the client.
+	Reply(cmd Command, r Result)
+	// LeaderAlive reports whether the trusted lease for the currently known
+	// leader is still active. It is Recipe's trusted failure detector:
+	// leader-based protocols consult it in Tick instead of OS timers.
+	LeaderAlive() bool
+	// Logf emits a debug log line.
+	Logf(format string, args ...any)
+}
+
+// Status describes a protocol's current role for routing and observability.
+type Status struct {
+	// Leader is the identity of the current coordinator, if the protocol is
+	// leader-based and one is known.
+	Leader string
+	// IsCoordinator reports whether this node accepts client commands now.
+	IsCoordinator bool
+	// Term is the protocol's current term/view/epoch.
+	Term uint64
+}
+
+// Snapshotter is an optional Protocol extension for log-based protocols
+// whose logs are compacted. Recipe's state transfer moves the KV state; a
+// Snapshotter additionally learns the log position that state corresponds
+// to, so a recovered replica can fast-forward its log past entries the donor
+// compacted away.
+type Snapshotter interface {
+	// SnapshotIndex reports the log index covered by this replica's applied
+	// state (sent to a recovering peer with the final state page).
+	SnapshotIndex() uint64
+	// InstallSnapshot fast-forwards the log: all entries up to index are
+	// considered applied, because the KV state just transferred covers them.
+	InstallSnapshot(index uint64)
+}
+
+// Protocol is an unmodified CFT replication protocol. Implementations must
+// be single-threaded: all calls arrive from the node event loop.
+type Protocol interface {
+	// Name identifies the protocol ("raft", "cr", "abd", "allconcur", ...).
+	Name() string
+	// Init wires the protocol to its environment. Called once before any
+	// other method.
+	Init(env Env)
+	// Submit hands a client command to this node for coordination. If the
+	// node cannot coordinate (e.g. follower in a leader-based protocol) the
+	// protocol must Reply with an error or redirect via Status.
+	Submit(cmd Command)
+	// Handle processes a verified protocol message from a peer.
+	Handle(from string, m *Wire)
+	// Tick advances protocol timers. The Recipe layer drives it from the
+	// trusted-lease clock at a fixed cadence.
+	Tick()
+	// Status reports the protocol's view of coordination.
+	Status() Status
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"recipe/internal/kvstore"
+)
+
+// statePageSize bounds how many keys one state-transfer page carries.
+const statePageSize = 256
+
+// stateEntry is one KV triple in a state-transfer page.
+type stateEntry struct {
+	Key     string
+	Value   []byte
+	Version kvstore.Version
+}
+
+// encodeStatePage serialises a page: [count][entries...][next key][done].
+func encodeStatePage(entries []stateEntry, next string, done bool) []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendString(buf, e.Key)
+		buf = appendBytes(buf, e.Value)
+		buf = binary.BigEndian.AppendUint64(buf, e.Version.TS)
+		buf = binary.BigEndian.AppendUint64(buf, e.Version.Writer)
+	}
+	buf = appendString(buf, next)
+	if done {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// decodeStatePage parses a page.
+func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool, err error) {
+	d := decoder{buf: data}
+	n := int(d.uint32())
+	if n > 1<<20 {
+		return nil, "", false, ErrWireOversized
+	}
+	entries = make([]stateEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e stateEntry
+		e.Key = d.string()
+		e.Value = d.bytes()
+		e.Version.TS = d.uint64()
+		e.Version.Writer = d.uint64()
+		entries = append(entries, e)
+	}
+	next = d.string()
+	done = d.byte() == 1
+	if d.err != nil {
+		return nil, "", false, fmt.Errorf("decode state page: %w", d.err)
+	}
+	return entries, next, done, nil
+}
+
+// recovery tracks an in-progress state transfer at a joining node.
+type recovery struct {
+	token uint64
+	peer  string
+	done  chan error
+}
+
+// SyncFrom performs the recovery protocol's state-transfer step (§3.7): the
+// (already attested and started) node pulls the current state from peer page
+// by page, applying pages with versioned writes so concurrent live writes
+// are never rolled back. It blocks until the transfer completes or times
+// out. The node keeps participating in the protocol throughout — it is a
+// shadow replica while syncing.
+func (n *Node) SyncFrom(peer string, timeout time.Duration) error {
+	n.clientMu.Lock()
+	if n.recov != nil {
+		n.clientMu.Unlock()
+		return errors.New("core: state transfer already in progress")
+	}
+	n.recovToken++
+	rec := &recovery{token: n.recovToken, peer: peer, done: make(chan error, 1)}
+	n.recov = rec
+	n.clientMu.Unlock()
+
+	n.sendWire(peer, &Wire{Kind: KindStateReq, Index: rec.token, Key: ""})
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-rec.done:
+		return err
+	case <-timer.C:
+		n.clientMu.Lock()
+		n.recov = nil
+		n.clientMu.Unlock()
+		return fmt.Errorf("core: state transfer from %s timed out", peer)
+	case <-n.stopCh:
+		return ErrStopped
+	}
+}
+
+// handleStateResp applies one received page and requests the next.
+func (n *Node) handleStateResp(from string, w *Wire) {
+	n.clientMu.Lock()
+	rec := n.recov
+	n.clientMu.Unlock()
+	if rec == nil || rec.token != w.Index || rec.peer != from {
+		return // stale transfer
+	}
+	next, done, err := n.applyStatePage(w.Value)
+	if err != nil {
+		n.finishRecovery(rec, err)
+		return
+	}
+	if done {
+		// This runs on the event loop, so it is safe to touch the protocol:
+		// fast-forward log-based protocols past the transferred state.
+		if snap, ok := n.proto.(Snapshotter); ok && w.Commit > 0 {
+			snap.InstallSnapshot(w.Commit)
+		}
+		n.finishRecovery(rec, nil)
+		return
+	}
+	n.sendWire(from, &Wire{Kind: KindStateReq, Index: rec.token, Key: next})
+}
+
+func (n *Node) finishRecovery(rec *recovery, err error) {
+	n.clientMu.Lock()
+	if n.recov == rec {
+		n.recov = nil
+	}
+	n.clientMu.Unlock()
+	rec.done <- err
+}
+
+// serveStatePage answers a KindStateReq: it reads up to statePageSize keys
+// starting at w.Key from the local store and returns them with versions, so
+// a recovering shadow replica can catch up (paper §3.7 step 4).
+func (n *Node) serveStatePage(from string, w *Wire) {
+	entries := make([]stateEntry, 0, statePageSize)
+	next := ""
+	done := true
+	n.store.Range(w.Key, func(key string, v kvstore.Version) bool {
+		if len(entries) == statePageSize {
+			next = key
+			done = false
+			return false
+		}
+		val, _, err := n.store.GetVersioned(key)
+		if err != nil {
+			return true // skip keys that fail integrity; recoverer retries elsewhere
+		}
+		entries = append(entries, stateEntry{Key: key, Value: val, Version: v})
+		return true
+	})
+	resp := &Wire{
+		Kind:  KindStateResp,
+		Index: w.Index, // echo the requester's transfer id
+		OK:    done,
+		Key:   next,
+		Value: encodeStatePage(entries, next, done),
+	}
+	if done {
+		// The final page tells a log-based protocol which log position the
+		// transferred state covers.
+		if snap, ok := n.proto.(Snapshotter); ok {
+			resp.Commit = snap.SnapshotIndex()
+		}
+	}
+	n.sendWire(from, resp)
+}
+
+// applyStatePage installs one page into the local store using versioned
+// writes, so pages arriving out of order or concurrently with live writes
+// never roll a key backwards.
+func (n *Node) applyStatePage(data []byte) (next string, done bool, err error) {
+	entries, next, done, err := decodeStatePage(data)
+	if err != nil {
+		return "", false, err
+	}
+	for _, e := range entries {
+		werr := n.store.WriteVersioned(e.Key, e.Value, e.Version)
+		if werr != nil && !errors.Is(werr, kvstore.ErrStaleVersion) {
+			return "", false, fmt.Errorf("apply state page: %w", werr)
+		}
+		// Stale entries are fine: a fresher write already landed locally.
+	}
+	return next, done, nil
+}

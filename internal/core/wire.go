@@ -1,0 +1,310 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"recipe/internal/kvstore"
+)
+
+// Op is a client operation type.
+type Op byte
+
+// Client operations.
+const (
+	// OpPut writes a key.
+	OpPut Op = iota + 1
+	// OpGet reads a key.
+	OpGet
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Command is one client request as seen by the replication protocol.
+type Command struct {
+	Op         Op
+	Key        string
+	Value      []byte
+	ClientID   string
+	ClientAddr string // transport address for the reply
+	Seq        uint64 // per-client request sequence (dedup)
+}
+
+// Result is the outcome of a command.
+type Result struct {
+	OK      bool
+	Err     string
+	Value   []byte
+	Version kvstore.Version
+}
+
+// Reserved message kinds used by the Recipe layer itself. Protocol-specific
+// kinds must start at KindProtocolBase.
+const (
+	// KindClientReq carries a Command from a client to a coordinator.
+	KindClientReq uint16 = 1
+	// KindClientResp carries a Result back to the client.
+	KindClientResp uint16 = 2
+	// KindRedirect tells a client which node currently coordinates.
+	KindRedirect uint16 = 3
+	// KindStateReq asks a live replica for a state-transfer page.
+	KindStateReq uint16 = 4
+	// KindStateResp carries one state-transfer page.
+	KindStateResp uint16 = 5
+	// KindJoin announces a freshly attested node to the membership.
+	KindJoin uint16 = 6
+	// KindProtocolBase is the first kind available to protocols.
+	KindProtocolBase uint16 = 100
+)
+
+// Wire is the single message shape shared by all protocols in this
+// repository. Using one generic message keeps the codec small; each protocol
+// uses the subset of fields it needs. Kind dispatches handling.
+type Wire struct {
+	Kind   uint16
+	From   string
+	Term   uint64 // term / view / epoch / round
+	Index  uint64 // log index / sequence / round-local slot
+	Commit uint64 // commit index (leader-based protocols)
+	TS     kvstore.Version
+	OK     bool
+	Key    string
+	Value  []byte
+	Cmd    *Command
+	Cmds   []Command // batches (e.g. AppendEntries)
+	Res    *Result
+}
+
+// codec errors.
+var (
+	// ErrWireTruncated reports an undecodable wire message.
+	ErrWireTruncated = errors.New("core: truncated wire message")
+	// ErrWireOversized reports an implausible length field.
+	ErrWireOversized = errors.New("core: oversized wire field")
+)
+
+const maxWireField = 64 << 20
+
+// flag bits for optional Wire fields.
+const (
+	flagOK byte = 1 << iota
+	flagCmd
+	flagRes
+)
+
+// Encode serialises the message.
+func (w *Wire) Encode() []byte {
+	var flags byte
+	if w.OK {
+		flags |= flagOK
+	}
+	if w.Cmd != nil {
+		flags |= flagCmd
+	}
+	if w.Res != nil {
+		flags |= flagRes
+	}
+	buf := make([]byte, 0, 64+len(w.Key)+len(w.Value))
+	buf = binary.BigEndian.AppendUint16(buf, w.Kind)
+	buf = append(buf, flags)
+	buf = appendString(buf, w.From)
+	buf = binary.BigEndian.AppendUint64(buf, w.Term)
+	buf = binary.BigEndian.AppendUint64(buf, w.Index)
+	buf = binary.BigEndian.AppendUint64(buf, w.Commit)
+	buf = binary.BigEndian.AppendUint64(buf, w.TS.TS)
+	buf = binary.BigEndian.AppendUint64(buf, w.TS.Writer)
+	buf = appendString(buf, w.Key)
+	buf = appendBytes(buf, w.Value)
+	if w.Cmd != nil {
+		buf = appendCommand(buf, *w.Cmd)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(w.Cmds)))
+	for i := range w.Cmds {
+		buf = appendCommand(buf, w.Cmds[i])
+	}
+	if w.Res != nil {
+		buf = appendResult(buf, *w.Res)
+	}
+	return buf
+}
+
+// DecodeWire parses a wire message.
+func DecodeWire(data []byte) (*Wire, error) {
+	d := decoder{buf: data}
+	var w Wire
+	w.Kind = d.uint16()
+	flags := d.byte()
+	w.From = d.string()
+	w.Term = d.uint64()
+	w.Index = d.uint64()
+	w.Commit = d.uint64()
+	w.TS.TS = d.uint64()
+	w.TS.Writer = d.uint64()
+	w.Key = d.string()
+	w.Value = d.bytes()
+	w.OK = flags&flagOK != 0
+	if flags&flagCmd != 0 {
+		c := d.command()
+		w.Cmd = &c
+	}
+	n := int(d.uint32())
+	if n > 0 {
+		if n > 1<<20 {
+			return nil, ErrWireOversized
+		}
+		w.Cmds = make([]Command, 0, n)
+		for i := 0; i < n; i++ {
+			w.Cmds = append(w.Cmds, d.command())
+		}
+	}
+	if flags&flagRes != 0 {
+		r := d.result()
+		w.Res = &r
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("decode wire: %w", d.err)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("decode wire: %d trailing bytes", len(data)-d.pos)
+	}
+	return &w, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func appendCommand(buf []byte, c Command) []byte {
+	buf = append(buf, byte(c.Op))
+	buf = appendString(buf, c.Key)
+	buf = appendBytes(buf, c.Value)
+	buf = appendString(buf, c.ClientID)
+	buf = appendString(buf, c.ClientAddr)
+	return binary.BigEndian.AppendUint64(buf, c.Seq)
+}
+
+func appendResult(buf []byte, r Result) []byte {
+	if r.OK {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendString(buf, r.Err)
+	buf = appendBytes(buf, r.Value)
+	buf = binary.BigEndian.AppendUint64(buf, r.Version.TS)
+	return binary.BigEndian.AppendUint64(buf, r.Version.Writer)
+}
+
+// decoder mirrors the authn package's bounds-checked reader.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxWireField {
+		d.err = ErrWireOversized
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.err = ErrWireTruncated
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) string() string {
+	n := int(d.uint32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.uint32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *decoder) command() Command {
+	var c Command
+	c.Op = Op(d.byte())
+	c.Key = d.string()
+	c.Value = d.bytes()
+	c.ClientID = d.string()
+	c.ClientAddr = d.string()
+	c.Seq = d.uint64()
+	return c
+}
+
+func (d *decoder) result() Result {
+	var r Result
+	r.OK = d.byte() == 1
+	r.Err = d.string()
+	r.Value = d.bytes()
+	r.Version.TS = d.uint64()
+	r.Version.Writer = d.uint64()
+	return r
+}

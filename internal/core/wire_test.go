@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"recipe/internal/kvstore"
+)
+
+func wiresEqual(a, b *Wire) bool {
+	if a.Kind != b.Kind || a.From != b.From || a.Term != b.Term ||
+		a.Index != b.Index || a.Commit != b.Commit || a.TS != b.TS ||
+		a.OK != b.OK || a.Key != b.Key || !bytes.Equal(a.Value, b.Value) {
+		return false
+	}
+	if (a.Cmd == nil) != (b.Cmd == nil) || (a.Res == nil) != (b.Res == nil) {
+		return false
+	}
+	if a.Cmd != nil && !cmdEqual(*a.Cmd, *b.Cmd) {
+		return false
+	}
+	if len(a.Cmds) != len(b.Cmds) {
+		return false
+	}
+	for i := range a.Cmds {
+		if !cmdEqual(a.Cmds[i], b.Cmds[i]) {
+			return false
+		}
+	}
+	if a.Res != nil {
+		if a.Res.OK != b.Res.OK || a.Res.Err != b.Res.Err ||
+			!bytes.Equal(a.Res.Value, b.Res.Value) || a.Res.Version != b.Res.Version {
+			return false
+		}
+	}
+	return true
+}
+
+func cmdEqual(a, b Command) bool {
+	return a.Op == b.Op && a.Key == b.Key && bytes.Equal(a.Value, b.Value) &&
+		a.ClientID == b.ClientID && a.ClientAddr == b.ClientAddr && a.Seq == b.Seq
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	w := &Wire{
+		Kind: 7, From: "n1", Term: 3, Index: 42, Commit: 40,
+		TS: kvstore.Version{TS: 9, Writer: 2}, OK: true,
+		Key: "k", Value: []byte("v"),
+		Cmd: &Command{Op: OpPut, Key: "k", Value: []byte("v"), ClientID: "c", ClientAddr: "addr", Seq: 5},
+		Cmds: []Command{
+			{Op: OpGet, Key: "a", ClientID: "c1", Seq: 1},
+			{Op: OpPut, Key: "b", Value: []byte("bb"), Seq: 2},
+		},
+		Res: &Result{OK: true, Value: []byte("rv"), Version: kvstore.Version{TS: 1}},
+	}
+	got, err := DecodeWire(w.Encode())
+	if err != nil {
+		t.Fatalf("DecodeWire: %v", err)
+	}
+	if !wiresEqual(w, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, w)
+	}
+}
+
+func TestWireCodecEmptyMessage(t *testing.T) {
+	w := &Wire{Kind: 1}
+	got, err := DecodeWire(w.Encode())
+	if err != nil {
+		t.Fatalf("DecodeWire: %v", err)
+	}
+	if !wiresEqual(w, got) {
+		t.Errorf("empty message mismatch: %+v", got)
+	}
+}
+
+func TestWireCodecProperty(t *testing.T) {
+	f := func(kind uint16, from string, term, index, commit, ts, writer uint64,
+		ok bool, key string, value []byte, hasCmd bool, op byte, cseq uint64) bool {
+		w := &Wire{
+			Kind: kind, From: from, Term: term, Index: index, Commit: commit,
+			TS: kvstore.Version{TS: ts, Writer: writer}, OK: ok, Key: key, Value: value,
+		}
+		if hasCmd {
+			w.Cmd = &Command{Op: Op(op), Key: key, Value: value, ClientID: from, Seq: cseq}
+		}
+		got, err := DecodeWire(w.Encode())
+		return err == nil && wiresEqual(w, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireDecodeTruncatedNeverPanics(t *testing.T) {
+	w := &Wire{
+		Kind: 5, From: "n2", Key: "key", Value: []byte("value"),
+		Cmd:  &Command{Op: OpPut, Key: "k", Value: []byte("v")},
+		Cmds: []Command{{Op: OpGet, Key: "q"}},
+		Res:  &Result{OK: true},
+	}
+	wire := w.Encode()
+	for n := 0; n < len(wire); n++ {
+		if _, err := DecodeWire(wire[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestWireDecodeGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{},
+		{0xff},
+		bytes.Repeat([]byte{0xff}, 64),
+		bytes.Repeat([]byte{0x00}, 11),
+	} {
+		if _, err := DecodeWire(data); err == nil && len(data) < 47 {
+			t.Errorf("garbage %v decoded", data)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpPut.String() != "PUT" || OpGet.String() != "GET" {
+		t.Errorf("Op strings: %s %s", OpPut, OpGet)
+	}
+	if Op(99).String() == "" {
+		t.Errorf("unknown op has empty string")
+	}
+}
+
+func TestStatePageCodec(t *testing.T) {
+	entries := []stateEntry{
+		{Key: "a", Value: []byte("1"), Version: kvstore.Version{TS: 1, Writer: 2}},
+		{Key: "b", Value: nil, Version: kvstore.Version{TS: 5}},
+	}
+	data := encodeStatePage(entries, "c", false)
+	got, next, done, err := decodeStatePage(data)
+	if err != nil {
+		t.Fatalf("decodeStatePage: %v", err)
+	}
+	if next != "c" || done {
+		t.Errorf("next=%q done=%v", next, done)
+	}
+	if len(got) != 2 || got[0].Key != "a" || got[1].Version.TS != 5 {
+		t.Errorf("entries = %+v", got)
+	}
+	// Terminal page.
+	data = encodeStatePage(nil, "", true)
+	got, _, done, err = decodeStatePage(data)
+	if err != nil || !done || len(got) != 0 {
+		t.Errorf("terminal page: %+v done=%v err=%v", got, done, err)
+	}
+}
+
+func TestChannelSenderParsing(t *testing.T) {
+	for _, tc := range []struct {
+		cq     string
+		want   string
+		wantOK bool
+	}{
+		{"ch:n1@1->n2@1", "n1", true},
+		{"ch:n1@12->n2@3", "n1", true},
+		{"cli:client-7->n2", "client-7", true},
+		{"cli:n2->client-7", "n2", true},
+		{"bogus:n1->n2", "", false},
+		{"ch:garbage", "", false},
+	} {
+		got, ok := channelSender(tc.cq)
+		if got != tc.want || ok != tc.wantOK {
+			t.Errorf("channelSender(%q) = %q,%v; want %q,%v", tc.cq, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}

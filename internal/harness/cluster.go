@@ -1,0 +1,333 @@
+// Package harness assembles complete in-process clusters — platforms,
+// enclaves, CAS attestation, fabric, nodes, clients — for the examples,
+// integration tests, and the benchmark suite. It is the software equivalent
+// of the paper's three-machine SGX testbed.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"recipe/internal/attest"
+	"recipe/internal/bftbase/damysus"
+	"recipe/internal/bftbase/pbft"
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+	"recipe/internal/netstack"
+	"recipe/internal/protocols/abd"
+	"recipe/internal/protocols/allconcur"
+	"recipe/internal/protocols/chain"
+	"recipe/internal/protocols/craq"
+	"recipe/internal/protocols/raft"
+	"recipe/internal/tee"
+)
+
+// ProtocolKind selects which replication protocol a cluster runs.
+type ProtocolKind string
+
+// Supported protocols.
+const (
+	// Raft: leader-based, total order (R-Raft when shielded).
+	Raft ProtocolKind = "raft"
+	// Chain: chain replication, per-key order (R-CR when shielded).
+	Chain ProtocolKind = "cr"
+	// CRAQ: chain replication with apportioned queries — reads at every
+	// replica (R-CRAQ when shielded; library extension beyond the paper's
+	// four evaluated protocols).
+	CRAQ ProtocolKind = "craq"
+	// ABD: leaderless atomic register, per-key order (R-ABD).
+	ABD ProtocolKind = "abd"
+	// AllConcur: leaderless atomic broadcast, total order (R-AllConcur).
+	AllConcur ProtocolKind = "allconcur"
+	// PBFT: classical BFT baseline at 3f+1 (BFT-smart model).
+	PBFT ProtocolKind = "pbft"
+	// Damysus: hybrid TEE-BFT baseline at 2f+1.
+	Damysus ProtocolKind = "damysus"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Protocol selects the replication protocol.
+	Protocol ProtocolKind
+	// Nodes is the replica count (0 picks the protocol's evaluation size:
+	// 3 for 2f+1 protocols, 4 for PBFT's 3f+1).
+	Nodes int
+	// Shielded applies the Recipe transformation (R-* protocols). BFT
+	// baselines carry their own authentication and ignore this.
+	Shielded bool
+	// Confidential enables value/message encryption (Fig 5).
+	Confidential bool
+	// TEE selects the platform cost model (default: SGX-like for shielded
+	// clusters and the Damysus baseline, native otherwise).
+	TEE *tee.CostModel
+	// Stack selects the fabric cost model (default: recipe-lib for shielded
+	// clusters, kernel-net for the BFT baselines, direct I/O for native).
+	Stack netstack.StackKind
+	// TickEvery is the node tick cadence (default 2ms).
+	TickEvery time.Duration
+	// Injector optionally installs a Byzantine network fault injector.
+	Injector netstack.Injector
+	// Seed makes randomized components deterministic.
+	Seed int64
+	// HostMemLimit caps per-node KV host memory (0 = unlimited).
+	HostMemLimit int64
+	// Logf receives debug logs when set.
+	Logf func(format string, args ...any)
+	// Factory, when set, supplies the protocol instance for each replica
+	// (index into the membership order), overriding Protocol-based
+	// construction. Used by the public custom-transformation API.
+	Factory func(replica int) core.Protocol
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	opts    Options
+	Fabric  *netstack.Fabric
+	CAS     *attest.Service
+	Nodes   map[string]*core.Node
+	Order   []string
+	platMap map[string]*tee.Platform
+	cliPlat *tee.Platform
+	code    []byte
+	nextCli int
+}
+
+// New builds, attests, and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Protocol == "" {
+		opts.Protocol = Raft
+	}
+	if opts.Nodes == 0 {
+		if opts.Protocol == PBFT {
+			opts.Nodes = 4 // 3f+1, f=1
+		} else {
+			opts.Nodes = 3 // 2f+1, f=1
+		}
+	}
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 2 * time.Millisecond
+	}
+	if opts.TEE == nil {
+		m := tee.NativeCostModel()
+		if opts.Shielded || opts.Protocol == Damysus {
+			m = tee.DefaultCostModel()
+		}
+		opts.TEE = &m
+	}
+	if opts.Stack == 0 {
+		switch {
+		case opts.Protocol == PBFT:
+			// BFT-smart: kernel sockets through a managed-runtime RPC layer.
+			opts.Stack = netstack.StackLegacyRPC
+		case opts.Protocol == Damysus:
+			// Damysus: kernel sockets from inside SGX enclaves.
+			opts.Stack = netstack.StackKernelNetTEE
+		case opts.Shielded:
+			opts.Stack = netstack.StackRecipeLib
+		default:
+			opts.Stack = netstack.StackDirectIO
+		}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+
+	fabricOpts := []netstack.FabricOption{netstack.WithStack(netstack.Stacks[opts.Stack])}
+	if opts.Injector != nil {
+		fabricOpts = append(fabricOpts, netstack.WithInjector(opts.Injector))
+	}
+	c := &Cluster{
+		opts:    opts,
+		Fabric:  netstack.NewFabric(fabricOpts...),
+		Nodes:   make(map[string]*core.Node, opts.Nodes),
+		platMap: make(map[string]*tee.Platform, opts.Nodes),
+		code:    []byte("recipe-protocol:" + string(opts.Protocol)),
+	}
+
+	// Attestation is instantaneous while building (its latency is the
+	// subject of Table 4's dedicated benchmark, not of cluster setup).
+	cas, err := attest.NewService(attest.WithLatencyScale(0))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	c.CAS = cas
+	cas.AllowMeasurement(tee.MeasureCode(c.code))
+	for i := 0; i < opts.Nodes; i++ {
+		c.Order = append(c.Order, fmt.Sprintf("n%d", i+1))
+	}
+	cas.SetMembership(c.Order)
+	cas.SetConfig("protocol", string(opts.Protocol))
+
+	cliPlat, err := tee.NewPlatform("clients", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	c.cliPlat = cliPlat
+
+	for _, id := range c.Order {
+		if err := c.startNode(id); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// startNode attests and launches one replica (also used for recovery).
+func (c *Cluster) startNode(id string) error {
+	plat, err := tee.NewPlatform("plat-"+id, tee.WithCostModel(*c.opts.TEE))
+	if err != nil {
+		return fmt.Errorf("harness: node %s: %w", id, err)
+	}
+	c.platMap[id] = plat
+	c.CAS.TrustPlatform(plat)
+
+	enclave := plat.NewEnclave(c.code)
+	agent, err := attest.NewAgent(enclave)
+	if err != nil {
+		return fmt.Errorf("harness: node %s: %w", id, err)
+	}
+	prov, err := c.CAS.RemoteAttestation(agent, id)
+	if err != nil {
+		return fmt.Errorf("harness: attest %s: %w", id, err)
+	}
+	secrets, err := attest.OpenSecrets(agent, prov)
+	if err != nil {
+		return fmt.Errorf("harness: secrets %s: %w", id, err)
+	}
+
+	ep, err := c.Fabric.Register(id)
+	if err != nil {
+		return fmt.Errorf("harness: register %s: %w", id, err)
+	}
+
+	node, err := core.NewNode(enclave, ep, c.newProtocol(id), core.NodeConfig{
+		Secrets:      secrets,
+		TickEvery:    c.opts.TickEvery,
+		Shielded:     c.shieldedFor(),
+		Confidential: c.opts.Confidential,
+		StoreConfig:  kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
+		Logf:         c.opts.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("harness: node %s: %w", id, err)
+	}
+	c.Nodes[id] = node
+	node.Start()
+	return nil
+}
+
+// shieldedFor: the BFT baselines model their own authentication; they run
+// without the Recipe shield regardless of Options.Shielded.
+func (c *Cluster) shieldedFor() bool {
+	if c.opts.Protocol == PBFT || c.opts.Protocol == Damysus {
+		return false
+	}
+	return c.opts.Shielded
+}
+
+// newProtocol instantiates the protocol for one node.
+func (c *Cluster) newProtocol(id string) core.Protocol {
+	if c.opts.Factory != nil {
+		for i, member := range c.Order {
+			if member == id {
+				return c.opts.Factory(i)
+			}
+		}
+		return c.opts.Factory(0)
+	}
+	switch c.opts.Protocol {
+	case Chain:
+		return chain.New()
+	case CRAQ:
+		return craq.New()
+	case ABD:
+		return abd.New()
+	case AllConcur:
+		return allconcur.New()
+	case PBFT:
+		return pbft.New()
+	case Damysus:
+		return damysus.New(*c.opts.TEE)
+	default:
+		return raft.New(c.opts.Seed + int64(len(id)*31+int(id[len(id)-1])))
+	}
+}
+
+// Client creates a new attested client session against the cluster.
+func (c *Cluster) Client() (*core.Client, error) {
+	c.nextCli++
+	id := fmt.Sprintf("client-%d", c.nextCli)
+	ep, err := c.Fabric.Register("addr:" + id)
+	if err != nil {
+		return nil, fmt.Errorf("harness: client: %w", err)
+	}
+	enclave := c.cliPlat.NewEnclave([]byte("recipe-client"))
+	return core.NewClient(enclave, ep, core.ClientConfig{
+		ID:           id,
+		Nodes:        c.Order,
+		MasterKey:    c.CAS.MasterKey(),
+		Shielded:     c.shieldedFor(),
+		Confidential: c.opts.Confidential,
+		Seed:         c.opts.Seed + int64(c.nextCli),
+	})
+}
+
+// WaitForCoordinator blocks until some node reports itself coordinator
+// (e.g. a Raft leader is elected) and returns its id.
+func (c *Cluster) WaitForCoordinator(timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, id := range c.Order {
+			n, ok := c.Nodes[id]
+			if !ok {
+				continue
+			}
+			if st := n.Status(); st.IsCoordinator {
+				return id, nil
+			}
+		}
+		time.Sleep(c.opts.TickEvery)
+	}
+	return "", fmt.Errorf("harness: no coordinator within %v", timeout)
+}
+
+// Crash fail-stops one node (enclave crash + network detach).
+func (c *Cluster) Crash(id string) {
+	if n, ok := c.Nodes[id]; ok {
+		n.Crash()
+		delete(c.Nodes, id)
+	}
+}
+
+// Recover re-attests a fresh replacement for a crashed node (same identity
+// slot, new incarnation), announces it, and syncs its state from a live
+// peer. It implements the paper's recovery flow (§3.7) end to end.
+func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
+	if _, alive := c.Nodes[id]; alive {
+		return fmt.Errorf("harness: %s still running", id)
+	}
+	if err := c.startNode(id); err != nil {
+		return err
+	}
+	node := c.Nodes[id]
+	node.AnnounceJoin()
+	var donor string
+	for _, other := range c.Order {
+		if other != id && c.Nodes[other] != nil {
+			donor = other
+			break
+		}
+	}
+	if donor == "" {
+		return fmt.Errorf("harness: no live donor for %s", id)
+	}
+	return node.SyncFrom(donor, syncTimeout)
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}

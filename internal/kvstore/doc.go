@@ -1,0 +1,13 @@
+// Package kvstore implements Recipe's partitioned key-value store (§A.3).
+//
+// The design splits the key space from the value space: keys and their
+// metadata (value hash, version timestamp, pointer into host memory) live in
+// a skip list inside the enclave, while bulk values live in untrusted host
+// memory. This keeps the enclave working set small (low EPC pressure) while
+// still letting a single replica detect integrity violations — which is what
+// allows Recipe-transformed protocols to serve reads locally without
+// consulting a quorum.
+//
+// In confidential mode values are additionally encrypted before leaving the
+// enclave, so the untrusted host learns nothing about stored data (Fig 5).
+package kvstore

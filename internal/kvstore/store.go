@@ -1,0 +1,225 @@
+package kvstore
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"recipe/internal/tee"
+)
+
+// Store errors.
+var (
+	// ErrNotFound is returned when a key does not exist.
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrIntegrity is returned when a value read from host memory does not
+	// match the enclave-resident hash (Byzantine host detected).
+	ErrIntegrity = errors.New("kvstore: integrity verification failed")
+	// ErrStaleVersion is returned by WriteVersioned when the store already
+	// holds a newer version for the key.
+	ErrStaleVersion = errors.New("kvstore: stale version")
+)
+
+// Store is Recipe's per-node KV store: an enclave-resident index over
+// host-resident values.
+type Store struct {
+	enclave *tee.Enclave
+	index   *skiplist
+	arena   *hostArena
+	aead    cipher.AEAD // non-nil in confidential mode
+}
+
+// Config parameterises a Store.
+type Config struct {
+	// HostMemLimit caps host-memory usage in bytes (0 = unlimited).
+	HostMemLimit int64
+	// Confidential encrypts values before they leave the enclave.
+	Confidential bool
+	// Seed makes skip-list tower heights deterministic in tests.
+	Seed int64
+}
+
+// Open initialises the store (the paper's init_store()). In confidential
+// mode a value-encryption key is derived inside the enclave.
+func Open(e *tee.Enclave, cfg Config) (*Store, error) {
+	s := &Store{
+		enclave: e,
+		index:   newSkiplist(cfg.Seed),
+		arena:   newHostArena(cfg.HostMemLimit),
+	}
+	if cfg.Confidential {
+		key, err := e.DeriveKey("kv-value-encryption")
+		if err != nil {
+			return nil, fmt.Errorf("init store: %w", err)
+		}
+		block, err := aes.NewCipher(key[:16])
+		if err != nil {
+			return nil, fmt.Errorf("init store: %w", err)
+		}
+		s.aead, err = cipher.NewGCM(block)
+		if err != nil {
+			return nil, fmt.Errorf("init store: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Confidential reports whether values are encrypted at rest.
+func (s *Store) Confidential() bool { return s.aead != nil }
+
+// Write stores value under key unconditionally, assigning no meaningful
+// version (protocols with their own ordering use WriteVersioned).
+func (s *Store) Write(key string, value []byte) error {
+	return s.write(key, value, Version{}, false)
+}
+
+// WriteVersioned stores value only if v is not older than the stored
+// version; per-key-ordered protocols (ABD, CR) rely on this to make
+// out-of-order application safe.
+func (s *Store) WriteVersioned(key string, value []byte, v Version) error {
+	return s.write(key, value, v, true)
+}
+
+func (s *Store) write(key string, value []byte, v Version, versioned bool) error {
+	if s.enclave.Crashed() {
+		return tee.ErrEnclaveCrashed
+	}
+	if versioned {
+		if prev, ok := s.index.get(key); ok && v.Less(prev.version) {
+			return fmt.Errorf("%w: key %q has %v, write carries %v", ErrStaleVersion, key, prev.version, v)
+		}
+	}
+
+	stored := value
+	if s.aead != nil {
+		s.enclave.ChargeConfidential(len(value))
+		nonce := make([]byte, s.aead.NonceSize())
+		if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+			return fmt.Errorf("kv write: nonce: %w", err)
+		}
+		stored = append(nonce, s.aead.Seal(nil, nonce, value, []byte(key))...)
+	}
+
+	// Crossing the enclave boundary to place the value in host memory.
+	s.enclave.ChargeTransition()
+	h, err := s.arena.alloc(stored)
+	if err != nil {
+		return fmt.Errorf("kv write %q: %w", key, err)
+	}
+
+	ent := entry{
+		hash:    sha256.Sum256(stored),
+		version: v,
+		handle:  h,
+		size:    len(stored),
+	}
+	prev, existed := s.index.set(key, ent)
+	if existed {
+		s.arena.release(prev.handle)
+		s.enclave.ChargeResident(-metaSize(key, prev))
+	}
+	s.enclave.ChargeResident(metaSize(key, ent))
+	return nil
+}
+
+// Get copies the value for key into the protected area, verifying its
+// integrity against the enclave-resident hash (the paper's get(key, &v_TEE)).
+// This is what makes single-replica local reads trustworthy.
+func (s *Store) Get(key string) ([]byte, error) {
+	v, _, err := s.GetVersioned(key)
+	return v, err
+}
+
+// GetVersioned additionally returns the stored version.
+func (s *Store) GetVersioned(key string) ([]byte, Version, error) {
+	if s.enclave.Crashed() {
+		return nil, Version{}, tee.ErrEnclaveCrashed
+	}
+	ent, ok := s.index.get(key)
+	if !ok {
+		return nil, Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.enclave.ChargeTransition()
+	raw, err := s.arena.read(ent.handle)
+	if err != nil {
+		return nil, Version{}, fmt.Errorf("%w: %q: %v", ErrIntegrity, key, err)
+	}
+	if sha256.Sum256(raw) != ent.hash {
+		return nil, Version{}, fmt.Errorf("%w: %q", ErrIntegrity, key)
+	}
+	if s.aead != nil {
+		s.enclave.ChargeConfidential(len(raw))
+		ns := s.aead.NonceSize()
+		if len(raw) < ns {
+			return nil, Version{}, fmt.Errorf("%w: %q: short ciphertext", ErrIntegrity, key)
+		}
+		plain, err := s.aead.Open(nil, raw[:ns], raw[ns:], []byte(key))
+		if err != nil {
+			return nil, Version{}, fmt.Errorf("%w: %q: %v", ErrIntegrity, key, err)
+		}
+		return plain, ent.version, nil
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out, ent.version, nil
+}
+
+// VersionOf returns the stored version for key without touching the value
+// (ABD's timestamp-read round uses this).
+func (s *Store) VersionOf(key string) (Version, error) {
+	if s.enclave.Crashed() {
+		return Version{}, tee.ErrEnclaveCrashed
+	}
+	ent, ok := s.index.get(key)
+	if !ok {
+		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return ent.version, nil
+}
+
+// Delete removes a key.
+func (s *Store) Delete(key string) error {
+	if s.enclave.Crashed() {
+		return tee.ErrEnclaveCrashed
+	}
+	ent, ok := s.index.remove(key)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.arena.release(ent.handle)
+	s.enclave.ChargeResident(-metaSize(key, ent))
+	return nil
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return s.index.count() }
+
+// HostBytes returns current host-memory usage.
+func (s *Store) HostBytes() int64 { return s.arena.usage() }
+
+// Range visits keys in order from start until fn returns false, without
+// reading values (state-transfer enumeration for recovery).
+func (s *Store) Range(start string, fn func(key string, v Version) bool) {
+	s.index.ascend(start, func(key string, ent entry) bool {
+		return fn(key, ent.version)
+	})
+}
+
+// CorruptValue is a test hook simulating a Byzantine host flipping a byte of
+// the stored value in host memory. It returns false if the key is absent.
+func (s *Store) CorruptValue(key string, offset int) bool {
+	ent, ok := s.index.get(key)
+	if !ok {
+		return false
+	}
+	return s.arena.corrupt(ent.handle, offset)
+}
+
+// metaSize approximates the enclave-resident footprint of one index entry.
+func metaSize(key string, e entry) int {
+	return len(key) + 32 /* hash */ + 16 /* version */ + 16 /* handle+size */
+}

@@ -1,0 +1,303 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"recipe/internal/tee"
+)
+
+func newStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	p, err := tee.NewPlatform("test", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	s, err := Open(p.NewEnclave([]byte("kv")), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestWriteGetRoundTrip(t *testing.T) {
+	s := newStore(t, Config{})
+	if err := s.Write("k1", []byte("v1")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := s.Get("k1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "v1" {
+		t.Errorf("Get = %q, want v1", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newStore(t, Config{})
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOverwriteReleasesHostMemory(t *testing.T) {
+	s := newStore(t, Config{})
+	big := bytes.Repeat([]byte{1}, 4096)
+	for i := 0; i < 100; i++ {
+		if err := s.Write("k", big); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	if got := s.HostBytes(); got != 4096 {
+		t.Errorf("HostBytes = %d, want 4096 (overwrites must free)", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestHostMemLimit(t *testing.T) {
+	s := newStore(t, Config{HostMemLimit: 1024})
+	if err := s.Write("a", bytes.Repeat([]byte{1}, 800)); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	err := s.Write("b", bytes.Repeat([]byte{1}, 800))
+	if err == nil {
+		t.Fatalf("write beyond host memory limit succeeded")
+	}
+}
+
+func TestIntegrityViolationDetected(t *testing.T) {
+	s := newStore(t, Config{})
+	if err := s.Write("k", []byte("trusted value")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !s.CorruptValue("k", 3) {
+		t.Fatalf("CorruptValue failed")
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("Get corrupted err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestConfidentialValuesEncryptedAtRest(t *testing.T) {
+	s := newStore(t, Config{Confidential: true})
+	secret := []byte("ssn=123-45-6789")
+	if err := s.Write("k", secret); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	ent, ok := s.index.get("k")
+	if !ok {
+		t.Fatalf("index miss")
+	}
+	raw, err := s.arena.read(ent.handle)
+	if err != nil {
+		t.Fatalf("arena read: %v", err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Errorf("host memory contains plaintext secret")
+	}
+	got, err := s.Get("k")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("Get = %q, want %q", got, secret)
+	}
+}
+
+func TestConfidentialCorruptionDetected(t *testing.T) {
+	s := newStore(t, Config{Confidential: true})
+	if err := s.Write("k", []byte("secret")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s.CorruptValue("k", 0)
+	if _, err := s.Get("k"); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestVersionedWriteOrdering(t *testing.T) {
+	s := newStore(t, Config{})
+	if err := s.WriteVersioned("k", []byte("v5"), Version{TS: 5, Writer: 1}); err != nil {
+		t.Fatalf("WriteVersioned: %v", err)
+	}
+	// Older write must be rejected.
+	err := s.WriteVersioned("k", []byte("v3"), Version{TS: 3, Writer: 9})
+	if !errors.Is(err, ErrStaleVersion) {
+		t.Errorf("stale write err = %v, want ErrStaleVersion", err)
+	}
+	// Equal TS, higher writer id wins (not stale).
+	if err := s.WriteVersioned("k", []byte("v5b"), Version{TS: 5, Writer: 2}); err != nil {
+		t.Fatalf("tiebreak write: %v", err)
+	}
+	got, ver, err := s.GetVersioned("k")
+	if err != nil {
+		t.Fatalf("GetVersioned: %v", err)
+	}
+	if string(got) != "v5b" || ver != (Version{TS: 5, Writer: 2}) {
+		t.Errorf("got %q %+v", got, ver)
+	}
+}
+
+func TestVersionOf(t *testing.T) {
+	s := newStore(t, Config{})
+	if _, err := s.VersionOf("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("VersionOf missing err = %v", err)
+	}
+	if err := s.WriteVersioned("k", []byte("v"), Version{TS: 7, Writer: 3}); err != nil {
+		t.Fatalf("WriteVersioned: %v", err)
+	}
+	v, err := s.VersionOf("k")
+	if err != nil || v != (Version{TS: 7, Writer: 3}) {
+		t.Errorf("VersionOf = %+v, %v", v, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newStore(t, Config{})
+	if err := s.Write("k", []byte("v")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete err = %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if s.HostBytes() != 0 {
+		t.Errorf("HostBytes after delete = %d", s.HostBytes())
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	s := newStore(t, Config{})
+	keys := []string{"kiwi", "apple", "mango", "banana", "cherry"}
+	for i, k := range keys {
+		if err := s.WriteVersioned(k, []byte(k), Version{TS: uint64(i + 1)}); err != nil {
+			t.Fatalf("Write %s: %v", k, err)
+		}
+	}
+	var visited []string
+	s.Range("", func(k string, _ Version) bool {
+		visited = append(visited, k)
+		return true
+	})
+	if !sort.StringsAreSorted(visited) {
+		t.Errorf("Range order = %v", visited)
+	}
+	if len(visited) != len(keys) {
+		t.Errorf("Range visited %d, want %d", len(visited), len(keys))
+	}
+	// Partial range from "c".
+	visited = visited[:0]
+	s.Range("c", func(k string, _ Version) bool {
+		visited = append(visited, k)
+		return true
+	})
+	if len(visited) != 3 || visited[0] != "cherry" {
+		t.Errorf("Range from c = %v", visited)
+	}
+}
+
+func TestCrashedEnclaveRefuses(t *testing.T) {
+	p, err := tee.NewPlatform("t", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	e := p.NewEnclave([]byte("kv"))
+	s, err := Open(e, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Write("k", []byte("v")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	e.Crash()
+	if err := s.Write("k", nil); !errors.Is(err, tee.ErrEnclaveCrashed) {
+		t.Errorf("Write after crash err = %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, tee.ErrEnclaveCrashed) {
+		t.Errorf("Get after crash err = %v", err)
+	}
+}
+
+func TestStoreProperty(t *testing.T) {
+	// Model check against a plain map: sequential writes/reads agree.
+	s := newStore(t, Config{Seed: 42})
+	model := make(map[string][]byte)
+	f := func(ops []struct {
+		Key byte
+		Val []byte
+		Del bool
+	}) bool {
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.Key%32)
+			if op.Del {
+				delete(model, key)
+				_ = s.Delete(key) // may be ErrNotFound; model tolerates
+				continue
+			}
+			if err := s.Write(key, op.Val); err != nil {
+				return false
+			}
+			model[key] = append([]byte(nil), op.Val...)
+		}
+		for k, want := range model {
+			got, err := s.Get(k)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionLessProperty(t *testing.T) {
+	f := func(a, b Version) bool {
+		// Total order: exactly one of <, >, == holds.
+		less, greater, equal := a.Less(b), b.Less(a), a == b
+		n := 0
+		for _, v := range []bool{less, greater, equal} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkiplistManyKeys(t *testing.T) {
+	s := newStore(t, Config{Seed: 7})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%05d", i)
+		if err := s.Write(key, []byte(key)); err != nil {
+			t.Fatalf("Write %s: %v", key, err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 2, n - 1} {
+		key := fmt.Sprintf("key-%05d", i)
+		got, err := s.Get(key)
+		if err != nil || string(got) != key {
+			t.Errorf("Get(%s) = %q, %v", key, got, err)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package netstack is Recipe's communication substrate. It provides:
+//
+//   - an in-process switched fabric with per-node endpoints and an
+//     explicitly unreliable delivery model (messages can be dropped,
+//     duplicated, delayed, reordered, tampered with, or replayed by a
+//     configurable Byzantine fault injector — the paper's untrusted network);
+//   - an eRPC-style asynchronous RPC layer (CreateRPC / RegHandler / Send /
+//     Respond / Poll) matching the paper's networking API (Table 3);
+//   - calibrated per-message cost models for the five network stacks the
+//     paper compares in Fig 6b (kernel sockets and direct I/O, native and
+//     inside a TEE, plus the shielded recipe-lib stack);
+//   - a real TCP transport with the same Transport interface for the cmd/
+//     tools, so clusters can also run as separate OS processes.
+package netstack

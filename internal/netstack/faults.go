@@ -1,0 +1,203 @@
+package netstack
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Injector mutates the stream of packets crossing the fabric, modelling the
+// paper's Byzantine network (an adversary that may drop, delay, reorder,
+// duplicate, corrupt, or replay traffic). Apply receives one packet and
+// returns the packets to actually deliver — possibly none, possibly several.
+type Injector interface {
+	Apply(p Packet) []Packet
+}
+
+// FaultConfig parameterises the randomized Byzantine injector. All rates are
+// probabilities in [0,1] applied independently per packet.
+type FaultConfig struct {
+	Seed        int64
+	DropRate    float64 // silently discard
+	DupRate     float64 // deliver twice
+	TamperRate  float64 // flip a byte in the payload
+	ReplayRate  float64 // re-deliver a previously recorded packet
+	ReorderRate float64 // hold the packet back until the next one passes
+	// ReplayWindow bounds how many past packets the adversary remembers.
+	ReplayWindow int
+}
+
+// ByzantineNet is a randomized Injector. It is safe for concurrent use.
+type ByzantineNet struct {
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	history []Packet // replay source
+	held    []Packet // reorder buffer
+
+	// Counters for observability in tests.
+	Dropped, Duplicated, Tampered, Replayed, Reordered int
+}
+
+var _ Injector = (*ByzantineNet)(nil)
+
+// NewByzantineNet creates an injector with the given configuration.
+func NewByzantineNet(cfg FaultConfig) *ByzantineNet {
+	if cfg.ReplayWindow == 0 {
+		cfg.ReplayWindow = 128
+	}
+	return &ByzantineNet{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Apply implements Injector.
+func (b *ByzantineNet) Apply(p Packet) []Packet {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	out := make([]Packet, 0, 4)
+
+	// Release anything held for reordering, after the current packet.
+	if b.rng.Float64() < b.cfg.ReorderRate {
+		b.held = append(b.held, p)
+		b.Reordered++
+	} else {
+		out = append(out, p)
+	}
+	if len(b.held) > 0 && len(out) > 0 {
+		out = append(out, b.held...)
+		b.held = b.held[:0]
+	}
+
+	final := make([]Packet, 0, len(out)+2)
+	for _, pkt := range out {
+		if b.rng.Float64() < b.cfg.DropRate {
+			b.Dropped++
+			continue
+		}
+		b.remember(pkt)
+		if b.rng.Float64() < b.cfg.TamperRate && len(pkt.Data) > 0 {
+			tampered := make([]byte, len(pkt.Data))
+			copy(tampered, pkt.Data)
+			tampered[b.rng.Intn(len(tampered))] ^= 0xA5
+			pkt.Data = tampered
+			b.Tampered++
+		}
+		final = append(final, pkt)
+		if b.rng.Float64() < b.cfg.DupRate {
+			final = append(final, pkt)
+			b.Duplicated++
+		}
+	}
+	if len(b.history) > 0 && b.rng.Float64() < b.cfg.ReplayRate {
+		final = append(final, b.history[b.rng.Intn(len(b.history))])
+		b.Replayed++
+	}
+	return final
+}
+
+func (b *ByzantineNet) remember(p Packet) {
+	if len(b.history) >= b.cfg.ReplayWindow {
+		copy(b.history, b.history[1:])
+		b.history = b.history[:len(b.history)-1]
+	}
+	cp := p
+	cp.Data = append([]byte(nil), p.Data...)
+	b.history = append(b.history, cp)
+}
+
+// Partition drops every packet crossing between the two sides of a network
+// partition. Addresses not listed on side A are implicitly on side B.
+type Partition struct {
+	mu    sync.Mutex
+	sideA map[string]bool
+	on    bool
+}
+
+var _ Injector = (*Partition)(nil)
+
+// NewPartition builds a (initially inactive) partition with the given side-A
+// membership.
+func NewPartition(sideA ...string) *Partition {
+	m := make(map[string]bool, len(sideA))
+	for _, a := range sideA {
+		m[a] = true
+	}
+	return &Partition{sideA: m}
+}
+
+// Activate starts dropping cross-partition traffic.
+func (p *Partition) Activate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.on = true
+}
+
+// Heal stops dropping traffic.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.on = false
+}
+
+// Apply implements Injector.
+func (p *Partition) Apply(pkt Packet) []Packet {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.on && p.sideA[pkt.From] != p.sideA[pkt.To] {
+		return nil
+	}
+	return []Packet{pkt}
+}
+
+// Isolate drops all packets to and from a set of addresses (a crashed or
+// isolated node as seen by the network).
+type Isolate struct {
+	mu    sync.Mutex
+	nodes map[string]bool
+}
+
+var _ Injector = (*Isolate)(nil)
+
+// NewIsolate creates an Isolate with no isolated nodes.
+func NewIsolate() *Isolate {
+	return &Isolate{nodes: make(map[string]bool)}
+}
+
+// Set marks addr as isolated (true) or reachable (false).
+func (i *Isolate) Set(addr string, isolated bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if isolated {
+		i.nodes[addr] = true
+	} else {
+		delete(i.nodes, addr)
+	}
+}
+
+// Apply implements Injector.
+func (i *Isolate) Apply(pkt Packet) []Packet {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.nodes[pkt.From] || i.nodes[pkt.To] {
+		return nil
+	}
+	return []Packet{pkt}
+}
+
+// Chain composes injectors left to right.
+type Chain []Injector
+
+var _ Injector = Chain(nil)
+
+// Apply implements Injector by threading packets through each stage.
+func (c Chain) Apply(p Packet) []Packet {
+	pkts := []Packet{p}
+	for _, inj := range c {
+		next := make([]Packet, 0, len(pkts))
+		for _, pk := range pkts {
+			next = append(next, inj.Apply(pk)...)
+		}
+		pkts = next
+	}
+	return pkts
+}

@@ -1,0 +1,89 @@
+package netstack
+
+import "sync"
+
+// Mapped wraps a Transport, translating logical node identities to network
+// addresses on send and back on receive. The in-process fabric uses node ids
+// as addresses directly; real transports (TCP) need this mapping. Names
+// without a mapping pass through untranslated (e.g. client reply addresses,
+// which are already literal).
+type Mapped struct {
+	inner Transport
+	out   chan Packet
+	done  chan struct{}
+
+	mu      sync.RWMutex
+	addrOf  map[string]string // id -> address
+	idOf    map[string]string // address -> id
+	selfID  string
+	started bool
+}
+
+var _ Transport = (*Mapped)(nil)
+
+// NewMapped wraps inner so the local endpoint is known as selfID.
+func NewMapped(inner Transport, selfID string) *Mapped {
+	m := &Mapped{
+		inner:  inner,
+		out:    make(chan Packet, inboxDepth),
+		done:   make(chan struct{}),
+		addrOf: make(map[string]string),
+		idOf:   make(map[string]string),
+		selfID: selfID,
+	}
+	go m.translate()
+	return m
+}
+
+// Map registers one id -> address pair.
+func (m *Mapped) Map(id, addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addrOf[id] = addr
+	m.idOf[addr] = id
+}
+
+// Addr returns the logical identity of this endpoint.
+func (m *Mapped) Addr() string { return m.selfID }
+
+// NetworkAddr returns the underlying transport's address.
+func (m *Mapped) NetworkAddr() string { return m.inner.Addr() }
+
+// Send translates the destination identity and forwards.
+func (m *Mapped) Send(to string, data []byte) error {
+	m.mu.RLock()
+	addr, ok := m.addrOf[to]
+	m.mu.RUnlock()
+	if !ok {
+		addr = to // untranslated: already a literal address
+	}
+	return m.inner.Send(addr, data)
+}
+
+// Inbox returns packets with translated From/To fields.
+func (m *Mapped) Inbox() <-chan Packet { return m.out }
+
+// Close shuts the wrapper and the inner transport down.
+func (m *Mapped) Close() error {
+	err := m.inner.Close()
+	<-m.done
+	return err
+}
+
+func (m *Mapped) translate() {
+	defer close(m.done)
+	defer close(m.out)
+	for pkt := range m.inner.Inbox() {
+		m.mu.RLock()
+		if id, ok := m.idOf[pkt.From]; ok {
+			pkt.From = id
+		}
+		m.mu.RUnlock()
+		pkt.To = m.selfID
+		select {
+		case m.out <- pkt:
+		default:
+			// Drop on overflow, like the fabric.
+		}
+	}
+}

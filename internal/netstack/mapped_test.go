@@ -1,0 +1,89 @@
+package netstack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMappedTransportTranslation(t *testing.T) {
+	tcpA, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+	tcpB, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+
+	a := NewMapped(tcpA, "n1")
+	b := NewMapped(tcpB, "n2")
+	defer func() { _ = a.Close() }()
+	defer func() { _ = b.Close() }()
+	a.Map("n2", tcpB.Addr())
+	b.Map("n1", tcpA.Addr())
+
+	if a.Addr() != "n1" || b.Addr() != "n2" {
+		t.Fatalf("logical addrs = %q, %q", a.Addr(), b.Addr())
+	}
+	if a.NetworkAddr() == "n1" {
+		t.Fatalf("NetworkAddr returned the logical name")
+	}
+
+	// n1 -> n2 by logical name; n2 sees From=n1, To=n2.
+	if err := a.Send("n2", []byte("hi")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case pkt := <-b.Inbox():
+		if pkt.From != "n1" || pkt.To != "n2" || string(pkt.Data) != "hi" {
+			t.Errorf("pkt = %+v", pkt)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out")
+	}
+
+	// Unmapped destinations pass through as literal addresses (client reply
+	// path).
+	if err := b.Send(tcpA.Addr(), []byte("literal")); err != nil {
+		t.Fatalf("literal Send: %v", err)
+	}
+	select {
+	case pkt := <-a.Inbox():
+		if string(pkt.Data) != "literal" {
+			t.Errorf("literal pkt = %+v", pkt)
+		}
+		// b's network addr maps back to "n2" at a.
+		if pkt.From != "n2" {
+			t.Errorf("From = %q, want n2", pkt.From)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out on literal send")
+	}
+}
+
+func TestMappedTransportUnknownSenderKeepsAddr(t *testing.T) {
+	tcpA, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+	tcpC, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+	a := NewMapped(tcpA, "n1")
+	defer func() { _ = a.Close() }()
+	defer func() { _ = tcpC.Close() }()
+
+	// An unmapped sender (e.g. a client) keeps its literal network address.
+	if err := tcpC.Send(tcpA.Addr(), []byte("from-client")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case pkt := <-a.Inbox():
+		if pkt.From != tcpC.Addr() {
+			t.Errorf("From = %q, want literal %q", pkt.From, tcpC.Addr())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out")
+	}
+}

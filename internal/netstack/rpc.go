@@ -1,0 +1,221 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RPC errors.
+var (
+	// ErrTimeout is delivered to a call's callback when no response arrived
+	// within the call timeout.
+	ErrTimeout = errors.New("netstack: rpc timeout")
+	// ErrNoHandler is returned to callers invoking an unregistered type.
+	ErrNoHandler = errors.New("netstack: no handler for request type")
+	// ErrShortFrame is returned for undecodable RPC frames.
+	ErrShortFrame = errors.New("netstack: short rpc frame")
+)
+
+// Handler serves one request type. Returning a non-nil response sends it
+// back to the caller; returning nil sends no response (one-way message).
+type Handler func(from string, req []byte) []byte
+
+// Callback receives the response (or error) for an asynchronous call.
+type Callback func(resp []byte, err error)
+
+// RPC is the asynchronous remote-procedure-call object of the paper's
+// network API (Table 3): per-object send/receive queues, registered request
+// handlers, and an explicit Poll that flushes and drains the queues. One RPC
+// object corresponds to one communication endpoint and is intended to be
+// polled from a single goroutine (the node's event loop); Send may be called
+// from that same goroutine.
+type RPC struct {
+	tr      Transport
+	timeout time.Duration
+	now     func() time.Time
+
+	mu       sync.Mutex
+	handlers map[uint16]Handler
+	pending  map[uint64]pendingCall
+	nextID   uint64
+}
+
+type pendingCall struct {
+	cb       Callback
+	deadline time.Time
+}
+
+// RPCOption configures an RPC object.
+type RPCOption func(*RPC)
+
+// WithTimeout sets the per-call response timeout (default 1s).
+func WithTimeout(d time.Duration) RPCOption {
+	return func(r *RPC) { r.timeout = d }
+}
+
+// WithNow overrides the clock (tests).
+func WithNow(now func() time.Time) RPCOption {
+	return func(r *RPC) { r.now = now }
+}
+
+// NewRPC creates an RPC object bound to a transport (the paper's
+// create_rpc()).
+func NewRPC(tr Transport, opts ...RPCOption) *RPC {
+	r := &RPC{
+		tr:       tr,
+		timeout:  time.Second,
+		now:      time.Now,
+		handlers: make(map[uint16]Handler),
+		pending:  make(map[uint64]pendingCall),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// RegHandler registers the handler for a request type (reg_hdlr()).
+func (r *RPC) RegHandler(kind uint16, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[kind] = h
+}
+
+// Send enqueues a request to a remote endpoint (send()). cb may be nil for
+// one-way messages.
+func (r *RPC) Send(to string, kind uint16, req []byte, cb Callback) error {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	if cb != nil {
+		r.pending[id] = pendingCall{cb: cb, deadline: r.now().Add(r.timeout)}
+	}
+	r.mu.Unlock()
+	return r.tr.Send(to, encodeFrame(frameRequest, id, kind, req))
+}
+
+// Poll drains the transport inbox, dispatching requests to handlers and
+// responses to callbacks, and expires timed-out calls (poll()). It returns
+// the number of frames processed and never blocks.
+func (r *RPC) Poll() int {
+	n := 0
+	for {
+		select {
+		case pkt, ok := <-r.tr.Inbox():
+			if !ok {
+				r.expire(true)
+				return n
+			}
+			r.dispatch(pkt)
+			n++
+		default:
+			r.expire(false)
+			return n
+		}
+	}
+}
+
+// PollWait blocks until at least one frame arrives or the timeout elapses,
+// then drains like Poll.
+func (r *RPC) PollWait(d time.Duration) int {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case pkt, ok := <-r.tr.Inbox():
+		if !ok {
+			r.expire(true)
+			return 0
+		}
+		r.dispatch(pkt)
+		return 1 + r.Poll()
+	case <-timer.C:
+		r.expire(false)
+		return 0
+	}
+}
+
+func (r *RPC) dispatch(pkt Packet) {
+	ftype, id, kind, payload, err := decodeFrame(pkt.Data)
+	if err != nil {
+		return // undecodable frames are dropped, like a lossy network
+	}
+	switch ftype {
+	case frameRequest:
+		r.mu.Lock()
+		h, ok := r.handlers[kind]
+		r.mu.Unlock()
+		if !ok {
+			return
+		}
+		if resp := h(pkt.From, payload); resp != nil {
+			// respond(): reuse the request id so the caller correlates it.
+			_ = r.tr.Send(pkt.From, encodeFrame(frameResponse, id, kind, resp))
+		}
+	case frameResponse:
+		r.mu.Lock()
+		call, ok := r.pending[id]
+		if ok {
+			delete(r.pending, id)
+		}
+		r.mu.Unlock()
+		if ok {
+			call.cb(payload, nil)
+		}
+	}
+}
+
+// expire fails pending calls past their deadline (or all, on close).
+func (r *RPC) expire(all bool) {
+	now := r.now()
+	var expired []Callback
+	r.mu.Lock()
+	for id, c := range r.pending {
+		if all || now.After(c.deadline) {
+			expired = append(expired, c.cb)
+			delete(r.pending, id)
+		}
+	}
+	r.mu.Unlock()
+	for _, cb := range expired {
+		cb(nil, ErrTimeout)
+	}
+}
+
+// PendingCalls reports how many calls await responses.
+func (r *RPC) PendingCalls() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Frame types.
+const (
+	frameRequest byte = iota + 1
+	frameResponse
+)
+
+// encodeFrame builds [type][id:8][kind:2][payload].
+func encodeFrame(ftype byte, id uint64, kind uint16, payload []byte) []byte {
+	buf := make([]byte, 0, 11+len(payload))
+	buf = append(buf, ftype)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, kind)
+	buf = append(buf, payload...)
+	return buf
+}
+
+func decodeFrame(data []byte) (ftype byte, id uint64, kind uint16, payload []byte, err error) {
+	if len(data) < 11 {
+		return 0, 0, 0, nil, ErrShortFrame
+	}
+	ftype = data[0]
+	if ftype != frameRequest && ftype != frameResponse {
+		return 0, 0, 0, nil, fmt.Errorf("%w: bad frame type %d", ErrShortFrame, ftype)
+	}
+	id = binary.BigEndian.Uint64(data[1:9])
+	kind = binary.BigEndian.Uint16(data[9:11])
+	return ftype, id, kind, data[11:], nil
+}

@@ -1,0 +1,233 @@
+// Package abd implements the ABD multi-writer multi-reader atomic register
+// protocol (Lynch & Shvartsman, FTCS'97) as an unmodified CFT protocol. It
+// is the paper's representative of the leaderless / per-key-order category
+// (Table 1): any node coordinates any request.
+//
+// Writes run in two broadcast rounds: (1) read the key's Lamport timestamp
+// from a majority, (2) write the value with a higher timestamp to a
+// majority. Reads usually complete in one round — if a majority agrees on
+// the highest timestamp the value is returned directly; otherwise the
+// coordinator performs the write-back round to preserve linearizability.
+package abd
+
+import (
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// Message kinds.
+const (
+	// KindTSRead asks a replica for its timestamp for a key (write phase 1).
+	KindTSRead = core.KindProtocolBase + iota
+	// KindTSResp returns the replica's timestamp.
+	KindTSResp
+	// KindWrite installs (key, value, ts) at a replica (write phase 2).
+	KindWrite
+	// KindWriteAck acknowledges a KindWrite.
+	KindWriteAck
+	// KindRead asks a replica for (value, ts) (read phase 1).
+	KindRead
+	// KindReadResp returns the replica's (value, ts).
+	KindReadResp
+)
+
+// opTimeoutTicks aborts coordinator operations that never reach quorum
+// (e.g. under partitions); the client will retry.
+const opTimeoutTicks = 100
+
+// phase of an in-flight coordinated operation.
+type phase int
+
+const (
+	phaseTSRead phase = iota + 1
+	phaseWrite
+	phaseRead
+	phaseReadBack
+)
+
+// op is one operation this node coordinates.
+type op struct {
+	cmd     core.Command
+	ph      phase
+	acks    int
+	highest kvstore.Version
+	value   []byte
+	age     int
+}
+
+// ABD is one replica. All methods run on the node event loop.
+type ABD struct {
+	env      core.Env
+	id       string
+	peers    []string
+	writerID uint64
+
+	nextOp uint64
+	ops    map[uint64]*op
+}
+
+var _ core.Protocol = (*ABD)(nil)
+
+// New creates an ABD instance.
+func New() *ABD {
+	return &ABD{ops: make(map[uint64]*op)}
+}
+
+// Name implements core.Protocol.
+func (a *ABD) Name() string { return "abd" }
+
+// Init implements core.Protocol.
+func (a *ABD) Init(env core.Env) {
+	a.env = env
+	a.id = env.ID()
+	a.peers = env.Peers()
+	for i, p := range a.peers {
+		if p == a.id {
+			a.writerID = uint64(i + 1) // stable unique writer id for TS tiebreaks
+		}
+	}
+}
+
+// Status implements core.Protocol: leaderless, any node coordinates.
+func (a *ABD) Status() core.Status {
+	return core.Status{IsCoordinator: true}
+}
+
+// quorum is a majority of all replicas.
+func (a *ABD) quorum() int { return len(a.peers)/2 + 1 }
+
+// Submit implements core.Protocol.
+func (a *ABD) Submit(cmd core.Command) {
+	a.nextOp++
+	id := a.nextOp
+	switch cmd.Op {
+	case core.OpPut:
+		o := &op{cmd: cmd, ph: phaseTSRead, acks: 1} // count self
+		if v, err := a.env.Store().VersionOf(cmd.Key); err == nil {
+			o.highest = v
+		}
+		a.ops[id] = o
+		a.env.Broadcast(&core.Wire{Kind: KindTSRead, Index: id, Key: cmd.Key})
+		a.maybeAdvance(id)
+	case core.OpGet:
+		o := &op{cmd: cmd, ph: phaseRead, acks: 1}
+		if v, ver, err := a.env.Store().GetVersioned(cmd.Key); err == nil {
+			o.value, o.highest = v, ver
+		}
+		a.ops[id] = o
+		a.env.Broadcast(&core.Wire{Kind: KindRead, Index: id, Key: cmd.Key})
+		a.maybeAdvance(id)
+	default:
+		a.env.Reply(cmd, core.Result{Err: "unknown op"})
+	}
+}
+
+// Handle implements core.Protocol.
+func (a *ABD) Handle(from string, m *core.Wire) {
+	switch m.Kind {
+	case KindTSRead:
+		var ts kvstore.Version
+		if v, err := a.env.Store().VersionOf(m.Key); err == nil {
+			ts = v
+		}
+		a.env.Send(from, &core.Wire{Kind: KindTSResp, Index: m.Index, Key: m.Key, TS: ts})
+
+	case KindTSResp:
+		o := a.ops[m.Index]
+		if o == nil || o.ph != phaseTSRead {
+			return
+		}
+		o.acks++
+		if o.highest.Less(m.TS) {
+			o.highest = m.TS
+		}
+		a.maybeAdvance(m.Index)
+
+	case KindWrite:
+		err := a.env.Store().WriteVersioned(m.Key, m.Value, m.TS)
+		_ = err // stale writes are fine: a newer version is already present
+		a.env.Send(from, &core.Wire{Kind: KindWriteAck, Index: m.Index, Key: m.Key})
+
+	case KindWriteAck:
+		o := a.ops[m.Index]
+		if o == nil || (o.ph != phaseWrite && o.ph != phaseReadBack) {
+			return
+		}
+		o.acks++
+		a.maybeAdvance(m.Index)
+
+	case KindRead:
+		w := &core.Wire{Kind: KindReadResp, Index: m.Index, Key: m.Key}
+		if v, ver, err := a.env.Store().GetVersioned(m.Key); err == nil {
+			w.Value, w.TS, w.OK = v, ver, true
+		}
+		a.env.Send(from, w)
+
+	case KindReadResp:
+		o := a.ops[m.Index]
+		if o == nil || o.ph != phaseRead {
+			return
+		}
+		o.acks++
+		if m.OK && o.highest.Less(m.TS) {
+			o.highest, o.value = m.TS, m.Value
+		}
+		a.maybeAdvance(m.Index)
+	}
+}
+
+// maybeAdvance moves an operation forward once it has a quorum.
+func (a *ABD) maybeAdvance(id uint64) {
+	o := a.ops[id]
+	if o == nil || o.acks < a.quorum() {
+		return
+	}
+	switch o.ph {
+	case phaseTSRead:
+		// Phase 2: write with a strictly higher timestamp.
+		ts := kvstore.Version{TS: o.highest.TS + 1, Writer: a.writerID}
+		o.ph, o.acks, o.highest = phaseWrite, 1, ts
+		_ = a.env.Store().WriteVersioned(o.cmd.Key, o.cmd.Value, ts)
+		a.env.Broadcast(&core.Wire{Kind: KindWrite, Index: id, Key: o.cmd.Key, Value: o.cmd.Value, TS: ts})
+		a.maybeAdvance(id)
+
+	case phaseWrite:
+		delete(a.ops, id)
+		a.env.Reply(o.cmd, core.Result{OK: true, Version: o.highest})
+
+	case phaseRead:
+		if o.value == nil && o.highest == (kvstore.Version{}) {
+			delete(a.ops, id)
+			a.env.Reply(o.cmd, core.Result{Err: "kvstore: key not found"})
+			return
+		}
+		// Write-back round preserves linearizability when replicas disagree;
+		// ABD's optimisation: skip it when the local store already holds the
+		// quorum-highest version (the common, conflict-free case).
+		if lv, err := a.env.Store().VersionOf(o.cmd.Key); err == nil && !lv.Less(o.highest) {
+			delete(a.ops, id)
+			a.env.Reply(o.cmd, core.Result{OK: true, Value: o.value, Version: o.highest})
+			return
+		}
+		o.ph, o.acks = phaseReadBack, 1
+		_ = a.env.Store().WriteVersioned(o.cmd.Key, o.value, o.highest)
+		a.env.Broadcast(&core.Wire{Kind: KindWrite, Index: id, Key: o.cmd.Key, Value: o.value, TS: o.highest})
+		a.maybeAdvance(id)
+
+	case phaseReadBack:
+		delete(a.ops, id)
+		a.env.Reply(o.cmd, core.Result{OK: true, Value: o.value, Version: o.highest})
+	}
+}
+
+// Tick implements core.Protocol: it ages out operations that cannot reach
+// quorum so their clients fail fast and retry.
+func (a *ABD) Tick() {
+	for id, o := range a.ops {
+		o.age++
+		if o.age >= opTimeoutTicks {
+			delete(a.ops, id)
+			a.env.Reply(o.cmd, core.Result{Err: "abd: quorum timeout"})
+		}
+	}
+}

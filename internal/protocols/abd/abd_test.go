@@ -1,0 +1,149 @@
+package abd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"recipe/internal/core"
+	"recipe/internal/protocols/abd"
+	"recipe/internal/prototest"
+)
+
+func newNet(t *testing.T, n int) *prototest.Net {
+	return prototest.NewNet(t, n, func(i int) core.Protocol { return abd.New() })
+}
+
+func TestEveryNodeCoordinates(t *testing.T) {
+	net := newNet(t, 3)
+	for _, id := range net.Order() {
+		if !net.Protos[id].Status().IsCoordinator {
+			t.Errorf("%s is not a coordinator; ABD is leaderless", id)
+		}
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("write reply = %+v ok=%v", rep, ok)
+	}
+	// Read from a different coordinator sees the write (linearizability
+	// across coordinators).
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "c2", Seq: 1})
+	net.Run(10_000)
+	rep, ok = net.LastReply("n2")
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" {
+		t.Fatalf("read via n2 = %+v", rep)
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	net := newNet(t, 3)
+	// Two coordinators write the same key; both complete, and all replicas
+	// converge to a single winner determined by the (TS, writer) order.
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("from-n1"), ClientID: "a", Seq: 1})
+	net.Submit("n2", core.Command{Op: core.OpPut, Key: "k", Value: []byte("from-n2"), ClientID: "b", Seq: 1})
+	net.Run(100_000)
+
+	for _, id := range []string{"n1", "n2"} {
+		if rep, ok := net.LastReply(id); !ok || !rep.Res.OK {
+			t.Fatalf("%s write did not complete: %+v", id, rep)
+		}
+	}
+	want, err := net.Envs["n1"].Store().Get("k")
+	if err != nil {
+		t.Fatalf("n1 store: %v", err)
+	}
+	for _, id := range net.Order() {
+		got, err := net.Envs[id].Store().Get("k")
+		if err != nil || string(got) != string(want) {
+			t.Errorf("%s = %q, want %q (err %v)", id, got, want, err)
+		}
+	}
+}
+
+func TestTimestampsIncrease(t *testing.T) {
+	net := newNet(t, 3)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		net.Submit("n1", core.Command{
+			Op: core.OpPut, Key: "k", Value: []byte(fmt.Sprintf("v%d", i)),
+			ClientID: "c", Seq: uint64(i + 1),
+		})
+		net.Run(10_000)
+		rep, ok := net.LastReply("n1")
+		if !ok || !rep.Res.OK {
+			t.Fatalf("write %d: %+v", i, rep)
+		}
+		if rep.Res.Version.TS <= last {
+			t.Errorf("TS %d not beyond %d", rep.Res.Version.TS, last)
+		}
+		last = rep.Res.Version.TS
+	}
+}
+
+func TestReadRepairsLaggingReplica(t *testing.T) {
+	net := newNet(t, 3)
+	// Drop phase-2 writes to n3 so it lags.
+	net.Drop = func(s prototest.Sent) bool {
+		return s.To == "n3" && s.W.Kind == abd.KindWrite
+	}
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v1"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	if _, err := net.Envs["n3"].Store().Get("k"); err == nil {
+		t.Fatalf("n3 unexpectedly has the value")
+	}
+	net.Drop = nil
+
+	// A read coordinated by the lagging replica must still return v1 (quorum
+	// holds it) and the write-back repairs n3.
+	net.Submit("n3", core.Command{Op: core.OpGet, Key: "k", ClientID: "c2", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n3")
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v1" {
+		t.Fatalf("read at lagging replica = %+v", rep)
+	}
+	if v, err := net.Envs["n3"].Store().Get("k"); err != nil || string(v) != "v1" {
+		t.Errorf("write-back did not repair n3: %q, %v", v, err)
+	}
+}
+
+func TestQuorumLossTimesOut(t *testing.T) {
+	net := newNet(t, 3)
+	net.Down["n2"] = true
+	net.Down["n3"] = true
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	if _, ok := net.LastReply("n1"); ok {
+		t.Fatalf("write completed without quorum")
+	}
+	net.TickAndRun(200, 10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || rep.Res.OK || rep.Res.Err == "" {
+		t.Fatalf("expected quorum-timeout error, got %+v ok=%v", rep, ok)
+	}
+}
+
+func TestWriteCompletesWithOneFailure(t *testing.T) {
+	net := newNet(t, 3)
+	net.Down["n3"] = true // f=1 failure: majority 2/3 still available
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("write with one failure = %+v ok=%v", rep, ok)
+	}
+}
+
+func TestMissingKeyRead(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpGet, Key: "ghost", ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || rep.Res.OK {
+		t.Fatalf("missing key read = %+v ok=%v", rep, ok)
+	}
+}

@@ -1,0 +1,243 @@
+// Package allconcur implements AllConcur (Poke, Hoefler & Glass, 2016) as an
+// unmodified CFT protocol: a leaderless atomic broadcast with total order.
+// It is the paper's representative of the leaderless / total-order category
+// (Table 1).
+//
+// Execution proceeds in rounds. In round r every node broadcasts the set of
+// writes it proposes for that round (possibly empty). A node delivers round
+// r once it holds the round-r set of every non-suspected peer; it then
+// applies all commands in a deterministic order (proposer rank, then
+// submission order), which yields the same total order everywhere without a
+// leader. The digraph of the original protocol is instantiated as the
+// complete graph, whose vertex connectivity (n-1) tolerates the f failures
+// of a 2f+1 deployment.
+//
+// Reads are served locally (the paper's evaluated configuration gives
+// AllConcur "consistent local reads").
+package allconcur
+
+import (
+	"sort"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// Message kinds.
+const (
+	// KindSet carries a node's proposal set for one round.
+	KindSet = core.KindProtocolBase + iota
+)
+
+// suspectTicks is how many ticks a node waits for a peer's round set before
+// suspecting it (the simplified failure-notification mechanism).
+const suspectTicks = 30
+
+// maxBatch bounds commands per proposal set.
+const maxBatch = 64
+
+// AllConcur is one replica.
+type AllConcur struct {
+	env   core.Env
+	id    string
+	peers []string
+	rank  map[string]int
+
+	round     uint64 // round currently being collected
+	queue     []core.Command
+	mine      []core.Command                       // my proposal for the current round
+	sets      map[string][]core.Command            // collected round sets
+	arrived   map[string]bool                      // which peers' sets arrived this round
+	future    map[uint64]map[string][]core.Command // early sets for later rounds
+	suspected map[string]bool
+	waitTicks int
+	// deferred marks that the next round's broadcast waits for new work or
+	// the next tick: idle (all-empty) rounds advance at tick pace rather
+	// than message pace, bounding the protocol's idle chatter.
+	deferred bool
+
+	applySeq uint64 // global apply sequence for versioned writes
+}
+
+var _ core.Protocol = (*AllConcur)(nil)
+
+// New creates an AllConcur instance.
+func New() *AllConcur {
+	return &AllConcur{
+		sets:      make(map[string][]core.Command),
+		arrived:   make(map[string]bool),
+		future:    make(map[uint64]map[string][]core.Command),
+		suspected: make(map[string]bool),
+	}
+}
+
+// Name implements core.Protocol.
+func (a *AllConcur) Name() string { return "allconcur" }
+
+// Init implements core.Protocol.
+func (a *AllConcur) Init(env core.Env) {
+	a.env = env
+	a.id = env.ID()
+	a.peers = env.Peers()
+	a.rank = make(map[string]int, len(a.peers))
+	sorted := append([]string(nil), a.peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		a.rank[p] = i
+	}
+	a.round = 1
+	a.broadcastSet()
+}
+
+// Status implements core.Protocol: leaderless, any node coordinates.
+func (a *AllConcur) Status() core.Status {
+	return core.Status{IsCoordinator: true, Term: a.round}
+}
+
+// Submit implements core.Protocol.
+func (a *AllConcur) Submit(cmd core.Command) {
+	switch cmd.Op {
+	case core.OpGet:
+		// Consistent local read from the integrity-checked store.
+		v, ver, err := a.env.Store().GetVersioned(cmd.Key)
+		if err != nil {
+			a.env.Reply(cmd, core.Result{Err: err.Error()})
+			return
+		}
+		a.env.Reply(cmd, core.Result{OK: true, Value: v, Version: ver})
+	case core.OpPut:
+		a.queue = append(a.queue, cmd)
+		if a.deferred {
+			a.deferred = false
+			a.broadcastSet()
+		}
+	default:
+		a.env.Reply(cmd, core.Result{Err: "unknown op"})
+	}
+}
+
+// Handle implements core.Protocol.
+func (a *AllConcur) Handle(from string, m *core.Wire) {
+	if m.Kind != KindSet {
+		return
+	}
+	switch {
+	case m.Term < a.round:
+		return // stale round (already delivered)
+	case m.Term > a.round:
+		f, ok := a.future[m.Term]
+		if !ok {
+			f = make(map[string][]core.Command)
+			a.future[m.Term] = f
+		}
+		f[from] = m.Cmds
+	default:
+		if !a.arrived[from] {
+			a.arrived[from] = true
+			a.sets[from] = m.Cmds
+			delete(a.suspected, from) // traffic clears suspicion
+		}
+		if a.deferred {
+			// A peer opened this round; join it immediately.
+			a.deferred = false
+			a.broadcastSet()
+		}
+		a.maybeDeliver()
+	}
+}
+
+// Tick implements core.Protocol: drive round progress and suspicion.
+func (a *AllConcur) Tick() {
+	if a.deferred {
+		a.deferred = false
+		a.broadcastSet()
+	}
+	a.waitTicks++
+	if a.waitTicks > 0 && a.waitTicks < suspectTicks && a.waitTicks%10 == 0 {
+		// Retransmit our set: the network is lossy and receivers dedup via
+		// the arrived map (and the authn layer's counters when shielded).
+		a.env.Broadcast(&core.Wire{Kind: KindSet, Term: a.round, Cmds: a.mine})
+	}
+	if a.waitTicks >= suspectTicks {
+		// Suspect every peer whose set is missing; deliver without them.
+		for _, p := range a.peers {
+			if p != a.id && !a.arrived[p] {
+				a.suspected[p] = true
+				a.env.Logf("allconcur %s: suspecting %s in round %d", a.id, p, a.round)
+			}
+		}
+	}
+	// Drain rounds whose sets all arrived early (delivery advances at most
+	// one round per event, so ticks also serve as a progress pump).
+	a.maybeDeliver()
+}
+
+// broadcastSet proposes this node's set for the current round.
+func (a *AllConcur) broadcastSet() {
+	n := len(a.queue)
+	if n > maxBatch {
+		n = maxBatch
+	}
+	a.mine = a.queue[:n:n]
+	a.queue = a.queue[n:]
+	a.arrived[a.id] = true
+	a.sets[a.id] = a.mine
+	a.waitTicks = 0
+	a.env.Broadcast(&core.Wire{Kind: KindSet, Term: a.round, Cmds: a.mine})
+}
+
+// maybeDeliver applies the round once every non-suspected peer's set is in
+// (including our own — a deferred node joins before delivering).
+func (a *AllConcur) maybeDeliver() {
+	for _, p := range a.peers {
+		if !a.arrived[p] && !a.suspected[p] {
+			return
+		}
+	}
+	hadWork := false
+	for _, cmds := range a.sets {
+		if len(cmds) > 0 {
+			hadWork = true
+			break
+		}
+	}
+
+	// Deterministic total order: proposer rank, then submission order.
+	proposers := make([]string, 0, len(a.sets))
+	for p := range a.sets {
+		proposers = append(proposers, p)
+	}
+	sort.Slice(proposers, func(i, j int) bool { return a.rank[proposers[i]] < a.rank[proposers[j]] })
+	for _, p := range proposers {
+		for _, cmd := range a.sets[p] {
+			a.applySeq++
+			ver := kvstore.Version{TS: a.applySeq}
+			err := a.env.Store().WriteVersioned(cmd.Key, cmd.Value, ver)
+			if p == a.id {
+				if err != nil {
+					a.env.Reply(cmd, core.Result{Err: err.Error()})
+				} else {
+					a.env.Reply(cmd, core.Result{OK: true, Version: ver})
+				}
+			}
+		}
+	}
+
+	// Advance to the next round, pulling in any early-arrived sets.
+	a.round++
+	a.sets = make(map[string][]core.Command)
+	a.arrived = make(map[string]bool)
+	a.waitTicks = 0
+	if early, ok := a.future[a.round]; ok {
+		delete(a.future, a.round)
+		for p, cmds := range early {
+			a.arrived[p] = true
+			a.sets[p] = cmds
+		}
+	}
+	if hadWork || len(a.queue) > 0 {
+		a.broadcastSet()
+		return
+	}
+	a.deferred = true
+}

@@ -1,0 +1,120 @@
+package allconcur_test
+
+import (
+	"fmt"
+	"testing"
+
+	"recipe/internal/core"
+	"recipe/internal/protocols/allconcur"
+	"recipe/internal/prototest"
+)
+
+func newNet(t *testing.T, n int) *prototest.Net {
+	return prototest.NewNet(t, n, func(i int) core.Protocol { return allconcur.New() })
+}
+
+func TestLeaderlessCoordination(t *testing.T) {
+	net := newNet(t, 3)
+	for _, id := range net.Order() {
+		if !net.Protos[id].Status().IsCoordinator {
+			t.Errorf("%s is not a coordinator; AllConcur is leaderless", id)
+		}
+	}
+}
+
+func TestWriteDeliveredEverywhere(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n2", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.TickAndRun(10, 100_000)
+	rep, ok := net.LastReply("n2")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("write reply = %+v ok=%v", rep, ok)
+	}
+	for _, id := range net.Order() {
+		v, err := net.Envs[id].Store().Get("k")
+		if err != nil || string(v) != "v" {
+			t.Errorf("%s store: %q, %v", id, v, err)
+		}
+	}
+}
+
+func TestTotalOrderAcrossProposers(t *testing.T) {
+	net := newNet(t, 3)
+	// Same key written concurrently from all three nodes: the deterministic
+	// round order must leave every replica with the same final value.
+	for i, id := range net.Order() {
+		net.Submit(id, core.Command{
+			Op: core.OpPut, Key: "k", Value: []byte("from-" + id),
+			ClientID: fmt.Sprintf("c%d", i), Seq: 1,
+		})
+	}
+	net.TickAndRun(10, 100_000)
+	want, err := net.Envs["n1"].Store().Get("k")
+	if err != nil {
+		t.Fatalf("n1: %v", err)
+	}
+	for _, id := range net.Order() {
+		got, err := net.Envs[id].Store().Get("k")
+		if err != nil || string(got) != string(want) {
+			t.Errorf("%s = %q, want %q (err %v)", id, got, want, err)
+		}
+	}
+}
+
+func TestLocalReads(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.TickAndRun(10, 100_000)
+	before := net.Pending()
+	net.Submit("n3", core.Command{Op: core.OpGet, Key: "k", ClientID: "c2", Seq: 1})
+	if net.Pending() != before {
+		t.Errorf("local read enqueued messages")
+	}
+	rep, ok := net.LastReply("n3")
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" {
+		t.Fatalf("read = %+v ok=%v", rep, ok)
+	}
+}
+
+func TestRoundsAdvance(t *testing.T) {
+	net := newNet(t, 3)
+	start := net.Protos["n1"].Status().Term
+	net.TickAndRun(20, 100_000)
+	if got := net.Protos["n1"].Status().Term; got <= start {
+		t.Errorf("round did not advance: %d -> %d", start, got)
+	}
+}
+
+func TestSurvivesNodeFailure(t *testing.T) {
+	net := newNet(t, 3)
+	net.Down["n3"] = true
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	// Delivery requires suspecting n3 first (suspectTicks), then the round
+	// completes without it.
+	net.TickAndRun(80, 100_000)
+	rep, ok := net.LastReply("n1")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("write with failed node = %+v ok=%v", rep, ok)
+	}
+	if v, err := net.Envs["n2"].Store().Get("k"); err != nil || string(v) != "v" {
+		t.Errorf("n2 store: %q, %v", v, err)
+	}
+}
+
+func TestManyWritesAllApplied(t *testing.T) {
+	net := newNet(t, 3)
+	const n = 30
+	for i := 0; i < n; i++ {
+		id := net.Order()[i%3]
+		net.Submit(id, core.Command{
+			Op: core.OpPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v"),
+			ClientID: "c" + id, Seq: uint64(i + 1),
+		})
+	}
+	net.TickAndRun(20, 1_000_000)
+	for _, id := range net.Order() {
+		if got := net.Envs[id].Store().Len(); got != n {
+			t.Errorf("%s has %d keys, want %d", id, got, n)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package chain implements Chain Replication (van Renesse & Schneider,
+// OSDI'04) as an unmodified CFT protocol: nodes form a chain in membership
+// order; writes enter at the head, traverse every node, and commit at the
+// tail; linearizable reads are served locally by the tail.
+//
+// It is the paper's representative of the leader-based / per-key-order
+// category (Table 1) — the head serializes writes, so R-CR's strength is the
+// tail's local reads (the paper's best performer on read-heavy mixes).
+//
+// Coordination: the tail is the advertised coordinator. Clients send both
+// reads (served locally) and writes (forwarded to the head, which starts the
+// chain traversal) to it. Head failure is detected through head heartbeats
+// driven by the trusted tick source; survivors deterministically shorten the
+// chain and bump the epoch.
+package chain
+
+import (
+	"errors"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// Message kinds.
+const (
+	// KindSubmit forwards a client write from the tail to the head.
+	KindSubmit = core.KindProtocolBase + iota
+	// KindWrite propagates a serialized write down the chain.
+	KindWrite
+	// KindBeat is the head's liveness heartbeat.
+	KindBeat
+)
+
+// headTimeoutTicks is how many ticks without a head heartbeat (or chain
+// write) a node waits before reconfiguring the chain.
+const headTimeoutTicks = 20
+
+// beatEveryTicks is the head's heartbeat cadence.
+const beatEveryTicks = 4
+
+// Chain is one chain-replication node.
+type Chain struct {
+	env   core.Env
+	id    string
+	chain []string // current chain order; shrinks on head failure
+	epoch uint64
+
+	seq         uint64 // head-assigned write sequence (continues across epochs)
+	beatElapsed int
+}
+
+var _ core.Protocol = (*Chain)(nil)
+
+// New creates a chain-replication instance.
+func New() *Chain { return &Chain{} }
+
+// Name implements core.Protocol.
+func (c *Chain) Name() string { return "cr" }
+
+// Init implements core.Protocol.
+func (c *Chain) Init(env core.Env) {
+	c.env = env
+	c.id = env.ID()
+	c.chain = env.Peers()
+}
+
+// head and tail of the current chain.
+func (c *Chain) head() string { return c.chain[0] }
+func (c *Chain) tail() string { return c.chain[len(c.chain)-1] }
+
+// successor returns the node after id in the chain ("" for the tail).
+func (c *Chain) successor(id string) string {
+	for i, n := range c.chain {
+		if n == id && i+1 < len(c.chain) {
+			return c.chain[i+1]
+		}
+	}
+	return ""
+}
+
+// Status implements core.Protocol: clients coordinate with the tail.
+func (c *Chain) Status() core.Status {
+	return core.Status{
+		Leader:        c.tail(),
+		IsCoordinator: c.id == c.tail(),
+		Term:          c.epoch,
+	}
+}
+
+// Submit implements core.Protocol (runs at the tail).
+func (c *Chain) Submit(cmd core.Command) {
+	switch cmd.Op {
+	case core.OpGet:
+		// Tail reads are linearizable: a write only commits once the tail
+		// has applied it, so the tail never serves a stale committed value.
+		c.env.Reply(cmd, readLocal(c.env.Store(), cmd.Key))
+	case core.OpPut:
+		if c.id == c.head() {
+			c.startWrite(cmd)
+			return
+		}
+		c.env.Send(c.head(), &core.Wire{Kind: KindSubmit, Term: c.epoch, Cmd: &cmd})
+	default:
+		c.env.Reply(cmd, core.Result{Err: "unknown op"})
+	}
+}
+
+// startWrite serializes one write at the head and begins propagation.
+func (c *Chain) startWrite(cmd core.Command) {
+	c.seq++
+	w := &core.Wire{Kind: KindWrite, Term: c.epoch, Index: c.seq, Cmd: &cmd}
+	c.applyWrite(w)
+}
+
+// applyWrite applies a chain write locally and forwards or completes it.
+func (c *Chain) applyWrite(w *core.Wire) {
+	if w.Index > c.seq {
+		c.seq = w.Index // downstream nodes track the head's sequence
+	}
+	ver := kvstore.Version{TS: w.Index}
+	err := c.env.Store().WriteVersioned(w.Cmd.Key, w.Cmd.Value, ver)
+	if err != nil && !errors.Is(err, kvstore.ErrStaleVersion) {
+		// Versioned write failures other than staleness are store errors;
+		// surface them if we are the tail.
+		if c.id == c.tail() {
+			c.env.Reply(*w.Cmd, core.Result{Err: err.Error()})
+		}
+		return
+	}
+	if next := c.successor(c.id); next != "" {
+		c.env.Send(next, w)
+		return
+	}
+	// Tail: the write is committed; answer the client.
+	c.env.Reply(*w.Cmd, core.Result{OK: true, Version: ver})
+}
+
+// Handle implements core.Protocol.
+func (c *Chain) Handle(from string, m *core.Wire) {
+	if m.Term < c.epoch {
+		return // stale epoch
+	}
+	if m.Term > c.epoch {
+		c.adoptEpoch(m.Term)
+	}
+	switch m.Kind {
+	case KindSubmit:
+		if c.id == c.head() && m.Cmd != nil {
+			c.startWrite(*m.Cmd)
+		}
+	case KindWrite:
+		if m.Cmd != nil {
+			c.beatElapsed = 0 // chain traffic proves the head is alive
+			c.applyWrite(m)
+		}
+	case KindBeat:
+		if from == c.head() {
+			c.beatElapsed = 0
+		}
+	}
+}
+
+// Tick implements core.Protocol: the head emits heartbeats; everyone else
+// watches for head failure and reconfigures.
+func (c *Chain) Tick() {
+	if c.id == c.head() {
+		c.beatElapsed++
+		if c.beatElapsed >= beatEveryTicks {
+			c.beatElapsed = 0
+			for _, n := range c.chain {
+				if n != c.id {
+					c.env.Send(n, &core.Wire{Kind: KindBeat, Term: c.epoch})
+				}
+			}
+		}
+		return
+	}
+	c.beatElapsed++
+	if c.beatElapsed >= headTimeoutTicks && len(c.chain) > 1 {
+		c.env.Logf("cr %s: head %s suspected, reconfiguring", c.id, c.head())
+		c.adoptEpoch(c.epoch + 1)
+	}
+}
+
+// adoptEpoch moves to a newer chain configuration: each epoch increment
+// removes the then-head. All survivors compute the same chain from the same
+// epoch number, so no agreement protocol is needed for this simplified
+// reconfiguration.
+func (c *Chain) adoptEpoch(epoch uint64) {
+	for c.epoch < epoch && len(c.chain) > 1 {
+		c.chain = c.chain[1:]
+		c.epoch++
+	}
+	c.beatElapsed = 0
+}
+
+// readLocal serves an integrity-checked local read.
+func readLocal(store *kvstore.Store, key string) core.Result {
+	v, ver, err := store.GetVersioned(key)
+	if err != nil {
+		return core.Result{Err: err.Error()}
+	}
+	return core.Result{OK: true, Value: v, Version: ver}
+}

@@ -1,0 +1,134 @@
+package chain_test
+
+import (
+	"fmt"
+	"testing"
+
+	"recipe/internal/core"
+	"recipe/internal/protocols/chain"
+	"recipe/internal/prototest"
+)
+
+func newNet(t *testing.T, n int) *prototest.Net {
+	return prototest.NewNet(t, n, func(i int) core.Protocol { return chain.New() })
+}
+
+func TestTailIsCoordinator(t *testing.T) {
+	net := newNet(t, 3)
+	id, ok := net.Coordinator()
+	if !ok || id != "n3" {
+		t.Fatalf("coordinator = %q, want n3 (the tail)", id)
+	}
+	for _, n := range net.Order() {
+		if st := net.Protos[n].Status(); st.Leader != "n3" {
+			t.Errorf("%s advertises %q", n, st.Leader)
+		}
+	}
+}
+
+func TestWriteTraversesChain(t *testing.T) {
+	net := newNet(t, 3)
+	cmd := core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1}
+	net.Submit("n3", cmd) // tail forwards to head, head starts traversal
+	net.Run(1000)
+
+	rep, ok := net.LastReply("n3")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("tail reply = %+v ok=%v", rep, ok)
+	}
+	// Every node along the chain applied the write.
+	for _, id := range net.Order() {
+		v, err := net.Envs[id].Store().Get("k")
+		if err != nil || string(v) != "v" {
+			t.Errorf("%s store: %q, %v", id, v, err)
+		}
+	}
+}
+
+func TestTailLocalRead(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n3", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(1000)
+	before := net.Pending()
+	net.Submit("n3", core.Command{Op: core.OpGet, Key: "k", ClientID: "c", Seq: 2})
+	if net.Pending() != before {
+		t.Errorf("tail read sent %d messages; local reads must send none", net.Pending()-before)
+	}
+	rep, _ := net.LastReply("n3")
+	if !rep.Res.OK || string(rep.Res.Value) != "v" {
+		t.Errorf("read = %+v", rep)
+	}
+}
+
+func TestWritesOrderedPerKey(t *testing.T) {
+	net := newNet(t, 3)
+	for i := 0; i < 10; i++ {
+		net.Submit("n3", core.Command{
+			Op: core.OpPut, Key: "k", Value: []byte(fmt.Sprintf("v%d", i)),
+			ClientID: "c", Seq: uint64(i + 1),
+		})
+		net.Run(1000)
+	}
+	for _, id := range net.Order() {
+		v, err := net.Envs[id].Store().Get("k")
+		if err != nil || string(v) != "v9" {
+			t.Errorf("%s final value = %q, %v; want v9", id, v, err)
+		}
+	}
+}
+
+func TestHeadFailover(t *testing.T) {
+	net := newNet(t, 3)
+	net.Down["n1"] = true // crash the head
+
+	// Ticks accumulate until survivors reconfigure: n2 becomes head.
+	net.TickAndRun(30, 10_000)
+	st := net.Protos["n2"].Status()
+	if st.Term == 0 {
+		t.Fatalf("no reconfiguration after head crash: %+v", st)
+	}
+	// Writes flow through the shortened chain.
+	net.Submit("n3", core.Command{Op: core.OpPut, Key: "k", Value: []byte("after"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n3")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("write after failover = %+v ok=%v", rep, ok)
+	}
+	for _, id := range []string{"n2", "n3"} {
+		if v, err := net.Envs[id].Store().Get("k"); err != nil || string(v) != "after" {
+			t.Errorf("%s: %q, %v", id, v, err)
+		}
+	}
+}
+
+func TestStaleEpochIgnored(t *testing.T) {
+	net := newNet(t, 3)
+	net.TickAndRun(30, 10_000) // no failures: epoch stays 0 with live head
+	// Inject a stale-epoch write directly; Term below current is dropped.
+	net.Protos["n2"].Handle("n1", &core.Wire{
+		Kind: chain.KindWrite, Term: 0, Index: 999,
+		Cmd: &core.Command{Op: core.OpPut, Key: "zz", Value: []byte("x")},
+	})
+	// Epoch 0 is current here, so that one applies; now force reconfig and
+	// verify epoch-0 traffic is then refused.
+	net.Down["n1"] = true
+	net.TickAndRun(30, 10_000)
+	net.Protos["n2"].Handle("n1", &core.Wire{
+		Kind: chain.KindWrite, Term: 0, Index: 1000,
+		Cmd: &core.Command{Op: core.OpPut, Key: "stale", Value: []byte("x")},
+	})
+	net.Run(1000)
+	if _, err := net.Envs["n2"].Store().Get("stale"); err == nil {
+		t.Errorf("stale-epoch write applied after reconfiguration")
+	}
+}
+
+func TestSingleNodeChain(t *testing.T) {
+	net := newNet(t, 1)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(100)
+	rep, ok := net.LastReply("n1")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("single-node write = %+v ok=%v", rep, ok)
+	}
+}

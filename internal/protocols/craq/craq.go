@@ -1,0 +1,230 @@
+// Package craq implements CRAQ — Chain Replication with Apportioned Queries
+// (Terrace & Freedman, ATC'09) — as an unmodified CFT protocol. The paper's
+// taxonomy (Table 1) lists CRAQ next to CR in the leader-based/per-key-order
+// family; this package is the library's demonstration that the Recipe
+// transformation extends beyond the four evaluated protocols.
+//
+// CRAQ improves CR's read scalability: *every* replica serves reads, not
+// just the tail. Each replica tracks, per key, the newest committed
+// ("clean") version. Writes traverse the chain head→tail as in CR and are
+// applied tentatively (marking the key dirty); when the tail commits, a
+// clean acknowledgement travels tail→head, marking the version clean at
+// every replica. A read of a clean key is served locally; a read of a dirty
+// key asks the tail for the committed version, preserving strong
+// consistency.
+//
+// This implementation keeps a static chain (no head failover — package chain
+// demonstrates reconfiguration; combining both is mechanical).
+package craq
+
+import (
+	"errors"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// Message kinds.
+const (
+	// KindSubmit forwards a client write to the head.
+	KindSubmit = core.KindProtocolBase + iota
+	// KindWrite propagates a serialized write down the chain.
+	KindWrite
+	// KindCleanAck propagates the commit point back up the chain.
+	KindCleanAck
+	// KindVersionReq asks the tail for a key's committed value.
+	KindVersionReq
+	// KindVersionResp answers a KindVersionReq.
+	KindVersionResp
+)
+
+// readTimeoutTicks bounds how long a dirty read waits for the tail.
+const readTimeoutTicks = 100
+
+// CRAQ is one replica.
+type CRAQ struct {
+	env   core.Env
+	id    string
+	chain []string
+
+	seq   uint64            // head-assigned write sequence
+	clean map[string]uint64 // key -> newest committed (clean) version
+
+	nextRead     uint64
+	pendingReads map[uint64]*pendingRead
+}
+
+type pendingRead struct {
+	cmd core.Command
+	age int
+}
+
+var _ core.Protocol = (*CRAQ)(nil)
+
+// New creates a CRAQ instance.
+func New() *CRAQ {
+	return &CRAQ{
+		clean:        make(map[string]uint64),
+		pendingReads: make(map[uint64]*pendingRead),
+	}
+}
+
+// Name implements core.Protocol.
+func (c *CRAQ) Name() string { return "craq" }
+
+// Init implements core.Protocol.
+func (c *CRAQ) Init(env core.Env) {
+	c.env = env
+	c.id = env.ID()
+	c.chain = env.Peers()
+}
+
+func (c *CRAQ) head() string { return c.chain[0] }
+func (c *CRAQ) tail() string { return c.chain[len(c.chain)-1] }
+
+func (c *CRAQ) neighbor(offset int) string {
+	for i, n := range c.chain {
+		if n == c.id {
+			j := i + offset
+			if j >= 0 && j < len(c.chain) {
+				return c.chain[j]
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+// Status implements core.Protocol: CRAQ's point is that every replica
+// coordinates reads (and forwards writes), so every node is a coordinator.
+func (c *CRAQ) Status() core.Status {
+	return core.Status{Leader: c.tail(), IsCoordinator: true}
+}
+
+// Submit implements core.Protocol.
+func (c *CRAQ) Submit(cmd core.Command) {
+	switch cmd.Op {
+	case core.OpGet:
+		c.serveRead(cmd)
+	case core.OpPut:
+		if c.id == c.head() {
+			c.startWrite(cmd)
+			return
+		}
+		c.env.Send(c.head(), &core.Wire{Kind: KindSubmit, Cmd: &cmd})
+	default:
+		c.env.Reply(cmd, core.Result{Err: "unknown op"})
+	}
+}
+
+// serveRead answers a read locally when the key is clean, otherwise
+// apportions it to the tail for the committed version.
+func (c *CRAQ) serveRead(cmd core.Command) {
+	v, ver, err := c.env.Store().GetVersioned(cmd.Key)
+	switch {
+	case err != nil && errors.Is(err, kvstore.ErrNotFound):
+		c.env.Reply(cmd, core.Result{Err: err.Error()})
+		return
+	case err != nil:
+		c.env.Reply(cmd, core.Result{Err: err.Error()})
+		return
+	}
+	if c.id == c.tail() || ver.TS <= c.clean[cmd.Key] {
+		// Clean (committed) version: serve locally. This is CRAQ's read
+		// scaling — any replica answers without network traffic.
+		c.env.Reply(cmd, core.Result{OK: true, Value: v, Version: ver})
+		return
+	}
+	// Dirty: ask the tail for the committed version.
+	c.nextRead++
+	c.pendingReads[c.nextRead] = &pendingRead{cmd: cmd}
+	c.env.Send(c.tail(), &core.Wire{Kind: KindVersionReq, Index: c.nextRead, Key: cmd.Key})
+}
+
+// startWrite serializes one write at the head and begins propagation.
+func (c *CRAQ) startWrite(cmd core.Command) {
+	c.seq++
+	c.applyWrite(&core.Wire{Kind: KindWrite, Index: c.seq, Cmd: &cmd})
+}
+
+// applyWrite tentatively applies a chain write (dirty) and forwards it; the
+// tail commits, replies to the client, and starts the clean ack.
+func (c *CRAQ) applyWrite(w *core.Wire) {
+	if w.Index > c.seq {
+		c.seq = w.Index
+	}
+	ver := kvstore.Version{TS: w.Index}
+	if err := c.env.Store().WriteVersioned(w.Cmd.Key, w.Cmd.Value, ver); err != nil &&
+		!errors.Is(err, kvstore.ErrStaleVersion) {
+		if c.id == c.tail() {
+			c.env.Reply(*w.Cmd, core.Result{Err: err.Error()})
+		}
+		return
+	}
+	if next := c.neighbor(+1); next != "" {
+		c.env.Send(next, w)
+		return
+	}
+	// Tail: committed. Mark clean, answer the client, start the clean ack.
+	c.markClean(w.Cmd.Key, w.Index)
+	c.env.Reply(*w.Cmd, core.Result{OK: true, Version: ver})
+	if prev := c.neighbor(-1); prev != "" {
+		c.env.Send(prev, &core.Wire{Kind: KindCleanAck, Index: w.Index, Key: w.Cmd.Key})
+	}
+}
+
+func (c *CRAQ) markClean(key string, version uint64) {
+	if c.clean[key] < version {
+		c.clean[key] = version
+	}
+}
+
+// Handle implements core.Protocol.
+func (c *CRAQ) Handle(from string, m *core.Wire) {
+	switch m.Kind {
+	case KindSubmit:
+		if c.id == c.head() && m.Cmd != nil {
+			c.startWrite(*m.Cmd)
+		}
+	case KindWrite:
+		if m.Cmd != nil {
+			c.applyWrite(m)
+		}
+	case KindCleanAck:
+		c.markClean(m.Key, m.Index)
+		if prev := c.neighbor(-1); prev != "" {
+			c.env.Send(prev, &core.Wire{Kind: KindCleanAck, Index: m.Index, Key: m.Key})
+		}
+	case KindVersionReq:
+		w := &core.Wire{Kind: KindVersionResp, Index: m.Index, Key: m.Key}
+		if v, ver, err := c.env.Store().GetVersioned(m.Key); err == nil {
+			w.Value, w.TS, w.OK = v, ver, true
+		}
+		c.env.Send(from, w)
+	case KindVersionResp:
+		pr, ok := c.pendingReads[m.Index]
+		if !ok {
+			return
+		}
+		delete(c.pendingReads, m.Index)
+		if !m.OK {
+			c.env.Reply(pr.cmd, core.Result{Err: "kvstore: key not found"})
+			return
+		}
+		// The tail's version is committed; remember it as clean.
+		c.markClean(m.Key, m.TS.TS)
+		c.env.Reply(pr.cmd, core.Result{OK: true, Value: m.Value, Version: m.TS})
+	}
+}
+
+// Tick implements core.Protocol: age out apportioned reads whose tail query
+// was lost; the client retries.
+func (c *CRAQ) Tick() {
+	for id, pr := range c.pendingReads {
+		pr.age++
+		if pr.age >= readTimeoutTicks {
+			delete(c.pendingReads, id)
+			c.env.Reply(pr.cmd, core.Result{Err: "craq: tail query timeout"})
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package craq_test
+
+import (
+	"fmt"
+	"testing"
+
+	"recipe/internal/core"
+	"recipe/internal/protocols/craq"
+	"recipe/internal/prototest"
+)
+
+func newNet(t *testing.T, n int) *prototest.Net {
+	return prototest.NewNet(t, n, func(i int) core.Protocol { return craq.New() })
+}
+
+func TestEveryReplicaCoordinates(t *testing.T) {
+	net := newNet(t, 3)
+	for _, id := range net.Order() {
+		if !net.Protos[id].Status().IsCoordinator {
+			t.Errorf("%s not a coordinator; CRAQ apportions reads to all", id)
+		}
+	}
+}
+
+func TestWriteTraversesAndCommits(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n2", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n3") // the tail replies
+	if !ok || !rep.Res.OK {
+		t.Fatalf("tail reply = %+v ok=%v", rep, ok)
+	}
+	for _, id := range net.Order() {
+		if v, err := net.Envs[id].Store().Get("k"); err != nil || string(v) != "v" {
+			t.Errorf("%s: %q, %v", id, v, err)
+		}
+	}
+}
+
+func TestCleanReadServedLocallyAtEveryNode(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000) // write + clean acks settle
+
+	for i, id := range net.Order() {
+		before := net.Pending()
+		net.Submit(id, core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: uint64(i + 2)})
+		if net.Pending() != before {
+			t.Errorf("%s forwarded a clean read (CRAQ must serve locally)", id)
+		}
+		rep, ok := net.LastReply(id)
+		if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" {
+			t.Errorf("%s read = %+v", id, rep)
+		}
+	}
+}
+
+func TestDirtyReadApportionedToTail(t *testing.T) {
+	net := newNet(t, 3)
+	// Deliver the write to n1 and n2 but hold the chain before the tail, so
+	// the key is dirty at n2 (applied, not committed).
+	net.Drop = func(s prototest.Sent) bool {
+		return s.To == "n3" && s.W.Kind == craq.KindWrite
+	}
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("dirty"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	net.Drop = nil
+
+	// n2 holds a dirty version; its read must consult the tail, which does
+	// not have the value yet — the read reports not-found (committed truth).
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n2")
+	if !ok {
+		t.Fatalf("no reply for dirty read")
+	}
+	if rep.Res.OK {
+		t.Fatalf("dirty read returned uncommitted value: %+v", rep)
+	}
+}
+
+func TestDirtyReadReturnsCommittedVersion(t *testing.T) {
+	net := newNet(t, 3)
+	// Commit v1 everywhere.
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v1"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	// v2 reaches n1/n2 but not the tail: dirty at n2.
+	net.Drop = func(s prototest.Sent) bool {
+		return s.To == "n3" && s.W.Kind == craq.KindWrite
+	}
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v2"), ClientID: "c", Seq: 2})
+	net.Run(10_000)
+	net.Drop = nil
+
+	// n2's local version is v2 (dirty); the committed answer is v1.
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n2")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("dirty read = %+v ok=%v", rep, ok)
+	}
+	if string(rep.Res.Value) != "v1" {
+		t.Errorf("dirty read returned %q, want committed v1", rep.Res.Value)
+	}
+}
+
+func TestCleanAckPropagatesUpChain(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	// After the clean ack settles, even the head serves the key locally.
+	before := net.Pending()
+	net.Submit("n1", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	if net.Pending() != before {
+		t.Errorf("head forwarded a read after clean ack")
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "ghost", ClientID: "r", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n2")
+	if !ok || rep.Res.OK {
+		t.Fatalf("missing key = %+v ok=%v", rep, ok)
+	}
+}
+
+func TestManyKeysConverge(t *testing.T) {
+	net := newNet(t, 3)
+	for i := 0; i < 20; i++ {
+		net.Submit(net.Order()[i%3], core.Command{
+			Op: core.OpPut, Key: fmt.Sprintf("k%d", i), Value: []byte("v"),
+			ClientID: "c", Seq: uint64(i + 1),
+		})
+		net.Run(10_000)
+	}
+	for _, id := range net.Order() {
+		if got := net.Envs[id].Store().Len(); got != 20 {
+			t.Errorf("%s holds %d keys, want 20", id, got)
+		}
+	}
+}

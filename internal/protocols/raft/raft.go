@@ -1,0 +1,603 @@
+// Package raft implements the Raft consensus protocol (Ongaro & Ousterhout,
+// ATC'14) as an unmodified CFT protocol against the core.Protocol interface:
+// leader election with randomized timeouts, log replication with the
+// AppendEntries consistency check, and commitment by majority match.
+//
+// It is the paper's representative of the leader-based / total-order
+// category (Table 1). Reads are linearizable: they are forwarded to the
+// leader, which serves them locally — safe in the transformed setting
+// because the trusted lease guarantees at most one acting leader and the
+// leader's store holds every committed write.
+package raft
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// Message kinds.
+const (
+	// KindAppendEntries replicates log entries (and acts as heartbeat).
+	KindAppendEntries = core.KindProtocolBase + iota
+	// KindAppendResp acknowledges an AppendEntries.
+	KindAppendResp
+	// KindRequestVote solicits a vote for a new term.
+	KindRequestVote
+	// KindVoteResp answers a vote request.
+	KindVoteResp
+)
+
+// role is a Raft server role.
+type role int
+
+const (
+	follower role = iota + 1
+	candidate
+	leader
+)
+
+// Tuning in ticks (the Recipe layer drives Tick from the trusted clock).
+const (
+	heartbeatTicks  = 2
+	electionMin     = 10
+	electionJitter  = 10
+	maxEntriesPerAE = 64
+)
+
+// Log-compaction tuning: once the in-memory log exceeds compactThreshold
+// entries, the applied prefix is discarded down to compactKeep retained
+// entries. The retained margin comfortably covers the consistency-check
+// backtracking window (followers hint with their commit index, which is
+// never more than a few batches behind their applied index).
+const (
+	compactThreshold = 16384
+	compactKeep      = 4096
+)
+
+// entry is one log slot.
+type entry struct {
+	term uint64
+	cmd  core.Command
+}
+
+// Raft is one Raft server. All methods run on the node event loop.
+type Raft struct {
+	env   core.Env
+	id    string
+	peers []string
+	rng   *rand.Rand
+
+	role     role
+	term     uint64
+	votedFor string
+	leader   string
+
+	// The log starts after a compacted prefix: log[i] has index base+i+1.
+	// baseTerm is the term of the entry at index base (0 = unknown, after a
+	// snapshot install — the compacted prefix is committed state and is
+	// trusted without a term check).
+	log         []entry
+	base        uint64
+	baseTerm    uint64
+	commitIndex uint64
+	lastApplied uint64
+
+	nextIndex  map[string]uint64
+	matchIndex map[string]uint64
+	votes      map[string]bool
+	// inflight marks followers with an unacknowledged AppendEntries. New
+	// submissions do not trigger extra rounds while one is outstanding —
+	// entries accumulate and ship in the next batch (the paper's batching
+	// optimization; self-clocking pipeline per follower).
+	inflight map[string]bool
+
+	electionElapsed  int
+	electionTimeout  int
+	heartbeatElapsed int
+
+	pending map[uint64]core.Command // log index -> client command awaiting commit
+}
+
+var (
+	_ core.Protocol    = (*Raft)(nil)
+	_ core.Snapshotter = (*Raft)(nil)
+)
+
+// New creates a Raft instance. Seed randomizes election timeouts; give each
+// node a distinct seed.
+func New(seed int64) *Raft {
+	return &Raft{
+		rng:      rand.New(rand.NewSource(seed)),
+		pending:  make(map[uint64]core.Command),
+		inflight: make(map[string]bool),
+	}
+}
+
+// Name implements core.Protocol.
+func (r *Raft) Name() string { return "raft" }
+
+// Init implements core.Protocol.
+func (r *Raft) Init(env core.Env) {
+	r.env = env
+	r.id = env.ID()
+	r.peers = env.Peers()
+	r.role = follower
+	r.resetElectionTimer()
+}
+
+// Status implements core.Protocol.
+func (r *Raft) Status() core.Status {
+	return core.Status{
+		Leader:        r.leader,
+		IsCoordinator: r.role == leader,
+		Term:          r.term,
+	}
+}
+
+// Submit implements core.Protocol. Only called when this node coordinates.
+func (r *Raft) Submit(cmd core.Command) {
+	if r.role != leader {
+		r.env.Reply(cmd, core.Result{Err: "not leader"})
+		return
+	}
+	if cmd.Op == core.OpGet {
+		// Linearizable local read at the leader: the trusted lease ensures
+		// leadership, and every committed write is applied locally.
+		r.env.Reply(cmd, readLocal(r.env.Store(), cmd.Key))
+		return
+	}
+	r.log = append(r.log, entry{term: r.term, cmd: cmd})
+	idx := r.lastIndex()
+	r.pending[idx] = cmd
+	r.matchIndex[r.id] = idx
+	for _, p := range r.peers {
+		if p != r.id && !r.inflight[p] {
+			r.sendAppend(p)
+		}
+	}
+}
+
+// Handle implements core.Protocol.
+func (r *Raft) Handle(from string, m *core.Wire) {
+	switch m.Kind {
+	case KindAppendEntries:
+		r.onAppendEntries(from, m)
+	case KindAppendResp:
+		r.onAppendResp(from, m)
+	case KindRequestVote:
+		r.onRequestVote(from, m)
+	case KindVoteResp:
+		r.onVoteResp(from, m)
+	}
+}
+
+// Tick implements core.Protocol.
+func (r *Raft) Tick() {
+	if r.role == leader {
+		r.heartbeatElapsed++
+		if r.heartbeatElapsed >= heartbeatTicks {
+			r.heartbeatElapsed = 0
+			r.replicateAll()
+		}
+		return
+	}
+	r.electionElapsed++
+	if r.electionElapsed < r.electionTimeout {
+		return
+	}
+	// The trusted lease is the failure detector: while verified leader
+	// traffic keeps the lease alive, no election starts even if ticks
+	// accumulated (e.g. under scheduling hiccups).
+	if r.leader != "" && r.env.LeaderAlive() {
+		r.electionElapsed = 0
+		return
+	}
+	r.startElection()
+}
+
+func (r *Raft) resetElectionTimer() {
+	r.electionElapsed = 0
+	r.electionTimeout = electionMin + r.rng.Intn(electionJitter)
+}
+
+func (r *Raft) startElection() {
+	r.role = candidate
+	r.term++
+	r.votedFor = r.id
+	r.leader = ""
+	r.votes = map[string]bool{r.id: true}
+	r.resetElectionTimer()
+	lastIdx, lastTerm := r.lastLog()
+	r.env.Broadcast(&core.Wire{
+		Kind:  KindRequestVote,
+		Term:  r.term,
+		Index: lastIdx,
+		TS:    kvstore.Version{TS: lastTerm},
+	})
+	r.maybeWinElection()
+}
+
+// stepDown moves to follower in a (possibly newer) term.
+func (r *Raft) stepDown(term uint64) {
+	if term > r.term {
+		r.term = term
+		r.votedFor = ""
+	}
+	if r.role != follower {
+		r.role = follower
+	}
+	r.resetElectionTimer()
+}
+
+// lastIndex is the index of the newest log entry (or the compaction base if
+// the log is empty).
+func (r *Raft) lastIndex() uint64 { return r.base + uint64(len(r.log)) }
+
+// termAt returns the term of the entry at idx, if known. Indices at or
+// below base are compacted; base itself reports baseTerm.
+func (r *Raft) termAt(idx uint64) (uint64, bool) {
+	switch {
+	case idx == r.base:
+		return r.baseTerm, true
+	case idx > r.base && idx <= r.lastIndex():
+		return r.log[idx-r.base-1].term, true
+	default:
+		return 0, false
+	}
+}
+
+// entryAt returns the entry at idx, which must be in (base, lastIndex].
+func (r *Raft) entryAt(idx uint64) entry { return r.log[idx-r.base-1] }
+
+func (r *Raft) lastLog() (idx, term uint64) {
+	idx = r.lastIndex()
+	term, _ = r.termAt(idx)
+	return idx, term
+}
+
+func (r *Raft) onRequestVote(from string, m *core.Wire) {
+	if m.Term > r.term {
+		r.stepDown(m.Term)
+	}
+	grant := false
+	if m.Term == r.term && (r.votedFor == "" || r.votedFor == from) {
+		lastIdx, lastTerm := r.lastLog()
+		candTerm := m.TS.TS
+		upToDate := candTerm > lastTerm || (candTerm == lastTerm && m.Index >= lastIdx)
+		if upToDate {
+			grant = true
+			r.votedFor = from
+			r.resetElectionTimer()
+		}
+	}
+	r.env.Send(from, &core.Wire{Kind: KindVoteResp, Term: r.term, OK: grant})
+}
+
+func (r *Raft) onVoteResp(from string, m *core.Wire) {
+	if m.Term > r.term {
+		r.stepDown(m.Term)
+		return
+	}
+	if r.role != candidate || m.Term != r.term || !m.OK {
+		return
+	}
+	r.votes[from] = true
+	r.maybeWinElection()
+}
+
+func (r *Raft) maybeWinElection() {
+	if r.role != candidate || len(r.votes) < r.quorum() {
+		return
+	}
+	r.role = leader
+	r.leader = r.id
+	r.heartbeatElapsed = 0
+	r.nextIndex = make(map[string]uint64, len(r.peers))
+	r.matchIndex = make(map[string]uint64, len(r.peers))
+	r.inflight = make(map[string]bool, len(r.peers))
+	lastIdx, _ := r.lastLog()
+	for _, p := range r.peers {
+		r.nextIndex[p] = lastIdx + 1
+		r.matchIndex[p] = 0
+	}
+	r.matchIndex[r.id] = lastIdx
+	r.env.Logf("raft %s: leader of term %d", r.id, r.term)
+	r.replicateAll()
+}
+
+func (r *Raft) quorum() int { return len(r.peers)/2 + 1 }
+
+// replicateAll sends AppendEntries to every follower from its nextIndex.
+func (r *Raft) replicateAll() {
+	for _, p := range r.peers {
+		if p == r.id {
+			continue
+		}
+		r.sendAppend(p)
+	}
+}
+
+func (r *Raft) sendAppend(to string) {
+	next := r.nextIndex[to]
+	if next <= r.base {
+		// Entries at or below base are compacted. A follower that far behind
+		// recovers through Recipe's state transfer (SyncFrom installs a
+		// snapshot); meanwhile probe from just past the base.
+		next = r.base + 1
+		r.nextIndex[to] = next
+	}
+	prevIdx := next - 1
+	prevTerm, _ := r.termAt(prevIdx)
+	var cmds []core.Command
+	var terms []uint64
+	for i := next; i <= r.lastIndex() && len(cmds) < maxEntriesPerAE; i++ {
+		e := r.entryAt(i)
+		cmds = append(cmds, e.cmd)
+		terms = append(terms, e.term)
+	}
+	r.inflight[to] = true
+	r.env.Send(to, &core.Wire{
+		Kind:   KindAppendEntries,
+		Term:   r.term,
+		Index:  prevIdx,
+		TS:     kvstore.Version{TS: prevTerm},
+		Commit: r.commitIndex,
+		Cmds:   cmds,
+		Value:  encodeTerms(terms),
+	})
+}
+
+func (r *Raft) onAppendEntries(from string, m *core.Wire) {
+	if m.Term < r.term {
+		r.env.Send(from, &core.Wire{Kind: KindAppendResp, Term: r.term, OK: false})
+		return
+	}
+	r.stepDown(m.Term)
+	r.leader = from
+	r.resetElectionTimer()
+
+	prevIdx := m.Index
+	prevTerm := m.TS.TS
+	consistent := prevIdx <= r.base // the compacted prefix is committed state
+	if !consistent {
+		if t, ok := r.termAt(prevIdx); ok && t == prevTerm {
+			consistent = true
+		}
+	}
+	if !consistent {
+		// Log inconsistency: ask the leader to back up.
+		r.env.Send(from, &core.Wire{
+			Kind: KindAppendResp, Term: r.term, OK: false,
+			Index: r.commitIndex, // safe hint: everything up to commit matches
+		})
+		return
+	}
+
+	terms := decodeTerms(m.Value)
+	for i, cmd := range m.Cmds {
+		if i >= len(terms) {
+			break
+		}
+		idx := prevIdx + uint64(i) + 1
+		if idx <= r.base {
+			continue // covered by the compacted (committed) prefix
+		}
+		if idx <= r.lastIndex() {
+			if r.entryAt(idx).term == terms[i] {
+				continue // already have it
+			}
+			r.log = r.log[:idx-r.base-1] // conflict: truncate suffix
+		}
+		r.log = append(r.log, entry{term: terms[i], cmd: cmd})
+	}
+
+	if m.Commit > r.commitIndex {
+		last, _ := r.lastLog()
+		r.commitIndex = min(m.Commit, last)
+		r.applyCommitted()
+	}
+	matchIdx := prevIdx + uint64(len(m.Cmds))
+	r.env.Send(from, &core.Wire{Kind: KindAppendResp, Term: r.term, OK: true, Index: matchIdx})
+}
+
+func (r *Raft) onAppendResp(from string, m *core.Wire) {
+	if m.Term > r.term {
+		r.stepDown(m.Term)
+		r.leader = ""
+		return
+	}
+	if r.role != leader || m.Term != r.term {
+		return
+	}
+	r.inflight[from] = false
+	if !m.OK {
+		// Back up nextIndex and retry (never below the compacted base).
+		switch {
+		case r.nextIndex[from] > m.Index+1:
+			r.nextIndex[from] = m.Index + 1
+		case r.nextIndex[from] > 1:
+			r.nextIndex[from]--
+		}
+		if r.nextIndex[from] <= r.base {
+			r.nextIndex[from] = r.base + 1
+		}
+		r.sendAppend(from)
+		return
+	}
+	if m.Index > r.matchIndex[from] {
+		r.matchIndex[from] = m.Index
+	}
+	r.nextIndex[from] = m.Index + 1
+	r.advanceCommit()
+	// Keep streaming if the follower is behind.
+	if r.nextIndex[from] <= r.lastIndex() {
+		r.sendAppend(from)
+	}
+}
+
+// advanceCommit commits the highest index replicated on a quorum with an
+// entry from the current term (Raft's commitment rule).
+func (r *Raft) advanceCommit() {
+	for idx := r.lastIndex(); idx > r.commitIndex && idx > r.base; idx-- {
+		if r.entryAt(idx).term != r.term {
+			break // only commit current-term entries by counting
+		}
+		count := 0
+		for _, p := range r.peers {
+			if r.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count >= r.quorum() {
+			r.commitIndex = idx
+			r.applyCommitted()
+			// The commit index piggybacks on the next AppendEntries (batch
+			// or heartbeat); followers apply shortly after. Clients are
+			// answered from the leader's commit, so this costs no client
+			// latency.
+			break
+		}
+	}
+}
+
+// applyCommitted applies newly committed entries to the KV store and
+// completes pending client commands.
+func (r *Raft) applyCommitted() {
+	for r.lastApplied < r.commitIndex {
+		r.lastApplied++
+		e := r.entryAt(r.lastApplied)
+		res := applyCommand(r.env.Store(), e.cmd, r.lastApplied)
+		if cmd, ok := r.pending[r.lastApplied]; ok {
+			delete(r.pending, r.lastApplied)
+			r.env.Reply(cmd, res)
+		}
+	}
+	r.maybeCompact()
+}
+
+// maybeCompact discards the applied log prefix once the log grows past
+// compactThreshold, keeping compactKeep entries of margin. The leader only
+// compacts below what every follower has acknowledged, so it never needs a
+// compacted entry for a live follower; a dead follower recovers through
+// state transfer plus snapshot install.
+func (r *Raft) maybeCompact() {
+	if len(r.log) < compactThreshold {
+		return
+	}
+	limit := r.lastApplied
+	if r.role == leader {
+		for _, p := range r.peers {
+			if p == r.id {
+				continue
+			}
+			m := r.matchIndex[p]
+			if m == 0 {
+				return // a follower has acked nothing yet; keep everything
+			}
+			if m < limit {
+				limit = m
+			}
+		}
+	}
+	if limit <= r.base+compactKeep {
+		return
+	}
+	newBase := limit - compactKeep
+	bt, ok := r.termAt(newBase)
+	if !ok {
+		return
+	}
+	r.log = append([]entry(nil), r.log[newBase-r.base:]...)
+	r.base = newBase
+	r.baseTerm = bt
+}
+
+// LogLen reports the number of in-memory log entries (observability).
+func (r *Raft) LogLen() int { return len(r.log) }
+
+// Base reports the compaction base index (observability).
+func (r *Raft) Base() uint64 { return r.base }
+
+// SnapshotIndex implements core.Snapshotter.
+func (r *Raft) SnapshotIndex() uint64 { return r.lastApplied }
+
+// InstallSnapshot implements core.Snapshotter: the KV state transferred by
+// Recipe's recovery covers everything up to index, so the log fast-forwards
+// past it. Pending client commands at or below index were answered (or will
+// be retried and deduplicated).
+func (r *Raft) InstallSnapshot(index uint64) {
+	if index <= r.base {
+		return
+	}
+	if index <= r.lastIndex() {
+		bt, _ := r.termAt(index)
+		r.log = append([]entry(nil), r.log[index-r.base:]...)
+		r.baseTerm = bt
+	} else {
+		r.log = nil
+		r.baseTerm = 0 // unknown; the compacted prefix is trusted
+	}
+	r.base = index
+	if r.commitIndex < index {
+		r.commitIndex = index
+	}
+	if r.lastApplied < index {
+		r.lastApplied = index
+	}
+	for idx := range r.pending {
+		if idx <= index {
+			delete(r.pending, idx)
+		}
+	}
+}
+
+// applyCommand executes one committed command against the store. The log
+// index doubles as the version timestamp, preserving total order.
+func applyCommand(store *kvstore.Store, cmd core.Command, idx uint64) core.Result {
+	switch cmd.Op {
+	case core.OpPut:
+		if err := store.WriteVersioned(cmd.Key, cmd.Value, kvstore.Version{TS: idx}); err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Version: kvstore.Version{TS: idx}}
+	case core.OpGet:
+		return readLocal(store, cmd.Key)
+	default:
+		return core.Result{Err: "unknown op"}
+	}
+}
+
+// readLocal serves a read from the local (integrity-checked) store.
+func readLocal(store *kvstore.Store, key string) core.Result {
+	v, ver, err := store.GetVersioned(key)
+	if err != nil {
+		return core.Result{Err: err.Error()}
+	}
+	return core.Result{OK: true, Value: v, Version: ver}
+}
+
+func encodeTerms(terms []uint64) []byte {
+	buf := make([]byte, 0, len(terms)*8)
+	for _, t := range terms {
+		buf = binary.BigEndian.AppendUint64(buf, t)
+	}
+	return buf
+}
+
+func decodeTerms(data []byte) []uint64 {
+	out := make([]uint64, 0, len(data)/8)
+	for i := 0; i+8 <= len(data); i += 8 {
+		out = append(out, binary.BigEndian.Uint64(data[i:i+8]))
+	}
+	return out
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+// Package prototest provides a deterministic, synchronous harness for unit
+// testing protocol implementations against the core.Protocol interface
+// without nodes, transports, or goroutines: messages are queued and
+// delivered one at a time under test control, so every interleaving a test
+// constructs is reproducible.
+package prototest
+
+import (
+	"fmt"
+	"testing"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+	"recipe/internal/tee"
+)
+
+// Sent is one recorded message.
+type Sent struct {
+	From, To string
+	W        *core.Wire
+}
+
+// Reply is one recorded client completion.
+type Reply struct {
+	Cmd core.Command
+	Res core.Result
+}
+
+// Env is a fake core.Env for one protocol instance.
+type Env struct {
+	net     *Net
+	id      string
+	store   *kvstore.Store
+	Replies []Reply
+	// Alive overrides LeaderAlive (default: true while the leader's last
+	// message was recent, which tests usually don't need — set explicitly).
+	Alive bool
+}
+
+var _ core.Env = (*Env)(nil)
+
+// ID implements core.Env.
+func (e *Env) ID() string { return e.id }
+
+// Peers implements core.Env.
+func (e *Env) Peers() []string { return append([]string(nil), e.net.order...) }
+
+// Send implements core.Env by queueing onto the shared network.
+func (e *Env) Send(to string, m *core.Wire) {
+	cp := *m
+	cp.From = e.id
+	e.net.queue = append(e.net.queue, Sent{From: e.id, To: to, W: &cp})
+}
+
+// Broadcast implements core.Env.
+func (e *Env) Broadcast(m *core.Wire) {
+	for _, p := range e.net.order {
+		if p != e.id {
+			e.Send(p, m)
+		}
+	}
+}
+
+// Store implements core.Env.
+func (e *Env) Store() *kvstore.Store { return e.store }
+
+// Reply implements core.Env by recording the completion.
+func (e *Env) Reply(cmd core.Command, r core.Result) {
+	e.Replies = append(e.Replies, Reply{Cmd: cmd, Res: r})
+}
+
+// LeaderAlive implements core.Env.
+func (e *Env) LeaderAlive() bool { return e.Alive }
+
+// Logf implements core.Env.
+func (e *Env) Logf(format string, args ...any) {}
+
+// Net wires N protocol instances through a controllable message queue.
+type Net struct {
+	t      *testing.T
+	order  []string
+	Protos map[string]core.Protocol
+	Envs   map[string]*Env
+	queue  []Sent
+	// Drop, when set, filters deliveries (return true to drop).
+	Drop func(s Sent) bool
+	// Down marks crashed instances; messages to them vanish.
+	Down map[string]bool
+}
+
+// NewNet creates n instances via the factory and Inits them.
+func NewNet(t *testing.T, n int, factory func(i int) core.Protocol) *Net {
+	t.Helper()
+	net := &Net{
+		t:      t,
+		Protos: make(map[string]core.Protocol, n),
+		Envs:   make(map[string]*Env, n),
+		Down:   make(map[string]bool),
+	}
+	for i := 0; i < n; i++ {
+		net.order = append(net.order, fmt.Sprintf("n%d", i+1))
+	}
+	plat, err := tee.NewPlatform("prototest", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("prototest platform: %v", err)
+	}
+	for i, id := range net.order {
+		store, err := kvstore.Open(plat.NewEnclave([]byte("pt")), kvstore.Config{Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("prototest store: %v", err)
+		}
+		env := &Env{net: net, id: id, store: store}
+		p := factory(i)
+		net.Envs[id] = env
+		net.Protos[id] = p
+		p.Init(env)
+	}
+	return net
+}
+
+// Order returns the instance ids.
+func (n *Net) Order() []string { return append([]string(nil), n.order...) }
+
+// Pending returns the number of queued messages.
+func (n *Net) Pending() int { return len(n.queue) }
+
+// Step delivers the oldest queued message; returns false when idle.
+func (n *Net) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	s := n.queue[0]
+	n.queue = n.queue[1:]
+	if n.Down[s.To] || (n.Drop != nil && n.Drop(s)) {
+		return true
+	}
+	p, ok := n.Protos[s.To]
+	if !ok {
+		return true // unknown destination: lossy network semantics
+	}
+	p.Handle(s.From, s.W)
+	return true
+}
+
+// Run delivers queued messages until idle or the step budget is exhausted.
+func (n *Net) Run(maxSteps int) {
+	for i := 0; i < maxSteps; i++ {
+		if !n.Step() {
+			return
+		}
+	}
+	n.t.Fatalf("prototest: message flood: >%d deliveries without quiescing", maxSteps)
+}
+
+// TickAll ticks every live instance once.
+func (n *Net) TickAll() {
+	for _, id := range n.order {
+		if !n.Down[id] {
+			n.Protos[id].Tick()
+		}
+	}
+}
+
+// TickAndRun alternates ticks and full deliveries for the given rounds.
+func (n *Net) TickAndRun(rounds, maxSteps int) {
+	for i := 0; i < rounds; i++ {
+		n.TickAll()
+		n.Run(maxSteps)
+	}
+}
+
+// Coordinator returns the first live instance reporting IsCoordinator.
+func (n *Net) Coordinator() (string, bool) {
+	for _, id := range n.order {
+		if n.Down[id] {
+			continue
+		}
+		if n.Protos[id].Status().IsCoordinator {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Submit hands a command to an instance.
+func (n *Net) Submit(id string, cmd core.Command) {
+	n.Protos[id].Submit(cmd)
+}
+
+// LastReply returns the most recent reply recorded at an instance.
+func (n *Net) LastReply(id string) (Reply, bool) {
+	rs := n.Envs[id].Replies
+	if len(rs) == 0 {
+		return Reply{}, false
+	}
+	return rs[len(rs)-1], true
+}

@@ -1,0 +1,43 @@
+package tee
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the trusted-lease machinery so tests can drive
+// lease expiry deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now returns the current wall time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake clock's current instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

@@ -1,0 +1,126 @@
+package tee
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Common errors returned by the TEE substrate.
+var (
+	// ErrEnclaveCrashed is returned by every operation on a crashed enclave.
+	ErrEnclaveCrashed = errors.New("tee: enclave crashed")
+	// ErrBadQuote is returned when a quote fails verification.
+	ErrBadQuote = errors.New("tee: quote verification failed")
+	// ErrUnknownMeasurement is returned when a quote carries a measurement
+	// that the verifier does not trust.
+	ErrUnknownMeasurement = errors.New("tee: unknown enclave measurement")
+)
+
+// Measurement identifies the code and initial state loaded into an enclave,
+// mirroring SGX's MRENCLAVE.
+type Measurement [32]byte
+
+// String renders the measurement as a short hex prefix for logs.
+func (m Measurement) String() string { return fmt.Sprintf("%x", m[:6]) }
+
+// MeasureCode computes the measurement of an enclave code blob.
+func MeasureCode(code []byte) Measurement {
+	return Measurement(sha256.Sum256(code))
+}
+
+// Platform simulates the trusted hardware of one machine: it owns the root
+// sealing secret and the quote-signing identity that a real CPU would hold in
+// fuses. Enclaves on the same platform share it, which is what makes local
+// attestation and EGETKEY-style key derivation possible.
+type Platform struct {
+	name string
+
+	sealRoot  []byte             // root of the key-derivation tree (fused secret)
+	quoteSK   ed25519.PrivateKey // quoting-enclave signing key
+	quotePK   ed25519.PublicKey
+	costs     CostModel
+	randomSrc io.Reader
+
+	mu       sync.Mutex
+	enclaves map[uint64]*Enclave
+	nextID   uint64
+}
+
+// PlatformOption configures a Platform.
+type PlatformOption func(*Platform)
+
+// WithCostModel installs a non-default cost model (for example, zero costs in
+// unit tests or the "native" model for Fig 6a baselines).
+func WithCostModel(c CostModel) PlatformOption {
+	return func(p *Platform) { p.costs = c }
+}
+
+// WithRandom overrides the platform's randomness source (tests only).
+func WithRandom(r io.Reader) PlatformOption {
+	return func(p *Platform) { p.randomSrc = r }
+}
+
+// NewPlatform creates a simulated trusted platform.
+func NewPlatform(name string, opts ...PlatformOption) (*Platform, error) {
+	p := &Platform{
+		name:      name,
+		costs:     DefaultCostModel(),
+		randomSrc: rand.Reader,
+		enclaves:  make(map[uint64]*Enclave),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.sealRoot = make([]byte, 32)
+	if _, err := io.ReadFull(p.randomSrc, p.sealRoot); err != nil {
+		return nil, fmt.Errorf("platform %s: seal root: %w", name, err)
+	}
+	pk, sk, err := ed25519.GenerateKey(p.randomSrc)
+	if err != nil {
+		return nil, fmt.Errorf("platform %s: quote key: %w", name, err)
+	}
+	p.quoteSK = sk
+	p.quotePK = pk
+	return p, nil
+}
+
+// Name returns the platform's identifier.
+func (p *Platform) Name() string { return p.name }
+
+// QuotePublicKey returns the platform's quote-verification key. In a real
+// deployment this corresponds to the attestation collateral the hardware
+// vendor publishes; the CAS obtains it out of band.
+func (p *Platform) QuotePublicKey() ed25519.PublicKey { return p.quotePK }
+
+// Costs exposes the platform cost model so layers above (network stack, KV
+// store) can charge enclave-related costs consistently.
+func (p *Platform) Costs() CostModel { return p.costs }
+
+// deriveKey implements the EGETKEY-style derivation: a key bound to the
+// platform's fused secret, the enclave measurement, and a caller label.
+func (p *Platform) deriveKey(m Measurement, label string) []byte {
+	mac := hmac.New(sha256.New, p.sealRoot)
+	mac.Write(m[:])
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+// signQuote signs an attestation report with the platform quoting key.
+func (p *Platform) signQuote(report []byte) []byte {
+	return ed25519.Sign(p.quoteSK, report)
+}
+
+// VerifyQuote checks that a quote was produced by this platform's quoting
+// enclave. A CAS trusting multiple platforms keeps one verifier per platform.
+func VerifyQuote(pk ed25519.PublicKey, q Quote) error {
+	if !ed25519.Verify(pk, q.Report.encode(), q.Signature) {
+		return ErrBadQuote
+	}
+	return nil
+}

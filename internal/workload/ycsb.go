@@ -1,0 +1,88 @@
+// Package workload generates YCSB-like key-value workloads: a Zipfian key
+// popularity distribution over a fixed key space with configurable
+// read/write mix and value size — the configuration of the paper's
+// evaluation (≈10k distinct keys, Zipfian, various R/W ratios and value
+// sizes).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config parameterises a workload generator.
+type Config struct {
+	// Keys is the number of distinct keys (default 10_000, as in the paper).
+	Keys int
+	// ReadRatio is the fraction of reads in [0,1] (e.g. 0.9 for "90% R").
+	ReadRatio float64
+	// ValueSize is the written value size in bytes (default 256).
+	ValueSize int
+	// ZipfS is the Zipf skew parameter (>1; default 1.1).
+	ZipfS float64
+	// Seed drives the deterministic op stream.
+	Seed int64
+}
+
+// Op is one generated operation.
+type Op struct {
+	Read  bool
+	Key   string
+	Value []byte // nil for reads; shared buffer, do not retain across Next calls
+}
+
+// Generator produces an endless operation stream. Not safe for concurrent
+// use; create one per driver goroutine (with distinct seeds).
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	value []byte
+	keys  []string
+}
+
+// New creates a generator, applying defaults for zero fields.
+func New(cfg Config) *Generator {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 10_000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 256
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1)),
+		keys: make([]string, cfg.Keys),
+	}
+	g.value = make([]byte, cfg.ValueSize)
+	for i := range g.value {
+		g.value[i] = byte('a' + i%26)
+	}
+	for i := range g.keys {
+		g.keys[i] = fmt.Sprintf("user%06d", i)
+	}
+	return g
+}
+
+// Next returns the next operation. The value buffer is reused across calls.
+func (g *Generator) Next() Op {
+	key := g.keys[g.zipf.Uint64()]
+	if g.rng.Float64() < g.cfg.ReadRatio {
+		return Op{Read: true, Key: key}
+	}
+	return Op{Key: key, Value: g.value}
+}
+
+// Key returns the i-th key of the key space (preloading).
+func (g *Generator) Key(i int) string { return g.keys[i%len(g.keys)] }
+
+// Keys returns the key-space size.
+func (g *Generator) Keys() int { return g.cfg.Keys }
+
+// Value returns the shared write buffer (preloading).
+func (g *Generator) Value() []byte { return g.value }

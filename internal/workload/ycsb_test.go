@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadRatioRespected(t *testing.T) {
+	for _, ratio := range []float64{0, 0.5, 0.9, 1.0} {
+		g := New(Config{Keys: 100, ReadRatio: ratio, Seed: 1})
+		reads := 0
+		const n = 10_000
+		for i := 0; i < n; i++ {
+			if g.Next().Read {
+				reads++
+			}
+		}
+		got := float64(reads) / n
+		if got < ratio-0.03 || got > ratio+0.03 {
+			t.Errorf("ratio %.2f: measured %.3f", ratio, got)
+		}
+	}
+}
+
+func TestValuesOnlyOnWrites(t *testing.T) {
+	g := New(Config{Keys: 10, ReadRatio: 0.5, ValueSize: 128, Seed: 2})
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Read && op.Value != nil {
+			t.Fatalf("read carries a value")
+		}
+		if !op.Read && len(op.Value) != 128 {
+			t.Fatalf("write value size = %d, want 128", len(op.Value))
+		}
+	}
+}
+
+func TestKeysWithinKeySpace(t *testing.T) {
+	g := New(Config{Keys: 50, Seed: 3})
+	valid := make(map[string]bool, 50)
+	for i := 0; i < 50; i++ {
+		valid[g.Key(i)] = true
+	}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if !valid[op.Key] {
+			t.Fatalf("key %q outside key space", op.Key)
+		}
+		if !strings.HasPrefix(op.Key, "user") {
+			t.Fatalf("unexpected key format %q", op.Key)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := New(Config{Keys: 1000, ReadRatio: 1, Seed: 4})
+	counts := make(map[string]int)
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// The hottest key of a Zipfian distribution takes far more than the
+	// uniform share (n/1000 = 50).
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if hottest < 500 {
+		t.Errorf("hottest key hit %d times; distribution not skewed", hottest)
+	}
+	if len(counts) < 50 {
+		t.Errorf("only %d distinct keys drawn; too concentrated", len(counts))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := New(Config{Keys: 100, ReadRatio: 0.5, Seed: 9})
+	b := New(Config{Keys: 100, ReadRatio: 0.5, Seed: 9})
+	for i := 0; i < 1000; i++ {
+		opA, opB := a.Next(), b.Next()
+		if opA.Read != opB.Read || opA.Key != opB.Key {
+			t.Fatalf("divergence at op %d", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{})
+	if g.Keys() != 10_000 {
+		t.Errorf("default keys = %d, want 10000 (paper's configuration)", g.Keys())
+	}
+	if len(g.Value()) != 256 {
+		t.Errorf("default value size = %d, want 256", len(g.Value()))
+	}
+}

@@ -1,0 +1,138 @@
+package recipe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func startAPI(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	opts.NoTEECost = true
+	opts.TickEvery = time.Millisecond
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return c
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	for _, proto := range []Protocol{Raft, ChainReplication, CRAQ, ABD, AllConcur, PBFT, Damysus} {
+		t.Run(string(proto), func(t *testing.T) {
+			c := startAPI(t, Options{Protocol: proto, Seed: 5})
+			cli, err := c.NewClient()
+			if err != nil {
+				t.Fatalf("NewClient: %v", err)
+			}
+			defer func() { _ = cli.Close() }()
+			if err := cli.Put("k", []byte("v")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			v, err := cli.Get("k")
+			if err != nil || !bytes.Equal(v, []byte("v")) {
+				t.Fatalf("Get = %q, %v", v, err)
+			}
+		})
+	}
+}
+
+func TestPublicAPINotFound(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Seed: 6})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	if _, err := cli.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPublicAPIClusterLifecycle(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Seed: 7})
+	if got := len(c.Nodes()); got != 3 {
+		t.Errorf("Nodes = %d, want 3", got)
+	}
+	leader, err := c.Coordinator()
+	if err != nil {
+		t.Fatalf("Coordinator: %v", err)
+	}
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	for i := 0; i < 10; i++ {
+		if err := cli.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+
+	c.Crash(leader)
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		t.Fatalf("WaitReady after crash: %v", err)
+	}
+	if err := c.Recover(leader, 10*time.Second); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	v, err := cli.Get("k0")
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("Get after recovery = %q, %v", v, err)
+	}
+}
+
+func TestPublicAPISecurityStats(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Seed: 8})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	for i := 0; i < 5; i++ {
+		if err := cli.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if st := c.SecurityStats(); st.Delivered == 0 {
+		t.Errorf("no delivered messages counted: %+v", st)
+	}
+}
+
+func TestPublicAPIConfidential(t *testing.T) {
+	c := startAPI(t, Options{Protocol: ChainReplication, Confidential: true, Seed: 9})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	secret := []byte("medical-record")
+	if err := cli.Put("patient", secret); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := cli.Get("patient")
+	if err != nil || !bytes.Equal(v, secret) {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestPublicAPINativeMode(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Native: true, Seed: 10})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	if err := cli.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if st := c.SecurityStats(); st.Delivered != 0 {
+		t.Errorf("native mode counted shielded deliveries: %+v", st)
+	}
+}

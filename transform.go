@@ -1,0 +1,256 @@
+package recipe
+
+import (
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+)
+
+// This file is the public face of the paper's headline claim: *any* CFT
+// protocol can be transformed for Byzantine settings without modifying its
+// core logic. Implement CustomProtocol against Env, hand the constructor to
+// NewCustomCluster, and the protocol runs inside the full Recipe TCB —
+// attestation, shielded channels, non-equivocation counters, trusted-lease
+// failure detection, client table, and recovery — exactly like the four
+// built-in protocols.
+
+// Version orders writes to a key (Lamport timestamp + writer tiebreak).
+type Version struct {
+	TS     uint64
+	Writer uint64
+}
+
+// Less orders versions.
+func (v Version) Less(o Version) bool {
+	return kvstore.Version(v).Less(kvstore.Version(o))
+}
+
+// Op identifies a client operation.
+type Op byte
+
+// Client operations.
+const (
+	// OpPut writes a key.
+	OpPut = Op(core.OpPut)
+	// OpGet reads a key.
+	OpGet = Op(core.OpGet)
+)
+
+// Command is a client request as delivered to a protocol.
+type Command struct {
+	Op       Op
+	Key      string
+	Value    []byte
+	ClientID string
+	Seq      uint64
+
+	inner core.Command
+}
+
+// CommandResult is a protocol's answer to a command.
+type CommandResult struct {
+	OK      bool
+	Err     string
+	Value   []byte
+	Version Version
+}
+
+// Message is a protocol message exchanged between replicas. Kind dispatches
+// handling; the remaining fields are free for the protocol to use. Messages
+// cross the untrusted network through Recipe's authentication and
+// non-equivocation layers — protocols never see tampered, replayed, or
+// forged messages.
+type Message struct {
+	Kind   uint16
+	From   string
+	Term   uint64
+	Index  uint64
+	Commit uint64
+	TS     Version
+	OK     bool
+	Key    string
+	Value  []byte
+	Cmds   []Command
+}
+
+// Store is the protocol's view of the node-local partitioned KV store:
+// metadata lives in the enclave, values in host memory with integrity
+// verification on every read.
+type Store interface {
+	// Write stores value under key unconditionally.
+	Write(key string, value []byte) error
+	// WriteVersioned stores value unless a newer version is present.
+	WriteVersioned(key string, value []byte, v Version) error
+	// Get reads and integrity-verifies the value for key.
+	Get(key string) ([]byte, error)
+	// GetVersioned additionally returns the stored version.
+	GetVersioned(key string) ([]byte, Version, error)
+	// VersionOf returns the stored version without reading the value.
+	VersionOf(key string) (Version, error)
+}
+
+// Env is everything a custom protocol may touch; the Recipe node implements
+// it. All methods are called from the node's single event loop.
+type Env interface {
+	// ID returns this replica's identity.
+	ID() string
+	// Peers returns the full membership, including this replica.
+	Peers() []string
+	// Send transmits a shielded message to one peer (unreliable network).
+	Send(to string, m *Message)
+	// Broadcast transmits a shielded message to every other peer.
+	Broadcast(m *Message)
+	// Store is the node-local data layer.
+	Store() Store
+	// Reply completes a client command; Recipe records it in the client
+	// table and ships it to the client.
+	Reply(cmd Command, r CommandResult)
+	// LeaderAlive is the trusted-lease failure detector for the leader
+	// advertised in Status.
+	LeaderAlive() bool
+}
+
+// Status reports how clients should route to this protocol.
+type Status struct {
+	// Leader is the coordinating replica, if known (empty for leaderless).
+	Leader string
+	// IsCoordinator reports whether this replica accepts commands now.
+	IsCoordinator bool
+	// Term is the protocol's view/term/epoch.
+	Term uint64
+}
+
+// CustomProtocol is an unmodified CFT replication protocol. All methods are
+// invoked from the node event loop, so implementations need no locking.
+type CustomProtocol interface {
+	// Name identifies the protocol in logs.
+	Name() string
+	// Init wires the protocol to its environment, before any other call.
+	Init(env Env)
+	// Submit hands this replica a client command to coordinate.
+	Submit(cmd Command)
+	// Handle processes a verified message from a peer.
+	Handle(from string, m *Message)
+	// Tick advances timers; driven by Recipe's trusted tick source.
+	Tick()
+	// Status reports coordination state for request routing.
+	Status() Status
+}
+
+// NewCustomCluster builds an attested cluster running a user-supplied CFT
+// protocol under the Recipe transformation. The factory is called once per
+// replica (index 0..n-1).
+func NewCustomCluster(opts Options, factory func(replica int) CustomProtocol) (*Cluster, error) {
+	return newClusterWithFactory(opts, factory)
+}
+
+// --- adapters between the public surface and internal/core ---
+
+type protoAdapter struct {
+	inner CustomProtocol
+}
+
+var _ core.Protocol = (*protoAdapter)(nil)
+
+func (a *protoAdapter) Name() string      { return a.inner.Name() }
+func (a *protoAdapter) Init(env core.Env) { a.inner.Init(&envAdapter{inner: env}) }
+func (a *protoAdapter) Submit(c core.Command) {
+	a.inner.Submit(publicCommand(c))
+}
+func (a *protoAdapter) Handle(from string, m *core.Wire) {
+	a.inner.Handle(from, publicMessage(m))
+}
+func (a *protoAdapter) Tick() { a.inner.Tick() }
+func (a *protoAdapter) Status() core.Status {
+	s := a.inner.Status()
+	return core.Status{Leader: s.Leader, IsCoordinator: s.IsCoordinator, Term: s.Term}
+}
+
+type envAdapter struct {
+	inner core.Env
+}
+
+var _ Env = (*envAdapter)(nil)
+
+func (e *envAdapter) ID() string        { return e.inner.ID() }
+func (e *envAdapter) Peers() []string   { return e.inner.Peers() }
+func (e *envAdapter) LeaderAlive() bool { return e.inner.LeaderAlive() }
+func (e *envAdapter) Store() Store      { return storeAdapter{inner: e.inner.Store()} }
+
+func (e *envAdapter) Send(to string, m *Message) {
+	e.inner.Send(to, internalMessage(m))
+}
+
+func (e *envAdapter) Broadcast(m *Message) {
+	e.inner.Broadcast(internalMessage(m))
+}
+
+func (e *envAdapter) Reply(cmd Command, r CommandResult) {
+	e.inner.Reply(cmd.inner, core.Result{
+		OK: r.OK, Err: r.Err, Value: r.Value,
+		Version: kvstore.Version(r.Version),
+	})
+}
+
+type storeAdapter struct {
+	inner *kvstore.Store
+}
+
+var _ Store = storeAdapter{}
+
+func (s storeAdapter) Write(key string, value []byte) error {
+	return s.inner.Write(key, value)
+}
+
+func (s storeAdapter) WriteVersioned(key string, value []byte, v Version) error {
+	return s.inner.WriteVersioned(key, value, kvstore.Version(v))
+}
+
+func (s storeAdapter) Get(key string) ([]byte, error) {
+	return s.inner.Get(key)
+}
+
+func (s storeAdapter) GetVersioned(key string) ([]byte, Version, error) {
+	val, v, err := s.inner.GetVersioned(key)
+	return val, Version(v), err
+}
+
+func (s storeAdapter) VersionOf(key string) (Version, error) {
+	v, err := s.inner.VersionOf(key)
+	return Version(v), err
+}
+
+func publicCommand(c core.Command) Command {
+	return Command{
+		Op: Op(c.Op), Key: c.Key, Value: c.Value,
+		ClientID: c.ClientID, Seq: c.Seq, inner: c,
+	}
+}
+
+func publicMessage(m *core.Wire) *Message {
+	out := &Message{
+		Kind: m.Kind, From: m.From, Term: m.Term, Index: m.Index,
+		Commit: m.Commit, TS: Version(m.TS), OK: m.OK, Key: m.Key, Value: m.Value,
+	}
+	if m.Cmd != nil {
+		out.Cmds = append(out.Cmds, publicCommand(*m.Cmd))
+	}
+	for _, c := range m.Cmds {
+		out.Cmds = append(out.Cmds, publicCommand(c))
+	}
+	return out
+}
+
+func internalMessage(m *Message) *core.Wire {
+	w := &core.Wire{
+		Kind: m.Kind, From: m.From, Term: m.Term, Index: m.Index,
+		Commit: m.Commit, TS: kvstore.Version(m.TS), OK: m.OK, Key: m.Key, Value: m.Value,
+	}
+	for _, c := range m.Cmds {
+		w.Cmds = append(w.Cmds, c.inner)
+	}
+	return w
+}
+
+// MessageKindBase is the first message kind available to custom protocols
+// (lower kinds are reserved by the Recipe layer).
+const MessageKindBase = core.KindProtocolBase
