@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"recipe/internal/attest"
+	"recipe/internal/authn"
 	"recipe/internal/harness"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
@@ -258,6 +259,89 @@ func BenchmarkDamysusComparison(b *testing.B) {
 				workload.Config{ReadRatio: 0.50, ValueSize: 256})
 		})
 	}
+}
+
+// BenchmarkShieldedBatching measures the PR-1 tentpole: end-to-end shielded
+// throughput with the batched message path (coalesced envelopes + batched
+// AppendEntries + per-peer packet queues) against the per-message baseline
+// (MaxBatch=1: one envelope, one MAC, one packet per message). Write-heavy
+// so the replication path, not local reads, dominates.
+func BenchmarkShieldedBatching(b *testing.B) {
+	for _, proto := range []harness.ProtocolKind{harness.Raft, harness.Chain} {
+		for _, mode := range []struct {
+			name     string
+			maxBatch int
+		}{
+			{"per-message", 1},
+			{"batched", 0}, // node default (64)
+		} {
+			b.Run(fmt.Sprintf("R-%s/%s", proto, mode.name), func(b *testing.B) {
+				opts := evalOptions(proto, true, false)
+				opts.MaxBatch = mode.maxBatch
+				benchThroughput(b, opts, workload.Config{ReadRatio: 0.50, ValueSize: 256})
+			})
+		}
+	}
+}
+
+// BenchmarkShielderBatchAmortization isolates the authn layer: shielding and
+// verifying 64 messages one envelope at a time versus one ShieldBatch
+// envelope. The batched path pays one MAC, one enclave transition, and one
+// header per 64 messages.
+func BenchmarkShielderBatchAmortization(b *testing.B) {
+	const batchN = 64
+	payload := make([]byte, 256)
+	setup := func(b *testing.B) (*authn.Shielder, *authn.Shielder) {
+		b.Helper()
+		plat, err := tee.NewPlatform("bench", tee.WithCostModel(tee.DefaultCostModel()))
+		if err != nil {
+			b.Fatalf("platform: %v", err)
+		}
+		s := authn.NewShielder(plat.NewEnclave([]byte("s")))
+		v := authn.NewShielder(plat.NewEnclave([]byte("v")))
+		key := make([]byte, 32)
+		for _, sh := range []*authn.Shielder{s, v} {
+			if err := sh.OpenChannel("bench", key); err != nil {
+				b.Fatalf("OpenChannel: %v", err)
+			}
+		}
+		return s, v
+	}
+	b.Run("per-message", func(b *testing.B) {
+		s, v := setup(b)
+		b.SetBytes(batchN * int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batchN; j++ {
+				env, err := s.Shield("bench", 7, payload)
+				if err != nil {
+					b.Fatalf("Shield: %v", err)
+				}
+				if _, _, err := v.Verify(env); err != nil {
+					b.Fatalf("Verify: %v", err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		s, v := setup(b)
+		items := make([]authn.BatchItem, batchN)
+		for i := range items {
+			items[i] = authn.BatchItem{Kind: 7, Payload: payload}
+		}
+		b.SetBytes(batchN * int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			env, err := s.ShieldBatch("bench", items)
+			if err != nil {
+				b.Fatalf("ShieldBatch: %v", err)
+			}
+			_, got, err := v.Verify(env)
+			if err != nil || len(got) != batchN {
+				b.Fatalf("Verify: %d msgs, %v", len(got), err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationAuthnLayer isolates the cost of the authentication and

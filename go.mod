@@ -1,0 +1,3 @@
+module recipe
+
+go 1.24

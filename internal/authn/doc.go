@@ -16,4 +16,14 @@
 // In confidential mode payloads are encrypted with AES-GCM under the channel
 // key (header bound as additional data), which is how Recipe offers
 // confidentiality beyond the BFT model (Fig 5).
+//
+// # Batching
+//
+// ShieldBatch seals N messages for one channel under a single envelope
+// occupying the counter range [Seq, Seq+N-1]: one MAC, one enclave
+// transition, and (in confidential mode) one AEAD seal amortize over the
+// whole batch. Verify transparently explodes a batch envelope into its N
+// logical messages and runs each through the ordinary counter logic, so
+// replay protection, gap buffering, and loose channels behave exactly as
+// they do for N individual envelopes.
 package authn

@@ -9,12 +9,19 @@ import (
 // Envelope is the wire format of a shielded message: the sequence tuple
 // (View, Channel, Seq), a protocol message kind, the (possibly encrypted)
 // payload, and the MAC covering all of it.
+//
+// A batch envelope (Batch set) carries N messages under one header and one
+// MAC: the payload is a batch body of N (kind, payload) items occupying the
+// counter range [Seq, Seq+N-1]. Verify explodes it into N logical envelopes,
+// so batching is invisible above this layer except in cost: one MAC and one
+// enclave transition amortize over the whole flush.
 type Envelope struct {
 	View    uint64
 	Channel string // cq: the communication-channel identifier
-	Seq     uint64 // cnt_cq: per-channel monotonically increasing counter
+	Seq     uint64 // cnt_cq: per-channel counter (first of the range if Batch)
 	Kind    uint16 // protocol message type, opaque to this layer
 	Enc     bool   // payload is AES-GCM encrypted (confidential mode)
+	Batch   bool   // payload is a batch body spanning counters Seq..Seq+N-1
 	Payload []byte
 	MAC     []byte
 }
@@ -29,18 +36,32 @@ var (
 
 const maxFieldLen = 64 << 20 // 64 MiB cap on any single field
 
+// flag bits of the envelope's flags byte.
+const (
+	flagEnc   byte = 1 << iota // payload is AES-GCM encrypted
+	flagBatch                  // payload is a batch body (counter range)
+)
+
+func (e *Envelope) flags() byte {
+	var b byte
+	if e.Enc {
+		b |= flagEnc
+	}
+	if e.Batch {
+		b |= flagBatch
+	}
+	return b
+}
+
 // header serialises the authenticated header fields. The MAC covers exactly
-// header||payload, so any header tampering invalidates the MAC.
+// header||payload, so any header tampering — including flipping the batch
+// flag — invalidates the MAC.
 func (e *Envelope) header() []byte {
 	buf := make([]byte, 0, 8+8+2+1+2+len(e.Channel))
 	buf = binary.BigEndian.AppendUint64(buf, e.View)
 	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
 	buf = binary.BigEndian.AppendUint16(buf, e.Kind)
-	if e.Enc {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
+	buf = append(buf, e.flags())
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Channel)))
 	buf = append(buf, e.Channel...)
 	return buf
@@ -65,7 +86,9 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 	e.View = r.uint64()
 	e.Seq = r.uint64()
 	e.Kind = r.uint16()
-	e.Enc = r.byte() == 1
+	fl := r.byte()
+	e.Enc = fl&flagEnc != 0
+	e.Batch = fl&flagBatch != 0
 	e.Channel = string(r.bytesN(int(r.uint16())))
 	e.Payload = r.bytesN(int(r.uint32()))
 	e.MAC = r.bytesN(int(r.uint32()))
@@ -76,6 +99,59 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("decode envelope: %d trailing bytes", len(data)-r.pos)
 	}
 	return e, nil
+}
+
+// BatchItem is one message inside a batch envelope.
+type BatchItem struct {
+	Kind    uint16
+	Payload []byte
+}
+
+// minBatchItemLen is the smallest encoded BatchItem: kind (2) + length (4).
+const minBatchItemLen = 6
+
+// encodeBatchBody serialises N items: [count][kind][len][payload]...
+func encodeBatchBody(items []BatchItem) []byte {
+	size := 4
+	for i := range items {
+		size += minBatchItemLen + len(items[i].Payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(items)))
+	for i := range items {
+		buf = binary.BigEndian.AppendUint16(buf, items[i].Kind)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(items[i].Payload)))
+		buf = append(buf, items[i].Payload...)
+	}
+	return buf
+}
+
+// decodeBatchBody parses a batch body. The count's preallocation is bounded
+// by what the buffer could actually hold, so a corrupt count cannot force a
+// large allocation.
+func decodeBatchBody(data []byte) ([]BatchItem, error) {
+	r := reader{buf: data}
+	n := int(r.uint32())
+	if n <= 0 {
+		return nil, fmt.Errorf("decode batch: bad item count %d", n)
+	}
+	if n > (len(data)-4)/minBatchItemLen {
+		return nil, fmt.Errorf("decode batch: %w", ErrTruncated)
+	}
+	items := make([]BatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it BatchItem
+		it.Kind = r.uint16()
+		it.Payload = r.bytesN(int(r.uint32()))
+		items = append(items, it)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("decode batch: %w", r.err)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("decode batch: %d trailing bytes", len(data)-r.pos)
+	}
+	return items, nil
 }
 
 // reader is a bounds-checked sequential decoder. After any failure all

@@ -18,4 +18,21 @@
 // the transformation wraps the environment the protocol talks to, not the
 // protocol. Running the same Protocol with shielding disabled yields the
 // "native" baseline of Fig 6a.
+//
+// # Batching
+//
+// The per-message authentication boundary is the transformation's headline
+// cost, so the hot path amortizes it at three levels, all within one event
+// loop iteration:
+//
+//   - the loop drains the submit queue and transport inbox in bounded
+//     batches (maxLoopDrain) instead of one item per select;
+//   - messages to the same peer produced during an iteration coalesce and
+//     flush as batched envelopes — up to NodeConfig.MaxBatch messages
+//     (default 64) under one MAC and one enclave transition;
+//   - protocols implementing BatchFlusher defer their own fan-out until the
+//     end of the iteration (e.g. Raft ships one AppendEntries per burst).
+//
+// Setting NodeConfig.MaxBatch to 1 restores the per-message baseline:
+// every message is shielded and transmitted individually.
 package core

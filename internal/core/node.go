@@ -45,6 +45,12 @@ type NodeConfig struct {
 	// Shielded selects the Recipe transformation; false runs the protocol
 	// natively (no authn layer) for the Fig 6a baseline.
 	Shielded bool
+	// MaxBatch caps how many messages one shielded envelope carries when the
+	// event loop flushes a peer's coalescing buffer (default 64). Setting it
+	// to 1 disables coalescing entirely — every message is shielded, MAC'd,
+	// and transmitted individually — which is the per-message baseline the
+	// batching benchmarks compare against.
+	MaxBatch int
 	// Confidential additionally encrypts message payloads and stored values.
 	Confidential bool
 	// StoreConfig configures the local KV store.
@@ -80,6 +86,19 @@ type Node struct {
 
 	incMu sync.Mutex
 	inc   map[string]uint64 // peer incarnations (absent = 1)
+
+	// Outbound coalescing: messages to a peer produced within one event-loop
+	// iteration accumulate here and flush together as batched envelopes.
+	bt         netstack.BatchSender // transport's send queue, if it has one
+	outMu      sync.Mutex
+	outPending map[string][]authn.BatchItem
+	outOrder   []string // peers in first-queued order
+
+	// status is the protocol status as of the last event-loop iteration.
+	// Protocols are single-threaded, so external readers (routing, tests,
+	// WaitForCoordinator polls) get this published snapshot instead of
+	// racing the loop with a direct proto.Status() call.
+	status atomic.Pointer[Status]
 
 	// leaseTicks tracks the lease duration in wall time.
 	leaseDur time.Duration
@@ -130,7 +149,9 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 		clientTable: make(map[string]clientRecord),
 		leaseDur:    time.Duration(cfg.LeaderLeaseTicks) * cfg.TickEvery,
 		inc:         make(map[string]uint64, len(cfg.Secrets.Incarnations)),
+		outPending:  make(map[string][]authn.BatchItem),
 	}
+	n.bt, _ = tr.(netstack.BatchSender)
 	for id, inc := range cfg.Secrets.Incarnations {
 		n.inc[id] = inc
 	}
@@ -201,8 +222,16 @@ func (n *Node) Stats() *Stats { return &n.stats }
 func (n *Node) Start() {
 	n.startOnce.Do(func() {
 		n.proto.Init((*nodeEnv)(n))
+		n.publishStatus()
 		go n.run()
 	})
+}
+
+// publishStatus snapshots the protocol status for external readers. Called
+// from the event loop (and once at Start, before the loop exists).
+func (n *Node) publishStatus() {
+	st := n.proto.Status()
+	n.status.Store(&st)
 }
 
 // Stop terminates the event loop and waits for it to exit. The transport is
@@ -238,8 +267,18 @@ func (n *Node) Submit(cmd Command) error {
 	}
 }
 
-// Status exposes the protocol status.
-func (n *Node) Status() Status { return n.proto.Status() }
+// Status exposes the protocol status (the snapshot published at the end of
+// the last event-loop iteration; safe from any goroutine).
+func (n *Node) Status() Status {
+	if st := n.status.Load(); st != nil {
+		return *st
+	}
+	return Status{}
+}
+
+// maxLoopDrain bounds how many queued packets and commands one event-loop
+// iteration consumes before flushing, so a flood cannot starve ticks.
+const maxLoopDrain = 256
 
 func (n *Node) run() {
 	defer close(n.doneCh)
@@ -254,30 +293,79 @@ func (n *Node) run() {
 				return
 			}
 			n.handlePacket(pkt)
+			n.drainBatch(maxLoopDrain - 1)
 		case cmd := <-n.submitCh:
 			n.dispatchCommand(cmd)
+			n.drainBatch(maxLoopDrain - 1)
 		case <-ticker.C:
 			n.proto.Tick()
 			if n.cfg.Shielded {
 				n.flushFutures()
 			}
 		}
+		n.flushBatch()
 	}
 }
 
-// handlePacket verifies (if shielded) and dispatches one transport packet.
+// drainBatch opportunistically consumes up to budget more queued packets and
+// commands without blocking, so a burst is dispatched within one iteration
+// and every message it produces coalesces into shared envelopes and packets.
+func (n *Node) drainBatch(budget int) {
+	for ; budget > 0; budget-- {
+		select {
+		case pkt, ok := <-n.tr.Inbox():
+			if !ok {
+				return
+			}
+			n.handlePacket(pkt)
+		case cmd := <-n.submitCh:
+			n.dispatchCommand(cmd)
+		default:
+			return
+		}
+	}
+}
+
+// flushBatch ends one event-loop iteration: batching protocols emit their
+// deferred messages, then the per-peer coalescing buffers are shielded and
+// handed to the transport.
+func (n *Node) flushBatch() {
+	if bf, ok := n.proto.(BatchFlusher); ok {
+		bf.FlushBatch()
+	}
+	n.publishStatus()
+	n.flushOutbound()
+}
+
+// handlePacket splits coalesced transport packets and processes each frame.
 func (n *Node) handlePacket(pkt netstack.Packet) {
+	frames, multi, err := netstack.SplitFrames(pkt.Data)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return
+	}
+	if !multi {
+		n.handleFrame(pkt.From, pkt.Data)
+		return
+	}
+	for _, f := range frames {
+		n.handleFrame(pkt.From, f)
+	}
+}
+
+// handleFrame verifies (if shielded) and dispatches one wire frame.
+func (n *Node) handleFrame(from string, data []byte) {
 	if !n.cfg.Shielded {
-		w, err := DecodeWire(pkt.Data)
+		w, err := DecodeWire(data)
 		if err != nil {
 			n.stats.DropMalformed.Add(1)
 			return
 		}
-		n.dispatchWire(pkt.From, w)
+		n.dispatchWire(from, w)
 		return
 	}
 
-	env, err := authn.DecodeEnvelope(pkt.Data)
+	env, err := authn.DecodeEnvelope(data)
 	if err != nil {
 		n.stats.DropMalformed.Add(1)
 		return
@@ -471,22 +559,104 @@ func (n *Node) AnnounceJoin() {
 		}
 		n.sendWire(p, &Wire{Kind: KindJoin, Key: n.id, Index: n.incOf(n.id)})
 	}
+	// Called from outside the event loop: flush immediately rather than
+	// waiting for the loop's next iteration.
+	n.flushOutbound()
+}
+
+// defaultMaxBatch is the shield-batch cap when NodeConfig.MaxBatch is unset.
+const defaultMaxBatch = 64
+
+// maxBatch returns the effective shield-batch cap.
+func (n *Node) maxBatch() int {
+	if n.cfg.MaxBatch > 0 {
+		return n.cfg.MaxBatch
+	}
+	return defaultMaxBatch
 }
 
 // sendWire shields (or plainly encodes) and transmits a message to a peer.
+// In batched mode the message is queued and rides the next flush — end of
+// the current event-loop iteration — in a shared envelope and packet.
 func (n *Node) sendWire(to string, w *Wire) {
 	w.From = n.id
 	payload := w.Encode()
 	if !n.cfg.Shielded {
-		_ = n.tr.Send(to, payload)
+		n.qsend(to, payload)
 		return
 	}
-	env, err := n.shielder.Shield(n.sendChannel(to), w.Kind, payload)
-	if err != nil {
-		n.cfg.Logf("node %s: shield to %s: %v", n.id, to, err)
+	if n.maxBatch() == 1 {
+		// Per-message baseline: one envelope, one MAC, one packet per send.
+		env, err := n.shielder.Shield(n.sendChannel(to), w.Kind, payload)
+		if err != nil {
+			n.cfg.Logf("node %s: shield to %s: %v", n.id, to, err)
+			return
+		}
+		n.qsend(to, env.Encode())
 		return
 	}
-	_ = n.tr.Send(to, env.Encode())
+	n.outMu.Lock()
+	if _, ok := n.outPending[to]; !ok {
+		n.outOrder = append(n.outOrder, to)
+	}
+	n.outPending[to] = append(n.outPending[to], authn.BatchItem{Kind: w.Kind, Payload: payload})
+	n.outMu.Unlock()
+}
+
+// qsend hands one encoded payload to the transport, through its per-peer
+// send queue when coalescing is on, directly otherwise.
+func (n *Node) qsend(to string, data []byte) {
+	if n.bt == nil || n.maxBatch() == 1 {
+		_ = n.tr.Send(to, data)
+		return
+	}
+	if err := n.bt.QueueSend(to, data); err != nil {
+		_ = n.tr.Send(to, data)
+	}
+}
+
+// flushOutbound drains the per-peer coalescing buffers — each run of up to
+// MaxBatch messages becomes one batched envelope (one MAC, one enclave
+// transition) — and flushes the transport's packet queue. Safe from any
+// goroutine; external senders (recovery, join announcements) call it
+// directly after queueing.
+func (n *Node) flushOutbound() {
+	n.outMu.Lock()
+	if len(n.outOrder) == 0 {
+		// Idle iteration: nothing queued, skip the map swap.
+		n.outMu.Unlock()
+		n.flushTransport()
+		return
+	}
+	order, pending := n.outOrder, n.outPending
+	n.outOrder, n.outPending = nil, make(map[string][]authn.BatchItem)
+	n.outMu.Unlock()
+	for _, to := range order {
+		items := pending[to]
+		cq := n.sendChannel(to)
+		for len(items) > 0 {
+			chunk := items
+			if mb := n.maxBatch(); len(chunk) > mb {
+				chunk = chunk[:mb]
+			}
+			items = items[len(chunk):]
+			env, err := n.shielder.ShieldBatch(cq, chunk)
+			if err != nil {
+				n.cfg.Logf("node %s: shield batch to %s: %v", n.id, to, err)
+				break
+			}
+			n.qsend(to, env.Encode())
+		}
+	}
+	n.flushTransport()
+}
+
+// flushTransport flushes the transport's per-peer packet queue, which may
+// hold raw (native-mode) sends queued directly via qsend.
+func (n *Node) flushTransport() {
+	if n.bt != nil && n.maxBatch() != 1 {
+		_ = n.bt.Flush()
+	}
 }
 
 // sendToClient shields a reply onto the client's directional channel.

@@ -58,6 +58,19 @@ type Snapshotter interface {
 	InstallSnapshot(index uint64)
 }
 
+// BatchFlusher is an optional Protocol extension for protocols that batch
+// work across a burst of Submit/Handle calls. The node event loop drains its
+// queues in bounded batches and calls FlushBatch once per iteration, so a
+// protocol can accumulate commands during the drain and emit one combined
+// message (e.g. a single AppendEntries) at the end instead of one per call.
+// Test harnesses that drive Submit directly should call FlushBatch after
+// each burst to mirror the node's cadence.
+type BatchFlusher interface {
+	// FlushBatch emits any messages deferred during the current batch of
+	// Submit/Handle calls. Called from the event loop after each iteration.
+	FlushBatch()
+}
+
 // Protocol is an unmodified CFT replication protocol. Implementations must
 // be single-threaded: all calls arrive from the node event loop.
 type Protocol interface {

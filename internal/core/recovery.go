@@ -45,6 +45,11 @@ func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool,
 	if n > 1<<20 {
 		return nil, "", false, ErrWireOversized
 	}
+	// Bound the preallocation by the buffer: each entry encodes to at least
+	// two length prefixes plus two version words (24 bytes).
+	if rem := len(data) - d.pos; n > rem/24 {
+		return nil, "", false, fmt.Errorf("decode state page: %w", ErrWireTruncated)
+	}
 	entries = make([]stateEntry, 0, n)
 	for i := 0; i < n; i++ {
 		var e stateEntry
@@ -87,6 +92,7 @@ func (n *Node) SyncFrom(peer string, timeout time.Duration) error {
 	n.clientMu.Unlock()
 
 	n.sendWire(peer, &Wire{Kind: KindStateReq, Index: rec.token, Key: ""})
+	n.flushOutbound() // SyncFrom runs outside the event loop
 
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()

@@ -96,6 +96,10 @@ var (
 
 const maxWireField = 64 << 20
 
+// minEncodedCommand is the smallest encoded Command: op (1), four length
+// prefixes (4 each), and the sequence number (8).
+const minEncodedCommand = 25
+
 // flag bits for optional Wire fields.
 const (
 	flagOK byte = 1 << iota
@@ -145,6 +149,9 @@ func DecodeWire(data []byte) (*Wire, error) {
 	var w Wire
 	w.Kind = d.uint16()
 	flags := d.byte()
+	if flags&^(flagOK|flagCmd|flagRes) != 0 {
+		return nil, fmt.Errorf("decode wire: unknown flags %#x", flags)
+	}
 	w.From = d.string()
 	w.Term = d.uint64()
 	w.Index = d.uint64()
@@ -162,6 +169,13 @@ func DecodeWire(data []byte) (*Wire, error) {
 	if n > 0 {
 		if n > 1<<20 {
 			return nil, ErrWireOversized
+		}
+		// The count is attacker-controlled: bound the preallocation by what
+		// the remaining bytes could actually encode (each command takes at
+		// least minEncodedCommand bytes), so a tiny packet with a huge count
+		// cannot force a ~90 MB allocation.
+		if rem := len(data) - d.pos; n > rem/minEncodedCommand {
+			return nil, fmt.Errorf("decode wire: %w", ErrWireTruncated)
 		}
 		w.Cmds = make([]Command, 0, n)
 		for i := 0; i < n; i++ {
@@ -301,7 +315,14 @@ func (d *decoder) command() Command {
 
 func (d *decoder) result() Result {
 	var r Result
-	r.OK = d.byte() == 1
+	switch b := d.byte(); b {
+	case 0, 1:
+		r.OK = b == 1
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("bad result flag %#x", b)
+		}
+	}
 	r.Err = d.string()
 	r.Value = d.bytes()
 	r.Version.TS = d.uint64()

@@ -65,6 +65,10 @@ type Options struct {
 	Stack netstack.StackKind
 	// TickEvery is the node tick cadence (default 2ms).
 	TickEvery time.Duration
+	// MaxBatch caps how many messages one shielded envelope carries (0 =
+	// node default of 64; 1 = per-message envelopes, the batching-off
+	// baseline used by the benchmarks).
+	MaxBatch int
 	// Injector optionally installs a Byzantine network fault injector.
 	Injector netstack.Injector
 	// Seed makes randomized components deterministic.
@@ -204,6 +208,7 @@ func (c *Cluster) startNode(id string) error {
 	node, err := core.NewNode(enclave, ep, c.newProtocol(id), core.NodeConfig{
 		Secrets:      secrets,
 		TickEvery:    c.opts.TickEvery,
+		MaxBatch:     c.opts.MaxBatch,
 		Shielded:     c.shieldedFor(),
 		Confidential: c.opts.Confidential,
 		StoreConfig:  kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},

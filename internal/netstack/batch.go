@@ -1,0 +1,137 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Per-peer send coalescing. A node event-loop iteration typically produces
+// several messages to the same peer (protocol fan-out plus client replies);
+// queueing them and flushing once per iteration lets them ride a single
+// packet, paying the stack's per-packet cost once. Both transports implement
+// BatchSender; callers that don't use it keep plain per-message Send.
+//
+// Coalesced packets are framed as [magic][count]([len][bytes])*. The magic
+// cannot collide with the other payloads a transport carries: an authn
+// envelope starts with a big-endian view number (high word zero in any
+// realistic execution) and a raw wire message starts with a small message
+// kind, so neither begins with these four bytes.
+
+// BatchSender is the optional transport extension for per-peer send queues.
+type BatchSender interface {
+	// QueueSend buffers data for to; nothing is transmitted until Flush.
+	// Ownership of data transfers to the transport — the caller must not
+	// reuse the buffer (unlike Send, which copies). The hot path always
+	// hands over freshly encoded buffers, so this saves a copy per message.
+	QueueSend(to string, data []byte) error
+	// Flush transmits every queued buffer, coalescing per-peer runs into
+	// single multiframe packets (one packet per peer per flush).
+	Flush() error
+}
+
+// frameMagic marks a multiframe packet ("RCPB").
+const frameMagic uint32 = 0x52435042
+
+// maxCoalescedBytes soft-caps one coalesced packet's payload; runs larger
+// than this are split across packets.
+const maxCoalescedBytes = 1 << 20
+
+// packFrames encodes a multiframe packet from two or more frames.
+func packFrames(frames [][]byte) []byte {
+	size := 8
+	for _, f := range frames {
+		size += 4 + len(f)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, frameMagic)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(frames)))
+	for _, f := range frames {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// SplitFrames detects and splits a multiframe packet. The second return is
+// false when data is not multiframe (deliver it as a single payload); a
+// truncated or corrupt multiframe packet returns (nil, true, err).
+func SplitFrames(data []byte) ([][]byte, bool, error) {
+	if len(data) < 8 || binary.BigEndian.Uint32(data) != frameMagic {
+		return nil, false, nil
+	}
+	n := int(binary.BigEndian.Uint32(data[4:]))
+	rest := data[8:]
+	if n <= 0 || n > len(rest)/4 {
+		return nil, true, fmt.Errorf("netstack: multiframe count %d out of range", n)
+	}
+	frames := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 4 {
+			return nil, true, fmt.Errorf("netstack: truncated multiframe header")
+		}
+		l := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if l < 0 || l > len(rest) {
+			return nil, true, fmt.Errorf("netstack: truncated multiframe payload")
+		}
+		frames = append(frames, rest[:l])
+		rest = rest[l:]
+	}
+	if len(rest) != 0 {
+		return nil, true, fmt.Errorf("netstack: %d trailing multiframe bytes", len(rest))
+	}
+	return frames, true, nil
+}
+
+// sendQueue accumulates per-peer frames between flushes. Callers hold their
+// own lock around access.
+type sendQueue struct {
+	pending map[string][][]byte
+	order   []string // peers in first-queued order, for deterministic flush
+}
+
+func (q *sendQueue) add(to string, data []byte) {
+	if q.pending == nil {
+		q.pending = make(map[string][][]byte)
+	}
+	if _, ok := q.pending[to]; !ok {
+		q.order = append(q.order, to)
+	}
+	q.pending[to] = append(q.pending[to], data)
+}
+
+// take removes and returns the queued frames in peer order.
+func (q *sendQueue) take() (order []string, pending map[string][][]byte) {
+	order, pending = q.order, q.pending
+	q.order, q.pending = nil, nil
+	return order, pending
+}
+
+// coalesce groups one peer's frames into packets: single frames go out bare,
+// runs are packed multiframe, splitting at the size cap.
+func coalesce(frames [][]byte) [][]byte {
+	if len(frames) == 1 {
+		return frames
+	}
+	var packets [][]byte
+	start, size := 0, 0
+	flush := func(end int) {
+		if end == start {
+			return
+		}
+		if end-start == 1 {
+			packets = append(packets, frames[start])
+		} else {
+			packets = append(packets, packFrames(frames[start:end]))
+		}
+		start, size = end, 0
+	}
+	for i, f := range frames {
+		if size > 0 && size+len(f) > maxCoalescedBytes {
+			flush(i)
+		}
+		size += len(f)
+	}
+	flush(len(frames))
+	return packets
+}

@@ -1,0 +1,191 @@
+package netstack
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMultiframePackSplit(t *testing.T) {
+	frames := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma")}
+	pkt := packFrames(frames)
+	got, multi, err := SplitFrames(pkt)
+	if err != nil || !multi {
+		t.Fatalf("SplitFrames: multi=%v err=%v", multi, err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("%d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("frame %d = %q, want %q", i, got[i], frames[i])
+		}
+	}
+}
+
+func TestMultiframeNonBatchPassthrough(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("plain payload"), make([]byte, 64)} {
+		if _, multi, err := SplitFrames(data); multi || err != nil {
+			t.Errorf("SplitFrames(%q) = multi=%v err=%v; want passthrough", data, multi, err)
+		}
+	}
+}
+
+func TestMultiframeCorruptRejected(t *testing.T) {
+	pkt := packFrames([][]byte{[]byte("aa"), []byte("bb")})
+	// Truncations of a valid multiframe packet must error, not panic.
+	for n := 8; n < len(pkt); n++ {
+		if _, multi, err := SplitFrames(pkt[:n]); multi && err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+	// Absurd count with valid magic.
+	bad := append([]byte(nil), pkt[:8]...)
+	bad[4], bad[5], bad[6], bad[7] = 0x7f, 0xff, 0xff, 0xff
+	if _, multi, err := SplitFrames(bad); !multi || err == nil {
+		t.Errorf("oversized count accepted (multi=%v err=%v)", multi, err)
+	}
+}
+
+func TestEndpointQueueFlushCoalesces(t *testing.T) {
+	f := NewFabric()
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	for i := 0; i < 3; i++ {
+		if err := a.QueueSend("b", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("QueueSend: %v", err)
+		}
+	}
+	// Nothing delivered before the flush.
+	select {
+	case pkt := <-b.Inbox():
+		t.Fatalf("premature delivery: %+v", pkt)
+	default:
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	pkt := <-b.Inbox()
+	frames, multi, err := SplitFrames(pkt.Data)
+	if err != nil || !multi || len(frames) != 3 {
+		t.Fatalf("coalesced packet: multi=%v frames=%d err=%v", multi, len(frames), err)
+	}
+	if string(frames[0]) != "m0" || string(frames[2]) != "m2" {
+		t.Errorf("frames = %q", frames)
+	}
+	if delivered, _, _ := f.Stats(); delivered != 1 {
+		t.Errorf("delivered packets = %d, want 1 (coalesced)", delivered)
+	}
+}
+
+func TestEndpointQueueSingleFrameStaysBare(t *testing.T) {
+	f := NewFabric()
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	if err := a.QueueSend("b", []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pkt := <-b.Inbox()
+	if _, multi, _ := SplitFrames(pkt.Data); multi {
+		t.Errorf("single frame was wrapped in a multiframe packet")
+	}
+	if string(pkt.Data) != "solo" {
+		t.Errorf("payload = %q", pkt.Data)
+	}
+}
+
+func TestEndpointQueuePerPeer(t *testing.T) {
+	f := NewFabric()
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	c := register(t, f, "c")
+	_ = a.QueueSend("b", []byte("to-b-1"))
+	_ = a.QueueSend("c", []byte("to-c-1"))
+	_ = a.QueueSend("b", []byte("to-b-2"))
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bp := <-b.Inbox()
+	frames, multi, err := SplitFrames(bp.Data)
+	if err != nil || !multi || len(frames) != 2 {
+		t.Fatalf("b's packet: multi=%v frames=%d err=%v", multi, len(frames), err)
+	}
+	cp := <-c.Inbox()
+	if string(cp.Data) != "to-c-1" {
+		t.Errorf("c's payload = %q", cp.Data)
+	}
+}
+
+func TestEndpointFlushAfterCloseErrors(t *testing.T) {
+	f := NewFabric()
+	a := register(t, f, "a")
+	_ = a.QueueSend("b", []byte("x"))
+	_ = a.Close()
+	if err := a.Flush(); err == nil {
+		t.Errorf("Flush after Close succeeded")
+	}
+	if err := a.QueueSend("b", []byte("y")); err == nil {
+		t.Errorf("QueueSend after Close succeeded")
+	}
+}
+
+func TestCoalesceSplitsAtSizeCap(t *testing.T) {
+	big := make([]byte, maxCoalescedBytes-10)
+	frames := [][]byte{big, big, []byte("tail")}
+	packets := coalesce(frames)
+	if len(packets) < 2 {
+		t.Fatalf("oversized run coalesced into %d packet(s)", len(packets))
+	}
+	var total int
+	for _, p := range packets {
+		if fs, multi, err := SplitFrames(p); multi {
+			if err != nil {
+				t.Fatalf("split: %v", err)
+			}
+			total += len(fs)
+		} else {
+			total++
+		}
+	}
+	if total != len(frames) {
+		t.Errorf("%d frames after split, want %d", total, len(frames))
+	}
+}
+
+func TestTCPQueueFlushCoalesces(t *testing.T) {
+	recv, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+	defer recv.Close()
+	send, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPTransport: %v", err)
+	}
+	defer send.Close()
+
+	for i := 0; i < 4; i++ {
+		if err := send.QueueSend(recv.Addr(), []byte(fmt.Sprintf("tcp-%d", i))); err != nil {
+			t.Fatalf("QueueSend: %v", err)
+		}
+	}
+	if err := send.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	select {
+	case pkt := <-recv.Inbox():
+		frames, multi, err := SplitFrames(pkt.Data)
+		if err != nil || !multi || len(frames) != 4 {
+			t.Fatalf("coalesced TCP packet: multi=%v frames=%d err=%v", multi, len(frames), err)
+		}
+		if string(frames[3]) != "tcp-3" {
+			t.Errorf("frames = %q", frames)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no TCP delivery")
+	}
+}

@@ -1,6 +1,9 @@
 package netstack
 
-import "crypto/sha256"
+import (
+	"crypto/sha256"
+	"sync/atomic"
+)
 
 // StackKind names the five network stacks compared in Fig 6b.
 type StackKind int
@@ -83,8 +86,9 @@ func (m StackModel) Charge(n int) {
 
 var burnBlock [64]byte
 
-// burnSink defeats dead-code elimination.
-var burnSink byte
+// burnSink defeats dead-code elimination; atomic because every node's event
+// loop burns concurrently.
+var burnSink atomic.Uint32
 
 func burn(n int) {
 	if n <= 0 {
@@ -95,5 +99,5 @@ func burn(n int) {
 		s := sha256.Sum256(b[:])
 		copy(b[:], s[:])
 	}
-	burnSink = b[0]
+	burnSink.Store(uint32(b[0]))
 }

@@ -10,5 +10,8 @@
 //     paper compares in Fig 6b (kernel sockets and direct I/O, native and
 //     inside a TEE, plus the shielded recipe-lib stack);
 //   - a real TCP transport with the same Transport interface for the cmd/
-//     tools, so clusters can also run as separate OS processes.
+//     tools, so clusters can also run as separate OS processes;
+//   - per-peer send queues (BatchSender) on both transports: queued sends
+//     flush as single multiframe packets, paying the stack's per-packet
+//     cost once per peer per flush instead of once per message.
 package netstack

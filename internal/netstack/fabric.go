@@ -167,9 +167,13 @@ type Endpoint struct {
 	mu     sync.Mutex
 	closed bool
 	inbox  chan Packet
+	queue  sendQueue
 }
 
-var _ Transport = (*Endpoint)(nil)
+var (
+	_ Transport   = (*Endpoint)(nil)
+	_ BatchSender = (*Endpoint)(nil)
+)
 
 // Addr returns the endpoint address.
 func (e *Endpoint) Addr() string { return e.addr }
@@ -186,6 +190,40 @@ func (e *Endpoint) Send(to string, data []byte) error {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	return e.fabric.send(Packet{From: e.addr, To: to, Data: buf})
+}
+
+// QueueSend implements BatchSender: it buffers data for to until the next
+// Flush, taking ownership of the buffer.
+func (e *Endpoint) QueueSend(to string, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.queue.add(to, data)
+	return nil
+}
+
+// Flush implements BatchSender: per-peer runs of queued sends ride one
+// multiframe packet, charging the stack's per-packet cost once per peer
+// instead of once per message.
+func (e *Endpoint) Flush() error {
+	e.mu.Lock()
+	order, pending := e.queue.take()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	var firstErr error
+	for _, to := range order {
+		for _, pkt := range coalesce(pending[to]) {
+			if err := e.fabric.send(Packet{From: e.addr, To: to, Data: pkt}); err != nil && firstErr == nil {
+				firstErr = err // lossy semantics: keep flushing other peers
+			}
+		}
+	}
+	return firstErr
 }
 
 // Inbox returns the endpoint's delivery channel.

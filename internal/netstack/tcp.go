@@ -20,10 +20,14 @@ type TCPTransport struct {
 	conns    map[string]net.Conn // outgoing, keyed by peer address
 	accepted []net.Conn          // incoming, closed on shutdown
 	closed   bool
+	queue    sendQueue
 	wg       sync.WaitGroup
 }
 
-var _ Transport = (*TCPTransport)(nil)
+var (
+	_ Transport   = (*TCPTransport)(nil)
+	_ BatchSender = (*TCPTransport)(nil)
+)
 
 // maxTCPFrame bounds accepted frame sizes.
 const maxTCPFrame = 64 << 20
@@ -85,6 +89,40 @@ func (t *TCPTransport) Send(to string, data []byte) error {
 		return fmt.Errorf("tcp write %s: %w", to, err)
 	}
 	return nil
+}
+
+// QueueSend implements BatchSender: it buffers data for to until the next
+// Flush, taking ownership of the buffer.
+func (t *TCPTransport) QueueSend(to string, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	t.queue.add(to, data)
+	return nil
+}
+
+// Flush implements BatchSender: per-peer runs of queued sends are coalesced
+// into single multiframe payloads, so one TCP frame (one write syscall)
+// carries the whole run.
+func (t *TCPTransport) Flush() error {
+	t.mu.Lock()
+	order, pending := t.queue.take()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	var firstErr error
+	for _, to := range order {
+		for _, pkt := range coalesce(pending[to]) {
+			if err := t.Send(to, pkt); err != nil && firstErr == nil {
+				firstErr = err // lossy semantics: keep flushing other peers
+			}
+		}
+	}
+	return firstErr
 }
 
 // Close stops the listener, closes connections, and closes the inbox.

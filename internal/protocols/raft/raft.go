@@ -93,6 +93,11 @@ type Raft struct {
 	// entries accumulate and ship in the next batch (the paper's batching
 	// optimization; self-clocking pipeline per follower).
 	inflight map[string]bool
+	// dirty marks entries appended by Submit since the last FlushBatch. The
+	// node event loop drains a burst of client commands and then calls
+	// FlushBatch once, so the whole burst replicates in a single
+	// AppendEntries per follower instead of one per command.
+	dirty bool
 
 	electionElapsed  int
 	electionTimeout  int
@@ -102,8 +107,9 @@ type Raft struct {
 }
 
 var (
-	_ core.Protocol    = (*Raft)(nil)
-	_ core.Snapshotter = (*Raft)(nil)
+	_ core.Protocol     = (*Raft)(nil)
+	_ core.Snapshotter  = (*Raft)(nil)
+	_ core.BatchFlusher = (*Raft)(nil)
 )
 
 // New creates a Raft instance. Seed randomizes election timeouts; give each
@@ -153,6 +159,20 @@ func (r *Raft) Submit(cmd core.Command) {
 	idx := r.lastIndex()
 	r.pending[idx] = cmd
 	r.matchIndex[r.id] = idx
+	// Replication is deferred to FlushBatch so commands submitted in the
+	// same event-loop iteration batch into one AppendEntries.
+	r.dirty = true
+}
+
+// FlushBatch implements core.BatchFlusher: it replicates everything Submit
+// appended during the current event-loop iteration in one AppendEntries per
+// follower (followers with an outstanding AppendEntries stay self-clocked:
+// their entries ride the response-triggered next batch).
+func (r *Raft) FlushBatch() {
+	if !r.dirty || r.role != leader {
+		return
+	}
+	r.dirty = false
 	for _, p := range r.peers {
 		if p != r.id && !r.inflight[p] {
 			r.sendAppend(p)
@@ -312,6 +332,7 @@ func (r *Raft) quorum() int { return len(r.peers)/2 + 1 }
 
 // replicateAll sends AppendEntries to every follower from its nextIndex.
 func (r *Raft) replicateAll() {
+	r.dirty = false // every follower is being sent its pending entries now
 	for _, p := range r.peers {
 		if p == r.id {
 			continue

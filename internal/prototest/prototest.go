@@ -182,9 +182,22 @@ func (n *Net) Coordinator() (string, bool) {
 	return "", false
 }
 
-// Submit hands a command to an instance.
+// Submit hands a command to an instance and, mirroring the node event
+// loop's per-iteration cadence, immediately flushes batching protocols.
 func (n *Net) Submit(id string, cmd core.Command) {
-	n.Protos[id].Submit(cmd)
+	n.SubmitBatch(id, cmd)
+}
+
+// SubmitBatch hands a burst of commands to an instance with a single flush
+// at the end, exactly as the node's batched dispatch would.
+func (n *Net) SubmitBatch(id string, cmds ...core.Command) {
+	p := n.Protos[id]
+	for _, cmd := range cmds {
+		p.Submit(cmd)
+	}
+	if bf, ok := p.(core.BatchFlusher); ok {
+		bf.FlushBatch()
+	}
 }
 
 // LastReply returns the most recent reply recorded at an instance.

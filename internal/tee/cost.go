@@ -1,6 +1,9 @@
 package tee
 
-import "crypto/sha256"
+import (
+	"crypto/sha256"
+	"sync/atomic"
+)
 
 // CostModel reproduces the performance asymmetries of real trusted hardware
 // by performing genuine CPU work (SHA-256 churn) rather than sleeping, so
@@ -91,8 +94,9 @@ func burn(n int) {
 		s := sha256.Sum256(b[:])
 		copy(b[:], s[:])
 	}
-	burnSink = b[0]
+	burnSink.Store(uint32(b[0]))
 }
 
-// burnSink defeats dead-code elimination of burn's work.
-var burnSink byte
+// burnSink defeats dead-code elimination of burn's work; atomic because
+// every node's event loop burns concurrently.
+var burnSink atomic.Uint32

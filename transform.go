@@ -35,7 +35,11 @@ const (
 	OpGet = Op(core.OpGet)
 )
 
-// Command is a client request as delivered to a protocol.
+// Command is a client request as delivered to a protocol. Commands received
+// through Submit or Handle carry an opaque reply token binding them to the
+// originating client session; a Command constructed literally by a protocol
+// (for a message it builds itself) has no token, and its public fields are
+// what crosses the wire.
 type Command struct {
 	Op       Op
 	Key      string
@@ -43,6 +47,8 @@ type Command struct {
 	ClientID string
 	Seq      uint64
 
+	// inner is the reply token: the full core command (including the client's
+	// transport address) for commands that entered through the Recipe layer.
 	inner core.Command
 }
 
@@ -69,6 +75,7 @@ type Message struct {
 	OK     bool
 	Key    string
 	Value  []byte
+	Cmd    *Command // single-command payload (e.g. a relayed client request)
 	Cmds   []Command
 }
 
@@ -226,13 +233,19 @@ func publicCommand(c core.Command) Command {
 	}
 }
 
+// publicMessage translates a wire message for a custom protocol. The shape
+// is preserved exactly: Wire.Cmd maps to Message.Cmd and Wire.Cmds to
+// Message.Cmds, so a protocol that relays a message re-emits the same wire
+// shape (Recipe-layer code distinguishes the two — e.g. client requests
+// travel in Cmd).
 func publicMessage(m *core.Wire) *Message {
 	out := &Message{
 		Kind: m.Kind, From: m.From, Term: m.Term, Index: m.Index,
 		Commit: m.Commit, TS: Version(m.TS), OK: m.OK, Key: m.Key, Value: m.Value,
 	}
 	if m.Cmd != nil {
-		out.Cmds = append(out.Cmds, publicCommand(*m.Cmd))
+		pc := publicCommand(*m.Cmd)
+		out.Cmd = &pc
 	}
 	for _, c := range m.Cmds {
 		out.Cmds = append(out.Cmds, publicCommand(c))
@@ -240,13 +253,31 @@ func publicMessage(m *core.Wire) *Message {
 	return out
 }
 
+// internalCommand translates a public command back to the wire. The public
+// fields are authoritative — a protocol may construct a Command literally or
+// mutate one it received, and what it sees is what crosses the wire. The
+// reply token contributes only what the public surface does not expose: the
+// originating client's transport address, so a relayed client request can
+// still be answered directly.
+func internalCommand(c Command) core.Command {
+	return core.Command{
+		Op: core.Op(c.Op), Key: c.Key, Value: c.Value,
+		ClientID: c.ClientID, Seq: c.Seq,
+		ClientAddr: c.inner.ClientAddr,
+	}
+}
+
 func internalMessage(m *Message) *core.Wire {
 	w := &core.Wire{
 		Kind: m.Kind, From: m.From, Term: m.Term, Index: m.Index,
 		Commit: m.Commit, TS: kvstore.Version(m.TS), OK: m.OK, Key: m.Key, Value: m.Value,
 	}
+	if m.Cmd != nil {
+		ic := internalCommand(*m.Cmd)
+		w.Cmd = &ic
+	}
 	for _, c := range m.Cmds {
-		w.Cmds = append(w.Cmds, c.inner)
+		w.Cmds = append(w.Cmds, internalCommand(c))
 	}
 	return w
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"recipe/internal/core"
 )
 
 // echoProto is a minimal leaderless protocol for exercising the custom
@@ -133,5 +135,128 @@ func TestCustomProtocolPerReplicaFactory(t *testing.T) {
 	}
 	if !seen[0] || !seen[1] || !seen[2] {
 		t.Errorf("factory indices = %v, want 0,1,2", replicas)
+	}
+}
+
+// TestMessageRoundTripShapePreserving is the regression for the PR-1
+// Cmd/Cmds asymmetry: a wire message translated to the public surface and
+// back must keep its exact shape, so Recipe-layer code checking w.Cmd (e.g.
+// client-request dispatch) still sees relayed messages.
+func TestMessageRoundTripShapePreserving(t *testing.T) {
+	cmd := core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"),
+		ClientID: "c", ClientAddr: "addr:c", Seq: 7}
+	in := &core.Wire{
+		Kind: core.KindClientReq, From: "n1", Term: 3, Index: 9, Commit: 8,
+		OK: true, Key: "meta", Value: []byte("payload"),
+		Cmd:  &cmd,
+		Cmds: []core.Command{{Op: core.OpGet, Key: "g", ClientID: "c2", Seq: 1}},
+	}
+	out := internalMessage(publicMessage(in))
+	if out.Cmd == nil {
+		t.Fatalf("Wire.Cmd lost in round trip (folded into Cmds)")
+	}
+	if len(out.Cmds) != 1 {
+		t.Fatalf("Cmds length changed: %d, want 1", len(out.Cmds))
+	}
+	if out.Cmd.Op != cmd.Op || out.Cmd.Key != cmd.Key || !bytes.Equal(out.Cmd.Value, cmd.Value) ||
+		out.Cmd.ClientID != cmd.ClientID || out.Cmd.ClientAddr != cmd.ClientAddr || out.Cmd.Seq != cmd.Seq {
+		t.Errorf("Cmd fields changed: %+v, want %+v", *out.Cmd, cmd)
+	}
+	if out.Kind != in.Kind || out.From != in.From || out.Term != in.Term ||
+		out.Index != in.Index || out.Commit != in.Commit || out.OK != in.OK ||
+		out.Key != in.Key || !bytes.Equal(out.Value, in.Value) {
+		t.Errorf("scalar fields changed: %+v vs %+v", out, in)
+	}
+	if out.Cmds[0].Op != core.OpGet || out.Cmds[0].ClientID != "c2" {
+		t.Errorf("Cmds[0] = %+v", out.Cmds[0])
+	}
+}
+
+// TestInternalCommandLiteralFallback is the regression for the PR-1
+// zero-inner bug: a Command constructed literally by a custom protocol (not
+// received via Submit/Handle) must translate its public fields to the wire
+// instead of sending an all-zero command.
+func TestInternalCommandLiteralFallback(t *testing.T) {
+	lit := Command{Op: OpPut, Key: "relay", Value: []byte("payload"), ClientID: "cx", Seq: 42}
+	w := internalMessage(&Message{Kind: MessageKindBase, Cmd: &lit, Cmds: []Command{lit}})
+	for _, got := range []core.Command{*w.Cmd, w.Cmds[0]} {
+		if got.Op != core.OpPut || got.Key != "relay" || string(got.Value) != "payload" ||
+			got.ClientID != "cx" || got.Seq != 42 {
+			t.Errorf("literal command lost on the wire: %+v", got)
+		}
+	}
+	// A command that entered through the Recipe layer keeps its reply token
+	// (ClientAddr, which the public surface does not expose).
+	inner := core.Command{Op: core.OpGet, Key: "k", ClientID: "c", ClientAddr: "addr:c", Seq: 3}
+	if got := internalCommand(publicCommand(inner)); got.ClientAddr != "addr:c" {
+		t.Errorf("reply token dropped: %+v", got)
+	}
+	// The public fields are authoritative: a protocol that mutates a
+	// received command relays the mutation, not the stale original.
+	mutated := publicCommand(inner)
+	mutated.Value = []byte("rewritten")
+	if got := internalCommand(mutated); string(got.Value) != "rewritten" || got.ClientAddr != "addr:c" {
+		t.Errorf("mutation lost on the wire: %+v", got)
+	}
+}
+
+// relayProto is a custom protocol whose first replica broadcasts a freshly
+// constructed Command; peers report what arrived. It exercises the full
+// path: transform layer, wire codec, shielded batch envelopes, transport.
+type relayProto struct {
+	env     Env
+	replica int
+	got     chan Command
+	sent    bool
+}
+
+func (p *relayProto) Name() string     { return "relay" }
+func (p *relayProto) Init(env Env)     { p.env = env }
+func (p *relayProto) Submit(c Command) { p.env.Reply(c, CommandResult{OK: true}) }
+func (p *relayProto) Status() Status {
+	return Status{Leader: p.env.Peers()[0], IsCoordinator: p.replica == 0}
+}
+
+func (p *relayProto) Tick() {
+	if p.replica != 0 || p.sent {
+		return
+	}
+	p.sent = true
+	cmd := Command{Op: OpPut, Key: "relay-key", Value: []byte("relay-value"), ClientID: "relay-cli", Seq: 99}
+	p.env.Broadcast(&Message{Kind: MessageKindBase, Cmds: []Command{cmd}})
+}
+
+func (p *relayProto) Handle(from string, m *Message) {
+	if m.Kind != MessageKindBase || len(m.Cmds) == 0 {
+		return
+	}
+	select {
+	case p.got <- m.Cmds[0]:
+	default:
+	}
+}
+
+// TestCustomProtocolForwardsLiteralCommand runs relayProto on a real
+// shielded cluster and asserts a protocol-constructed Command survives the
+// wire intact (the PR-1 zero-inner bug made all its fields vanish).
+func TestCustomProtocolForwardsLiteralCommand(t *testing.T) {
+	got := make(chan Command, 4)
+	cluster, err := NewCustomCluster(Options{Seed: 23, NoTEECost: true},
+		func(replica int) CustomProtocol {
+			return &relayProto{replica: replica, got: got}
+		})
+	if err != nil {
+		t.Fatalf("NewCustomCluster: %v", err)
+	}
+	defer cluster.Stop()
+
+	select {
+	case cmd := <-got:
+		if cmd.Op != OpPut || cmd.Key != "relay-key" || string(cmd.Value) != "relay-value" ||
+			cmd.ClientID != "relay-cli" || cmd.Seq != 99 {
+			t.Errorf("relayed command mangled: %+v", cmd)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no relayed command arrived")
 	}
 }
