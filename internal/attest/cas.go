@@ -37,14 +37,22 @@ const (
 )
 
 // Secrets is the bundle provisioned to a successfully attested node: the
-// master key the authn layer derives per-channel keys from, the cluster
-// membership, the freshly assigned node identity, and free-form protocol
-// configuration.
+// master key the authn layer derives per-channel keys from, the node's
+// replication group and that group's membership, the freshly assigned node
+// identity, and free-form protocol configuration.
 type Secrets struct {
 	NodeID     string            `json:"nodeId"`
 	MasterKey  []byte            `json:"masterKey"`
 	Membership []string          `json:"membership"`
 	Config     map[string]string `json:"config"`
+	// Group is the replication group (shard) this node belongs to. In a
+	// sharded cluster the CAS assigns each node to exactly one group;
+	// Membership then lists only that group's members. The authn layer binds
+	// the group into every envelope's MAC domain, so the assignment is part
+	// of the attested trust base, not untrusted host configuration. The type
+	// is uint32 end to end (envelope header, wire header, secrets) so no
+	// layer can truncate a group id into a colliding MAC domain.
+	Group uint32 `json:"group"`
 	// Incarnations maps node identities to their attestation count. A node
 	// that recovers re-attests and gets a bumped incarnation; channel names
 	// embed incarnations so fresh nodes start with fresh counters (§3.7:
@@ -77,6 +85,8 @@ type Service struct {
 	trusted      map[tee.Measurement]bool
 	masterKey    []byte
 	membership   []string
+	groupOf      map[string]uint32   // nodeID -> replication group
+	groupMembers map[uint32][]string // group -> membership
 	config       map[string]string
 	nextNode     int
 	attested     map[string]tee.Measurement // nodeID -> measurement
@@ -111,6 +121,8 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		sleep:        time.Sleep,
 		platformKeys: make(map[string]ed25519.PublicKey),
 		trusted:      make(map[tee.Measurement]bool),
+		groupOf:      make(map[string]uint32),
+		groupMembers: make(map[uint32][]string),
 		config:       make(map[string]string),
 		attested:     make(map[string]tee.Measurement),
 		incarnations: make(map[string]uint64),
@@ -145,6 +157,19 @@ func (s *Service) SetMembership(nodes []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.membership = append([]string(nil), nodes...)
+}
+
+// SetGroupMembership assigns a replication group (shard) its membership. A
+// node listed here is provisioned with its group id and only its group's
+// membership during attestation; nodes never assigned to a group fall back to
+// the global membership at group 0 (the single-shard deployment).
+func (s *Service) SetGroupMembership(group uint32, nodes []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groupMembers[group] = append([]string(nil), nodes...)
+	for _, id := range nodes {
+		s.groupOf[id] = group
+	}
 }
 
 // SetConfig uploads one configuration entry distributed with the secrets.
@@ -239,11 +264,19 @@ func (s *Service) RemoteAttestation(agent *Agent, wantID string) (Provision, err
 	for id, inc := range s.incarnations {
 		incs[id] = inc
 	}
+	membership := s.membership
+	group, assigned := s.groupOf[nodeID]
+	if assigned {
+		if gm := s.groupMembers[group]; len(gm) > 0 {
+			membership = gm
+		}
+	}
 	secrets := Secrets{
 		NodeID:       nodeID,
 		MasterKey:    append([]byte(nil), s.masterKey...),
-		Membership:   append([]string(nil), s.membership...),
+		Membership:   append([]string(nil), membership...),
 		Config:       copyMap(s.config),
+		Group:        group,
 		Incarnations: incs,
 	}
 	s.mu.Unlock()

@@ -26,4 +26,13 @@
 // logical messages and runs each through the ordinary counter logic, so
 // replay protection, gap buffering, and loose channels behave exactly as
 // they do for N individual envelopes.
+//
+// # Group domains
+//
+// In a sharded deployment every channel is opened in a replication-group
+// domain (OpenGroupChannel): the group id is stamped into each envelope's
+// authenticated header, and Verify rejects envelopes carrying any other
+// group with ErrWrongGroup. This scopes non-equivocation per group — shards
+// derive channel keys from the same cluster master key, so without the
+// binding a genuine envelope captured in one shard would verify in another.
 package authn

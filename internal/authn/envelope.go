@@ -7,8 +7,8 @@ import (
 )
 
 // Envelope is the wire format of a shielded message: the sequence tuple
-// (View, Channel, Seq), a protocol message kind, the (possibly encrypted)
-// payload, and the MAC covering all of it.
+// (View, Channel, Seq), the replication-group domain, a protocol message
+// kind, the (possibly encrypted) payload, and the MAC covering all of it.
 //
 // A batch envelope (Batch set) carries N messages under one header and one
 // MAC: the payload is a batch body of N (kind, payload) items occupying the
@@ -18,6 +18,7 @@ import (
 type Envelope struct {
 	View    uint64
 	Channel string // cq: the communication-channel identifier
+	Group   uint32 // replication group (shard) the channel belongs to
 	Seq     uint64 // cnt_cq: per-channel counter (first of the range if Batch)
 	Kind    uint16 // protocol message type, opaque to this layer
 	Enc     bool   // payload is AES-GCM encrypted (confidential mode)
@@ -55,13 +56,17 @@ func (e *Envelope) flags() byte {
 
 // header serialises the authenticated header fields. The MAC covers exactly
 // header||payload, so any header tampering — including flipping the batch
-// flag — invalidates the MAC.
+// flag or rewriting the group — invalidates the MAC. Covering the group binds
+// every envelope to its shard's MAC domain: a valid shard-A envelope carried
+// into shard B fails the receiver's group check, and an envelope whose group
+// field was rewritten fails the MAC.
 func (e *Envelope) header() []byte {
-	buf := make([]byte, 0, 8+8+2+1+2+len(e.Channel))
+	buf := make([]byte, 0, 8+8+2+1+4+2+len(e.Channel))
 	buf = binary.BigEndian.AppendUint64(buf, e.View)
 	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
 	buf = binary.BigEndian.AppendUint16(buf, e.Kind)
 	buf = append(buf, e.flags())
+	buf = binary.BigEndian.AppendUint32(buf, e.Group)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Channel)))
 	buf = append(buf, e.Channel...)
 	return buf
@@ -89,6 +94,7 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 	fl := r.byte()
 	e.Enc = fl&flagEnc != 0
 	e.Batch = fl&flagBatch != 0
+	e.Group = r.uint32()
 	e.Channel = string(r.bytesN(int(r.uint16())))
 	e.Payload = r.bytesN(int(r.uint32()))
 	e.MAC = r.bytesN(int(r.uint32()))

@@ -1,0 +1,87 @@
+package authn
+
+import (
+	"errors"
+	"testing"
+
+	"recipe/internal/tee"
+)
+
+func groupTestShielders(t *testing.T) (*Shielder, *Shielder) {
+	t.Helper()
+	plat, err := tee.NewPlatform("group-test", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	return NewShielder(plat.NewEnclave([]byte("a"))), NewShielder(plat.NewEnclave([]byte("b")))
+}
+
+// TestCrossGroupEnvelopeRejected is the shard-isolation property at the authn
+// layer: two shards sharing the master key derive the same channel key for
+// the same channel name, so a genuine shard-A envelope carried into shard B
+// has a valid MAC — it must still be rejected, distinguishably, by the group
+// domain bound into the envelope.
+func TestCrossGroupEnvelopeRejected(t *testing.T) {
+	sender, receiver := groupTestShielders(t)
+	key := make([]byte, 32)
+	const cq = "ch:n1@1->n2@1"
+	if err := sender.OpenGroupChannel(cq, key, 0); err != nil {
+		t.Fatalf("OpenGroupChannel(sender): %v", err)
+	}
+	// The receiver lives in group 1 but (same master key, same channel name)
+	// holds the identical channel key.
+	if err := receiver.OpenGroupChannel(cq, key, 1); err != nil {
+		t.Fatalf("OpenGroupChannel(receiver): %v", err)
+	}
+
+	env, err := sender.Shield(cq, 7, []byte("payload"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	if env.Group != 0 {
+		t.Fatalf("envelope group = %d, want 0", env.Group)
+	}
+	if _, _, err := receiver.Verify(env); !errors.Is(err, ErrWrongGroup) {
+		t.Fatalf("cross-group Verify err = %v, want ErrWrongGroup", err)
+	}
+
+	// Rewriting the group field to match the receiver must break the MAC:
+	// the group is part of the authenticated header.
+	env.Group = 1
+	if _, _, err := receiver.Verify(env); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("group-rewritten Verify err = %v, want ErrBadMAC", err)
+	}
+}
+
+// TestSameGroupEnvelopeDelivered: the group domain is transparent within a
+// shard, including for batch envelopes.
+func TestSameGroupEnvelopeDelivered(t *testing.T) {
+	sender, receiver := groupTestShielders(t)
+	key := make([]byte, 32)
+	const cq = "ch:n1@1->n2@1"
+	for _, s := range []*Shielder{sender, receiver} {
+		if err := s.OpenGroupChannel(cq, key, 3); err != nil {
+			t.Fatalf("OpenGroupChannel: %v", err)
+		}
+	}
+	env, err := sender.Shield(cq, 7, []byte("m1"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	if _, got, err := receiver.Verify(env); err != nil || len(got) != 1 {
+		t.Fatalf("Verify = %d msgs, %v", len(got), err)
+	}
+	batch, err := sender.ShieldBatch(cq, []BatchItem{
+		{Kind: 7, Payload: []byte("m2")},
+		{Kind: 7, Payload: []byte("m3")},
+	})
+	if err != nil {
+		t.Fatalf("ShieldBatch: %v", err)
+	}
+	if batch.Group != 3 {
+		t.Fatalf("batch group = %d, want 3", batch.Group)
+	}
+	if _, got, err := receiver.Verify(batch); err != nil || len(got) != 2 {
+		t.Fatalf("Verify(batch) = %d msgs, %v", len(got), err)
+	}
+}

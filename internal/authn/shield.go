@@ -22,6 +22,11 @@ var (
 	ErrReplay = errors.New("authn: replayed message")
 	// ErrWrongView means the message was produced in a different view.
 	ErrWrongView = errors.New("authn: wrong view")
+	// ErrWrongGroup means the message belongs to a different replication
+	// group (shard): a valid envelope captured in one group was injected into
+	// another. Non-equivocation is per group; crossing the boundary is an
+	// attack, never a transient.
+	ErrWrongGroup = errors.New("authn: wrong replication group")
 	// ErrUnknownChannel means no key material exists for the channel.
 	ErrUnknownChannel = errors.New("authn: unknown channel")
 	// ErrFutureOverflow means the out-of-order buffer exceeded its bound.
@@ -61,14 +66,16 @@ type Shielder struct {
 }
 
 type sendState struct {
-	key  []byte
-	aead cipher.AEAD // non-nil in confidential mode
-	cnt  uint64
+	key   []byte
+	aead  cipher.AEAD // non-nil in confidential mode
+	cnt   uint64
+	group uint32 // replication group stamped into every envelope
 }
 
 type recvState struct {
 	key    []byte
 	aead   cipher.AEAD
+	group  uint32 // envelopes on this channel must carry this group
 	rcnt   uint64
 	future map[uint64]Envelope
 	// loose channels deliver any fresh message immediately (monotonicity
@@ -106,9 +113,37 @@ func NewShielder(e *tee.Enclave, opts ...Option) *Shielder {
 func (s *Shielder) Confidential() bool { return s.confidential }
 
 // OpenChannel installs the symmetric session key for channel cq in both
-// directions. Keys come from the attestation phase; opening a channel twice
-// resets its counters (used only when a channel is re-keyed after recovery).
+// directions, in replication group 0. Keys come from the attestation phase;
+// opening a channel twice resets its counters (used only when a channel is
+// re-keyed after recovery).
 func (s *Shielder) OpenChannel(cq string, key []byte) error {
+	return s.open(cq, key, 0, false)
+}
+
+// OpenGroupChannel is OpenChannel bound to a replication group (shard): every
+// envelope shielded on the channel is stamped with the group, the MAC covers
+// it, and Verify rejects envelopes carrying any other group with
+// ErrWrongGroup. Both endpoints must open the channel in the same group.
+func (s *Shielder) OpenGroupChannel(cq string, key []byte, group uint32) error {
+	return s.open(cq, key, group, false)
+}
+
+// OpenLooseChannel is OpenChannel with relaxed ordering on the receive side:
+// any authentic message fresher than rcnt is delivered immediately and rcnt
+// jumps to its counter. Replay protection and monotonicity still hold;
+// messages overtaken by a fresher delivery are treated as lost. Client
+// request/response channels use this (the client table and request retries
+// provide the end-to-end semantics).
+func (s *Shielder) OpenLooseChannel(cq string, key []byte) error {
+	return s.open(cq, key, 0, true)
+}
+
+// OpenLooseGroupChannel is OpenLooseChannel bound to a replication group.
+func (s *Shielder) OpenLooseGroupChannel(cq string, key []byte, group uint32) error {
+	return s.open(cq, key, group, true)
+}
+
+func (s *Shielder) open(cq string, key []byte, group uint32, loose bool) error {
 	if len(key) < 16 {
 		return fmt.Errorf("authn: channel %s key too short (%d bytes)", cq, len(key))
 	}
@@ -127,24 +162,9 @@ func (s *Shielder) OpenChannel(cq string, key []byte) error {
 	copy(k, key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.send[cq] = &sendState{key: k, aead: aead}
-	s.recv[cq] = &recvState{key: k, aead: aead, future: make(map[uint64]Envelope)}
-	return nil
-}
-
-// OpenLooseChannel is OpenChannel with relaxed ordering on the receive side:
-// any authentic message fresher than rcnt is delivered immediately and rcnt
-// jumps to its counter. Replay protection and monotonicity still hold;
-// messages overtaken by a fresher delivery are treated as lost. Client
-// request/response channels use this (the client table and request retries
-// provide the end-to-end semantics).
-func (s *Shielder) OpenLooseChannel(cq string, key []byte) error {
-	if err := s.OpenChannel(cq, key); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.recv[cq].loose = true
+	s.send[cq] = &sendState{key: k, aead: aead, group: group}
+	s.recv[cq] = &recvState{key: k, aead: aead, group: group, loose: loose,
+		future: make(map[uint64]Envelope)}
 	return nil
 }
 
@@ -195,6 +215,7 @@ func (s *Shielder) Shield(cq string, kind uint16, payload []byte) (Envelope, err
 	env := Envelope{
 		View:    s.view,
 		Channel: cq,
+		Group:   st.group,
 		Seq:     st.cnt,
 		Kind:    kind,
 		Enc:     s.confidential,
@@ -247,6 +268,7 @@ func (s *Shielder) ShieldBatch(cq string, items []BatchItem) (Envelope, error) {
 	env := Envelope{
 		View:    s.view,
 		Channel: cq,
+		Group:   st.group,
 		Seq:     first,
 		Batch:   true,
 		Enc:     s.confidential,
@@ -288,6 +310,12 @@ func (s *Shielder) Verify(env Envelope) (Status, []Envelope, error) {
 	}
 	if !hmac.Equal(env.MAC, computeMAC(st.key, env.header(), env.Payload)) {
 		return 0, nil, ErrBadMAC
+	}
+	if env.Group != st.group {
+		// The MAC is valid, so this is a genuine envelope of another shard
+		// (same master key, same channel name) carried across the group
+		// boundary — the cross-shard replay the group domain exists to stop.
+		return 0, nil, fmt.Errorf("%w: got %d, channel bound to %d", ErrWrongGroup, env.Group, st.group)
 	}
 	if env.View != s.view {
 		return 0, nil, fmt.Errorf("%w: got %d, current %d", ErrWrongView, env.View, s.view)
@@ -351,7 +379,7 @@ func (s *Shielder) verifyBatch(st *recvState, env Envelope) (Status, []Envelope,
 		if seq <= st.rcnt {
 			continue // already-delivered fraction of a redelivered batch
 		}
-		m := Envelope{View: env.View, Channel: env.Channel, Seq: seq,
+		m := Envelope{View: env.View, Channel: env.Channel, Group: env.Group, Seq: seq,
 			Kind: items[i].Kind, Payload: items[i].Payload}
 		switch {
 		case st.loose || seq == st.rcnt+1:

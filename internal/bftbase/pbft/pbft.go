@@ -296,6 +296,11 @@ func (p *PBFT) execute(cmd *core.Command, seq uint64) core.Result {
 			return core.Result{Err: err.Error()}
 		}
 		return core.Result{OK: true, Value: v, Version: ver}
+	case core.OpDelete:
+		if err := p.env.Store().RemoveVersioned(cmd.Key, kvstore.Version{TS: seq}); err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Version: kvstore.Version{TS: seq}}
 	default:
 		return core.Result{Err: "unknown op"}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 
@@ -22,8 +23,14 @@ var (
 type ClientConfig struct {
 	// ID is the client's principal identity (attested at the CAS).
 	ID string
-	// Nodes is the membership the client may contact.
+	// Nodes is the membership the client may contact (single-group clusters).
+	// Ignored when Groups is set.
 	Nodes []string
+	// Groups is the per-shard membership of a sharded cluster: Groups[g]
+	// lists the replicas of replication group g. Keys are hashed to a group
+	// and every operation is routed to the owning group's coordinator. A
+	// single-group cluster may leave this nil and use Nodes.
+	Groups [][]string
 	// MasterKey is the network master key from the client's attestation.
 	MasterKey []byte
 	// Shielded must match the cluster's mode.
@@ -38,10 +45,25 @@ type ClientConfig struct {
 	Seed int64
 }
 
-// Client issues PUT/GET commands against a Recipe cluster. Requests are
-// shielded on the client's attested channels; replies are verified before
-// being trusted — unlike classical BFT, one verified reply suffices because
-// replicas are individually trustworthy after attestation (paper §A.2 Q2).
+// ShardOf is the cluster-wide partitioning function: it hashes key onto one
+// of shards groups. Every client and test uses this one function, so the
+// owner of a key is a pure function of (key, shard count).
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Client issues PUT/GET/DELETE commands against a Recipe cluster. It is
+// partition-aware: keys hash onto the cluster's replication groups (shards)
+// and each operation is routed to the owning group, with one tracked
+// coordinator per group. Requests are shielded on the client's attested
+// channels; replies are verified before being trusted — unlike classical
+// BFT, one verified reply suffices because replicas are individually
+// trustworthy after attestation (paper §A.2 Q2).
 // A Client is not safe for concurrent use; create one per goroutine.
 type Client struct {
 	cfg      ClientConfig
@@ -49,8 +71,9 @@ type Client struct {
 	tr       netstack.Transport
 	rng      *rand.Rand
 
-	seq         uint64
-	coordinator string
+	groups [][]string
+	coord  []string // per-shard coordinator
+	seq    uint64
 }
 
 // NewClient builds a client from its attested enclave and transport.
@@ -58,8 +81,14 @@ func NewClient(e *tee.Enclave, tr netstack.Transport, cfg ClientConfig) (*Client
 	if cfg.ID == "" {
 		return nil, errors.New("core: client needs an ID")
 	}
-	if len(cfg.Nodes) == 0 {
-		return nil, errors.New("core: client needs at least one node")
+	groups := cfg.Groups
+	if len(groups) == 0 {
+		groups = [][]string{cfg.Nodes}
+	}
+	for g, members := range groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("core: client group %d has no nodes", g)
+		}
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 250 * time.Millisecond
@@ -76,28 +105,42 @@ func NewClient(e *tee.Enclave, tr netstack.Transport, cfg ClientConfig) (*Client
 		shielder: authn.NewShielder(e, opts...),
 		tr:       tr,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		groups:   groups,
+		coord:    make([]string, len(groups)),
 	}
 	if cfg.Shielded {
-		for _, node := range cfg.Nodes {
-			for _, cq := range []string{
-				clientChannel(cfg.ID, node),
-				clientChannel(node, cfg.ID),
-			} {
-				// Loose ordering: stale responses overtaken by fresher ones
-				// are simply lost; the request/retry loop provides the
-				// end-to-end semantics.
-				if err := c.shielder.OpenLooseChannel(cq, attest.ChannelKey(cfg.MasterKey, cq)); err != nil {
-					return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+		for g, members := range groups {
+			for _, node := range members {
+				for _, cq := range []string{
+					clientChannel(cfg.ID, node),
+					clientChannel(node, cfg.ID),
+				} {
+					// Loose ordering: stale responses overtaken by fresher ones
+					// are simply lost; the request/retry loop provides the
+					// end-to-end semantics. Each channel is bound to its
+					// group's MAC domain.
+					if err := c.shielder.OpenLooseGroupChannel(cq, attest.ChannelKey(cfg.MasterKey, cq), uint32(g)); err != nil {
+						return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+					}
 				}
 			}
 		}
 	}
-	c.coordinator = cfg.Nodes[c.rng.Intn(len(cfg.Nodes))]
+	for g, members := range groups {
+		c.coord[g] = members[c.rng.Intn(len(members))]
+	}
 	return c, nil
 }
 
 // Close releases the client's transport.
 func (c *Client) Close() error { return c.tr.Close() }
+
+// Shards returns the number of replication groups the client routes across.
+func (c *Client) Shards() int { return len(c.groups) }
+
+// ShardOf returns the replication group that owns key under this client's
+// configuration.
+func (c *Client) ShardOf(key string) int { return ShardOf(key, len(c.groups)) }
 
 // Put writes value under key.
 func (c *Client) Put(key string, value []byte) (Result, error) {
@@ -109,46 +152,55 @@ func (c *Client) Get(key string) (Result, error) {
 	return c.do(Command{Op: OpGet, Key: key})
 }
 
-// do runs one command to completion, following redirects and rotating
-// through nodes on timeouts.
+// Delete removes key. Deleting an absent key succeeds (idempotent).
+func (c *Client) Delete(key string) (Result, error) {
+	return c.do(Command{Op: OpDelete, Key: key})
+}
+
+// do runs one command to completion against the group owning its key,
+// following redirects and rotating through the group's nodes on timeouts.
 func (c *Client) do(cmd Command) (Result, error) {
 	c.seq++
 	cmd.Seq = c.seq
 	cmd.ClientID = c.cfg.ID
 	cmd.ClientAddr = c.tr.Addr()
+	shard := c.ShardOf(cmd.Key)
 
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		if err := c.send(c.coordinator, &Wire{Kind: KindClientReq, Cmd: &cmd}); err != nil {
-			c.rotate()
+		if err := c.send(c.coord[shard], shard, &Wire{Kind: KindClientReq, Cmd: &cmd}); err != nil {
+			c.rotate(shard)
 			continue
 		}
-		res, redirect, ok := c.await(cmd.Seq)
+		res, redirect, ok := c.await(cmd.Seq, shard)
 		switch {
 		case ok:
 			return res, nil
 		case redirect != "":
-			c.coordinator = redirect
+			c.coord[shard] = redirect
 		default:
-			c.rotate()
+			c.rotate(shard)
 		}
 	}
 	return Result{}, fmt.Errorf("%w: %s %q after %d attempts", ErrClientTimeout, cmd.Op, cmd.Key, c.cfg.MaxAttempts)
 }
 
-// rotate picks a different coordinator.
-func (c *Client) rotate() {
-	if len(c.cfg.Nodes) == 1 {
+// rotate picks a different coordinator within the shard's group.
+func (c *Client) rotate(shard int) {
+	members := c.groups[shard]
+	if len(members) == 1 {
 		return
 	}
-	prev := c.coordinator
-	for c.coordinator == prev {
-		c.coordinator = c.cfg.Nodes[c.rng.Intn(len(c.cfg.Nodes))]
+	prev := c.coord[shard]
+	for c.coord[shard] == prev {
+		c.coord[shard] = members[c.rng.Intn(len(members))]
 	}
 }
 
-// send shields (if configured) and transmits one request.
-func (c *Client) send(node string, w *Wire) error {
+// send shields (if configured) and transmits one request to a node of the
+// given shard.
+func (c *Client) send(node string, shard int, w *Wire) error {
 	w.From = c.cfg.ID
+	w.Group = uint32(shard)
 	payload := w.Encode()
 	if !c.cfg.Shielded {
 		return c.tr.Send(node, payload)
@@ -160,9 +212,9 @@ func (c *Client) send(node string, w *Wire) error {
 	return c.tr.Send(node, env.Encode())
 }
 
-// await waits for the response to request seq, returning the result, or a
-// redirect target, or neither on timeout.
-func (c *Client) await(seq uint64) (res Result, redirect string, ok bool) {
+// await waits for the response to request seq from the given shard,
+// returning the result, or a redirect target, or neither on timeout.
+func (c *Client) await(seq uint64, shard int) (res Result, redirect string, ok bool) {
 	deadline := time.NewTimer(c.cfg.RequestTimeout)
 	defer deadline.Stop()
 	for {
@@ -172,8 +224,8 @@ func (c *Client) await(seq uint64) (res Result, redirect string, ok bool) {
 				return Result{}, "", false
 			}
 			w := c.decode(pkt)
-			if w == nil || w.Index != seq {
-				continue // stale or unverifiable; keep waiting
+			if w == nil || w.Index != seq || w.Group != uint32(shard) {
+				continue // stale, unverifiable, or other-shard; keep waiting
 			}
 			switch w.Kind {
 			case KindClientResp:

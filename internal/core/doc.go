@@ -35,4 +35,15 @@
 //
 // Setting NodeConfig.MaxBatch to 1 restores the per-message baseline:
 // every message is shielded and transmitted individually.
+//
+// # Sharding
+//
+// Nothing in the transformation requires one replication group per
+// deployment: a sharded cluster runs N independent groups, each owning a
+// hash partition of the keyspace (ShardOf). The group dimension threads
+// through this package: nodes carry their attested group id, every Wire
+// addresses a group, channels open in per-group MAC domains (messages of
+// one group are rejected by another, counted in Stats.DropGroup), and
+// Client hashes each key to its owning group with one tracked coordinator
+// per group.
 package core

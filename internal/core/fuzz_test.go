@@ -79,9 +79,9 @@ func TestDecodeWireHostileCmdCount(t *testing.T) {
 
 // TestDecodeStatePageHostileCount mirrors the same bound for state pages.
 func TestDecodeStatePageHostileCount(t *testing.T) {
-	pkt := encodeStatePage(nil, "", true)
+	pkt := encodeStatePage(nil, "", true, nil)
 	binary.BigEndian.PutUint32(pkt[:4], 1<<20)
-	if _, _, _, err := decodeStatePage(pkt); err == nil {
+	if _, _, _, _, err := decodeStatePage(pkt); err == nil {
 		t.Errorf("hostile state-page count decoded")
 	}
 }

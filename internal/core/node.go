@@ -30,6 +30,7 @@ type Stats struct {
 	DropReplay    atomic.Uint64 // replays rejected
 	DropMAC       atomic.Uint64 // tampered/forged messages rejected
 	DropView      atomic.Uint64 // other-view messages rejected
+	DropGroup     atomic.Uint64 // cross-shard (wrong replication group) messages rejected
 	DropMalformed atomic.Uint64 // undecodable packets
 }
 
@@ -65,6 +66,7 @@ type NodeConfig struct {
 type Node struct {
 	cfg      NodeConfig
 	id       string
+	group    uint32 // replication group (shard), from the attested secrets
 	enclave  *tee.Enclave
 	shielder *authn.Shielder
 	store    *kvstore.Store
@@ -136,6 +138,7 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 	n := &Node{
 		cfg:         cfg,
 		id:          cfg.Secrets.NodeID,
+		group:       cfg.Secrets.Group,
 		enclave:     e,
 		shielder:    authn.NewShielder(e, opts...),
 		store:       store,
@@ -162,7 +165,7 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 				continue
 			}
 			for _, cq := range []string{n.peerChannel(n.id, p), n.peerChannel(p, n.id)} {
-				if err := n.shielder.OpenChannel(cq, attest.ChannelKey(cfg.Secrets.MasterKey, cq)); err != nil {
+				if err := n.shielder.OpenGroupChannel(cq, attest.ChannelKey(cfg.Secrets.MasterKey, cq), n.group); err != nil {
 					return nil, fmt.Errorf("node %s: %w", n.id, err)
 				}
 			}
@@ -170,6 +173,9 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 	}
 	return n, nil
 }
+
+// Group returns the node's replication group (shard).
+func (n *Node) Group() uint32 { return n.group }
 
 // incOf returns a node's current incarnation as known here.
 func (n *Node) incOf(id string) uint64 {
@@ -217,6 +223,12 @@ func (n *Node) Enclave() *tee.Enclave { return n.enclave }
 
 // Stats returns the node's authn-boundary counters.
 func (n *Node) Stats() *Stats { return &n.stats }
+
+// OverflowDrops returns how many authenticated messages the authn layer
+// discarded because a channel's future buffer was full. The batch verify
+// path cannot always surface overflow as an error, so this counter is the
+// only place those drops are visible.
+func (n *Node) OverflowDrops() uint64 { return n.shielder.OverflowDrops() }
 
 // Start initialises the protocol and launches the event loop.
 func (n *Node) Start() {
@@ -380,6 +392,8 @@ func (n *Node) handleFrame(from string, data []byte) {
 			n.stats.DropMAC.Add(1)
 		case errors.Is(err, authn.ErrWrongView):
 			n.stats.DropView.Add(1)
+		case errors.Is(err, authn.ErrWrongGroup):
+			n.stats.DropGroup.Add(1)
 		default:
 			n.stats.DropMalformed.Add(1)
 		}
@@ -417,12 +431,15 @@ func (n *Node) ensureChannel(cq string) {
 	if n.shielder.HasChannel(cq) {
 		return
 	}
+	// Lazily opened channels are bound to this node's own group: a channel
+	// name carried in from another shard gets this group's domain, so the
+	// foreign envelope's group check fails even though its MAC verifies.
 	key := attest.ChannelKey(n.cfg.Secrets.MasterKey, cq)
 	if strings.HasPrefix(cq, "cli:") {
-		_ = n.shielder.OpenLooseChannel(cq, key)
+		_ = n.shielder.OpenLooseGroupChannel(cq, key, n.group)
 		return
 	}
-	_ = n.shielder.OpenChannel(cq, key)
+	_ = n.shielder.OpenGroupChannel(cq, key, n.group)
 }
 
 // channelSender extracts the sending identity from a channel name,
@@ -471,6 +488,13 @@ func (n *Node) flushFutures() {
 
 // dispatchWire routes one verified message.
 func (n *Node) dispatchWire(from string, w *Wire) {
+	if w.Group != n.group {
+		// Wire-level group addressing backs up the envelope domain (and is
+		// the only shard guard in native/unshielded mode): messages for
+		// another replication group never reach the protocol.
+		n.stats.DropGroup.Add(1)
+		return
+	}
 	switch w.Kind {
 	case KindClientReq:
 		if w.Cmd == nil {
@@ -545,7 +569,7 @@ func (n *Node) LeaderAlive() bool {
 func (n *Node) sendChannel(to string) string {
 	cq := n.peerChannel(n.id, to)
 	if !n.shielder.HasChannel(cq) {
-		_ = n.shielder.OpenChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq))
+		_ = n.shielder.OpenGroupChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq), n.group)
 	}
 	return cq
 }
@@ -580,6 +604,7 @@ func (n *Node) maxBatch() int {
 // the current event-loop iteration — in a shared envelope and packet.
 func (n *Node) sendWire(to string, w *Wire) {
 	w.From = n.id
+	w.Group = n.group
 	payload := w.Encode()
 	if !n.cfg.Shielded {
 		n.qsend(to, payload)
@@ -662,6 +687,7 @@ func (n *Node) flushTransport() {
 // sendToClient shields a reply onto the client's directional channel.
 func (n *Node) sendToClient(cmd Command, w *Wire) {
 	w.From = n.id
+	w.Group = n.group
 	payload := w.Encode()
 	if !n.cfg.Shielded {
 		_ = n.tr.Send(cmd.ClientAddr, payload)
@@ -669,7 +695,7 @@ func (n *Node) sendToClient(cmd Command, w *Wire) {
 	}
 	cq := clientChannel(n.id, cmd.ClientID)
 	if !n.shielder.HasChannel(cq) {
-		_ = n.shielder.OpenChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq))
+		_ = n.shielder.OpenLooseGroupChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq), n.group)
 	}
 	env, err := n.shielder.Shield(cq, w.Kind, payload)
 	if err != nil {

@@ -58,6 +58,19 @@ type Snapshotter interface {
 	InstallSnapshot(index uint64)
 }
 
+// StateSidecar is an optional Protocol extension for protocols whose
+// correctness state lives outside the KV store — e.g. ABD's delete
+// tombstones, which must survive recovery or a recovered replica could help
+// resurrect a committed delete. The sidecar travels with the final
+// state-transfer page: the donor exports it and the recovering replica
+// imports (merges) it before the transfer completes.
+type StateSidecar interface {
+	// ExportSidecar serialises the protocol's transferable side state.
+	ExportSidecar() []byte
+	// ImportSidecar merges a donor's side state into this replica.
+	ImportSidecar(data []byte)
+}
+
 // BatchFlusher is an optional Protocol extension for protocols that batch
 // work across a burst of Submit/Handle calls. The node event loop drains its
 // queues in bounded batches and calls FlushBatch once per iteration, so a

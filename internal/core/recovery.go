@@ -19,9 +19,11 @@ type stateEntry struct {
 	Version kvstore.Version
 }
 
-// encodeStatePage serialises a page: [count][entries...][next key][done].
-func encodeStatePage(entries []stateEntry, next string, done bool) []byte {
-	buf := make([]byte, 0, 64)
+// encodeStatePage serialises a page:
+// [count][entries...][next key][done][sidecar]. The sidecar (protocol side
+// state, see StateSidecar) is only non-empty on the final page.
+func encodeStatePage(entries []stateEntry, next string, done bool, sidecar []byte) []byte {
+	buf := make([]byte, 0, 64+len(sidecar))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
 	for _, e := range entries {
 		buf = appendString(buf, e.Key)
@@ -35,20 +37,21 @@ func encodeStatePage(entries []stateEntry, next string, done bool) []byte {
 	} else {
 		buf = append(buf, 0)
 	}
+	buf = appendBytes(buf, sidecar)
 	return buf
 }
 
 // decodeStatePage parses a page.
-func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool, err error) {
+func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool, sidecar []byte, err error) {
 	d := decoder{buf: data}
 	n := int(d.uint32())
 	if n > 1<<20 {
-		return nil, "", false, ErrWireOversized
+		return nil, "", false, nil, ErrWireOversized
 	}
 	// Bound the preallocation by the buffer: each entry encodes to at least
 	// two length prefixes plus two version words (24 bytes).
 	if rem := len(data) - d.pos; n > rem/24 {
-		return nil, "", false, fmt.Errorf("decode state page: %w", ErrWireTruncated)
+		return nil, "", false, nil, fmt.Errorf("decode state page: %w", ErrWireTruncated)
 	}
 	entries = make([]stateEntry, 0, n)
 	for i := 0; i < n; i++ {
@@ -61,10 +64,11 @@ func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool,
 	}
 	next = d.string()
 	done = d.byte() == 1
+	sidecar = d.bytes()
 	if d.err != nil {
-		return nil, "", false, fmt.Errorf("decode state page: %w", d.err)
+		return nil, "", false, nil, fmt.Errorf("decode state page: %w", d.err)
 	}
-	return entries, next, done, nil
+	return entries, next, done, sidecar, nil
 }
 
 // recovery tracks an in-progress state transfer at a joining node.
@@ -117,16 +121,20 @@ func (n *Node) handleStateResp(from string, w *Wire) {
 	if rec == nil || rec.token != w.Index || rec.peer != from {
 		return // stale transfer
 	}
-	next, done, err := n.applyStatePage(w.Value)
+	next, done, sidecar, err := n.applyStatePage(w.Value)
 	if err != nil {
 		n.finishRecovery(rec, err)
 		return
 	}
 	if done {
 		// This runs on the event loop, so it is safe to touch the protocol:
-		// fast-forward log-based protocols past the transferred state.
+		// fast-forward log-based protocols past the transferred state and
+		// merge any protocol side state (e.g. ABD tombstones).
 		if snap, ok := n.proto.(Snapshotter); ok && w.Commit > 0 {
 			snap.InstallSnapshot(w.Commit)
+		}
+		if sc, ok := n.proto.(StateSidecar); ok && len(sidecar) > 0 {
+			sc.ImportSidecar(sidecar)
 		}
 		n.finishRecovery(rec, nil)
 		return
@@ -163,12 +171,19 @@ func (n *Node) serveStatePage(from string, w *Wire) {
 		entries = append(entries, stateEntry{Key: key, Value: val, Version: v})
 		return true
 	})
+	var sidecar []byte
+	if done {
+		// The final page carries the protocol's transferable side state.
+		if sc, ok := n.proto.(StateSidecar); ok {
+			sidecar = sc.ExportSidecar()
+		}
+	}
 	resp := &Wire{
 		Kind:  KindStateResp,
 		Index: w.Index, // echo the requester's transfer id
 		OK:    done,
 		Key:   next,
-		Value: encodeStatePage(entries, next, done),
+		Value: encodeStatePage(entries, next, done, sidecar),
 	}
 	if done {
 		// The final page tells a log-based protocol which log position the
@@ -183,17 +198,17 @@ func (n *Node) serveStatePage(from string, w *Wire) {
 // applyStatePage installs one page into the local store using versioned
 // writes, so pages arriving out of order or concurrently with live writes
 // never roll a key backwards.
-func (n *Node) applyStatePage(data []byte) (next string, done bool, err error) {
-	entries, next, done, err := decodeStatePage(data)
+func (n *Node) applyStatePage(data []byte) (next string, done bool, sidecar []byte, err error) {
+	entries, next, done, sidecar, err := decodeStatePage(data)
 	if err != nil {
-		return "", false, err
+		return "", false, nil, err
 	}
 	for _, e := range entries {
 		werr := n.store.WriteVersioned(e.Key, e.Value, e.Version)
 		if werr != nil && !errors.Is(werr, kvstore.ErrStaleVersion) {
-			return "", false, fmt.Errorf("apply state page: %w", werr)
+			return "", false, nil, fmt.Errorf("apply state page: %w", werr)
 		}
 		// Stale entries are fine: a fresher write already landed locally.
 	}
-	return next, done, nil
+	return next, done, sidecar, nil
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardOf pins the partitioning function's contract: deterministic,
+// in-range, degenerate for single-shard clusters, and reasonably balanced —
+// the owner of a key must be computable identically by every client and by
+// the harness.
+func TestShardOf(t *testing.T) {
+	if got := ShardOf("any-key", 1); got != 0 {
+		t.Errorf("ShardOf(_, 1) = %d, want 0", got)
+	}
+	if got := ShardOf("any-key", 0); got != 0 {
+		t.Errorf("ShardOf(_, 0) = %d, want 0", got)
+	}
+	const shards = 4
+	counts := make([]int, shards)
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("user%06d", i)
+		s := ShardOf(key, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf(%q, %d) = %d out of range", key, shards, s)
+		}
+		if s != ShardOf(key, shards) {
+			t.Fatalf("ShardOf(%q) not deterministic", key)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		// FNV over a uniform key space should not leave any shard with less
+		// than half its fair share.
+		if n < 4096/shards/2 {
+			t.Errorf("shard %d owns only %d of 4096 keys: %v", s, n, counts)
+		}
+	}
+}

@@ -17,6 +17,9 @@ const (
 	OpPut Op = iota + 1
 	// OpGet reads a key.
 	OpGet
+	// OpDelete removes a key. Deletes replicate like writes; deleting an
+	// absent key succeeds (idempotent).
+	OpDelete
 )
 
 // String names the operation.
@@ -26,6 +29,8 @@ func (o Op) String() string {
 		return "PUT"
 	case OpGet:
 		return "GET"
+	case OpDelete:
+		return "DELETE"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -73,6 +78,7 @@ const (
 // uses the subset of fields it needs. Kind dispatches handling.
 type Wire struct {
 	Kind   uint16
+	Group  uint32 // replication group (shard) the message addresses
 	From   string
 	Term   uint64 // term / view / epoch / round
 	Index  uint64 // log index / sequence / round-local slot
@@ -122,6 +128,7 @@ func (w *Wire) Encode() []byte {
 	buf := make([]byte, 0, 64+len(w.Key)+len(w.Value))
 	buf = binary.BigEndian.AppendUint16(buf, w.Kind)
 	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, w.Group)
 	buf = appendString(buf, w.From)
 	buf = binary.BigEndian.AppendUint64(buf, w.Term)
 	buf = binary.BigEndian.AppendUint64(buf, w.Index)
@@ -152,6 +159,7 @@ func DecodeWire(data []byte) (*Wire, error) {
 	if flags&^(flagOK|flagCmd|flagRes) != 0 {
 		return nil, fmt.Errorf("decode wire: unknown flags %#x", flags)
 	}
+	w.Group = d.uint32()
 	w.From = d.string()
 	w.Term = d.uint64()
 	w.Index = d.uint64()

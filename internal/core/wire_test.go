@@ -9,7 +9,7 @@ import (
 )
 
 func wiresEqual(a, b *Wire) bool {
-	if a.Kind != b.Kind || a.From != b.From || a.Term != b.Term ||
+	if a.Kind != b.Kind || a.Group != b.Group || a.From != b.From || a.Term != b.Term ||
 		a.Index != b.Index || a.Commit != b.Commit || a.TS != b.TS ||
 		a.OK != b.OK || a.Key != b.Key || !bytes.Equal(a.Value, b.Value) {
 		return false
@@ -44,7 +44,7 @@ func cmdEqual(a, b Command) bool {
 
 func TestWireCodecRoundTrip(t *testing.T) {
 	w := &Wire{
-		Kind: 7, From: "n1", Term: 3, Index: 42, Commit: 40,
+		Kind: 7, Group: 2, From: "n1", Term: 3, Index: 42, Commit: 40,
 		TS: kvstore.Version{TS: 9, Writer: 2}, OK: true,
 		Key: "k", Value: []byte("v"),
 		Cmd: &Command{Op: OpPut, Key: "k", Value: []byte("v"), ClientID: "c", ClientAddr: "addr", Seq: 5},
@@ -75,10 +75,10 @@ func TestWireCodecEmptyMessage(t *testing.T) {
 }
 
 func TestWireCodecProperty(t *testing.T) {
-	f := func(kind uint16, from string, term, index, commit, ts, writer uint64,
+	f := func(kind uint16, group uint32, from string, term, index, commit, ts, writer uint64,
 		ok bool, key string, value []byte, hasCmd bool, op byte, cseq uint64) bool {
 		w := &Wire{
-			Kind: kind, From: from, Term: term, Index: index, Commit: commit,
+			Kind: kind, Group: group, From: from, Term: term, Index: index, Commit: commit,
 			TS: kvstore.Version{TS: ts, Writer: writer}, OK: ok, Key: key, Value: value,
 		}
 		if hasCmd {
@@ -135,22 +135,22 @@ func TestStatePageCodec(t *testing.T) {
 		{Key: "a", Value: []byte("1"), Version: kvstore.Version{TS: 1, Writer: 2}},
 		{Key: "b", Value: nil, Version: kvstore.Version{TS: 5}},
 	}
-	data := encodeStatePage(entries, "c", false)
-	got, next, done, err := decodeStatePage(data)
+	data := encodeStatePage(entries, "c", false, nil)
+	got, next, done, sidecar, err := decodeStatePage(data)
 	if err != nil {
 		t.Fatalf("decodeStatePage: %v", err)
 	}
-	if next != "c" || done {
-		t.Errorf("next=%q done=%v", next, done)
+	if next != "c" || done || len(sidecar) != 0 {
+		t.Errorf("next=%q done=%v sidecar=%d", next, done, len(sidecar))
 	}
 	if len(got) != 2 || got[0].Key != "a" || got[1].Version.TS != 5 {
 		t.Errorf("entries = %+v", got)
 	}
-	// Terminal page.
-	data = encodeStatePage(nil, "", true)
-	got, _, done, err = decodeStatePage(data)
-	if err != nil || !done || len(got) != 0 {
-		t.Errorf("terminal page: %+v done=%v err=%v", got, done, err)
+	// Terminal page with a protocol sidecar.
+	data = encodeStatePage(nil, "", true, []byte("tombstones"))
+	got, _, done, sidecar, err = decodeStatePage(data)
+	if err != nil || !done || len(got) != 0 || string(sidecar) != "tombstones" {
+		t.Errorf("terminal page: %+v done=%v sidecar=%q err=%v", got, done, sidecar, err)
 	}
 }
 

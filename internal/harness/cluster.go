@@ -2,6 +2,13 @@
 // enclaves, CAS attestation, fabric, nodes, clients — for the examples,
 // integration tests, and the benchmark suite. It is the software equivalent
 // of the paper's three-machine SGX testbed.
+//
+// A cluster is one or more replication groups (shards): each group runs an
+// independent instance of the protocol over a hash-partition of the
+// keyspace, while the netstack fabric, the attestation CAS, and the
+// per-machine TEE platforms are shared across groups — attestation collateral
+// and transport are paid once for the whole deployment, which is what makes
+// the shard count a cheap scale-out knob.
 package harness
 
 import (
@@ -49,9 +56,14 @@ const (
 type Options struct {
 	// Protocol selects the replication protocol.
 	Protocol ProtocolKind
-	// Nodes is the replica count (0 picks the protocol's evaluation size:
-	// 3 for 2f+1 protocols, 4 for PBFT's 3f+1).
+	// Nodes is the per-group replica count (0 picks the protocol's
+	// evaluation size: 3 for 2f+1 protocols, 4 for PBFT's 3f+1).
 	Nodes int
+	// Shards is the number of replication groups (default 1). Each group is
+	// an independent Nodes-replica instance of the protocol owning a hash
+	// partition of the keyspace; groups share the fabric, the CAS, and the
+	// per-machine TEE platforms.
+	Shards int
 	// Shielded applies the Recipe transformation (R-* protocols). BFT
 	// baselines carry their own authentication and ignore this.
 	Shielded bool
@@ -78,22 +90,42 @@ type Options struct {
 	// Logf receives debug logs when set.
 	Logf func(format string, args ...any)
 	// Factory, when set, supplies the protocol instance for each replica
-	// (index into the membership order), overriding Protocol-based
+	// (index into the group's membership order), overriding Protocol-based
 	// construction. Used by the public custom-transformation API.
 	Factory func(replica int) core.Protocol
 }
 
-// Cluster is a running in-process deployment.
+// Group is one replication group (shard): an independent set of replicas
+// running the protocol over its partition of the keyspace. Groups of a
+// cluster share the fabric, CAS, and TEE platforms but have disjoint
+// memberships, disjoint authn MAC domains, and independent failure handling.
+type Group struct {
+	// ID is the group's shard index (also its authn group domain).
+	ID int
+	// Order is the group's membership in chain/rank order.
+	Order []string
+	// Nodes maps live member identities to their nodes.
+	Nodes map[string]*core.Node
+
+	c *Cluster
+}
+
+// Cluster is a running in-process deployment of one or more groups.
 type Cluster struct {
-	opts    Options
-	Fabric  *netstack.Fabric
-	CAS     *attest.Service
-	Nodes   map[string]*core.Node
-	Order   []string
-	platMap map[string]*tee.Platform
-	cliPlat *tee.Platform
-	code    []byte
-	nextCli int
+	opts   Options
+	Fabric *netstack.Fabric
+	CAS    *attest.Service
+	// Groups are the replication groups, indexed by shard.
+	Groups []*Group
+	// Nodes is the aggregate view of every live node across all groups.
+	Nodes map[string]*core.Node
+	// Order lists all node identities group-major (group 0 first).
+	Order []string
+
+	machines []*tee.Platform // per-replica-slot platforms shared across groups
+	cliPlat  *tee.Platform
+	code     []byte
+	nextCli  int
 }
 
 // New builds, attests, and starts a cluster.
@@ -107,6 +139,9 @@ func New(opts Options) (*Cluster, error) {
 		} else {
 			opts.Nodes = 3 // 2f+1, f=1
 		}
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
 	}
 	if opts.TickEvery <= 0 {
 		opts.TickEvery = 2 * time.Millisecond
@@ -141,26 +176,46 @@ func New(opts Options) (*Cluster, error) {
 		fabricOpts = append(fabricOpts, netstack.WithInjector(opts.Injector))
 	}
 	c := &Cluster{
-		opts:    opts,
-		Fabric:  netstack.NewFabric(fabricOpts...),
-		Nodes:   make(map[string]*core.Node, opts.Nodes),
-		platMap: make(map[string]*tee.Platform, opts.Nodes),
-		code:    []byte("recipe-protocol:" + string(opts.Protocol)),
+		opts:   opts,
+		Fabric: netstack.NewFabric(fabricOpts...),
+		Nodes:  make(map[string]*core.Node, opts.Nodes*opts.Shards),
+		code:   []byte("recipe-protocol:" + string(opts.Protocol)),
 	}
 
 	// Attestation is instantaneous while building (its latency is the
-	// subject of Table 4's dedicated benchmark, not of cluster setup).
+	// subject of Table 4's dedicated benchmark, not of cluster setup). One
+	// CAS serves every group: the attestation trust base is paid once.
 	cas, err := attest.NewService(attest.WithLatencyScale(0))
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	c.CAS = cas
 	cas.AllowMeasurement(tee.MeasureCode(c.code))
-	for i := 0; i < opts.Nodes; i++ {
-		c.Order = append(c.Order, fmt.Sprintf("n%d", i+1))
+
+	for g := 0; g < opts.Shards; g++ {
+		grp := &Group{ID: g, Nodes: make(map[string]*core.Node, opts.Nodes), c: c}
+		for i := 0; i < opts.Nodes; i++ {
+			grp.Order = append(grp.Order, nodeName(opts.Shards, g, i))
+		}
+		c.Groups = append(c.Groups, grp)
+		c.Order = append(c.Order, grp.Order...)
+		cas.SetGroupMembership(uint32(g), grp.Order)
 	}
 	cas.SetMembership(c.Order)
 	cas.SetConfig("protocol", string(opts.Protocol))
+	cas.SetConfig("shards", fmt.Sprintf("%d", opts.Shards))
+
+	// One TEE platform per machine slot, shared across groups: the i-th
+	// replica of every group is co-located on machine i, so platform trust
+	// collateral is registered once per machine rather than once per node.
+	for i := 0; i < opts.Nodes; i++ {
+		plat, err := tee.NewPlatform(fmt.Sprintf("plat-m%d", i+1), tee.WithCostModel(*opts.TEE))
+		if err != nil {
+			return nil, fmt.Errorf("harness: machine %d: %w", i+1, err)
+		}
+		c.machines = append(c.machines, plat)
+		cas.TrustPlatform(plat)
+	}
 
 	cliPlat, err := tee.NewPlatform("clients", tee.WithCostModel(tee.NativeCostModel()))
 	if err != nil {
@@ -168,23 +223,60 @@ func New(opts Options) (*Cluster, error) {
 	}
 	c.cliPlat = cliPlat
 
-	for _, id := range c.Order {
-		if err := c.startNode(id); err != nil {
-			c.Stop()
-			return nil, err
+	for _, grp := range c.Groups {
+		for _, id := range grp.Order {
+			if err := grp.startNode(id); err != nil {
+				c.Stop()
+				return nil, err
+			}
 		}
 	}
 	return c, nil
 }
 
-// startNode attests and launches one replica (also used for recovery).
-func (c *Cluster) startNode(id string) error {
-	plat, err := tee.NewPlatform("plat-"+id, tee.WithCostModel(*c.opts.TEE))
-	if err != nil {
-		return fmt.Errorf("harness: node %s: %w", id, err)
+// nodeName names the i-th replica of group g. Single-shard clusters keep the
+// historical n1..nN names; sharded clusters prefix the shard.
+func nodeName(shards, g, i int) string {
+	if shards == 1 {
+		return fmt.Sprintf("n%d", i+1)
 	}
-	c.platMap[id] = plat
-	c.CAS.TrustPlatform(plat)
+	return fmt.Sprintf("s%dn%d", g+1, i+1)
+}
+
+// Shards returns the number of replication groups.
+func (c *Cluster) Shards() int { return len(c.Groups) }
+
+// ShardOf returns the group index owning key under the cluster-wide
+// partitioning function.
+func (c *Cluster) ShardOf(key string) int { return core.ShardOf(key, len(c.Groups)) }
+
+// GroupOf returns the group whose membership contains id, or nil.
+func (c *Cluster) GroupOf(id string) *Group {
+	for _, g := range c.Groups {
+		for _, member := range g.Order {
+			if member == id {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// slotOf returns a member's machine slot (index in the group order).
+func (g *Group) slotOf(id string) int {
+	for i, member := range g.Order {
+		if member == id {
+			return i
+		}
+	}
+	return 0
+}
+
+// startNode attests and launches one replica of this group (also used for
+// recovery).
+func (g *Group) startNode(id string) error {
+	c := g.c
+	plat := c.machines[g.slotOf(id)]
 
 	enclave := plat.NewEnclave(c.code)
 	agent, err := attest.NewAgent(enclave)
@@ -205,7 +297,7 @@ func (c *Cluster) startNode(id string) error {
 		return fmt.Errorf("harness: register %s: %w", id, err)
 	}
 
-	node, err := core.NewNode(enclave, ep, c.newProtocol(id), core.NodeConfig{
+	node, err := core.NewNode(enclave, ep, g.newProtocol(id), core.NodeConfig{
 		Secrets:      secrets,
 		TickEvery:    c.opts.TickEvery,
 		MaxBatch:     c.opts.MaxBatch,
@@ -217,6 +309,7 @@ func (c *Cluster) startNode(id string) error {
 	if err != nil {
 		return fmt.Errorf("harness: node %s: %w", id, err)
 	}
+	g.Nodes[id] = node
 	c.Nodes[id] = node
 	node.Start()
 	return nil
@@ -231,15 +324,11 @@ func (c *Cluster) shieldedFor() bool {
 	return c.opts.Shielded
 }
 
-// newProtocol instantiates the protocol for one node.
-func (c *Cluster) newProtocol(id string) core.Protocol {
+// newProtocol instantiates the protocol for one node of this group.
+func (g *Group) newProtocol(id string) core.Protocol {
+	c := g.c
 	if c.opts.Factory != nil {
-		for i, member := range c.Order {
-			if member == id {
-				return c.opts.Factory(i)
-			}
-		}
-		return c.opts.Factory(0)
+		return c.opts.Factory(g.slotOf(id))
 	}
 	switch c.opts.Protocol {
 	case Chain:
@@ -255,11 +344,13 @@ func (c *Cluster) newProtocol(id string) core.Protocol {
 	case Damysus:
 		return damysus.New(*c.opts.TEE)
 	default:
-		return raft.New(c.opts.Seed + int64(len(id)*31+int(id[len(id)-1])))
+		return raft.New(c.opts.Seed + int64(g.ID)*7907 + int64(len(id)*31+int(id[len(id)-1])))
 	}
 }
 
-// Client creates a new attested client session against the cluster.
+// Client creates a new attested, partition-aware client session against the
+// cluster: keys hash onto the groups and each operation routes to the owning
+// group's coordinator.
 func (c *Cluster) Client() (*core.Client, error) {
 	c.nextCli++
 	id := fmt.Sprintf("client-%d", c.nextCli)
@@ -267,10 +358,14 @@ func (c *Cluster) Client() (*core.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: client: %w", err)
 	}
+	groups := make([][]string, len(c.Groups))
+	for i, g := range c.Groups {
+		groups[i] = append([]string(nil), g.Order...)
+	}
 	enclave := c.cliPlat.NewEnclave([]byte("recipe-client"))
 	return core.NewClient(enclave, ep, core.ClientConfig{
 		ID:           id,
-		Nodes:        c.Order,
+		Groups:       groups,
 		MasterKey:    c.CAS.MasterKey(),
 		Shielded:     c.shieldedFor(),
 		Confidential: c.opts.Confidential,
@@ -278,54 +373,94 @@ func (c *Cluster) Client() (*core.Client, error) {
 	})
 }
 
-// WaitForCoordinator blocks until some node reports itself coordinator
-// (e.g. a Raft leader is elected) and returns its id.
-func (c *Cluster) WaitForCoordinator(timeout time.Duration) (string, error) {
+// WaitForCoordinator blocks until some node of this group reports itself
+// coordinator (e.g. a Raft leader is elected) and returns its id.
+func (g *Group) WaitForCoordinator(timeout time.Duration) (string, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		for _, id := range c.Order {
-			n, ok := c.Nodes[id]
-			if !ok {
-				continue
-			}
-			if st := n.Status(); st.IsCoordinator {
-				return id, nil
-			}
+		if id, ok := g.coordinator(); ok {
+			return id, nil
 		}
-		time.Sleep(c.opts.TickEvery)
+		time.Sleep(g.c.opts.TickEvery)
 	}
-	return "", fmt.Errorf("harness: no coordinator within %v", timeout)
+	return "", fmt.Errorf("harness: group %d: no coordinator within %v", g.ID, timeout)
 }
 
-// Crash fail-stops one node (enclave crash + network detach).
+// coordinator returns the group's current coordinator, if any.
+func (g *Group) coordinator() (string, bool) {
+	for _, id := range g.Order {
+		n, ok := g.Nodes[id]
+		if !ok {
+			continue
+		}
+		if st := n.Status(); st.IsCoordinator {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// WaitForCoordinator blocks until every group has a coordinator and returns
+// group 0's (the single group's coordinator in an unsharded cluster).
+func (c *Cluster) WaitForCoordinator(timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	first := ""
+	for _, g := range c.Groups {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			remain = time.Millisecond
+		}
+		id, err := g.WaitForCoordinator(remain)
+		if err != nil {
+			return "", err
+		}
+		if first == "" {
+			first = id
+		}
+	}
+	return first, nil
+}
+
+// Crash fail-stops one node (enclave crash + network detach), wherever it
+// lives.
 func (c *Cluster) Crash(id string) {
-	if n, ok := c.Nodes[id]; ok {
+	g := c.GroupOf(id)
+	if g == nil {
+		return
+	}
+	if n, ok := g.Nodes[id]; ok {
 		n.Crash()
+		delete(g.Nodes, id)
 		delete(c.Nodes, id)
 	}
 }
 
 // Recover re-attests a fresh replacement for a crashed node (same identity
-// slot, new incarnation), announces it, and syncs its state from a live
-// peer. It implements the paper's recovery flow (§3.7) end to end.
+// slot, new incarnation), announces it, and syncs its state from a live peer
+// of its own group. It implements the paper's recovery flow (§3.7) end to
+// end; other groups are untouched.
 func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
-	if _, alive := c.Nodes[id]; alive {
+	g := c.GroupOf(id)
+	if g == nil {
+		return fmt.Errorf("harness: unknown node %s", id)
+	}
+	if _, alive := g.Nodes[id]; alive {
 		return fmt.Errorf("harness: %s still running", id)
 	}
-	if err := c.startNode(id); err != nil {
+	if err := g.startNode(id); err != nil {
 		return err
 	}
-	node := c.Nodes[id]
+	node := g.Nodes[id]
 	node.AnnounceJoin()
 	var donor string
-	for _, other := range c.Order {
-		if other != id && c.Nodes[other] != nil {
+	for _, other := range g.Order {
+		if other != id && g.Nodes[other] != nil {
 			donor = other
 			break
 		}
 	}
 	if donor == "" {
-		return fmt.Errorf("harness: no live donor for %s", id)
+		return fmt.Errorf("harness: no live donor for %s in group %d", id, g.ID)
 	}
 	return node.SyncFrom(donor, syncTimeout)
 }

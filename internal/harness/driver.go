@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recipe/internal/core"
@@ -10,20 +11,24 @@ import (
 	"recipe/internal/workload"
 )
 
-// Preload installs the workload's key space directly into every replica's
-// store (version 1), so benchmark reads hit and every protocol starts from
+// Preload installs the workload's key space directly into the replicas'
+// stores (version 1), so benchmark reads hit and every protocol starts from
 // the same consistent snapshot without paying 10k protocol rounds of setup.
+// Each key is loaded only into its owning group — the partition invariant a
+// live sharded cluster maintains (and what gives sharding its capacity win:
+// every group keeps only its fraction of the working set in enclave memory).
 func (c *Cluster) Preload(cfg workload.Config) error {
 	gen := workload.New(cfg)
 	val := gen.Value()
-	for _, id := range c.Order {
-		n, ok := c.Nodes[id]
-		if !ok {
-			continue
-		}
-		store := n.Store()
-		for i := 0; i < gen.Keys(); i++ {
-			if err := store.WriteVersioned(gen.Key(i), val, kvstore.Version{TS: 1}); err != nil {
+	for i := 0; i < gen.Keys(); i++ {
+		key := gen.Key(i)
+		g := c.Groups[core.ShardOf(key, len(c.Groups))]
+		for _, id := range g.Order {
+			n, ok := g.Nodes[id]
+			if !ok {
+				continue
+			}
+			if err := n.Store().WriteVersioned(key, val, kvstore.Version{TS: 1}); err != nil {
 				return fmt.Errorf("preload %s: %w", id, err)
 			}
 		}
@@ -33,8 +38,21 @@ func (c *Cluster) Preload(cfg workload.Config) error {
 
 // RunOps drives totalOps operations of the given workload against the
 // cluster from `clients` closed-loop client sessions and returns the
-// aggregate throughput in operations per second.
+// aggregate throughput in operations per second. Clients are partition-aware:
+// in a sharded cluster each operation routes to the group owning its key.
 func (c *Cluster) RunOps(cfg workload.Config, clients, totalOps int) (float64, error) {
+	ops, _, err := c.runOps(cfg, clients, totalOps)
+	return ops, err
+}
+
+// RunShardedOps is RunOps with per-shard accounting: it additionally returns
+// how many operations landed on each replication group, so sharded runs can
+// assert (and report) that load actually spread across the partitions.
+func (c *Cluster) RunShardedOps(cfg workload.Config, clients, totalOps int) (float64, []uint64, error) {
+	return c.runOps(cfg, clients, totalOps)
+}
+
+func (c *Cluster) runOps(cfg workload.Config, clients, totalOps int) (float64, []uint64, error) {
 	if clients <= 0 {
 		clients = 1
 	}
@@ -47,7 +65,7 @@ func (c *Cluster) RunOps(cfg workload.Config, clients, totalOps int) (float64, e
 	for i := range workers {
 		cli, err := c.Client()
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		wcfg := cfg
 		wcfg.Seed = cfg.Seed + int64(i+1)*7919
@@ -62,6 +80,7 @@ func (c *Cluster) RunOps(cfg workload.Config, clients, totalOps int) (float64, e
 		}
 	}()
 
+	perShard := make([]atomic.Uint64, len(c.Groups))
 	var wg sync.WaitGroup
 	errCh := make(chan error, clients)
 	start := time.Now()
@@ -73,15 +92,19 @@ func (c *Cluster) RunOps(cfg workload.Config, clients, totalOps int) (float64, e
 			for n := 0; n < w.ops; n++ {
 				op := w.gen.Next()
 				var err error
-				if op.Read {
+				switch {
+				case op.Read:
 					_, err = w.cli.Get(op.Key)
-				} else {
+				case op.Delete:
+					_, err = w.cli.Delete(op.Key)
+				default:
 					_, err = w.cli.Put(op.Key, op.Value)
 				}
 				if err != nil {
 					errCh <- fmt.Errorf("driver op %d: %w", n, err)
 					return
 				}
+				perShard[w.cli.ShardOf(op.Key)].Add(1)
 			}
 		}()
 	}
@@ -89,10 +112,14 @@ func (c *Cluster) RunOps(cfg workload.Config, clients, totalOps int) (float64, e
 	elapsed := time.Since(start)
 	close(errCh)
 	for err := range errCh {
-		return 0, err
+		return 0, nil, err
 	}
 	if elapsed <= 0 {
 		elapsed = time.Nanosecond
 	}
-	return float64(totalOps) / elapsed.Seconds(), nil
+	counts := make([]uint64, len(perShard))
+	for i := range perShard {
+		counts[i] = perShard[i].Load()
+	}
+	return float64(totalOps) / elapsed.Seconds(), counts, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"recipe/internal/netstack"
 )
 
 // TestLeaderCrashFailover: R-Raft elects a new leader after the old one
@@ -132,6 +134,52 @@ func TestRecoveredNodeGetsFreshIncarnation(t *testing.T) {
 	}
 	if v, err := c.Nodes["n2"].Store().Get("k2"); err != nil || !bytes.Equal(v, []byte("v2")) {
 		t.Fatalf("recovered node missing new write: %q, %v", v, err)
+	}
+}
+
+// TestRecoveryPreservesAbdTombstones: ABD's delete tombstones are protocol
+// side state, carried across state transfer by the StateSidecar hook. A
+// recovered replica must remember committed deletes, or it could join a
+// lagging replica in resurrecting a deleted register: here the delete
+// commits at {n1, n2} while n3 is partitioned, n2 is then crashed and
+// recovered from n1, n1 is crashed — so the read quorum is exactly
+// {recovered n2, lagging n3} and only n2's transferred tombstone stands
+// between the client and the deleted value.
+func TestRecoveryPreservesAbdTombstones(t *testing.T) {
+	iso := netstack.NewIsolate()
+	opts := fastOpts(ABD, true)
+	opts.Injector = iso
+	c := startCluster(t, opts)
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	if res, err := cli.Put("k", []byte("old")); err != nil || !res.OK {
+		t.Fatalf("Put = %+v, %v", res, err)
+	}
+	iso.Set("n3", true) // partition n3; it keeps the old value
+	if res, err := cli.Delete("k"); err != nil || !res.OK {
+		t.Fatalf("Delete with n3 partitioned = %+v, %v", res, err)
+	}
+
+	c.Crash("n2")
+	if err := c.Recover("n2", 10*time.Second); err != nil {
+		t.Fatalf("Recover(n2): %v", err)
+	}
+	iso.Set("n3", false) // heal
+	c.Crash("n1")        // quorum is now {recovered n2, lagging n3}
+
+	if res, err := cli.Get("k"); err != nil || res.OK {
+		t.Fatalf("committed delete resurrected after recovery: %+v, %v", res, err)
+	}
+	// The register is reusable: a fresh write supersedes the tombstone.
+	if res, err := cli.Put("k", []byte("new")); err != nil || !res.OK {
+		t.Fatalf("Put after delete = %+v, %v", res, err)
+	}
+	if res, err := cli.Get("k"); err != nil || !res.OK || !bytes.Equal(res.Value, []byte("new")) {
+		t.Fatalf("Get after re-put = %+v, %v", res, err)
 	}
 }
 

@@ -1,0 +1,342 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"recipe/internal/netstack"
+	"recipe/internal/workload"
+)
+
+// fastShardedOpts is fastOpts plus a shard count.
+func fastShardedOpts(p ProtocolKind, shielded bool, shards int) Options {
+	opts := fastOpts(p, shielded)
+	opts.Shards = shards
+	return opts
+}
+
+// TestShardedClusterRoutesByKey: a sharded cluster serves the full
+// PUT/GET/DELETE surface, and each key's data lands only in the stores of
+// its owning group — the partition-aware client really routes.
+func TestShardedClusterRoutesByKey(t *testing.T) {
+	const shards = 3
+	c := startCluster(t, fastShardedOpts(Raft, true, shards))
+	if got := len(c.Groups); got != shards {
+		t.Fatalf("Groups = %d, want %d", got, shards)
+	}
+	if got := len(c.Order); got != shards*3 {
+		t.Fatalf("Order = %d nodes, want %d", got, shards*3)
+	}
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	keys := make([]string, 40)
+	owned := make([]int, shards)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		owned[c.ShardOf(keys[i])]++
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if res, err := cli.Put(keys[i], val); err != nil || !res.OK {
+			t.Fatalf("Put %s = %+v, %v", keys[i], res, err)
+		}
+	}
+	for _, n := range owned {
+		if n == 0 {
+			t.Fatalf("hash partition left a shard empty over %d keys: %v", len(keys), owned)
+		}
+	}
+	for i, key := range keys {
+		want := []byte(fmt.Sprintf("value-%d", i))
+		res, err := cli.Get(key)
+		if err != nil || !res.OK || !bytes.Equal(res.Value, want) {
+			t.Fatalf("Get %s = %+v, %v", key, res, err)
+		}
+	}
+
+	// Committed data lives only in the owning group's replicas.
+	waitConverged(t, c, func() bool {
+		for _, key := range keys {
+			owner := c.ShardOf(key)
+			for gi, g := range c.Groups {
+				for _, id := range g.Order {
+					_, err := c.Nodes[id].Store().Get(key)
+					if gi == owner && err != nil {
+						return false // owner replica not yet caught up
+					}
+					if gi != owner && err == nil {
+						t.Fatalf("key %s (shard %d) found in shard %d replica %s", key, owner, gi, id)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Deletes route the same way and are idempotent.
+	for _, key := range keys[:10] {
+		if res, err := cli.Delete(key); err != nil || !res.OK {
+			t.Fatalf("Delete %s = %+v, %v", key, res, err)
+		}
+		if res, err := cli.Get(key); err != nil || res.OK {
+			t.Fatalf("Get after delete %s = %+v, %v", key, res, err)
+		}
+		if res, err := cli.Delete(key); err != nil || !res.OK {
+			t.Fatalf("re-Delete %s = %+v, %v", key, res, err)
+		}
+	}
+}
+
+// waitConverged polls cond until true or a deadline.
+func waitConverged(t *testing.T, c *Cluster, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas did not converge")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardIsolationCrashRecovery: crashing and recovering a replica in one
+// shard must not disturb another shard's availability.
+func TestShardIsolationCrashRecovery(t *testing.T) {
+	c := startCluster(t, fastShardedOpts(Raft, true, 2))
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	// Find one key per shard.
+	keyOf := make([]string, 2)
+	for i := 0; keyOf[0] == "" || keyOf[1] == ""; i++ {
+		k := fmt.Sprintf("iso-%d", i)
+		keyOf[c.ShardOf(k)] = k
+	}
+	for _, k := range keyOf {
+		if res, err := cli.Put(k, []byte("pre-crash")); err != nil || !res.OK {
+			t.Fatalf("Put %s = %+v, %v", k, res, err)
+		}
+	}
+
+	// Crash shard 0's leader. Shard 1 must keep serving immediately — its
+	// replicas, channels, and lease are untouched.
+	victim, err := c.Groups[0].WaitForCoordinator(5 * time.Second)
+	if err != nil {
+		t.Fatalf("shard-0 coordinator: %v", err)
+	}
+	c.Crash(victim)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("during-%d-%d", i, 0)
+		if c.ShardOf(k) != 1 {
+			continue
+		}
+		if res, err := cli.Put(k, []byte("v")); err != nil || !res.OK {
+			t.Fatalf("shard 1 unavailable during shard 0 crash: %+v, %v", res, err)
+		}
+	}
+	if res, err := cli.Get(keyOf[1]); err != nil || !res.OK {
+		t.Fatalf("shard 1 read during shard 0 crash: %+v, %v", res, err)
+	}
+
+	// Shard 0 re-elects among survivors; then recover the crashed replica.
+	if _, err := c.Groups[0].WaitForCoordinator(10 * time.Second); err != nil {
+		t.Fatalf("shard 0 re-election: %v", err)
+	}
+	if err := c.Recover(victim, 10*time.Second); err != nil {
+		t.Fatalf("Recover(%s): %v", victim, err)
+	}
+	if res, err := cli.Get(keyOf[0]); err != nil || !res.OK || !bytes.Equal(res.Value, []byte("pre-crash")) {
+		t.Fatalf("shard 0 read after recovery: %+v, %v", res, err)
+	}
+	// The recovery did not disturb shard 1 either.
+	if res, err := cli.Get(keyOf[1]); err != nil || !res.OK {
+		t.Fatalf("shard 1 read after shard 0 recovery: %+v, %v", res, err)
+	}
+}
+
+// crossShardReplayer is a fault injector that carries genuine shard-1
+// traffic across the shard boundary: every matching packet is additionally
+// delivered, byte for byte, to a shard-2 replica.
+type crossShardReplayer struct {
+	mu       sync.Mutex
+	from, to string // packets on this edge are replayed
+	target   string // into this foreign-shard node
+	replayed int
+}
+
+func (r *crossShardReplayer) Apply(p netstack.Packet) []netstack.Packet {
+	out := []netstack.Packet{p}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.From == r.from && p.To == r.to && r.replayed < 64 {
+		r.replayed++
+		out = append(out, netstack.Packet{From: p.From, To: r.target, Data: p.Data})
+	}
+	return out
+}
+
+// TestCrossShardReplayRejected proves the per-group MAC domain: genuine,
+// validly MAC'd envelopes captured on a shard-1 channel and injected into a
+// shard-2 replica are rejected (counted as cross-group drops) and never
+// reach the protocol. Without the group binding these envelopes would
+// verify — both shards derive channel keys from the same master key.
+func TestCrossShardReplayRejected(t *testing.T) {
+	opts := fastShardedOpts(Raft, true, 2)
+	replayer := &crossShardReplayer{from: "s1n1", to: "s1n2", target: "s2n2"}
+	opts.Injector = replayer
+	c := startCluster(t, opts)
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	// Drive traffic until the injector has replayed a healthy sample.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		if _, err := cli.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		replayer.mu.Lock()
+		replayed := replayer.replayed
+		replayer.mu.Unlock()
+		if replayed >= 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("injector never saw s1n1->s1n2 traffic")
+		}
+	}
+
+	target := c.Nodes["s2n2"]
+	waitFor(t, 5*time.Second, func() bool {
+		return target.Stats().DropGroup.Load() > 0
+	}, "cross-shard replays were not rejected as group violations")
+
+	// The victim shard is otherwise healthy: no MAC drops (the envelopes
+	// were genuine) and its own traffic still flows.
+	if got := target.Stats().DropGroup.Load(); got == 0 {
+		t.Fatalf("DropGroup = 0 after %d replays", replayer.replayed)
+	}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("post-%d", i)
+		if res, err := cli.Put(k, []byte("v")); err != nil || !res.OK {
+			t.Fatalf("Put %s after replay attack = %+v, %v", k, res, err)
+		}
+	}
+}
+
+// waitFor polls cond until true or fails with msg.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s", msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardedWorkloadUnderLoad exercises the sharded driver mode: a
+// multi-client YCSB mix with a delete fraction spread across two shards,
+// with per-shard accounting proving both groups took load.
+func TestShardedWorkloadUnderLoad(t *testing.T) {
+	c := startCluster(t, fastShardedOpts(Raft, true, 2))
+	cfg := workloadConfig()
+	ops, perShard, err := c.RunShardedOps(cfg, 8, 400)
+	if err != nil {
+		t.Fatalf("RunShardedOps: %v", err)
+	}
+	if ops <= 0 {
+		t.Fatalf("throughput = %v", ops)
+	}
+	if len(perShard) != 2 {
+		t.Fatalf("perShard = %v, want 2 entries", perShard)
+	}
+	for shard, n := range perShard {
+		if n == 0 {
+			t.Fatalf("shard %d served no operations: %v", shard, perShard)
+		}
+	}
+	if got := perShard[0] + perShard[1]; got != 400 {
+		t.Fatalf("accounted ops = %d, want 400", got)
+	}
+}
+
+// TestDeleteAllProtocols: the DELETE op works end to end on every protocol,
+// including both BFT baselines, and is idempotent.
+func TestDeleteAllProtocols(t *testing.T) {
+	for _, tc := range []struct {
+		proto    ProtocolKind
+		shielded bool
+	}{
+		{Raft, true},
+		{Chain, true},
+		{CRAQ, true},
+		{ABD, true},
+		{AllConcur, true},
+		{PBFT, false},
+		{Damysus, false},
+	} {
+		name := string(tc.proto)
+		if tc.shielded {
+			name = "R-" + name
+		}
+		t.Run(name, func(t *testing.T) {
+			c := startCluster(t, fastOpts(tc.proto, tc.shielded))
+			cli, err := c.Client()
+			if err != nil {
+				t.Fatalf("Client: %v", err)
+			}
+			defer func() { _ = cli.Close() }()
+
+			if res, err := cli.Put("k", []byte("v")); err != nil || !res.OK {
+				t.Fatalf("Put = %+v, %v", res, err)
+			}
+			if res, err := cli.Get("k"); err != nil || !res.OK {
+				t.Fatalf("Get = %+v, %v", res, err)
+			}
+			if res, err := cli.Delete("k"); err != nil || !res.OK {
+				t.Fatalf("Delete = %+v, %v", res, err)
+			}
+			if res, err := cli.Get("k"); err != nil || res.OK {
+				t.Fatalf("Get after delete = %+v, %v", res, err)
+			}
+			// Idempotent: deleting the absent key still succeeds.
+			if res, err := cli.Delete("k"); err != nil || !res.OK {
+				t.Fatalf("re-Delete = %+v, %v", res, err)
+			}
+			// The key space stays usable.
+			if res, err := cli.Put("k", []byte("v2")); err != nil || !res.OK {
+				t.Fatalf("Put after delete = %+v, %v", res, err)
+			}
+			if res, err := cli.Get("k"); err != nil || !res.OK || !bytes.Equal(res.Value, []byte("v2")) {
+				t.Fatalf("Get after re-put = %+v, %v", res, err)
+			}
+		})
+	}
+}
+
+// workloadConfig is the sharded-driver test mix: read-heavy with a delete
+// fraction so all three op kinds flow.
+func workloadConfig() workload.Config {
+	return workload.Config{
+		Keys:        256,
+		ReadRatio:   0.70,
+		DeleteRatio: 0.10,
+		ValueSize:   64,
+		Seed:        42,
+	}
+}

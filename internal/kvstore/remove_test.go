@@ -1,0 +1,112 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"recipe/internal/tee"
+)
+
+func removeTestStore(t *testing.T) *Store {
+	t.Helper()
+	plat, err := tee.NewPlatform("remove-test", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	s, err := Open(plat.NewEnclave([]byte("s")), Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestRemoveVersionedFloor: a versioned delete leaves a floor — writes at or
+// below it are stale (a replayed replication message or an in-flight
+// recovery page must not resurrect the deleted value) while a write above it
+// resurrects the key and clears the floor.
+func TestRemoveVersionedFloor(t *testing.T) {
+	s := removeTestStore(t)
+	if err := s.WriteVersioned("k", []byte("v5"), Version{TS: 5}); err != nil {
+		t.Fatalf("WriteVersioned: %v", err)
+	}
+	if err := s.RemoveVersioned("k", Version{TS: 6}); err != nil {
+		t.Fatalf("RemoveVersioned: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+	}
+	// Stale writes at or below the floor are rejected — the resurrection the
+	// floor exists to stop.
+	for _, ts := range []uint64{5, 6} {
+		if err := s.WriteVersioned("k", []byte("stale"), Version{TS: ts}); !errors.Is(err, ErrStaleVersion) {
+			t.Fatalf("WriteVersioned at %d after delete@6 err = %v, want ErrStaleVersion", ts, err)
+		}
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale write resurrected the key: err = %v", err)
+	}
+	// A write above the floor resurrects the key.
+	if err := s.WriteVersioned("k", []byte("v7"), Version{TS: 7}); err != nil {
+		t.Fatalf("WriteVersioned above floor: %v", err)
+	}
+	if v, err := s.Get("k"); err != nil || string(v) != "v7" {
+		t.Fatalf("Get after resurrection = %q, %v", v, err)
+	}
+	// The floor is cleared: versions between the old floor and the new write
+	// are governed by the stored version again.
+	if err := s.WriteVersioned("k", []byte("v6"), Version{TS: 6}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("below stored version err = %v, want ErrStaleVersion", err)
+	}
+}
+
+// TestFloorSurvivesFailedWrite: a resurrect-write that passes the version
+// checks but fails to store (host memory exhausted) must leave the deletion
+// floor standing, or the failed write would open the door for a stale replay
+// to resurrect the committed delete.
+func TestFloorSurvivesFailedWrite(t *testing.T) {
+	plat, err := tee.NewPlatform("floor-test", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	s, err := Open(plat.NewEnclave([]byte("s")), Config{HostMemLimit: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.WriteVersioned("k", []byte("v5"), Version{TS: 5}); err != nil {
+		t.Fatalf("WriteVersioned: %v", err)
+	}
+	if err := s.RemoveVersioned("k", Version{TS: 6}); err != nil {
+		t.Fatalf("RemoveVersioned: %v", err)
+	}
+	// Above the floor but too large for host memory: the write fails.
+	if err := s.WriteVersioned("k", make([]byte, 128), Version{TS: 7}); err == nil {
+		t.Fatalf("oversized write unexpectedly succeeded")
+	}
+	// The floor must still reject stale writes.
+	if err := s.WriteVersioned("k", []byte("old"), Version{TS: 5}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("floor lost after failed write: err = %v, want ErrStaleVersion", err)
+	}
+}
+
+// TestRemoveVersionedStaleDelete: a delete below the stored version records
+// its floor but leaves the newer value intact (delete/write races resolve by
+// version, not arrival order).
+func TestRemoveVersionedStaleDelete(t *testing.T) {
+	s := removeTestStore(t)
+	if err := s.WriteVersioned("k", []byte("v9"), Version{TS: 9}); err != nil {
+		t.Fatalf("WriteVersioned: %v", err)
+	}
+	if err := s.RemoveVersioned("k", Version{TS: 4}); err != nil {
+		t.Fatalf("RemoveVersioned: %v", err)
+	}
+	if v, err := s.Get("k"); err != nil || string(v) != "v9" {
+		t.Fatalf("stale delete removed newer value: %q, %v", v, err)
+	}
+	// Deleting an absent key succeeds and still records the floor.
+	if err := s.RemoveVersioned("gone", Version{TS: 3}); err != nil {
+		t.Fatalf("RemoveVersioned(absent): %v", err)
+	}
+	if err := s.WriteVersioned("gone", []byte("old"), Version{TS: 2}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("write below absent-key floor err = %v, want ErrStaleVersion", err)
+	}
+}

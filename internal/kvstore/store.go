@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"recipe/internal/tee"
 )
@@ -31,6 +32,16 @@ type Store struct {
 	index   *skiplist
 	arena   *hostArena
 	aead    cipher.AEAD // non-nil in confidential mode
+
+	// tombs records deletion floors: RemoveVersioned(key, v) remembers v so
+	// a later WriteVersioned at or below it is rejected as stale. Without
+	// the floor, deleting a key erases its version history, and a stale
+	// write (a replayed replication message, an in-flight recovery page)
+	// would resurrect the deleted value. A floor is cleared by the first
+	// write above it; floors for never-rewritten keys persist (bounded by
+	// the number of distinct deleted keys).
+	tombMu sync.Mutex
+	tombs  map[string]Version
 }
 
 // Config parameterises a Store.
@@ -50,6 +61,7 @@ func Open(e *tee.Enclave, cfg Config) (*Store, error) {
 		enclave: e,
 		index:   newSkiplist(cfg.Seed),
 		arena:   newHostArena(cfg.HostMemLimit),
+		tombs:   make(map[string]Version),
 	}
 	if cfg.Confidential {
 		key, err := e.DeriveKey("kv-value-encryption")
@@ -89,6 +101,12 @@ func (s *Store) write(key string, value []byte, v Version, versioned bool) error
 		return tee.ErrEnclaveCrashed
 	}
 	if versioned {
+		s.tombMu.Lock()
+		floor, deleted := s.tombs[key]
+		s.tombMu.Unlock()
+		if deleted && !floor.Less(v) {
+			return fmt.Errorf("%w: key %q deleted at %v, write carries %v", ErrStaleVersion, key, floor, v)
+		}
 		if prev, ok := s.index.get(key); ok && v.Less(prev.version) {
 			return fmt.Errorf("%w: key %q has %v, write carries %v", ErrStaleVersion, key, prev.version, v)
 		}
@@ -123,6 +141,14 @@ func (s *Store) write(key string, value []byte, v Version, versioned bool) error
 		s.enclave.ChargeResident(-metaSize(key, prev))
 	}
 	s.enclave.ChargeResident(metaSize(key, ent))
+	if versioned {
+		// The write landed above the floor: the key is resurrected. Cleared
+		// only after success — a failed write must leave the floor standing,
+		// or a stale replay could resurrect the committed delete.
+		s.tombMu.Lock()
+		delete(s.tombs, key)
+		s.tombMu.Unlock()
+	}
 	return nil
 }
 
@@ -192,6 +218,37 @@ func (s *Store) Delete(key string) error {
 	}
 	s.arena.release(ent.handle)
 	s.enclave.ChargeResident(-metaSize(key, ent))
+	return nil
+}
+
+// Remove is an idempotent unversioned delete: an absent key is already the
+// desired state and is not an error. Replication protocols should use
+// RemoveVersioned so the deletion leaves a version floor.
+func (s *Store) Remove(key string) error {
+	if err := s.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// RemoveVersioned is the idempotent delete replication protocols apply: it
+// records v as the key's deletion floor — subsequent WriteVersioned calls at
+// or below v are rejected as stale, so a replayed or in-flight stale write
+// (e.g. a recovery state page racing a live delete) cannot resurrect the
+// deleted value — and removes the stored entry unless a strictly newer
+// version already landed. Deleting an absent key succeeds.
+func (s *Store) RemoveVersioned(key string, v Version) error {
+	if s.enclave.Crashed() {
+		return tee.ErrEnclaveCrashed
+	}
+	s.tombMu.Lock()
+	if cur, ok := s.tombs[key]; !ok || cur.Less(v) {
+		s.tombs[key] = v
+	}
+	s.tombMu.Unlock()
+	if ent, ok := s.index.get(key); ok && !v.Less(ent.version) {
+		return s.Remove(key)
+	}
 	return nil
 }
 

@@ -11,6 +11,8 @@
 package abd
 
 import (
+	"encoding/binary"
+
 	"recipe/internal/core"
 	"recipe/internal/kvstore"
 )
@@ -29,6 +31,9 @@ const (
 	KindRead
 	// KindReadResp returns the replica's (value, ts).
 	KindReadResp
+	// KindDelete removes a key at a replica (delete phase 2; acknowledged
+	// with KindWriteAck like a write).
+	KindDelete
 )
 
 // opTimeoutTicks aborts coordinator operations that never reach quorum
@@ -52,7 +57,10 @@ type op struct {
 	acks    int
 	highest kvstore.Version
 	value   []byte
-	age     int
+	// tombstone marks that the quorum-highest state at `highest` is a
+	// deletion, not a value.
+	tombstone bool
+	age       int
 }
 
 // ABD is one replica. All methods run on the node event loop.
@@ -62,6 +70,14 @@ type ABD struct {
 	peers    []string
 	writerID uint64
 
+	// tomb records deletions as versioned tombstones. Erasing a register's
+	// timestamp history would let a replica that missed the delete resurrect
+	// the old value (its stale version would win future timestamp reads), so
+	// absence keeps a version: writes below a tombstone are ignored, reads
+	// treat the tombstone as the register's state. Entries persist for the
+	// replica's lifetime (bounded by the number of distinct deleted keys).
+	tomb map[string]kvstore.Version
+
 	nextOp uint64
 	ops    map[uint64]*op
 }
@@ -70,7 +86,7 @@ var _ core.Protocol = (*ABD)(nil)
 
 // New creates an ABD instance.
 func New() *ABD {
-	return &ABD{ops: make(map[uint64]*op)}
+	return &ABD{ops: make(map[uint64]*op), tomb: make(map[string]kvstore.Version)}
 }
 
 // Name implements core.Protocol.
@@ -101,11 +117,11 @@ func (a *ABD) Submit(cmd core.Command) {
 	a.nextOp++
 	id := a.nextOp
 	switch cmd.Op {
-	case core.OpPut:
+	case core.OpPut, core.OpDelete:
+		// Deletes follow the write rounds: read the timestamp quorum, then
+		// install a tombstone with a higher timestamp at a majority.
 		o := &op{cmd: cmd, ph: phaseTSRead, acks: 1} // count self
-		if v, err := a.env.Store().VersionOf(cmd.Key); err == nil {
-			o.highest = v
-		}
+		o.highest, _ = a.localVersion(cmd.Key)
 		a.ops[id] = o
 		a.env.Broadcast(&core.Wire{Kind: KindTSRead, Index: id, Key: cmd.Key})
 		a.maybeAdvance(id)
@@ -113,6 +129,9 @@ func (a *ABD) Submit(cmd core.Command) {
 		o := &op{cmd: cmd, ph: phaseRead, acks: 1}
 		if v, ver, err := a.env.Store().GetVersioned(cmd.Key); err == nil {
 			o.value, o.highest = v, ver
+		}
+		if t, ok := a.tomb[cmd.Key]; ok && o.highest.Less(t) {
+			o.value, o.highest, o.tombstone = nil, t, true
 		}
 		a.ops[id] = o
 		a.env.Broadcast(&core.Wire{Kind: KindRead, Index: id, Key: cmd.Key})
@@ -122,14 +141,45 @@ func (a *ABD) Submit(cmd core.Command) {
 	}
 }
 
+// localVersion returns this replica's highest known version for key across
+// the store and the tombstone table, and whether it is a tombstone.
+func (a *ABD) localVersion(key string) (kvstore.Version, bool) {
+	var ver kvstore.Version
+	if v, err := a.env.Store().VersionOf(key); err == nil {
+		ver = v
+	}
+	if t, ok := a.tomb[key]; ok && ver.Less(t) {
+		return t, true
+	}
+	return ver, false
+}
+
+// applyWrite installs (value, ts) unless a tombstone at or above ts says the
+// register was deleted later; a write above the tombstone resurrects the key.
+func (a *ABD) applyWrite(key string, value []byte, ts kvstore.Version) {
+	if t, ok := a.tomb[key]; ok {
+		if !t.Less(ts) {
+			return // deleted at or after ts: the tombstone wins
+		}
+		delete(a.tomb, key)
+	}
+	_ = a.env.Store().WriteVersioned(key, value, ts)
+}
+
+// applyDelete installs a tombstone at ts and removes any value it covers
+// (the store keeps a matching version floor).
+func (a *ABD) applyDelete(key string, ts kvstore.Version) {
+	if t, ok := a.tomb[key]; !ok || t.Less(ts) {
+		a.tomb[key] = ts
+	}
+	_ = a.env.Store().RemoveVersioned(key, ts)
+}
+
 // Handle implements core.Protocol.
 func (a *ABD) Handle(from string, m *core.Wire) {
 	switch m.Kind {
 	case KindTSRead:
-		var ts kvstore.Version
-		if v, err := a.env.Store().VersionOf(m.Key); err == nil {
-			ts = v
-		}
+		ts, _ := a.localVersion(m.Key)
 		a.env.Send(from, &core.Wire{Kind: KindTSResp, Index: m.Index, Key: m.Key, TS: ts})
 
 	case KindTSResp:
@@ -144,8 +194,12 @@ func (a *ABD) Handle(from string, m *core.Wire) {
 		a.maybeAdvance(m.Index)
 
 	case KindWrite:
-		err := a.env.Store().WriteVersioned(m.Key, m.Value, m.TS)
-		_ = err // stale writes are fine: a newer version is already present
+		// Stale writes are fine: a newer version (or tombstone) wins.
+		a.applyWrite(m.Key, m.Value, m.TS)
+		a.env.Send(from, &core.Wire{Kind: KindWriteAck, Index: m.Index, Key: m.Key})
+
+	case KindDelete:
+		a.applyDelete(m.Key, m.TS)
 		a.env.Send(from, &core.Wire{Kind: KindWriteAck, Index: m.Index, Key: m.Key})
 
 	case KindWriteAck:
@@ -161,6 +215,11 @@ func (a *ABD) Handle(from string, m *core.Wire) {
 		if v, ver, err := a.env.Store().GetVersioned(m.Key); err == nil {
 			w.Value, w.TS, w.OK = v, ver, true
 		}
+		if t, ok := a.tomb[m.Key]; ok && w.TS.Less(t) {
+			// Deleted at t: absence is the register's state, reported with
+			// its version (OK stays false, TS carries the tombstone).
+			w.Value, w.TS, w.OK = nil, t, false
+		}
 		a.env.Send(from, w)
 
 	case KindReadResp:
@@ -169,8 +228,10 @@ func (a *ABD) Handle(from string, m *core.Wire) {
 			return
 		}
 		o.acks++
-		if m.OK && o.highest.Less(m.TS) {
-			o.highest, o.value = m.TS, m.Value
+		if o.highest.Less(m.TS) {
+			// A !OK response with a version is a tombstone: deletion is a
+			// register state and competes by timestamp like any write.
+			o.highest, o.value, o.tombstone = m.TS, m.Value, !m.OK
 		}
 		a.maybeAdvance(m.Index)
 	}
@@ -184,11 +245,16 @@ func (a *ABD) maybeAdvance(id uint64) {
 	}
 	switch o.ph {
 	case phaseTSRead:
-		// Phase 2: write with a strictly higher timestamp.
+		// Phase 2: write (or tombstone) with a strictly higher timestamp.
 		ts := kvstore.Version{TS: o.highest.TS + 1, Writer: a.writerID}
 		o.ph, o.acks, o.highest = phaseWrite, 1, ts
-		_ = a.env.Store().WriteVersioned(o.cmd.Key, o.cmd.Value, ts)
-		a.env.Broadcast(&core.Wire{Kind: KindWrite, Index: id, Key: o.cmd.Key, Value: o.cmd.Value, TS: ts})
+		if o.cmd.Op == core.OpDelete {
+			a.applyDelete(o.cmd.Key, ts)
+			a.env.Broadcast(&core.Wire{Kind: KindDelete, Index: id, Key: o.cmd.Key, TS: ts})
+		} else {
+			a.applyWrite(o.cmd.Key, o.cmd.Value, ts)
+			a.env.Broadcast(&core.Wire{Kind: KindWrite, Index: id, Key: o.cmd.Key, Value: o.cmd.Value, TS: ts})
+		}
 		a.maybeAdvance(id)
 
 	case phaseWrite:
@@ -198,25 +264,97 @@ func (a *ABD) maybeAdvance(id uint64) {
 	case phaseRead:
 		if o.value == nil && o.highest == (kvstore.Version{}) {
 			delete(a.ops, id)
-			a.env.Reply(o.cmd, core.Result{Err: "kvstore: key not found"})
+			a.env.Reply(o.cmd, core.Result{Err: kvstore.ErrNotFound.Error()})
 			return
 		}
 		// Write-back round preserves linearizability when replicas disagree;
-		// ABD's optimisation: skip it when the local store already holds the
-		// quorum-highest version (the common, conflict-free case).
-		if lv, err := a.env.Store().VersionOf(o.cmd.Key); err == nil && !lv.Less(o.highest) {
+		// ABD's optimisation: skip it when this replica already holds the
+		// quorum-highest state (the common, conflict-free case). A tombstone
+		// is a register state like any other and is written back the same
+		// way, so an observed deletion is stable at a quorum before the
+		// not-found answer is given.
+		lv, localTomb := a.localVersion(o.cmd.Key)
+		if !lv.Less(o.highest) && localTomb == o.tombstone {
 			delete(a.ops, id)
-			a.env.Reply(o.cmd, core.Result{OK: true, Value: o.value, Version: o.highest})
+			a.env.Reply(o.cmd, a.readResult(o))
 			return
 		}
 		o.ph, o.acks = phaseReadBack, 1
-		_ = a.env.Store().WriteVersioned(o.cmd.Key, o.value, o.highest)
-		a.env.Broadcast(&core.Wire{Kind: KindWrite, Index: id, Key: o.cmd.Key, Value: o.value, TS: o.highest})
+		if o.tombstone {
+			a.applyDelete(o.cmd.Key, o.highest)
+			a.env.Broadcast(&core.Wire{Kind: KindDelete, Index: id, Key: o.cmd.Key, TS: o.highest})
+		} else {
+			a.applyWrite(o.cmd.Key, o.value, o.highest)
+			a.env.Broadcast(&core.Wire{Kind: KindWrite, Index: id, Key: o.cmd.Key, Value: o.value, TS: o.highest})
+		}
 		a.maybeAdvance(id)
 
 	case phaseReadBack:
 		delete(a.ops, id)
-		a.env.Reply(o.cmd, core.Result{OK: true, Value: o.value, Version: o.highest})
+		a.env.Reply(o.cmd, a.readResult(o))
+	}
+}
+
+// readResult materialises a read outcome: a winning tombstone reads as
+// not-found, anything else as the value at its version.
+func (a *ABD) readResult(o *op) core.Result {
+	if o.tombstone {
+		return core.Result{Err: kvstore.ErrNotFound.Error()}
+	}
+	return core.Result{OK: true, Value: o.value, Version: o.highest}
+}
+
+// ExportSidecar implements core.StateSidecar: tombstones travel with state
+// transfer so a recovered replica cannot help resurrect a committed delete.
+func (a *ABD) ExportSidecar() []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(a.tomb)))
+	for key, ts := range a.tomb {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+		buf = append(buf, key...)
+		buf = binary.BigEndian.AppendUint64(buf, ts.TS)
+		buf = binary.BigEndian.AppendUint64(buf, ts.Writer)
+	}
+	return buf
+}
+
+// ImportSidecar implements core.StateSidecar: the donor's tombstones merge
+// into this replica's (higher versions win; malformed input is discarded —
+// the transfer channel is already authenticated).
+func (a *ABD) ImportSidecar(data []byte) {
+	pos := 0
+	u32 := func() (uint32, bool) {
+		if pos+4 > len(data) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(data[pos:])
+		pos += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if pos+8 > len(data) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(data[pos:])
+		pos += 8
+		return v, true
+	}
+	n, ok := u32()
+	if !ok {
+		return
+	}
+	for i := uint32(0); i < n; i++ {
+		klen, ok := u32()
+		if !ok || pos+int(klen) > len(data) {
+			return
+		}
+		key := string(data[pos : pos+int(klen)])
+		pos += int(klen)
+		ts, ok1 := u64()
+		writer, ok2 := u64()
+		if !ok1 || !ok2 {
+			return
+		}
+		a.applyDelete(key, kvstore.Version{TS: ts, Writer: writer})
 	}
 }
 

@@ -1,0 +1,80 @@
+package abd_test
+
+import (
+	"strings"
+	"testing"
+
+	"recipe/internal/core"
+	"recipe/internal/prototest"
+)
+
+// TestDeleteBasicRoundTrip: delete removes the register at a quorum and
+// reads report not-found; deleting an absent key still succeeds.
+func TestDeleteBasicRoundTrip(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	net.Submit("n1", core.Command{Op: core.OpDelete, Key: "k", ClientID: "c", Seq: 2})
+	net.Run(10_000)
+	if rep, ok := net.LastReply("n1"); !ok || !rep.Res.OK {
+		t.Fatalf("delete reply = %+v ok=%v", rep, ok)
+	}
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "c2", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n2")
+	if !ok || rep.Res.OK || !strings.Contains(rep.Res.Err, "not found") {
+		t.Fatalf("read after delete = %+v ok=%v, want not-found", rep, ok)
+	}
+	net.Submit("n3", core.Command{Op: core.OpDelete, Key: "k", ClientID: "c3", Seq: 1})
+	net.Run(10_000)
+	if rep, ok := net.LastReply("n3"); !ok || !rep.Res.OK {
+		t.Fatalf("idempotent delete reply = %+v ok=%v", rep, ok)
+	}
+}
+
+// TestDeleteNotResurrectedByLaggingReplica is the tombstone regression: a
+// replica partitioned during a committed delete still holds the old value at
+// the old timestamp. Without versioned tombstones, the deleting replicas
+// restart the key's timestamp history at zero, so the lagging replica's
+// stale version wins subsequent quorum reads (the deleted value resurrects)
+// and shadows subsequent writes (lost updates). With tombstones, absence
+// carries the delete's version and competes like any write.
+func TestDeleteNotResurrectedByLaggingReplica(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("old"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+
+	// Partition n3; the delete commits at the majority {n1, n2}.
+	net.Drop = func(s prototest.Sent) bool { return s.To == "n3" || s.From == "n3" }
+	net.Submit("n1", core.Command{Op: core.OpDelete, Key: "k", ClientID: "c", Seq: 2})
+	net.Run(10_000)
+	if rep, ok := net.LastReply("n1"); !ok || !rep.Res.OK {
+		t.Fatalf("partitioned delete reply = %+v ok=%v", rep, ok)
+	}
+
+	// Heal. A quorum read that includes the lagging n3 must not return the
+	// deleted value.
+	net.Drop = nil
+	net.Submit("n1", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 3})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n1")
+	if !ok {
+		t.Fatalf("no read reply")
+	}
+	if rep.Res.OK {
+		t.Fatalf("committed delete undone: read returned %q", rep.Res.Value)
+	}
+
+	// A fresh write must supersede both the tombstone and n3's stale value.
+	net.Submit("n2", core.Command{Op: core.OpPut, Key: "k", Value: []byte("new"), ClientID: "w", Seq: 1})
+	net.Run(10_000)
+	if rep, ok := net.LastReply("n2"); !ok || !rep.Res.OK {
+		t.Fatalf("post-delete write reply = %+v ok=%v", rep, ok)
+	}
+	net.Submit("n3", core.Command{Op: core.OpGet, Key: "k", ClientID: "r2", Seq: 1})
+	net.Run(10_000)
+	rep, ok = net.LastReply("n3")
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "new" {
+		t.Fatalf("read after post-delete write = %+v ok=%v, want \"new\"", rep, ok)
+	}
+}

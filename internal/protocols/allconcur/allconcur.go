@@ -105,7 +105,7 @@ func (a *AllConcur) Submit(cmd core.Command) {
 			return
 		}
 		a.env.Reply(cmd, core.Result{OK: true, Value: v, Version: ver})
-	case core.OpPut:
+	case core.OpPut, core.OpDelete:
 		a.queue = append(a.queue, cmd)
 		if a.deferred {
 			a.deferred = false
@@ -212,7 +212,13 @@ func (a *AllConcur) maybeDeliver() {
 		for _, cmd := range a.sets[p] {
 			a.applySeq++
 			ver := kvstore.Version{TS: a.applySeq}
-			err := a.env.Store().WriteVersioned(cmd.Key, cmd.Value, ver)
+			var err error
+			if cmd.Op == core.OpDelete {
+				// Idempotent versioned delete in the agreed total order.
+				err = a.env.Store().RemoveVersioned(cmd.Key, ver)
+			} else {
+				err = a.env.Store().WriteVersioned(cmd.Key, cmd.Value, ver)
+			}
 			if p == a.id {
 				if err != nil {
 					a.env.Reply(cmd, core.Result{Err: err.Error()})

@@ -94,7 +94,8 @@ func (c *Chain) Submit(cmd core.Command) {
 		// Tail reads are linearizable: a write only commits once the tail
 		// has applied it, so the tail never serves a stale committed value.
 		c.env.Reply(cmd, readLocal(c.env.Store(), cmd.Key))
-	case core.OpPut:
+	case core.OpPut, core.OpDelete:
+		// Mutations (writes and deletes) serialize at the head.
 		if c.id == c.head() {
 			c.startWrite(cmd)
 			return
@@ -118,7 +119,14 @@ func (c *Chain) applyWrite(w *core.Wire) {
 		c.seq = w.Index // downstream nodes track the head's sequence
 	}
 	ver := kvstore.Version{TS: w.Index}
-	err := c.env.Store().WriteVersioned(w.Cmd.Key, w.Cmd.Value, ver)
+	var err error
+	if w.Cmd.Op == core.OpDelete {
+		// Idempotent versioned delete: an absent key is already the desired
+		// state, and the floor keeps stale writes from resurrecting it.
+		err = c.env.Store().RemoveVersioned(w.Cmd.Key, ver)
+	} else {
+		err = c.env.Store().WriteVersioned(w.Cmd.Key, w.Cmd.Value, ver)
+	}
 	if err != nil && !errors.Is(err, kvstore.ErrStaleVersion) {
 		// Versioned write failures other than staleness are store errors;
 		// surface them if we are the tail.

@@ -49,6 +49,12 @@ type CRAQ struct {
 
 	seq   uint64            // head-assigned write sequence
 	clean map[string]uint64 // key -> newest committed (clean) version
+	// pendingDelete marks keys with an uncommitted delete traversing the
+	// chain (key -> delete's sequence). A delete cannot be applied
+	// tentatively the way a write can — removal is destructive — so non-tail
+	// replicas only record it here, treat the key as dirty (reads apportion
+	// to the tail), and apply the removal when the tail's clean ack arrives.
+	pendingDelete map[string]uint64
 
 	nextRead     uint64
 	pendingReads map[uint64]*pendingRead
@@ -64,8 +70,9 @@ var _ core.Protocol = (*CRAQ)(nil)
 // New creates a CRAQ instance.
 func New() *CRAQ {
 	return &CRAQ{
-		clean:        make(map[string]uint64),
-		pendingReads: make(map[uint64]*pendingRead),
+		clean:         make(map[string]uint64),
+		pendingDelete: make(map[string]uint64),
+		pendingReads:  make(map[uint64]*pendingRead),
 	}
 }
 
@@ -106,7 +113,7 @@ func (c *CRAQ) Submit(cmd core.Command) {
 	switch cmd.Op {
 	case core.OpGet:
 		c.serveRead(cmd)
-	case core.OpPut:
+	case core.OpPut, core.OpDelete:
 		if c.id == c.head() {
 			c.startWrite(cmd)
 			return
@@ -120,6 +127,12 @@ func (c *CRAQ) Submit(cmd core.Command) {
 // serveRead answers a read locally when the key is clean, otherwise
 // apportions it to the tail for the committed version.
 func (c *CRAQ) serveRead(cmd core.Command) {
+	if c.id != c.tail() && c.pendingDelete[cmd.Key] > c.clean[cmd.Key] {
+		// A delete is traversing the chain: whether it committed is only
+		// known at the tail, so the key is dirty regardless of store state.
+		c.apportion(cmd)
+		return
+	}
 	v, ver, err := c.env.Store().GetVersioned(cmd.Key)
 	switch {
 	case err != nil && errors.Is(err, kvstore.ErrNotFound):
@@ -135,7 +148,11 @@ func (c *CRAQ) serveRead(cmd core.Command) {
 		c.env.Reply(cmd, core.Result{OK: true, Value: v, Version: ver})
 		return
 	}
-	// Dirty: ask the tail for the committed version.
+	c.apportion(cmd)
+}
+
+// apportion forwards a dirty read to the tail for the committed version.
+func (c *CRAQ) apportion(cmd core.Command) {
 	c.nextRead++
 	c.pendingReads[c.nextRead] = &pendingRead{cmd: cmd}
 	c.env.Send(c.tail(), &core.Wire{Kind: KindVersionReq, Index: c.nextRead, Key: cmd.Key})
@@ -148,14 +165,29 @@ func (c *CRAQ) startWrite(cmd core.Command) {
 }
 
 // applyWrite tentatively applies a chain write (dirty) and forwards it; the
-// tail commits, replies to the client, and starts the clean ack.
+// tail commits, replies to the client, and starts the clean ack. Deletes are
+// special: a removal cannot be tentative, so non-tail replicas only mark the
+// key pending (dirty) and the actual removal rides the clean ack.
 func (c *CRAQ) applyWrite(w *core.Wire) {
 	if w.Index > c.seq {
 		c.seq = w.Index
 	}
 	ver := kvstore.Version{TS: w.Index}
-	if err := c.env.Store().WriteVersioned(w.Cmd.Key, w.Cmd.Value, ver); err != nil &&
-		!errors.Is(err, kvstore.ErrStaleVersion) {
+	isDelete := w.Cmd.Op == core.OpDelete
+	var err error
+	switch {
+	case isDelete && c.id == c.tail():
+		// Idempotent versioned delete: an absent key is already the desired
+		// state, and the floor keeps stale writes from resurrecting it.
+		err = c.env.Store().RemoveVersioned(w.Cmd.Key, ver)
+	case isDelete:
+		if c.pendingDelete[w.Cmd.Key] < w.Index {
+			c.pendingDelete[w.Cmd.Key] = w.Index
+		}
+	default:
+		err = c.env.Store().WriteVersioned(w.Cmd.Key, w.Cmd.Value, ver)
+	}
+	if err != nil && !errors.Is(err, kvstore.ErrStaleVersion) {
 		if c.id == c.tail() {
 			c.env.Reply(*w.Cmd, core.Result{Err: err.Error()})
 		}
@@ -165,11 +197,12 @@ func (c *CRAQ) applyWrite(w *core.Wire) {
 		c.env.Send(next, w)
 		return
 	}
-	// Tail: committed. Mark clean, answer the client, start the clean ack.
+	// Tail: committed. Mark clean, answer the client, start the clean ack
+	// (OK flags a delete so upstream replicas apply the removal on ack).
 	c.markClean(w.Cmd.Key, w.Index)
 	c.env.Reply(*w.Cmd, core.Result{OK: true, Version: ver})
 	if prev := c.neighbor(-1); prev != "" {
-		c.env.Send(prev, &core.Wire{Kind: KindCleanAck, Index: w.Index, Key: w.Cmd.Key})
+		c.env.Send(prev, &core.Wire{Kind: KindCleanAck, Index: w.Index, Key: w.Cmd.Key, OK: isDelete})
 	}
 }
 
@@ -191,9 +224,17 @@ func (c *CRAQ) Handle(from string, m *core.Wire) {
 			c.applyWrite(m)
 		}
 	case KindCleanAck:
+		if m.OK {
+			// A committed delete: apply the removal this replica deferred
+			// (versioned, so a newer tentative write survives).
+			_ = c.env.Store().RemoveVersioned(m.Key, kvstore.Version{TS: m.Index})
+			if c.pendingDelete[m.Key] <= m.Index {
+				delete(c.pendingDelete, m.Key)
+			}
+		}
 		c.markClean(m.Key, m.Index)
 		if prev := c.neighbor(-1); prev != "" {
-			c.env.Send(prev, &core.Wire{Kind: KindCleanAck, Index: m.Index, Key: m.Key})
+			c.env.Send(prev, &core.Wire{Kind: KindCleanAck, Index: m.Index, Key: m.Key, OK: m.OK})
 		}
 	case KindVersionReq:
 		w := &core.Wire{Kind: KindVersionResp, Index: m.Index, Key: m.Key}
@@ -208,7 +249,7 @@ func (c *CRAQ) Handle(from string, m *core.Wire) {
 		}
 		delete(c.pendingReads, m.Index)
 		if !m.OK {
-			c.env.Reply(pr.cmd, core.Result{Err: "kvstore: key not found"})
+			c.env.Reply(pr.cmd, core.Result{Err: kvstore.ErrNotFound.Error()})
 			return
 		}
 		// The tail's version is committed; remember it as clean.

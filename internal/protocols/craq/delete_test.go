@@ -1,0 +1,78 @@
+package craq_test
+
+import (
+	"testing"
+
+	"recipe/internal/core"
+)
+
+// TestDeleteBasics: a committed delete removes the key at every replica and
+// subsequent reads everywhere report not-found.
+func TestDeleteBasics(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	net.Submit("n2", core.Command{Op: core.OpDelete, Key: "k", ClientID: "c", Seq: 2})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n3") // the tail commits and replies
+	if !ok || !rep.Res.OK {
+		t.Fatalf("delete reply = %+v ok=%v", rep, ok)
+	}
+	for _, id := range net.Order() {
+		if v, err := net.Envs[id].Store().Get("k"); err == nil {
+			t.Errorf("%s still holds deleted key: %q", id, v)
+		}
+	}
+	for i, id := range net.Order() {
+		net.Submit(id, core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: uint64(i + 1)})
+		net.Run(10_000)
+		if rep, ok := net.LastReply(id); !ok || rep.Res.OK {
+			t.Errorf("%s read after delete = %+v ok=%v, want not-found", id, rep, ok)
+		}
+	}
+}
+
+// TestDeleteStaysDirtyUntilCommitted is the apportioned-query regression: a
+// delete traversing the chain must not be visible at mid-chain replicas
+// before the tail commits it. The old code removed the key destructively on
+// first touch, so a read at a mid-chain replica answered "not found" for an
+// uncommitted delete while the tail still served the old value.
+func TestDeleteStaysDirtyUntilCommitted(t *testing.T) {
+	net := newNet(t, 3)
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+
+	// Start a delete at the head and stall the chain after n2: n2 knows of
+	// the delete, the tail does not.
+	net.Submit("n1", core.Command{Op: core.OpDelete, Key: "k", ClientID: "c", Seq: 2})
+	if !net.Step() { // deliver KindWrite(delete) n1 -> n2 only
+		t.Fatalf("no delete message queued")
+	}
+
+	// The value is still present at n2 — the uncommitted delete must not
+	// have destroyed it.
+	if v, err := net.Envs["n2"].Store().Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("n2 lost the value under an uncommitted delete: %q, %v", v, err)
+	}
+
+	// A read at n2 is dirty: it must apportion to the tail rather than
+	// answer locally (in particular it must not answer "not found").
+	before := len(net.Envs["n2"].Replies)
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	if got := len(net.Envs["n2"].Replies); got != before {
+		t.Fatalf("dirty-delete read answered locally: %+v", net.Envs["n2"].Replies[got-1])
+	}
+
+	// Let everything flow: the delete commits at the tail, the clean ack
+	// applies the removal upstream, and the apportioned read is answered by
+	// the tail (with the post-delete state — a legal linearization).
+	net.Run(10_000)
+	for _, id := range net.Order() {
+		if v, err := net.Envs[id].Store().Get("k"); err == nil {
+			t.Errorf("%s still holds deleted key after clean ack: %q", id, v)
+		}
+	}
+	if rep, ok := net.LastReply("n2"); !ok || rep.Cmd.ClientID != "r" {
+		t.Fatalf("apportioned read never answered: %+v ok=%v", rep, ok)
+	}
+}

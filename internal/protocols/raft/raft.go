@@ -84,6 +84,10 @@ type Raft struct {
 	baseTerm    uint64
 	commitIndex uint64
 	lastApplied uint64
+	// barrier is the index of this leader's term-start no-op entry. Local
+	// reads are only served once it has applied — before that, entries
+	// committed in prior terms may not have reached this replica's store.
+	barrier uint64
 
 	nextIndex  map[string]uint64
 	matchIndex map[string]uint64
@@ -149,12 +153,16 @@ func (r *Raft) Submit(cmd core.Command) {
 		r.env.Reply(cmd, core.Result{Err: "not leader"})
 		return
 	}
-	if cmd.Op == core.OpGet {
+	if cmd.Op == core.OpGet && r.lastApplied >= r.barrier {
 		// Linearizable local read at the leader: the trusted lease ensures
-		// leadership, and every committed write is applied locally.
+		// leadership, the term-start barrier has applied (so every write
+		// committed in prior terms is in the local store), and every entry
+		// committed in this term is applied at commit time.
 		r.env.Reply(cmd, readLocal(r.env.Store(), cmd.Key))
 		return
 	}
+	// Writes — and reads arriving before the term barrier applies — go
+	// through the log; OpGet entries read the store at apply time.
 	r.log = append(r.log, entry{term: r.term, cmd: cmd})
 	idx := r.lastIndex()
 	r.pending[idx] = cmd
@@ -323,7 +331,14 @@ func (r *Raft) maybeWinElection() {
 		r.nextIndex[p] = lastIdx + 1
 		r.matchIndex[p] = 0
 	}
-	r.matchIndex[r.id] = lastIdx
+	// Term-start no-op barrier (Raft §8): committing an entry of the new
+	// term also commits — and applies — every entry inherited from prior
+	// terms, which advanceCommit cannot count directly. Until the barrier
+	// applies, local reads detour through the log (see Submit), so a write
+	// acknowledged by a crashed leader can never be invisibly lost.
+	r.log = append(r.log, entry{term: r.term})
+	r.barrier = r.lastIndex()
+	r.matchIndex[r.id] = r.barrier
 	r.env.Logf("raft %s: leader of term %d", r.id, r.term)
 	r.replicateAll()
 }
@@ -579,8 +594,23 @@ func (r *Raft) InstallSnapshot(index uint64) {
 // index doubles as the version timestamp, preserving total order.
 func applyCommand(store *kvstore.Store, cmd core.Command, idx uint64) core.Result {
 	switch cmd.Op {
+	case 0:
+		// Term-start no-op barrier entries mutate nothing. Only the leader
+		// constructs them (no client identity); an Op-0 command arriving
+		// from an actual client is malformed, like any unknown op.
+		if cmd.ClientID == "" && cmd.ClientAddr == "" {
+			return core.Result{OK: true}
+		}
+		return core.Result{Err: "unknown op"}
 	case core.OpPut:
 		if err := store.WriteVersioned(cmd.Key, cmd.Value, kvstore.Version{TS: idx}); err != nil {
+			return core.Result{Err: err.Error()}
+		}
+		return core.Result{OK: true, Version: kvstore.Version{TS: idx}}
+	case core.OpDelete:
+		// Deletes are replicated through the log like writes; the versioned
+		// removal leaves a floor so stale writes cannot resurrect the key.
+		if err := store.RemoveVersioned(cmd.Key, kvstore.Version{TS: idx}); err != nil {
 			return core.Result{Err: err.Error()}
 		}
 		return core.Result{OK: true, Version: kvstore.Version{TS: idx}}

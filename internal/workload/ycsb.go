@@ -16,6 +16,10 @@ type Config struct {
 	Keys int
 	// ReadRatio is the fraction of reads in [0,1] (e.g. 0.9 for "90% R").
 	ReadRatio float64
+	// DeleteRatio is the fraction of deletes in [0,1]; the remainder after
+	// reads and deletes is writes. YCSB-style mixes with deletes exercise
+	// the full mutation path (e.g. 0.9 R / 0.05 D / 0.05 W).
+	DeleteRatio float64
 	// ValueSize is the written value size in bytes (default 256).
 	ValueSize int
 	// ZipfS is the Zipf skew parameter (>1; default 1.1).
@@ -26,9 +30,10 @@ type Config struct {
 
 // Op is one generated operation.
 type Op struct {
-	Read  bool
-	Key   string
-	Value []byte // nil for reads; shared buffer, do not retain across Next calls
+	Read   bool
+	Delete bool
+	Key    string
+	Value  []byte // nil for reads/deletes; shared buffer, do not retain across Next calls
 }
 
 // Generator produces an endless operation stream. Not safe for concurrent
@@ -41,11 +46,14 @@ type Generator struct {
 	keys  []string
 }
 
-// New creates a generator, applying defaults for zero fields.
+// New creates a generator, applying defaults for zero fields. Ratios are
+// clamped so reads+deletes never exceed the whole mix (deletes yield first).
 func New(cfg Config) *Generator {
 	if cfg.Keys <= 0 {
 		cfg.Keys = 10_000
 	}
+	cfg.ReadRatio = min(max(cfg.ReadRatio, 0), 1)
+	cfg.DeleteRatio = min(max(cfg.DeleteRatio, 0), 1-cfg.ReadRatio)
 	if cfg.ValueSize <= 0 {
 		cfg.ValueSize = 256
 	}
@@ -72,10 +80,14 @@ func New(cfg Config) *Generator {
 // Next returns the next operation. The value buffer is reused across calls.
 func (g *Generator) Next() Op {
 	key := g.keys[g.zipf.Uint64()]
-	if g.rng.Float64() < g.cfg.ReadRatio {
+	switch r := g.rng.Float64(); {
+	case r < g.cfg.ReadRatio:
 		return Op{Read: true, Key: key}
+	case r < g.cfg.ReadRatio+g.cfg.DeleteRatio:
+		return Op{Delete: true, Key: key}
+	default:
+		return Op{Key: key, Value: g.value}
 	}
-	return Op{Key: key, Value: g.value}
 }
 
 // Key returns the i-th key of the key space (preloading).

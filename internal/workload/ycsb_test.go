@@ -35,6 +35,41 @@ func TestValuesOnlyOnWrites(t *testing.T) {
 	}
 }
 
+func TestDeleteRatioRespected(t *testing.T) {
+	g := New(Config{Keys: 100, ReadRatio: 0.70, DeleteRatio: 0.10, ValueSize: 64, Seed: 4})
+	var reads, deletes, writes int
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		switch {
+		case op.Read && op.Delete:
+			t.Fatalf("op is both read and delete")
+		case op.Read:
+			reads++
+		case op.Delete:
+			if op.Value != nil {
+				t.Fatalf("delete carries a value")
+			}
+			deletes++
+		default:
+			writes++
+		}
+	}
+	for _, m := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"reads", float64(reads) / n, 0.70},
+		{"deletes", float64(deletes) / n, 0.10},
+		{"writes", float64(writes) / n, 0.20},
+	} {
+		if m.got < m.want-0.03 || m.got > m.want+0.03 {
+			t.Errorf("%s fraction = %.3f, want %.2f", m.name, m.got, m.want)
+		}
+	}
+}
+
 func TestKeysWithinKeySpace(t *testing.T) {
 	g := New(Config{Keys: 50, Seed: 3})
 	valid := make(map[string]bool, 50)

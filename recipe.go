@@ -70,8 +70,15 @@ const (
 type Options struct {
 	// Protocol selects the replication protocol (default Raft).
 	Protocol Protocol
-	// Nodes is the replica count (default: 3, or 4 for PBFT).
+	// Nodes is the per-shard replica count (default: 3, or 4 for PBFT).
 	Nodes int
+	// Shards is the number of replication groups (default 1). Each shard is
+	// an independent Nodes-replica group owning a hash partition of the
+	// keyspace; clients route each key to its owning group. Shards share the
+	// network fabric, the attestation CAS, and the per-machine TEE
+	// platforms, and each group has its own authn MAC domain — a valid
+	// message captured in one shard is rejected if replayed into another.
+	Shards int
 	// Native disables the Recipe transformation, running the raw CFT
 	// protocol without authentication (the paper's native baseline). Only
 	// meaningful for the four CFT protocols.
@@ -113,6 +120,7 @@ func newClusterWithFactory(opts Options, factory func(replica int) CustomProtoco
 	hOpts := harness.Options{
 		Protocol:     harness.ProtocolKind(opts.Protocol),
 		Nodes:        opts.Nodes,
+		Shards:       opts.Shards,
 		Shielded:     !opts.Native,
 		Confidential: opts.Confidential,
 		TickEvery:    opts.TickEvery,
@@ -144,22 +152,45 @@ func newClusterWithFactory(opts Options, factory func(replica int) CustomProtoco
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() { c.inner.Stop() }
 
-// Nodes returns the replica identities.
+// Nodes returns the replica identities across all shards.
 func (c *Cluster) Nodes() []string {
 	return append([]string(nil), c.inner.Order...)
 }
 
-// WaitReady blocks until the cluster can serve requests (e.g. a leader is
-// elected) or the timeout expires.
+// Shards returns the number of replication groups.
+func (c *Cluster) Shards() int { return c.inner.Shards() }
+
+// ShardNodes returns the replica identities of one shard.
+func (c *Cluster) ShardNodes(shard int) ([]string, error) {
+	if shard < 0 || shard >= len(c.inner.Groups) {
+		return nil, fmt.Errorf("recipe: no shard %d", shard)
+	}
+	return append([]string(nil), c.inner.Groups[shard].Order...), nil
+}
+
+// ShardOf returns the shard owning key under the cluster's partitioning.
+func (c *Cluster) ShardOf(key string) int { return c.inner.ShardOf(key) }
+
+// WaitReady blocks until the cluster can serve requests — every shard has a
+// coordinator (e.g. a leader is elected) — or the timeout expires.
 func (c *Cluster) WaitReady(timeout time.Duration) error {
 	_, err := c.inner.WaitForCoordinator(timeout)
 	return err
 }
 
-// Coordinator returns the node currently coordinating client requests (the
-// leader for leader-based protocols; any node for leaderless ones).
+// Coordinator returns the node currently coordinating client requests in
+// shard 0 (the cluster's only shard when unsharded). Use ShardCoordinator
+// for a specific shard.
 func (c *Cluster) Coordinator() (string, error) {
-	return c.inner.WaitForCoordinator(time.Second)
+	return c.inner.Groups[0].WaitForCoordinator(time.Second)
+}
+
+// ShardCoordinator returns the node currently coordinating one shard.
+func (c *Cluster) ShardCoordinator(shard int) (string, error) {
+	if shard < 0 || shard >= len(c.inner.Groups) {
+		return "", fmt.Errorf("recipe: no shard %d", shard)
+	}
+	return c.inner.Groups[shard].WaitForCoordinator(time.Second)
 }
 
 // Crash fail-stops a replica (enclave crash + network detach).
@@ -178,10 +209,17 @@ type SecurityStats struct {
 	RejectedTampered uint64
 	RejectedReplays  uint64
 	RejectedStale    uint64
-	BufferedFutures  uint64
+	// RejectedCrossShard counts valid envelopes of one shard injected into
+	// another and rejected by the per-group MAC domain.
+	RejectedCrossShard uint64
+	BufferedFutures    uint64
+	// DroppedOverflow counts authenticated messages discarded because a
+	// channel's out-of-order buffer was full (a flooded or badly stalled
+	// sender; the batch verify path cannot surface these as errors).
+	DroppedOverflow uint64
 }
 
-// SecurityStats returns the cluster-wide authn counters.
+// SecurityStats returns the cluster-wide authn counters (all shards).
 func (c *Cluster) SecurityStats() SecurityStats {
 	var s SecurityStats
 	for _, id := range c.inner.Order {
@@ -189,18 +227,43 @@ func (c *Cluster) SecurityStats() SecurityStats {
 		if !ok {
 			continue
 		}
-		st := n.Stats()
-		s.Delivered += st.Delivered.Load()
-		s.RejectedTampered += st.DropMAC.Load() + st.DropMalformed.Load()
-		s.RejectedReplays += st.DropReplay.Load()
-		s.RejectedStale += st.DropView.Load()
-		s.BufferedFutures += st.Buffered.Load()
+		addNodeStats(&s, n)
 	}
 	return s
 }
 
-// Client is a session issuing PUT/GET operations against a cluster. Not
-// safe for concurrent use; create one per goroutine.
+// ShardSecurityStats returns one shard's authn counters.
+func (c *Cluster) ShardSecurityStats(shard int) (SecurityStats, error) {
+	var s SecurityStats
+	if shard < 0 || shard >= len(c.inner.Groups) {
+		return s, fmt.Errorf("recipe: no shard %d", shard)
+	}
+	g := c.inner.Groups[shard]
+	for _, id := range g.Order {
+		n, ok := g.Nodes[id]
+		if !ok {
+			continue
+		}
+		addNodeStats(&s, n)
+	}
+	return s, nil
+}
+
+func addNodeStats(s *SecurityStats, n *core.Node) {
+	st := n.Stats()
+	s.Delivered += st.Delivered.Load()
+	s.RejectedTampered += st.DropMAC.Load() + st.DropMalformed.Load()
+	s.RejectedReplays += st.DropReplay.Load()
+	s.RejectedStale += st.DropView.Load()
+	s.RejectedCrossShard += st.DropGroup.Load()
+	s.BufferedFutures += st.Buffered.Load()
+	s.DroppedOverflow += n.OverflowDrops()
+}
+
+// Client is a session issuing PUT/GET/DELETE operations against a cluster.
+// The client is partition-aware: each key is hashed to its owning shard and
+// the operation routed to that shard's coordinator. Not safe for concurrent
+// use; create one per goroutine.
 type Client struct {
 	inner *core.Client
 }
@@ -239,4 +302,16 @@ func (c *Client) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	return res.Value, nil
+}
+
+// Delete removes key. Deleting an absent key succeeds (idempotent).
+func (c *Client) Delete(key string) error {
+	res, err := c.inner.Delete(key)
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return fmt.Errorf("recipe: delete %q: %s", key, res.Err)
+	}
+	return nil
 }

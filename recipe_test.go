@@ -122,6 +122,73 @@ func TestPublicAPIConfidential(t *testing.T) {
 	}
 }
 
+func TestPublicAPISharded(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Shards: 2, Seed: 11})
+	if got := c.Shards(); got != 2 {
+		t.Fatalf("Shards = %d, want 2", got)
+	}
+	if got := len(c.Nodes()); got != 6 {
+		t.Fatalf("Nodes = %d, want 6", got)
+	}
+	for shard := 0; shard < 2; shard++ {
+		members, err := c.ShardNodes(shard)
+		if err != nil || len(members) != 3 {
+			t.Fatalf("ShardNodes(%d) = %v, %v", shard, members, err)
+		}
+		if _, err := c.ShardCoordinator(shard); err != nil {
+			t.Fatalf("ShardCoordinator(%d): %v", shard, err)
+		}
+	}
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := cli.Put(key, []byte(key)); err != nil {
+			t.Fatalf("Put %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v, err := cli.Get(key); err != nil || !bytes.Equal(v, []byte(key)) {
+			t.Fatalf("Get %s = %q, %v", key, v, err)
+		}
+	}
+	if err := cli.Delete("k0"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := cli.Get("k0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+	}
+	if st := c.SecurityStats(); st.RejectedCrossShard != 0 {
+		t.Errorf("healthy sharded cluster counted cross-shard rejections: %+v", st)
+	}
+}
+
+func TestPublicAPIDelete(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Seed: 12})
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	if err := cli.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := cli.Delete("k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := cli.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+	}
+	// Idempotent.
+	if err := cli.Delete("k"); err != nil {
+		t.Fatalf("Delete of absent key: %v", err)
+	}
+}
+
 func TestPublicAPINativeMode(t *testing.T) {
 	c := startAPI(t, Options{Protocol: Raft, Native: true, Seed: 10})
 	cli, err := c.NewClient()

@@ -33,6 +33,8 @@ const (
 	OpPut = Op(core.OpPut)
 	// OpGet reads a key.
 	OpGet = Op(core.OpGet)
+	// OpDelete removes a key (deleting an absent key should succeed).
+	OpDelete = Op(core.OpDelete)
 )
 
 // Command is a client request as delivered to a protocol. Commands received
