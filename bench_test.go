@@ -10,6 +10,8 @@ package recipe
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -319,6 +321,222 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			benchThroughput(b, opts, workload.Config{ReadRatio: 0.50, ValueSize: 256})
 		})
 	}
+}
+
+// staleReplayRecorder captures client→node packets during the pre-split
+// phase so the benchmark can replay them post-split — the captured-traffic
+// attack the epoch MAC domain must stop.
+type staleReplayRecorder struct {
+	mu       sync.Mutex
+	to       string
+	captured [][]byte
+	armed    bool
+}
+
+func (r *staleReplayRecorder) Apply(p netstack.Packet) []netstack.Packet {
+	r.mu.Lock()
+	if r.armed && p.To == r.to && len(r.captured) < 64 {
+		r.captured = append(r.captured, append([]byte(nil), p.Data...))
+	}
+	r.mu.Unlock()
+	return []netstack.Packet{p}
+}
+
+// BenchmarkElasticResharding measures the PR-3 tentpole: a live 2→4 split
+// of an R-Raft cluster under sustained YCSB load. The timed section is the
+// post-split steady state (what clients see after the cluster doubled); the
+// pre-split throughput, the throughput sustained while the migration ran,
+// and the wall-clock of the split itself are reported as extra metrics. A
+// fresh 4-shard cluster at the same replica budget is the recovery
+// reference. After the split the benchmark verifies zero lost or duplicated
+// keys (every key in exactly its owning group) and that a captured
+// pre-split envelope replayed post-split is rejected and counted in
+// SecurityStats.RejectedStaleEpoch.
+func BenchmarkElasticResharding(b *testing.B) {
+	w := workload.Config{ReadRatio: 0.50, ValueSize: 256, Keys: benchKeys, Seed: 1}
+
+	b.Run("R-raft/split-2to4", func(b *testing.B) {
+		opts := evalOptions(harness.Raft, true, false)
+		opts.Shards = 2
+		rec := &staleReplayRecorder{to: "s1n1"}
+		opts.Injector = rec
+		c, err := harness.New(opts)
+		if err != nil {
+			b.Fatalf("cluster: %v", err)
+		}
+		defer c.Stop()
+		if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+			b.Fatalf("coordinator: %v", err)
+		}
+		if err := c.Preload(w); err != nil {
+			b.Fatalf("preload: %v", err)
+		}
+
+		// Pre-split steady state (also feeds the replay recorder).
+		rec.mu.Lock()
+		rec.armed = true
+		rec.mu.Unlock()
+		preOps, err := c.RunOps(w, benchClients, 4000)
+		if err != nil {
+			b.Fatalf("pre-split driver: %v", err)
+		}
+		rec.mu.Lock()
+		rec.armed = false
+		captured := rec.captured
+		rec.mu.Unlock()
+
+		// Split 2→4 under sustained load.
+		var during atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < benchClients/4; i++ {
+			cli, err := c.Client()
+			if err != nil {
+				b.Fatalf("client: %v", err)
+			}
+			gen := workload.New(workload.Config{ReadRatio: w.ReadRatio, ValueSize: w.ValueSize,
+				Keys: w.Keys, Seed: int64(1000 + i)})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { _ = cli.Close() }()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					op := gen.Next()
+					if op.Read {
+						if _, err := cli.Get(op.Key); err == nil {
+							during.Add(1)
+						}
+					} else if _, err := cli.Put(op.Key, op.Value); err == nil {
+						during.Add(1)
+					}
+				}
+			}()
+		}
+		resizeStart := time.Now()
+		if err := c.Resize(4); err != nil {
+			b.Fatalf("Resize(4): %v", err)
+		}
+		resizeDur := time.Since(resizeStart)
+		close(stop)
+		wg.Wait()
+
+		// Zero lost or duplicated keys: every preloaded key lives in exactly
+		// its owning group.
+		gen := workload.New(w)
+		deadline := time.Now().Add(10 * time.Second)
+		for i := 0; i < gen.Keys(); i++ {
+			key := gen.Key(i)
+			owner := c.ShardOf(key)
+			for {
+				ok := true
+				for g := 0; g < c.Shards(); g++ {
+					found := false
+					for _, id := range c.Groups[g].Order {
+						n, live := c.Groups[g].Nodes[id]
+						if !live {
+							continue
+						}
+						if _, err := n.Store().Get(key); err == nil {
+							found = true
+							break
+						}
+					}
+					if g == owner && !found {
+						ok = false // owner still converging
+					}
+					if g != owner && found {
+						b.Fatalf("key %q duplicated into group %d (owner %d)", key, g, owner)
+					}
+				}
+				if ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("key %q lost: absent from owning group %d", key, owner)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+
+		// Captured pre-split traffic replayed post-split must die at the
+		// epoch check.
+		if len(captured) == 0 {
+			b.Fatalf("recorder captured no pre-split envelopes")
+		}
+		attacker, err := c.Fabric.Register("bench-attacker")
+		if err != nil {
+			b.Fatalf("attacker endpoint: %v", err)
+		}
+		target := c.Nodes["s1n1"]
+		epochDropsBefore := target.Stats().DropEpoch.Load()
+		for _, data := range captured {
+			_ = attacker.Send("s1n1", data)
+		}
+		replayDeadline := time.Now().Add(5 * time.Second)
+		for target.Stats().DropEpoch.Load() == epochDropsBefore {
+			if time.Now().After(replayDeadline) {
+				b.Fatalf("stale-epoch replays were not rejected")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		// Post-split steady state is the timed section.
+		b.ResetTimer()
+		postOps, err := c.RunOps(w, benchClients, b.N)
+		b.StopTimer()
+		if err != nil {
+			b.Fatalf("post-split driver: %v", err)
+		}
+		b.ReportMetric(postOps, "ops/s")
+		b.ReportMetric(preOps, "pre-split-ops/s")
+		b.ReportMetric(float64(during.Load())/resizeDur.Seconds(), "during-split-ops/s")
+		b.ReportMetric(float64(resizeDur.Milliseconds()), "resize-ms")
+		b.ReportMetric(float64(target.Stats().DropEpoch.Load()-epochDropsBefore), "replays-rejected")
+		b.ReportMetric(0, "ns/op")
+	})
+
+	// Recovery reference: a 4-shard cluster born that way.
+	b.Run("R-raft/steady-4shard", func(b *testing.B) {
+		opts := evalOptions(harness.Raft, true, false)
+		opts.Shards = 4
+		benchThroughput(b, opts, w)
+	})
+
+	// Skewed variant: most traffic on a hot tenth of the keyspace, so the
+	// migrating slots carry the load.
+	b.Run("R-raft/split-2to4-hotspot-during", func(b *testing.B) {
+		opts := evalOptions(harness.Raft, true, false)
+		opts.Shards = 2
+		c, err := harness.New(opts)
+		if err != nil {
+			b.Fatalf("cluster: %v", err)
+		}
+		defer c.Stop()
+		if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+			b.Fatalf("coordinator: %v", err)
+		}
+		hw := w
+		hw.Skew = workload.Hotspot
+		if err := c.Preload(hw); err != nil {
+			b.Fatalf("preload: %v", err)
+		}
+		if err := c.Resize(4); err != nil {
+			b.Fatalf("Resize(4): %v", err)
+		}
+		b.ResetTimer()
+		ops, err := c.RunOps(hw, benchClients, b.N)
+		b.StopTimer()
+		if err != nil {
+			b.Fatalf("driver: %v", err)
+		}
+		b.ReportMetric(ops, "ops/s")
+		b.ReportMetric(0, "ns/op")
+	})
 }
 
 // BenchmarkShielderBatchAmortization isolates the authn layer: shielding and

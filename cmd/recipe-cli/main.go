@@ -1,11 +1,27 @@
-// Command recipe-cli issues PUT/GET requests against a recipe-node cluster
-// over TCP.
+// Command recipe-cli issues PUT/GET/DELETE requests against a recipe-node
+// cluster over TCP, routes across sharded deployments, and drives an
+// operator-controlled reshard between deployments.
 //
 // Usage:
 //
 //	recipe-cli -nodes n1=localhost:7001,n2=localhost:7002,n3=localhost:7003 -master $KEY put greeting hello
 //	recipe-cli -nodes ... -master $KEY get greeting
-//	recipe-cli -nodes ... -master $KEY bench -ops 1000
+//	recipe-cli -nodes ... -master $KEY delete greeting
+//	recipe-cli -nodes ... -shards 2 -master $KEY bench -ops 1000
+//	recipe-cli -nodes <old> -shards 2 -to-nodes <new> -to-shards 4 -master $KEY resize
+//
+// Sharded deployments partition the sorted node ids into -shards contiguous
+// equal chunks (recipe-node applies the identical rule with its own -shards
+// flag); each key routes to the chunk its hash slot maps to.
+//
+// The resize command is the TCP deployment's operator-driven reshard: it
+// copies every key of the benchmark keyspace (or the keys given as
+// arguments) from the old deployment to the new one and deletes migrated
+// keys from the old deployment. It is a blue-green migration between two
+// node sets — the attested live reconfiguration (epoch-versioned shard
+// maps, dual-routed writes, zero downtime) lives in the library's
+// Cluster.Resize, where the CAS can sign maps; here the operator is the
+// root of trust.
 package main
 
 import (
@@ -19,16 +35,22 @@ import (
 
 	"recipe/internal/core"
 	"recipe/internal/netstack"
+	"recipe/internal/reconfig"
 	"recipe/internal/tee"
 	"recipe/internal/workload"
 )
 
 var (
-	nodesFlag  = flag.String("nodes", "", "comma-separated id=host:port pairs")
-	masterFlag = flag.String("master", "", "hex network master key (>=32 bytes)")
-	confFlag   = flag.Bool("confidential", false, "cluster runs in confidential mode")
-	nativeFlag = flag.Bool("native", false, "cluster runs without the Recipe shield (pbft/damysus/native)")
-	opsFlag    = flag.Int("ops", 1000, "operations for the bench subcommand")
+	nodesFlag    = flag.String("nodes", "", "comma-separated id=host:port pairs")
+	shardsFlag   = flag.Int("shards", 1, "replication groups the -nodes set is partitioned into (must match the nodes' -shards)")
+	masterFlag   = flag.String("master", "", "hex network master key (>=32 bytes)")
+	confFlag     = flag.Bool("confidential", false, "cluster runs in confidential mode")
+	nativeFlag   = flag.Bool("native", false, "cluster runs without the Recipe shield (pbft/damysus/native)")
+	opsFlag      = flag.Int("ops", 1000, "operations for the bench subcommand")
+	distFlag     = flag.String("dist", "zipfian", "bench key distribution: zipfian, uniform, hotspot")
+	toNodesFlag  = flag.String("to-nodes", "", "resize: id=host:port pairs of the new deployment")
+	toShardsFlag = flag.Int("to-shards", 1, "resize: shard count of the new deployment")
+	keyspaceFlag = flag.Int("keyspace", 10_000, "resize: size of the benchmark keyspace to migrate when no keys are given")
 )
 
 func main() {
@@ -38,20 +60,13 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	if *nodesFlag == "" || *masterFlag == "" || len(args) == 0 {
-		return fmt.Errorf("usage: recipe-cli -nodes id=addr,... -master <hexkey> put|get|bench ...")
-	}
-	master, err := hex.DecodeString(*masterFlag)
-	if err != nil || len(master) < 32 {
-		return fmt.Errorf("-master must be a hex key of at least 32 bytes")
-	}
-
+// parseNodes decodes "id=addr,..." into an address map and sorted ids.
+func parseNodes(s string) (map[string]string, []string, error) {
 	addrs := make(map[string]string)
-	for _, pair := range strings.Split(*nodesFlag, ",") {
+	for _, pair := range strings.Split(s, ",") {
 		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
-			return fmt.Errorf("bad -nodes entry %q", pair)
+		if !ok || id == "" || addr == "" {
+			return nil, nil, fmt.Errorf("bad nodes entry %q (want id=host:port)", pair)
 		}
 		addrs[id] = addr
 	}
@@ -60,29 +75,51 @@ func run(args []string) error {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	return addrs, ids, nil
+}
 
+// newClient builds an attested client session against one deployment.
+func newClient(nodesSpec string, shards int, master []byte, name string) (*core.Client, error) {
+	addrs, ids, err := parseNodes(nodesSpec)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := reconfig.ChunkMembers(ids, shards)
+	if err != nil {
+		return nil, err
+	}
 	tcp, err := netstack.NewTCPTransport("127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	clientID := "cli-" + tcp.Addr()
+	clientID := name + "-" + tcp.Addr()
 	tr := netstack.NewMapped(tcp, tcp.Addr())
 	for id, addr := range addrs {
 		tr.Map(id, addr)
 	}
-
-	platform, err := tee.NewPlatform("cli", tee.WithCostModel(tee.NativeCostModel()))
+	platform, err := tee.NewPlatform(name, tee.WithCostModel(tee.NativeCostModel()))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	cli, err := core.NewClient(platform.NewEnclave([]byte("recipe-client")), tr, core.ClientConfig{
+	return core.NewClient(platform.NewEnclave([]byte("recipe-client")), tr, core.ClientConfig{
 		ID:             clientID,
-		Nodes:          ids,
+		Groups:         groups,
 		MasterKey:      master,
 		Shielded:       !*nativeFlag,
 		Confidential:   *confFlag,
 		RequestTimeout: time.Second,
 	})
+}
+
+func run(args []string) error {
+	if *nodesFlag == "" || *masterFlag == "" || len(args) == 0 {
+		return fmt.Errorf("usage: recipe-cli -nodes id=addr,... [-shards N] -master <hexkey> put|get|delete|bench|resize ...")
+	}
+	master, err := hex.DecodeString(*masterFlag)
+	if err != nil || len(master) < 32 {
+		return fmt.Errorf("-master must be a hex key of at least 32 bytes")
+	}
+	cli, err := newClient(*nodesFlag, *shardsFlag, master, "cli")
 	if err != nil {
 		return err
 	}
@@ -100,7 +137,7 @@ func run(args []string) error {
 		if !res.OK {
 			return fmt.Errorf("put rejected: %s", res.Err)
 		}
-		fmt.Printf("OK (version %d.%d)\n", res.Version.TS, res.Version.Writer)
+		fmt.Printf("OK (shard %d, version %d.%d)\n", cli.ShardOf(args[1]), res.Version.TS, res.Version.Writer)
 		return nil
 	case "get":
 		if len(args) != 2 {
@@ -115,14 +152,39 @@ func run(args []string) error {
 		}
 		fmt.Printf("%s\n", res.Value)
 		return nil
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: delete <key>")
+		}
+		res, err := cli.Delete(args[1])
+		if err != nil {
+			return err
+		}
+		if !res.OK {
+			return fmt.Errorf("delete rejected: %s", res.Err)
+		}
+		fmt.Printf("OK (shard %d)\n", cli.ShardOf(args[1]))
+		return nil
 	case "bench":
-		gen := workload.New(workload.Config{Keys: 256, ReadRatio: 0.9, ValueSize: 256})
+		skew := workload.Skew(*distFlag)
+		switch skew {
+		case workload.Zipfian, workload.Uniform, workload.Hotspot:
+		default:
+			return fmt.Errorf("-dist %q: want zipfian, uniform, or hotspot", *distFlag)
+		}
+		gen := workload.New(workload.Config{
+			Keys: 256, ReadRatio: 0.9, ValueSize: 256,
+			Skew: skew,
+		})
 		start := time.Now()
 		for i := 0; i < *opsFlag; i++ {
 			op := gen.Next()
-			if op.Read {
+			switch {
+			case op.Read:
 				_, err = cli.Get(op.Key)
-			} else {
+			case op.Delete:
+				_, err = cli.Delete(op.Key)
+			default:
 				_, err = cli.Put(op.Key, op.Value)
 			}
 			if err != nil && !strings.Contains(err.Error(), "not found") {
@@ -130,10 +192,55 @@ func run(args []string) error {
 			}
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("%d ops in %v: %.0f ops/s\n", *opsFlag, elapsed.Round(time.Millisecond),
-			float64(*opsFlag)/elapsed.Seconds())
+		fmt.Printf("%d ops in %v: %.0f ops/s across %d shards\n", *opsFlag, elapsed.Round(time.Millisecond),
+			float64(*opsFlag)/elapsed.Seconds(), cli.Shards())
 		return nil
+	case "resize":
+		return resize(cli, master, args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// resize migrates keys from the -nodes deployment to the -to-nodes one:
+// read from the old owner, write to the new, delete from the old. Keys come
+// from the arguments, or default to the benchmark keyspace (-keyspace).
+func resize(from *core.Client, master []byte, keys []string) error {
+	if *toNodesFlag == "" {
+		return fmt.Errorf("resize needs -to-nodes (and -to-shards) describing the new deployment")
+	}
+	to, err := newClient(*toNodesFlag, *toShardsFlag, master, "cli-resize")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = to.Close() }()
+
+	if len(keys) == 0 {
+		gen := workload.New(workload.Config{Keys: *keyspaceFlag})
+		for i := 0; i < gen.Keys(); i++ {
+			keys = append(keys, gen.Key(i))
+		}
+	}
+	var moved, missing int
+	start := time.Now()
+	for _, key := range keys {
+		res, err := from.Get(key)
+		if err != nil {
+			return fmt.Errorf("read %q from old deployment: %w", key, err)
+		}
+		if !res.OK {
+			missing++
+			continue // never written (or already deleted); nothing to move
+		}
+		if wres, err := to.Put(key, res.Value); err != nil || !wres.OK {
+			return fmt.Errorf("write %q to new deployment: %v %s", key, err, wres.Err)
+		}
+		if dres, err := from.Delete(key); err != nil || !dres.OK {
+			return fmt.Errorf("retire %q from old deployment: %v %s", key, err, dres.Err)
+		}
+		moved++
+	}
+	fmt.Printf("resized %d→%d shards: moved %d keys (%d absent) in %v\n",
+		from.Shards(), to.Shards(), moved, missing, time.Since(start).Round(time.Millisecond))
+	return nil
 }

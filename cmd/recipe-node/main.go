@@ -33,6 +33,7 @@ import (
 	"recipe/internal/protocols/allconcur"
 	"recipe/internal/protocols/chain"
 	"recipe/internal/protocols/raft"
+	"recipe/internal/reconfig"
 	"recipe/internal/tee"
 )
 
@@ -40,6 +41,7 @@ var (
 	idFlag       = flag.String("id", "", "this node's identity (must appear in -peers)")
 	listenFlag   = flag.String("listen", ":0", "TCP listen address")
 	peersFlag    = flag.String("peers", "", "comma-separated id=host:port pairs for the whole membership")
+	shardsFlag   = flag.Int("shards", 1, "number of replication groups the membership is partitioned into (sorted ids, contiguous equal chunks; every node and recipe-cli must agree)")
 	protocolFlag = flag.String("protocol", "raft", "protocol: raft, cr, abd, allconcur, pbft, damysus")
 	masterFlag   = flag.String("master", "", "hex network master key (>=32 bytes), shared by the membership")
 	confFlag     = flag.Bool("confidential", false, "encrypt values and message payloads")
@@ -69,6 +71,16 @@ func run() error {
 	if _, ok := peerAddrs[*idFlag]; !ok {
 		return fmt.Errorf("-id %s not present in -peers", *idFlag)
 	}
+	// In a sharded deployment the node joins only its group: the sorted
+	// membership is split into -shards contiguous equal chunks, and the
+	// node's chunk is its replication group (the same rule recipe-cli
+	// routes by). The group index is the authn MAC domain, so cross-group
+	// replays are rejected exactly as in the in-process library.
+	group, groupOrder, err := shardChunk(order, *shardsFlag, *idFlag)
+	if err != nil {
+		return err
+	}
+	order = groupOrder
 
 	tcp, err := netstack.NewTCPTransport(*listenFlag)
 	if err != nil {
@@ -98,6 +110,7 @@ func run() error {
 			NodeID:     *idFlag,
 			MasterKey:  master,
 			Membership: order,
+			Group:      group,
 		},
 		Shielded:     shielded,
 		Confidential: *confFlag,
@@ -107,8 +120,8 @@ func run() error {
 		return err
 	}
 	node.Start()
-	log.Printf("recipe-node %s (%s) listening on %s, membership %v",
-		*idFlag, *protocolFlag, tcp.Addr(), order)
+	log.Printf("recipe-node %s (%s, group %d/%d) listening on %s, membership %v",
+		*idFlag, *protocolFlag, group, *shardsFlag, tcp.Addr(), order)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -116,6 +129,24 @@ func run() error {
 	log.Printf("shutting down %s", *idFlag)
 	node.Stop()
 	return nil
+}
+
+// shardChunk returns the group index and membership of the chunk holding id
+// under reconfig.ChunkMembers — the one grouping rule recipe-cli also
+// routes by, so node and client agree by construction.
+func shardChunk(order []string, shards int, id string) (uint32, []string, error) {
+	groups, err := reconfig.ChunkMembers(order, shards)
+	if err != nil {
+		return 0, nil, err
+	}
+	for g, members := range groups {
+		for _, member := range members {
+			if member == id {
+				return uint32(g), append([]string(nil), members...), nil
+			}
+		}
+	}
+	return 0, nil, fmt.Errorf("-id %s not present in -peers", id)
 }
 
 // parsePeers decodes "id=addr,id=addr" into a map plus a deterministic

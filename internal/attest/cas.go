@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"recipe/internal/reconfig"
 	"recipe/internal/tee"
 )
 
@@ -59,6 +60,16 @@ type Secrets struct {
 	// "recovered nodes always start as fresh nodes"). Identities absent from
 	// the map are at incarnation 1.
 	Incarnations map[string]uint64 `json:"incarnations"`
+	// MapKey is the CAS's ed25519 public key for shard-map signatures. A node
+	// only adopts a configuration (epoch, slot assignment, membership) that
+	// verifies under this attested key — the host cannot feed it a forged or
+	// stale map.
+	MapKey []byte `json:"mapKey,omitempty"`
+	// ShardMap is the encoded reconfig.Signed shard map current at
+	// attestation time (empty when the deployment publishes none). Epoch
+	// bumps after attestation are fetched from the CAS and verified against
+	// MapKey (FetchMap is gated on prior attestation).
+	ShardMap []byte `json:"shardMap,omitempty"`
 }
 
 // ChannelKey derives the symmetric session key for a communication channel
@@ -91,6 +102,14 @@ type Service struct {
 	nextNode     int
 	attested     map[string]tee.Measurement // nodeID -> measurement
 	incarnations map[string]uint64          // nodeID -> attestation count
+
+	// Shard-map signing: the CAS is the root of trust for the cluster's
+	// configuration epochs. mapPriv signs every published map; attested nodes
+	// and clients verify with mapPub (provisioned as Secrets.MapKey).
+	mapPub   ed25519.PublicKey
+	mapPriv  ed25519.PrivateKey
+	mapEpoch uint64
+	curMap   []byte // encoded reconfig.Signed of the latest published map
 }
 
 // ServiceOption configures a Service.
@@ -134,7 +153,86 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 	if _, err := io.ReadFull(rand.Reader, s.masterKey); err != nil {
 		return nil, fmt.Errorf("cas: master key: %w", err)
 	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cas: map key: %w", err)
+	}
+	s.mapPub, s.mapPriv = pub, priv
 	return s, nil
+}
+
+// MapPublicKey returns the CAS's shard-map verification key (the key
+// provisioned to nodes as Secrets.MapKey).
+func (s *Service) MapPublicKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), s.mapPub...)
+}
+
+// PublishMap signs and publishes a shard map as the cluster's current
+// configuration. Epochs must strictly increase — the CAS never re-signs an
+// old epoch, so a host cannot obtain a fresh signature over a stale
+// configuration. The CAS stamps each listed member's current attestation
+// incarnation into the map before signing, so clients bind their channels
+// to the incarnations the CAS has actually attested. Returns the encoded
+// reconfig.Signed wrapper distributed to nodes and clients.
+func (s *Service) PublishMap(m *reconfig.ShardMap) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Epoch <= s.mapEpoch {
+		return nil, fmt.Errorf("cas: map epoch %d not newer than published %d", m.Epoch, s.mapEpoch)
+	}
+	stamped := m.Clone()
+	stamped.Incs = nil
+	for _, grp := range stamped.Members {
+		for _, id := range grp {
+			if inc, ok := s.incarnations[id]; ok && inc > 1 {
+				if stamped.Incs == nil {
+					stamped.Incs = make(map[string]uint64)
+				}
+				stamped.Incs[id] = inc
+			}
+		}
+	}
+	signed := reconfig.Sign(s.mapPriv, stamped).Encode()
+	s.mapEpoch = m.Epoch
+	s.curMap = signed
+	return append([]byte(nil), signed...), nil
+}
+
+// CurrentMap returns the latest published signed map (encoded), or nil when
+// none has been published.
+func (s *Service) CurrentMap() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.curMap...)
+}
+
+// FetchMap hands the current signed map to a previously attested principal.
+// This is the epoch-bump provisioning path: a node that learns (through a
+// rejection or a notice) that its configuration is stale re-fetches through
+// its attested identity; un-attested callers get nothing.
+func (s *Service) FetchMap(nodeID string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.attested[nodeID]; !ok {
+		return nil, fmt.Errorf("cas: %s not attested, no configuration for it", nodeID)
+	}
+	if len(s.curMap) == 0 {
+		return nil, errors.New("cas: no shard map published")
+	}
+	return append([]byte(nil), s.curMap...), nil
+}
+
+// Incarnation reports a node's current attestation count (1 if never seen).
+func (s *Service) Incarnation(id string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.incarnations[id]; ok {
+		return v
+	}
+	return 1
 }
 
 // TrustPlatform registers a platform's quote-verification key (attestation
@@ -278,6 +376,8 @@ func (s *Service) RemoteAttestation(agent *Agent, wantID string) (Provision, err
 		Config:       copyMap(s.config),
 		Group:        group,
 		Incarnations: incs,
+		MapKey:       append([]byte(nil), s.mapPub...),
+		ShardMap:     append([]byte(nil), s.curMap...),
 	}
 	s.mu.Unlock()
 

@@ -17,6 +17,7 @@ import (
 // enclave transition amortize over the whole flush.
 type Envelope struct {
 	View    uint64
+	Epoch   uint64 // configuration epoch the sender produced the message under
 	Channel string // cq: the communication-channel identifier
 	Group   uint32 // replication group (shard) the channel belongs to
 	Seq     uint64 // cnt_cq: per-channel counter (first of the range if Batch)
@@ -56,13 +57,17 @@ func (e *Envelope) flags() byte {
 
 // header serialises the authenticated header fields. The MAC covers exactly
 // header||payload, so any header tampering — including flipping the batch
-// flag or rewriting the group — invalidates the MAC. Covering the group binds
-// every envelope to its shard's MAC domain: a valid shard-A envelope carried
-// into shard B fails the receiver's group check, and an envelope whose group
-// field was rewritten fails the MAC.
+// flag or rewriting the group or epoch — invalidates the MAC. Covering the
+// group binds every envelope to its shard's MAC domain: a valid shard-A
+// envelope carried into shard B fails the receiver's group check, and an
+// envelope whose group field was rewritten fails the MAC. Covering the epoch
+// binds it to one configuration: traffic captured before a reconfiguration
+// cannot be replayed after it (the receiver rejects the stale epoch, and an
+// attacker cannot rewrite the field without breaking the MAC).
 func (e *Envelope) header() []byte {
-	buf := make([]byte, 0, 8+8+2+1+4+2+len(e.Channel))
+	buf := make([]byte, 0, 8+8+8+2+1+4+2+len(e.Channel))
 	buf = binary.BigEndian.AppendUint64(buf, e.View)
+	buf = binary.BigEndian.AppendUint64(buf, e.Epoch)
 	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
 	buf = binary.BigEndian.AppendUint16(buf, e.Kind)
 	buf = append(buf, e.flags())
@@ -89,6 +94,7 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 	var e Envelope
 	r := reader{buf: data}
 	e.View = r.uint64()
+	e.Epoch = r.uint64()
 	e.Seq = r.uint64()
 	e.Kind = r.uint16()
 	fl := r.byte()

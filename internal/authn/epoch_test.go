@@ -1,0 +1,120 @@
+package authn
+
+import (
+	"errors"
+	"testing"
+
+	"recipe/internal/tee"
+)
+
+func epochPair(t *testing.T) (*Shielder, *Shielder) {
+	t.Helper()
+	plat, err := tee.NewPlatform("epoch-test", tee.WithCostModel(tee.NativeCostModel()))
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	s := NewShielder(plat.NewEnclave([]byte("s")))
+	v := NewShielder(plat.NewEnclave([]byte("v")))
+	key := make([]byte, 32)
+	for _, sh := range []*Shielder{s, v} {
+		if err := sh.OpenChannel("cq", key); err != nil {
+			t.Fatalf("OpenChannel: %v", err)
+		}
+	}
+	return s, v
+}
+
+// TestStaleEpochRejected: an envelope shielded under epoch E is rejected —
+// distinguishably, as ErrStaleEpoch — once the receiver has moved to E+1,
+// while counters are NOT reset by the epoch bump (fresh traffic continues).
+func TestStaleEpochRejected(t *testing.T) {
+	s, v := epochPair(t)
+
+	// Pre-reconfiguration traffic flows.
+	env1, err := s.Shield("cq", 7, []byte("old-config"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	if _, _, err := v.Verify(env1); err != nil {
+		t.Fatalf("Verify pre-epoch: %v", err)
+	}
+
+	// Capture an envelope, then reconfigure the receiver.
+	captured, err := s.Shield("cq", 7, []byte("captured"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	v.SetEpoch(2)
+
+	// The captured pre-epoch envelope is genuine (MAC valid, counter fresh)
+	// but stale-configuration: rejected as exactly ErrStaleEpoch.
+	if _, _, err := v.Verify(captured); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("Verify stale-epoch envelope = %v, want ErrStaleEpoch", err)
+	}
+
+	// The sender adopts the new epoch: its next envelope delivers, and the
+	// channel counters survived the bump (no reset, no replay window).
+	s.SetEpoch(2)
+	env3, err := s.Shield("cq", 7, []byte("new-config"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	if env3.Seq != 3 {
+		t.Fatalf("Seq = %d after epoch bump, want 3 (counters carry across)", env3.Seq)
+	}
+	// The rejected envelope consumed sender counter 2 but never advanced the
+	// receiver, so seq 3 arrives out of order and parks as a future.
+	status, _, err := v.Verify(env3)
+	if err != nil {
+		t.Fatalf("Verify post-epoch: %v", err)
+	}
+	if status != Buffered {
+		t.Fatalf("status = %v, want Buffered (seq gap from the rejected envelope)", status)
+	}
+	// The gap closes by the periodic future flush — exactly how a node
+	// recovers from an envelope lost to an epoch transition.
+	var got []Envelope
+	for i := 0; i < 3 && len(got) == 0; i++ {
+		got = v.TickFutures(1)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "new-config" {
+		t.Fatalf("TickFutures = %v, want the post-epoch message", got)
+	}
+}
+
+// TestEpochCoveredByMAC: rewriting the epoch field of a captured envelope to
+// the receiver's current epoch must invalidate the MAC — the epoch is not
+// host-controlled metadata.
+func TestEpochCoveredByMAC(t *testing.T) {
+	s, v := epochPair(t)
+	env, err := s.Shield("cq", 7, []byte("m"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	v.SetEpoch(5)
+	forged := env
+	forged.Epoch = 5
+	if _, _, err := v.Verify(forged); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("Verify epoch-rewritten envelope = %v, want ErrBadMAC", err)
+	}
+}
+
+// TestNewerEpochAccepted: a sender that learned the new configuration first
+// is not penalised — its envelopes deliver at a receiver still on the old
+// epoch (the receiver will catch up through its own map install).
+func TestNewerEpochAccepted(t *testing.T) {
+	s, v := epochPair(t)
+	s.SetEpoch(9)
+	env, err := s.Shield("cq", 7, []byte("ahead"))
+	if err != nil {
+		t.Fatalf("Shield: %v", err)
+	}
+	if _, delivered, err := v.Verify(env); err != nil || len(delivered) != 1 {
+		t.Fatalf("Verify newer-epoch envelope = %d msgs, %v", len(delivered), err)
+	}
+	// SetEpoch is monotonic: an attempt to move backwards is ignored.
+	s.SetEpoch(3)
+	if got := s.Epoch(); got != 9 {
+		t.Fatalf("Epoch = %d after backwards SetEpoch, want 9", got)
+	}
+}

@@ -27,6 +27,12 @@ var (
 	// another. Non-equivocation is per group; crossing the boundary is an
 	// attack, never a transient.
 	ErrWrongGroup = errors.New("authn: wrong replication group")
+	// ErrStaleEpoch means the message was produced under an older
+	// configuration epoch: genuine traffic captured before a reconfiguration
+	// and replayed after it (or a sender that has not yet adopted the new
+	// shard map). Stale-configuration traffic must never reach the protocol —
+	// it routes by an ownership assignment that no longer holds.
+	ErrStaleEpoch = errors.New("authn: stale configuration epoch")
 	// ErrUnknownChannel means no key material exists for the channel.
 	ErrUnknownChannel = errors.New("authn: unknown channel")
 	// ErrFutureOverflow means the out-of-order buffer exceeded its bound.
@@ -56,10 +62,11 @@ type Shielder struct {
 	enclave      *tee.Enclave
 	confidential bool
 
-	mu   sync.Mutex
-	view uint64
-	send map[string]*sendState
-	recv map[string]*recvState
+	mu    sync.Mutex
+	view  uint64
+	epoch uint64
+	send  map[string]*sendState
+	recv  map[string]*recvState
 	// overflowDrops counts authenticated messages discarded because a
 	// channel's future buffer was full (observability; see OverflowDrops).
 	overflowDrops uint64
@@ -168,6 +175,17 @@ func (s *Shielder) open(cq string, key []byte, group uint32, loose bool) error {
 	return nil
 }
 
+// CloseChannel discards a channel's key material and counter state in both
+// directions. Reconfiguration uses it to prune channels to retired members
+// and superseded incarnations, so long-lived principals do not accumulate
+// state for every peer they ever spoke to.
+func (s *Shielder) CloseChannel(cq string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.send, cq)
+	delete(s.recv, cq)
+}
+
 // HasChannel reports whether key material is installed for cq.
 func (s *Shielder) HasChannel(cq string) bool {
 	s.mu.Lock()
@@ -198,6 +216,26 @@ func (s *Shielder) View() uint64 {
 	return s.view
 }
 
+// SetEpoch moves the shielder to a (newer) configuration epoch after a
+// verified shard map installs. Unlike a view change, an epoch bump does NOT
+// reset channel counters: the channels and their replay protection carry
+// across the reconfiguration; only envelopes stamped with an older epoch are
+// rejected from then on. Older epochs are ignored (installs are monotonic).
+func (s *Shielder) SetEpoch(e uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e > s.epoch {
+		s.epoch = e
+	}
+}
+
+// Epoch returns the shielder's current configuration epoch.
+func (s *Shielder) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
 // Shield implements Algorithm 1's shield_request: it assigns the next
 // sequence tuple for the channel and MACs (and optionally encrypts) the
 // payload inside the TEE.
@@ -214,6 +252,7 @@ func (s *Shielder) Shield(cq string, kind uint16, payload []byte) (Envelope, err
 	st.cnt++
 	env := Envelope{
 		View:    s.view,
+		Epoch:   s.epoch,
 		Channel: cq,
 		Group:   st.group,
 		Seq:     st.cnt,
@@ -267,6 +306,7 @@ func (s *Shielder) ShieldBatch(cq string, items []BatchItem) (Envelope, error) {
 	st.cnt += uint64(len(items))
 	env := Envelope{
 		View:    s.view,
+		Epoch:   s.epoch,
 		Channel: cq,
 		Group:   st.group,
 		Seq:     first,
@@ -316,6 +356,14 @@ func (s *Shielder) Verify(env Envelope) (Status, []Envelope, error) {
 		// (same master key, same channel name) carried across the group
 		// boundary — the cross-shard replay the group domain exists to stop.
 		return 0, nil, fmt.Errorf("%w: got %d, channel bound to %d", ErrWrongGroup, env.Group, st.group)
+	}
+	if env.Epoch < s.epoch {
+		// The MAC is valid, so this is genuine traffic of an older
+		// configuration — captured before a reconfiguration and replayed
+		// after it, or a sender that has not adopted the new map yet. Newer
+		// epochs are accepted: a peer may legitimately learn the new
+		// configuration before we do, and its channels are unchanged.
+		return 0, nil, fmt.Errorf("%w: got %d, current %d", ErrStaleEpoch, env.Epoch, s.epoch)
 	}
 	if env.View != s.view {
 		return 0, nil, fmt.Errorf("%w: got %d, current %d", ErrWrongView, env.View, s.view)
@@ -379,8 +427,8 @@ func (s *Shielder) verifyBatch(st *recvState, env Envelope) (Status, []Envelope,
 		if seq <= st.rcnt {
 			continue // already-delivered fraction of a redelivered batch
 		}
-		m := Envelope{View: env.View, Channel: env.Channel, Group: env.Group, Seq: seq,
-			Kind: items[i].Kind, Payload: items[i].Payload}
+		m := Envelope{View: env.View, Epoch: env.Epoch, Channel: env.Channel, Group: env.Group,
+			Seq: seq, Kind: items[i].Kind, Payload: items[i].Payload}
 		switch {
 		case st.loose || seq == st.rcnt+1:
 			st.rcnt = seq

@@ -160,11 +160,15 @@ func (d *Damysus) mac(peer string, body []byte) []byte {
 	return h.Sum(nil)
 }
 
+// verifyMAC mirrors PBFT's: the MAC covers the sender's encoding, before the
+// Recipe layer stamped its group/epoch addressing, so those are normalized.
 func (d *Damysus) verifyMAC(from string, m *core.Wire) bool {
 	got := m.Value
 	mm := *m
 	mm.Value = nil
 	mm.From = from
+	mm.Group = 0
+	mm.Epoch = 0
 	return hmac.Equal(got, d.mac(from, mm.Encode()))
 }
 

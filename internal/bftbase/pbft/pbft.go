@@ -171,12 +171,18 @@ func (p *PBFT) mac(peer string, body []byte) []byte {
 }
 
 // verifyMAC checks the pairwise HMAC from a sender. The MAC travels in
-// m.Value and covers the message with Value cleared.
+// m.Value and covers the message with Value cleared. The Recipe layer stamps
+// its own group/epoch addressing onto the wire after this protocol computed
+// the MAC, so those fields are normalized back to the sender's encoding —
+// PBFT's authenticator vector is the baseline's own security model and knows
+// nothing of Recipe's configuration epochs.
 func (p *PBFT) verifyMAC(from string, m *core.Wire) bool {
 	got := m.Value
 	mm := *m
 	mm.Value = nil
 	mm.From = from
+	mm.Group = 0
+	mm.Epoch = 0
 	want := p.mac(from, mm.Encode())
 	return hmac.Equal(got, want)
 }

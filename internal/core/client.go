@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"slices"
 	"time"
 
 	"recipe/internal/attest"
 	"recipe/internal/authn"
 	"recipe/internal/netstack"
+	"recipe/internal/reconfig"
 	"recipe/internal/tee"
 )
 
@@ -24,13 +26,24 @@ type ClientConfig struct {
 	// ID is the client's principal identity (attested at the CAS).
 	ID string
 	// Nodes is the membership the client may contact (single-group clusters).
-	// Ignored when Groups is set.
+	// Ignored when Groups or SignedMap is set.
 	Nodes []string
 	// Groups is the per-shard membership of a sharded cluster: Groups[g]
-	// lists the replicas of replication group g. Keys are hashed to a group
-	// and every operation is routed to the owning group's coordinator. A
-	// single-group cluster may leave this nil and use Nodes.
+	// lists the replicas of replication group g. Ignored when SignedMap is
+	// set (the map carries the memberships).
 	Groups [][]string
+	// SignedMap is the encoded CAS-signed shard map (reconfig.Signed) the
+	// client starts from. With it the client is fully epoch-aware: it routes
+	// by the map's slot assignment, dual-routes writes to migrating slots,
+	// and refreshes the map when a node signals a newer epoch.
+	SignedMap []byte
+	// MapKey is the CAS's ed25519 map-verification key. Required to adopt
+	// SignedMap or any refreshed map — an unverifiable map is ignored.
+	MapKey []byte
+	// FetchMap, when set, lets the client pull the current signed map from
+	// the CAS when its configuration goes stale and no node has supplied one
+	// (e.g. the only group it knew was retired).
+	FetchMap func() ([]byte, error)
 	// MasterKey is the network master key from the client's attestation.
 	MasterKey []byte
 	// Shielded must match the cluster's mode.
@@ -45,9 +58,10 @@ type ClientConfig struct {
 	Seed int64
 }
 
-// ShardOf is the cluster-wide partitioning function: it hashes key onto one
-// of shards groups. Every client and test uses this one function, so the
-// owner of a key is a pure function of (key, shard count).
+// ShardOf is the historical bare-hash partitioning function: it hashes key
+// onto one of shards groups directly. The elastic shard map generalises it
+// (reconfig.Uniform agrees with it for shard counts dividing the slot
+// count); it remains for single-epoch deployments and tests.
 func ShardOf(key string, shards int) int {
 	if shards <= 1 {
 		return 0
@@ -58,12 +72,15 @@ func ShardOf(key string, shards int) int {
 }
 
 // Client issues PUT/GET/DELETE commands against a Recipe cluster. It is
-// partition-aware: keys hash onto the cluster's replication groups (shards)
-// and each operation is routed to the owning group, with one tracked
-// coordinator per group. Requests are shielded on the client's attested
-// channels; replies are verified before being trusted — unlike classical
-// BFT, one verified reply suffices because replicas are individually
-// trustworthy after attestation (paper §A.2 Q2).
+// partition-aware and epoch-aware: keys route by the cluster's epoch-
+// versioned shard map, writes to slots that are mid-migration are
+// dual-routed to the slot's source and destination groups, and when a node
+// rejects the client's configuration as stale the client verifies the
+// node-supplied signed map and re-routes — so a reconfiguration costs a
+// round trip, not the retry budget. Requests are shielded on the client's
+// attested channels; replies are verified before being trusted — unlike
+// classical BFT, one verified reply suffices because replicas are
+// individually trustworthy after attestation (paper §A.2 Q2).
 // A Client is not safe for concurrent use; create one per goroutine.
 type Client struct {
 	cfg      ClientConfig
@@ -71,24 +88,16 @@ type Client struct {
 	tr       netstack.Transport
 	rng      *rand.Rand
 
-	groups [][]string
-	coord  []string // per-shard coordinator
-	seq    uint64
+	rmap  *reconfig.ShardMap
+	epoch uint64
+	coord []string // per-group tracked coordinator
+	seq   uint64
 }
 
 // NewClient builds a client from its attested enclave and transport.
 func NewClient(e *tee.Enclave, tr netstack.Transport, cfg ClientConfig) (*Client, error) {
 	if cfg.ID == "" {
 		return nil, errors.New("core: client needs an ID")
-	}
-	groups := cfg.Groups
-	if len(groups) == 0 {
-		groups = [][]string{cfg.Nodes}
-	}
-	for g, members := range groups {
-		if len(members) == 0 {
-			return nil, fmt.Errorf("core: client group %d has no nodes", g)
-		}
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 250 * time.Millisecond
@@ -105,42 +114,131 @@ func NewClient(e *tee.Enclave, tr netstack.Transport, cfg ClientConfig) (*Client
 		shielder: authn.NewShielder(e, opts...),
 		tr:       tr,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		groups:   groups,
-		coord:    make([]string, len(groups)),
 	}
-	if cfg.Shielded {
+
+	var m *reconfig.ShardMap
+	switch {
+	case len(cfg.SignedMap) > 0:
+		signed, err := reconfig.DecodeSigned(cfg.SignedMap)
+		if err != nil {
+			return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+		}
+		m, err = signed.Verify(cfg.MapKey)
+		if err != nil {
+			return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+		}
+	default:
+		// Legacy static configuration: synthesise the equivalent map.
+		groups := cfg.Groups
+		if len(groups) == 0 {
+			groups = [][]string{cfg.Nodes}
+		}
 		for g, members := range groups {
+			if len(members) == 0 {
+				return nil, fmt.Errorf("core: client group %d has no nodes", g)
+			}
+		}
+		m = reconfig.Uniform(0, len(groups), groups)
+	}
+	if err := c.adopt(m); err != nil {
+		return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+	}
+	return c, nil
+}
+
+// adopt installs a verified map: channels for every member, coordinator
+// slots for every group, the epoch into the MAC domain. Channels to members
+// the new map no longer lists (retired groups, superseded incarnations) are
+// closed, so a long-lived client does not accumulate state for every
+// replica incarnation it ever spoke to.
+func (c *Client) adopt(m *reconfig.ShardMap) error {
+	if old := c.rmap; old != nil && c.cfg.Shielded {
+		for _, members := range old.Members {
 			for _, node := range members {
-				for _, cq := range []string{
-					clientChannel(cfg.ID, node),
-					clientChannel(node, cfg.ID),
-				} {
-					// Loose ordering: stale responses overtaken by fresher ones
-					// are simply lost; the request/retry loop provides the
-					// end-to-end semantics. Each channel is bound to its
-					// group's MAC domain.
-					if err := c.shielder.OpenLooseGroupChannel(cq, attest.ChannelKey(cfg.MasterKey, cq), uint32(g)); err != nil {
-						return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+				if gone, stale := memberChanged(old, m, node); gone || stale {
+					c.shielder.CloseChannel(replyChannelName(node, old.IncOf(node), c.cfg.ID))
+					if gone {
+						c.shielder.CloseChannel(clientChannel(c.cfg.ID, node))
 					}
 				}
 			}
 		}
 	}
-	for g, members := range groups {
-		c.coord[g] = members[c.rng.Intn(len(members))]
+	for g, members := range m.Members {
+		for _, node := range members {
+			if err := c.openChannels(uint32(g), node, m.IncOf(node)); err != nil {
+				return err
+			}
+		}
 	}
-	return c, nil
+	coord := make([]string, m.Groups())
+	for g, members := range m.Members {
+		if len(members) == 0 {
+			continue // retired group: never a routing target of a valid map
+		}
+		if c.coord != nil && g < len(c.coord) && c.coord[g] != "" && slices.Contains(members, c.coord[g]) {
+			coord[g] = c.coord[g] // keep a known-good coordinator across epochs
+			continue
+		}
+		coord[g] = members[c.rng.Intn(len(members))]
+	}
+	c.rmap = m
+	c.coord = coord
+	c.epoch = m.Epoch
+	c.shielder.SetEpoch(m.Epoch)
+	return nil
+}
+
+// memberChanged reports whether a node of the old map is gone from the new
+// one, and whether its incarnation was superseded.
+func memberChanged(old, m *reconfig.ShardMap, node string) (gone, stale bool) {
+	gone = true
+	for _, members := range m.Members {
+		if slices.Contains(members, node) {
+			gone = false
+			break
+		}
+	}
+	return gone, !gone && m.IncOf(node) != old.IncOf(node)
+}
+
+// openChannels installs the directional channels to one node, bound to its
+// group's MAC domain. The receive channel is qualified with the node's
+// attested incarnation (from the signed map) via the shared
+// replyChannelName, so a reborn replica talks over fresh channels with
+// fresh counters. Loose ordering: stale responses overtaken by fresher ones
+// are simply lost; the request/retry loop provides the end-to-end
+// semantics.
+func (c *Client) openChannels(group uint32, node string, inc uint64) error {
+	if !c.cfg.Shielded {
+		return nil
+	}
+	for _, cq := range []string{
+		clientChannel(c.cfg.ID, node),
+		replyChannelName(node, inc, c.cfg.ID),
+	} {
+		if c.shielder.HasChannel(cq) {
+			continue
+		}
+		if err := c.shielder.OpenLooseGroupChannel(cq, attest.ChannelKey(c.cfg.MasterKey, cq), group); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close releases the client's transport.
 func (c *Client) Close() error { return c.tr.Close() }
 
 // Shards returns the number of replication groups the client routes across.
-func (c *Client) Shards() int { return len(c.groups) }
+func (c *Client) Shards() int { return c.rmap.Groups() }
+
+// Epoch returns the configuration epoch the client currently routes under.
+func (c *Client) Epoch() uint64 { return c.epoch }
 
 // ShardOf returns the replication group that owns key under this client's
-// configuration.
-func (c *Client) ShardOf(key string) int { return ShardOf(key, len(c.groups)) }
+// current shard map.
+func (c *Client) ShardOf(key string) int { return c.rmap.GroupOf(key) }
 
 // Put writes value under key.
 func (c *Client) Put(key string, value []byte) (Result, error) {
@@ -157,50 +255,133 @@ func (c *Client) Delete(key string) (Result, error) {
 	return c.do(Command{Op: OpDelete, Key: key})
 }
 
-// do runs one command to completion against the group owning its key,
-// following redirects and rotating through the group's nodes on timeouts.
+// do runs one command to completion: route to the group owning its key
+// (re-resolved every attempt — the map can change mid-flight), follow
+// redirects, rotate through a group's nodes on timeouts, refresh the map on
+// epoch notices, and dual-route writes whose slot is mid-migration so the
+// destination group never misses an acknowledged mutation.
 func (c *Client) do(cmd Command) (Result, error) {
 	c.seq++
 	cmd.Seq = c.seq
 	cmd.ClientID = c.cfg.ID
 	cmd.ClientAddr = c.tr.Addr()
-	shard := c.ShardOf(cmd.Key)
 
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		if err := c.send(c.coord[shard], shard, &Wire{Kind: KindClientReq, Cmd: &cmd}); err != nil {
-			c.rotate(shard)
-			continue
+		if attempt == c.cfg.MaxAttempts/2 {
+			// Halfway through the budget with no progress: the configuration
+			// may be stale in a way no reachable node can tell us (e.g. the
+			// owning group was retired). Re-fetch from the CAS.
+			c.refreshFromCAS()
 		}
-		res, redirect, ok := c.await(cmd.Seq, shard)
-		switch {
-		case ok:
-			return res, nil
-		case redirect != "":
-			c.coord[shard] = redirect
-		default:
-			c.rotate(shard)
+		owner := c.rmap.GroupOf(cmd.Key)
+		res, outcome := c.tryGroup(&cmd, owner)
+		if outcome != tryOK {
+			continue // rotated, redirected, or refreshed; try again
 		}
+		if cmd.Op != OpGet {
+			if tgt := c.rmap.NextGroupOf(cmd.Key); tgt >= 0 {
+				// The slot is mid-migration: the mutation must also reach the
+				// destination group, or it could be lost at cutover if the
+				// migration's copy already passed this key.
+				if _, o2 := c.tryGroup(&cmd, tgt); o2 != tryOK {
+					continue // owner leg is idempotent to retry (client table)
+				}
+			}
+		}
+		return res, nil
 	}
 	return Result{}, fmt.Errorf("%w: %s %q after %d attempts", ErrClientTimeout, cmd.Op, cmd.Key, c.cfg.MaxAttempts)
 }
 
-// rotate picks a different coordinator within the shard's group.
-func (c *Client) rotate(shard int) {
-	members := c.groups[shard]
-	if len(members) == 1 {
-		return
+// tryGroup outcome.
+type tryOutcome int
+
+const (
+	tryOK tryOutcome = iota + 1
+	tryRetry
+)
+
+// tryGroup performs one request round against one group.
+func (c *Client) tryGroup(cmd *Command, group int) (Result, tryOutcome) {
+	if group < 0 || group >= len(c.coord) || len(c.rmap.Members[group]) == 0 {
+		return Result{}, tryRetry
 	}
-	prev := c.coord[shard]
-	for c.coord[shard] == prev {
-		c.coord[shard] = members[c.rng.Intn(len(members))]
+	if err := c.send(c.coord[group], group, &Wire{Kind: KindClientReq, Cmd: cmd}); err != nil {
+		// A failed send (dead node, closed endpoint) costs no await time, so
+		// without a pause the retry budget burns in fast redirect-to-corpse
+		// cycles before the group can re-elect. Back off a slice of the
+		// request timeout instead.
+		c.rotate(group)
+		time.Sleep(c.cfg.RequestTimeout / 8)
+		return Result{}, tryRetry
+	}
+	res, redirect, ok := c.await(cmd.Seq, group)
+	// await may have adopted a newer map (epoch notice) with fewer groups;
+	// everything below re-checks the group index against the current map.
+	switch {
+	case ok:
+		return res, tryOK
+	case redirect != "":
+		if group < len(c.rmap.Members) && group < len(c.coord) &&
+			slices.Contains(c.rmap.Members[group], redirect) {
+			c.coord[group] = redirect
+		}
+		return Result{}, tryRetry
+	default:
+		c.rotate(group)
+		return Result{}, tryRetry
 	}
 }
 
+// rotate picks a different coordinator within the group.
+func (c *Client) rotate(group int) {
+	if group >= len(c.rmap.Members) || group >= len(c.coord) {
+		return // the map shrank under us mid-attempt; the caller re-routes
+	}
+	members := c.rmap.Members[group]
+	if len(members) <= 1 {
+		return
+	}
+	prev := c.coord[group]
+	for c.coord[group] == prev {
+		c.coord[group] = members[c.rng.Intn(len(members))]
+	}
+}
+
+// refreshFromCAS pulls and adopts the current signed map, if configured.
+func (c *Client) refreshFromCAS() {
+	if c.cfg.FetchMap == nil {
+		return
+	}
+	signedEnc, err := c.cfg.FetchMap()
+	if err != nil {
+		return
+	}
+	c.installSigned(signedEnc)
+}
+
+// installSigned verifies an encoded signed map and adopts it if newer.
+func (c *Client) installSigned(signedEnc []byte) bool {
+	if len(signedEnc) == 0 || len(c.cfg.MapKey) == 0 {
+		return false
+	}
+	signed, err := reconfig.DecodeSigned(signedEnc)
+	if err != nil {
+		return false
+	}
+	m, err := signed.Verify(c.cfg.MapKey)
+	if err != nil || m.Epoch <= c.epoch {
+		return false
+	}
+	return c.adopt(m) == nil
+}
+
 // send shields (if configured) and transmits one request to a node of the
-// given shard.
-func (c *Client) send(node string, shard int, w *Wire) error {
+// given group.
+func (c *Client) send(node string, group int, w *Wire) error {
 	w.From = c.cfg.ID
-	w.Group = uint32(shard)
+	w.Group = uint32(group)
+	w.Epoch = c.epoch
 	payload := w.Encode()
 	if !c.cfg.Shielded {
 		return c.tr.Send(node, payload)
@@ -212,9 +393,10 @@ func (c *Client) send(node string, shard int, w *Wire) error {
 	return c.tr.Send(node, env.Encode())
 }
 
-// await waits for the response to request seq from the given shard,
-// returning the result, or a redirect target, or neither on timeout.
-func (c *Client) await(seq uint64, shard int) (res Result, redirect string, ok bool) {
+// await waits for the response to request seq from the given group,
+// returning the result, or a redirect target, or neither on timeout. Epoch
+// notices arriving meanwhile refresh the routing table and end the attempt.
+func (c *Client) await(seq uint64, group int) (res Result, redirect string, ok bool) {
 	deadline := time.NewTimer(c.cfg.RequestTimeout)
 	defer deadline.Stop()
 	for {
@@ -224,8 +406,20 @@ func (c *Client) await(seq uint64, shard int) (res Result, redirect string, ok b
 				return Result{}, "", false
 			}
 			w := c.decode(pkt)
-			if w == nil || w.Index != seq || w.Group != uint32(shard) {
-				continue // stale, unverifiable, or other-shard; keep waiting
+			if w == nil {
+				continue
+			}
+			if w.Kind == KindEpochNotice {
+				// A node told us our configuration is stale and handed us the
+				// current signed map. Adopt it (after verification) and let
+				// the caller re-route.
+				if c.installSigned(w.Value) {
+					return Result{}, "", false
+				}
+				continue
+			}
+			if w.Index != seq || w.Group != uint32(group) {
+				continue // stale, unverifiable, or other-group; keep waiting
 			}
 			switch w.Kind {
 			case KindClientResp:
@@ -254,6 +448,14 @@ func (c *Client) decode(pkt netstack.Packet) *Wire {
 	}
 	env, err := authn.DecodeEnvelope(pkt.Data)
 	if err != nil {
+		// Epoch notices travel outside the shielded channels (a stale
+		// client may not even know the sender's incarnation): accept the
+		// bare wire form for exactly that kind — its payload is a CAS-signed
+		// map, and installSigned verifies the signature before anything is
+		// believed. All other unshielded frames stay untrusted.
+		if w, werr := DecodeWire(pkt.Data); werr == nil && w.Kind == KindEpochNotice {
+			return w
+		}
 		return nil
 	}
 	_, delivered, err := c.shielder.Verify(env)

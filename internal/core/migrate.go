@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"recipe/internal/attest"
+	"recipe/internal/authn"
+	"recipe/internal/kvstore"
+	"recipe/internal/netstack"
+	"recipe/internal/tee"
+)
+
+// FencePrefix marks internal reconfiguration-control keys (migration
+// fences). They are per-group bookkeeping, not user data: the slot-filtered
+// state transfer skips them, so they never migrate between groups.
+const FencePrefix = "\x00reconfig/"
+
+// MigratedVersion is the version round r (0-based) of a slot migration
+// writes entries (and tombstone floors) with at the destination group. Every
+// round's version is below every version any protocol assigns (all
+// protocols start at TS >= 1; preload uses TS 1 with Writer 0), so the
+// versioned-write rules make migration unconditionally safe against the
+// live dual-routed traffic racing it:
+//
+//   - a live write or delete that lands first wins — the migrated copy of
+//     the pre-migration value is rejected as stale;
+//   - a migrated copy that lands first is overwritten by any live write and
+//     removed by any live delete.
+//
+// Rounds are ordered among themselves (TS 0, Writer r+1): a later round's
+// fresher source state — including a value written over a key an earlier
+// round saw deleted, the ABD-straggler case — beats the earlier round's
+// entries AND its tombstone floors (a floor only blocks writes at or below
+// it), while still losing to everything protocol-assigned.
+func MigratedVersion(round int) kvstore.Version {
+	return kvstore.Version{TS: 0, Writer: uint64(round) + 1}
+}
+
+// SlotEntry is one key's state pulled from a source replica during slot
+// migration: a live value or (Deleted) a tombstone floor.
+type SlotEntry struct {
+	Key     string
+	Value   []byte
+	Version kvstore.Version
+	Deleted bool
+}
+
+// MigratorConfig configures a Migrator.
+type MigratorConfig struct {
+	// ID is the migrator's principal identity. Must be unique per migrator —
+	// source replicas open fresh incarnation-1 channels for it.
+	ID string
+	// MasterKey is the network master key (the migration driver is part of
+	// the trusted deployment layer, like the harness and the CAS).
+	MasterKey []byte
+	// Shielded / Confidential must match the cluster's mode.
+	Shielded     bool
+	Confidential bool
+	// Epoch is the configuration epoch the migration runs under (the
+	// transition map's epoch); envelopes are stamped with it.
+	Epoch uint64
+	// Incarnations maps source node identities to their current attestation
+	// count, needed to name their channels.
+	Incarnations map[string]uint64
+}
+
+// Migrator streams the keyspace slots changing owner during an elastic
+// reconfiguration out of their source group, through the same state-transfer
+// path a recovering replica uses (KindStateReq/KindStateResp pages, shielded
+// and epoch-stamped). Not safe for concurrent use.
+type Migrator struct {
+	cfg      MigratorConfig
+	shielder *authn.Shielder
+	tr       netstack.Transport
+	token    uint64
+}
+
+// NewMigrator builds a migrator from its enclave and transport. The
+// transport must be registered under cfg.ID so source replicas can address
+// their pages back to it.
+func NewMigrator(e *tee.Enclave, tr netstack.Transport, cfg MigratorConfig) (*Migrator, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("core: migrator needs an ID")
+	}
+	var opts []authn.Option
+	if cfg.Confidential {
+		opts = append(opts, authn.WithConfidentiality())
+	}
+	m := &Migrator{cfg: cfg, shielder: authn.NewShielder(e, opts...), tr: tr}
+	m.shielder.SetEpoch(cfg.Epoch)
+	return m, nil
+}
+
+// Close releases the migrator's transport.
+func (m *Migrator) Close() error { return m.tr.Close() }
+
+// incOf mirrors Node.incOf for the source membership.
+func (m *Migrator) incOf(id string) uint64 {
+	if v, ok := m.cfg.Incarnations[id]; ok {
+		return v
+	}
+	return 1
+}
+
+// channels returns (opening if needed) the directional channel names between
+// this migrator and a source node, matching the node's own naming: the node
+// replies over "ch:<node>@<inc>-><mig>@1" and expects requests on the
+// reverse. Both are bound to the source node's group MAC domain.
+func (m *Migrator) channels(node string, group uint32) (send, recv string, err error) {
+	send = fmt.Sprintf("ch:%s@1->%s@%d", m.cfg.ID, node, m.incOf(node))
+	recv = fmt.Sprintf("ch:%s@%d->%s@1", node, m.incOf(node), m.cfg.ID)
+	for _, cq := range []string{send, recv} {
+		if m.shielder.HasChannel(cq) {
+			continue
+		}
+		if err := m.shielder.OpenGroupChannel(cq, attest.ChannelKey(m.cfg.MasterKey, cq), group); err != nil {
+			return "", "", err
+		}
+	}
+	return send, recv, nil
+}
+
+// PullSlots streams every key (and tombstone floor) of the masked slots from
+// one source replica, page by page. mask is a NumSlots-wide bitmask; group
+// is the source replica's replication group.
+func (m *Migrator) PullSlots(node string, group uint32, mask uint64, timeout time.Duration) ([]SlotEntry, error) {
+	send, _, err := m.channels(node, group)
+	if err != nil {
+		return nil, fmt.Errorf("migrator %s: %w", m.cfg.ID, err)
+	}
+	m.token++
+	token := m.token
+	deadline := time.Now().Add(timeout)
+
+	var out []SlotEntry
+	next := ""
+	for {
+		req := &Wire{
+			Kind: KindStateReq, From: m.cfg.ID, Group: group, Epoch: m.cfg.Epoch,
+			Index: token, Term: mask, Key: next,
+		}
+		if err := m.send(node, send, req); err != nil {
+			return nil, fmt.Errorf("migrator %s: %s: %w", m.cfg.ID, node, err)
+		}
+		w, err := m.awaitPage(token, group, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("migrator %s: %s: %w", m.cfg.ID, node, err)
+		}
+		entries, pageNext, done, _, err := decodeStatePage(w.Value)
+		if err != nil {
+			return nil, fmt.Errorf("migrator %s: %s: %w", m.cfg.ID, node, err)
+		}
+		for _, e := range entries {
+			out = append(out, SlotEntry{Key: e.Key, Value: e.Value, Version: e.Version, Deleted: e.Deleted})
+		}
+		if done {
+			return out, nil
+		}
+		next = pageNext
+	}
+}
+
+// send shields (if configured) and transmits one request.
+func (m *Migrator) send(node, cq string, w *Wire) error {
+	payload := w.Encode()
+	if !m.cfg.Shielded {
+		return m.tr.Send(node, payload)
+	}
+	env, err := m.shielder.Shield(cq, w.Kind, payload)
+	if err != nil {
+		return err
+	}
+	return m.tr.Send(node, env.Encode())
+}
+
+// awaitPage waits for the state page answering transfer `token`.
+func (m *Migrator) awaitPage(token uint64, group uint32, deadline time.Time) (*Wire, error) {
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("slot pull timed out")
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case pkt, ok := <-m.tr.Inbox():
+			timer.Stop()
+			if !ok {
+				return nil, errors.New("migrator transport closed")
+			}
+			for _, w := range m.decode(pkt) {
+				if w.Kind == KindStateResp && w.Index == token && w.Group == group {
+					return w, nil
+				}
+			}
+		case <-timer.C:
+			return nil, fmt.Errorf("slot pull timed out")
+		}
+	}
+}
+
+// decode verifies and parses one inbound packet into wire messages.
+func (m *Migrator) decode(pkt netstack.Packet) []*Wire {
+	frames, multi, err := netstack.SplitFrames(pkt.Data)
+	if err != nil {
+		return nil
+	}
+	if !multi {
+		frames = [][]byte{pkt.Data}
+	}
+	var out []*Wire
+	for _, f := range frames {
+		if !m.cfg.Shielded {
+			if w, err := DecodeWire(f); err == nil {
+				out = append(out, w)
+			}
+			continue
+		}
+		env, err := authn.DecodeEnvelope(f)
+		if err != nil {
+			continue
+		}
+		_, delivered, err := m.shielder.Verify(env)
+		if err != nil {
+			continue
+		}
+		for _, d := range delivered {
+			w, err := DecodeWire(d.Payload)
+			if err != nil {
+				continue
+			}
+			if sender, ok := channelSender(d.Channel); !ok || sender != w.From {
+				continue
+			}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MergeSlotEntries folds per-replica slot pulls into the slot's merged
+// state: for every key the newest version wins, and a tombstone at or above
+// the newest value turns the key into a Deleted entry (the delete
+// committed; a lagging replica's stale value must not resurrect it).
+// Deleted entries must be applied at the destination, not skipped: a
+// previous migration round may already have installed the key there, and
+// only an explicit removal retracts it (the ABD-straggler case the second
+// fence+pull round exists for).
+func MergeSlotEntries(batches ...[]SlotEntry) []SlotEntry {
+	type state struct {
+		val  SlotEntry
+		tomb kvstore.Version
+		has  bool // a live value was seen
+		del  bool // a tombstone was seen
+	}
+	merged := make(map[string]*state)
+	for _, batch := range batches {
+		for _, e := range batch {
+			st := merged[e.Key]
+			if st == nil {
+				st = &state{}
+				merged[e.Key] = st
+			}
+			if e.Deleted {
+				if !st.del || st.tomb.Less(e.Version) {
+					st.tomb = e.Version
+					st.del = true
+				}
+			} else if !st.has || st.val.Version.Less(e.Version) {
+				st.val = e
+				st.has = true
+			}
+		}
+	}
+	out := make([]SlotEntry, 0, len(merged))
+	for key, st := range merged {
+		if st.del && (!st.has || !st.tomb.Less(st.val.Version)) {
+			// Delete wins ties (RemoveVersioned removes at v >= stored).
+			out = append(out, SlotEntry{Key: key, Version: st.tomb, Deleted: true})
+			continue
+		}
+		out = append(out, st.val)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"recipe/internal/kvstore"
+)
+
+// TestMergeSlotEntries: per-replica views fold to newest-version-wins, and
+// committed deletes surface as Deleted entries (they must retract earlier
+// rounds' installs at the destination, not silently vanish).
+func TestMergeSlotEntries(t *testing.T) {
+	v := func(ts uint64) kvstore.Version { return kvstore.Version{TS: ts} }
+	merged := MergeSlotEntries(
+		[]SlotEntry{ // replica 1 (lagging)
+			{Key: "a", Value: []byte("a-old"), Version: v(3)},
+			{Key: "b", Value: []byte("b-stale"), Version: v(4)}, // delete not applied yet
+			{Key: "c", Value: []byte("c1"), Version: v(2)},
+		},
+		[]SlotEntry{ // replica 2 (fresh)
+			{Key: "a", Value: []byte("a-new"), Version: v(7)},
+			{Key: "b", Version: v(9), Deleted: true},
+			{Key: "d", Version: v(5), Deleted: true},
+			{Key: "d", Value: []byte("d-re-put"), Version: v(6)}, // re-created after delete
+		},
+	)
+	got := make(map[string]SlotEntry, len(merged))
+	for _, e := range merged {
+		got[e.Key] = e
+	}
+	if e := got["a"]; e.Deleted || string(e.Value) != "a-new" {
+		t.Fatalf("a = %+v, want the newest live value", e)
+	}
+	if e, ok := got["b"]; !ok || !e.Deleted {
+		t.Fatalf("b = %+v, want a Deleted entry (committed delete must propagate)", e)
+	}
+	if e := got["c"]; e.Deleted || string(e.Value) != "c1" {
+		t.Fatalf("c = %+v, want the only live value", e)
+	}
+	if e := got["d"]; e.Deleted || string(e.Value) != "d-re-put" {
+		t.Fatalf("d = %+v, want the value newer than its tombstone", e)
+	}
+}
+
+// TestMigratedVersionOrdering pins the version-domain invariants the live
+// migration depends on: rounds are ordered among themselves (so a later
+// round's state — including its tombstone retractions — supersedes an
+// earlier round's installs AND floors), and every round stays strictly
+// below anything protocol-assigned or preloaded.
+func TestMigratedVersionOrdering(t *testing.T) {
+	r0, r1 := MigratedVersion(0), MigratedVersion(1)
+	if !r0.Less(r1) {
+		t.Fatalf("round 0 %v not below round 1 %v", r0, r1)
+	}
+	protoMin := kvstore.Version{TS: 1} // preload / lowest protocol version
+	if !r1.Less(protoMin) {
+		t.Fatalf("round 1 %v not below the lowest protocol version %v", r1, protoMin)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"recipe/internal/authn"
 	"recipe/internal/kvstore"
 	"recipe/internal/netstack"
+	"recipe/internal/reconfig"
 	"recipe/internal/tee"
 )
 
@@ -31,6 +32,7 @@ type Stats struct {
 	DropMAC       atomic.Uint64 // tampered/forged messages rejected
 	DropView      atomic.Uint64 // other-view messages rejected
 	DropGroup     atomic.Uint64 // cross-shard (wrong replication group) messages rejected
+	DropEpoch     atomic.Uint64 // stale-configuration-epoch messages rejected
 	DropMalformed atomic.Uint64 // undecodable packets
 }
 
@@ -88,6 +90,16 @@ type Node struct {
 
 	incMu sync.Mutex
 	inc   map[string]uint64 // peer incarnations (absent = 1)
+
+	// Configuration epoch: the latest CAS-signed shard map this node has
+	// verified and adopted. epoch mirrors the shielder's epoch for the
+	// unshielded path; curMap holds the encoded signed map for epoch notices.
+	epoch    atomic.Uint64
+	curMapMu sync.Mutex
+	curMap   []byte
+	// lastNotice rate-limits epoch notices per client: a replayed stale
+	// envelope must not buy an attacker a signed-map send per frame.
+	lastNotice map[string]time.Time
 
 	// Outbound coalescing: messages to a peer produced within one event-loop
 	// iteration accumulate here and flush together as batched envelopes.
@@ -171,7 +183,53 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 			}
 		}
 	}
+	if len(cfg.Secrets.ShardMap) > 0 {
+		// The configuration current at attestation time rides in the attested
+		// secrets; adopting it needs no extra trust decision.
+		if err := n.InstallShardMap(cfg.Secrets.ShardMap); err != nil {
+			return nil, fmt.Errorf("node %s: attested shard map: %w", n.id, err)
+		}
+	}
 	return n, nil
+}
+
+// InstallShardMap verifies a CAS-signed shard map against the attested map
+// key and, if its epoch is newer than the current one, adopts it: the node's
+// epoch (and its shielder's) moves up, so envelopes of older configurations
+// are rejected from now on. Installing an older or equal epoch is a no-op.
+// Safe from any goroutine.
+func (n *Node) InstallShardMap(signedEnc []byte) error {
+	if len(n.cfg.Secrets.MapKey) == 0 {
+		return errors.New("core: no attested map key to verify shard map with")
+	}
+	signed, err := reconfig.DecodeSigned(signedEnc)
+	if err != nil {
+		return err
+	}
+	m, err := signed.Verify(n.cfg.Secrets.MapKey)
+	if err != nil {
+		return err
+	}
+	n.curMapMu.Lock()
+	defer n.curMapMu.Unlock()
+	if m.Epoch <= n.epoch.Load() {
+		return nil
+	}
+	n.epoch.Store(m.Epoch) // curMapMu serialises all writers
+	n.curMap = append([]byte(nil), signedEnc...)
+	n.shielder.SetEpoch(m.Epoch)
+	n.cfg.Logf("node %s: adopted shard map epoch %d (%d groups)", n.id, m.Epoch, m.Groups())
+	return nil
+}
+
+// Epoch returns the node's current configuration epoch.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// signedMap returns the encoded signed map of the current epoch (nil if none).
+func (n *Node) signedMap() []byte {
+	n.curMapMu.Lock()
+	defer n.curMapMu.Unlock()
+	return n.curMap
 }
 
 // Group returns the node's replication group (shard).
@@ -205,6 +263,25 @@ func (n *Node) peerChannel(from, to string) string {
 
 // clientChannel names the directional channel between a client and a node.
 func clientChannel(from, to string) string { return "cli:" + from + "->" + to }
+
+// replyChannelName names a node incarnation's channel toward a client. From
+// the second incarnation on, the node's identity is incarnation-qualified:
+// a reborn replica (recovered, or a retired group id re-created by a grow)
+// must not inherit a dead incarnation's counter state at the client — the
+// client learns the incarnation from the CAS-signed shard map and opens the
+// matching fresh channel. First incarnations keep the historical name.
+// Nodes and clients both name the channel through this one function.
+func replyChannelName(node string, inc uint64, clientID string) string {
+	if inc > 1 {
+		return clientChannel(fmt.Sprintf("%s@%d", node, inc), clientID)
+	}
+	return clientChannel(node, clientID)
+}
+
+// replyChannel names this node's current channel toward a client.
+func (n *Node) replyChannel(clientID string) string {
+	return replyChannelName(n.id, n.incOf(n.id), clientID)
+}
 
 // ID returns the node identity.
 func (n *Node) ID() string { return n.id }
@@ -394,6 +471,16 @@ func (n *Node) handleFrame(from string, data []byte) {
 			n.stats.DropView.Add(1)
 		case errors.Is(err, authn.ErrWrongGroup):
 			n.stats.DropGroup.Add(1)
+		case errors.Is(err, authn.ErrStaleEpoch):
+			n.stats.DropEpoch.Add(1)
+			// A stale client is a lagging router, not an attacker (the
+			// attacker case is indistinguishable but gets the same useless
+			// answer): tell it the current configuration so it refreshes
+			// instead of burning its retry budget. The notice is shielded on
+			// this node's own channel, so it cannot be forged.
+			if sender, ok := channelSender(env.Channel); ok && strings.HasPrefix(env.Channel, "cli:") {
+				n.sendEpochNotice(sender, from)
+			}
 		default:
 			n.stats.DropMalformed.Add(1)
 		}
@@ -495,6 +582,17 @@ func (n *Node) dispatchWire(from string, w *Wire) {
 		n.stats.DropGroup.Add(1)
 		return
 	}
+	if w.Epoch < n.epoch.Load() {
+		// Wire-level epoch addressing backs up the envelope domain the same
+		// way (and is the only stale-configuration guard in native mode).
+		// Newer epochs pass: the sender may have adopted a map we have not
+		// seen yet; its message is authentic and fresh either way.
+		n.stats.DropEpoch.Add(1)
+		if w.Kind == KindClientReq && w.Cmd != nil && w.Cmd.ClientID != "" {
+			n.sendEpochNotice(w.Cmd.ClientID, w.Cmd.ClientAddr)
+		}
+		return
+	}
 	switch w.Kind {
 	case KindClientReq:
 		if w.Cmd == nil {
@@ -510,7 +608,7 @@ func (n *Node) dispatchWire(from string, w *Wire) {
 		// A freshly attested incarnation of w.Key announced itself; future
 		// sends to it use its new channels.
 		n.bumpInc(w.Key, w.Index)
-	case KindClientResp, KindRedirect:
+	case KindClientResp, KindRedirect, KindEpochNotice:
 		// Node-to-node these are unexpected; ignore.
 	default:
 		n.proto.Handle(from, w)
@@ -605,6 +703,7 @@ func (n *Node) maxBatch() int {
 func (n *Node) sendWire(to string, w *Wire) {
 	w.From = n.id
 	w.Group = n.group
+	w.Epoch = n.epoch.Load()
 	payload := w.Encode()
 	if !n.cfg.Shielded {
 		n.qsend(to, payload)
@@ -688,12 +787,13 @@ func (n *Node) flushTransport() {
 func (n *Node) sendToClient(cmd Command, w *Wire) {
 	w.From = n.id
 	w.Group = n.group
+	w.Epoch = n.epoch.Load()
 	payload := w.Encode()
 	if !n.cfg.Shielded {
 		_ = n.tr.Send(cmd.ClientAddr, payload)
 		return
 	}
-	cq := clientChannel(n.id, cmd.ClientID)
+	cq := n.replyChannel(cmd.ClientID)
 	if !n.shielder.HasChannel(cq) {
 		_ = n.shielder.OpenLooseGroupChannel(cq, attest.ChannelKey(n.cfg.Secrets.MasterKey, cq), n.group)
 	}
@@ -711,4 +811,46 @@ func (n *Node) sendClientResp(cmd Command, r Result) {
 
 func (n *Node) sendRedirect(cmd Command, leader string) {
 	n.sendToClient(cmd, &Wire{Kind: KindRedirect, Index: cmd.Seq, Key: leader})
+}
+
+// noticeCooldown bounds how often one client is sent an epoch notice. A
+// genuine lagging client refreshes off its first notice; the limit exists
+// so replayed stale envelopes cannot buy an attacker one shielded
+// signed-map send per frame (a work amplifier inside the trust base).
+const noticeCooldown = 50 * time.Millisecond
+
+// sendEpochNotice ships the current signed shard map to a client observed
+// routing under a stale epoch, so it can refresh instead of timing out its
+// whole retry budget. clientID keys the rate limit; addr is the transport
+// address the request arrived from.
+//
+// The notice is deliberately sent OUTSIDE the shielded channels: its
+// payload is self-authenticating (the client verifies the CAS's ed25519
+// signature and only ever adopts strictly newer epochs), and a channel
+// cannot be assumed — the whole point of the notice is that the client's
+// view of the membership is stale, e.g. it may not know this node's current
+// incarnation and so could not verify an envelope from it. An attacker can
+// at most replay a genuine newer map, which every epoch is designed to
+// tolerate clients adopting early.
+func (n *Node) sendEpochNotice(clientID, addr string) {
+	if addr == "" {
+		return
+	}
+	now := time.Now()
+	n.curMapMu.Lock()
+	if n.lastNotice == nil {
+		n.lastNotice = make(map[string]time.Time)
+	}
+	if len(n.lastNotice) > 4096 {
+		n.lastNotice = make(map[string]time.Time) // coarse reset bounds memory
+	}
+	if last, ok := n.lastNotice[clientID]; ok && now.Sub(last) < noticeCooldown {
+		n.curMapMu.Unlock()
+		return
+	}
+	n.lastNotice[clientID] = now
+	n.curMapMu.Unlock()
+	w := &Wire{Kind: KindEpochNotice, From: n.id, Group: n.group,
+		Epoch: n.epoch.Load(), Term: n.epoch.Load(), Value: n.signedMap()}
+	_ = n.tr.Send(addr, w.Encode())
 }

@@ -4,19 +4,26 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"recipe/internal/kvstore"
+	"recipe/internal/reconfig"
 )
 
 // statePageSize bounds how many keys one state-transfer page carries.
 const statePageSize = 256
 
-// stateEntry is one KV triple in a state-transfer page.
+// stateEntry is one KV triple in a state-transfer page. Deleted entries
+// carry no value: they are tombstone floors (RemoveVersioned state), shipped
+// so a receiver cannot resurrect a committed delete from a stale write, and
+// only emitted on the final page (tombstones are not part of the ordered key
+// enumeration pagination walks).
 type stateEntry struct {
 	Key     string
 	Value   []byte
 	Version kvstore.Version
+	Deleted bool
 }
 
 // encodeStatePage serialises a page:
@@ -26,6 +33,11 @@ func encodeStatePage(entries []stateEntry, next string, done bool, sidecar []byt
 	buf := make([]byte, 0, 64+len(sidecar))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
 	for _, e := range entries {
+		if e.Deleted {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
 		buf = appendString(buf, e.Key)
 		buf = appendBytes(buf, e.Value)
 		buf = binary.BigEndian.AppendUint64(buf, e.Version.TS)
@@ -49,13 +61,19 @@ func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool,
 		return nil, "", false, nil, ErrWireOversized
 	}
 	// Bound the preallocation by the buffer: each entry encodes to at least
-	// two length prefixes plus two version words (24 bytes).
-	if rem := len(data) - d.pos; n > rem/24 {
+	// a flag byte, two length prefixes, and two version words (25 bytes).
+	if rem := len(data) - d.pos; n > rem/25 {
 		return nil, "", false, nil, fmt.Errorf("decode state page: %w", ErrWireTruncated)
 	}
 	entries = make([]stateEntry, 0, n)
 	for i := 0; i < n; i++ {
 		var e stateEntry
+		switch b := d.byte(); b {
+		case 0, 1:
+			e.Deleted = b == 1
+		default:
+			return nil, "", false, nil, fmt.Errorf("decode state page: bad entry flag %#x", b)
+		}
 		e.Key = d.string()
 		e.Value = d.bytes()
 		e.Version.TS = d.uint64()
@@ -153,12 +171,29 @@ func (n *Node) finishRecovery(rec *recovery, err error) {
 
 // serveStatePage answers a KindStateReq: it reads up to statePageSize keys
 // starting at w.Key from the local store and returns them with versions, so
-// a recovering shadow replica can catch up (paper §3.7 step 4).
+// a recovering shadow replica (or a slot migrator) can catch up (paper §3.7
+// step 4). A non-zero w.Term is a slot bitmask: only keys whose hash slot is
+// set are served — the filter the migration engine uses to stream exactly
+// the keyspace ranges changing owner. The final page additionally carries
+// the matching tombstone floors, so deletes survive the transfer.
 func (n *Node) serveStatePage(from string, w *Wire) {
+	mask := w.Term
+	include := func(key string) bool {
+		if mask == 0 {
+			return true
+		}
+		if strings.HasPrefix(key, FencePrefix) {
+			return false // per-group control keys never migrate
+		}
+		return mask&(1<<uint(reconfig.SlotOf(key))) != 0
+	}
 	entries := make([]stateEntry, 0, statePageSize)
 	next := ""
 	done := true
 	n.store.Range(w.Key, func(key string, v kvstore.Version) bool {
+		if !include(key) {
+			return true
+		}
 		if len(entries) == statePageSize {
 			next = key
 			done = false
@@ -173,7 +208,15 @@ func (n *Node) serveStatePage(from string, w *Wire) {
 	})
 	var sidecar []byte
 	if done {
-		// The final page carries the protocol's transferable side state.
+		// The final page carries the tombstone floors — without them a
+		// receiver could resurrect a committed delete from a stale write —
+		// and the protocol's transferable side state.
+		n.store.RangeTombs(func(key string, v kvstore.Version) bool {
+			if include(key) {
+				entries = append(entries, stateEntry{Key: key, Version: v, Deleted: true})
+			}
+			return true
+		})
 		if sc, ok := n.proto.(StateSidecar); ok {
 			sidecar = sc.ExportSidecar()
 		}
@@ -204,7 +247,14 @@ func (n *Node) applyStatePage(data []byte) (next string, done bool, sidecar []by
 		return "", false, nil, err
 	}
 	for _, e := range entries {
-		werr := n.store.WriteVersioned(e.Key, e.Value, e.Version)
+		var werr error
+		if e.Deleted {
+			// A donor tombstone floor: record it so a stale or replayed write
+			// below it cannot resurrect the deleted key here.
+			werr = n.store.RemoveVersioned(e.Key, e.Version)
+		} else {
+			werr = n.store.WriteVersioned(e.Key, e.Value, e.Version)
+		}
 		if werr != nil && !errors.Is(werr, kvstore.ErrStaleVersion) {
 			return "", false, nil, fmt.Errorf("apply state page: %w", werr)
 		}

@@ -69,6 +69,11 @@ const (
 	KindStateResp uint16 = 5
 	// KindJoin announces a freshly attested node to the membership.
 	KindJoin uint16 = 6
+	// KindEpochNotice tells a stale-configuration client the current epoch:
+	// Term carries the epoch and Value the encoded signed shard map, so the
+	// client can verify, refresh its routing table, and retry — instead of
+	// spinning against a partition function that no longer exists.
+	KindEpochNotice uint16 = 7
 	// KindProtocolBase is the first kind available to protocols.
 	KindProtocolBase uint16 = 100
 )
@@ -79,6 +84,7 @@ const (
 type Wire struct {
 	Kind   uint16
 	Group  uint32 // replication group (shard) the message addresses
+	Epoch  uint64 // configuration epoch the sender routed under
 	From   string
 	Term   uint64 // term / view / epoch / round
 	Index  uint64 // log index / sequence / round-local slot
@@ -129,6 +135,7 @@ func (w *Wire) Encode() []byte {
 	buf = binary.BigEndian.AppendUint16(buf, w.Kind)
 	buf = append(buf, flags)
 	buf = binary.BigEndian.AppendUint32(buf, w.Group)
+	buf = binary.BigEndian.AppendUint64(buf, w.Epoch)
 	buf = appendString(buf, w.From)
 	buf = binary.BigEndian.AppendUint64(buf, w.Term)
 	buf = binary.BigEndian.AppendUint64(buf, w.Index)
@@ -160,6 +167,7 @@ func DecodeWire(data []byte) (*Wire, error) {
 		return nil, fmt.Errorf("decode wire: unknown flags %#x", flags)
 	}
 	w.Group = d.uint32()
+	w.Epoch = d.uint64()
 	w.From = d.string()
 	w.Term = d.uint64()
 	w.Index = d.uint64()

@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"recipe/internal/attest"
@@ -26,6 +27,7 @@ import (
 	"recipe/internal/protocols/chain"
 	"recipe/internal/protocols/craq"
 	"recipe/internal/protocols/raft"
+	"recipe/internal/reconfig"
 	"recipe/internal/tee"
 )
 
@@ -126,6 +128,19 @@ type Cluster struct {
 	cliPlat  *tee.Platform
 	code     []byte
 	nextCli  int
+	nextMig  int
+
+	// Elastic reconfiguration state: the current CAS-signed shard map and its
+	// decoded form. Guarded by mapMu; Resize holds resizeMu for the whole
+	// orchestration so reconfigurations serialise.
+	mapMu    sync.Mutex
+	rmap     *reconfig.ShardMap
+	signed   []byte
+	resizeMu sync.Mutex
+	// topoMu guards the mutable topology (Groups slice, per-group Nodes
+	// maps, aggregate Nodes and Order) so Crash/Recover can race an
+	// in-flight Resize safely.
+	topoMu sync.RWMutex
 }
 
 // New builds, attests, and starts a cluster.
@@ -205,6 +220,20 @@ func New(opts Options) (*Cluster, error) {
 	cas.SetConfig("protocol", string(opts.Protocol))
 	cas.SetConfig("shards", fmt.Sprintf("%d", opts.Shards))
 
+	// Publish epoch 1, the cluster's initial configuration, before any node
+	// attests: every node then receives the signed map inside its attested
+	// secrets — configuration is part of the trust base from the first byte.
+	memberships := make([][]string, len(c.Groups))
+	for i, g := range c.Groups {
+		memberships[i] = append([]string(nil), g.Order...)
+	}
+	initial := reconfig.Uniform(1, opts.Shards, memberships)
+	signed, err := cas.PublishMap(initial)
+	if err != nil {
+		return nil, fmt.Errorf("harness: publish map: %w", err)
+	}
+	c.rmap, c.signed = initial, signed
+
 	// One TEE platform per machine slot, shared across groups: the i-th
 	// replica of every group is co-located on machine i, so platform trust
 	// collateral is registered once per machine rather than once per node.
@@ -222,6 +251,10 @@ func New(opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	c.cliPlat = cliPlat
+	// Clients are attested principals too: their enclaves attest against the
+	// same CAS, which is what gates their secrets and shard-map fetches.
+	cas.TrustPlatform(cliPlat)
+	cas.AllowMeasurement(tee.MeasureCode(clientCode))
 
 	for _, grp := range c.Groups {
 		for _, id := range grp.Order {
@@ -244,14 +277,36 @@ func nodeName(shards, g, i int) string {
 }
 
 // Shards returns the number of replication groups.
-func (c *Cluster) Shards() int { return len(c.Groups) }
+func (c *Cluster) Shards() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return len(c.Groups)
+}
 
-// ShardOf returns the group index owning key under the cluster-wide
-// partitioning function.
-func (c *Cluster) ShardOf(key string) int { return core.ShardOf(key, len(c.Groups)) }
+// Map returns the cluster's current shard map (and its signed encoding).
+func (c *Cluster) Map() (*reconfig.ShardMap, []byte) {
+	c.mapMu.Lock()
+	defer c.mapMu.Unlock()
+	return c.rmap, c.signed
+}
+
+// Epoch returns the current configuration epoch.
+func (c *Cluster) Epoch() uint64 {
+	m, _ := c.Map()
+	return m.Epoch
+}
+
+// ShardOf returns the group index owning key under the cluster's current
+// shard map.
+func (c *Cluster) ShardOf(key string) int {
+	m, _ := c.Map()
+	return m.GroupOf(key)
+}
 
 // GroupOf returns the group whose membership contains id, or nil.
 func (c *Cluster) GroupOf(id string) *Group {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
 	for _, g := range c.Groups {
 		for _, member := range g.Order {
 			if member == id {
@@ -309,8 +364,10 @@ func (g *Group) startNode(id string) error {
 	if err != nil {
 		return fmt.Errorf("harness: node %s: %w", id, err)
 	}
+	c.topoMu.Lock()
 	g.Nodes[id] = node
 	c.Nodes[id] = node
+	c.topoMu.Unlock()
 	node.Start()
 	return nil
 }
@@ -348,9 +405,15 @@ func (g *Group) newProtocol(id string) core.Protocol {
 	}
 }
 
-// Client creates a new attested, partition-aware client session against the
-// cluster: keys hash onto the groups and each operation routes to the owning
-// group's coordinator.
+// clientCode is the measured enclave code of client sessions.
+var clientCode = []byte("recipe-client")
+
+// Client creates a new attested, partition-aware, epoch-aware client
+// session: the client's enclave remote-attests at the CAS exactly like a
+// replica, so its secrets — master key, map key, current signed shard map —
+// arrive through the attestation, and later map refreshes go through the
+// attestation-gated FetchMap. Keys route by the signed map; the client
+// re-routes across reconfigurations via epoch notices or fetches.
 func (c *Cluster) Client() (*core.Client, error) {
 	c.nextCli++
 	id := fmt.Sprintf("client-%d", c.nextCli)
@@ -358,15 +421,25 @@ func (c *Cluster) Client() (*core.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: client: %w", err)
 	}
-	groups := make([][]string, len(c.Groups))
-	for i, g := range c.Groups {
-		groups[i] = append([]string(nil), g.Order...)
+	enclave := c.cliPlat.NewEnclave(clientCode)
+	agent, err := attest.NewAgent(enclave)
+	if err != nil {
+		return nil, fmt.Errorf("harness: client %s: %w", id, err)
 	}
-	enclave := c.cliPlat.NewEnclave([]byte("recipe-client"))
+	prov, err := c.CAS.RemoteAttestation(agent, id)
+	if err != nil {
+		return nil, fmt.Errorf("harness: attest client %s: %w", id, err)
+	}
+	secrets, err := attest.OpenSecrets(agent, prov)
+	if err != nil {
+		return nil, fmt.Errorf("harness: client %s secrets: %w", id, err)
+	}
 	return core.NewClient(enclave, ep, core.ClientConfig{
 		ID:           id,
-		Groups:       groups,
-		MasterKey:    c.CAS.MasterKey(),
+		SignedMap:    secrets.ShardMap,
+		MapKey:       secrets.MapKey,
+		FetchMap:     func() ([]byte, error) { return c.CAS.FetchMap(id) },
+		MasterKey:    secrets.MasterKey,
 		Shielded:     c.shieldedFor(),
 		Confidential: c.opts.Confidential,
 		Seed:         c.opts.Seed + int64(c.nextCli),
@@ -388,13 +461,17 @@ func (g *Group) WaitForCoordinator(timeout time.Duration) (string, error) {
 
 // coordinator returns the group's current coordinator, if any.
 func (g *Group) coordinator() (string, bool) {
+	g.c.topoMu.RLock()
+	nodes := make([]*core.Node, 0, len(g.Order))
 	for _, id := range g.Order {
-		n, ok := g.Nodes[id]
-		if !ok {
-			continue
+		if n, ok := g.Nodes[id]; ok {
+			nodes = append(nodes, n)
 		}
+	}
+	g.c.topoMu.RUnlock()
+	for _, n := range nodes {
 		if st := n.Status(); st.IsCoordinator {
-			return id, true
+			return n.ID(), true
 		}
 	}
 	return "", false
@@ -405,7 +482,10 @@ func (g *Group) coordinator() (string, bool) {
 func (c *Cluster) WaitForCoordinator(timeout time.Duration) (string, error) {
 	deadline := time.Now().Add(timeout)
 	first := ""
-	for _, g := range c.Groups {
+	c.topoMu.RLock()
+	groups := append([]*Group(nil), c.Groups...)
+	c.topoMu.RUnlock()
+	for _, g := range groups {
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			remain = time.Millisecond
@@ -428,10 +508,15 @@ func (c *Cluster) Crash(id string) {
 	if g == nil {
 		return
 	}
-	if n, ok := g.Nodes[id]; ok {
-		n.Crash()
+	c.topoMu.Lock()
+	n, ok := g.Nodes[id]
+	if ok {
 		delete(g.Nodes, id)
 		delete(c.Nodes, id)
+	}
+	c.topoMu.Unlock()
+	if ok {
+		n.Crash()
 	}
 }
 
@@ -439,19 +524,29 @@ func (c *Cluster) Crash(id string) {
 // slot, new incarnation), announces it, and syncs its state from a live peer
 // of its own group. It implements the paper's recovery flow (§3.7) end to
 // end; other groups are untouched.
+//
+// Recovery serialises with Resize (both are membership events): a state
+// transfer streaming the donor's full store must not interleave with a
+// migration's post-cutover source sweep, or pages applied after the sweep
+// would re-introduce moved-away slot data on the recovered replica.
 func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
 	g := c.GroupOf(id)
 	if g == nil {
 		return fmt.Errorf("harness: unknown node %s", id)
 	}
-	if _, alive := g.Nodes[id]; alive {
+	c.topoMu.RLock()
+	_, alive := g.Nodes[id]
+	c.topoMu.RUnlock()
+	if alive {
 		return fmt.Errorf("harness: %s still running", id)
 	}
 	if err := g.startNode(id); err != nil {
 		return err
 	}
+	c.topoMu.RLock()
 	node := g.Nodes[id]
-	node.AnnounceJoin()
 	var donor string
 	for _, other := range g.Order {
 		if other != id && g.Nodes[other] != nil {
@@ -459,15 +554,24 @@ func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
 			break
 		}
 	}
+	c.topoMu.RUnlock()
+	node.AnnounceJoin()
 	if donor == "" {
 		return fmt.Errorf("harness: no live donor for %s in group %d", id, g.ID)
 	}
-	return node.SyncFrom(donor, syncTimeout)
+	if err := node.SyncFrom(donor, syncTimeout); err != nil {
+		return err
+	}
+	// The recovered node re-attested, so its incarnation bumped — a
+	// membership fact clients must learn (their channels to the node are
+	// incarnation-qualified). Republishing the map at the next epoch
+	// propagates it through the normal refresh path.
+	return c.republishLocked()
 }
 
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
-	for _, n := range c.Nodes {
+	for _, n := range c.liveNodes() {
 		n.Stop()
 	}
 }

@@ -22,14 +22,10 @@ func (c *Cluster) Preload(cfg workload.Config) error {
 	val := gen.Value()
 	for i := 0; i < gen.Keys(); i++ {
 		key := gen.Key(i)
-		g := c.Groups[core.ShardOf(key, len(c.Groups))]
-		for _, id := range g.Order {
-			n, ok := g.Nodes[id]
-			if !ok {
-				continue
-			}
+		ids, nodes := c.liveGroupNodes(c.ShardOf(key))
+		for j, n := range nodes {
 			if err := n.Store().WriteVersioned(key, val, kvstore.Version{TS: 1}); err != nil {
-				return fmt.Errorf("preload %s: %w", id, err)
+				return fmt.Errorf("preload %s: %w", ids[j], err)
 			}
 		}
 	}

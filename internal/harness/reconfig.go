@@ -1,0 +1,458 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+	"recipe/internal/reconfig"
+)
+
+// slotPullTimeout bounds one migrator pull from one source replica. A
+// replica that crashes mid-pull costs this much stall before the engine
+// falls back to the union of its peers (committed data is on a quorum, so
+// any single silent replica is redundant).
+const slotPullTimeout = 2 * time.Second
+
+// Resize re-partitions a running cluster across newShards replication
+// groups without stopping traffic — the elastic tentpole. The CFT protocols
+// are untouched; everything happens above them:
+//
+//  1. grow: new groups are attested and started (fresh nodes, same machine
+//     platforms, CAS-assigned group domains);
+//  2. a CAS-signed transition map (epoch E+1) turns on dual-routing: clients
+//     keep reading moving slots at their source group but write them to both
+//     source and destination;
+//  3. the migration engine streams every moving slot from the source
+//     group's live replicas through the state-transfer path, merges the
+//     per-replica views (newest version wins, tombstones suppress), and
+//     installs the result at every destination replica below any live
+//     version (core.MigratedVersion), so racing dual-routed writes always
+//     win;
+//  4. the CAS-signed handover map (epoch E+2) moves reads to the
+//     destination while writes stay dual-routed (Next now points back at
+//     the source), and the final map (epoch E+3) drops the dual leg;
+//  5. sources drop the moved slots (values and tombstone floors), and
+//     groups left without slots are retired.
+//
+// Epochs take effect node by node, so every map is designed to be safe for
+// clients that learn it early, while some nodes still accept the previous
+// epoch: each epoch keeps writing to every group the previous epoch's
+// readers may still consult. E+1 writes reach the source (still the read
+// home) and the destination; E+2 moves reads to the destination — which has
+// everything — but keeps writing the source, so a straggling E+1 reader
+// still observes every acknowledged write; only E+3, published after every
+// node enforces at least E+2 (no E+1 readers can exist), stops writing the
+// source. Without the intermediate epoch, a client adopting the final map
+// early would write the destination only while an E+1 reader could still
+// read the source from a not-yet-installed replica — a stale read of an
+// acknowledged write.
+//
+// Resize serialises with other Resize calls and is safe to run under live
+// client load, including concurrent Crash/Recover of source replicas.
+func (c *Cluster) Resize(newShards int) error {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+
+	old := c.Shards()
+	switch {
+	case newShards == old:
+		return nil
+	case newShards < 1:
+		return fmt.Errorf("harness: cannot resize to %d shards", newShards)
+	case newShards > reconfig.NumSlots:
+		return fmt.Errorf("harness: %d shards exceeds the %d-slot map", newShards, reconfig.NumSlots)
+	}
+
+	// Grow first: migration targets must be live, attested groups.
+	for g := old; g < newShards; g++ {
+		if err := c.addGroup(g); err != nil {
+			return err
+		}
+	}
+
+	cur, _ := c.Map()
+	// On a shrink, retiring groups keep their (non-empty) memberships listed
+	// until they actually retire; the slot assignment just stops referencing
+	// them (Uniform only targets groups 0..newShards-1).
+	target := reconfig.Uniform(cur.Epoch+3, newShards, c.memberships())
+	trans := cur.Transition(cur.Epoch+1, target)
+	moves := trans.Moves()
+	// Handover epoch: reads at the new owners, writes still dual-routed back
+	// to the old ones (see the safety argument above).
+	handover := &reconfig.ShardMap{
+		Epoch:   cur.Epoch + 2,
+		Slots:   append([]uint32(nil), target.Slots...),
+		Next:    append([]uint32(nil), cur.Slots...),
+		Members: target.Members,
+	}
+
+	// Destination hygiene: a slot that lived here in an earlier epoch may
+	// have left tombstone floors (or stale values) behind; they must not
+	// shadow the incoming copy. No traffic routes these slots here yet.
+	for _, mv := range moves {
+		c.dropSlots(int(mv.To), mv.Mask)
+	}
+
+	// Epoch E+1: dual-routing on.
+	if err := c.publish(trans); err != nil {
+		return err
+	}
+
+	// Stream every moving slot range source→destination.
+	for _, mv := range moves {
+		if err := c.migrate(mv, trans.Epoch); err != nil {
+			return err
+		}
+	}
+
+	// Epoch E+2: reads cut over to the destinations; writes keep the source
+	// leg alive for any straggling E+1 reader.
+	if err := c.publish(handover); err != nil {
+		return err
+	}
+	// Epoch E+3: every node now enforces at least E+2, so no E+1 reader
+	// exists and the source write leg can drop.
+	if err := c.publish(target); err != nil {
+		return err
+	}
+
+	// Reclaim the moved slots at their sources. Post-cutover, stale-epoch
+	// writes can no longer be admitted there (nodes reject them), so this
+	// loses nothing; every acknowledged dual-routed write already reached
+	// the destination. The fence first drains writes admitted before the
+	// cutover that are still in the source's commit pipeline — sweeping
+	// under them would leave their late applies behind as residue.
+	for _, mv := range moves {
+		for round := uint64(0); round < 2; round++ {
+			if err := c.fenceGroup(int(mv.From), target.Epoch, 10+round); err != nil {
+				return err
+			}
+			c.dropSlots(int(mv.From), mv.Mask)
+		}
+	}
+	if newShards < old {
+		c.retireGroups(newShards)
+		// The published map still lists the retired groups' members; sign
+		// one more epoch with them gone so clients (which prune channels on
+		// adoption) stop holding key material for stopped replicas.
+		return c.republishLocked()
+	}
+	return nil
+}
+
+// AddGroup grows the cluster by one replication group and rebalances the
+// slot map onto it. Returns the new group's index.
+func (c *Cluster) AddGroup() (int, error) {
+	n := c.Shards()
+	return n, c.Resize(n + 1)
+}
+
+// RetireGroup shrinks the cluster by one replication group: the last group's
+// slots migrate to the survivors, then its replicas stop.
+func (c *Cluster) RetireGroup() error {
+	n := c.Shards()
+	if n <= 1 {
+		return fmt.Errorf("harness: cannot retire the last group")
+	}
+	return c.Resize(n - 1)
+}
+
+// Republish re-signs the current slot assignment at the next epoch,
+// refreshing the member incarnations the CAS stamps into it. Recovery calls
+// this after re-attesting a replica: the bumped incarnation is a membership
+// fact, and clients must learn it (through the usual epoch-notice refresh)
+// to open the reborn replica's fresh channels.
+func (c *Cluster) Republish() error {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	return c.republishLocked()
+}
+
+// republishLocked is Republish for callers already holding resizeMu.
+func (c *Cluster) republishLocked() error {
+	cur, _ := c.Map()
+	next := cur.Clone()
+	next.Epoch = cur.Epoch + 1
+	next.Members = c.memberships()
+	return c.publish(next)
+}
+
+// publish signs a map at the CAS, records it as current, and installs it on
+// every live node (clients learn it through epoch notices or CAS fetches).
+func (c *Cluster) publish(m *reconfig.ShardMap) error {
+	signed, err := c.CAS.PublishMap(m)
+	if err != nil {
+		return fmt.Errorf("harness: publish epoch %d: %w", m.Epoch, err)
+	}
+	// Keep the canonical published form (the CAS stamped member
+	// incarnations into it before signing), not the caller's draft.
+	wrapper, err := reconfig.DecodeSigned(signed)
+	if err != nil {
+		return fmt.Errorf("harness: publish epoch %d: %w", m.Epoch, err)
+	}
+	canonical, err := reconfig.DecodeShardMap(wrapper.Map)
+	if err != nil {
+		return fmt.Errorf("harness: publish epoch %d: %w", m.Epoch, err)
+	}
+	c.mapMu.Lock()
+	c.rmap, c.signed = canonical, signed
+	c.mapMu.Unlock()
+	for _, n := range c.liveNodes() {
+		if err := n.InstallShardMap(signed); err != nil {
+			return fmt.Errorf("harness: install epoch %d at %s: %w", m.Epoch, n.ID(), err)
+		}
+	}
+	return nil
+}
+
+// addGroup creates, attests, and starts replication group g (appending to
+// the cluster topology), and waits for it to elect a coordinator.
+func (c *Cluster) addGroup(g int) error {
+	grp := &Group{ID: g, Nodes: make(map[string]*core.Node, c.opts.Nodes), c: c}
+	for i := 0; i < c.opts.Nodes; i++ {
+		grp.Order = append(grp.Order, fmt.Sprintf("s%dn%d", g+1, i+1))
+	}
+	c.CAS.SetGroupMembership(uint32(g), grp.Order)
+
+	c.topoMu.Lock()
+	c.Groups = append(c.Groups, grp)
+	c.Order = append(c.Order, grp.Order...)
+	c.topoMu.Unlock()
+	c.CAS.SetMembership(c.snapshotOrder())
+
+	for _, id := range grp.Order {
+		if err := grp.startNode(id); err != nil {
+			return fmt.Errorf("harness: add group %d: %w", g, err)
+		}
+	}
+	if _, err := grp.WaitForCoordinator(10 * time.Second); err != nil {
+		return fmt.Errorf("harness: add group %d: %w", g, err)
+	}
+	return nil
+}
+
+// retireGroups stops every group at index >= keep and truncates the
+// topology. Group ids are authn MAC domains and are never renumbered: the
+// surviving groups keep their indices, and a later grow recreates retired
+// ids with freshly attested (bumped-incarnation) replicas.
+func (c *Cluster) retireGroups(keep int) {
+	c.topoMu.Lock()
+	retired := c.Groups[keep:]
+	c.Groups = c.Groups[:keep]
+	var order []string
+	for _, g := range c.Groups {
+		order = append(order, g.Order...)
+	}
+	c.Order = order
+	var victims []*core.Node
+	for _, g := range retired {
+		for id, n := range g.Nodes {
+			victims = append(victims, n)
+			delete(c.Nodes, id)
+			delete(g.Nodes, id)
+		}
+	}
+	c.topoMu.Unlock()
+	for _, n := range victims {
+		n.Stop()
+	}
+	c.CAS.SetMembership(c.snapshotOrder())
+}
+
+// migrate streams one (from, to) slot-mask move: fence the source group (so
+// every command admitted before dual-routing began has applied), pull the
+// masked slots from every live source replica through the state-transfer
+// path, merge, and install at every live destination replica. The whole
+// round runs twice: the fence orders the pull after all pre-transition
+// admissions for total-order and chain protocols, and the second round
+// sweeps up any leaderless-protocol (ABD-style) operation whose quorum
+// phases were still in flight across the first fence. Everything admitted
+// after the transition epoch is dual-routed by the clients and needs no
+// pull at all.
+func (c *Cluster) migrate(mv reconfig.Move, epoch uint64) error {
+	for round := 0; round < 2; round++ {
+		if err := c.fenceGroup(int(mv.From), epoch, 2*uint64(round)+1); err != nil {
+			return err
+		}
+		if err := c.pullAndInstall(mv, epoch, round); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fenceGroup drives a barrier write through a group's own protocol and
+// waits until every live replica's store shows it. When the barrier is
+// visible at a replica, every command the group admitted before the barrier
+// has applied there (total order, or chain FIFO), so a store snapshot taken
+// afterwards cannot miss an acknowledged pre-transition write.
+func (c *Cluster) fenceGroup(group int, epoch, round uint64) error {
+	key := fmt.Sprintf("%sfence/g%d", core.FencePrefix, group)
+	want := []byte(fmt.Sprintf("e%d/r%d", epoch, round))
+	deadline := time.Now().Add(slotPullTimeout)
+	for {
+		_, nodes := c.liveGroupNodes(group)
+		if len(nodes) == 0 {
+			return fmt.Errorf("harness: fence group %d: no live replicas", group)
+		}
+		// Whoever currently coordinates will execute it; the rest drop it.
+		for _, n := range nodes {
+			_ = n.Submit(core.Command{Op: core.OpPut, Key: key, Value: want})
+		}
+		time.Sleep(c.opts.TickEvery)
+		applied := true
+		for _, n := range nodes {
+			v, err := n.Store().Get(key)
+			if err != nil || !bytes.Equal(v, want) {
+				applied = false
+				break
+			}
+		}
+		if applied {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: fence group %d: barrier not applied in time", group)
+		}
+	}
+}
+
+// pullAndInstall is one fenced migration round for one move. Installs are
+// versioned per round so a later round's fresher source state supersedes an
+// earlier round's entries and tombstone floors.
+func (c *Cluster) pullAndInstall(mv reconfig.Move, epoch uint64, round int) error {
+	srcIDs, _ := c.liveGroupNodes(int(mv.From))
+	if len(srcIDs) == 0 {
+		return fmt.Errorf("harness: migrate %d→%d: no live source replicas", mv.From, mv.To)
+	}
+
+	c.nextMig++
+	migID := fmt.Sprintf("mig-%d", c.nextMig)
+	ep, err := c.Fabric.Register(migID)
+	if err != nil {
+		return fmt.Errorf("harness: migrator: %w", err)
+	}
+	incs := make(map[string]uint64, len(srcIDs))
+	for _, id := range srcIDs {
+		incs[id] = c.CAS.Incarnation(id)
+	}
+	mig, err := core.NewMigrator(c.cliPlat.NewEnclave([]byte("recipe-migrator")), ep, core.MigratorConfig{
+		ID:           migID,
+		MasterKey:    c.CAS.MasterKey(),
+		Shielded:     c.shieldedFor(),
+		Confidential: c.opts.Confidential,
+		Epoch:        epoch,
+		Incarnations: incs,
+	})
+	if err != nil {
+		return fmt.Errorf("harness: migrator: %w", err)
+	}
+	defer func() { _ = mig.Close() }()
+
+	var batches [][]core.SlotEntry
+	for _, id := range srcIDs {
+		entries, err := mig.PullSlots(id, mv.From, mv.Mask, slotPullTimeout)
+		if err != nil {
+			// A source replica that crashed (or is crashing) mid-pull: skip
+			// it. Committed state is replicated on a quorum, so the union of
+			// the surviving replicas still covers everything acknowledged.
+			c.opts.Logf("harness: migrate %d→%d: skip %s: %v", mv.From, mv.To, id, err)
+			continue
+		}
+		batches = append(batches, entries)
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("harness: migrate %d→%d: every source pull failed", mv.From, mv.To)
+	}
+	merged := core.MergeSlotEntries(batches...)
+
+	_, dstNodes := c.liveGroupNodes(int(mv.To))
+	if len(dstNodes) == 0 {
+		return fmt.Errorf("harness: migrate %d→%d: no live destination replicas", mv.From, mv.To)
+	}
+	ver := core.MigratedVersion(round)
+	for _, n := range dstNodes {
+		for _, e := range merged {
+			var err error
+			if e.Deleted {
+				// Retract the key (a previous round may have installed it):
+				// removes any earlier round's install and leaves a floor
+				// against its re-install, while any dual-routed live write —
+				// strictly newer — survives.
+				err = n.Store().RemoveVersioned(e.Key, ver)
+			} else {
+				err = n.Store().WriteVersioned(e.Key, e.Value, ver)
+			}
+			if err != nil && !errors.Is(err, kvstore.ErrStaleVersion) {
+				return fmt.Errorf("harness: migrate %d→%d: install %q at %s: %w", mv.From, mv.To, e.Key, n.ID(), err)
+			}
+			// Stale means a dual-routed live write already superseded this
+			// key at the destination — exactly the intended outcome.
+		}
+	}
+	return nil
+}
+
+// dropSlots removes the masked slots' entries and tombstone floors from
+// every live replica of a group.
+func (c *Cluster) dropSlots(group int, mask uint64) {
+	_, nodes := c.liveGroupNodes(group)
+	match := func(key string) bool {
+		return mask&(1<<uint(reconfig.SlotOf(key))) != 0
+	}
+	for _, n := range nodes {
+		n.Store().DropIf(match)
+	}
+}
+
+// memberships snapshots every group's membership order.
+func (c *Cluster) memberships() [][]string {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	out := make([][]string, len(c.Groups))
+	for i, g := range c.Groups {
+		out[i] = append([]string(nil), g.Order...)
+	}
+	return out
+}
+
+// snapshotOrder copies the cluster-wide identity order.
+func (c *Cluster) snapshotOrder() []string {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return append([]string(nil), c.Order...)
+}
+
+// liveNodes snapshots every live node across all groups.
+func (c *Cluster) liveNodes() []*core.Node {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	out := make([]*core.Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// liveGroupNodes snapshots one group's live replicas in membership order.
+func (c *Cluster) liveGroupNodes(group int) ([]string, []*core.Node) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	if group < 0 || group >= len(c.Groups) {
+		return nil, nil
+	}
+	g := c.Groups[group]
+	var ids []string
+	var nodes []*core.Node
+	for _, id := range g.Order {
+		if n, ok := g.Nodes[id]; ok {
+			ids = append(ids, id)
+			nodes = append(nodes, n)
+		}
+	}
+	return ids, nodes
+}

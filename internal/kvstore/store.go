@@ -266,6 +266,51 @@ func (s *Store) Range(start string, fn func(key string, v Version) bool) {
 	})
 }
 
+// RangeTombs visits the deletion floors (keys removed via RemoveVersioned
+// and not since overwritten by a newer value) until fn returns false, in no
+// particular order. State transfer and slot migration ship these so a
+// receiver cannot resurrect a committed delete.
+func (s *Store) RangeTombs(fn func(key string, v Version) bool) {
+	s.tombMu.Lock()
+	tombs := make(map[string]Version, len(s.tombs))
+	for k, v := range s.tombs {
+		tombs[k] = v
+	}
+	s.tombMu.Unlock()
+	for k, v := range tombs {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// DropIf removes every entry and tombstone whose key matches, bypassing
+// version checks. This is a configuration-layer operation, not a data-path
+// one: when a hash slot leaves this replica's group (elastic resharding),
+// the slot's entries and floors are no longer this group's state — keeping
+// the floors would shadow the key if the slot ever migrates back. Returns
+// the number of entries dropped.
+func (s *Store) DropIf(match func(key string) bool) int {
+	var victims []string
+	s.index.ascend("", func(key string, ent entry) bool {
+		if match(key) {
+			victims = append(victims, key)
+		}
+		return true
+	})
+	for _, key := range victims {
+		_ = s.Remove(key)
+	}
+	s.tombMu.Lock()
+	for key := range s.tombs {
+		if match(key) {
+			delete(s.tombs, key)
+		}
+	}
+	s.tombMu.Unlock()
+	return len(victims)
+}
+
 // CorruptValue is a test hook simulating a Byzantine host flipping a byte of
 // the stored value in host memory. It returns false if the key is absent.
 func (s *Store) CorruptValue(key string, offset int) bool {

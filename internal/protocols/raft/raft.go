@@ -186,6 +186,10 @@ func (r *Raft) FlushBatch() {
 			r.sendAppend(p)
 		}
 	}
+	// A single-replica group has no followers to ack: its own matchIndex is
+	// the quorum, so commitment must advance here. No-op with followers
+	// (their matchIndex has not moved yet).
+	r.advanceCommit()
 }
 
 // Handle implements core.Protocol.
@@ -354,6 +358,7 @@ func (r *Raft) replicateAll() {
 		}
 		r.sendAppend(p)
 	}
+	r.advanceCommit() // single-replica groups commit on their own match
 }
 
 func (r *Raft) sendAppend(to string) {

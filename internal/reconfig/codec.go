@@ -1,0 +1,178 @@
+package reconfig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Codec errors.
+var (
+	// ErrTruncated reports an undecodable shard map.
+	ErrTruncated = errors.New("reconfig: truncated shard map")
+	// ErrOversized reports an implausible length field.
+	ErrOversized = errors.New("reconfig: oversized shard-map field")
+)
+
+// maxField bounds any single length field; maps are small control-plane
+// objects, so the cap is deliberately tight.
+const maxField = 1 << 20
+
+// Encode serialises the map:
+// [epoch][nslots][slots...][nnext][next...][ngroups][nmembers strings...]...
+// [nincs][id string][inc u64]... — incarnations sorted by id so the encoding
+// (and therefore the CAS signature) is deterministic.
+func (m *ShardMap) Encode() []byte {
+	size := 8 + 4 + 4*len(m.Slots) + 4 + 4*len(m.Next) + 4 + 4
+	for _, g := range m.Members {
+		size += 4
+		for _, id := range g {
+			size += 4 + len(id)
+		}
+	}
+	for id := range m.Incs {
+		size += 4 + len(id) + 8
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Slots)))
+	for _, s := range m.Slots {
+		buf = binary.BigEndian.AppendUint32(buf, s)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Next)))
+	for _, s := range m.Next {
+		buf = binary.BigEndian.AppendUint32(buf, s)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Members)))
+	for _, g := range m.Members {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(g)))
+		for _, id := range g {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(id)))
+			buf = append(buf, id...)
+		}
+	}
+	ids := make([]string, 0, len(m.Incs))
+	for id := range m.Incs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(id)))
+		buf = append(buf, id...)
+		buf = binary.BigEndian.AppendUint64(buf, m.Incs[id])
+	}
+	return buf
+}
+
+// DecodeShardMap parses an encoded map and validates its invariants, so a
+// decoded map is always safe to route by.
+func DecodeShardMap(data []byte) (*ShardMap, error) {
+	d := mapDecoder{buf: data}
+	var m ShardMap
+	m.Epoch = d.uint64()
+	m.Slots = d.uint32s()
+	m.Next = d.uint32s()
+	ng := int(d.uint32())
+	if ng > maxField/4 || ng > len(data) {
+		return nil, ErrOversized
+	}
+	for i := 0; i < ng && d.err == nil; i++ {
+		nm := int(d.uint32())
+		if nm > len(data) {
+			return nil, ErrOversized
+		}
+		grp := make([]string, 0, min(nm, 64))
+		for j := 0; j < nm && d.err == nil; j++ {
+			grp = append(grp, d.string())
+		}
+		m.Members = append(m.Members, grp)
+	}
+	if ni := int(d.uint32()); ni > 0 && d.err == nil {
+		if ni > len(data) {
+			return nil, ErrOversized
+		}
+		m.Incs = make(map[string]uint64, min(ni, 256))
+		for i := 0; i < ni && d.err == nil; i++ {
+			id := d.string()
+			m.Incs[id] = d.uint64()
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("decode shard map: %w", d.err)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("decode shard map: %d trailing bytes", len(data)-d.pos)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// mapDecoder is the package's bounds-checked sequential reader.
+type mapDecoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *mapDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxField {
+		d.err = ErrOversized
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *mapDecoder) uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *mapDecoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *mapDecoder) uint32s() []uint32 {
+	n := int(d.uint32())
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	// Bound the preallocation by the remaining bytes (4 per element).
+	if n > (len(d.buf)-d.pos)/4 {
+		d.err = ErrTruncated
+		return nil
+	}
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.uint32())
+	}
+	return out
+}
+
+func (d *mapDecoder) string() string {
+	n := int(d.uint32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,20 @@
+// Package reconfig implements elastic reconfiguration for Recipe clusters:
+// epoch-versioned shard maps that partition the keyspace into a fixed number
+// of hash slots and assign each slot to a replication group.
+//
+// The map is the cluster's routing truth, and — because a Byzantine host
+// could otherwise replay stale-configuration traffic — it is part of the
+// attested trust base: the CAS signs every map it publishes, nodes and
+// clients verify the signature against the map key provisioned during
+// attestation, and the map's epoch is bound into the authn MAC domain of
+// every message. An envelope produced under an older epoch is rejected
+// distinguishably (ErrStaleEpoch at the authn layer), so captured
+// pre-reconfiguration traffic cannot be replayed into the new configuration.
+//
+// Reconfiguration happens entirely above the CFT protocols (the paper's core
+// constraint — the protocols stay unmodified): a resize publishes a
+// transition map whose Next column marks the slots in flight, clients
+// dual-route writes to source and destination groups while the migration
+// engine streams each moving slot through the state-transfer path, and a
+// final map commits the new ownership.
+package reconfig

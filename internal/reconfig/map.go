@@ -1,0 +1,216 @@
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// NumSlots is the fixed number of hash slots a shard map assigns. 64 slots
+// keep slot sets expressible as a single uint64 bitmask (the state-transfer
+// filter) while still splitting a keyspace 64 ways at the finest grain.
+const NumSlots = 64
+
+// SlotOf hashes a key onto its slot. Every router, node, and migration
+// driver uses this one function, so a key's slot is a pure function of the
+// key alone — only the slot→group assignment ever changes.
+func SlotOf(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum32() % NumSlots
+}
+
+// ShardMap is one epoch of the cluster's configuration: the slot→group
+// assignment, the per-group memberships, and — during a migration — the
+// assignment the cluster is moving to.
+//
+// Members doubles as the membership root of trust: a client routes to the
+// replicas listed here, not to whatever an untrusted directory claims. A
+// retired group keeps its index (group ids are authn MAC domains and are
+// never renumbered) with an empty member list.
+type ShardMap struct {
+	// Epoch versions the configuration, strictly increasing across
+	// publications. It is bound into every envelope's MAC domain.
+	Epoch uint64
+	// Slots assigns each hash slot to the group that currently owns it —
+	// serving reads and (first leg of dual-routed) writes. len == NumSlots.
+	Slots []uint32
+	// Next, when non-empty (len == NumSlots), marks a migration in progress:
+	// slot i is moving to Next[i] wherever Next[i] != Slots[i]. Writes to
+	// such slots are dual-routed to both groups; reads stay on Slots[i].
+	Next []uint32
+	// Members lists each group's replica identities; Members[g] is group g.
+	Members [][]string
+	// Incs maps member identities to their attestation incarnation at
+	// publication time. Clients qualify their channels to a replica with its
+	// incarnation, so a replica reborn through re-attestation (a recovered
+	// node, or a retired group's id re-created by a later grow) gets fresh
+	// channels with fresh counters — stale counter state can neither block
+	// nor replay into the new incarnation. Identities absent here are at
+	// incarnation 1.
+	Incs map[string]uint64
+}
+
+// Uniform builds the canonical map for n groups: slot i belongs to group
+// i mod n. For group counts dividing NumSlots this agrees exactly with the
+// bare hash%n partition the pre-elastic cluster used.
+func Uniform(epoch uint64, n int, members [][]string) *ShardMap {
+	slots := make([]uint32, NumSlots)
+	for i := range slots {
+		slots[i] = uint32(i % n)
+	}
+	return &ShardMap{Epoch: epoch, Slots: slots, Members: members}
+}
+
+// Transition derives the dual-routing map that moves m toward target: same
+// ownership as m, Next column from target, target's memberships (which must
+// include every group of m), and the given epoch.
+func (m *ShardMap) Transition(epoch uint64, target *ShardMap) *ShardMap {
+	return &ShardMap{
+		Epoch:   epoch,
+		Slots:   append([]uint32(nil), m.Slots...),
+		Next:    append([]uint32(nil), target.Slots...),
+		Members: target.Members,
+	}
+}
+
+// Groups returns the number of group indices the map knows (including
+// retired, empty ones).
+func (m *ShardMap) Groups() int { return len(m.Members) }
+
+// GroupOf returns the group owning key's slot.
+func (m *ShardMap) GroupOf(key string) int { return int(m.Slots[SlotOf(key)]) }
+
+// NextGroupOf returns the group key's slot is migrating to, or -1 when the
+// slot is not in flight. Writes dual-route to this group.
+func (m *ShardMap) NextGroupOf(key string) int {
+	if len(m.Next) != len(m.Slots) {
+		return -1
+	}
+	s := SlotOf(key)
+	if m.Next[s] == m.Slots[s] {
+		return -1
+	}
+	return int(m.Next[s])
+}
+
+// Migrating reports whether any slot is in flight.
+func (m *ShardMap) Migrating() bool {
+	if len(m.Next) != len(m.Slots) {
+		return false
+	}
+	for i := range m.Slots {
+		if m.Next[i] != m.Slots[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// MoveMasks aggregates the in-flight slots by (from, to) group pair into
+// slot bitmasks — the unit the migration engine streams. Deterministic
+// iteration order (by slot index).
+type Move struct {
+	From, To uint32
+	Mask     uint64 // bit i set = slot i moves From→To
+}
+
+// Moves lists the distinct (from, to) migrations of a transition map.
+func (m *ShardMap) Moves() []Move {
+	if len(m.Next) != len(m.Slots) {
+		return nil
+	}
+	var out []Move
+	idx := make(map[[2]uint32]int)
+	for i := range m.Slots {
+		if m.Next[i] == m.Slots[i] {
+			continue
+		}
+		k := [2]uint32{m.Slots[i], m.Next[i]}
+		j, ok := idx[k]
+		if !ok {
+			j = len(out)
+			idx[k] = j
+			out = append(out, Move{From: k[0], To: k[1]})
+		}
+		out[j].Mask |= 1 << uint(i)
+	}
+	return out
+}
+
+// Validate checks structural invariants: slot count, slot targets within the
+// membership table, and a Next column that is either absent or full-length.
+func (m *ShardMap) Validate() error {
+	if len(m.Slots) != NumSlots {
+		return fmt.Errorf("reconfig: map has %d slots, want %d", len(m.Slots), NumSlots)
+	}
+	if len(m.Next) != 0 && len(m.Next) != NumSlots {
+		return fmt.Errorf("reconfig: partial next column (%d slots)", len(m.Next))
+	}
+	if len(m.Members) == 0 {
+		return errors.New("reconfig: map has no groups")
+	}
+	for i, g := range m.Slots {
+		if int(g) >= len(m.Members) {
+			return fmt.Errorf("reconfig: slot %d assigned to unknown group %d", i, g)
+		}
+		if len(m.Members[g]) == 0 {
+			return fmt.Errorf("reconfig: slot %d assigned to retired group %d", i, g)
+		}
+	}
+	for i, g := range m.Next {
+		if int(g) >= len(m.Members) {
+			return fmt.Errorf("reconfig: slot %d migrating to unknown group %d", i, g)
+		}
+		if len(m.Members[g]) == 0 {
+			return fmt.Errorf("reconfig: slot %d migrating to retired group %d", i, g)
+		}
+	}
+	return nil
+}
+
+// ChunkMembers is the static-deployment grouping rule shared by recipe-node
+// and recipe-cli: the sorted member ids split into shards contiguous equal
+// chunks, chunk i being replication group i. One definition, two binaries —
+// the routing-critical rule cannot drift between them.
+func ChunkMembers(ids []string, shards int) ([][]string, error) {
+	if shards <= 1 {
+		return [][]string{ids}, nil
+	}
+	if len(ids)%shards != 0 {
+		return nil, fmt.Errorf("reconfig: %d nodes not divisible into %d shards", len(ids), shards)
+	}
+	size := len(ids) / shards
+	groups := make([][]string, shards)
+	for g := range groups {
+		groups[g] = ids[g*size : (g+1)*size]
+	}
+	return groups, nil
+}
+
+// IncOf returns a member's incarnation as recorded in the map (1 if absent).
+func (m *ShardMap) IncOf(id string) uint64 {
+	if v, ok := m.Incs[id]; ok {
+		return v
+	}
+	return 1
+}
+
+// Clone deep-copies the map.
+func (m *ShardMap) Clone() *ShardMap {
+	out := &ShardMap{
+		Epoch: m.Epoch,
+		Slots: append([]uint32(nil), m.Slots...),
+		Next:  append([]uint32(nil), m.Next...),
+	}
+	for _, g := range m.Members {
+		out.Members = append(out.Members, append([]string(nil), g...))
+	}
+	if m.Incs != nil {
+		out.Incs = make(map[string]uint64, len(m.Incs))
+		for k, v := range m.Incs {
+			out.Incs[k] = v
+		}
+	}
+	return out
+}

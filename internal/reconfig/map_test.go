@@ -1,0 +1,181 @@
+package reconfig
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"testing"
+)
+
+func members(n int) [][]string {
+	out := make([][]string, n)
+	for g := range out {
+		for i := 0; i < 3; i++ {
+			out[g] = append(out[g], fmt.Sprintf("s%dn%d", g+1, i+1))
+		}
+	}
+	return out
+}
+
+// TestUniformAgreesWithBareHash: for group counts dividing NumSlots the
+// slot-based partition is exactly the historical hash%n partition, so
+// preexisting sharded deployments keep their key placement.
+func TestUniformAgreesWithBareHash(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		m := Uniform(1, n, members(n))
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("user%06d", i)
+			if got, want := uint32(m.GroupOf(key)), SlotOf(key)%uint32(n); got != want {
+				t.Fatalf("n=%d key %s: GroupOf=%d, hash-mod=%d", n, key, got, want)
+			}
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := Uniform(7, 2, members(4))
+	m.Next = Uniform(0, 4, nil).Slots
+	dec, err := DecodeShardMap(m.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Epoch != 7 || len(dec.Slots) != NumSlots || len(dec.Next) != NumSlots || len(dec.Members) != 4 {
+		t.Fatalf("round trip mismatch: %+v", dec)
+	}
+	for i := range dec.Slots {
+		if dec.Slots[i] != m.Slots[i] || dec.Next[i] != m.Next[i] {
+			t.Fatalf("slot %d mismatch", i)
+		}
+	}
+	for g := range dec.Members {
+		for i := range dec.Members[g] {
+			if dec.Members[g][i] != m.Members[g][i] {
+				t.Fatalf("member %d/%d mismatch", g, i)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	m := Uniform(1, 2, members(2))
+	good := m.Encode()
+	if _, err := DecodeShardMap(good[:len(good)-3]); err == nil {
+		t.Fatalf("truncated map decoded")
+	}
+	if _, err := DecodeShardMap(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+	// Slot pointing at an unknown group.
+	bad := m.Clone()
+	bad.Slots[0] = 9
+	if _, err := DecodeShardMap(bad.Encode()); err == nil {
+		t.Fatalf("out-of-range slot target accepted")
+	}
+	// Slot pointing at a retired (empty) group.
+	bad = m.Clone()
+	bad.Members[1] = nil
+	if _, err := DecodeShardMap(bad.Encode()); err == nil {
+		t.Fatalf("slot assigned to retired group accepted")
+	}
+}
+
+func TestMovesAggregatesByPair(t *testing.T) {
+	cur := Uniform(1, 2, members(4))
+	tgt := Uniform(0, 4, members(4))
+	tr := cur.Transition(2, tgt)
+	if !tr.Migrating() {
+		t.Fatalf("transition map not migrating")
+	}
+	moves := tr.Moves()
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v, want 2 pairs (0→2, 1→3)", moves)
+	}
+	var total int
+	for _, mv := range moves {
+		if mv.To != mv.From+2 {
+			t.Fatalf("unexpected move %+v", mv)
+		}
+		for i := 0; i < NumSlots; i++ {
+			if mv.Mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			total++
+			if tr.Slots[i] != mv.From || tr.Next[i] != mv.To {
+				t.Fatalf("mask bit %d inconsistent with map", i)
+			}
+		}
+	}
+	if total != NumSlots/2 {
+		t.Fatalf("%d slots move in a 2→4 split, want %d", total, NumSlots/2)
+	}
+	// Dual-route surface: a key in a moving slot reports its target.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		next := tr.NextGroupOf(key)
+		if s := SlotOf(key); tr.Slots[s] == tr.Next[s] {
+			if next != -1 {
+				t.Fatalf("stable key %s reports migration to %d", key, next)
+			}
+		} else if next != int(tr.Next[s]) {
+			t.Fatalf("moving key %s: NextGroupOf=%d, want %d", key, next, tr.Next[s])
+		}
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	m := Uniform(3, 2, members(2))
+	signed := Sign(priv, m)
+	wire, err := DecodeSigned(signed.Encode())
+	if err != nil {
+		t.Fatalf("decode signed: %v", err)
+	}
+	dec, err := wire.Verify(pub)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if dec.Epoch != 3 {
+		t.Fatalf("epoch = %d, want 3", dec.Epoch)
+	}
+	// A flipped byte in the map must invalidate the signature.
+	tampered := wire
+	tampered.Map = append([]byte(nil), wire.Map...)
+	tampered.Map[0] ^= 0xff
+	if _, err := tampered.Verify(pub); err == nil {
+		t.Fatalf("tampered map verified")
+	}
+	// A different key must not verify.
+	otherPub, _, _ := ed25519.GenerateKey(nil)
+	if _, err := wire.Verify(otherPub); err == nil {
+		t.Fatalf("map verified under wrong key")
+	}
+}
+
+// FuzzDecodeShardMap: the shard-map codec must never panic or over-allocate
+// on hostile input; whatever it accepts must re-encode canonically.
+func FuzzDecodeShardMap(f *testing.F) {
+	f.Add(Uniform(1, 1, [][]string{{"n1"}}).Encode())
+	f.Add(Uniform(5, 4, members(4)).Encode())
+	tr := Uniform(2, 2, members(4)).Transition(3, Uniform(0, 4, members(4)))
+	f.Add(tr.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeShardMap(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded map fails validation: %v", err)
+		}
+		re, err := DecodeShardMap(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Epoch != m.Epoch || len(re.Slots) != len(m.Slots) || len(re.Members) != len(m.Members) {
+			t.Fatalf("round trip mismatch")
+		}
+	})
+}

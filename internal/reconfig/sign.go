@@ -1,0 +1,65 @@
+package reconfig
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Signing errors.
+var (
+	// ErrBadSignature means the map is not signed by the trusted CAS key.
+	ErrBadSignature = errors.New("reconfig: shard map signature invalid")
+)
+
+// Signed is a shard map as published by the CAS: the encoded map plus the
+// CAS's ed25519 signature over exactly those bytes. Nodes and clients treat
+// only maps that verify against their attested map key as configuration.
+type Signed struct {
+	Map []byte // encoded ShardMap
+	Sig []byte
+}
+
+// Sign encodes and signs a map with the CAS's map key.
+func Sign(priv ed25519.PrivateKey, m *ShardMap) Signed {
+	enc := m.Encode()
+	return Signed{Map: enc, Sig: ed25519.Sign(priv, enc)}
+}
+
+// Verify checks the signature and decodes the map.
+func (s Signed) Verify(pub ed25519.PublicKey) (*ShardMap, error) {
+	if len(pub) != ed25519.PublicKeySize || !ed25519.Verify(pub, s.Map, s.Sig) {
+		return nil, ErrBadSignature
+	}
+	return DecodeShardMap(s.Map)
+}
+
+// Encode serialises the signed wrapper for transport.
+func (s Signed) Encode() []byte {
+	buf := make([]byte, 0, 8+len(s.Map)+len(s.Sig))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Map)))
+	buf = append(buf, s.Map...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Sig)))
+	buf = append(buf, s.Sig...)
+	return buf
+}
+
+// DecodeSigned parses a signed wrapper (without verifying it).
+func DecodeSigned(data []byte) (Signed, error) {
+	d := mapDecoder{buf: data}
+	var s Signed
+	if n := int(d.uint32()); n > 0 {
+		s.Map = append([]byte(nil), d.take(n)...)
+	}
+	if n := int(d.uint32()); n > 0 {
+		s.Sig = append([]byte(nil), d.take(n)...)
+	}
+	if d.err != nil {
+		return Signed{}, fmt.Errorf("decode signed map: %w", d.err)
+	}
+	if d.pos != len(data) {
+		return Signed{}, fmt.Errorf("decode signed map: %d trailing bytes", len(data)-d.pos)
+	}
+	return s, nil
+}

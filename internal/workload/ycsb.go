@@ -10,6 +10,23 @@ import (
 	"math/rand"
 )
 
+// Skew selects the key-popularity distribution.
+type Skew string
+
+// Supported key-popularity distributions.
+const (
+	// Zipfian is the paper's evaluation distribution (default): popularity
+	// follows a Zipf law with parameter ZipfS.
+	Zipfian Skew = "zipfian"
+	// Uniform picks every key with equal probability — the no-skew baseline
+	// that spreads load evenly across shards.
+	Uniform Skew = "uniform"
+	// Hotspot concentrates HotOpFraction of the operations on the first
+	// HotKeyFraction of the key space — the adversarial case for elastic
+	// resharding, where a migrating slot can hold most of the traffic.
+	Hotspot Skew = "hotspot"
+)
+
 // Config parameterises a workload generator.
 type Config struct {
 	// Keys is the number of distinct keys (default 10_000, as in the paper).
@@ -22,8 +39,16 @@ type Config struct {
 	DeleteRatio float64
 	// ValueSize is the written value size in bytes (default 256).
 	ValueSize int
-	// ZipfS is the Zipf skew parameter (>1; default 1.1).
+	// Skew selects the key-popularity distribution (default Zipfian).
+	Skew Skew
+	// ZipfS is the Zipf skew parameter (>1; default 1.1). Zipfian only.
 	ZipfS float64
+	// HotKeyFraction is the fraction of the key space that is hot (default
+	// 0.1). Hotspot only.
+	HotKeyFraction float64
+	// HotOpFraction is the fraction of operations aimed at the hot set
+	// (default 0.9). Hotspot only.
+	HotOpFraction float64
 	// Seed drives the deterministic op stream.
 	Seed int64
 }
@@ -57,8 +82,17 @@ func New(cfg Config) *Generator {
 	if cfg.ValueSize <= 0 {
 		cfg.ValueSize = 256
 	}
+	if cfg.Skew == "" {
+		cfg.Skew = Zipfian
+	}
 	if cfg.ZipfS <= 1 {
 		cfg.ZipfS = 1.1
+	}
+	if cfg.HotKeyFraction <= 0 || cfg.HotKeyFraction > 1 {
+		cfg.HotKeyFraction = 0.1
+	}
+	if cfg.HotOpFraction <= 0 || cfg.HotOpFraction > 1 {
+		cfg.HotOpFraction = 0.9
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &Generator{
@@ -77,9 +111,31 @@ func New(cfg Config) *Generator {
 	return g
 }
 
+// nextKey picks a key index under the configured skew.
+func (g *Generator) nextKey() string {
+	switch g.cfg.Skew {
+	case Uniform:
+		return g.keys[g.rng.Intn(len(g.keys))]
+	case Hotspot:
+		hot := int(float64(len(g.keys)) * g.cfg.HotKeyFraction)
+		if hot < 1 {
+			hot = 1
+		}
+		if g.rng.Float64() < g.cfg.HotOpFraction {
+			return g.keys[g.rng.Intn(hot)]
+		}
+		if hot == len(g.keys) {
+			return g.keys[g.rng.Intn(len(g.keys))]
+		}
+		return g.keys[hot+g.rng.Intn(len(g.keys)-hot)]
+	default:
+		return g.keys[g.zipf.Uint64()]
+	}
+}
+
 // Next returns the next operation. The value buffer is reused across calls.
 func (g *Generator) Next() Op {
-	key := g.keys[g.zipf.Uint64()]
+	key := g.nextKey()
 	switch r := g.rng.Float64(); {
 	case r < g.cfg.ReadRatio:
 		return Op{Read: true, Key: key}

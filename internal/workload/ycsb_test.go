@@ -130,3 +130,42 @@ func TestDefaults(t *testing.T) {
 		t.Errorf("default value size = %d, want 256", len(g.Value()))
 	}
 }
+
+// TestSkewDistributions: the uniform knob spreads ops evenly, the hotspot
+// knob concentrates them, and both stay deterministic per seed.
+func TestSkewDistributions(t *testing.T) {
+	const n = 20_000
+	count := func(cfg Config) (hotShare float64) {
+		g := New(cfg)
+		hotCut := g.Key(int(float64(g.Keys()) * 0.1))
+		hits := 0
+		for i := 0; i < n; i++ {
+			if op := g.Next(); op.Key < hotCut {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+
+	uniform := count(Config{Keys: 1000, ReadRatio: 1, Skew: Uniform, Seed: 7})
+	if uniform < 0.05 || uniform > 0.15 {
+		t.Fatalf("uniform: first decile got %.3f of ops, want ~0.10", uniform)
+	}
+	hot := count(Config{Keys: 1000, ReadRatio: 1, Skew: Hotspot, Seed: 7})
+	if hot < 0.85 || hot > 0.95 {
+		t.Fatalf("hotspot: hot decile got %.3f of ops, want ~0.90", hot)
+	}
+	custom := count(Config{Keys: 1000, ReadRatio: 1, Skew: Hotspot,
+		HotKeyFraction: 0.1, HotOpFraction: 0.5, Seed: 7})
+	if custom < 0.45 || custom > 0.55 {
+		t.Fatalf("hotspot 50%%: hot decile got %.3f of ops, want ~0.50", custom)
+	}
+
+	// Determinism: same seed, same stream.
+	a, b := New(Config{Keys: 100, Skew: Hotspot, Seed: 3}), New(Config{Keys: 100, Skew: Hotspot, Seed: 3})
+	for i := 0; i < 100; i++ {
+		if a.Next().Key != b.Next().Key {
+			t.Fatalf("hotspot stream not deterministic at op %d", i)
+		}
+	}
+}

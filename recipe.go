@@ -193,6 +193,44 @@ func (c *Cluster) ShardCoordinator(shard int) (string, error) {
 	return c.inner.Groups[shard].WaitForCoordinator(time.Second)
 }
 
+// Epoch returns the cluster's current configuration epoch. Every published
+// shard map bumps it; the authn layer binds it into every message's MAC
+// domain, so traffic captured under an older configuration is rejected.
+func (c *Cluster) Epoch() uint64 { return c.inner.Epoch() }
+
+// Resize re-partitions the running cluster across n replication groups
+// without stopping traffic: new groups are attested and started (or surplus
+// groups retired), the CAS publishes a signed transition map that
+// dual-routes writes to the moving key ranges, the migration engine streams
+// those ranges through the state-transfer path, and a signed final map cuts
+// clients over. Concurrent client operations keep succeeding throughout;
+// acknowledged writes are never lost.
+func (c *Cluster) Resize(n int) error {
+	if err := c.inner.Resize(n); err != nil {
+		return fmt.Errorf("recipe: %w", err)
+	}
+	return nil
+}
+
+// AddShard grows the cluster by one replication group and rebalances onto
+// it, returning the new group's index.
+func (c *Cluster) AddShard() (int, error) {
+	g, err := c.inner.AddGroup()
+	if err != nil {
+		return 0, fmt.Errorf("recipe: %w", err)
+	}
+	return g, nil
+}
+
+// RetireShard shrinks the cluster by one replication group: the last
+// group's key ranges migrate to the survivors, then its replicas stop.
+func (c *Cluster) RetireShard() error {
+	if err := c.inner.RetireGroup(); err != nil {
+		return fmt.Errorf("recipe: %w", err)
+	}
+	return nil
+}
+
 // Crash fail-stops a replica (enclave crash + network detach).
 func (c *Cluster) Crash(node string) { c.inner.Crash(node) }
 
@@ -212,6 +250,11 @@ type SecurityStats struct {
 	// RejectedCrossShard counts valid envelopes of one shard injected into
 	// another and rejected by the per-group MAC domain.
 	RejectedCrossShard uint64
+	// RejectedStaleEpoch counts genuine envelopes of an older configuration
+	// epoch rejected after a reconfiguration — captured pre-resize traffic
+	// replayed post-resize, or clients that have not yet refreshed their
+	// shard map (they are answered with the current signed map).
+	RejectedStaleEpoch uint64
 	BufferedFutures    uint64
 	// DroppedOverflow counts authenticated messages discarded because a
 	// channel's out-of-order buffer was full (a flooded or badly stalled
@@ -256,6 +299,7 @@ func addNodeStats(s *SecurityStats, n *core.Node) {
 	s.RejectedReplays += st.DropReplay.Load()
 	s.RejectedStale += st.DropView.Load()
 	s.RejectedCrossShard += st.DropGroup.Load()
+	s.RejectedStaleEpoch += st.DropEpoch.Load()
 	s.BufferedFutures += st.Buffered.Load()
 	s.DroppedOverflow += n.OverflowDrops()
 }

@@ -203,3 +203,75 @@ func TestPublicAPINativeMode(t *testing.T) {
 		t.Errorf("native mode counted shielded deliveries: %+v", st)
 	}
 }
+
+func TestPublicAPIElasticResize(t *testing.T) {
+	c := startAPI(t, Options{Protocol: Raft, Shards: 2, Seed: 11})
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("initial Epoch = %d, want 1", got)
+	}
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+
+	const keys = 50
+	for i := 0; i < keys; i++ {
+		if err := cli.Put(fmt.Sprintf("u%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+
+	if err := c.Resize(4); err != nil {
+		t.Fatalf("Resize(4): %v", err)
+	}
+	if got := c.Shards(); got != 4 {
+		t.Fatalf("Shards = %d after Resize(4), want 4", got)
+	}
+	if got := c.Epoch(); got != 4 {
+		t.Fatalf("Epoch = %d after resize, want 4 (transition, handover, final)", got)
+	}
+	// Every key survives, through both the pre-resize client (which must
+	// refresh its routing) and a fresh one.
+	fresh, err := c.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = fresh.Close() }()
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("u%03d", i)
+		want := []byte(fmt.Sprintf("v%d", i))
+		for _, cl := range []*Client{cli, fresh} {
+			got, err := cl.Get(key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("Get %s after resize = %q, %v", key, got, err)
+			}
+		}
+	}
+	// The old client refreshed by being told its epoch was stale; that
+	// rejection is security-visible.
+	if st := c.SecurityStats(); st.RejectedStaleEpoch == 0 {
+		t.Errorf("RejectedStaleEpoch = 0 after a stale client refreshed: %+v", st)
+	}
+
+	// Retire a shard and grow one back; data survives both.
+	if err := c.RetireShard(); err != nil {
+		t.Fatalf("RetireShard: %v", err)
+	}
+	if got := c.Shards(); got != 3 {
+		t.Fatalf("Shards = %d after retire, want 3", got)
+	}
+	g, err := c.AddShard()
+	if err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if g != 3 || c.Shards() != 4 {
+		t.Fatalf("AddShard = group %d, Shards %d; want 3, 4", g, c.Shards())
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("u%03d", i)
+		if _, err := fresh.Get(key); err != nil {
+			t.Fatalf("Get %s after retire+grow: %v", key, err)
+		}
+	}
+}
