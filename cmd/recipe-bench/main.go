@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus]
+//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -26,7 +27,7 @@ import (
 
 var (
 	opsFlag        = flag.Int("ops", 4000, "operations per measurement")
-	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus)")
+	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem)")
 	clientsFlag    = flag.Int("clients", 32, "closed-loop clients per measurement")
 )
 
@@ -46,6 +47,7 @@ func run() error {
 		"fig6b":   fig6b,
 		"table4":  table4,
 		"damysus": damysusCmp,
+		"mem":     memTable,
 	}
 	if *experimentFlag != "all" {
 		f, ok := experiments[*experimentFlag]
@@ -54,9 +56,36 @@ func run() error {
 		}
 		return f()
 	}
-	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus"} {
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem"} {
 		if err := experiments[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// memTable reports the hot-path memory discipline (PR 4): heap traffic and
+// GC totals per operation for the per-message worst case (MaxBatch=1) and
+// default batching, 50% reads / 256 B values.
+func memTable() error {
+	fmt.Println("\n=== Hot-path memory discipline: allocs/op, B/op, GC pause (50%R, 256B) ===")
+	tw, flush := newTable("system", "mode", "kOps/s", "allocs/op", "B/op", "gc-pause(ms)")
+	defer flush()
+	for _, proto := range []harness.ProtocolKind{harness.Raft, harness.Chain} {
+		for _, mode := range []struct {
+			name     string
+			maxBatch int
+		}{
+			{"per-message", 1},
+			{"batched", 0}, // node default (64)
+		} {
+			m, err := measureMem(harness.Options{Protocol: proto, Shielded: true, Seed: 1, MaxBatch: mode.maxBatch},
+				workload.Config{ReadRatio: 0.50, ValueSize: 256})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "R-%s\t%s\t%s\t%.0f\t%.0f\t%.2f\n",
+				proto, mode.name, kops(m.opsPerSec), m.allocsPerOp, m.bytesPerOp, m.gcPauseMs)
 		}
 	}
 	return nil
@@ -75,26 +104,58 @@ var systems = []struct {
 	{"R-ABD", harness.ABD, true},
 }
 
-// measure runs one throughput measurement and returns ops/s.
-func measure(opts harness.Options, w workload.Config) (float64, error) {
+// measurement is one experiment cell: throughput plus the process-wide heap
+// traffic and GC totals attributed per operation (runtime.ReadMemStats
+// around the timed section), so the memory-discipline trajectory is visible
+// alongside the paper's throughput numbers.
+type measurement struct {
+	opsPerSec   float64
+	allocsPerOp float64
+	bytesPerOp  float64
+	gcPauseMs   float64 // total GC pause during the timed section
+}
+
+// measureMem runs one throughput measurement and reports throughput and
+// memory behaviour.
+func measureMem(opts harness.Options, w workload.Config) (measurement, error) {
 	w.Keys = 1024
 	w.Seed = opts.Seed
 	c, err := harness.New(opts)
 	if err != nil {
-		return 0, err
+		return measurement{}, err
 	}
 	defer c.Stop()
 	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
-		return 0, err
+		return measurement{}, err
 	}
 	if err := c.Preload(w); err != nil {
-		return 0, err
+		return measurement{}, err
 	}
-	// Warm up briefly so leader paths and caches settle.
+	// Warm up briefly so leader paths, caches, and buffer pools settle.
 	if _, err := c.RunOps(w, *clientsFlag, *opsFlag/10+1); err != nil {
-		return 0, err
+		return measurement{}, err
 	}
-	return c.RunOps(w, *clientsFlag, *opsFlag)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ops, err := c.RunOps(w, *clientsFlag, *opsFlag)
+	if err != nil {
+		return measurement{}, err
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(*opsFlag)
+	return measurement{
+		opsPerSec:   ops,
+		allocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		bytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		gcPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+	}, nil
+}
+
+// measure runs one throughput measurement and returns ops/s.
+func measure(opts harness.Options, w workload.Config) (float64, error) {
+	m, err := measureMem(opts, w)
+	return m.opsPerSec, err
 }
 
 func newTable(header ...string) (*tabwriter.Writer, func()) {
@@ -133,25 +194,32 @@ func fig3() error {
 
 func fig4() error {
 	fmt.Println("\n=== Fig 4: throughput (kOps/s) and speedup vs PBFT, 256B values ===")
+	fmt.Println("(allocs/op, B/op, and total GC pause are from the 50%R run)")
 	ratios := []int{50, 75, 90, 95, 99}
 	results := make(map[string]map[int]float64, len(systems))
+	mems := make(map[string]measurement, len(systems))
 	for _, sys := range systems {
 		results[sys.name] = make(map[int]float64, len(ratios))
 		for _, r := range ratios {
-			ops, err := measure(harness.Options{Protocol: sys.proto, Shielded: sys.shielded, Seed: 1},
+			m, err := measureMem(harness.Options{Protocol: sys.proto, Shielded: sys.shielded, Seed: 1},
 				workload.Config{ReadRatio: float64(r) / 100, ValueSize: 256})
 			if err != nil {
 				return err
 			}
-			results[sys.name][r] = ops
+			results[sys.name][r] = m.opsPerSec
+			if r == 50 {
+				mems[sys.name] = m
+			}
 		}
 	}
-	tw, flush := newTable("system", "50%R", "75%R", "90%R", "95%R", "99%R")
+	tw, flush := newTable("system", "50%R", "75%R", "90%R", "95%R", "99%R", "allocs/op", "B/op", "gc-pause(ms)")
 	for _, sys := range systems {
 		fmt.Fprintf(tw, "%s", sys.name)
 		for _, r := range ratios {
 			fmt.Fprintf(tw, "\t%s", kops(results[sys.name][r]))
 		}
+		m := mems[sys.name]
+		fmt.Fprintf(tw, "\t%.0f\t%.0f\t%.2f", m.allocsPerOp, m.bytesPerOp, m.gcPauseMs)
 		fmt.Fprintln(tw)
 	}
 	flush()

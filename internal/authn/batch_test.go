@@ -236,17 +236,17 @@ func TestBatchOnLooseChannel(t *testing.T) {
 func TestBatchBodyCodecBounds(t *testing.T) {
 	// A tiny body claiming a huge count must fail fast without allocating.
 	body := []byte{0x7f, 0xff, 0xff, 0xff, 0, 0}
-	if _, err := decodeBatchBody(body); err == nil {
+	if _, err := decodeBatchBody(nil, body); err == nil {
 		t.Errorf("oversized count accepted")
 	}
 	items := batchOf(3)
-	enc := encodeBatchBody(items)
+	enc := appendBatchBody(nil, items)
 	for n := 0; n < len(enc); n++ {
-		if _, err := decodeBatchBody(enc[:n]); err == nil {
+		if _, err := decodeBatchBody(nil, enc[:n]); err == nil {
 			t.Errorf("truncation at %d accepted", n)
 		}
 	}
-	got, err := decodeBatchBody(enc)
+	got, err := decodeBatchBody(nil, enc)
 	if err != nil || len(got) != 3 || got[2].Kind != 102 {
 		t.Errorf("round trip: %v, %+v", err, got)
 	}

@@ -35,4 +35,35 @@
 // group with ErrWrongGroup. This scopes non-equivocation per group — shards
 // derive channel keys from the same cluster master key, so without the
 // binding a genuine envelope captured in one shard would verify in another.
+//
+// # Hot path and buffer ownership
+//
+// The steady-state non-confidential data plane (seal → encode → decode →
+// verify) is allocation-free apart from the 32-byte MAC tag and the decoded
+// channel-name string. That discipline rests on per-channel reusable state —
+// the keyed HMAC schedule is computed once at open and Reset per message,
+// headers serialise into channel-owned scratch buffers — and on an explicit
+// buffer-ownership contract instead of defensive copies:
+//
+//   - Shield (non-confidential): the envelope's Payload aliases the caller's
+//     buffer. The caller must keep it alive and unmodified until the envelope
+//     is encoded; after that the buffer is the caller's again.
+//   - Shield/ShieldBatch (confidential) and ShieldBatch bodies: the payload
+//     is built in a buffer from the shared pool (internal/bufpool); after
+//     encoding, the caller releases it with RecyclePayload. A one-item batch
+//     degrades to Shield and follows Shield's rule.
+//   - DecodeEnvelopeInto: the envelope's Payload and MAC alias the wire
+//     buffer, which must stay alive while the envelope is in use — including
+//     while it sits in a channel's out-of-order buffer awaiting gap closure.
+//     (DecodeEnvelope keeps the copying behaviour for callers that retain.)
+//   - Verify: the returned slice is the channel's reusable delivery scratch,
+//     valid only until the next Verify or TickFutures on the same channel.
+//     Consume it synchronously (as the node event loop does) or copy.
+//
+// Concurrency: the channel table is an RWMutex-guarded map with a lock per
+// channel, so concurrent channels never serialise on a global lock; SetView
+// takes the table lock exclusively, making its counter resets atomic with
+// in-flight seals. The out-of-order buffer is bounded per channel both by
+// count (maxFutureBuffer) and by payload bytes (maxFutureBytes); overflow
+// drops are counted in OverflowDrops.
 package authn

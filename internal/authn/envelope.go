@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"recipe/internal/bufpool"
 )
 
 // Envelope is the wire format of a shielded message: the sequence tuple
@@ -55,17 +57,21 @@ func (e *Envelope) flags() byte {
 	return b
 }
 
-// header serialises the authenticated header fields. The MAC covers exactly
-// header||payload, so any header tampering — including flipping the batch
-// flag or rewriting the group or epoch — invalidates the MAC. Covering the
-// group binds every envelope to its shard's MAC domain: a valid shard-A
-// envelope carried into shard B fails the receiver's group check, and an
-// envelope whose group field was rewritten fails the MAC. Covering the epoch
-// binds it to one configuration: traffic captured before a reconfiguration
-// cannot be replayed after it (the receiver rejects the stale epoch, and an
-// attacker cannot rewrite the field without breaking the MAC).
-func (e *Envelope) header() []byte {
-	buf := make([]byte, 0, 8+8+8+2+1+4+2+len(e.Channel))
+// headerSize is the fixed part of the authenticated header; the channel name
+// follows it.
+const headerSize = 8 + 8 + 8 + 2 + 1 + 4 + 2
+
+// appendHeader serialises the authenticated header fields into buf. The MAC
+// covers exactly header||payload, so any header tampering — including
+// flipping the batch flag or rewriting the group or epoch — invalidates the
+// MAC. Covering the group binds every envelope to its shard's MAC domain: a
+// valid shard-A envelope carried into shard B fails the receiver's group
+// check, and an envelope whose group field was rewritten fails the MAC.
+// Covering the epoch binds it to one configuration: traffic captured before
+// a reconfiguration cannot be replayed after it (the receiver rejects the
+// stale epoch, and an attacker cannot rewrite the field without breaking the
+// MAC).
+func (e *Envelope) appendHeader(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, e.View)
 	buf = binary.BigEndian.AppendUint64(buf, e.Epoch)
 	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
@@ -77,11 +83,18 @@ func (e *Envelope) header() []byte {
 	return buf
 }
 
-// Encode serialises the envelope for transport.
-func (e *Envelope) Encode() []byte {
-	h := e.header()
-	buf := make([]byte, 0, len(h)+8+len(e.Payload)+len(e.MAC))
-	buf = append(buf, h...)
+// EncodedSize returns the exact length of the encoded envelope, so callers
+// can size a reused or pooled buffer before AppendTo.
+func (e *Envelope) EncodedSize() int {
+	return headerSize + len(e.Channel) + 4 + len(e.Payload) + 4 + len(e.MAC)
+}
+
+// AppendTo serialises the envelope for transport, appending to buf and
+// returning the extended slice. It is the allocation-free encoder of the hot
+// path: with a reused buffer of sufficient capacity it performs no heap
+// allocation.
+func (e *Envelope) AppendTo(buf []byte) []byte {
+	buf = e.appendHeader(buf)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
 	buf = append(buf, e.Payload...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.MAC)))
@@ -89,9 +102,18 @@ func (e *Envelope) Encode() []byte {
 	return buf
 }
 
-// DecodeEnvelope parses an envelope from wire bytes.
-func DecodeEnvelope(data []byte) (Envelope, error) {
-	var e Envelope
+// Encode serialises the envelope for transport into a fresh buffer.
+func (e *Envelope) Encode() []byte {
+	return e.AppendTo(make([]byte, 0, e.EncodedSize()))
+}
+
+// DecodeEnvelopeInto parses an envelope from wire bytes without copying:
+// Payload and MAC alias data, so the caller must keep data alive and
+// unmodified for as long as it uses the envelope (buffered out-of-order
+// envelopes retain it until delivered). All length fields remain
+// bounds-checked against the actual buffer, so hostile input cannot force
+// large allocations or out-of-range reads.
+func DecodeEnvelopeInto(e *Envelope, data []byte) error {
 	r := reader{buf: data}
 	e.View = r.uint64()
 	e.Epoch = r.uint64()
@@ -101,15 +123,28 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 	e.Enc = fl&flagEnc != 0
 	e.Batch = fl&flagBatch != 0
 	e.Group = r.uint32()
-	e.Channel = string(r.bytesN(int(r.uint16())))
-	e.Payload = r.bytesN(int(r.uint32()))
-	e.MAC = r.bytesN(int(r.uint32()))
+	e.Channel = string(r.view(int(r.uint16())))
+	e.Payload = r.view(int(r.uint32()))
+	e.MAC = r.view(int(r.uint32()))
 	if r.err != nil {
-		return Envelope{}, fmt.Errorf("decode envelope: %w", r.err)
+		return fmt.Errorf("decode envelope: %w", r.err)
 	}
 	if r.pos != len(data) {
-		return Envelope{}, fmt.Errorf("decode envelope: %d trailing bytes", len(data)-r.pos)
+		return fmt.Errorf("decode envelope: %d trailing bytes", len(data)-r.pos)
 	}
+	return nil
+}
+
+// DecodeEnvelope parses an envelope from wire bytes into an independent
+// value: Payload and MAC are copied, so the envelope stays valid after data
+// is reused.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	var e Envelope
+	if err := DecodeEnvelopeInto(&e, data); err != nil {
+		return Envelope{}, err
+	}
+	e.Payload = append([]byte(nil), e.Payload...)
+	e.MAC = append([]byte(nil), e.MAC...)
 	return e, nil
 }
 
@@ -122,13 +157,18 @@ type BatchItem struct {
 // minBatchItemLen is the smallest encoded BatchItem: kind (2) + length (4).
 const minBatchItemLen = 6
 
-// encodeBatchBody serialises N items: [count][kind][len][payload]...
-func encodeBatchBody(items []BatchItem) []byte {
+// batchBodySize returns the encoded size of a batch body, for pooled-buffer
+// sizing.
+func batchBodySize(items []BatchItem) int {
 	size := 4
 	for i := range items {
 		size += minBatchItemLen + len(items[i].Payload)
 	}
-	buf := make([]byte, 0, size)
+	return size
+}
+
+// appendBatchBody serialises N items: [count][kind][len][payload]...
+func appendBatchBody(buf []byte, items []BatchItem) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(items)))
 	for i := range items {
 		buf = binary.BigEndian.AppendUint16(buf, items[i].Kind)
@@ -138,10 +178,18 @@ func encodeBatchBody(items []BatchItem) []byte {
 	return buf
 }
 
-// decodeBatchBody parses a batch body. The count's preallocation is bounded
-// by what the buffer could actually hold, so a corrupt count cannot force a
-// large allocation.
-func decodeBatchBody(data []byte) ([]BatchItem, error) {
+// getBatchBody encodes a batch body into a pooled buffer; the caller owns the
+// result and returns it via bufpool.Put (or hands it to the envelope, whose
+// owner recycles it through RecyclePayload).
+func getBatchBody(items []BatchItem) []byte {
+	return appendBatchBody(bufpool.Get(batchBodySize(items)), items)
+}
+
+// decodeBatchBody parses a batch body, appending the items to dst (reusing
+// its capacity). Item payloads alias data. The count's preallocation is
+// bounded by what the buffer could actually hold, so a corrupt count cannot
+// force a large allocation.
+func decodeBatchBody(dst []BatchItem, data []byte) ([]BatchItem, error) {
 	r := reader{buf: data}
 	n := int(r.uint32())
 	if n <= 0 {
@@ -150,12 +198,11 @@ func decodeBatchBody(data []byte) ([]BatchItem, error) {
 	if n > (len(data)-4)/minBatchItemLen {
 		return nil, fmt.Errorf("decode batch: %w", ErrTruncated)
 	}
-	items := make([]BatchItem, 0, n)
 	for i := 0; i < n; i++ {
 		var it BatchItem
 		it.Kind = r.uint16()
-		it.Payload = r.bytesN(int(r.uint32()))
-		items = append(items, it)
+		it.Payload = r.view(int(r.uint32()))
+		dst = append(dst, it)
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("decode batch: %w", r.err)
@@ -163,7 +210,7 @@ func decodeBatchBody(data []byte) ([]BatchItem, error) {
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("decode batch: %d trailing bytes", len(data)-r.pos)
 	}
-	return items, nil
+	return dst, nil
 }
 
 // reader is a bounds-checked sequential decoder. After any failure all
@@ -223,13 +270,8 @@ func (r *reader) byte() byte {
 	return b[0]
 }
 
-// bytesN copies n bytes out of the buffer (copies so callers may retain).
-func (r *reader) bytesN(n int) []byte {
-	b := r.take(n)
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+// view returns n bytes of the buffer without copying (callers own the
+// aliasing contract).
+func (r *reader) view(n int) []byte {
+	return r.take(n)
 }

@@ -8,9 +8,12 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"sync"
+	"sync/atomic"
 
+	"recipe/internal/bufpool"
 	"recipe/internal/tee"
 )
 
@@ -43,6 +46,16 @@ var (
 // channel inside the protected area before the sender is considered faulty.
 const maxFutureBuffer = 4096
 
+// maxFutureBytes bounds the total payload bytes parked per channel. The
+// count bound alone would let a Byzantine peer park maxFutureBuffer
+// max-sized payloads (gigabytes) inside the protected area; the byte budget
+// caps the channel's memory exposure regardless of payload size. Drops are
+// counted in OverflowDrops.
+const maxFutureBytes = 4 << 20
+
+// macLen is the HMAC-SHA256 tag length.
+const macLen = sha256.Size
+
 // Status classifies the outcome of Verify.
 type Status int
 
@@ -58,33 +71,69 @@ const (
 // Shielder implements ShieldRequest/VerifyRequest for one attested node. All
 // key material and counters live logically inside the node's enclave; the
 // untrusted host only ever sees encoded envelopes.
+//
+// Concurrency: the channel table is an RWMutex-guarded map with a lock per
+// channel. Shield/Verify/ShieldBatch take the table lock shared and the
+// channel lock exclusive, so traffic on different channels — node loop,
+// client router, migrator — never serialises on a global lock; only
+// table-shape operations (open/close) and the view/epoch writers take the
+// table lock exclusively. SetView's counter resets are atomic with respect
+// to in-flight seals because an in-flight Shield holds the table lock shared
+// for its whole critical section.
 type Shielder struct {
 	enclave      *tee.Enclave
 	confidential bool
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	view  uint64
 	epoch uint64
 	send  map[string]*sendState
 	recv  map[string]*recvState
+
 	// overflowDrops counts authenticated messages discarded because a
-	// channel's future buffer was full (observability; see OverflowDrops).
-	overflowDrops uint64
+	// channel's future buffer hit its count or byte bound (observability; see
+	// OverflowDrops).
+	overflowDrops atomic.Uint64
 }
 
+// sendState is one channel's transmit half. Its mutex serialises seals on
+// the channel; the mac/hdr fields are per-channel reusable state — the keyed
+// HMAC schedule is computed once at open and Reset per message, and the
+// header is serialised into a scratch buffer that lives with the channel —
+// so the steady-state seal performs no allocation beyond the MAC tag.
 type sendState struct {
+	mu    sync.Mutex
 	key   []byte
 	aead  cipher.AEAD // non-nil in confidential mode
+	mac   hash.Hash   // precomputed keyed HMAC state, Reset+reused per seal
+	hdr   []byte      // header scratch
 	cnt   uint64
 	group uint32 // replication group stamped into every envelope
 }
 
+// recvState is one channel's receive half, with the same per-channel
+// reusable MAC/scratch state as sendState plus the delivery machinery.
 type recvState struct {
-	key    []byte
-	aead   cipher.AEAD
-	group  uint32 // envelopes on this channel must carry this group
-	rcnt   uint64
+	mu    sync.Mutex
+	key   []byte
+	aead  cipher.AEAD
+	mac   hash.Hash
+	hdr   []byte // header scratch
+	sum   []byte // computed-MAC scratch
+	group uint32 // envelopes on this channel must carry this group
+	rcnt  uint64
+
 	future map[uint64]Envelope
+	// futureBytes tracks the payload bytes parked in future, enforcing
+	// maxFutureBytes.
+	futureBytes int
+
+	// delivered is the reusable slice returned by Verify; see the buffer
+	// ownership contract in the package documentation.
+	delivered []Envelope
+	// items is the reusable batch-decode scratch.
+	items []BatchItem
+
 	// loose channels deliver any fresh message immediately (monotonicity
 	// and replay protection only, no gap closure) — used for client
 	// request/response channels where the application layer dedups.
@@ -154,25 +203,51 @@ func (s *Shielder) open(cq string, key []byte, group uint32, loose bool) error {
 	if len(key) < 16 {
 		return fmt.Errorf("authn: channel %s key too short (%d bytes)", cq, len(key))
 	}
-	var aead cipher.AEAD
+	var sendAEAD, recvAEAD cipher.AEAD
 	if s.confidential {
-		block, err := aes.NewCipher(key[:16])
-		if err != nil {
+		var err error
+		if sendAEAD, err = newAEAD(key); err != nil {
 			return fmt.Errorf("authn: channel %s: %w", cq, err)
 		}
-		aead, err = cipher.NewGCM(block)
-		if err != nil {
+		if recvAEAD, err = newAEAD(key); err != nil {
 			return fmt.Errorf("authn: channel %s: %w", cq, err)
 		}
 	}
 	k := make([]byte, len(key))
 	copy(k, key)
+	// The keyed HMAC states are precomputed here, once per channel per
+	// direction, and Reset+reused for every message — the per-message
+	// hmac.New (two hash states plus the key schedule) this replaces was the
+	// single largest allocation on the hot path.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.send[cq] = &sendState{key: k, aead: aead, group: group}
-	s.recv[cq] = &recvState{key: k, aead: aead, group: group, loose: loose,
-		future: make(map[uint64]Envelope)}
+	s.send[cq] = &sendState{
+		key:   k,
+		aead:  sendAEAD,
+		mac:   hmac.New(sha256.New, k),
+		hdr:   make([]byte, 0, headerSize+len(cq)),
+		group: group,
+	}
+	s.recv[cq] = &recvState{
+		key:       k,
+		aead:      recvAEAD,
+		mac:       hmac.New(sha256.New, k),
+		hdr:       make([]byte, 0, headerSize+len(cq)),
+		sum:       make([]byte, 0, macLen),
+		group:     group,
+		loose:     loose,
+		future:    make(map[uint64]Envelope),
+		delivered: make([]Envelope, 0, 4),
+	}
 	return nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
 }
 
 // CloseChannel discards a channel's key material and counter state in both
@@ -188,14 +263,17 @@ func (s *Shielder) CloseChannel(cq string) {
 
 // HasChannel reports whether key material is installed for cq.
 func (s *Shielder) HasChannel(cq string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.send[cq]
 	return ok
 }
 
 // SetView moves the shielder to a new view (after view change). Per the
 // paper, counters restart per view; receivers reject other-view messages.
+// The exclusive table lock makes the reset atomic with respect to in-flight
+// seals and verifies: no envelope can carry the new view with a pre-reset
+// counter or vice versa.
 func (s *Shielder) SetView(v uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,14 +283,15 @@ func (s *Shielder) SetView(v uint64) {
 	}
 	for _, st := range s.recv {
 		st.rcnt = 0
-		st.future = make(map[uint64]Envelope)
+		clear(st.future)
+		st.futureBytes = 0
 	}
 }
 
 // View returns the shielder's current view.
 func (s *Shielder) View() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.view
 }
 
@@ -231,24 +310,31 @@ func (s *Shielder) SetEpoch(e uint64) {
 
 // Epoch returns the shielder's current configuration epoch.
 func (s *Shielder) Epoch() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.epoch
 }
 
 // Shield implements Algorithm 1's shield_request: it assigns the next
 // sequence tuple for the channel and MACs (and optionally encrypts) the
 // payload inside the TEE.
+//
+// The returned envelope's Payload aliases the caller's payload in
+// non-confidential mode (no copy is taken); in confidential mode it is a
+// pooled buffer the caller releases with RecyclePayload after encoding. See
+// the buffer ownership contract in the package documentation.
 func (s *Shielder) Shield(cq string, kind uint16, payload []byte) (Envelope, error) {
 	if s.enclave.Crashed() {
 		return Envelope{}, tee.ErrEnclaveCrashed
 	}
-	s.mu.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.send[cq]
 	if !ok {
-		s.mu.Unlock()
 		return Envelope{}, fmt.Errorf("%w: %s", ErrUnknownChannel, cq)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.cnt++
 	env := Envelope{
 		View:    s.view,
@@ -259,26 +345,58 @@ func (s *Shielder) Shield(cq string, kind uint16, payload []byte) (Envelope, err
 		Kind:    kind,
 		Enc:     s.confidential,
 	}
-	key, aead := st.key, st.aead
-	s.mu.Unlock()
-
+	st.hdr = env.appendHeader(st.hdr[:0])
 	s.enclave.ChargeTransition()
 	if env.Enc {
 		s.enclave.ChargeConfidential(len(payload))
-		nonce := make([]byte, aead.NonceSize())
-		if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
-			return Envelope{}, fmt.Errorf("authn: nonce: %w", err)
+		sealed, err := sealPooled(st.aead, st.hdr, payload)
+		if err != nil {
+			return Envelope{}, err
 		}
-		env.Payload = append(nonce, aead.Seal(nil, nonce, payload, env.header())...)
-		// GCM already authenticates header (AD) and payload; the MAC field
-		// carries a short tag marker so Encode/Decode stay uniform.
-		env.MAC = computeMAC(key, env.header(), env.Payload)
-		return env, nil
+		env.Payload = sealed
+	} else {
+		env.Payload = payload
 	}
-	env.Payload = make([]byte, len(payload))
-	copy(env.Payload, payload)
-	env.MAC = computeMAC(key, env.header(), env.Payload)
+	env.MAC = st.sealMAC(env.Payload)
 	return env, nil
+}
+
+// sealPooled encrypts payload under aead with a fresh random nonce into a
+// pooled buffer laid out nonce||ciphertext (the confidential wire format).
+func sealPooled(aead cipher.AEAD, header, payload []byte) ([]byte, error) {
+	ns := aead.NonceSize()
+	buf := bufpool.Get(ns + len(payload) + aead.Overhead())
+	buf = buf[:ns]
+	if _, err := io.ReadFull(rand.Reader, buf); err != nil {
+		bufpool.Put(buf)
+		return nil, fmt.Errorf("authn: nonce: %w", err)
+	}
+	// Seal appends the ciphertext after the nonce in the same buffer.
+	return aead.Seal(buf, buf[:ns], payload, header), nil
+}
+
+// sealMAC computes the envelope MAC over the header scratch and payload with
+// the channel's reusable keyed state. The tag is the seal's one allocation,
+// so envelopes stay independent of each other. Holds st.mu.
+func (st *sendState) sealMAC(payload []byte) []byte {
+	st.mac.Reset()
+	st.mac.Write(st.hdr)
+	st.mac.Write(payload)
+	return st.mac.Sum(make([]byte, 0, macLen))
+}
+
+// RecyclePayload returns a sender-side envelope's pooled payload buffer
+// (confidential ciphertexts and batch bodies) to the shared pool and clears
+// the field. It must be called only on envelopes produced by Shield or
+// ShieldBatch, only after the envelope has been encoded, and at most once.
+// For non-confidential single-message envelopes (whose payload aliases the
+// caller's own buffer) it is a no-op.
+func RecyclePayload(env *Envelope) {
+	if env.Payload == nil || (!env.Enc && !env.Batch) {
+		return
+	}
+	bufpool.Put(env.Payload)
+	env.Payload = nil
 }
 
 // ShieldBatch shields N messages for channel cq under a single sealed
@@ -286,6 +404,13 @@ func (s *Shielder) Shield(cq string, kind uint16, payload []byte) (Envelope, err
 // MAC, one enclave transition, and (in confidential mode) one AEAD seal —
 // the amortization that makes the shielded hot path batch-friendly. A
 // one-item batch degrades to a plain Shield.
+//
+// The batch body is built in a pooled buffer; the caller releases it with
+// RecyclePayload after encoding the envelope. Item payloads are copied into
+// the body, so the caller may reuse them as soon as ShieldBatch returns —
+// except for a one-item batch, which degrades to Shield and follows Shield's
+// aliasing contract (the envelope's payload references the item's buffer
+// until encoded).
 func (s *Shielder) ShieldBatch(cq string, items []BatchItem) (Envelope, error) {
 	if len(items) == 0 {
 		return Envelope{}, errors.New("authn: empty batch")
@@ -296,12 +421,14 @@ func (s *Shielder) ShieldBatch(cq string, items []BatchItem) (Envelope, error) {
 	if s.enclave.Crashed() {
 		return Envelope{}, tee.ErrEnclaveCrashed
 	}
-	s.mu.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.send[cq]
 	if !ok {
-		s.mu.Unlock()
 		return Envelope{}, fmt.Errorf("%w: %s", ErrUnknownChannel, cq)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	first := st.cnt + 1
 	st.cnt += uint64(len(items))
 	env := Envelope{
@@ -313,42 +440,51 @@ func (s *Shielder) ShieldBatch(cq string, items []BatchItem) (Envelope, error) {
 		Batch:   true,
 		Enc:     s.confidential,
 	}
-	key, aead := st.key, st.aead
-	s.mu.Unlock()
-
-	body := encodeBatchBody(items)
+	st.hdr = env.appendHeader(st.hdr[:0])
+	body := getBatchBody(items)
 	s.enclave.ChargeTransition()
 	if env.Enc {
 		s.enclave.ChargeConfidential(len(body))
-		nonce := make([]byte, aead.NonceSize())
-		if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
-			return Envelope{}, fmt.Errorf("authn: nonce: %w", err)
+		sealed, err := sealPooled(st.aead, st.hdr, body)
+		bufpool.Put(body)
+		if err != nil {
+			return Envelope{}, err
 		}
-		env.Payload = append(nonce, aead.Seal(nil, nonce, body, env.header())...)
-		env.MAC = computeMAC(key, env.header(), env.Payload)
-		return env, nil
+		env.Payload = sealed
+	} else {
+		env.Payload = body
 	}
-	env.Payload = body
-	env.MAC = computeMAC(key, env.header(), env.Payload)
+	env.MAC = st.sealMAC(env.Payload)
 	return env, nil
 }
 
 // Verify implements Algorithm 1's verify_request. On Delivered it returns the
 // plaintext payloads of the message and of any consecutive buffered future
 // messages that the arrival unblocked, in sequence order.
+//
+// The returned slice is the channel's reusable delivery buffer: it (and the
+// envelopes in it) stay valid only until the next Verify or TickFutures on
+// the same channel. Callers consume it synchronously or copy what they keep.
 func (s *Shielder) Verify(env Envelope) (Status, []Envelope, error) {
 	if s.enclave.Crashed() {
 		return 0, nil, tee.ErrEnclaveCrashed
 	}
 	s.enclave.ChargeTransition()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.recv[env.Channel]
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: %s", ErrUnknownChannel, env.Channel)
 	}
-	if !hmac.Equal(env.MAC, computeMAC(st.key, env.header(), env.Payload)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.hdr = env.appendHeader(st.hdr[:0])
+	st.mac.Reset()
+	st.mac.Write(st.hdr)
+	st.mac.Write(env.Payload)
+	st.sum = st.mac.Sum(st.sum[:0])
+	if !hmac.Equal(env.MAC, st.sum) {
 		return 0, nil, ErrBadMAC
 	}
 	if env.Group != st.group {
@@ -382,45 +518,51 @@ func (s *Shielder) Verify(env Envelope) (Status, []Envelope, error) {
 		st.rcnt = env.Seq
 		env.Payload = plain
 		env.Enc = false
-		return Delivered, []Envelope{env}, nil
+		st.delivered = append(st.delivered[:0], env)
+		return Delivered, st.delivered, nil
 	}
 	if env.Seq > st.rcnt+1 {
-		if _, dup := st.future[env.Seq]; !dup && len(st.future) >= maxFutureBuffer {
-			return 0, nil, ErrFutureOverflow
+		if _, dup := st.future[env.Seq]; !dup {
+			if len(st.future) >= maxFutureBuffer || st.futureBytes+len(env.Payload) > maxFutureBytes {
+				s.overflowDrops.Add(1)
+				return 0, nil, ErrFutureOverflow
+			}
+			st.futureBytes += len(env.Payload)
+			st.future[env.Seq] = env
 		}
-		st.future[env.Seq] = env
 		return Buffered, nil, nil
 	}
 
 	// env.Seq == rcnt+1: deliver it and drain consecutive futures.
-	delivered := make([]Envelope, 0, 1+len(st.future))
 	plain, err := s.openPayload(st, env)
 	if err != nil {
 		return 0, nil, err
 	}
 	env.Payload = plain
 	env.Enc = false
-	delivered = append(delivered, env)
+	st.delivered = append(st.delivered[:0], env)
 	st.rcnt++
-	delivered = s.drainFutures(st, delivered)
-	return Delivered, delivered, nil
+	st.delivered = s.drainFutures(st, st.delivered)
+	return Delivered, st.delivered, nil
 }
 
 // verifyBatch processes an authenticated batch envelope: one MAC check and
 // one decryption already happened (or happen here), then each contained
-// message runs through the ordinary counter logic. Holds s.mu.
+// message runs through the ordinary counter logic. Holds s.mu (shared) and
+// st.mu.
 func (s *Shielder) verifyBatch(st *recvState, env Envelope) (Status, []Envelope, error) {
 	body, err := s.openPayload(st, env)
 	if err != nil {
 		return 0, nil, err
 	}
-	items, err := decodeBatchBody(body)
+	items, err := decodeBatchBody(st.items[:0], body)
 	if err != nil {
 		// The MAC was valid, so a malformed body means a broken (not
 		// tampering) sender; reject it like any undecodable message.
 		return 0, nil, fmt.Errorf("%w: %v", ErrBadMAC, err)
 	}
-	var delivered []Envelope
+	st.items = items[:0] // retain the (possibly grown) scratch capacity
+	delivered := st.delivered[:0]
 	buffered, overflow := false, false
 	for i := range items {
 		seq := env.Seq + uint64(i)
@@ -434,19 +576,23 @@ func (s *Shielder) verifyBatch(st *recvState, env Envelope) (Status, []Envelope,
 			st.rcnt = seq
 			delivered = append(delivered, m)
 		default:
-			if _, dup := st.future[seq]; !dup && len(st.future) >= maxFutureBuffer {
-				// Unlike the single-envelope path, part of the batch may
-				// already have delivered or buffered, so the overflow cannot
-				// always surface as an error; it is counted instead.
-				s.overflowDrops++
-				overflow = true
-				continue
+			if _, dup := st.future[seq]; !dup {
+				if len(st.future) >= maxFutureBuffer || st.futureBytes+len(m.Payload) > maxFutureBytes {
+					// Unlike the single-envelope path, part of the batch may
+					// already have delivered or buffered, so the overflow
+					// cannot always surface as an error; it is counted.
+					s.overflowDrops.Add(1)
+					overflow = true
+					continue
+				}
+				st.futureBytes += len(m.Payload)
+				st.future[seq] = m
 			}
-			st.future[seq] = m
 			buffered = true
 		}
 	}
 	delivered = s.drainFutures(st, delivered)
+	st.delivered = delivered
 	switch {
 	case len(delivered) > 0:
 		return Delivered, delivered, nil
@@ -461,7 +607,7 @@ func (s *Shielder) verifyBatch(st *recvState, env Envelope) (Status, []Envelope,
 }
 
 // drainFutures appends the consecutive run of buffered future messages
-// starting at rcnt+1 to delivered, advancing rcnt. Holds s.mu.
+// starting at rcnt+1 to delivered, advancing rcnt. Holds st.mu.
 func (s *Shielder) drainFutures(st *recvState, delivered []Envelope) []Envelope {
 	for {
 		next, ok := st.future[st.rcnt+1]
@@ -469,6 +615,7 @@ func (s *Shielder) drainFutures(st *recvState, delivered []Envelope) []Envelope 
 			return delivered
 		}
 		delete(st.future, st.rcnt+1)
+		st.futureBytes -= len(next.Payload)
 		st.rcnt++
 		plain, err := s.openPayload(st, next)
 		if err != nil {
@@ -480,7 +627,7 @@ func (s *Shielder) drainFutures(st *recvState, delivered []Envelope) []Envelope 
 	}
 }
 
-// openPayload decrypts the payload in confidential mode. Must hold s.mu.
+// openPayload decrypts the payload in confidential mode. Must hold st.mu.
 func (s *Shielder) openPayload(st *recvState, env Envelope) ([]byte, error) {
 	if !env.Enc {
 		return env.Payload, nil
@@ -493,7 +640,8 @@ func (s *Shielder) openPayload(st *recvState, env Envelope) ([]byte, error) {
 	if len(env.Payload) < ns {
 		return nil, ErrBadMAC
 	}
-	plain, err := st.aead.Open(nil, env.Payload[:ns], env.Payload[ns:], env.header())
+	st.hdr = env.appendHeader(st.hdr[:0])
+	plain, err := st.aead.Open(nil, env.Payload[:ns], env.Payload[ns:], st.hdr)
 	if err != nil {
 		return nil, ErrBadMAC
 	}
@@ -507,20 +655,26 @@ func (s *Shielder) openPayload(st *recvState, env Envelope) ([]byte, error) {
 // "periodically applies the queued requests eligible for execution" —
 // without it, a single packet lost on the unreliable network would strand a
 // channel forever. Replay protection is unaffected: rcnt only moves forward.
+//
+// The returned slice is freshly allocated (it spans channels), but the
+// envelopes' payloads may alias received packet buffers like any delivery.
 func (s *Shielder) TickFutures(threshold int) []Envelope {
 	if s.enclave.Crashed() {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Envelope
 	for _, st := range s.recv {
+		st.mu.Lock()
 		if len(st.future) == 0 {
 			st.age = 0
+			st.mu.Unlock()
 			continue
 		}
 		st.age++
 		if st.age < threshold {
+			st.mu.Unlock()
 			continue
 		}
 		st.age = 0
@@ -532,45 +686,56 @@ func (s *Shielder) TickFutures(threshold int) []Envelope {
 		}
 		st.rcnt = lowest - 1
 		out = s.drainFutures(st, out)
+		st.mu.Unlock()
 	}
 	return out
 }
 
 // OverflowDrops returns how many authenticated messages have been discarded
-// because a channel's future buffer was full (observability for metrics; the
-// batch verify path cannot always surface overflow as an error).
+// because a channel's future buffer hit its count or byte bound
+// (observability for metrics; the batch verify path cannot always surface
+// overflow as an error).
 func (s *Shielder) OverflowDrops() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.overflowDrops
+	return s.overflowDrops.Load()
 }
 
 // PendingFuture returns how many out-of-order messages are buffered for cq
 // (observability for tests and metrics).
 func (s *Shielder) PendingFuture(cq string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.recv[cq]
 	if !ok {
 		return 0
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return len(st.future)
+}
+
+// PendingFutureBytes returns how many payload bytes are parked in cq's
+// future buffer (observability for the byte budget).
+func (s *Shielder) PendingFutureBytes(cq string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.recv[cq]
+	if !ok {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.futureBytes
 }
 
 // LastDelivered returns rcnt for the channel.
 func (s *Shielder) LastDelivered(cq string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, ok := s.recv[cq]
 	if !ok {
 		return 0
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.rcnt
-}
-
-func computeMAC(key, header, payload []byte) []byte {
-	mac := hmac.New(sha256.New, key)
-	mac.Write(header)
-	mac.Write(payload)
-	return mac.Sum(nil)
 }

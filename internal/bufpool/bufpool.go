@@ -1,0 +1,86 @@
+// Package bufpool provides a size-classed []byte pool shared by the hot-path
+// layers: authn sealed-payload and batch-body buffers, the node's wire-encode
+// scratch, and transport frame staging. Pooling these buffers is what keeps
+// the steady-state shielded data plane off the garbage collector — every
+// message otherwise allocates an encode buffer, a sealed payload, and a frame.
+//
+// Get returns a zero-length slice with at least the requested capacity; Put
+// returns a buffer's backing array to the pool. The usual sync.Pool contract
+// applies: a buffer must be Put at most once, and never used after Put.
+// Buffers above the largest size class are allocated and collected normally,
+// so pathological sizes cannot pin memory.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minShift is the smallest pooled class, 1<<6 = 64 bytes.
+	minShift = 6
+	// maxShift is the largest pooled class, 1<<20 = 1 MiB (the transport's
+	// coalesced-packet cap).
+	maxShift = 20
+)
+
+// pools[i] holds buffers with capacity exactly 1<<(minShift+i). Entries are
+// *[]byte so that Put does not box a slice header per call; the boxes
+// themselves are recycled through boxes.
+var pools [maxShift - minShift + 1]sync.Pool
+
+// boxes recycles the *[]byte headers used to move buffers through pools
+// without per-call interface allocations.
+var boxes = sync.Pool{New: func() any { return new([]byte) }}
+
+// classFor returns the pool index whose buffers have capacity >= n, or -1 if
+// n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minShift {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c > maxShift {
+		return -1
+	}
+	return c - minShift
+}
+
+// Get returns a zero-length slice with capacity at least n. The buffer comes
+// from the pool when a suitable class is warm; otherwise it is freshly
+// allocated. Callers that may outgrow n can simply append — Put accepts the
+// regrown buffer and files it under its actual capacity.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if v := pools[c].Get(); v != nil {
+		p := v.(*[]byte)
+		b := *p
+		*p = nil
+		boxes.Put(p)
+		return b[:0]
+	}
+	return make([]byte, 0, 1<<(minShift+c))
+}
+
+// Put returns b's backing array to the pool. Buffers smaller than the
+// smallest class or larger than the largest are dropped for the garbage
+// collector. The caller must not use b (or any alias of its backing array)
+// after Put.
+func Put(b []byte) {
+	cp := cap(b)
+	if cp < 1<<minShift {
+		return
+	}
+	if cp > 1<<maxShift {
+		return // oversize: let the GC take it rather than pin megabytes
+	}
+	// File under the largest class the capacity fully covers, so a Get of
+	// that class size never receives a too-small buffer.
+	c := bits.Len(uint(cp)) - 1 // floor(log2 cap)
+	p := boxes.Get().(*[]byte)
+	*p = b[:0]
+	pools[c-minShift].Put(p)
+}

@@ -1,0 +1,62 @@
+package bufpool
+
+import "testing"
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 300, 4096, 1 << 20, 1<<20 + 1} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Errorf("Get(%d) len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("Get(%d) cap = %d, want >= %d", n, cap(b), n)
+		}
+		Put(b)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	b := Get(300)
+	b = append(b, make([]byte, 300)...)
+	Put(b)
+	// The returned buffer must come back for a request its capacity covers.
+	c := Get(300)
+	if cap(c) < 300 {
+		t.Fatalf("recycled cap = %d, want >= 300", cap(c))
+	}
+}
+
+func TestPutNeverServesTooSmall(t *testing.T) {
+	// A 300-cap buffer files under class 256, so a Get(512) must not get it.
+	Put(make([]byte, 0, 300))
+	if b := Get(512); cap(b) < 512 {
+		t.Fatalf("Get(512) got cap %d", cap(b))
+	}
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	// Warm one buffer, then Get/Put cycles must not allocate.
+	Put(Get(256))
+	n := testing.AllocsPerRun(1000, func() {
+		b := Get(256)
+		Put(b)
+	})
+	if n != 0 {
+		t.Fatalf("Get/Put cycle allocates %v per run, want 0", n)
+	}
+}
+
+func TestOversizeNotPooled(t *testing.T) {
+	b := Get(2 << 20)
+	if cap(b) < 2<<20 {
+		t.Fatalf("oversize Get cap = %d", cap(b))
+	}
+	Put(b) // must not panic; dropped for GC
+
+	// A buffer barely over the largest class must be dropped too, not filed
+	// under the 1 MiB class where it would pin memory past the class cap.
+	Put(make([]byte, 0, 1<<20+512))
+	if c := Get(1 << 20); cap(c) != 1<<20 {
+		t.Errorf("Get(1MiB) returned cap %d; over-class buffer was pooled", cap(c))
+	}
+}

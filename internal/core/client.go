@@ -10,6 +10,7 @@ import (
 
 	"recipe/internal/attest"
 	"recipe/internal/authn"
+	"recipe/internal/bufpool"
 	"recipe/internal/netstack"
 	"recipe/internal/reconfig"
 	"recipe/internal/tee"
@@ -377,20 +378,29 @@ func (c *Client) installSigned(signedEnc []byte) bool {
 }
 
 // send shields (if configured) and transmits one request to a node of the
-// given group.
+// given group. Encode buffers are pooled: the transport's Send copies, so
+// they are recycled on return.
 func (c *Client) send(node string, group int, w *Wire) error {
 	w.From = c.cfg.ID
 	w.Group = uint32(group)
 	w.Epoch = c.epoch
-	payload := w.Encode()
+	payload := w.AppendTo(bufpool.Get(w.EncodedSize()))
 	if !c.cfg.Shielded {
-		return c.tr.Send(node, payload)
+		err := c.tr.Send(node, payload)
+		bufpool.Put(payload)
+		return err
 	}
 	env, err := c.shielder.Shield(clientChannel(c.cfg.ID, node), w.Kind, payload)
 	if err != nil {
+		bufpool.Put(payload)
 		return err
 	}
-	return c.tr.Send(node, env.Encode())
+	out := env.AppendTo(bufpool.Get(env.EncodedSize()))
+	err = c.tr.Send(node, out)
+	bufpool.Put(out)
+	authn.RecyclePayload(&env)
+	bufpool.Put(payload)
+	return err
 }
 
 // await waits for the response to request seq from the given group,
@@ -446,8 +456,8 @@ func (c *Client) decode(pkt netstack.Packet) *Wire {
 		}
 		return w
 	}
-	env, err := authn.DecodeEnvelope(pkt.Data)
-	if err != nil {
+	var env authn.Envelope
+	if err := authn.DecodeEnvelopeInto(&env, pkt.Data); err != nil {
 		// Epoch notices travel outside the shielded channels (a stale
 		// client may not even know the sender's incarnation): accept the
 		// bare wire form for exactly that kind — its payload is a CAS-signed

@@ -36,6 +36,20 @@
 // Setting NodeConfig.MaxBatch to 1 restores the per-message baseline:
 // every message is shielded and transmitted individually.
 //
+// # Hot-path memory discipline
+//
+// Batching amortizes the authentication boundary; pooling keeps what
+// remains off the garbage collector. The node's send and flush loops encode
+// wire messages with Wire.AppendTo into buffers from the shared pool
+// (internal/bufpool) and recycle them as soon as their bytes have moved on:
+// on copying sends (Transport.Send) immediately, on the coalescing path
+// after ShieldBatch has sealed the flush. Inbound frames decode with the
+// zero-copy authn.DecodeEnvelopeInto — the packet buffer itself backs the
+// envelope through verification and delivery. Only buffers whose ownership
+// genuinely leaves the node (packets handed to BatchSender.QueueSend, whose
+// bytes the in-process fabric delivers by reference) are freshly allocated.
+// The authn package documents the underlying buffer-ownership contract.
+//
 // # Sharding
 //
 // Nothing in the transformation requires one replication group per

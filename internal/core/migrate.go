@@ -7,6 +7,7 @@ import (
 
 	"recipe/internal/attest"
 	"recipe/internal/authn"
+	"recipe/internal/bufpool"
 	"recipe/internal/kvstore"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
@@ -162,17 +163,26 @@ func (m *Migrator) PullSlots(node string, group uint32, mask uint64, timeout tim
 	}
 }
 
-// send shields (if configured) and transmits one request.
+// send shields (if configured) and transmits one request. Encode buffers are
+// pooled: the transport's Send copies, so they are recycled on return.
 func (m *Migrator) send(node, cq string, w *Wire) error {
-	payload := w.Encode()
+	payload := w.AppendTo(bufpool.Get(w.EncodedSize()))
 	if !m.cfg.Shielded {
-		return m.tr.Send(node, payload)
+		err := m.tr.Send(node, payload)
+		bufpool.Put(payload)
+		return err
 	}
 	env, err := m.shielder.Shield(cq, w.Kind, payload)
 	if err != nil {
+		bufpool.Put(payload)
 		return err
 	}
-	return m.tr.Send(node, env.Encode())
+	out := env.AppendTo(bufpool.Get(env.EncodedSize()))
+	err = m.tr.Send(node, out)
+	bufpool.Put(out)
+	authn.RecyclePayload(&env)
+	bufpool.Put(payload)
+	return err
 }
 
 // awaitPage waits for the state page answering transfer `token`.
@@ -217,8 +227,8 @@ func (m *Migrator) decode(pkt netstack.Packet) []*Wire {
 			}
 			continue
 		}
-		env, err := authn.DecodeEnvelope(f)
-		if err != nil {
+		var env authn.Envelope
+		if err := authn.DecodeEnvelopeInto(&env, f); err != nil {
 			continue
 		}
 		_, delivered, err := m.shielder.Verify(env)

@@ -10,6 +10,7 @@ import (
 
 	"recipe/internal/attest"
 	"recipe/internal/authn"
+	"recipe/internal/bufpool"
 	"recipe/internal/kvstore"
 	"recipe/internal/netstack"
 	"recipe/internal/reconfig"
@@ -102,11 +103,17 @@ type Node struct {
 	lastNotice map[string]time.Time
 
 	// Outbound coalescing: messages to a peer produced within one event-loop
-	// iteration accumulate here and flush together as batched envelopes.
-	bt         netstack.BatchSender // transport's send queue, if it has one
-	outMu      sync.Mutex
-	outPending map[string][]authn.BatchItem
-	outOrder   []string // peers in first-queued order
+	// iteration accumulate here and flush together as batched envelopes. The
+	// item payloads are pooled wire-encode buffers (recycled after the flush
+	// copies them into sealed envelopes); the per-peer item slices and order
+	// slices are recycled through small freelists so a steady-state flush
+	// allocates only the packet handed to the transport.
+	bt           netstack.BatchSender // transport's send queue, if it has one
+	outMu        sync.Mutex
+	outPending   map[string][]authn.BatchItem
+	outOrder     []string // peers in first-queued order
+	outFreeItems [][]authn.BatchItem
+	outFreeOrder [][]string
 
 	// status is the protocol status as of the last event-loop iteration.
 	// Protocols are single-threaded, so external readers (routing, tests,
@@ -454,8 +461,11 @@ func (n *Node) handleFrame(from string, data []byte) {
 		return
 	}
 
-	env, err := authn.DecodeEnvelope(data)
-	if err != nil {
+	// Zero-copy decode: the envelope aliases the packet buffer, which stays
+	// alive for as long as the authn layer retains the envelope (buffered
+	// futures included), so no per-frame payload copy is needed.
+	var env authn.Envelope
+	if err := authn.DecodeEnvelopeInto(&env, data); err != nil {
 		n.stats.DropMalformed.Add(1)
 		return
 	}
@@ -471,6 +481,9 @@ func (n *Node) handleFrame(from string, data []byte) {
 			n.stats.DropView.Add(1)
 		case errors.Is(err, authn.ErrWrongGroup):
 			n.stats.DropGroup.Add(1)
+		case errors.Is(err, authn.ErrFutureOverflow):
+			// Counted by the shielder (OverflowDrops); the message was
+			// authentic, so it is not a malformed-packet event.
 		case errors.Is(err, authn.ErrStaleEpoch):
 			n.stats.DropEpoch.Add(1)
 			// A stale client is a lagging router, not an attacker (the
@@ -699,38 +712,65 @@ func (n *Node) maxBatch() int {
 
 // sendWire shields (or plainly encodes) and transmits a message to a peer.
 // In batched mode the message is queued and rides the next flush — end of
-// the current event-loop iteration — in a shared envelope and packet.
+// the current event-loop iteration — in a shared envelope and packet. The
+// encode buffers come from the shared pool: on paths where the transport
+// copies (Send) they are recycled immediately; on the coalescing path they
+// are recycled by the flush once their bytes are sealed into an envelope.
 func (n *Node) sendWire(to string, w *Wire) {
 	w.From = n.id
 	w.Group = n.group
 	w.Epoch = n.epoch.Load()
-	payload := w.Encode()
 	if !n.cfg.Shielded {
-		n.qsend(to, payload)
+		if n.qsendCopies() {
+			payload := w.AppendTo(bufpool.Get(w.EncodedSize()))
+			_ = n.tr.Send(to, payload) // Send copies; the buffer is ours again
+			bufpool.Put(payload)
+			return
+		}
+		n.qsend(to, w.Encode()) // QueueSend takes ownership: fresh buffer
 		return
 	}
+	payload := w.AppendTo(bufpool.Get(w.EncodedSize()))
 	if n.maxBatch() == 1 {
 		// Per-message baseline: one envelope, one MAC, one packet per send.
 		env, err := n.shielder.Shield(n.sendChannel(to), w.Kind, payload)
 		if err != nil {
+			bufpool.Put(payload)
 			n.cfg.Logf("node %s: shield to %s: %v", n.id, to, err)
 			return
 		}
-		n.qsend(to, env.Encode())
+		out := env.AppendTo(bufpool.Get(env.EncodedSize()))
+		_ = n.tr.Send(to, out) // Send copies; both buffers are ours again
+		bufpool.Put(out)
+		authn.RecyclePayload(&env)
+		bufpool.Put(payload)
 		return
 	}
 	n.outMu.Lock()
-	if _, ok := n.outPending[to]; !ok {
+	q, ok := n.outPending[to]
+	if !ok {
 		n.outOrder = append(n.outOrder, to)
+		if k := len(n.outFreeItems); k > 0 {
+			q = n.outFreeItems[k-1]
+			n.outFreeItems = n.outFreeItems[:k-1]
+		}
 	}
-	n.outPending[to] = append(n.outPending[to], authn.BatchItem{Kind: w.Kind, Payload: payload})
+	n.outPending[to] = append(q, authn.BatchItem{Kind: w.Kind, Payload: payload})
 	n.outMu.Unlock()
+}
+
+// qsendCopies reports whether qsend routes through the copying Send — in
+// which case a buffer handed to it stays owned by the caller (poolable) —
+// rather than QueueSend, which takes ownership. The buffer-ownership
+// decisions in the send paths key off this one predicate.
+func (n *Node) qsendCopies() bool {
+	return n.bt == nil || n.maxBatch() == 1
 }
 
 // qsend hands one encoded payload to the transport, through its per-peer
 // send queue when coalescing is on, directly otherwise.
 func (n *Node) qsend(to string, data []byte) {
-	if n.bt == nil || n.maxBatch() == 1 {
+	if n.qsendCopies() {
 		_ = n.tr.Send(to, data)
 		return
 	}
@@ -744,53 +784,99 @@ func (n *Node) qsend(to string, data []byte) {
 // transition) — and flushes the transport's packet queue. Safe from any
 // goroutine; external senders (recovery, join announcements) call it
 // directly after queueing.
+//
+// Buffer discipline: each peer's queue is taken out of the table per peer
+// (so concurrent senders keep queueing), the sealed envelope is encoded into
+// a fresh buffer whose ownership passes to the transport via QueueSend, and
+// everything else — the item payloads, the envelope's batch body, the item
+// and order slices — returns to its pool or freelist.
 func (n *Node) flushOutbound() {
 	n.outMu.Lock()
 	if len(n.outOrder) == 0 {
-		// Idle iteration: nothing queued, skip the map swap.
+		// Idle iteration: nothing queued.
 		n.outMu.Unlock()
 		n.flushTransport()
 		return
 	}
-	order, pending := n.outOrder, n.outPending
-	n.outOrder, n.outPending = nil, make(map[string][]authn.BatchItem)
+	order := n.outOrder
+	n.outOrder = nil
+	if k := len(n.outFreeOrder); k > 0 {
+		n.outOrder = n.outFreeOrder[k-1]
+		n.outFreeOrder = n.outFreeOrder[:k-1]
+	}
 	n.outMu.Unlock()
 	for _, to := range order {
-		items := pending[to]
+		n.outMu.Lock()
+		items := n.outPending[to]
+		delete(n.outPending, to)
+		n.outMu.Unlock()
+		if len(items) == 0 {
+			continue
+		}
 		cq := n.sendChannel(to)
-		for len(items) > 0 {
-			chunk := items
+		rest := items
+		for len(rest) > 0 {
+			chunk := rest
 			if mb := n.maxBatch(); len(chunk) > mb {
 				chunk = chunk[:mb]
 			}
-			items = items[len(chunk):]
+			rest = rest[len(chunk):]
 			env, err := n.shielder.ShieldBatch(cq, chunk)
 			if err != nil {
 				n.cfg.Logf("node %s: shield batch to %s: %v", n.id, to, err)
 				break
 			}
-			n.qsend(to, env.Encode())
+			n.qsend(to, env.AppendTo(make([]byte, 0, env.EncodedSize())))
+			// The envelope is encoded: recycle its pooled batch body (or
+			// sealed ciphertext), then the wire-encode buffers it was built
+			// from. A one-item chunk degrades to a plain Shield whose payload
+			// aliases the item's buffer; RecyclePayload is a no-op there and
+			// the item loop below frees the shared buffer exactly once.
+			authn.RecyclePayload(&env)
+			for i := range chunk {
+				bufpool.Put(chunk[i].Payload)
+			}
 		}
+		n.outMu.Lock()
+		for i := range items {
+			items[i] = authn.BatchItem{} // drop payload refs before reuse
+		}
+		if len(n.outFreeItems) < maxOutFreelist {
+			n.outFreeItems = append(n.outFreeItems, items[:0])
+		}
+		n.outMu.Unlock()
 	}
+	n.outMu.Lock()
+	if len(n.outFreeOrder) < maxOutFreelist {
+		n.outFreeOrder = append(n.outFreeOrder, order[:0])
+	}
+	n.outMu.Unlock()
 	n.flushTransport()
 }
+
+// maxOutFreelist bounds the coalescing freelists (entries, not bytes); peers
+// are few, so the bound exists only to cap pathological churn.
+const maxOutFreelist = 64
 
 // flushTransport flushes the transport's per-peer packet queue, which may
 // hold raw (native-mode) sends queued directly via qsend.
 func (n *Node) flushTransport() {
-	if n.bt != nil && n.maxBatch() != 1 {
+	if !n.qsendCopies() {
 		_ = n.bt.Flush()
 	}
 }
 
-// sendToClient shields a reply onto the client's directional channel.
+// sendToClient shields a reply onto the client's directional channel. Client
+// replies always go out per message (no coalescing), so the encode buffers
+// are pooled and recycled as soon as the transport's copying Send returns.
 func (n *Node) sendToClient(cmd Command, w *Wire) {
 	w.From = n.id
 	w.Group = n.group
 	w.Epoch = n.epoch.Load()
-	payload := w.Encode()
+	payload := w.AppendTo(bufpool.Get(w.EncodedSize()))
 	if !n.cfg.Shielded {
 		_ = n.tr.Send(cmd.ClientAddr, payload)
+		bufpool.Put(payload)
 		return
 	}
 	cq := n.replyChannel(cmd.ClientID)
@@ -799,10 +885,15 @@ func (n *Node) sendToClient(cmd Command, w *Wire) {
 	}
 	env, err := n.shielder.Shield(cq, w.Kind, payload)
 	if err != nil {
+		bufpool.Put(payload)
 		n.cfg.Logf("node %s: shield client reply: %v", n.id, err)
 		return
 	}
-	_ = n.tr.Send(cmd.ClientAddr, env.Encode())
+	out := env.AppendTo(bufpool.Get(env.EncodedSize()))
+	_ = n.tr.Send(cmd.ClientAddr, out)
+	bufpool.Put(out)
+	authn.RecyclePayload(&env)
+	bufpool.Put(payload)
 }
 
 func (n *Node) sendClientResp(cmd Command, r Result) {

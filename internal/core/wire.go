@@ -119,8 +119,38 @@ const (
 	flagRes
 )
 
-// Encode serialises the message.
+// EncodedSize returns the exact encoded length of the message, so callers
+// can size a reused or pooled buffer before AppendTo.
+func (w *Wire) EncodedSize() int {
+	// kind + flags + group + epoch + 5 fixed uint64 + the length prefixes of
+	// From, Key, Value, and the Cmds count.
+	size := 2 + 1 + 4 + 8 + 5*8 + 4*4 + len(w.From) + len(w.Key) + len(w.Value)
+	if w.Cmd != nil {
+		size += encodedCommandSize(w.Cmd)
+	}
+	for i := range w.Cmds {
+		size += encodedCommandSize(&w.Cmds[i])
+	}
+	if w.Res != nil {
+		size += 1 + 4 + len(w.Res.Err) + 4 + len(w.Res.Value) + 16
+	}
+	return size
+}
+
+func encodedCommandSize(c *Command) int {
+	return minEncodedCommand + len(c.Key) + len(c.Value) + len(c.ClientID) + len(c.ClientAddr)
+}
+
+// Encode serialises the message into a fresh buffer.
 func (w *Wire) Encode() []byte {
+	return w.AppendTo(make([]byte, 0, w.EncodedSize()))
+}
+
+// AppendTo serialises the message, appending to buf and returning the
+// extended slice. It is the allocation-free encoder of the node's send and
+// flush loops: with a reused or pooled buffer of sufficient capacity it
+// performs no heap allocation.
+func (w *Wire) AppendTo(buf []byte) []byte {
 	var flags byte
 	if w.OK {
 		flags |= flagOK
@@ -131,7 +161,6 @@ func (w *Wire) Encode() []byte {
 	if w.Res != nil {
 		flags |= flagRes
 	}
-	buf := make([]byte, 0, 64+len(w.Key)+len(w.Value))
 	buf = binary.BigEndian.AppendUint16(buf, w.Kind)
 	buf = append(buf, flags)
 	buf = binary.BigEndian.AppendUint32(buf, w.Group)

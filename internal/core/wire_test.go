@@ -63,6 +63,31 @@ func TestWireCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireEncodedSizeExact pins AppendTo's buffer sizing for the pooled
+// encode path: EncodedSize must be the exact encoded length for every field
+// combination, or pooled buffers would regrow on append.
+func TestWireEncodedSizeExact(t *testing.T) {
+	msgs := []*Wire{
+		{},
+		{Kind: 7, Group: 2, Epoch: 5, From: "n1", Term: 3, Index: 42, Commit: 40,
+			TS: kvstore.Version{TS: 9, Writer: 2}, OK: true,
+			Key: "k", Value: []byte("v"),
+			Cmd: &Command{Op: OpPut, Key: "k", Value: []byte("v"), ClientID: "c", ClientAddr: "addr", Seq: 5},
+			Cmds: []Command{
+				{Op: OpGet, Key: "a", ClientID: "c1", Seq: 1},
+				{Op: OpPut, Key: "b", Value: []byte("bb"), Seq: 2},
+			},
+			Res: &Result{OK: true, Err: "nope", Value: []byte("rv"), Version: kvstore.Version{TS: 1}}},
+		{Kind: 1, Cmd: &Command{}},
+		{Kind: 2, Res: &Result{}},
+	}
+	for i, w := range msgs {
+		if got, want := len(w.Encode()), w.EncodedSize(); got != want {
+			t.Errorf("msg %d: EncodedSize = %d, encoded length = %d", i, want, got)
+		}
+	}
+}
+
 func TestWireCodecEmptyMessage(t *testing.T) {
 	w := &Wire{Kind: 1}
 	got, err := DecodeWire(w.Encode())

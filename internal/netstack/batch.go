@@ -3,6 +3,9 @@ package netstack
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"recipe/internal/bufpool"
 )
 
 // Per-peer send coalescing. A node event-loop iteration typically produces
@@ -16,6 +19,14 @@ import (
 // envelope starts with a big-endian view number (high word zero in any
 // realistic execution) and a raw wire message starts with a small message
 // kind, so neither begins with these four bytes.
+//
+// Buffer discipline: QueueSend transfers buffer ownership to the transport,
+// so once a frame's bytes have been copied into a multiframe packet nothing
+// references it and the flush returns it to the shared pool — the sender can
+// allocate its next frames from the same pool. Frames sent bare stay alive
+// when the transport hands them onward by reference (the in-process fabric
+// delivers the buffer itself); the TCP transport copies into its own framing
+// on write, so its flush recycles everything.
 
 // BatchSender is the optional transport extension for per-peer send queues.
 type BatchSender interface {
@@ -36,13 +47,17 @@ const frameMagic uint32 = 0x52435042
 // than this are split across packets.
 const maxCoalescedBytes = 1 << 20
 
-// packFrames encodes a multiframe packet from two or more frames.
-func packFrames(frames [][]byte) []byte {
+// framesSize returns the encoded size of a multiframe packet.
+func framesSize(frames [][]byte) int {
 	size := 8
 	for _, f := range frames {
 		size += 4 + len(f)
 	}
-	buf := make([]byte, 0, size)
+	return size
+}
+
+// appendFrames encodes a multiframe packet from two or more frames into buf.
+func appendFrames(buf []byte, frames [][]byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, frameMagic)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(frames)))
 	for _, f := range frames {
@@ -50,6 +65,11 @@ func packFrames(frames [][]byte) []byte {
 		buf = append(buf, f...)
 	}
 	return buf
+}
+
+// packFrames encodes a multiframe packet from two or more frames.
+func packFrames(frames [][]byte) []byte {
+	return appendFrames(make([]byte, 0, framesSize(frames)), frames)
 }
 
 // SplitFrames detects and splits a multiframe packet. The second return is
@@ -83,55 +103,159 @@ func SplitFrames(data []byte) ([][]byte, bool, error) {
 	return frames, true, nil
 }
 
-// sendQueue accumulates per-peer frames between flushes. Callers hold their
-// own lock around access.
+// splitRuns partitions frames into consecutive runs under the size cap and
+// invokes emit(start, end) for each.
+func splitRuns(frames [][]byte, emit func(start, end int)) {
+	start, size := 0, 0
+	for i, f := range frames {
+		if size > 0 && size+len(f) > maxCoalescedBytes {
+			emit(start, i)
+			start, size = i, 0
+		}
+		size += len(f)
+	}
+	if start < len(frames) {
+		emit(start, len(frames))
+	}
+}
+
+// flushRuns coalesces one peer's frames into packets, handing each to send,
+// and recycles the buffers the transport is finished with: frames whose
+// bytes were copied into a multiframe packet always return to the pool, and
+// when sendConsumes is set (the transport's send copies the packet before
+// returning, as TCP's does) bare frames and the packed packets do too. The
+// first send error is returned after all packets are attempted (lossy
+// semantics).
+func flushRuns(frames [][]byte, sendConsumes bool, send func([]byte) error) error {
+	var firstErr error
+	emit := func(pkt []byte) {
+		if err := send(pkt); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	splitRuns(frames, func(start, end int) {
+		if end-start == 1 {
+			emit(frames[start])
+			if sendConsumes {
+				bufpool.Put(frames[start])
+			}
+			return
+		}
+		run := frames[start:end]
+		var pkt []byte
+		if sendConsumes {
+			pkt = appendFrames(bufpool.Get(framesSize(run)), run)
+		} else {
+			// The receiver retains the packed packet by reference, so it
+			// cannot come from the pool; the input frames are dead either way.
+			pkt = packFrames(run)
+		}
+		emit(pkt)
+		for _, f := range run {
+			bufpool.Put(f)
+		}
+		if sendConsumes {
+			bufpool.Put(pkt)
+		}
+	})
+	return firstErr
+}
+
+// flushQueue is the one flush sequence both transports share: take the peer
+// order, then per peer take the frames, coalesce-and-send them outside the
+// lock via flushRuns, and recycle the queue structure. mu guards q; send
+// transmits one packet to one peer; sendConsumes follows flushRuns' contract.
+func flushQueue(mu *sync.Mutex, q *sendQueue, sendConsumes bool, send func(to string, pkt []byte) error) error {
+	mu.Lock()
+	order := q.takeOrder()
+	mu.Unlock()
+	var firstErr error
+	for _, to := range order {
+		mu.Lock()
+		frames := q.takePeer(to)
+		mu.Unlock()
+		if len(frames) == 0 {
+			continue
+		}
+		dst := to
+		err := flushRuns(frames, sendConsumes, func(pkt []byte) error {
+			return send(dst, pkt)
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err // lossy semantics: keep flushing other peers
+		}
+		mu.Lock()
+		q.releaseFrames(frames)
+		mu.Unlock()
+	}
+	mu.Lock()
+	q.releaseOrder(order)
+	mu.Unlock()
+	return firstErr
+}
+
+// maxQueueFreelist bounds the sendQueue freelists (entries, not bytes).
+const maxQueueFreelist = 64
+
+// sendQueue accumulates per-peer frames between flushes, recycling its order
+// and per-peer frame slices across flushes so a steady-state flush does not
+// allocate queue structure. Callers hold their own lock around access.
 type sendQueue struct {
-	pending map[string][][]byte
-	order   []string // peers in first-queued order, for deterministic flush
+	pending    map[string][][]byte
+	order      []string // peers in first-queued order, for deterministic flush
+	freeFrames [][][]byte
+	freeOrder  [][]string
 }
 
 func (q *sendQueue) add(to string, data []byte) {
 	if q.pending == nil {
 		q.pending = make(map[string][][]byte)
 	}
-	if _, ok := q.pending[to]; !ok {
+	fs, ok := q.pending[to]
+	if !ok {
 		q.order = append(q.order, to)
+		if k := len(q.freeFrames); k > 0 {
+			fs = q.freeFrames[k-1]
+			q.freeFrames = q.freeFrames[:k-1]
+		}
 	}
-	q.pending[to] = append(q.pending[to], data)
+	q.pending[to] = append(fs, data)
 }
 
-// take removes and returns the queued frames in peer order.
-func (q *sendQueue) take() (order []string, pending map[string][][]byte) {
-	order, pending = q.order, q.pending
-	q.order, q.pending = nil, nil
-	return order, pending
+// takeOrder removes and returns the peer order for one flush; the caller
+// hands it back through releaseOrder when done.
+func (q *sendQueue) takeOrder() []string {
+	order := q.order
+	q.order = nil
+	if k := len(q.freeOrder); k > 0 {
+		q.order = q.freeOrder[k-1]
+		q.freeOrder = q.freeOrder[:k-1]
+	}
+	return order
 }
 
-// coalesce groups one peer's frames into packets: single frames go out bare,
-// runs are packed multiframe, splitting at the size cap.
-func coalesce(frames [][]byte) [][]byte {
-	if len(frames) == 1 {
-		return frames
+// takePeer removes and returns one peer's queued frames; the caller hands
+// the slice back through releaseFrames when done.
+func (q *sendQueue) takePeer(to string) [][]byte {
+	fs, ok := q.pending[to]
+	if !ok {
+		return nil
 	}
-	var packets [][]byte
-	start, size := 0, 0
-	flush := func(end int) {
-		if end == start {
-			return
-		}
-		if end-start == 1 {
-			packets = append(packets, frames[start])
-		} else {
-			packets = append(packets, packFrames(frames[start:end]))
-		}
-		start, size = end, 0
+	delete(q.pending, to)
+	return fs
+}
+
+func (q *sendQueue) releaseFrames(fs [][]byte) {
+	for i := range fs {
+		fs[i] = nil // drop buffer refs before the slice is reused
 	}
-	for i, f := range frames {
-		if size > 0 && size+len(f) > maxCoalescedBytes {
-			flush(i)
-		}
-		size += len(f)
+	if len(q.freeFrames) < maxQueueFreelist {
+		q.freeFrames = append(q.freeFrames, fs[:0])
 	}
-	flush(len(frames))
-	return packets
+}
+
+func (q *sendQueue) releaseOrder(order []string) {
+	if len(q.freeOrder) < maxQueueFreelist {
+		q.freeOrder = append(q.freeOrder, order[:0])
+	}
 }

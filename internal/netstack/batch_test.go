@@ -133,10 +133,19 @@ func TestEndpointFlushAfterCloseErrors(t *testing.T) {
 	}
 }
 
-func TestCoalesceSplitsAtSizeCap(t *testing.T) {
-	big := make([]byte, maxCoalescedBytes-10)
-	frames := [][]byte{big, big, []byte("tail")}
-	packets := coalesce(frames)
+func TestFlushRunsSplitsAtSizeCap(t *testing.T) {
+	frames := [][]byte{
+		make([]byte, maxCoalescedBytes-10),
+		make([]byte, maxCoalescedBytes-10),
+		[]byte("tail"),
+	}
+	var packets [][]byte
+	if err := flushRuns(frames, false, func(pkt []byte) error {
+		packets = append(packets, pkt)
+		return nil
+	}); err != nil {
+		t.Fatalf("flushRuns: %v", err)
+	}
 	if len(packets) < 2 {
 		t.Fatalf("oversized run coalesced into %d packet(s)", len(packets))
 	}

@@ -14,4 +14,13 @@
 //   - per-peer send queues (BatchSender) on both transports: queued sends
 //     flush as single multiframe packets, paying the stack's per-packet
 //     cost once per peer per flush instead of once per message.
+//
+// The data plane is pooled where ownership allows: flushes return frame
+// buffers they have copied onward to the shared pool (internal/bufpool) and
+// reuse their queue structure across flushes, the TCP transport stages its
+// length-prefixed frames in pooled buffers, and the Byzantine fault injector
+// forwards packets untouched — no lock, no replay-history deep copy — when
+// every fault rate is zero (the common benchmark configuration). Fault
+// injection, when configured, always corrupts copies, never the sender's
+// buffers.
 package netstack

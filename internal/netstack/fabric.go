@@ -124,11 +124,12 @@ func (f *Fabric) send(pkt Packet) error {
 	inj := f.injector
 	f.mu.RUnlock()
 
-	outs := []Packet{pkt}
-	if inj != nil {
-		outs = inj.Apply(pkt)
+	if inj == nil {
+		// Fast path: no injector, no per-packet slice.
+		f.deliver(pkt)
+		return nil
 	}
-	for _, p := range outs {
+	for _, p := range inj.Apply(pkt) {
 		f.deliver(p)
 	}
 	return nil
@@ -206,24 +207,23 @@ func (e *Endpoint) QueueSend(to string, data []byte) error {
 
 // Flush implements BatchSender: per-peer runs of queued sends ride one
 // multiframe packet, charging the stack's per-packet cost once per peer
-// instead of once per message.
+// instead of once per message. Frame buffers that were packed into a
+// multiframe packet return to the shared pool (bare frames travel to the
+// receiver by reference and stay alive); the queue's own order and frame
+// slices are reused across flushes.
 func (e *Endpoint) Flush() error {
 	e.mu.Lock()
-	order, pending := e.queue.take()
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
+	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
-	var firstErr error
-	for _, to := range order {
-		for _, pkt := range coalesce(pending[to]) {
-			if err := e.fabric.send(Packet{From: e.addr, To: to, Data: pkt}); err != nil && firstErr == nil {
-				firstErr = err // lossy semantics: keep flushing other peers
-			}
-		}
-	}
-	return firstErr
+	e.mu.Unlock()
+	// sendConsumes=false: the fabric delivers bare frames and packed packets
+	// to the receiver by reference, so only frames copied into a multiframe
+	// packet are recycled (inside flushRuns).
+	return flushQueue(&e.mu, &e.queue, false, func(to string, pkt []byte) error {
+		return e.fabric.send(Packet{From: e.addr, To: to, Data: pkt})
+	})
 }
 
 // Inbox returns the endpoint's delivery channel.

@@ -29,6 +29,12 @@ type FaultConfig struct {
 // ByzantineNet is a randomized Injector. It is safe for concurrent use.
 type ByzantineNet struct {
 	cfg FaultConfig
+	// passthrough is set when every fault rate is zero: Apply then forwards
+	// the packet untouched — no lock, no RNG draw, and crucially no deep copy
+	// into the replay history. A zero-rate injector is the common benchmark
+	// configuration, and the history copy was a per-packet allocation of the
+	// whole payload.
+	passthrough bool
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -46,11 +52,16 @@ func NewByzantineNet(cfg FaultConfig) *ByzantineNet {
 	if cfg.ReplayWindow == 0 {
 		cfg.ReplayWindow = 128
 	}
-	return &ByzantineNet{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	passthrough := cfg.DropRate == 0 && cfg.DupRate == 0 && cfg.TamperRate == 0 &&
+		cfg.ReplayRate == 0 && cfg.ReorderRate == 0
+	return &ByzantineNet{cfg: cfg, passthrough: passthrough, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Apply implements Injector.
 func (b *ByzantineNet) Apply(p Packet) []Packet {
+	if b.passthrough {
+		return []Packet{p}
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 

@@ -1,0 +1,74 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestZeroRateInjectorSkipsCopy pins the fast path: with every fault rate at
+// zero (the common benchmark configuration) the injector forwards the
+// original packet — same backing buffer, no replay-history deep copy.
+func TestZeroRateInjectorSkipsCopy(t *testing.T) {
+	b := NewByzantineNet(FaultConfig{Seed: 1})
+	data := []byte("untouched payload")
+	out := b.Apply(Packet{From: "a", To: "b", Data: data})
+	if len(out) != 1 {
+		t.Fatalf("zero-rate Apply returned %d packets, want 1", len(out))
+	}
+	if &out[0].Data[0] != &data[0] {
+		t.Errorf("zero-rate Apply copied the payload")
+	}
+	if len(b.history) != 0 {
+		t.Errorf("zero-rate Apply recorded %d packets of replay history", len(b.history))
+	}
+}
+
+// TestFaultInjectionCorruptsCopyNeverOriginal is the regression test for the
+// fast path's safety condition: when faults ARE configured, tampering must
+// mutate a copy of the packet — the sender's buffer (which it may still own,
+// e.g. a pooled frame) must never be corrupted in place.
+func TestFaultInjectionCorruptsCopyNeverOriginal(t *testing.T) {
+	b := NewByzantineNet(FaultConfig{Seed: 1, TamperRate: 1.0})
+	original := []byte("pristine sender-owned bytes")
+	pristine := append([]byte(nil), original...)
+	out := b.Apply(Packet{From: "a", To: "b", Data: original})
+	if b.Tampered == 0 {
+		t.Fatalf("TamperRate=1 tampered nothing")
+	}
+	if !bytes.Equal(original, pristine) {
+		t.Fatalf("fault injection corrupted the sender's buffer in place")
+	}
+	tampered := false
+	for _, p := range out {
+		if len(p.Data) == len(original) && !bytes.Equal(p.Data, pristine) {
+			tampered = true
+			if &p.Data[0] == &original[0] {
+				t.Errorf("tampered packet shares the sender's backing buffer")
+			}
+		}
+	}
+	if !tampered {
+		t.Errorf("no tampered copy was delivered")
+	}
+}
+
+// TestReplayHistoryHoldsCopies verifies the injector's replay source is
+// insulated from later sender reuse of the buffer: history entries must be
+// deep copies.
+func TestReplayHistoryHoldsCopies(t *testing.T) {
+	b := NewByzantineNet(FaultConfig{Seed: 1, ReplayRate: 0.5})
+	data := []byte("will be reused by the sender")
+	_ = b.Apply(Packet{From: "a", To: "b", Data: data})
+	if len(b.history) != 1 {
+		t.Fatalf("history holds %d packets, want 1", len(b.history))
+	}
+	if &b.history[0].Data[0] == &data[0] {
+		t.Fatalf("replay history aliases the sender's buffer")
+	}
+	for i := range data {
+		data[i] = 0 // sender reuses its buffer
+	}
+	if bytes.Contains(b.history[0].Data, []byte{0, 0, 0, 0}) {
+		t.Errorf("sender reuse leaked into the replay history")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"recipe/internal/bufpool"
 )
 
 // TCPTransport implements Transport over real TCP connections, used by the
@@ -83,8 +85,12 @@ func (t *TCPTransport) Send(to string, data []byte) error {
 		t.mu.Unlock()
 	}
 
-	frame := encodeTCPFrame(t.addr, data)
-	if _, err := conn.Write(frame); err != nil {
+	// The frame staging buffer is pooled: the write either completes or the
+	// connection is dropped, and in both cases the buffer is ours again.
+	frame := appendTCPFrame(bufpool.Get(4+2+len(t.addr)+len(data)), t.addr, data)
+	_, err := conn.Write(frame)
+	bufpool.Put(frame)
+	if err != nil {
 		t.dropConn(to, conn)
 		return fmt.Errorf("tcp write %s: %w", to, err)
 	}
@@ -105,24 +111,19 @@ func (t *TCPTransport) QueueSend(to string, data []byte) error {
 
 // Flush implements BatchSender: per-peer runs of queued sends are coalesced
 // into single multiframe payloads, so one TCP frame (one write syscall)
-// carries the whole run.
+// carries the whole run. Send copies everything into its own framing, so the
+// flush returns every queued buffer — bare and packed alike — to the shared
+// pool, and the queue's order and frame slices are reused across flushes.
 func (t *TCPTransport) Flush() error {
 	t.mu.Lock()
-	order, pending := t.queue.take()
-	closed := t.closed
-	t.mu.Unlock()
-	if closed {
+	if t.closed {
+		t.mu.Unlock()
 		return ErrClosed
 	}
-	var firstErr error
-	for _, to := range order {
-		for _, pkt := range coalesce(pending[to]) {
-			if err := t.Send(to, pkt); err != nil && firstErr == nil {
-				firstErr = err // lossy semantics: keep flushing other peers
-			}
-		}
-	}
-	return firstErr
+	t.mu.Unlock()
+	// sendConsumes=true: Send copies into its own pooled framing before
+	// writing, so every queued buffer is recycled by the flush.
+	return flushQueue(&t.mu, &t.queue, true, t.Send)
 }
 
 // Close stops the listener, closes connections, and closes the inbox.
@@ -202,9 +203,8 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
-func encodeTCPFrame(from string, data []byte) []byte {
+func appendTCPFrame(buf []byte, from string, data []byte) []byte {
 	total := 2 + len(from) + len(data)
-	buf := make([]byte, 0, 4+total)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(total))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(from)))
 	buf = append(buf, from...)
