@@ -27,8 +27,9 @@ import (
 
 var (
 	opsFlag        = flag.Int("ops", 4000, "operations per measurement")
-	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem)")
+	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability)")
 	clientsFlag    = flag.Int("clients", 32, "closed-loop clients per measurement")
+	keysFlag       = flag.Int("keys", 20000, "store size (keys) for the durability experiment")
 )
 
 func main() {
@@ -40,14 +41,15 @@ func main() {
 
 func run() error {
 	experiments := map[string]func() error{
-		"fig3":    fig3,
-		"fig4":    fig4,
-		"fig5":    fig5,
-		"fig6a":   fig6a,
-		"fig6b":   fig6b,
-		"table4":  table4,
-		"damysus": damysusCmp,
-		"mem":     memTable,
+		"fig3":       fig3,
+		"fig4":       fig4,
+		"fig5":       fig5,
+		"fig6a":      fig6a,
+		"fig6b":      fig6b,
+		"table4":     table4,
+		"damysus":    damysusCmp,
+		"mem":        memTable,
+		"durability": durabilityTable,
 	}
 	if *experimentFlag != "all" {
 		f, ok := experiments[*experimentFlag]
@@ -56,12 +58,51 @@ func run() error {
 		}
 		return f()
 	}
-	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem"} {
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability"} {
 		if err := experiments[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	return nil
+}
+
+// durabilityTable compares replica recovery time at -keys store size across
+// the three recovery paths: memory-only (full state transfer from a live
+// peer), sealed WAL replay (local recovery, suffix-only transfer), and
+// sealed snapshot restart (checkpointed local recovery). R-Raft, one
+// crashed follower.
+func durabilityTable() error {
+	fmt.Printf("\n=== Durability: follower recovery time at %d keys (R-Raft, 256B values) ===\n", *keysFlag)
+	tw, flush := newTable("mode", "recovery(ms)", "local", "note")
+	defer flush()
+	for _, mode := range []struct {
+		name      string
+		durable   bool
+		checkpt   bool
+		snapEvery int
+		note      string
+	}{
+		{"memory-only", false, false, 0, "full state transfer from live peer"},
+		{"sealed-wal", true, false, 1 << 30, "WAL replay + suffix transfer (auto-checkpoints off)"},
+		{"sealed-snapshot", true, true, 0, "snapshot restore + suffix transfer"},
+	} {
+		ms, local, err := measureRecovery(mode.durable, mode.checkpt, mode.snapEvery, *keysFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%v\t%s\n", mode.name, ms, local, mode.note)
+	}
+	return nil
+}
+
+// measureRecovery times one follower crash/recover cycle through the shared
+// harness helper. Returns wall milliseconds and whether sealed local
+// recovery ran.
+func measureRecovery(durable, checkpoint bool, snapshotEvery, keys int) (float64, bool, error) {
+	return harness.MeasureFollowerRecovery(harness.Options{
+		Protocol: harness.Raft, Shielded: true, Seed: 1,
+		Durability: durable, SnapshotEvery: snapshotEvery,
+	}, keys, checkpoint, 5*time.Minute)
 }
 
 // memTable reports the hot-path memory discipline (PR 4): heap traffic and

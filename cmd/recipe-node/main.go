@@ -11,6 +11,12 @@
 //	recipe-node -id n2 -listen :7002 -peers ... -master $KEY &
 //	recipe-node -id n3 -listen :7003 -peers ... -master $KEY &
 //	recipe-cli  -nodes n1=localhost:7001,n2=localhost:7002,n3=localhost:7003 -master $KEY put greeting hello
+//
+// With -data-dir the replica seals committed operations into an encrypted
+// write-ahead log and recovers them on restart (docs/operations.md has the
+// crash/recover runbooks):
+//
+//	recipe-node -id n1 ... -master $KEY -data-dir /var/lib/recipe &
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -34,6 +41,7 @@ import (
 	"recipe/internal/protocols/chain"
 	"recipe/internal/protocols/raft"
 	"recipe/internal/reconfig"
+	"recipe/internal/seal"
 	"recipe/internal/tee"
 )
 
@@ -45,6 +53,7 @@ var (
 	protocolFlag = flag.String("protocol", "raft", "protocol: raft, cr, abd, allconcur, pbft, damysus")
 	masterFlag   = flag.String("master", "", "hex network master key (>=32 bytes), shared by the membership")
 	confFlag     = flag.Bool("confidential", false, "encrypt values and message payloads")
+	dataDirFlag  = flag.String("data-dir", "", "directory for this replica's sealed durable store (empty = in-memory only); committed operations persist to an encrypted WAL and the node recovers them on restart")
 	verboseFlag  = flag.Bool("v", false, "verbose protocol logging")
 )
 
@@ -105,6 +114,20 @@ func run() error {
 	if *verboseFlag {
 		logf = log.Printf
 	}
+	// Durable mode: committed operations seal into an encrypted WAL under
+	// -data-dir and replay on restart. Without a CAS in this multi-process
+	// deployment, the freshness anchor is a local file next to the log — it
+	// catches corruption, truncation, and partial restores, but an adversary
+	// who rolls back the whole directory (anchor included) is only defeated
+	// by the in-process CAS-anchored mode; see docs/operations.md.
+	var durability *core.DurabilityConfig
+	if *dataDirFlag != "" {
+		dir := filepath.Join(*dataDirFlag, *idFlag)
+		durability = &core.DurabilityConfig{
+			Dir:       dir,
+			Registrar: seal.NewFileRegistrar(filepath.Join(dir, "sealroot")),
+		}
+	}
 	node, err := core.NewNode(enclave, tr, proto, core.NodeConfig{
 		Secrets: attest.Secrets{
 			NodeID:     *idFlag,
@@ -114,10 +137,23 @@ func run() error {
 		},
 		Shielded:     shielded,
 		Confidential: *confFlag,
+		Durability:   durability,
 		Logf:         logf,
 	})
 	if err != nil {
 		return err
+	}
+	if durability != nil {
+		recovered, err := node.RecoverLocal()
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *idFlag, err)
+		}
+		if recovered {
+			log.Printf("recipe-node %s: recovered sealed state from %s (floor %d)",
+				*idFlag, *dataDirFlag, node.RecoveredFloor())
+		} else if node.Stats().DropRollback.Load() > 0 {
+			log.Printf("recipe-node %s: SEALED STATE REJECTED (rollback/tamper) — starting empty; peers will resync it", *idFlag)
+		}
 	}
 	node.Start()
 	log.Printf("recipe-node %s (%s, group %d/%d) listening on %s, membership %v",

@@ -110,6 +110,19 @@ type Service struct {
 	mapPriv  ed25519.PrivateKey
 	mapEpoch uint64
 	curMap   []byte // encoded reconfig.Signed of the latest published map
+
+	// Seal-freshness anchors: the latest (counter, chain root) each replica's
+	// sealed durable store has committed. The CAS is the anchor precisely
+	// because the host cannot roll it back: counters only move forward here,
+	// so a restarted replica proving its recovered chain against this table
+	// cannot be fed stale-but-authentic state (see internal/seal).
+	sealRoots map[string]sealRoot
+}
+
+// sealRoot is one replica's registered seal-chain position.
+type sealRoot struct {
+	counter uint64
+	root    [32]byte
 }
 
 // ServiceOption configures a Service.
@@ -145,6 +158,7 @@ func NewService(opts ...ServiceOption) (*Service, error) {
 		config:       make(map[string]string),
 		attested:     make(map[string]tee.Measurement),
 		incarnations: make(map[string]uint64),
+		sealRoots:    make(map[string]sealRoot),
 	}
 	for _, o := range opts {
 		o(s)
@@ -223,6 +237,35 @@ func (s *Service) FetchMap(nodeID string) ([]byte, error) {
 		return nil, errors.New("cas: no shard map published")
 	}
 	return append([]byte(nil), s.curMap...), nil
+}
+
+// RegisterSealRoot records a replica's sealed-store chain position (seal
+// counter + chain hash). Counters are monotonic per identity — the CAS never
+// steps one backwards, and a re-registration of the current counter must
+// carry the same root — so the table is the freshness anchor the sealed WAL
+// verifies against at recovery (seal.Registrar).
+func (s *Service) RegisterSealRoot(id string, counter uint64, root [32]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.sealRoots[id]; ok {
+		if counter < cur.counter {
+			return fmt.Errorf("cas: seal counter %d for %s behind registered %d", counter, id, cur.counter)
+		}
+		if counter == cur.counter && root != cur.root {
+			return fmt.Errorf("cas: seal counter %d for %s re-registered with a diverging root", counter, id)
+		}
+	}
+	s.sealRoots[id] = sealRoot{counter: counter, root: root}
+	return nil
+}
+
+// SealRoot returns a replica's registered seal-chain position (ok=false if
+// it never registered one).
+func (s *Service) SealRoot(id string) (uint64, [32]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.sealRoots[id]
+	return r.counter, r.root, ok
 }
 
 // Incarnation reports a node's current attestation count (1 if never seen).

@@ -7,8 +7,23 @@
 //
 // Only nodes whose quotes verify against a trusted platform key and whose
 // measurement is on the allow-list receive the secrets bundle: the network
-// master key (from which per-channel session keys are derived), the cluster
-// membership, and a freshly assigned node identity. Recovered nodes always
-// re-attest and receive a fresh identity, which is what protects the
-// non-equivocation counters across restarts.
+// master key (from which per-channel session keys are derived), the node's
+// replication group and that group's membership, a freshly assigned node
+// identity with its attestation incarnation, and the CAS's shard-map
+// verification key together with the currently signed shard map. Recovered
+// nodes always re-attest and receive a bumped incarnation, which is what
+// protects the non-equivocation counters across restarts.
+//
+// Beyond attestation, the CAS is the deployment's root of trust for two
+// kinds of freshness:
+//
+//   - Configuration: PublishMap signs epoch-versioned shard maps (epochs
+//     strictly increase, so a stale configuration can never obtain a fresh
+//     signature); attested principals re-fetch through FetchMap.
+//   - Durable state: RegisterSealRoot records each replica's sealed-WAL
+//     position (monotonic seal counter + chain root). A restarted replica
+//     proves its recovered local state against this anchor, so the
+//     untrusted host cannot feed it an older, rolled-back copy of its own
+//     disk (internal/seal implements the log; seal.Registrar is this
+//     interface).
 package attest

@@ -1,18 +1,3 @@
-// Package damysus implements a Damysus-like baseline (Decouchant et al.,
-// EuroSys'22): a streamlined, HotStuff-derived BFT protocol whose trusted
-// CHECKER/ACCUMULATOR components let it run with 2f+1 replicas and two
-// phases instead of PBFT's three.
-//
-// The model captured here, per the paper's comparison:
-//
-//   - leader-based, two broadcast phases (prepare, commit) per decision;
-//   - 2f+1 replicas, f+1 vote quorums (the trusted components rule out
-//     equivocation, so a Byzantine minority cannot split votes);
-//   - trusted-component calls on every step: each message passes through the
-//     TEE checker, charged via the TEE cost model (enclave transitions);
-//   - pairwise MACs (one real HMAC per receiver per broadcast);
-//   - no local reads: like PBFT, reads are ordered through consensus — this
-//     is what Recipe's KV-store design avoids.
 package damysus
 
 import (

@@ -1,21 +1,3 @@
-// Package pbft implements a PBFT (Castro & Liskov) normal-operation baseline
-// in the style of BFT-smart, the comparator of the paper's evaluation. It
-// exists to reproduce the cost structure classical BFT pays and Recipe
-// avoids:
-//
-//   - 3f+1 replicas (the harness runs it with n=4, f=1 — one more replica
-//     than the 2f+1 Recipe clusters);
-//   - three broadcast phases (pre-prepare, prepare, commit) with O(n²)
-//     message complexity per request;
-//   - MAC-authenticator vectors: every broadcast carries one HMAC per
-//     receiver, computed and verified for real, so benchmarks measure the
-//     genuine O(n²) cryptographic work;
-//   - no local reads: reads are totally ordered like writes (a client of
-//     classical BFT cannot trust a single replica), which is why Recipe's
-//     read-heavy speedups are largest in Fig 4.
-//
-// A minimal view change (new primary on timeout) keeps the baseline live for
-// fault tests; checkpointing and state transfer are out of scope.
 package pbft
 
 import (

@@ -1,0 +1,12 @@
+// Package bufpool provides a size-classed []byte pool shared by the hot-path
+// layers: authn sealed-payload and batch-body buffers, the node's wire-encode
+// scratch, and transport frame staging. Pooling these buffers is what keeps
+// the steady-state shielded data plane off the garbage collector — every
+// message otherwise allocates an encode buffer, a sealed payload, and a frame.
+//
+// Get returns a zero-length slice with at least the requested capacity; Put
+// returns a buffer's backing array to the pool. The usual sync.Pool contract
+// applies: a buffer must be Put at most once, and never used after Put.
+// Buffers above the largest size class are allocated and collected normally,
+// so pathological sizes cannot pin memory.
+package bufpool

@@ -60,4 +60,21 @@
 // one group are rejected by another, counted in Stats.DropGroup), and
 // Client hashes each key to its owning group with one tracked coordinator
 // per group.
+//
+// # Durability
+//
+// NodeConfig.Durability gives a node a sealed durable store (internal/
+// seal): the kvstore mutation sink appends every applied mutation to an
+// encrypted WAL, and flushBatch group-commits it — one fsync per event-loop
+// iteration, riding the same MaxBatch cadence that coalesces envelopes, so
+// the hot path pays one buffered write per mutation and shares the
+// expensive syscall across the batch. RecoverLocal (run automatically by
+// Start, or earlier by the harness to learn the outcome) replays the
+// snapshot and WAL suffix, verifies freshness against the CAS-registered
+// seal counter (rollbacks are rejected into Stats.DropRollback and the
+// replica falls back to state transfer), truncates slots the current shard
+// map has migrated away, and hands Snapshotter protocols their resume
+// position. SyncFromFloor then streams only the version suffix the replica
+// missed while down. Without the config the node is byte-for-byte the
+// in-memory node.
 package core

@@ -14,6 +14,7 @@ import (
 	"recipe/internal/kvstore"
 	"recipe/internal/netstack"
 	"recipe/internal/reconfig"
+	"recipe/internal/seal"
 	"recipe/internal/tee"
 )
 
@@ -35,6 +36,7 @@ type Stats struct {
 	DropGroup     atomic.Uint64 // cross-shard (wrong replication group) messages rejected
 	DropEpoch     atomic.Uint64 // stale-configuration-epoch messages rejected
 	DropMalformed atomic.Uint64 // undecodable packets
+	DropRollback  atomic.Uint64 // sealed local state rejected at recovery (rollback/fork/tamper)
 }
 
 // NodeConfig configures a Recipe node.
@@ -59,8 +61,31 @@ type NodeConfig struct {
 	Confidential bool
 	// StoreConfig configures the local KV store.
 	StoreConfig kvstore.Config
+	// Durability, when set, gives the node a sealed durable store: committed
+	// mutations append to an encrypted WAL (group-committed once per event-
+	// loop iteration), snapshots checkpoint it, and a restart recovers the
+	// state locally instead of streaming it from peers. Nil (the default)
+	// keeps the node purely in-memory — nothing else in the node changes.
+	Durability *DurabilityConfig
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
+}
+
+// DurabilityConfig configures a node's sealed durable store (internal/seal).
+type DurabilityConfig struct {
+	// Dir is this replica's data directory (exclusive to it).
+	Dir string
+	// Registrar anchors seal freshness; the harness passes the CAS. Nil
+	// disables rollback detection (encryption and integrity still apply).
+	Registrar seal.Registrar
+	// SnapshotEvery overrides how many WAL records arm an automatic
+	// checkpoint (0 = seal default).
+	SnapshotEvery int
+	// Fresh declares a deliberately empty start (the harness wipes the home
+	// of brand-new identities). Without it, an empty directory whose
+	// identity has registered seal history is rejected as a rollback to
+	// genesis.
+	Fresh bool
 }
 
 // Node hosts one replica: the enclave, the authn layer, the KV store, the
@@ -92,12 +117,33 @@ type Node struct {
 	incMu sync.Mutex
 	inc   map[string]uint64 // peer incarnations (absent = 1)
 
+	// Durability: the sealed WAL+snapshot store (nil when NodeConfig.
+	// Durability is unset). walReady flips once RecoverLocal positioned the
+	// log; recoveredFloor is the highest version TS local recovery restored
+	// (the state-transfer suffix floor for total-order protocols).
+	// deferredReplies parks client replies produced during an iteration
+	// until the WAL group-commit has made their writes durable — an ack must
+	// never outrun the fsync backing it. Event-loop-goroutine only.
+	wal             *seal.Log
+	walReady        bool
+	walRecovered    bool
+	recoveredFloor  uint64
+	deferredReplies []deferredReply
+	// walBroken flips when a WAL append fails: the replica crash-stops
+	// rather than acknowledge writes it cannot seal. snapInFlight gates the
+	// asynchronous automatic checkpoint (one at a time).
+	walBroken    atomic.Bool
+	snapInFlight atomic.Bool
+
 	// Configuration epoch: the latest CAS-signed shard map this node has
 	// verified and adopted. epoch mirrors the shielder's epoch for the
-	// unshielded path; curMap holds the encoded signed map for epoch notices.
-	epoch    atomic.Uint64
-	curMapMu sync.Mutex
-	curMap   []byte
+	// unshielded path; curMap holds the encoded signed map for epoch notices,
+	// curShardMap its decoded form (recovery consults it to truncate slots
+	// the configuration has migrated away from this group).
+	epoch       atomic.Uint64
+	curMapMu    sync.Mutex
+	curMap      []byte
+	curShardMap *reconfig.ShardMap
 	// lastNotice rate-limits epoch notices per client: a replayed stale
 	// envelope must not buy an attacker a signed-map send per frame.
 	lastNotice map[string]time.Time
@@ -128,6 +174,12 @@ type Node struct {
 type clientRecord struct {
 	seq uint64
 	res Result
+}
+
+// deferredReply is one client reply awaiting the iteration's WAL commit.
+type deferredReply struct {
+	cmd Command
+	w   *Wire
 }
 
 // NewNode assembles a node from its attested enclave, transport, and
@@ -197,6 +249,14 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 			return nil, fmt.Errorf("node %s: attested shard map: %w", n.id, err)
 		}
 	}
+	if d := cfg.Durability; d != nil {
+		wal, err := seal.Open(d.Dir, seal.KeyFor(cfg.Secrets.MasterKey, n.id), n.id,
+			d.Registrar, seal.Options{SnapshotEvery: d.SnapshotEvery, Fresh: d.Fresh})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: durability: %w", n.id, err)
+		}
+		n.wal = wal
+	}
 	return n, nil
 }
 
@@ -224,6 +284,7 @@ func (n *Node) InstallShardMap(signedEnc []byte) error {
 	}
 	n.epoch.Store(m.Epoch) // curMapMu serialises all writers
 	n.curMap = append([]byte(nil), signedEnc...)
+	n.curShardMap = m
 	n.shielder.SetEpoch(m.Epoch)
 	n.cfg.Logf("node %s: adopted shard map epoch %d (%d groups)", n.id, m.Epoch, m.Groups())
 	return nil
@@ -314,10 +375,165 @@ func (n *Node) Stats() *Stats { return &n.stats }
 // only place those drops are visible.
 func (n *Node) OverflowDrops() uint64 { return n.shielder.OverflowDrops() }
 
-// Start initialises the protocol and launches the event loop.
+// RecoverLocal recovers the node's state from its sealed durable store:
+// the newest snapshot plus the WAL suffix replay into the KV store, and
+// slots the current shard map has migrated away from this group are
+// truncated (their replayed entries are another group's state now). Must be
+// called after NewNode and before Start (Start calls it itself if the
+// caller did not, so recipe-node and tests need no extra step; the harness
+// calls it explicitly to learn the outcome).
+//
+// Returns true when sealed state was recovered. A rollback, fork, or tamper
+// rejection returns (false, nil): the event is counted in Stats.DropRollback,
+// the directory is reset (the chain restarts past the registered counter),
+// and the caller should rebuild through state transfer — ending with
+// Checkpoint to anchor the rebuilt state. Only environmental failures (I/O
+// errors) return a non-nil error.
+func (n *Node) RecoverLocal() (bool, error) {
+	if n.wal == nil {
+		return false, nil
+	}
+	if n.walReady {
+		return n.walRecovered, nil
+	}
+	var maxTS uint64
+	recovered, err := n.wal.Recover(func(m kvstore.Mutation) error {
+		// Deletes count toward the floor too: a versioned delete at TS X
+		// means the log applied through X, and understating the floor would
+		// let a restarted leader re-assign X under the standing tombstone.
+		if m.Versioned && m.Version.TS > maxTS {
+			maxTS = m.Version.TS
+		}
+		return n.store.Restore(m)
+	})
+	if err != nil {
+		if errors.Is(err, seal.ErrRollback) || errors.Is(err, seal.ErrTampered) {
+			// The host served stale, forked, or modified sealed state. Reject
+			// it distinguishably, drop whatever the partial replay installed,
+			// and restart the chain so the registrar stays monotonic.
+			n.cfg.Logf("node %s: sealed recovery rejected: %v", n.id, err)
+			n.stats.DropRollback.Add(1)
+			n.store.DropIf(func(string) bool { return true })
+			if rerr := n.wal.Reset(); rerr != nil {
+				return false, rerr
+			}
+			n.walReady = true // positioned: Reset restarted the chain
+			return false, nil
+		}
+		// Environmental (I/O) failure: the log is NOT positioned. walReady
+		// stays false so a later call can retry.
+		return false, err
+	}
+	if recovered {
+		n.truncateForeignSlots()
+		n.recoveredFloor = maxTS
+	}
+	n.walReady = true
+	n.walRecovered = recovered
+	return recovered, nil
+}
+
+// truncateForeignSlots drops recovered entries (and floors) of hash slots
+// the current shard map assigns to other groups: an elastic reconfiguration
+// while this replica was down moved them, and the sealed WAL replayed them
+// back. The attested shard map is fresh (it arrived with re-attestation), so
+// this is exactly the source sweep the replica missed. Slots this group
+// still writes dual-routed (transition maps) are kept.
+func (n *Node) truncateForeignSlots() {
+	n.curMapMu.Lock()
+	m := n.curShardMap
+	n.curMapMu.Unlock()
+	if m == nil || m.Groups() <= 1 {
+		return
+	}
+	dropped := n.store.DropIf(func(key string) bool {
+		if strings.HasPrefix(key, FencePrefix) {
+			return false // per-group control keys never migrate
+		}
+		slot := reconfig.SlotOf(key)
+		if m.Slots[slot] == n.group {
+			return false
+		}
+		if len(m.Next) > 0 && m.Next[slot] == n.group {
+			return false // dual-routed to us mid-migration
+		}
+		return true
+	})
+	if dropped > 0 {
+		n.cfg.Logf("node %s: recovery truncated %d entries of migrated-away slots", n.id, dropped)
+	}
+}
+
+// Recovered reports whether sealed local recovery restored state (false for
+// memory-only nodes and after a rejected recovery).
+func (n *Node) Recovered() bool { return n.wal != nil && n.walRecovered }
+
+// RecoveredFloor is the highest version timestamp local recovery restored.
+// For total-order protocols (Snapshotter) every committed mutation at or
+// below it is already present locally, so state transfer can skip that
+// prefix (SyncFromFloor).
+func (n *Node) RecoveredFloor() uint64 { return n.recoveredFloor }
+
+// AdoptRecoveredFloor raises the node's recovered floor after an external
+// reconciliation installed state beyond what its own WAL held (the harness's
+// whole-group recovery merges the survivors' unions before starting any of
+// them). Must be called before Start.
+func (n *Node) AdoptRecoveredFloor(floor uint64) {
+	if floor > n.recoveredFloor {
+		n.recoveredFloor = floor
+	}
+}
+
+// Checkpoint seals the store's current state as a snapshot, pruning the WAL
+// it subsumes. The event loop calls it automatically once enough records
+// accumulate; recovery flows call it to anchor freshly transferred state.
+// Safe from any goroutine; a no-op without durability.
+func (n *Node) Checkpoint() error {
+	if n.wal == nil {
+		return nil
+	}
+	return n.wal.WriteSnapshot(n.store.Dump)
+}
+
+// Start initialises the protocol and launches the event loop. With
+// durability enabled it first completes local recovery (if the caller did
+// not) and wires the store's mutation sink into the sealed WAL — from here
+// on every committed mutation is logged and group-committed per iteration.
 func (n *Node) Start() {
 	n.startOnce.Do(func() {
+		if n.wal != nil {
+			if _, err := n.RecoverLocal(); err != nil {
+				// The log could not be positioned (I/O failure). Running with
+				// an unpositioned log would fail every append, so durability
+				// is explicitly off for this node's lifetime — loudly: the
+				// node serves but persists nothing. Callers that need the
+				// error (harness, recipe-node) call RecoverLocal themselves
+				// before Start and propagate it instead of getting here.
+				n.cfg.Logf("node %s: DURABILITY DISABLED, local recovery failed: %v", n.id, err)
+			} else {
+				n.store.SetMutationSink(func(m kvstore.Mutation) {
+					if err := n.wal.Append(m); err != nil {
+						// A durable replica that cannot seal a mutation must
+						// not acknowledge it — and a lost log entry cannot be
+						// un-lost. Crash-stop (the fault model's only failure
+						// mode): pending acks are withheld, peers take over,
+						// and recovery rebuilds from the registered prefix.
+						n.cfg.Logf("node %s: wal append failed, crash-stopping: %v", n.id, err)
+						n.walBroken.Store(true)
+						n.enclave.Crash()
+					}
+				})
+			}
+		}
 		n.proto.Init((*nodeEnv)(n))
+		if n.recoveredFloor > 0 {
+			if snap, ok := n.proto.(Snapshotter); ok {
+				// The recovered store covers the log up to the floor: fast-
+				// forward so the protocol resumes at the right position
+				// instead of re-assigning used indices to new commands.
+				snap.InstallSnapshot(n.recoveredFloor)
+			}
+		}
 		n.publishStatus()
 		go n.run()
 	})
@@ -330,18 +546,41 @@ func (n *Node) publishStatus() {
 	n.status.Store(&st)
 }
 
+// Discard releases a built-but-never-started node's resources — its
+// transport registration and sealed-log handle — so the identity can be
+// rebuilt (e.g. after a sibling failed mid-build). Only for nodes that were
+// never Started; a running node uses Stop.
+func (n *Node) Discard() {
+	_ = n.tr.Close()
+	if n.wal != nil {
+		n.wal.Abandon()
+	}
+}
+
 // Stop terminates the event loop and waits for it to exit. The transport is
-// closed as part of stopping.
+// closed as part of stopping, and the sealed WAL commits its tail and
+// closes — unless the node crashed, in which case the tail is abandoned
+// un-committed, as a real failure would leave it.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopCh)
 		<-n.doneCh
 		_ = n.tr.Close()
+		if n.wal != nil {
+			if n.enclave.Crashed() {
+				n.wal.Abandon()
+			} else if err := n.wal.Close(); err != nil {
+				n.cfg.Logf("node %s: wal close: %v", n.id, err)
+			}
+		}
 	})
 }
 
 // Crash simulates a machine failure: the enclave crash-stops and the node
-// detaches from the network without orderly shutdown.
+// detaches from the network without orderly shutdown. The sealed WAL is
+// abandoned, not committed — appends since the last group commit stay
+// unfsynced and unregistered, so crash/recover tests exercise genuine
+// power-loss recovery rather than a clean close.
 func (n *Node) Crash() {
 	n.enclave.Crash()
 	n.Stop()
@@ -423,14 +662,54 @@ func (n *Node) drainBatch(budget int) {
 }
 
 // flushBatch ends one event-loop iteration: batching protocols emit their
-// deferred messages, then the per-peer coalescing buffers are shielded and
-// handed to the transport.
+// deferred messages, then — with durability on — the WAL group-commits
+// (every mutation the iteration applied shares one fsync, riding the same
+// batch cadence that coalesces envelopes; clean iterations skip it) BEFORE
+// the parked client replies go out, so an acknowledgement never outruns the
+// fsync backing it. Peer traffic then flushes as batched envelopes.
 func (n *Node) flushBatch() {
 	if bf, ok := n.proto.(BatchFlusher); ok {
 		bf.FlushBatch()
 	}
 	n.publishStatus()
+	if n.wal != nil {
+		if err := n.wal.Commit(); err != nil {
+			// Same contract as a failed append: an ack must never outrun its
+			// fsync, and a commit that cannot happen means the iteration's
+			// writes are not durable. Withhold the acks and crash-stop.
+			n.cfg.Logf("node %s: wal commit failed, crash-stopping: %v", n.id, err)
+			n.walBroken.Store(true)
+			n.enclave.Crash()
+		}
+		if n.walBroken.Load() {
+			n.dropDeferredReplies()
+		} else {
+			n.flushDeferredReplies()
+			if n.wal.ShouldSnapshot() && n.snapInFlight.CompareAndSwap(false, true) {
+				// Checkpoint off-loop: the O(store) dump+seal+fsync must not
+				// stall ticks, heartbeats, or the apply path. WriteSnapshot
+				// holds the log's lock only to stamp and rotate; appends keep
+				// flowing into a fresh segment meanwhile.
+				go func() {
+					defer n.snapInFlight.Store(false)
+					if err := n.Checkpoint(); err != nil {
+						n.cfg.Logf("node %s: checkpoint: %v", n.id, err)
+					}
+				}()
+			}
+		}
+	}
 	n.flushOutbound()
+}
+
+// dropDeferredReplies discards the iteration's parked client replies
+// unsent: their writes could not be made durable, so the clients must not
+// observe acknowledgements (they will retry against the surviving replicas).
+func (n *Node) dropDeferredReplies() {
+	for i := range n.deferredReplies {
+		n.deferredReplies[i] = deferredReply{}
+	}
+	n.deferredReplies = n.deferredReplies[:0]
 }
 
 // handlePacket splits coalesced transport packets and processes each frame.
@@ -823,7 +1102,17 @@ func (n *Node) flushOutbound() {
 			rest = rest[len(chunk):]
 			env, err := n.shielder.ShieldBatch(cq, chunk)
 			if err != nil {
+				// Nothing sealed: the unsent items' pooled encode buffers go
+				// back to the pool, not to the GC — this path fires exactly
+				// when churn is highest (a channel pruned by reconfiguration
+				// mid-flush).
 				n.cfg.Logf("node %s: shield batch to %s: %v", n.id, to, err)
+				for i := range chunk {
+					bufpool.Put(chunk[i].Payload)
+				}
+				for i := range rest {
+					bufpool.Put(rest[i].Payload)
+				}
 				break
 			}
 			n.qsend(to, env.AppendTo(make([]byte, 0, env.EncodedSize())))
@@ -866,10 +1155,35 @@ func (n *Node) flushTransport() {
 	}
 }
 
-// sendToClient shields a reply onto the client's directional channel. Client
-// replies always go out per message (no coalescing), so the encode buffers
-// are pooled and recycled as soon as the transport's copying Send returns.
+// sendToClient ships a reply to a client. With durability on, the reply is
+// deferred to the end of the event-loop iteration, after the WAL group
+// commit: the mutations backing it must be fsynced before the client can
+// observe an acknowledgement, or a power loss could forget an acked write.
+// Memory-only nodes (and out-of-loop callers, which have no pending WAL
+// batch) send immediately. Event-loop goroutine only when wal != nil.
 func (n *Node) sendToClient(cmd Command, w *Wire) {
+	if n.wal != nil {
+		n.deferredReplies = append(n.deferredReplies, deferredReply{cmd: cmd, w: w})
+		return
+	}
+	n.sendToClientNow(cmd, w)
+}
+
+// flushDeferredReplies transmits the iteration's parked client replies,
+// after the WAL commit has made the writes behind them durable.
+func (n *Node) flushDeferredReplies() {
+	for i := range n.deferredReplies {
+		n.sendToClientNow(n.deferredReplies[i].cmd, n.deferredReplies[i].w)
+		n.deferredReplies[i] = deferredReply{}
+	}
+	n.deferredReplies = n.deferredReplies[:0]
+}
+
+// sendToClientNow shields a reply onto the client's directional channel.
+// Client replies always go out per message (no coalescing), so the encode
+// buffers are pooled and recycled as soon as the transport's copying Send
+// returns.
+func (n *Node) sendToClientNow(cmd Command, w *Wire) {
 	w.From = n.id
 	w.Group = n.group
 	w.Epoch = n.epoch.Load()

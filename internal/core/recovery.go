@@ -93,6 +93,7 @@ func decodeStatePage(data []byte) (entries []stateEntry, next string, done bool,
 type recovery struct {
 	token uint64
 	peer  string
+	floor uint64
 	done  chan error
 }
 
@@ -103,17 +104,33 @@ type recovery struct {
 // out. The node keeps participating in the protocol throughout — it is a
 // shadow replica while syncing.
 func (n *Node) SyncFrom(peer string, timeout time.Duration) error {
+	return n.SyncFromFloor(peer, 0, timeout)
+}
+
+// SyncFromFloor is SyncFrom with a version floor: the donor skips entries
+// whose version timestamp is at or below floor (tombstone floors always
+// ship). A replica that recovered its sealed local state passes its
+// RecoveredFloor, so the transfer streams only the suffix it missed while
+// down instead of the whole store — this is what makes sealed recovery
+// cheaper than state transfer at large store sizes.
+//
+// The floor is only sound for protocols whose version timestamps are a
+// total order over all mutations (Snapshotter protocols — Raft's log
+// indices): there, everything at or below the replica's own maximum is
+// already present locally. Per-key-ordered protocols (ABD's Lamport clocks)
+// must pass 0.
+func (n *Node) SyncFromFloor(peer string, floor uint64, timeout time.Duration) error {
 	n.clientMu.Lock()
 	if n.recov != nil {
 		n.clientMu.Unlock()
 		return errors.New("core: state transfer already in progress")
 	}
 	n.recovToken++
-	rec := &recovery{token: n.recovToken, peer: peer, done: make(chan error, 1)}
+	rec := &recovery{token: n.recovToken, peer: peer, floor: floor, done: make(chan error, 1)}
 	n.recov = rec
 	n.clientMu.Unlock()
 
-	n.sendWire(peer, &Wire{Kind: KindStateReq, Index: rec.token, Key: ""})
+	n.sendWire(peer, &Wire{Kind: KindStateReq, Index: rec.token, Key: "", Commit: floor})
 	n.flushOutbound() // SyncFrom runs outside the event loop
 
 	timer := time.NewTimer(timeout)
@@ -157,7 +174,7 @@ func (n *Node) handleStateResp(from string, w *Wire) {
 		n.finishRecovery(rec, nil)
 		return
 	}
-	n.sendWire(from, &Wire{Kind: KindStateReq, Index: rec.token, Key: next})
+	n.sendWire(from, &Wire{Kind: KindStateReq, Index: rec.token, Key: next, Commit: rec.floor})
 }
 
 func (n *Node) finishRecovery(rec *recovery, err error) {
@@ -174,10 +191,14 @@ func (n *Node) finishRecovery(rec *recovery, err error) {
 // a recovering shadow replica (or a slot migrator) can catch up (paper §3.7
 // step 4). A non-zero w.Term is a slot bitmask: only keys whose hash slot is
 // set are served — the filter the migration engine uses to stream exactly
-// the keyspace ranges changing owner. The final page additionally carries
-// the matching tombstone floors, so deletes survive the transfer.
+// the keyspace ranges changing owner. A non-zero w.Commit is a version
+// floor: entries whose version timestamp is at or below it are skipped — a
+// sealed-recovery replica already holds them, so only the missing suffix
+// streams (SyncFromFloor documents when the floor is sound). The final page
+// additionally carries the matching tombstone floors, so deletes survive
+// the transfer.
 func (n *Node) serveStatePage(from string, w *Wire) {
-	mask := w.Term
+	mask, floor := w.Term, w.Commit
 	include := func(key string) bool {
 		if mask == 0 {
 			return true
@@ -191,7 +212,7 @@ func (n *Node) serveStatePage(from string, w *Wire) {
 	next := ""
 	done := true
 	n.store.Range(w.Key, func(key string, v kvstore.Version) bool {
-		if !include(key) {
+		if !include(key) || (floor > 0 && v.TS <= floor) {
 			return true
 		}
 		if len(entries) == statePageSize {

@@ -1,18 +1,9 @@
-// Package harness assembles complete in-process clusters — platforms,
-// enclaves, CAS attestation, fabric, nodes, clients — for the examples,
-// integration tests, and the benchmark suite. It is the software equivalent
-// of the paper's three-machine SGX testbed.
-//
-// A cluster is one or more replication groups (shards): each group runs an
-// independent instance of the protocol over a hash-partition of the
-// keyspace, while the netstack fabric, the attestation CAS, and the
-// per-machine TEE platforms are shared across groups — attestation collateral
-// and transport are paid once for the whole deployment, which is what makes
-// the shard count a cheap scale-out knob.
 package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -89,6 +80,19 @@ type Options struct {
 	Seed int64
 	// HostMemLimit caps per-node KV host memory (0 = unlimited).
 	HostMemLimit int64
+	// Durability gives every replica a sealed durable store (encrypted WAL +
+	// snapshots under DataDir, freshness anchored at the CAS): crashed
+	// replicas recover from local disk, whole groups survive simultaneous
+	// power loss, and rolled-back sealed state is rejected distinguishably.
+	// Off by default — in-memory clusters are byte-for-byte unchanged.
+	Durability bool
+	// DataDir is where replica data directories live (one subdirectory per
+	// replica identity). Empty with Durability on: the cluster creates a
+	// temporary directory and removes it on Stop.
+	DataDir string
+	// SnapshotEvery overrides how many WAL records arm an automatic
+	// checkpoint (0 = seal default).
+	SnapshotEvery int
 	// Logf receives debug logs when set.
 	Logf func(format string, args ...any)
 	// Factory, when set, supplies the protocol instance for each replica
@@ -129,6 +133,11 @@ type Cluster struct {
 	code     []byte
 	nextCli  int
 	nextMig  int
+
+	// Durable-storage home: one subdirectory per replica identity. ownData
+	// marks a cluster-created temp dir, removed on Stop.
+	dataDir string
+	ownData bool
 
 	// Elastic reconfiguration state: the current CAS-signed shard map and its
 	// decoded form. Guarded by mapMu; Resize holds resizeMu for the whole
@@ -196,6 +205,20 @@ func New(opts Options) (*Cluster, error) {
 		Nodes:  make(map[string]*core.Node, opts.Nodes*opts.Shards),
 		code:   []byte("recipe-protocol:" + string(opts.Protocol)),
 	}
+	if opts.Durability {
+		if opts.DataDir == "" {
+			dir, err := os.MkdirTemp("", "recipe-seal-")
+			if err != nil {
+				return nil, fmt.Errorf("harness: data dir: %w", err)
+			}
+			c.dataDir, c.ownData = dir, true
+		} else {
+			if err := os.MkdirAll(opts.DataDir, 0o750); err != nil {
+				return nil, fmt.Errorf("harness: data dir: %w", err)
+			}
+			c.dataDir = opts.DataDir
+		}
+	}
 
 	// Attestation is instantaneous while building (its latency is the
 	// subject of Table 4's dedicated benchmark, not of cluster setup). One
@@ -258,7 +281,7 @@ func New(opts Options) (*Cluster, error) {
 
 	for _, grp := range c.Groups {
 		for _, id := range grp.Order {
-			if err := grp.startNode(id); err != nil {
+			if _, err := grp.startNode(id, false); err != nil {
 				c.Stop()
 				return nil, err
 			}
@@ -327,31 +350,54 @@ func (g *Group) slotOf(id string) int {
 	return 0
 }
 
-// startNode attests and launches one replica of this group (also used for
-// recovery).
-func (g *Group) startNode(id string) error {
+// NodeDataDir returns a replica's durable-storage directory (empty when the
+// cluster runs without durability). Tests use it to tamper with sealed state.
+func (c *Cluster) NodeDataDir(id string) string {
+	if c.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.dataDir, id)
+}
+
+// buildNode attests and assembles one replica of this group without starting
+// it. With resume=true the node's sealed local state (if any) is recovered
+// before the caller decides how to finish the join; with resume=false the
+// replica starts from a wiped data directory — a brand-new group member owns
+// no prior state, and stale sealed state from a retired generation of the
+// same identity must not resurrect.
+func (g *Group) buildNode(id string, resume bool) (*core.Node, error) {
 	c := g.c
 	plat := c.machines[g.slotOf(id)]
 
 	enclave := plat.NewEnclave(c.code)
 	agent, err := attest.NewAgent(enclave)
 	if err != nil {
-		return fmt.Errorf("harness: node %s: %w", id, err)
+		return nil, fmt.Errorf("harness: node %s: %w", id, err)
 	}
 	prov, err := c.CAS.RemoteAttestation(agent, id)
 	if err != nil {
-		return fmt.Errorf("harness: attest %s: %w", id, err)
+		return nil, fmt.Errorf("harness: attest %s: %w", id, err)
 	}
 	secrets, err := attest.OpenSecrets(agent, prov)
 	if err != nil {
-		return fmt.Errorf("harness: secrets %s: %w", id, err)
+		return nil, fmt.Errorf("harness: secrets %s: %w", id, err)
 	}
 
 	ep, err := c.Fabric.Register(id)
 	if err != nil {
-		return fmt.Errorf("harness: register %s: %w", id, err)
+		return nil, fmt.Errorf("harness: register %s: %w", id, err)
 	}
 
+	var durability *core.DurabilityConfig
+	if c.opts.Durability {
+		dir := c.NodeDataDir(id)
+		if !resume {
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, fmt.Errorf("harness: wipe %s: %w", id, err)
+			}
+		}
+		durability = &core.DurabilityConfig{Dir: dir, Registrar: c.CAS, SnapshotEvery: c.opts.SnapshotEvery, Fresh: !resume}
+	}
 	node, err := core.NewNode(enclave, ep, g.newProtocol(id), core.NodeConfig{
 		Secrets:      secrets,
 		TickEvery:    c.opts.TickEvery,
@@ -359,17 +405,43 @@ func (g *Group) startNode(id string) error {
 		Shielded:     c.shieldedFor(),
 		Confidential: c.opts.Confidential,
 		StoreConfig:  kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
+		Durability:   durability,
 		Logf:         c.opts.Logf,
 	})
 	if err != nil {
-		return fmt.Errorf("harness: node %s: %w", id, err)
+		// The fabric registration must not leak: a leaked endpoint would make
+		// every later rebuild of this identity fail with a duplicate address.
+		_ = ep.Close()
+		return nil, fmt.Errorf("harness: node %s: %w", id, err)
 	}
+	if resume {
+		if _, err := node.RecoverLocal(); err != nil {
+			node.Discard()
+			return nil, fmt.Errorf("harness: local recovery %s: %w", id, err)
+		}
+	}
+	return node, nil
+}
+
+// launch registers a built node in the topology and starts it.
+func (g *Group) launch(id string, node *core.Node) {
+	c := g.c
 	c.topoMu.Lock()
 	g.Nodes[id] = node
 	c.Nodes[id] = node
 	c.topoMu.Unlock()
 	node.Start()
-	return nil
+}
+
+// startNode attests and launches one replica of this group (also used for
+// recovery).
+func (g *Group) startNode(id string, resume bool) (*core.Node, error) {
+	node, err := g.buildNode(id, resume)
+	if err != nil {
+		return nil, err
+	}
+	g.launch(id, node)
+	return node, nil
 }
 
 // shieldedFor: the BFT baselines model their own authentication; they run
@@ -521,12 +593,16 @@ func (c *Cluster) Crash(id string) {
 }
 
 // Recover re-attests a fresh replacement for a crashed node (same identity
-// slot, new incarnation), announces it, and syncs its state from a live peer
-// of its own group. It implements the paper's recovery flow (§3.7) end to
-// end; other groups are untouched.
+// slot, new incarnation) and announces it. With durability enabled it
+// prefers local sealed recovery — the WAL suffix since the last snapshot
+// replays from disk, rollbacks are rejected distinguishably
+// (SecurityStats.RejectedRollback), and state transfer then streams only the
+// version suffix the replica missed while down; without durability (or after
+// a rejected rollback) it falls back to the full state transfer of the
+// paper's §3.7 flow. Other groups are untouched.
 //
 // Recovery serialises with Resize (both are membership events): a state
-// transfer streaming the donor's full store must not interleave with a
+// transfer streaming the donor's store must not interleave with a
 // migration's post-cutover source sweep, or pages applied after the sweep
 // would re-introduce moved-away slot data on the recovered replica.
 func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
@@ -542,11 +618,11 @@ func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
 	if alive {
 		return fmt.Errorf("harness: %s still running", id)
 	}
-	if err := g.startNode(id); err != nil {
+	node, err := g.startNode(id, true)
+	if err != nil {
 		return err
 	}
 	c.topoMu.RLock()
-	node := g.Nodes[id]
 	var donor string
 	for _, other := range g.Order {
 		if other != id && g.Nodes[other] != nil {
@@ -557,15 +633,172 @@ func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
 	c.topoMu.RUnlock()
 	node.AnnounceJoin()
 	if donor == "" {
-		return fmt.Errorf("harness: no live donor for %s in group %d", id, g.ID)
+		if !node.Recovered() {
+			return fmt.Errorf("harness: no live donor for %s in group %d", id, g.ID)
+		}
+		// Whole-group outage, first replica back: its sealed local state is
+		// the only copy, and it serves from it. Use RecoverGroup when several
+		// replicas of one group restart together — it reconciles their seal
+		// positions before any election can pick a stale one.
+	} else {
+		floor := uint64(0)
+		if node.Recovered() {
+			if _, ok := node.Protocol().(core.Snapshotter); ok {
+				// Total-order versions: everything at or below the replica's
+				// own maximum is already on disk here; stream only the suffix.
+				floor = node.RecoveredFloor()
+			}
+		}
+		if err := node.SyncFromFloor(donor, floor, syncTimeout); err != nil {
+			return err
+		}
 	}
-	if err := node.SyncFrom(donor, syncTimeout); err != nil {
-		return err
+	if c.opts.Durability && !node.Recovered() {
+		// The replica rebuilt through state transfer (no sealed state, or a
+		// rejected rollback): checkpoint now to anchor the transferred state
+		// and restart the seal chain cleanly past the registered counter.
+		// Clean local recoveries skip this — their WAL is already the anchor,
+		// and the periodic ShouldSnapshot cadence handles compaction.
+		if err := node.Checkpoint(); err != nil {
+			return fmt.Errorf("harness: checkpoint %s: %w", id, err)
+		}
 	}
 	// The recovered node re-attested, so its incarnation bumped — a
 	// membership fact clients must learn (their channels to the node are
 	// incarnation-qualified). Republishing the map at the next epoch
-	// propagates it through the normal refresh path.
+	// propagates it through the normal refresh path. This is load-bearing
+	// even for single-shard clusters, where no slot routing can change: the
+	// epoch bump is what carries the new incarnation stamp to clients (see
+	// ARCHITECTURE.md, "Why recovery bumps the epoch").
+	return c.republishLocked()
+}
+
+// RecoverGroup recovers every crashed replica of one group together — the
+// whole-group power-loss runbook. Each replica recovers its own sealed
+// state, then their seal positions are reconciled (the union of their
+// recovered stores, merged newest-version-first with tombstones suppressing,
+// installs everywhere) BEFORE any of them starts: without this step an
+// election could pick a replica whose fsync lagged a few commits and let it
+// re-assign log positions another replica already holds. Any still-live
+// members then serve suffix transfers as usual.
+//
+// Every write acknowledged before the outage was applied — and therefore
+// sealed — by at least one replica, so the merged union contains all of
+// them: zero acknowledged writes are lost.
+func (c *Cluster) RecoverGroup(group int, syncTimeout time.Duration) error {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	c.topoMu.RLock()
+	if group < 0 || group >= len(c.Groups) {
+		c.topoMu.RUnlock()
+		return fmt.Errorf("harness: no group %d", group)
+	}
+	g := c.Groups[group]
+	var crashed []string
+	var liveDonor string
+	for _, id := range g.Order {
+		if g.Nodes[id] == nil {
+			crashed = append(crashed, id)
+		} else if liveDonor == "" {
+			liveDonor = id
+		}
+	}
+	c.topoMu.RUnlock()
+	if len(crashed) == 0 {
+		return nil
+	}
+
+	// Build (and locally recover) every crashed member before starting any.
+	// On failure, the nodes built so far are discarded — their fabric
+	// registrations and log handles must be released or the identities could
+	// never be rebuilt by a retry.
+	built := make(map[string]*core.Node, len(crashed))
+	launched := false
+	defer func() {
+		if launched {
+			return
+		}
+		for _, node := range built {
+			node.Discard()
+		}
+	}()
+	for _, id := range crashed {
+		node, err := g.buildNode(id, true)
+		if err != nil {
+			return err
+		}
+		built[id] = node
+	}
+
+	// Reconcile the survivors' sealed states while none of them is running.
+	var batches [][]core.SlotEntry
+	anyRecovered := false
+	maxFloor := uint64(0)
+	for _, node := range built {
+		if !node.Recovered() {
+			continue
+		}
+		anyRecovered = true
+		if node.RecoveredFloor() > maxFloor {
+			maxFloor = node.RecoveredFloor()
+		}
+		var batch []core.SlotEntry
+		if err := node.Store().Dump(func(m kvstore.Mutation) bool {
+			batch = append(batch, core.SlotEntry{Key: m.Key, Value: m.Value, Version: m.Version, Deleted: m.Del})
+			return true
+		}); err != nil {
+			return fmt.Errorf("harness: dump %s: %w", node.ID(), err)
+		}
+		batches = append(batches, batch)
+	}
+	if !anyRecovered && liveDonor == "" {
+		return fmt.Errorf("harness: group %d: no live donor and no recoverable sealed state", group)
+	}
+	if anyRecovered {
+		merged := core.MergeSlotEntries(batches...)
+		for _, node := range built {
+			for _, e := range merged {
+				m := kvstore.Mutation{Del: e.Deleted, Versioned: true, Key: e.Key, Value: e.Value, Version: e.Version}
+				if err := node.Store().Restore(m); err != nil {
+					return fmt.Errorf("harness: reconcile %s: %w", node.ID(), err)
+				}
+			}
+			if _, ok := node.Protocol().(core.Snapshotter); ok {
+				// Every replica now holds the union: all resume at the same
+				// log position, so elections cannot regress past it.
+				node.AdoptRecoveredFloor(maxFloor)
+			}
+		}
+	}
+
+	launched = true
+	for _, id := range crashed {
+		g.launch(id, built[id])
+	}
+	for _, id := range crashed {
+		built[id].AnnounceJoin()
+	}
+	if liveDonor != "" {
+		for _, id := range crashed {
+			node := built[id]
+			floor := uint64(0)
+			if node.Recovered() {
+				if _, ok := node.Protocol().(core.Snapshotter); ok {
+					floor = node.RecoveredFloor()
+				}
+			}
+			if err := node.SyncFromFloor(liveDonor, floor, syncTimeout); err != nil {
+				return err
+			}
+		}
+	}
+	if c.opts.Durability {
+		for _, id := range crashed {
+			if err := built[id].Checkpoint(); err != nil {
+				return fmt.Errorf("harness: checkpoint %s: %w", id, err)
+			}
+		}
+	}
 	return c.republishLocked()
 }
 
@@ -573,5 +806,8 @@ func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
 func (c *Cluster) Stop() {
 	for _, n := range c.liveNodes() {
 		n.Stop()
+	}
+	if c.ownData {
+		_ = os.RemoveAll(c.dataDir)
 	}
 }

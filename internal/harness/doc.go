@@ -1,0 +1,49 @@
+// Package harness assembles complete in-process clusters — platforms,
+// enclaves, CAS attestation, fabric, nodes, clients — for the examples,
+// integration tests, and the benchmark suite. It is the software equivalent
+// of the paper's three-machine SGX testbed.
+//
+// A cluster is one or more replication groups (shards): each group runs an
+// independent instance of the protocol over a hash-partition of the
+// keyspace, while the netstack fabric, the attestation CAS, and the
+// per-machine TEE platforms are shared across groups — attestation collateral
+// and transport are paid once for the whole deployment, which is what makes
+// the shard count a cheap scale-out knob.
+//
+// # Membership events
+//
+// Three flows change who serves, and they serialise on one mutex because
+// each streams state that another could sweep:
+//
+//   - Resize (reconfig.go) re-partitions a live cluster: new groups attest,
+//     a CAS-signed transition epoch dual-routes writes, the migration engine
+//     streams moving slots, handover and final epochs cut clients over, and
+//     sources sweep the moved slots.
+//   - Recover replaces one crashed replica. With Options.Durability it
+//     prefers sealed local recovery (WAL/snapshot replay, rollbacks
+//     rejected) and then transfers only the missed version suffix from a
+//     donor; otherwise it runs the paper's full §3.7 state transfer.
+//   - RecoverGroup brings a whole group back from simultaneous power loss:
+//     every member recovers its own sealed state, their stores reconcile to
+//     the union before any of them starts (so an election cannot pick a
+//     replica whose fsync lagged and let it re-assign used log positions),
+//     and acknowledged writes — each sealed by at least one applier —
+//     all survive.
+//
+// Every recovery republishes the shard map at the next epoch: the reborn
+// replica's attestation incarnation is a membership fact clients must learn
+// to open its fresh channels. That holds even for single-shard clusters,
+// where no routing changes — see ARCHITECTURE.md ("Why recovery bumps the
+// epoch").
+//
+// # Durable storage
+//
+// Options.Durability gives every replica a sealed store under
+// Options.DataDir (one subdirectory per identity, NodeDataDir), with
+// freshness anchored at the cluster's CAS. Fresh nodes (initial build, and
+// re-created groups after a retire+regrow) start from wiped directories;
+// only Recover/RecoverGroup resume existing state.
+//
+// The workload driver (driver.go) preloads stores and drives YCSB-style
+// closed-loop clients; recipe-bench and the Benchmark* suite build on it.
+package harness

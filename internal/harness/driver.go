@@ -119,3 +119,45 @@ func (c *Cluster) runOps(cfg workload.Config, clients, totalOps int) (float64, [
 	}
 	return float64(totalOps) / elapsed.Seconds(), counts, nil
 }
+
+// MeasureFollowerRecovery is the shared harness behind the durability
+// benchmarks (BenchmarkDurableRecovery and recipe-bench's durability
+// experiment): build a cluster with opts, preload keys 256-byte values,
+// optionally checkpoint the victim, crash a non-coordinator replica, and
+// time its recovery. Returns the recovery wall time in milliseconds and
+// whether sealed local recovery ran. The cluster is stopped before return.
+func MeasureFollowerRecovery(opts Options, keys int, checkpoint bool, syncTimeout time.Duration) (float64, bool, error) {
+	c, err := New(opts)
+	if err != nil {
+		return 0, false, err
+	}
+	defer c.Stop()
+	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+		return 0, false, err
+	}
+	if err := c.Preload(workload.Config{Keys: keys, ValueSize: 256, Seed: opts.Seed}); err != nil {
+		return 0, false, err
+	}
+	victim := ""
+	for _, id := range c.Groups[0].Order {
+		if st := c.Nodes[id].Status(); !st.IsCoordinator {
+			victim = id
+			break
+		}
+	}
+	if victim == "" {
+		return 0, false, fmt.Errorf("harness: no non-coordinator replica to crash")
+	}
+	if checkpoint {
+		if err := c.Nodes[victim].Checkpoint(); err != nil {
+			return 0, false, err
+		}
+	}
+	c.Crash(victim)
+	start := time.Now()
+	if err := c.Recover(victim, syncTimeout); err != nil {
+		return 0, false, err
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Microseconds()) / 1000, c.Nodes[victim].Recovered(), nil
+}

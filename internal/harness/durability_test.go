@@ -1,0 +1,317 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"recipe/internal/core"
+	"recipe/internal/kvstore"
+	"recipe/internal/reconfig"
+)
+
+func durableOpts(p ProtocolKind) Options {
+	opts := fastOpts(p, true)
+	opts.Durability = true
+	return opts
+}
+
+// put writes n keys through a client and returns the expected contents.
+func putKeys(t *testing.T, c *Cluster, prefix string, n int) map[string]string {
+	t.Helper()
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	want := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, v := fmt.Sprintf("%s%04d", prefix, i), fmt.Sprintf("val-%s-%d", prefix, i)
+		if _, err := cli.Put(k, []byte(v)); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+		want[k] = v
+	}
+	return want
+}
+
+// checkKeys reads every expected key through a fresh client.
+func checkKeys(t *testing.T, c *Cluster, want map[string]string) {
+	t.Helper()
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	for k, v := range want {
+		res, err := cli.Get(k)
+		if err != nil || !res.OK || !bytes.Equal(res.Value, []byte(v)) {
+			t.Fatalf("Get %s = %+v, %v; want %q", k, res, err, v)
+		}
+	}
+}
+
+// TestWholeGroupPowerLoss: every replica of the (only) group crashes at
+// once — unrecoverable for an in-memory cluster — and RecoverGroup brings
+// them all back from sealed local state with zero lost acknowledged writes,
+// including a committed delete.
+func TestWholeGroupPowerLoss(t *testing.T) {
+	c := startCluster(t, durableOpts(Raft))
+	want := putKeys(t, c, "k", 120)
+
+	cli, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	if _, err := cli.Delete("k0007"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	delete(want, "k0007")
+	_ = cli.Close()
+
+	for _, id := range append([]string(nil), c.Order...) {
+		c.Crash(id)
+	}
+	if err := c.RecoverGroup(0, 10*time.Second); err != nil {
+		t.Fatalf("RecoverGroup: %v", err)
+	}
+	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+		t.Fatalf("no coordinator after power loss: %v", err)
+	}
+
+	checkKeys(t, c, want)
+	cli2, err := c.Client()
+	if err != nil {
+		t.Fatalf("Client: %v", err)
+	}
+	defer func() { _ = cli2.Close() }()
+	if res, err := cli2.Get("k0007"); err == nil && res.OK {
+		t.Fatalf("deleted key resurrected after power loss: %+v", res)
+	}
+	// New writes work after recovery (the log position resumed correctly).
+	if _, err := cli2.Put("after-loss", []byte("x")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	for _, n := range c.liveNodes() {
+		if n.Stats().DropRollback.Load() != 0 {
+			t.Fatalf("clean power-loss recovery counted a rollback at %s", n.ID())
+		}
+	}
+}
+
+// TestSealedRecoveryPrefersLocal: a single crashed replica recovers from its
+// own sealed state (Recovered() reports local recovery, no rollback), and
+// committed state survives.
+func TestSealedRecoveryPrefersLocal(t *testing.T) {
+	c := startCluster(t, durableOpts(Raft))
+	want := putKeys(t, c, "k", 80)
+
+	victim := c.Groups[0].Order[2] // a follower in seed-42's deterministic election
+	if st := c.Nodes[victim].Status(); st.IsCoordinator {
+		victim = c.Groups[0].Order[1]
+	}
+	c.Crash(victim)
+	if err := c.Recover(victim, 10*time.Second); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	node := c.Nodes[victim]
+	if !node.Recovered() {
+		t.Fatal("recovery did not use sealed local state")
+	}
+	if node.RecoveredFloor() == 0 {
+		t.Fatal("sealed recovery reported floor 0")
+	}
+	if node.Stats().DropRollback.Load() != 0 {
+		t.Fatal("clean local recovery counted a rollback")
+	}
+	checkKeys(t, c, want)
+}
+
+// TestRollbackRejectedFallsBack is the restart-with-rollback regression of
+// the sealed store, end to end through the harness: three tamper shapes —
+// a flipped ciphertext byte, a truncated segment, and an older-counter
+// snapshot swapped in over newer state — must each be rejected
+// distinguishably (RejectedRollback increments), after which recovery falls
+// back to state transfer and the replica still comes back with full state.
+func TestRollbackRejectedFallsBack(t *testing.T) {
+	tamper := map[string]func(t *testing.T, dir string){
+		"tampered-segment": func(t *testing.T, dir string) {
+			segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+			if len(segs) == 0 {
+				t.Fatal("no WAL segments to tamper with")
+			}
+			data, err := os.ReadFile(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xff
+			if err := os.WriteFile(segs[0], data, 0o640); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"truncated-segment": func(t *testing.T, dir string) {
+			segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+			if len(segs) == 0 {
+				t.Fatal("no WAL segments to truncate")
+			}
+			info, err := os.Stat(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(segs[0], info.Size()/3); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"emptied-directory": func(t *testing.T, dir string) {
+			// The simplest rollback: the host deletes the replica's sealed
+			// state entirely, rolling it back to genesis.
+			names, _ := filepath.Glob(filepath.Join(dir, "*"))
+			if len(names) == 0 {
+				t.Fatal("no sealed files to delete")
+			}
+			for _, name := range names {
+				if err := os.Remove(name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	}
+	for name, fn := range tamper {
+		t.Run(name, func(t *testing.T) {
+			c := startCluster(t, durableOpts(Raft))
+			want := putKeys(t, c, "k", 60)
+			victim := c.Groups[0].Order[2]
+			if st := c.Nodes[victim].Status(); st.IsCoordinator {
+				victim = c.Groups[0].Order[1]
+			}
+			c.Crash(victim)
+			fn(t, c.NodeDataDir(victim))
+			if err := c.Recover(victim, 10*time.Second); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			node := c.Nodes[victim]
+			if node.Recovered() {
+				t.Fatal("tampered sealed state was accepted")
+			}
+			if node.Stats().DropRollback.Load() == 0 {
+				t.Fatal("rollback rejection not counted in DropRollback")
+			}
+			checkKeys(t, c, want) // state transfer fallback restored everything
+			// The reset chain re-anchored: another crash/recover cycle now
+			// succeeds locally again.
+			c.Crash(victim)
+			if err := c.Recover(victim, 10*time.Second); err != nil {
+				t.Fatalf("second Recover: %v", err)
+			}
+			if !c.Nodes[victim].Recovered() {
+				t.Fatal("post-reset sealed state did not recover locally")
+			}
+			checkKeys(t, c, want)
+		})
+	}
+}
+
+// TestOlderSnapshotSwapRejectedE2E: the host swaps a replica's data
+// directory back to an older captured copy (snapshot + segments) after newer
+// state was sealed and registered — the classic rollback. Recovery must
+// refuse it and rebuild via state transfer.
+func TestOlderSnapshotSwapRejectedE2E(t *testing.T) {
+	c := startCluster(t, durableOpts(Raft))
+	oldKeys := putKeys(t, c, "old", 40)
+
+	victim := c.Groups[0].Order[2]
+	if st := c.Nodes[victim].Status(); st.IsCoordinator {
+		victim = c.Groups[0].Order[1]
+	}
+	// Checkpoint, then capture the directory at T1.
+	if err := c.Nodes[victim].Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	dir := c.NodeDataDir(victim)
+	saved := map[string][]byte{}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[filepath.Base(name)] = data
+	}
+
+	want := putKeys(t, c, "new", 40) // T2: newer sealed + registered state
+	for k, v := range oldKeys {
+		want[k] = v
+	}
+	c.Crash(victim)
+
+	// Roll the directory back to T1.
+	names, _ = filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		_ = os.Remove(name)
+	}
+	for base, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, base), data, 0o640); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := c.Recover(victim, 10*time.Second); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	node := c.Nodes[victim]
+	if node.Recovered() {
+		t.Fatal("rolled-back directory was accepted as fresh")
+	}
+	if node.Stats().DropRollback.Load() == 0 {
+		t.Fatal("rollback not counted")
+	}
+	checkKeys(t, c, want)
+}
+
+// TestRecoveryTruncatesMigratedSlots: a replica crashes, the cluster
+// reshards its slots away, and the replica's sealed recovery must drop the
+// replayed entries of slots its group no longer owns — otherwise resharded
+// data resurrects on the old owner.
+func TestRecoveryTruncatesMigratedSlots(t *testing.T) {
+	opts := durableOpts(Raft)
+	opts.Shards = 2
+	c := startCluster(t, opts)
+	want := putKeys(t, c, "k", 100)
+
+	// Crash a group-0 follower, then reshard 2→3 while it is down.
+	victim := c.Groups[0].Order[2]
+	if st := c.Nodes[victim].Status(); st.IsCoordinator {
+		victim = c.Groups[0].Order[1]
+	}
+	c.Crash(victim)
+	if err := c.Resize(3); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	if err := c.Recover(victim, 10*time.Second); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+
+	// The recovered store must hold no key of a slot that moved away.
+	m, _ := c.Map()
+	node := c.Nodes[victim]
+	group := node.Group()
+	var leaked []string
+	_ = node.Store().Dump(func(mu kvstore.Mutation) bool {
+		if mu.Del || strings.HasPrefix(mu.Key, core.FencePrefix) {
+			return true
+		}
+		slot := reconfig.SlotOf(mu.Key)
+		if m.Slots[slot] != group && (len(m.Next) == 0 || m.Next[slot] != group) {
+			leaked = append(leaked, mu.Key)
+		}
+		return true
+	})
+	if len(leaked) > 0 {
+		t.Fatalf("recovered replica still holds %d migrated-away keys (e.g. %s)", len(leaked), leaked[0])
+	}
+	checkKeys(t, c, want)
+}

@@ -225,7 +225,7 @@ func (c *Cluster) addGroup(g int) error {
 	c.CAS.SetMembership(c.snapshotOrder())
 
 	for _, id := range grp.Order {
-		if err := grp.startNode(id); err != nil {
+		if _, err := grp.startNode(id, false); err != nil {
 			return fmt.Errorf("harness: add group %d: %w", g, err)
 		}
 	}

@@ -10,4 +10,22 @@
 //
 // In confidential mode values are additionally encrypted before leaving the
 // enclave, so the untrusted host learns nothing about stored data (Fig 5).
+//
+// # Versioned writes and deletion floors
+//
+// WriteVersioned/RemoveVersioned give replication protocols monotone
+// per-key application: stale writes are rejected against the stored version,
+// and a versioned delete leaves a floor so a replayed or in-flight stale
+// write (a recovery page racing a live delete) cannot resurrect the deleted
+// value. State transfer and slot migration lean on both.
+//
+// # Durability hooks
+//
+// The store itself is memory-only; durability is layered on through three
+// hooks. SetMutationSink installs an observer called synchronously after
+// every successful mutation — core wires the sealed WAL (internal/seal)
+// there. Dump enumerates the complete state (entries plus deletion floors)
+// as a mutation stream for snapshots, and Restore replays recovered
+// mutations back in, tolerating stale versions. With no sink installed the
+// data path is unchanged.
 package kvstore

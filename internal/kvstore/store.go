@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"recipe/internal/tee"
 )
@@ -25,6 +26,24 @@ var (
 	ErrStaleVersion = errors.New("kvstore: stale version")
 )
 
+// Mutation is one logical state change applied to a Store: a write or a
+// delete, versioned or not. It is the unit the durability layer persists —
+// the mutation sink observes every successful mutation, and replaying the
+// recorded sequence through Restore reproduces the store's state.
+//
+// Value aliases the caller's buffer for the duration of the sink callback
+// only; a sink that retains it must copy.
+type Mutation struct {
+	// Del marks a delete (Value is nil).
+	Del bool
+	// Versioned marks mutations that carry a meaningful Version (the
+	// WriteVersioned/RemoveVersioned paths; deletes leave a version floor).
+	Versioned bool
+	Key       string
+	Value     []byte
+	Version   Version
+}
+
 // Store is Recipe's per-node KV store: an enclave-resident index over
 // host-resident values.
 type Store struct {
@@ -32,6 +51,12 @@ type Store struct {
 	index   *skiplist
 	arena   *hostArena
 	aead    cipher.AEAD // non-nil in confidential mode
+
+	// sink, when set, observes every successful mutation (the durability
+	// hook: core wires the sealed WAL here). Loaded atomically so installing
+	// it does not contend with the data path; nil costs one predictable
+	// branch per mutation.
+	sink atomic.Pointer[func(Mutation)]
 
 	// tombs records deletion floors: RemoveVersioned(key, v) remembers v so
 	// a later WriteVersioned at or below it is rejected as stale. Without
@@ -82,6 +107,29 @@ func Open(e *tee.Enclave, cfg Config) (*Store, error) {
 
 // Confidential reports whether values are encrypted at rest.
 func (s *Store) Confidential() bool { return s.aead != nil }
+
+// SetMutationSink installs fn as the store's mutation observer: it is called
+// synchronously after every successful Write/WriteVersioned/Delete/Remove/
+// RemoveVersioned, with the plaintext value (before any at-rest encryption),
+// and once per key a DropIf sweep affects (as unversioned deletes, so a
+// replayed log re-drops swept entries and floors). The durability layer
+// appends these to the sealed WAL. Restore goes through the ordinary paths
+// and so must run before the sink is installed. Install the sink before
+// concurrent mutators start; passing nil uninstalls it.
+func (s *Store) SetMutationSink(fn func(Mutation)) {
+	if fn == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&fn)
+}
+
+// report hands a successful mutation to the sink, if one is installed.
+func (s *Store) report(m Mutation) {
+	if fn := s.sink.Load(); fn != nil {
+		(*fn)(m)
+	}
+}
 
 // Write stores value under key unconditionally, assigning no meaningful
 // version (protocols with their own ordering use WriteVersioned).
@@ -149,6 +197,7 @@ func (s *Store) write(key string, value []byte, v Version, versioned bool) error
 		delete(s.tombs, key)
 		s.tombMu.Unlock()
 	}
+	s.report(Mutation{Key: key, Value: value, Version: v, Versioned: versioned})
 	return nil
 }
 
@@ -209,6 +258,16 @@ func (s *Store) VersionOf(key string) (Version, error) {
 
 // Delete removes a key.
 func (s *Store) Delete(key string) error {
+	if err := s.deleteEntry(key); err != nil {
+		return err
+	}
+	s.report(Mutation{Del: true, Key: key})
+	return nil
+}
+
+// deleteEntry removes the index entry and releases the host value without
+// reporting to the mutation sink (callers report once at their own level).
+func (s *Store) deleteEntry(key string) error {
 	if s.enclave.Crashed() {
 		return tee.ErrEnclaveCrashed
 	}
@@ -222,12 +281,19 @@ func (s *Store) Delete(key string) error {
 }
 
 // Remove is an idempotent unversioned delete: an absent key is already the
-// desired state and is not an error. Replication protocols should use
-// RemoveVersioned so the deletion leaves a version floor.
+// desired state and is not an error, and any standing deletion floor is
+// cleared along with the entry — an unversioned delete erases the key's
+// whole history, bypassing version checks (it is the configuration-layer
+// primitive DropIf and WAL replay build on). Replication protocols should
+// use RemoveVersioned so the deletion leaves a version floor instead.
 func (s *Store) Remove(key string) error {
-	if err := s.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
+	if err := s.deleteEntry(key); err != nil && !errors.Is(err, ErrNotFound) {
 		return err
 	}
+	s.tombMu.Lock()
+	delete(s.tombs, key)
+	s.tombMu.Unlock()
+	s.report(Mutation{Del: true, Key: key})
 	return nil
 }
 
@@ -247,8 +313,11 @@ func (s *Store) RemoveVersioned(key string, v Version) error {
 	}
 	s.tombMu.Unlock()
 	if ent, ok := s.index.get(key); ok && !v.Less(ent.version) {
-		return s.Remove(key)
+		if err := s.deleteEntry(key); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
 	}
+	s.report(Mutation{Del: true, Versioned: true, Key: key, Version: v})
 	return nil
 }
 
@@ -288,8 +357,12 @@ func (s *Store) RangeTombs(fn func(key string, v Version) bool) {
 // version checks. This is a configuration-layer operation, not a data-path
 // one: when a hash slot leaves this replica's group (elastic resharding),
 // the slot's entries and floors are no longer this group's state — keeping
-// the floors would shadow the key if the slot ever migrates back. Returns
-// the number of entries dropped.
+// the floors would shadow the key if the slot ever migrates back. Every
+// affected key (entry or floor) is reported to the mutation sink as an
+// unversioned delete, so a durable replica's WAL replay re-drops them: a
+// floor that outlived the sweep in the log would otherwise shadow the
+// slot's re-installed keys after a crash. Returns the number of entries
+// dropped.
 func (s *Store) DropIf(match func(key string) bool) int {
 	var victims []string
 	s.index.ascend("", func(key string, ent entry) bool {
@@ -298,17 +371,88 @@ func (s *Store) DropIf(match func(key string) bool) int {
 		}
 		return true
 	})
+	affected := make(map[string]bool, len(victims))
 	for _, key := range victims {
-		_ = s.Remove(key)
+		if err := s.deleteEntry(key); err == nil || errors.Is(err, ErrNotFound) {
+			affected[key] = true
+		}
 	}
 	s.tombMu.Lock()
 	for key := range s.tombs {
 		if match(key) {
 			delete(s.tombs, key)
+			affected[key] = true
 		}
 	}
 	s.tombMu.Unlock()
+	for key := range affected {
+		s.report(Mutation{Del: true, Key: key})
+	}
 	return len(victims)
+}
+
+// Dump enumerates the store's complete durable state as a mutation stream:
+// every live entry (plaintext value + version) followed by every deletion
+// floor, until fn returns false. Replaying the stream through Restore on an
+// empty store reproduces this store's state exactly — it is the snapshot
+// emit hook the durability layer seals to disk. Values are integrity-checked
+// copies, and any read failure aborts the dump with an error: a crashed
+// enclave or a host-corrupted value must fail the checkpoint loudly, never
+// produce a silently holed snapshot — a checkpoint that pruned the WAL
+// behind a hole would convert detectable corruption into permanent,
+// undetectable loss of the record's only authentic copy. (A key deleted
+// concurrently with the dump is the one benign absence and is skipped.)
+func (s *Store) Dump(fn func(m Mutation) bool) error {
+	// Collect keys first: reading values re-enters the index lock, which must
+	// not happen while the enumeration holds it (a queued writer would
+	// deadlock the recursive read lock).
+	keys := make([]string, 0, s.index.count())
+	s.index.ascend("", func(key string, ent entry) bool {
+		keys = append(keys, key)
+		return true
+	})
+	for _, key := range keys {
+		val, ver, err := s.GetVersioned(key)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted while the dump ran
+			}
+			return fmt.Errorf("dump %q: %w", key, err)
+		}
+		if !fn(Mutation{Key: key, Value: val, Version: ver, Versioned: true}) {
+			return nil
+		}
+	}
+	if s.enclave.Crashed() {
+		return tee.ErrEnclaveCrashed
+	}
+	s.RangeTombs(func(key string, v Version) bool {
+		return fn(Mutation{Del: true, Versioned: true, Key: key, Version: v})
+	})
+	return nil
+}
+
+// Restore applies one recovered mutation (from a sealed snapshot or WAL
+// record). It is the snapshot/WAL install hook: stale versioned writes are
+// tolerated (a fresher mutation already replayed). Restore goes through the
+// ordinary mutation paths, so call it before SetMutationSink — recovery
+// must not re-log its own input.
+func (s *Store) Restore(m Mutation) error {
+	var err error
+	switch {
+	case m.Del && m.Versioned:
+		err = s.RemoveVersioned(m.Key, m.Version)
+	case m.Del:
+		err = s.Remove(m.Key)
+	case m.Versioned:
+		err = s.WriteVersioned(m.Key, m.Value, m.Version)
+	default:
+		err = s.Write(m.Key, m.Value)
+	}
+	if err != nil && !errors.Is(err, ErrStaleVersion) {
+		return err
+	}
+	return nil
 }
 
 // CorruptValue is a test hook simulating a Byzantine host flipping a byte of

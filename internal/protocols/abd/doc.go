@@ -1,0 +1,11 @@
+// Package abd implements the ABD multi-writer multi-reader atomic register
+// protocol (Lynch & Shvartsman, FTCS'97) as an unmodified CFT protocol. It
+// is the paper's representative of the leaderless / per-key-order category
+// (Table 1): any node coordinates any request.
+//
+// Writes run in two broadcast rounds: (1) read the key's Lamport timestamp
+// from a majority, (2) write the value with a higher timestamp to a
+// majority. Reads usually complete in one round — if a majority agrees on
+// the highest timestamp the value is returned directly; otherwise the
+// coordinator performs the write-back round to preserve linearizability.
+package abd

@@ -1,0 +1,17 @@
+// Package allconcur implements AllConcur (Poke, Hoefler & Glass, 2016) as an
+// unmodified CFT protocol: a leaderless atomic broadcast with total order.
+// It is the paper's representative of the leaderless / total-order category
+// (Table 1).
+//
+// Execution proceeds in rounds. In round r every node broadcasts the set of
+// writes it proposes for that round (possibly empty). A node delivers round
+// r once it holds the round-r set of every non-suspected peer; it then
+// applies all commands in a deterministic order (proposer rank, then
+// submission order), which yields the same total order everywhere without a
+// leader. The digraph of the original protocol is instantiated as the
+// complete graph, whose vertex connectivity (n-1) tolerates the f failures
+// of a 2f+1 deployment.
+//
+// Reads are served locally (the paper's evaluated configuration gives
+// AllConcur "consistent local reads").
+package allconcur

@@ -1,0 +1,15 @@
+// Package chain implements Chain Replication (van Renesse & Schneider,
+// OSDI'04) as an unmodified CFT protocol: nodes form a chain in membership
+// order; writes enter at the head, traverse every node, and commit at the
+// tail; linearizable reads are served locally by the tail.
+//
+// It is the paper's representative of the leader-based / per-key-order
+// category (Table 1) — the head serializes writes, so R-CR's strength is the
+// tail's local reads (the paper's best performer on read-heavy mixes).
+//
+// Coordination: the tail is the advertised coordinator. Clients send both
+// reads (served locally) and writes (forwarded to the head, which starts the
+// chain traversal) to it. Head failure is detected through head heartbeats
+// driven by the trusted tick source; survivors deterministically shorten the
+// chain and bump the epoch.
+package chain

@@ -1,20 +1,3 @@
-// Package craq implements CRAQ — Chain Replication with Apportioned Queries
-// (Terrace & Freedman, ATC'09) — as an unmodified CFT protocol. The paper's
-// taxonomy (Table 1) lists CRAQ next to CR in the leader-based/per-key-order
-// family; this package is the library's demonstration that the Recipe
-// transformation extends beyond the four evaluated protocols.
-//
-// CRAQ improves CR's read scalability: *every* replica serves reads, not
-// just the tail. Each replica tracks, per key, the newest committed
-// ("clean") version. Writes traverse the chain head→tail as in CR and are
-// applied tentatively (marking the key dirty); when the tail commits, a
-// clean acknowledgement travels tail→head, marking the version clean at
-// every replica. A read of a clean key is served locally; a read of a dirty
-// key asks the tail for the committed version, preserving strong
-// consistency.
-//
-// This implementation keeps a static chain (no head failover — package chain
-// demonstrates reconfiguration; combining both is mechanical).
 package craq
 
 import (

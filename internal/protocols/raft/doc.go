@@ -1,0 +1,11 @@
+// Package raft implements the Raft consensus protocol (Ongaro & Ousterhout,
+// ATC'14) as an unmodified CFT protocol against the core.Protocol interface:
+// leader election with randomized timeouts, log replication with the
+// AppendEntries consistency check, and commitment by majority match.
+//
+// It is the paper's representative of the leader-based / total-order
+// category (Table 1). Reads are linearizable: they are forwarded to the
+// leader, which serves them locally — safe in the transformed setting
+// because the trusted lease guarantees at most one acting leader and the
+// leader's store holds every committed write.
+package raft

@@ -1,8 +1,3 @@
-// Package prototest provides a deterministic, synchronous harness for unit
-// testing protocol implementations against the core.Protocol interface
-// without nodes, transports, or goroutines: messages are queued and
-// delivered one at a time under test control, so every interleaving a test
-// constructs is reproducible.
 package prototest
 
 import (

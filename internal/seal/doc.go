@@ -1,0 +1,55 @@
+// Package seal is Recipe's durable storage layer: a segmented, encrypted,
+// rollback-protected write-ahead log plus snapshot store that lets a crashed
+// replica recover its state from local disk instead of streaming it from
+// live peers — and lets a whole replication group survive simultaneous
+// power loss, which pure in-memory replication cannot.
+//
+// # What is on disk
+//
+// A replica's data directory holds at most one snapshot file and a chain of
+// WAL segments. Every committed store mutation (write, versioned write,
+// delete, versioned delete — see kvstore.Mutation) is encoded, sealed with
+// AES-256-GCM under a sealing key derived from the CAS-provisioned master
+// secret (KeyFor), and appended to the active segment. The host never sees
+// plaintext state: disk contents are ciphertext whose integrity every
+// recovery re-verifies, exactly like the host-memory values the kvstore
+// already treats as untrusted.
+//
+// # Freshness: the seal counter and chain hash
+//
+// Encryption alone cannot stop the Byzantine host from serving an older,
+// perfectly authentic copy of the directory (a rollback) or a divergent one
+// it captured on a fork. Each sealed record therefore advances a monotonic
+// seal counter (bound into the record's AEAD associated data, so records
+// cannot be reordered or transplanted) and a running chain hash over the
+// ciphertexts. On every group commit (Log.Commit, an fsync) the pair
+// (counter, chain hash) is registered at the CAS through the Registrar
+// interface; the CAS only ever accepts counters that move forward. A
+// restarted replica replays its directory, recomputes the chain, and checks
+// it against the registered root: state older than the registered counter,
+// or state whose chain diverges at it, is rejected distinguishably as
+// ErrRollback (surfaced as SecurityStats.RejectedRollback) and the replica
+// falls back to state transfer from live peers. Tampered or torn records
+// fail AEAD verification and are rejected as ErrTampered the same way.
+//
+// # Snapshots
+//
+// Log.WriteSnapshot seals the store's full state (Store.Dump) into a single
+// snapshot file stamped with the chain position it covers, then prunes the
+// segments it subsumes. Recovery loads the newest snapshot and replays only
+// the segment suffix after it, so recovery cost tracks the write rate since
+// the last checkpoint, not the store size. A snapshot is also the anchor a
+// replica writes after falling back to state transfer (Reset + checkpoint):
+// the chain restarts just past the registered counter, so the CAS's
+// monotonicity is preserved across the fallback.
+//
+// # Placement in the stack
+//
+// core.Node owns a Log when NodeConfig.Durability is set: the kvstore
+// mutation sink appends, the event loop's end-of-iteration flush calls
+// Commit (group commit riding the same MaxBatch coalescing that batches
+// envelopes), and recovery runs before the protocol starts. The harness
+// arranges directories, passes the CAS as the Registrar, and prefers local
+// sealed recovery in Cluster.Recover / Cluster.RecoverGroup. See
+// ARCHITECTURE.md ("Sealed durable storage") for the full trust argument.
+package seal

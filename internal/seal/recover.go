@@ -1,0 +1,233 @@
+package seal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"recipe/internal/kvstore"
+)
+
+// snapshot is one decoded (unsealed) snapshot file.
+type snapshot struct {
+	counter uint64
+	root    [32]byte
+	entries []byte // encoded mutations, count of them below
+	count   uint32
+}
+
+func snapCounterOf(s *snapshot) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.counter
+}
+
+// segFile is one WAL segment with its verified header.
+type segFile struct {
+	path string
+	base uint64
+	root [32]byte
+	body []byte // frames after the header
+}
+
+// scanLocked loads and authenticates the directory: the newest snapshot (by
+// sealed-in counter — file names are untrusted) and every segment header.
+// A snapshot that fails authenticated decryption is tampering, not a reason
+// to silently fall back to an older one.
+func (l *Log) scanLocked() (*snapshot, []*segFile, error) {
+	snapNames, err := filepath.Glob(filepath.Join(l.dir, "snap-*.seal"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("seal: %w", err)
+	}
+	var snap *snapshot
+	for _, name := range snapNames {
+		s, err := l.readSnapshot(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if snap == nil || s.counter > snap.counter {
+			snap = s
+		}
+	}
+
+	segNames, err := filepath.Glob(filepath.Join(l.dir, "wal-*.seg"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("seal: %w", err)
+	}
+	segs := make([]*segFile, 0, len(segNames))
+	for _, name := range segNames {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("seal: %w", err)
+		}
+		if len(data) < segHeaderSize || !bytes.Equal(data[:len(segMagic)], []byte(segMagic)) {
+			return nil, nil, fmt.Errorf("%w: segment %s has no valid header", ErrTampered, filepath.Base(name))
+		}
+		sf := &segFile{path: name, base: binary.BigEndian.Uint64(data[len(segMagic):])}
+		copy(sf.root[:], data[len(segMagic)+8:segHeaderSize])
+		sf.body = data[segHeaderSize:]
+		if sf.base < snapCounterOf(snap) {
+			continue // fully covered by the snapshot (leftover from a pruned generation)
+		}
+		segs = append(segs, sf)
+	}
+	// Order by chain position; the file-name sequence breaks ties (an empty
+	// pre-snapshot leftover sorts before the live segment at the same base).
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].base != segs[j].base {
+			return segs[i].base < segs[j].base
+		}
+		return segs[i].path < segs[j].path
+	})
+	return snap, segs, nil
+}
+
+// readSnapshot unseals one snapshot file.
+func (l *Log) readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("seal: %w", err)
+	}
+	if len(data) < len(snapMagic)+nonceSize || !bytes.Equal(data[:len(snapMagic)], []byte(snapMagic)) {
+		return nil, fmt.Errorf("%w: snapshot %s has no valid header", ErrTampered, filepath.Base(path))
+	}
+	nonce := data[len(snapMagic) : len(snapMagic)+nonceSize]
+	plain, err := l.aead.Open(nil, nonce, data[len(snapMagic)+nonceSize:], []byte("snapshot"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot %s fails authentication", ErrTampered, filepath.Base(path))
+	}
+	if len(plain) < 8+32+4 {
+		return nil, fmt.Errorf("%w: snapshot %s truncated", ErrTampered, filepath.Base(path))
+	}
+	s := &snapshot{counter: binary.BigEndian.Uint64(plain)}
+	copy(s.root[:], plain[8:40])
+	s.count = binary.BigEndian.Uint32(plain[40:])
+	s.entries = plain[44:]
+	return s, nil
+}
+
+// walkLocked traverses the chain once: it checks chain continuity and
+// freshness against the registrar, repairs a torn tail (an unregistered
+// final record a crash cut mid-write) by truncating it durably, and — when
+// apply is non-nil — delivers every mutation in commit order as it goes.
+// Returns the end-of-chain position. On an error return a prefix may
+// already have been applied; the caller discards it.
+func (l *Log) walkLocked(snap *snapshot, segs []*segFile, apply func(kvstore.Mutation) error) (uint64, [32]byte, error) {
+	cur := snapCounterOf(snap)
+	root := [32]byte{}
+	if snap != nil {
+		root = snap.root
+	} else if len(segs) > 0 && segs[0].base != 0 && segs[0].root == resetRoot(segs[0].base) {
+		// No snapshot, and the chain legitimately starts mid-counter: a
+		// reset (or a fresh start past a retired identity's registered
+		// counter) anchors at the deterministic reset root. This cannot hide
+		// history — the walk must still reach the registered counter with a
+		// matching chain, and only an enclave writes reset-root headers.
+		cur, root = segs[0].base, segs[0].root
+	}
+
+	regC, regRoot, regOK := uint64(0), [32]byte{}, false
+	if l.reg != nil {
+		regC, regRoot, regOK = l.reg.SealRoot(l.id)
+	}
+	if regOK && cur > regC {
+		// A genuine snapshot is committed (and its position registered)
+		// before it is written, so a snapshot past the registered counter
+		// means the registrar's history and the disk's diverged.
+		return 0, root, fmt.Errorf("%w: snapshot at counter %d beyond registered %d", ErrRollback, cur, regC)
+	}
+	checkReg := func(c uint64, r [32]byte) error {
+		if regOK && c == regC && r != regRoot {
+			return fmt.Errorf("%w: chain diverges from registered root at counter %d", ErrRollback, c)
+		}
+		return nil
+	}
+	if err := checkReg(cur, root); err != nil {
+		return 0, root, err
+	}
+
+	if apply != nil && snap != nil {
+		rest := snap.entries
+		for i := uint32(0); i < snap.count; i++ {
+			var m kvstore.Mutation
+			var err error
+			m, rest, err = decodeMutation(rest)
+			if err != nil {
+				return 0, root, fmt.Errorf("snapshot entry %d: %w", i, err)
+			}
+			if err := apply(m); err != nil {
+				return 0, root, fmt.Errorf("seal: apply snapshot entry %q: %w", m.Key, err)
+			}
+		}
+	}
+
+	var aad [8]byte
+	for si, sf := range segs {
+		if sf.base != cur {
+			return 0, root, fmt.Errorf("%w: segment chain gap (have counter %d, segment starts at %d)", ErrRollback, cur, sf.base)
+		}
+		if sf.root != root {
+			return 0, root, fmt.Errorf("%w: segment base root diverges at counter %d", ErrRollback, cur)
+		}
+		body, off := sf.body, 0
+		for off < len(body) {
+			rest := body[off:]
+			tornOK := si == len(segs)-1 && (!regOK || cur >= regC)
+			if len(rest) < 4 {
+				return l.tornTail(sf, off, cur, root, tornOK)
+			}
+			frameLen := int(binary.BigEndian.Uint32(rest))
+			if frameLen < nonceSize || frameLen > maxFrame || len(rest) < 4+frameLen {
+				return l.tornTail(sf, off, cur, root, tornOK)
+			}
+			sealed := rest[4 : 4+frameLen]
+			binary.BigEndian.PutUint64(aad[:], cur+1)
+			plain, err := l.aead.Open(nil, sealed[:nonceSize], sealed[nonceSize:], aad[:])
+			if err != nil {
+				if tornOK {
+					return l.tornTail(sf, off, cur, root, true)
+				}
+				return 0, root, fmt.Errorf("%w: record %d fails authentication", ErrTampered, cur+1)
+			}
+			cur++
+			root = chainNext(root, sealed)
+			if err := checkReg(cur, root); err != nil {
+				return 0, root, err
+			}
+			if apply != nil {
+				m, _, err := decodeMutation(plain)
+				if err != nil {
+					return 0, root, fmt.Errorf("record %d: %w", cur, err)
+				}
+				if err := apply(m); err != nil {
+					return 0, root, fmt.Errorf("seal: apply record %d (%q): %w", cur, m.Key, err)
+				}
+			}
+			off += 4 + frameLen
+		}
+	}
+	if regOK && cur < regC {
+		return 0, root, fmt.Errorf("%w: sealed state ends at counter %d, registered counter is %d", ErrRollback, cur, regC)
+	}
+	return cur, root, nil
+}
+
+// tornTail handles an unreadable suffix of the final segment. If every
+// registered record has already been recovered (counter >= registered), the
+// suffix is an un-committed tail a crash tore mid-write: it is truncated
+// away durably (so future recoveries see a clean chain end) and recovery
+// succeeds at the cut. Anything else is tampering.
+func (l *Log) tornTail(sf *segFile, off int, cur uint64, root [32]byte, tornOK bool) (uint64, [32]byte, error) {
+	if !tornOK {
+		return 0, root, fmt.Errorf("%w: segment %s torn at record %d", ErrTampered, filepath.Base(sf.path), cur+1)
+	}
+	if err := os.Truncate(sf.path, int64(segHeaderSize+off)); err != nil {
+		return 0, root, fmt.Errorf("seal: truncate torn tail: %w", err)
+	}
+	sf.body = sf.body[:off]
+	return cur, root, nil
+}

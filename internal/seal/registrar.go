@@ -1,0 +1,90 @@
+package seal
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// FileRegistrar is a Registrar backed by a local file, for deployments
+// without a CAS (the multi-process recipe-node). It enforces the same
+// monotonicity, but the anchor lives on the same untrusted disk as the log:
+// it protects against accidental corruption, partial restores, and operator
+// error — NOT against an adversary who rolls back the whole directory,
+// anchor included. Deployments that need the full rollback guarantee anchor
+// at the CAS (attest.Service implements Registrar); see docs/operations.md.
+type FileRegistrar struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileRegistrar creates a file-backed registrar at path.
+func NewFileRegistrar(path string) *FileRegistrar {
+	return &FileRegistrar{path: path}
+}
+
+// RegisterSealRoot implements Registrar with an atomic, fsynced replace.
+func (r *FileRegistrar) RegisterSealRoot(id string, counter uint64, root [32]byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, cur, ok := r.readLocked(id); ok {
+		if counter < c || (counter == c && root != cur) {
+			return fmt.Errorf("seal: registrar: counter %d behind registered %d for %s", counter, c, id)
+		}
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], counter)
+	line := fmt.Sprintf("%s %s %s\n", id, hex.EncodeToString(buf[:]), hex.EncodeToString(root[:]))
+	tmp := r.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o640)
+	if err != nil {
+		return fmt.Errorf("seal: registrar: %w", err)
+	}
+	if _, err := f.WriteString(line); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("seal: registrar: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("seal: registrar: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("seal: registrar: %w", err)
+	}
+	if err := os.Rename(tmp, r.path); err != nil {
+		return fmt.Errorf("seal: registrar: %w", err)
+	}
+	return nil
+}
+
+// SealRoot implements Registrar.
+func (r *FileRegistrar) SealRoot(id string) (uint64, [32]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.readLocked(id)
+}
+
+func (r *FileRegistrar) readLocked(id string) (uint64, [32]byte, bool) {
+	var root [32]byte
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		return 0, root, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 3 || fields[0] != id {
+		return 0, root, false
+	}
+	cbytes, err := hex.DecodeString(fields[1])
+	if err != nil || len(cbytes) != 8 {
+		return 0, root, false
+	}
+	rbytes, err := hex.DecodeString(fields[2])
+	if err != nil || len(rbytes) != 32 {
+		return 0, root, false
+	}
+	copy(root[:], rbytes)
+	return binary.BigEndian.Uint64(cbytes), root, true
+}

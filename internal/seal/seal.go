@@ -1,0 +1,121 @@
+package seal
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"recipe/internal/kvstore"
+)
+
+// Durability errors. ErrRollback and ErrTampered are the distinguishable
+// security rejections: recovery refuses the local state and the caller falls
+// back to state transfer, counting the event in SecurityStats.RejectedRollback.
+var (
+	// ErrRollback means the sealed state is authentic but not fresh: it ends
+	// before the counter registered at the CAS, its chain diverges from the
+	// registered root (a fork), or its segment chain has a gap — the host
+	// served an older or alternate history.
+	ErrRollback = errors.New("seal: sealed state rolled back or forked")
+	// ErrTampered means a sealed record or snapshot failed authenticated
+	// decryption or is torn — the host modified or truncated it.
+	ErrTampered = errors.New("seal: sealed state tampered or torn")
+	// ErrNotPositioned means Append/Commit was called before Recover (or
+	// Reset) established the log's position in the chain.
+	ErrNotPositioned = errors.New("seal: log not positioned (call Recover first)")
+)
+
+// Registrar anchors a replica's seal freshness outside the untrusted host.
+// The CAS implements it (attest.Service): counters are monotonic per node
+// identity, so once a commit registers, no earlier state can pass recovery.
+// A nil Registrar disables freshness anchoring (encryption and integrity
+// still apply) — the multi-process recipe-node uses a file-backed stand-in
+// and documents the weaker guarantee.
+type Registrar interface {
+	// RegisterSealRoot records the chain position (counter, root) for id.
+	// Implementations must reject counters below the currently registered
+	// one, and re-registration of the same counter with a different root.
+	RegisterSealRoot(id string, counter uint64, root [32]byte) error
+	// SealRoot returns the registered position for id (ok=false if none).
+	SealRoot(id string) (counter uint64, root [32]byte, ok bool)
+}
+
+// KeyFor derives a node's sealing key from the CAS-provisioned master
+// secret. The derivation is deterministic in (master, nodeID): a recovered
+// incarnation re-attests, receives the same master secret, and can therefore
+// unseal the state its predecessor wrote — without the CAS, the disk is
+// ciphertext to everyone including the host.
+func KeyFor(master []byte, nodeID string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte("seal:"))
+	mac.Write([]byte(nodeID))
+	return mac.Sum(nil)
+}
+
+// record flag bits (mirrors kvstore.Mutation).
+const (
+	flagDel byte = 1 << iota
+	flagVersioned
+)
+
+// appendMutation encodes one mutation to buf:
+// [flags][keylen u32][key][vallen u32][val][ts u64][writer u64].
+func appendMutation(buf []byte, m kvstore.Mutation) []byte {
+	var flags byte
+	if m.Del {
+		flags |= flagDel
+	}
+	if m.Versioned {
+		flags |= flagVersioned
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Key)))
+	buf = append(buf, m.Key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Value)))
+	buf = append(buf, m.Value...)
+	buf = binary.BigEndian.AppendUint64(buf, m.Version.TS)
+	buf = binary.BigEndian.AppendUint64(buf, m.Version.Writer)
+	return buf
+}
+
+// mutationSize returns the encoded length of m.
+func mutationSize(m kvstore.Mutation) int {
+	return 1 + 4 + len(m.Key) + 4 + len(m.Value) + 8 + 8
+}
+
+// decodeMutation decodes one mutation from data, returning the remainder.
+// The decoded Key and Value copy out of data (recovery buffers are reused).
+func decodeMutation(data []byte) (kvstore.Mutation, []byte, error) {
+	var m kvstore.Mutation
+	if len(data) < 1+4 {
+		return m, nil, fmt.Errorf("%w: short record", ErrTampered)
+	}
+	flags := data[0]
+	if flags&^(flagDel|flagVersioned) != 0 {
+		return m, nil, fmt.Errorf("%w: bad record flags %#x", ErrTampered, flags)
+	}
+	m.Del = flags&flagDel != 0
+	m.Versioned = flags&flagVersioned != 0
+	data = data[1:]
+	klen := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if klen < 0 || len(data) < klen+4 {
+		return m, nil, fmt.Errorf("%w: short record key", ErrTampered)
+	}
+	m.Key = string(data[:klen])
+	data = data[klen:]
+	vlen := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if vlen < 0 || len(data) < vlen+16 {
+		return m, nil, fmt.Errorf("%w: short record value", ErrTampered)
+	}
+	if vlen > 0 {
+		m.Value = append([]byte(nil), data[:vlen]...)
+	}
+	data = data[vlen:]
+	m.Version.TS = binary.BigEndian.Uint64(data)
+	m.Version.Writer = binary.BigEndian.Uint64(data[8:])
+	return m, data[16:], nil
+}

@@ -1,0 +1,523 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"recipe/internal/kvstore"
+)
+
+// memReg is an in-memory Registrar with CAS-style monotonicity.
+type memReg struct {
+	mu    sync.Mutex
+	c     map[string]uint64
+	roots map[string][32]byte
+}
+
+func newMemReg() *memReg {
+	return &memReg{c: make(map[string]uint64), roots: make(map[string][32]byte)}
+}
+
+func (r *memReg) RegisterSealRoot(id string, counter uint64, root [32]byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.c[id]; ok {
+		if counter < cur {
+			return fmt.Errorf("counter %d behind %d", counter, cur)
+		}
+		if counter == cur && root != r.roots[id] {
+			return fmt.Errorf("counter %d re-registered with a different root", counter)
+		}
+	}
+	r.c[id] = counter
+	r.roots[id] = root
+	return nil
+}
+
+func (r *memReg) SealRoot(id string) (uint64, [32]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.c[id]
+	return c, r.roots[id], ok
+}
+
+func testKey() []byte { return KeyFor(bytes.Repeat([]byte{7}, 32), "n1") }
+
+func openLog(t *testing.T, dir string, reg Registrar, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, testKey(), "n1", reg, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func mustRecover(t *testing.T, l *Log) []kvstore.Mutation {
+	t.Helper()
+	var got []kvstore.Mutation
+	if _, err := l.Recover(func(m kvstore.Mutation) error {
+		got = append(got, m)
+		return nil
+	}); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return got
+}
+
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		m := kvstore.Mutation{
+			Key: fmt.Sprintf("k%04d", i), Value: []byte(fmt.Sprintf("v%d", i)),
+			Versioned: true, Version: kvstore.Version{TS: uint64(i + 1)},
+		}
+		if err := l.Append(m); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+// TestRoundTrip: appended mutations (including deletes and an unversioned
+// write) replay in order after a reopen.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	if err := l.Append(kvstore.Mutation{Key: "x"}); !errors.Is(err, ErrNotPositioned) {
+		t.Fatalf("Append before Recover = %v, want ErrNotPositioned", err)
+	}
+	if got := mustRecover(t, l); len(got) != 0 {
+		t.Fatalf("fresh recover returned %d mutations", len(got))
+	}
+	want := []kvstore.Mutation{
+		{Key: "a", Value: []byte("1"), Versioned: true, Version: kvstore.Version{TS: 1}},
+		{Key: "b", Value: []byte("2")},
+		{Del: true, Versioned: true, Key: "a", Version: kvstore.Version{TS: 2, Writer: 9}},
+		{Del: true, Key: "b"},
+		{Key: "c", Value: nil, Versioned: true, Version: kvstore.Version{TS: 3}},
+	}
+	for _, m := range want {
+		if err := l.Append(m); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openLog(t, dir, reg, Options{})
+	got := mustRecover(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d mutations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Del != w.Del || g.Versioned != w.Versioned || g.Key != w.Key ||
+			!bytes.Equal(g.Value, w.Value) || g.Version != w.Version {
+			t.Fatalf("mutation %d = %+v, want %+v", i, g, w)
+		}
+	}
+	if !l2.Recovered() {
+		t.Fatal("Recovered() = false after replay")
+	}
+	if c := l2.Counter(); c != uint64(len(want)) {
+		t.Fatalf("Counter = %d, want %d", c, len(want))
+	}
+	// The chain continues: more appends and another recovery still verify.
+	appendN(t, l2, 0, 3)
+	_ = l2.Close()
+	l3 := openLog(t, dir, reg, Options{})
+	if got := mustRecover(t, l3); len(got) != len(want)+3 {
+		t.Fatalf("second replay %d mutations, want %d", len(got), len(want)+3)
+	}
+}
+
+// TestSnapshotPrunesAndReplays: a snapshot subsumes the WAL, recovery
+// restores snapshot + suffix, and old segments are gone.
+func TestSnapshotPrunesAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 50)
+	state := map[string]string{}
+	for i := 0; i < 50; i++ {
+		state[fmt.Sprintf("k%04d", i)] = fmt.Sprintf("v%d", i)
+	}
+	if err := l.WriteSnapshot(func(emit func(kvstore.Mutation) bool) error {
+		for k, v := range state {
+			emit(kvstore.Mutation{Key: k, Value: []byte(v), Versioned: true})
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 0 {
+		t.Fatalf("snapshot left %d segments", len(segs))
+	}
+	appendN(t, l, 50, 10) // suffix after the snapshot
+	_ = l.Close()
+
+	l2 := openLog(t, dir, reg, Options{})
+	got := mustRecover(t, l2)
+	if len(got) != 50+10 {
+		t.Fatalf("replayed %d mutations, want 60", len(got))
+	}
+	if c := l2.Counter(); c != 60 {
+		t.Fatalf("Counter = %d, want 60", c)
+	}
+}
+
+// TestTamperRejected: flipping one ciphertext byte in a segment fails
+// recovery distinguishably.
+func TestTamperRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 20)
+	appendN(t, l, 20, 20) // second commit, so the tamper point is registered
+	_ = l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	data, _ := os.ReadFile(segs[0])
+	data[segHeaderSize+30] ^= 0xff // inside the first record's ciphertext
+	if err := os.WriteFile(segs[0], data, 0o640); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, reg, Options{})
+	_, err := l2.Recover(nil)
+	if !errors.Is(err, ErrTampered) && !errors.Is(err, ErrRollback) {
+		t.Fatalf("Recover after tamper = %v, want ErrTampered/ErrRollback", err)
+	}
+	// Reset + rebuild: the chain restarts past the registered counter.
+	if err := l2.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l2.Counter() != 41 { // 40 registered + 1
+		t.Fatalf("post-reset counter = %d, want 41", l2.Counter())
+	}
+	appendN(t, l2, 0, 5)
+	_ = l2.Close()
+	l3 := openLog(t, dir, reg, Options{})
+	if got := mustRecover(t, l3); len(got) != 5 {
+		t.Fatalf("post-reset replay %d mutations, want 5", len(got))
+	}
+}
+
+// TestTruncationRejected: cutting a registered suffix off the WAL is a
+// rollback, not a torn tail.
+func TestTruncationRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 30)
+	_ = l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	info, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, reg, Options{})
+	if _, err := l2.Recover(nil); !errors.Is(err, ErrRollback) && !errors.Is(err, ErrTampered) {
+		t.Fatalf("Recover after truncation = %v, want rollback/tampered", err)
+	}
+}
+
+// TestTornUnregisteredTailAccepted: a torn record beyond the registered
+// counter is a crash artifact, not an attack — recovery truncates it and
+// succeeds with the registered prefix.
+func TestTornUnregisteredTailAccepted(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 10) // committed + registered
+	// Two appends that are written but never committed/registered.
+	for i := 10; i < 12; i++ {
+		if err := l.Append(kvstore.Mutation{Key: fmt.Sprintf("k%04d", i), Value: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash mid-write: chop the last record in half without
+	// closing (Close would commit and register).
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	info, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, reg, Options{})
+	got := mustRecover(t, l2)
+	if len(got) != 11 { // 10 registered + 1 intact unregistered
+		t.Fatalf("replayed %d mutations, want 11", len(got))
+	}
+	// The truncation is durable: a third recovery replays the same prefix.
+	appendN(t, l2, 20, 2)
+	_ = l2.Close()
+	l3 := openLog(t, dir, reg, Options{})
+	if got := mustRecover(t, l3); len(got) != 13 {
+		t.Fatalf("replay after torn-tail repair = %d mutations, want 13", len(got))
+	}
+}
+
+// TestRollbackOldDirectoryRejected: restoring a byte-exact older copy of the
+// whole directory (the classic rollback) is rejected once newer state has
+// been registered.
+func TestRollbackOldDirectoryRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 10)
+
+	// Capture the directory at T1.
+	saved := map[string][]byte{}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[filepath.Base(name)] = data
+	}
+
+	appendN(t, l, 10, 10) // T2: registered counter advances to 20
+	_ = l.Close()
+
+	// Roll the directory back to T1.
+	names, _ = filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		_ = os.Remove(name)
+	}
+	for base, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, base), data, 0o640); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l2 := openLog(t, dir, reg, Options{})
+	if _, err := l2.Recover(nil); !errors.Is(err, ErrRollback) {
+		t.Fatalf("Recover after directory rollback = %v, want ErrRollback", err)
+	}
+}
+
+// TestOlderSnapshotSwapRejected: swapping in an authentic but older-counter
+// snapshot (with the newer segments pruned, as a real snapshot would have
+// done) is a rollback.
+func TestOlderSnapshotSwapRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 10)
+	if err := l.WriteSnapshot(func(emit func(kvstore.Mutation) bool) error {
+		emit(kvstore.Mutation{Key: "s", Value: []byte("old")})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	oldSnaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.seal"))
+	oldSnap, _ := os.ReadFile(oldSnaps[0])
+
+	appendN(t, l, 10, 10)
+	if err := l.WriteSnapshot(func(emit func(kvstore.Mutation) bool) error {
+		emit(kvstore.Mutation{Key: "s", Value: []byte("new")})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 20, 5)
+	_ = l.Close()
+
+	// The host swaps the old snapshot back in and discards everything newer.
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		_ = os.Remove(name)
+	}
+	if err := os.WriteFile(filepath.Join(dir, filepath.Base(oldSnaps[0])), oldSnap, 0o640); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, reg, Options{})
+	if _, err := l2.Recover(nil); !errors.Is(err, ErrRollback) {
+		t.Fatalf("Recover after snapshot swap = %v, want ErrRollback", err)
+	}
+}
+
+// TestForkRejected: two divergent histories from the same prefix — the one
+// that was not registered fails recovery even though every record is
+// authentic.
+func TestForkRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 10)
+
+	saved := map[string][]byte{}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		data, _ := os.ReadFile(name)
+		saved[filepath.Base(name)] = data
+	}
+	// Registrar state at the branch point, before branch A extends it.
+	forkReg := newMemReg()
+	forkReg.c["n1"], forkReg.roots["n1"], _ = reg.SealRoot("n1")
+
+	appendN(t, l, 100, 5) // branch A: registered
+	_ = l.Close()
+
+	// Rebuild branch B from the same prefix with different content, using a
+	// registrar clone frozen at the branch point so branch B's writes
+	// self-register on a fork of the trusted state. The REAL registrar saw
+	// only branch A.
+	forkDir := t.TempDir()
+	for base, data := range saved {
+		_ = os.WriteFile(filepath.Join(forkDir, base), data, 0o640)
+	}
+	lb, err := Open(forkDir, testKey(), "n1", forkReg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Recover(nil); err != nil {
+		t.Fatalf("fork branch recover: %v", err)
+	}
+	appendN(t, lb, 200, 5) // branch B: same counters 11..15, different content
+	_ = lb.Close()
+
+	// Serve branch B to a recovery that trusts the real registrar.
+	names, _ = filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		_ = os.Remove(name)
+	}
+	forkNames, _ := filepath.Glob(filepath.Join(forkDir, "*"))
+	for _, name := range forkNames {
+		data, _ := os.ReadFile(name)
+		_ = os.WriteFile(filepath.Join(dir, filepath.Base(name)), data, 0o640)
+	}
+	l2 := openLog(t, dir, reg, Options{})
+	if _, err := l2.Recover(nil); !errors.Is(err, ErrRollback) {
+		t.Fatalf("Recover of forked history = %v, want ErrRollback", err)
+	}
+}
+
+// TestSegmentRotation: many commits across the rotation threshold still
+// recover as one chain.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{SegmentBytes: 512})
+	mustRecover(t, l)
+	for i := 0; i < 10; i++ {
+		appendN(t, l, i*5, 5)
+	}
+	_ = l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	l2 := openLog(t, dir, reg, Options{})
+	if got := mustRecover(t, l2); len(got) != 50 {
+		t.Fatalf("replayed %d mutations across %d segments, want 50", len(got), len(segs))
+	}
+}
+
+// TestFreshStartPastRetiredCounter: a deliberately wiped home (Fresh) whose
+// identity has registered history (retire + regrow) starts past the
+// registered counter instead of clashing with it.
+func TestFreshStartPastRetiredCounter(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 7)
+	_ = l.Close()
+
+	dir2 := t.TempDir() // wiped fresh home for the re-created identity
+	l2 := openLog(t, dir2, reg, Options{Fresh: true})
+	if recovered := mustRecover(t, l2); len(recovered) != 0 {
+		t.Fatalf("fresh dir replayed %d mutations", len(recovered))
+	}
+	if l2.Counter() != 8 {
+		t.Fatalf("fresh counter = %d, want 8 (past registered 7)", l2.Counter())
+	}
+	appendN(t, l2, 0, 3)
+	_ = l2.Close()
+	l3 := openLog(t, dir2, reg, Options{})
+	if got := mustRecover(t, l3); len(got) != 3 {
+		t.Fatalf("replayed %d, want 3", len(got))
+	}
+}
+
+// TestEmptyDirectoryRollbackRejected: without the Fresh declaration, an
+// empty directory whose identity has registered history is the simplest
+// rollback of all (the host deleted everything) and must be rejected.
+func TestEmptyDirectoryRollbackRejected(t *testing.T) {
+	dir := t.TempDir()
+	reg := newMemReg()
+	l := openLog(t, dir, reg, Options{})
+	mustRecover(t, l)
+	appendN(t, l, 0, 7)
+	_ = l.Close()
+
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	for _, name := range names {
+		_ = os.Remove(name)
+	}
+	l2 := openLog(t, dir, reg, Options{})
+	if _, err := l2.Recover(nil); !errors.Is(err, ErrRollback) {
+		t.Fatalf("Recover of emptied dir = %v, want ErrRollback", err)
+	}
+	// Reset re-anchors past the registered counter and life continues.
+	if err := l2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l2, 0, 2)
+	_ = l2.Close()
+	l3 := openLog(t, dir, reg, Options{})
+	if got := mustRecover(t, l3); len(got) != 2 {
+		t.Fatalf("post-reset replay %d mutations, want 2", len(got))
+	}
+}
+
+// TestFileRegistrar: monotonicity and persistence of the file-backed anchor.
+func TestFileRegistrar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sealroot")
+	r := NewFileRegistrar(path)
+	if _, _, ok := r.SealRoot("n1"); ok {
+		t.Fatal("empty registrar reported a root")
+	}
+	root1 := [32]byte{1}
+	if err := r.RegisterSealRoot("n1", 5, root1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterSealRoot("n1", 4, root1); err == nil {
+		t.Fatal("registrar accepted a counter rollback")
+	}
+	if err := r.RegisterSealRoot("n1", 5, [32]byte{2}); err == nil {
+		t.Fatal("registrar accepted a root swap at the same counter")
+	}
+	c, root, ok := NewFileRegistrar(path).SealRoot("n1")
+	if !ok || c != 5 || root != root1 {
+		t.Fatalf("reloaded root = (%d, %v, %v)", c, root[:2], ok)
+	}
+}

@@ -1,8 +1,3 @@
-// Package workload generates YCSB-like key-value workloads: a Zipfian key
-// popularity distribution over a fixed key space with configurable
-// read/write mix and value size — the configuration of the paper's
-// evaluation (≈10k distinct keys, Zipfian, various R/W ratios and value
-// sizes).
 package workload
 
 import (

@@ -88,6 +88,17 @@ type Options struct {
 	Confidential bool
 	// NoTEECost disables the simulated SGX cost model (useful in tests).
 	NoTEECost bool
+	// Durability gives every replica a sealed durable store: committed
+	// operations append to an encrypted, rollback-protected write-ahead log
+	// (snapshot-compacted), so crashed replicas recover from local disk and
+	// a whole shard survives simultaneous power loss with zero lost
+	// acknowledged writes. Freshness is anchored at the attestation CAS;
+	// rolled-back sealed state is rejected and counted in
+	// SecurityStats.RejectedRollback. See docs/operations.md.
+	Durability bool
+	// DataDir is where replica data lives when Durability is on (default: a
+	// temporary directory owned by the cluster, removed on Stop).
+	DataDir string
 	// TickEvery overrides the protocol tick cadence.
 	TickEvery time.Duration
 	// Seed makes randomized components deterministic.
@@ -123,6 +134,8 @@ func newClusterWithFactory(opts Options, factory func(replica int) CustomProtoco
 		Shards:       opts.Shards,
 		Shielded:     !opts.Native,
 		Confidential: opts.Confidential,
+		Durability:   opts.Durability,
+		DataDir:      opts.DataDir,
 		TickEvery:    opts.TickEvery,
 		Seed:         opts.Seed,
 	}
@@ -234,10 +247,21 @@ func (c *Cluster) RetireShard() error {
 // Crash fail-stops a replica (enclave crash + network detach).
 func (c *Cluster) Crash(node string) { c.inner.Crash(node) }
 
-// Recover replaces a crashed replica with a freshly attested incarnation
-// and state-transfers it from a live peer before it serves.
+// Recover replaces a crashed replica with a freshly attested incarnation.
+// With Durability enabled it recovers the replica's sealed local state first
+// (rejecting rollbacks) and state-transfers only the missed suffix;
+// otherwise it streams the full state from a live peer before serving.
 func (c *Cluster) Recover(node string, timeout time.Duration) error {
 	return c.inner.Recover(node, timeout)
+}
+
+// RecoverShard recovers every crashed replica of one shard together — the
+// whole-shard power-loss path. It requires Durability (or at least one live
+// replica in the shard): the replicas' sealed states are reconciled before
+// any of them serves, so no acknowledged write is lost even when the entire
+// shard restarted at once.
+func (c *Cluster) RecoverShard(shard int, timeout time.Duration) error {
+	return c.inner.RecoverGroup(shard, timeout)
 }
 
 // SecurityStats aggregates the authn-boundary counters across replicas:
@@ -260,6 +284,12 @@ type SecurityStats struct {
 	// channel's out-of-order buffer was full (a flooded or badly stalled
 	// sender; the batch verify path cannot surface these as errors).
 	DroppedOverflow uint64
+	// RejectedRollback counts sealed durable state rejected at recovery: the
+	// host served an older (rolled-back), forked, or tampered copy of a
+	// replica's encrypted WAL/snapshot, detected against the seal counter
+	// and chain root registered at the CAS. The replica refuses the state
+	// and rebuilds through state transfer instead.
+	RejectedRollback uint64
 }
 
 // SecurityStats returns the cluster-wide authn counters (all shards).
@@ -302,6 +332,7 @@ func addNodeStats(s *SecurityStats, n *core.Node) {
 	s.RejectedStaleEpoch += st.DropEpoch.Load()
 	s.BufferedFutures += st.Buffered.Load()
 	s.DroppedOverflow += n.OverflowDrops()
+	s.RejectedRollback += st.DropRollback.Load()
 }
 
 // Client is a session issuing PUT/GET/DELETE operations against a cluster.
