@@ -159,13 +159,18 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 	for _, mode := range []struct {
 		name     string
 		maxBatch int
+		workers  int
 	}{
-		{"e2e-ycsb/MaxBatch=1", 1},
-		{"e2e-ycsb/batched", 0}, // node default (64)
+		{"e2e-ycsb/MaxBatch=1", 1, 0},
+		{"e2e-ycsb/batched", 0, 0},   // node default (64)
+		{"e2e-ycsb/pipelined", 0, 2}, // staged plane forced on: the alloc
+		// budget must hold with pooled buffers crossing stage boundaries
+		{"e2e-ycsb/inline", 0, -1}, // staged plane forced off, for comparison
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			opts := evalOptions(harness.Raft, true, false)
 			opts.MaxBatch = mode.maxBatch
+			opts.PipelineWorkers = mode.workers
 			benchSustainedMem(b, opts, workload.Config{ReadRatio: 0.50, ValueSize: 256})
 		})
 	}
@@ -208,5 +213,6 @@ func benchSustainedMem(b *testing.B, opts harness.Options, w workload.Config) {
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/n, "allocs/op-heap")
 	b.ReportMetric(float64(after.NumGC-before.NumGC), "GCs")
 	b.ReportMetric(float64(after.PauseTotalNs-before.PauseTotalNs)/1e6, "gc-pause-ms")
+	reportEnv(b)
 	b.ReportMetric(0, "ns/op")
 }

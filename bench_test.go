@@ -10,6 +10,7 @@ package recipe
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -47,6 +48,16 @@ var benchSystems = []struct {
 	{"R-ABD", harness.ABD, true},
 }
 
+// reportEnv attaches the host parallelism to every benchmark line. The
+// committed BENCH_*.json files are read on machines other than the one that
+// produced them, and several figures (core scaling, the staged data plane)
+// are meaningless without knowing how many cores were behind the numbers.
+func reportEnv(b *testing.B) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
 // benchThroughput drives b.N workload operations against a fresh cluster
 // and reports ops/s.
 func benchThroughput(b *testing.B, opts harness.Options, w workload.Config) {
@@ -71,6 +82,7 @@ func benchThroughput(b *testing.B, opts harness.Options, w workload.Config) {
 		b.Fatalf("driver: %v", err)
 	}
 	b.ReportMetric(ops, "ops/s")
+	reportEnv(b)
 	b.ReportMetric(0, "ns/op") // throughput is the figure of merit here
 }
 
@@ -497,6 +509,7 @@ func BenchmarkElasticResharding(b *testing.B) {
 		b.ReportMetric(float64(during.Load())/resizeDur.Seconds(), "during-split-ops/s")
 		b.ReportMetric(float64(resizeDur.Milliseconds()), "resize-ms")
 		b.ReportMetric(float64(target.Stats().DropEpoch.Load()-epochDropsBefore), "replays-rejected")
+		reportEnv(b)
 		b.ReportMetric(0, "ns/op")
 	})
 
@@ -679,6 +692,7 @@ func BenchmarkDurableRecovery(b *testing.B) {
 			totalMS += ms
 		}
 		b.ReportMetric(totalMS/float64(b.N), "ms/recovery")
+		reportEnv(b)
 		b.ReportMetric(0, "ns/op")
 	}
 
@@ -758,7 +772,37 @@ func BenchmarkDurableRecovery(b *testing.B) {
 				b.StartTimer()
 			}
 			b.ReportMetric(totalMS/float64(b.N), "ms/recovery")
+			reportEnv(b)
 			b.ReportMetric(0, "ns/op")
 		})
+	}
+}
+
+// BenchmarkCoreScaling measures how shielded R-Raft throughput responds to
+// cores: the same sustained 50%-read YCSB workload at GOMAXPROCS 1/2/4/8,
+// staged data plane in auto mode (workers track GOMAXPROCS, so at 1 proc it
+// collapses to the inline plane) against the inline plane forced on. On a
+// single-core host every line reports the same number — the numcpu metric on
+// each line says whether the hardware could express scaling at all, which is
+// why reportEnv exists.
+func BenchmarkCoreScaling(b *testing.B) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{
+			{"inline", -1},
+			{"pipelined", 0}, // auto: stage workers follow GOMAXPROCS
+		} {
+			b.Run(fmt.Sprintf("gomaxprocs=%d/%s", procs, mode.name), func(b *testing.B) {
+				runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				opts := evalOptions(harness.Raft, true, false)
+				opts.PipelineWorkers = mode.workers
+				benchThroughput(b, opts, workload.Config{ReadRatio: 0.50, ValueSize: 256})
+			})
+		}
 	}
 }

@@ -73,6 +73,7 @@ func run() error {
 // crashed follower.
 func durabilityTable() error {
 	fmt.Printf("\n=== Durability: follower recovery time at %d keys (R-Raft, 256B values) ===\n", *keysFlag)
+	fmt.Println(envLine())
 	tw, flush := newTable("mode", "recovery(ms)", "local", "note")
 	defer flush()
 	for _, mode := range []struct {
@@ -110,17 +111,21 @@ func measureRecovery(durable, checkpoint bool, snapshotEvery, keys int) (float64
 // default batching, 50% reads / 256 B values.
 func memTable() error {
 	fmt.Println("\n=== Hot-path memory discipline: allocs/op, B/op, GC pause (50%R, 256B) ===")
+	fmt.Println(envLine())
 	tw, flush := newTable("system", "mode", "kOps/s", "allocs/op", "B/op", "gc-pause(ms)")
 	defer flush()
 	for _, proto := range []harness.ProtocolKind{harness.Raft, harness.Chain} {
 		for _, mode := range []struct {
 			name     string
 			maxBatch int
+			workers  int
 		}{
-			{"per-message", 1},
-			{"batched", 0}, // node default (64)
+			{"per-message", 1, 0},
+			{"batched", 0, 0},   // node default (64)
+			{"pipelined", 0, 2}, // staged data plane forced on
 		} {
-			m, err := measureMem(harness.Options{Protocol: proto, Shielded: true, Seed: 1, MaxBatch: mode.maxBatch},
+			m, err := measureMem(harness.Options{Protocol: proto, Shielded: true, Seed: 1,
+				MaxBatch: mode.maxBatch, PipelineWorkers: mode.workers},
 				workload.Config{ReadRatio: 0.50, ValueSize: 256})
 			if err != nil {
 				return err
@@ -199,6 +204,13 @@ func measure(opts harness.Options, w workload.Config) (float64, error) {
 	return m.opsPerSec, err
 }
 
+// envLine is printed under every experiment header: several tables (the
+// memory discipline, the staged data plane) only mean something relative to
+// the cores behind them, so the host parallelism travels with the numbers.
+func envLine() string {
+	return fmt.Sprintf("host: numcpu=%d gomaxprocs=%d", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
 func newTable(header ...string) (*tabwriter.Writer, func()) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	for i, h := range header {
@@ -215,6 +227,7 @@ func kops(v float64) string { return fmt.Sprintf("%.1f", v/1000) }
 
 func fig3() error {
 	fmt.Println("\n=== Fig 3: throughput (kOps/s) vs value size, 90% reads ===")
+	fmt.Println(envLine())
 	sizes := []int{256, 1024, 4096}
 	tw, flush := newTable("system", "256B", "1024B", "4096B")
 	defer flush()
@@ -235,6 +248,7 @@ func fig3() error {
 
 func fig4() error {
 	fmt.Println("\n=== Fig 4: throughput (kOps/s) and speedup vs PBFT, 256B values ===")
+	fmt.Println(envLine())
 	fmt.Println("(allocs/op, B/op, and total GC pause are from the 50%R run)")
 	ratios := []int{50, 75, 90, 95, 99}
 	results := make(map[string]map[int]float64, len(systems))
@@ -281,6 +295,7 @@ func fig4() error {
 
 func fig5() error {
 	fmt.Println("\n=== Fig 5: throughput (kOps/s) with confidentiality vs plain PBFT ===")
+	fmt.Println(envLine())
 	ratios := []int{50, 95}
 	tw, flush := newTable("system", "50%R", "95%R")
 	defer flush()
@@ -310,6 +325,7 @@ func label(name string, conf bool) string {
 
 func fig6a() error {
 	fmt.Println("\n=== Fig 6a: transformation+TEE overhead factor (native / recipe), 256B ===")
+	fmt.Println(envLine())
 	ratios := []int{50, 75, 90, 95, 99}
 	native := tee.NativeCostModel()
 	tw, flush := newTable("protocol", "50%R", "75%R", "90%R", "95%R", "99%R")
@@ -339,6 +355,7 @@ func fig6a() error {
 
 func fig6b() error {
 	fmt.Println("\n=== Fig 6b: network stack throughput (Gb/s) vs payload size ===")
+	fmt.Println(envLine())
 	payloads := []int{64, 256, 1024, 1460, 2048, 4096}
 	stacks := []netstack.StackKind{
 		netstack.StackKernelNet,
@@ -393,6 +410,7 @@ func netThroughput(stack netstack.StackKind, payload int) (float64, error) {
 
 func table4() error {
 	fmt.Println("\n=== Table 4: attestation latency, Recipe CAS vs IAS ===")
+	fmt.Println(envLine())
 	// Modelled latencies are scaled 1/10 during measurement and scaled back
 	// for reporting; the ratio is preserved exactly.
 	const scale, rounds = 0.1, 5
@@ -442,6 +460,7 @@ func table4() error {
 
 func damysusCmp() error {
 	fmt.Println("\n=== §B.3: Recipe vs Damysus (kOps/s, 50% reads) ===")
+	fmt.Println(envLine())
 	tw, flush := newTable("system", "payload", "kOps/s")
 	damysusAt := make(map[int]float64, 3)
 	for _, payload := range []int{1, 64, 256} {

@@ -66,4 +66,13 @@
 // in-flight seals. The out-of-order buffer is bounded per channel both by
 // count (maxFutureBuffer) and by payload bytes (maxFutureBytes); overflow
 // drops are counted in OverflowDrops.
+//
+// The per-channel state (counters, gap buffer, delivery scratch) is NOT
+// safe for concurrent use on the same channel: callers that parallelise
+// must partition channels across goroutines so each channel has exactly one
+// verifier and one sealer at a time. core's staged data plane does exactly
+// that — its dispatcher hashes envelopes by channel name to ingress
+// workers, and its egress workers own disjoint peers per flush — which is
+// why Verify's returned scratch slice remains valid under pipelining: the
+// next Verify on that channel can only come from the same worker.
 package authn

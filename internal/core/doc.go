@@ -50,6 +50,33 @@
 // bytes the in-process fabric delivers by reference) are freshly allocated.
 // The authn package documents the underlying buffer-ownership contract.
 //
+// # Staged data plane
+//
+// The event loop is single-threaded by design — protocol state, client
+// table, store, and shard map are loop-owned and lock-free. With
+// NodeConfig.PipelineWorkers != 0 on a shielded node (auto mode enables it
+// when GOMAXPROCS > 1), the per-message crypto moves off that loop into
+// stages (see pipeline.go and ARCHITECTURE.md "Data-plane pipeline"):
+//
+//   - a dispatcher decodes inbound packets and routes each envelope by a
+//     hash of its channel name, so exactly one ingress worker ever calls
+//     Verify for a given channel — per-channel counter order and the Verify
+//     scratch-slice rule stay single-threaded per channel;
+//   - verified messages reach the loop through one bounded queue; the loop
+//     itself is unchanged and still the only goroutine touching protocol
+//     state. View changes, shard-map installs, and Crash() run in the loop
+//     between drains, so no stage observes a half-installed configuration;
+//   - outbound per-peer batches are sealed, encoded, and written by egress
+//     workers (one peer is owned by one worker per flush);
+//   - on durable nodes the loop hands each iteration's WAL batch and parked
+//     client replies to a committer stage, which fsyncs, registers the seal
+//     position, and only then releases the replies — the fsync overlaps the
+//     next iteration but an ack still never precedes its group commit.
+//
+// Stage queues are bounded; a full queue counts Stats.PipelineStalls and
+// blocks the producer (backpressure, never drops). PipelineWorkers: -1
+// forces the inline plane, which is byte-for-byte the pre-pipeline node.
+//
 // # Sharding
 //
 // Nothing in the transformation requires one replication group per

@@ -37,6 +37,11 @@ type Stats struct {
 	DropEpoch     atomic.Uint64 // stale-configuration-epoch messages rejected
 	DropMalformed atomic.Uint64 // undecodable packets
 	DropRollback  atomic.Uint64 // sealed local state rejected at recovery (rollback/fork/tamper)
+	// PipelineStalls counts stage handoffs that found the destination queue
+	// full and had to block (backpressure). Zero in a well-provisioned
+	// pipeline; a climbing value means a stage is the bottleneck — read the
+	// per-stage depths (Node.PipelineDepths) to see which.
+	PipelineStalls atomic.Uint64
 }
 
 // NodeConfig configures a Recipe node.
@@ -59,6 +64,14 @@ type NodeConfig struct {
 	MaxBatch int
 	// Confidential additionally encrypts message payloads and stored values.
 	Confidential bool
+	// PipelineWorkers controls the multi-core data plane. 0 (the default)
+	// sizes it automatically: inline (single-threaded, no stages) when
+	// GOMAXPROCS is 1, otherwise min(GOMAXPROCS, 8) ingress and egress
+	// workers around the protocol loop. -1 forces the inline data plane
+	// regardless of GOMAXPROCS. Values >= 1 set the per-stage worker count
+	// explicitly. Only shielded nodes pipeline — the stages parallelise the
+	// authn crypto, which native mode does not have.
+	PipelineWorkers int
 	// StoreConfig configures the local KV store.
 	StoreConfig kvstore.Config
 	// Durability, when set, gives the node a sealed durable store: committed
@@ -155,11 +168,25 @@ type Node struct {
 	// slices are recycled through small freelists so a steady-state flush
 	// allocates only the packet handed to the transport.
 	bt           netstack.BatchSender // transport's send queue, if it has one
+	pf           netstack.PeerFlusher // per-peer flush, if the transport has one
 	outMu        sync.Mutex
 	outPending   map[string][]authn.BatchItem
 	outOrder     []string // peers in first-queued order
 	outFreeItems [][]authn.BatchItem
 	outFreeOrder [][]string
+
+	// pipe is the staged data plane (nil = inline single-threaded plane).
+	// See pipeline.go for the stage layout and ownership contract.
+	pipe *pipeline
+	// iterAppends counts WAL appends since the last commit handoff.
+	// Atomic: most appends come from the event loop applying protocol
+	// commands, but migration sweeps (Store.DropIf) and recovery merges
+	// reach the mutation sink from other goroutines.
+	iterAppends atomic.Int64
+	// replyFree recycles deferred-reply slices across loop iterations when
+	// the commit stage owns sending them.
+	replyFreeMu sync.Mutex
+	replyFree   [][]deferredReply
 
 	// status is the protocol status as of the last event-loop iteration.
 	// Protocols are single-threaded, so external readers (routing, tests,
@@ -226,10 +253,10 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 		outPending:  make(map[string][]authn.BatchItem),
 	}
 	n.bt, _ = tr.(netstack.BatchSender)
+	n.pf, _ = tr.(netstack.PeerFlusher)
 	for id, inc := range cfg.Secrets.Incarnations {
 		n.inc[id] = inc
 	}
-
 	if cfg.Shielded {
 		for _, p := range n.peers {
 			if p == n.id {
@@ -256,6 +283,11 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 			return nil, fmt.Errorf("node %s: durability: %w", n.id, err)
 		}
 		n.wal = wal
+	}
+	// After the WAL: the pipeline's commit stage exists only for durable
+	// nodes, so it must see the final n.wal.
+	if w := pipelineWorkerCount(cfg); w > 0 {
+		n.pipe = newPipeline(n, w)
 	}
 	return n, nil
 }
@@ -368,6 +400,27 @@ func (n *Node) Enclave() *tee.Enclave { return n.enclave }
 
 // Stats returns the node's authn-boundary counters.
 func (n *Node) Stats() *Stats { return &n.stats }
+
+// Pipelined reports whether this node runs the staged multi-core data plane
+// (and with how many workers per stage); (false, 0) means the inline
+// single-threaded plane.
+func (n *Node) Pipelined() (bool, int) {
+	if n.pipe == nil {
+		return false, 0
+	}
+	return true, n.pipe.workers
+}
+
+// PipelineDepths returns an instantaneous snapshot of the staged plane's
+// queue depths (all zero on the inline plane). Together with
+// Stats.PipelineStalls this makes overload observable: a stage pinned at its
+// queue bound is the bottleneck.
+func (n *Node) PipelineDepths() PipelineDepths {
+	if n.pipe == nil {
+		return PipelineDepths{}
+	}
+	return n.pipe.depths()
+}
 
 // OverflowDrops returns how many authenticated messages the authn layer
 // discarded because a channel's future buffer was full. The batch verify
@@ -512,6 +565,7 @@ func (n *Node) Start() {
 				n.cfg.Logf("node %s: DURABILITY DISABLED, local recovery failed: %v", n.id, err)
 			} else {
 				n.store.SetMutationSink(func(m kvstore.Mutation) {
+					n.iterAppends.Add(1)
 					if err := n.wal.Append(m); err != nil {
 						// A durable replica that cannot seal a mutation must
 						// not acknowledge it — and a lost log entry cannot be
@@ -617,6 +671,16 @@ const maxLoopDrain = 256
 
 func (n *Node) run() {
 	defer close(n.doneCh)
+	if n.pipe != nil {
+		// Staged data plane: ingress workers feed verified messages to this
+		// loop, egress workers and the commit stage take work off it. The
+		// stages drain and join before doneCh closes, so Stop's WAL close (or
+		// Crash's abandon) never races an in-flight stage.
+		defer n.pipe.shutdown()
+		n.pipe.start()
+		n.runPipelined()
+		return
+	}
 	ticker := time.NewTicker(n.cfg.TickEvery)
 	defer ticker.Stop()
 	for {
@@ -639,6 +703,49 @@ func (n *Node) run() {
 			}
 		}
 		n.flushBatch()
+	}
+}
+
+// runPipelined is the protocol loop of the staged data plane: identical
+// protocol semantics, but packets arrive pre-verified (decode + MAC check +
+// decrypt already done by the ingress stage, in per-channel order) and the
+// expensive halves of flushBatch leave through the egress and commit stages.
+// Everything the Protocol interface can observe still happens on this one
+// goroutine.
+func (n *Node) runPipelined() {
+	ticker := time.NewTicker(n.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case m := <-n.pipe.verified:
+			n.dispatchWire(m.from, m.w)
+			n.drainPipelined(maxLoopDrain - 1)
+		case cmd := <-n.submitCh:
+			n.dispatchCommand(cmd)
+			n.drainPipelined(maxLoopDrain - 1)
+		case <-ticker.C:
+			n.proto.Tick()
+			n.flushFutures()
+		}
+		n.flushBatch()
+	}
+}
+
+// drainPipelined is drainBatch for the staged plane: it consumes verified
+// messages and submitted commands, never the raw inbox (the ingress
+// dispatcher owns that).
+func (n *Node) drainPipelined(budget int) {
+	for ; budget > 0; budget-- {
+		select {
+		case m := <-n.pipe.verified:
+			n.dispatchWire(m.from, m.w)
+		case cmd := <-n.submitCh:
+			n.dispatchCommand(cmd)
+		default:
+			return
+		}
 	}
 }
 
@@ -672,7 +779,9 @@ func (n *Node) flushBatch() {
 		bf.FlushBatch()
 	}
 	n.publishStatus()
-	if n.wal != nil {
+	if n.wal != nil && n.pipe != nil {
+		n.handoffCommit()
+	} else if n.wal != nil {
 		if err := n.wal.Commit(); err != nil {
 			// Same contract as a failed append: an ack must never outrun its
 			// fsync, and a commit that cannot happen means the iteration's
@@ -700,6 +809,56 @@ func (n *Node) flushBatch() {
 		}
 	}
 	n.flushOutbound()
+}
+
+// handoffCommit ends a pipelined iteration's durability work: the parked
+// client replies travel to the commit stage, whose goroutine runs the
+// overlapped WAL fsync (seal.Log.Sync) and only then sends them — the
+// ack-after-fsync contract, preserved off-loop. Iterations that neither
+// appended nor parked replies skip the handoff entirely. The automatic
+// checkpoint trigger stays on the loop (WriteSnapshot coordinates with the
+// commit stage through the log's own locking).
+func (n *Node) handoffCommit() {
+	if n.iterAppends.Swap(0) > 0 || len(n.deferredReplies) > 0 {
+		replies := n.deferredReplies
+		n.deferredReplies = n.takeReplySlice()
+		n.pipe.submitCommit(commitReq{replies: replies})
+	}
+	if !n.walBroken.Load() && n.wal.ShouldSnapshot() && n.snapInFlight.CompareAndSwap(false, true) {
+		go func() {
+			defer n.snapInFlight.Store(false)
+			if err := n.Checkpoint(); err != nil {
+				n.cfg.Logf("node %s: checkpoint: %v", n.id, err)
+			}
+		}()
+	}
+}
+
+// takeReplySlice returns a recycled deferred-reply slice (or nil).
+func (n *Node) takeReplySlice() []deferredReply {
+	n.replyFreeMu.Lock()
+	defer n.replyFreeMu.Unlock()
+	if k := len(n.replyFree); k > 0 {
+		s := n.replyFree[k-1]
+		n.replyFree = n.replyFree[:k-1]
+		return s
+	}
+	return nil
+}
+
+// putReplySlice hands a consumed deferred-reply slice back for reuse.
+func (n *Node) putReplySlice(s []deferredReply) {
+	if cap(s) == 0 {
+		return
+	}
+	for i := range s {
+		s[i] = deferredReply{}
+	}
+	n.replyFreeMu.Lock()
+	if len(n.replyFree) < maxOutFreelist {
+		n.replyFree = append(n.replyFree, s[:0])
+	}
+	n.replyFreeMu.Unlock()
 }
 
 // dropDeferredReplies discards the iteration's parked client replies
@@ -751,31 +910,7 @@ func (n *Node) handleFrame(from string, data []byte) {
 	n.ensureChannel(env.Channel)
 	status, delivered, err := n.shielder.Verify(env)
 	if err != nil {
-		switch {
-		case errors.Is(err, authn.ErrReplay):
-			n.stats.DropReplay.Add(1)
-		case errors.Is(err, authn.ErrBadMAC):
-			n.stats.DropMAC.Add(1)
-		case errors.Is(err, authn.ErrWrongView):
-			n.stats.DropView.Add(1)
-		case errors.Is(err, authn.ErrWrongGroup):
-			n.stats.DropGroup.Add(1)
-		case errors.Is(err, authn.ErrFutureOverflow):
-			// Counted by the shielder (OverflowDrops); the message was
-			// authentic, so it is not a malformed-packet event.
-		case errors.Is(err, authn.ErrStaleEpoch):
-			n.stats.DropEpoch.Add(1)
-			// A stale client is a lagging router, not an attacker (the
-			// attacker case is indistinguishable but gets the same useless
-			// answer): tell it the current configuration so it refreshes
-			// instead of burning its retry budget. The notice is shielded on
-			// this node's own channel, so it cannot be forged.
-			if sender, ok := channelSender(env.Channel); ok && strings.HasPrefix(env.Channel, "cli:") {
-				n.sendEpochNotice(sender, from)
-			}
-		default:
-			n.stats.DropMalformed.Add(1)
-		}
+		n.countVerifyError(env.Channel, from, err)
 		return
 	}
 	if status == authn.Buffered {
@@ -783,20 +918,59 @@ func (n *Node) handleFrame(from string, data []byte) {
 		return
 	}
 	for _, d := range delivered {
-		w, err := DecodeWire(d.Payload)
-		if err != nil {
-			n.stats.DropMalformed.Add(1)
-			continue
+		if w, ok := n.decodeDelivered(d); ok {
+			n.dispatchWire(w.From, w)
 		}
-		// The channel name authenticates the sender: a message claiming to
-		// be From=X must arrive on X's directional channel.
-		if sender, ok := channelSender(d.Channel); ok && sender != w.From {
-			n.stats.DropMAC.Add(1)
-			continue
-		}
-		n.stats.Delivered.Add(1)
-		n.dispatchWire(w.From, w)
 	}
+}
+
+// countVerifyError maps one Verify failure onto its drop counter, with the
+// stale-epoch side effect of telling a lagging client the current map. Every
+// counter is atomic and sendEpochNotice is thread-safe, so the inline path
+// and the ingress stage workers share this unchanged.
+func (n *Node) countVerifyError(channel, from string, err error) {
+	switch {
+	case errors.Is(err, authn.ErrReplay):
+		n.stats.DropReplay.Add(1)
+	case errors.Is(err, authn.ErrBadMAC):
+		n.stats.DropMAC.Add(1)
+	case errors.Is(err, authn.ErrWrongView):
+		n.stats.DropView.Add(1)
+	case errors.Is(err, authn.ErrWrongGroup):
+		n.stats.DropGroup.Add(1)
+	case errors.Is(err, authn.ErrFutureOverflow):
+		// Counted by the shielder (OverflowDrops); the message was
+		// authentic, so it is not a malformed-packet event.
+	case errors.Is(err, authn.ErrStaleEpoch):
+		n.stats.DropEpoch.Add(1)
+		// A stale client is a lagging router, not an attacker (the
+		// attacker case is indistinguishable but gets the same useless
+		// answer): tell it the current configuration so it refreshes
+		// instead of burning its retry budget. The notice is shielded on
+		// this node's own channel, so it cannot be forged.
+		if sender, ok := channelSender(channel); ok && strings.HasPrefix(channel, "cli:") {
+			n.sendEpochNotice(sender, from)
+		}
+	default:
+		n.stats.DropMalformed.Add(1)
+	}
+}
+
+// decodeDelivered turns one verified envelope into its wire message,
+// enforcing that the channel name authenticates the sender: a message
+// claiming to be From=X must arrive on X's directional channel.
+func (n *Node) decodeDelivered(d authn.Envelope) (*Wire, bool) {
+	w, err := DecodeWire(d.Payload)
+	if err != nil {
+		n.stats.DropMalformed.Add(1)
+		return nil, false
+	}
+	if sender, ok := channelSender(d.Channel); ok && sender != w.From {
+		n.stats.DropMAC.Add(1)
+		return nil, false
+	}
+	n.stats.Delivered.Add(1)
+	return w, true
 }
 
 // ensureChannel lazily opens channels not known at construction: client
@@ -851,17 +1025,9 @@ const futureFlushTicks = 2
 // flushFutures drains stranded out-of-order messages (lost-packet gaps).
 func (n *Node) flushFutures() {
 	for _, d := range n.shielder.TickFutures(futureFlushTicks) {
-		w, err := DecodeWire(d.Payload)
-		if err != nil {
-			n.stats.DropMalformed.Add(1)
-			continue
+		if w, ok := n.decodeDelivered(d); ok {
+			n.dispatchWire(w.From, w)
 		}
-		if sender, ok := channelSender(d.Channel); ok && sender != w.From {
-			n.stats.DropMAC.Add(1)
-			continue
-		}
-		n.stats.Delivered.Add(1)
-		n.dispatchWire(w.From, w)
 	}
 }
 
@@ -1092,48 +1258,15 @@ func (n *Node) flushOutbound() {
 		if len(items) == 0 {
 			continue
 		}
-		cq := n.sendChannel(to)
-		rest := items
-		for len(rest) > 0 {
-			chunk := rest
-			if mb := n.maxBatch(); len(chunk) > mb {
-				chunk = chunk[:mb]
-			}
-			rest = rest[len(chunk):]
-			env, err := n.shielder.ShieldBatch(cq, chunk)
-			if err != nil {
-				// Nothing sealed: the unsent items' pooled encode buffers go
-				// back to the pool, not to the GC — this path fires exactly
-				// when churn is highest (a channel pruned by reconfiguration
-				// mid-flush).
-				n.cfg.Logf("node %s: shield batch to %s: %v", n.id, to, err)
-				for i := range chunk {
-					bufpool.Put(chunk[i].Payload)
-				}
-				for i := range rest {
-					bufpool.Put(rest[i].Payload)
-				}
-				break
-			}
-			n.qsend(to, env.AppendTo(make([]byte, 0, env.EncodedSize())))
-			// The envelope is encoded: recycle its pooled batch body (or
-			// sealed ciphertext), then the wire-encode buffers it was built
-			// from. A one-item chunk degrades to a plain Shield whose payload
-			// aliases the item's buffer; RecyclePayload is a no-op there and
-			// the item loop below frees the shared buffer exactly once.
-			authn.RecyclePayload(&env)
-			for i := range chunk {
-				bufpool.Put(chunk[i].Payload)
-			}
+		if n.pipe != nil {
+			// Staged plane: the peer's egress worker seals, encodes, sends,
+			// and recycles. Hashing by peer keeps one worker per channel, so
+			// the channel's counter order is the worker's processing order.
+			n.pipe.submitEgress(egressJob{to: to, items: items})
+			continue
 		}
-		n.outMu.Lock()
-		for i := range items {
-			items[i] = authn.BatchItem{} // drop payload refs before reuse
-		}
-		if len(n.outFreeItems) < maxOutFreelist {
-			n.outFreeItems = append(n.outFreeItems, items[:0])
-		}
-		n.outMu.Unlock()
+		n.sealAndSend(to, items)
+		n.releaseItems(items)
 	}
 	n.outMu.Lock()
 	if len(n.outFreeOrder) < maxOutFreelist {
@@ -1143,16 +1276,92 @@ func (n *Node) flushOutbound() {
 	n.flushTransport()
 }
 
+// sealAndSend seals one peer's coalesced items into batched envelopes (one
+// MAC and one enclave transition per MaxBatch-sized chunk) and hands the
+// encoded packets to the transport. Callable from the event loop (inline
+// plane) or from the peer's egress worker (staged plane): the shielder's
+// channel table and the transport queue are both thread-safe, and only one
+// goroutine ever seals for a given peer, preserving the channel's counter
+// order on the wire.
+func (n *Node) sealAndSend(to string, items []authn.BatchItem) {
+	cq := n.sendChannel(to)
+	rest := items
+	for len(rest) > 0 {
+		chunk := rest
+		if mb := n.maxBatch(); len(chunk) > mb {
+			chunk = chunk[:mb]
+		}
+		rest = rest[len(chunk):]
+		env, err := n.shielder.ShieldBatch(cq, chunk)
+		if err != nil {
+			// Nothing sealed: the unsent items' pooled encode buffers go
+			// back to the pool, not to the GC — this path fires exactly
+			// when churn is highest (a channel pruned by reconfiguration
+			// mid-flush).
+			n.cfg.Logf("node %s: shield batch to %s: %v", n.id, to, err)
+			for i := range chunk {
+				bufpool.Put(chunk[i].Payload)
+			}
+			for i := range rest {
+				bufpool.Put(rest[i].Payload)
+			}
+			return
+		}
+		n.qsend(to, env.AppendTo(make([]byte, 0, env.EncodedSize())))
+		// The envelope is encoded: recycle its pooled batch body (or
+		// sealed ciphertext), then the wire-encode buffers it was built
+		// from. A one-item chunk degrades to a plain Shield whose payload
+		// aliases the item's buffer; RecyclePayload is a no-op there and
+		// the item loop below frees the shared buffer exactly once.
+		authn.RecyclePayload(&env)
+		for i := range chunk {
+			bufpool.Put(chunk[i].Payload)
+		}
+	}
+}
+
+// releaseItems returns a consumed per-peer item slice to the freelist.
+func (n *Node) releaseItems(items []authn.BatchItem) {
+	n.outMu.Lock()
+	for i := range items {
+		items[i] = authn.BatchItem{} // drop payload refs before reuse
+	}
+	if len(n.outFreeItems) < maxOutFreelist {
+		n.outFreeItems = append(n.outFreeItems, items[:0])
+	}
+	n.outMu.Unlock()
+}
+
 // maxOutFreelist bounds the coalescing freelists (entries, not bytes); peers
 // are few, so the bound exists only to cap pathological churn.
 const maxOutFreelist = 64
 
 // flushTransport flushes the transport's per-peer packet queue, which may
-// hold raw (native-mode) sends queued directly via qsend.
+// hold raw (native-mode) sends queued directly via qsend. On the staged
+// plane it is a no-op: each egress worker flushes its own peers (flushPeer),
+// so a whole-queue flush here would only interleave with them.
 func (n *Node) flushTransport() {
+	if n.pipe != nil {
+		return
+	}
 	if !n.qsendCopies() {
 		_ = n.bt.Flush()
 	}
+}
+
+// flushPeer flushes one peer's queued packets, used by egress workers after
+// sealing a batch for that peer. Per-peer flushing keeps each worker's
+// network writes ordered and contention-free; transports without the
+// extension fall back to a whole-queue flush.
+func (n *Node) flushPeer(to string) {
+	if n.qsendCopies() {
+		return // nothing queued: qsend used the copying Send directly
+	}
+	if n.pf != nil {
+		_ = n.pf.FlushPeer(to)
+		return
+	}
+	_ = n.bt.Flush()
 }
 
 // sendToClient ships a reply to a client. With durability on, the reply is

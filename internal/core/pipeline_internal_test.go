@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"recipe/internal/authn"
+)
+
+// TestStageHandoffAllocFree: the stage boundary types travel by value and
+// the worker routing is hash-only, so a message crossing dispatcher →
+// ingress worker → loop (or loop → egress worker) pays zero heap
+// allocations for the handoff itself — the pooled payload buffers cross by
+// reference. This is the stage-boundary half of the hot-path allocation
+// budget; the crypto half is authn's TestHotPathAllocBudget.
+func TestStageHandoffAllocFree(t *testing.T) {
+	ingress := make(chan ingressFrame, 8)
+	verified := make(chan verifiedMsg, 8)
+	egress := make(chan egressJob, 8)
+	frame := ingressFrame{from: "peer", env: authn.Envelope{Channel: "grp:0:a->b"}}
+	msg := verifiedMsg{from: "peer", w: &Wire{Kind: KindClientReq}}
+	items := make([]authn.BatchItem, 4)
+	job := egressJob{to: "peer", items: items}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = stageHash(frame.env.Channel, 4)
+		ingress <- frame
+		<-ingress
+		verified <- msg
+		<-verified
+		egress <- job
+		<-egress
+	})
+	if allocs != 0 {
+		t.Fatalf("stage handoff allocates %.1f times per message, want 0", allocs)
+	}
+}
+
+// TestPipelineWorkerCountResolution pins the PipelineWorkers knob contract:
+// -1 forces inline, explicit N is honored, and the unshielded plane never
+// stages (there is no crypto to parallelise).
+func TestPipelineWorkerCountResolution(t *testing.T) {
+	cases := []struct {
+		cfg  NodeConfig
+		want int
+	}{
+		{NodeConfig{Shielded: true, PipelineWorkers: -1}, 0},
+		{NodeConfig{Shielded: true, PipelineWorkers: 3}, 3},
+		{NodeConfig{Shielded: false, PipelineWorkers: 4}, 0},
+		{NodeConfig{Shielded: true, PipelineWorkers: 12}, 12},
+	}
+	for _, c := range cases {
+		if got := pipelineWorkerCount(c.cfg); got != c.want {
+			t.Fatalf("pipelineWorkerCount(shielded=%v, workers=%d) = %d, want %d",
+				c.cfg.Shielded, c.cfg.PipelineWorkers, got, c.want)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Options struct {
 	// node default of 64; 1 = per-message envelopes, the batching-off
 	// baseline used by the benchmarks).
 	MaxBatch int
+	// PipelineWorkers sets each shielded node's staged data-plane width
+	// (core.NodeConfig.PipelineWorkers): 0 = auto (inline single-threaded at
+	// GOMAXPROCS=1, staged otherwise), -1 = force inline, N>=1 = N ingress
+	// and N egress workers.
+	PipelineWorkers int
 	// Injector optionally installs a Byzantine network fault injector.
 	Injector netstack.Injector
 	// Seed makes randomized components deterministic.
@@ -279,13 +284,32 @@ func New(opts Options) (*Cluster, error) {
 	cas.TrustPlatform(cliPlat)
 	cas.AllowMeasurement(tee.MeasureCode(clientCode))
 
+	// Build every replica before starting any event loop: a node that ticks
+	// while its peers are still registering fabric endpoints would see its
+	// first sends vanish. Re-sending protocols shrug that off; a custom
+	// protocol's one-shot startup message must not (its Init/Tick contract
+	// promises a fully wired cluster).
+	type built struct {
+		g    *Group
+		id   string
+		node *core.Node
+	}
+	var pending []built
 	for _, grp := range c.Groups {
 		for _, id := range grp.Order {
-			if _, err := grp.startNode(id, false); err != nil {
+			node, err := grp.buildNode(id, false)
+			if err != nil {
+				for _, b := range pending {
+					b.node.Discard()
+				}
 				c.Stop()
 				return nil, err
 			}
+			pending = append(pending, built{g: grp, id: id, node: node})
 		}
+	}
+	for _, b := range pending {
+		b.g.launch(b.id, b.node)
 	}
 	return c, nil
 }
@@ -399,14 +423,15 @@ func (g *Group) buildNode(id string, resume bool) (*core.Node, error) {
 		durability = &core.DurabilityConfig{Dir: dir, Registrar: c.CAS, SnapshotEvery: c.opts.SnapshotEvery, Fresh: !resume}
 	}
 	node, err := core.NewNode(enclave, ep, g.newProtocol(id), core.NodeConfig{
-		Secrets:      secrets,
-		TickEvery:    c.opts.TickEvery,
-		MaxBatch:     c.opts.MaxBatch,
-		Shielded:     c.shieldedFor(),
-		Confidential: c.opts.Confidential,
-		StoreConfig:  kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
-		Durability:   durability,
-		Logf:         c.opts.Logf,
+		Secrets:         secrets,
+		TickEvery:       c.opts.TickEvery,
+		MaxBatch:        c.opts.MaxBatch,
+		PipelineWorkers: c.opts.PipelineWorkers,
+		Shielded:        c.shieldedFor(),
+		Confidential:    c.opts.Confidential,
+		StoreConfig:     kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
+		Durability:      durability,
+		Logf:            c.opts.Logf,
 	})
 	if err != nil {
 		// The fabric registration must not leak: a leaked endpoint would make

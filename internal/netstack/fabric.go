@@ -174,6 +174,7 @@ type Endpoint struct {
 var (
 	_ Transport   = (*Endpoint)(nil)
 	_ BatchSender = (*Endpoint)(nil)
+	_ PeerFlusher = (*Endpoint)(nil)
 )
 
 // Addr returns the endpoint address.
@@ -224,6 +225,29 @@ func (e *Endpoint) Flush() error {
 	return flushQueue(&e.mu, &e.queue, false, func(to string, pkt []byte) error {
 		return e.fabric.send(Packet{From: e.addr, To: to, Data: pkt})
 	})
+}
+
+// FlushPeer implements PeerFlusher: it transmits only the named peer's
+// queued buffers. The peer's entry in the flush order is left behind and
+// skipped (empty) by the next full Flush.
+func (e *Endpoint) FlushPeer(to string) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	frames := e.queue.takePeer(to)
+	e.mu.Unlock()
+	if len(frames) == 0 {
+		return nil
+	}
+	err := flushRuns(frames, false, func(pkt []byte) error {
+		return e.fabric.send(Packet{From: e.addr, To: to, Data: pkt})
+	})
+	e.mu.Lock()
+	e.queue.releaseFrames(frames)
+	e.mu.Unlock()
+	return err
 }
 
 // Inbox returns the endpoint's delivery channel.

@@ -29,6 +29,7 @@ type TCPTransport struct {
 var (
 	_ Transport   = (*TCPTransport)(nil)
 	_ BatchSender = (*TCPTransport)(nil)
+	_ PeerFlusher = (*TCPTransport)(nil)
 )
 
 // maxTCPFrame bounds accepted frame sizes.
@@ -124,6 +125,28 @@ func (t *TCPTransport) Flush() error {
 	// sendConsumes=true: Send copies into its own pooled framing before
 	// writing, so every queued buffer is recycled by the flush.
 	return flushQueue(&t.mu, &t.queue, true, t.Send)
+}
+
+// FlushPeer implements PeerFlusher: it transmits only the named peer's
+// queued buffers, coalescing runs exactly as Flush does.
+func (t *TCPTransport) FlushPeer(to string) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	frames := t.queue.takePeer(to)
+	t.mu.Unlock()
+	if len(frames) == 0 {
+		return nil
+	}
+	err := flushRuns(frames, true, func(pkt []byte) error {
+		return t.Send(to, pkt)
+	})
+	t.mu.Lock()
+	t.queue.releaseFrames(frames)
+	t.mu.Unlock()
+	return err
 }
 
 // Close stops the listener, closes connections, and closes the inbox.

@@ -425,12 +425,17 @@ func (r *Raft) onAppendEntries(from string, m *core.Wire) {
 		r.log = append(r.log, entry{term: terms[i], cmd: cmd})
 	}
 
-	if m.Commit > r.commitIndex {
-		last, _ := r.lastLog()
-		r.commitIndex = min(m.Commit, last)
+	// Commit only up to the last entry verified against this leader
+	// (prevIdx + the entries it just sent), never our own log tail: a
+	// deposed leader rejoining as follower may still hold an unreplicated
+	// suffix, and clamping to lastIndex would commit — apply, and ack via
+	// pending[] — entries the cluster never accepted (§5.3's "index of
+	// last new entry").
+	matchIdx := prevIdx + uint64(len(m.Cmds))
+	if m.Commit > r.commitIndex && matchIdx > r.commitIndex {
+		r.commitIndex = min(m.Commit, matchIdx)
 		r.applyCommitted()
 	}
-	matchIdx := prevIdx + uint64(len(m.Cmds))
 	r.env.Send(from, &core.Wire{Kind: KindAppendResp, Term: r.term, OK: true, Index: matchIdx})
 }
 
@@ -503,7 +508,15 @@ func (r *Raft) applyCommitted() {
 		res := applyCommand(r.env.Store(), e.cmd, r.lastApplied)
 		if cmd, ok := r.pending[r.lastApplied]; ok {
 			delete(r.pending, r.lastApplied)
-			r.env.Reply(cmd, res)
+			// A pending slot answers only its own command. After a
+			// deposition the suffix this leader appended can be truncated
+			// and the index re-filled by the new leader's entry; binding
+			// that entry's result to the stale pending command would ack a
+			// write the cluster never accepted. Silence is correct: the
+			// client times out, retries, and the table dedups.
+			if cmd.ClientID == e.cmd.ClientID && cmd.Seq == e.cmd.Seq {
+				r.env.Reply(cmd, res)
+			}
 		}
 	}
 	r.maybeCompact()

@@ -200,3 +200,74 @@ func TestLeaderAliveSuppressesElection(t *testing.T) {
 		}
 	}
 }
+
+// TestDeposedLeaderNeverAcksUnreplicatedWrite: a leader partitioned from
+// its followers appends a write it can never replicate; the connected
+// majority elects a new leader and commits its own entries past that
+// index. When the partition heals, the new leader's log overwrites the
+// stranded suffix — the stranded write must never be acknowledged (its
+// log slot now holds a different command) and must not appear in any
+// store. Regression test for two follower-side bugs: clamping the commit
+// index to the local log tail instead of the prefix verified against the
+// leader, and binding an applied entry's result to a stale pending
+// command at the same index.
+func TestDeposedLeaderNeverAcksUnreplicatedWrite(t *testing.T) {
+	net := newNet(t, 3)
+	old := electLeader(t, net)
+
+	// Cut the leader off in both directions.
+	net.Drop = func(s prototest.Sent) bool { return s.From == old || s.To == old }
+
+	// The stranded write: reaches the deposed leader's log and nothing else.
+	net.Submit(old, core.Command{Op: core.OpPut, Key: "stranded", Value: []byte("1"), ClientID: "c", Seq: 9})
+	net.Run(10_000)
+
+	// The majority elects a new leader and commits writes past the
+	// stranded entry's index.
+	acked := 0
+	for i := 0; i < 600 && acked < 4; i++ {
+		net.TickAll()
+		net.Run(10_000)
+		cur := ""
+		for _, id := range net.Order() {
+			if id != old && net.Protos[id].Status().IsCoordinator {
+				cur = id
+			}
+		}
+		if cur == "" {
+			continue
+		}
+		seq := uint64(acked + 1)
+		net.Submit(cur, core.Command{Op: core.OpPut, Key: fmt.Sprintf("post-%d", acked), Value: []byte("v"), ClientID: "d", Seq: seq})
+		net.TickAndRun(3, 10_000)
+		if rep, ok := net.LastReply(cur); ok && rep.Cmd.ClientID == "d" && rep.Cmd.Seq == seq && rep.Res.OK {
+			acked++
+		}
+	}
+	if acked < 4 {
+		t.Fatalf("majority committed only %d/4 writes while %s partitioned", acked, old)
+	}
+
+	// Heal; the new leader's entries overwrite the stranded suffix.
+	net.Drop = nil
+	net.TickAndRun(30, 10_000)
+
+	// The deposed leader must never have answered the stranded write.
+	for _, rep := range net.Envs[old].Replies {
+		if rep.Cmd.Key == "stranded" {
+			t.Fatalf("deposed leader acked its unreplicated write: %+v", rep.Res)
+		}
+	}
+	// And it must not exist in any store.
+	for _, id := range net.Order() {
+		if v, err := net.Envs[id].Store().Get("stranded"); err == nil {
+			t.Fatalf("%s store holds the unreplicated write %q", id, v)
+		}
+	}
+	// The healed cluster converged on the majority's committed writes.
+	for _, id := range net.Order() {
+		if _, err := net.Envs[id].Store().Get("post-3"); err != nil {
+			t.Errorf("%s missing committed post-3: %v", id, err)
+		}
+	}
+}

@@ -86,6 +86,18 @@ type Log struct {
 	dirty    bool
 	closed   bool
 
+	// Overlapped commit (Sync): while an off-lock fsync is in flight, syncing
+	// is set and every operation that would close or replace the active
+	// segment — rotation, snapshot stamping, Close, Reset, Abandon — waits on
+	// syncCond. Appends do NOT wait: writing to a file being fsynced is safe,
+	// which is the whole point of the overlap. lastReg tracks the highest
+	// counter registered at the registrar, so a Sync that captured an older
+	// position than a concurrent commit never registers backwards (registrars
+	// enforce monotonicity).
+	syncing  bool
+	syncCond *sync.Cond
+	lastReg  uint64
+
 	sinceSnap int
 	chain     [sha256.Size]byte // scratch for chain updates
 	encBuf    []byte            // reused plaintext encode buffer
@@ -118,6 +130,7 @@ func Open(dir string, key []byte, nodeID string, reg Registrar, opts Options) (*
 		opts.SegmentBytes = defaultSegmentBytes
 	}
 	l := &Log{dir: dir, id: nodeID, aead: aead, reg: reg, opts: opts}
+	l.syncCond = sync.NewCond(&l.mu)
 	// Resume the file-name sequence past everything that ever existed here:
 	// sequence numbers order same-base segments during recovery, so a new
 	// file must never sort below a leftover one (a stale empty segment
@@ -181,6 +194,7 @@ func (l *Log) positionFresh() error {
 			if err := l.reg.RegisterSealRoot(l.id, l.counter, l.root); err != nil {
 				return fmt.Errorf("seal: register fresh chain: %w", err)
 			}
+			l.lastReg = l.counter
 		}
 	}
 	l.positioned = true
@@ -241,6 +255,7 @@ func (l *Log) Recover(apply func(kvstore.Mutation) error) (bool, error) {
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.waitSyncLocked()
 	if l.seg != nil {
 		_ = l.seg.Close()
 		l.seg = nil
@@ -331,6 +346,7 @@ func (l *Log) Commit() error {
 }
 
 func (l *Log) commitLocked() error {
+	l.waitSyncLocked()
 	if !l.dirty || l.seg == nil {
 		return nil
 	}
@@ -338,16 +354,80 @@ func (l *Log) commitLocked() error {
 		return fmt.Errorf("seal: commit: %w", err)
 	}
 	l.dirty = false
-	if l.reg != nil {
-		if err := l.reg.RegisterSealRoot(l.id, l.counter, l.root); err != nil {
-			return fmt.Errorf("seal: register: %w", err)
-		}
+	if err := l.registerLocked(l.counter, l.root); err != nil {
+		return err
 	}
 	if l.segBytes >= l.opts.SegmentBytes {
 		if err := l.seg.Close(); err != nil {
 			return fmt.Errorf("seal: rotate: %w", err)
 		}
 		l.seg = nil // next Append opens a fresh segment at the current position
+	}
+	return nil
+}
+
+// waitSyncLocked blocks (releasing l.mu) until no overlapped Sync fsync is
+// in flight. Every path that closes or replaces the active segment must call
+// it first — fsyncing a closed file descriptor is an error.
+func (l *Log) waitSyncLocked() {
+	for l.syncing {
+		l.syncCond.Wait()
+	}
+}
+
+// registerLocked anchors a chain position at the registrar, skipping
+// positions at or below the last registration (registrars are monotonic, and
+// an overlapped Sync may finish after a newer inline commit already
+// registered past its capture).
+func (l *Log) registerLocked(counter uint64, root [32]byte) error {
+	if l.reg == nil || counter <= l.lastReg {
+		return nil
+	}
+	if err := l.reg.RegisterSealRoot(l.id, counter, root); err != nil {
+		return fmt.Errorf("seal: register: %w", err)
+	}
+	l.lastReg = counter
+	return nil
+}
+
+// Sync is the overlapped group commit: it makes every record appended before
+// the call durable and registers the covered chain position, holding the
+// log's lock only to capture and publish state — the fsync itself runs
+// off-lock, so appends keep flowing into the segment while the disk works.
+// The node's pipelined commit stage calls it from a dedicated goroutine;
+// Commit keeps the fully-locked inline semantics. Records appended while the
+// fsync is in flight stay dirty and are covered by the next Sync or Commit.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	l.waitSyncLocked()
+	if l.closed || !l.dirty || l.seg == nil {
+		l.mu.Unlock()
+		return nil
+	}
+	seg, counter, root := l.seg, l.counter, l.root
+	l.syncing = true
+	l.mu.Unlock()
+
+	err := seg.Sync()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncing = false
+	l.syncCond.Broadcast()
+	if err != nil {
+		return fmt.Errorf("seal: sync: %w", err)
+	}
+	if l.counter == counter {
+		l.dirty = false // nothing appended during the fsync: fully durable
+	}
+	if err := l.registerLocked(counter, root); err != nil {
+		return err
+	}
+	if !l.dirty && l.seg == seg && l.segBytes >= l.opts.SegmentBytes {
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("seal: rotate: %w", err)
+		}
+		l.seg = nil
 	}
 	return nil
 }
@@ -497,6 +577,7 @@ func (l *Log) Close() error {
 func (l *Log) Abandon() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.waitSyncLocked()
 	if l.closed {
 		return
 	}

@@ -101,6 +101,13 @@ type Options struct {
 	DataDir string
 	// TickEvery overrides the protocol tick cadence.
 	TickEvery time.Duration
+	// PipelineWorkers sets each replica's staged data-plane width: how many
+	// ingress (verify/decrypt) and egress (seal/send) workers surround the
+	// single-threaded protocol core. 0 = auto (inline on a single-core
+	// machine, one worker per core up to 8 otherwise), -1 = force the
+	// inline single-threaded plane, N>=1 = exactly N workers per side.
+	// Ignored for Native clusters, which have no crypto boundary to stage.
+	PipelineWorkers int
 	// Seed makes randomized components deterministic.
 	Seed int64
 }
@@ -129,15 +136,16 @@ func NewCluster(opts Options) (*Cluster, error) {
 
 func newClusterWithFactory(opts Options, factory func(replica int) CustomProtocol) (*Cluster, error) {
 	hOpts := harness.Options{
-		Protocol:     harness.ProtocolKind(opts.Protocol),
-		Nodes:        opts.Nodes,
-		Shards:       opts.Shards,
-		Shielded:     !opts.Native,
-		Confidential: opts.Confidential,
-		Durability:   opts.Durability,
-		DataDir:      opts.DataDir,
-		TickEvery:    opts.TickEvery,
-		Seed:         opts.Seed,
+		Protocol:        harness.ProtocolKind(opts.Protocol),
+		Nodes:           opts.Nodes,
+		Shards:          opts.Shards,
+		Shielded:        !opts.Native,
+		Confidential:    opts.Confidential,
+		Durability:      opts.Durability,
+		DataDir:         opts.DataDir,
+		TickEvery:       opts.TickEvery,
+		PipelineWorkers: opts.PipelineWorkers,
+		Seed:            opts.Seed,
 	}
 	if opts.Protocol == "" {
 		hOpts.Protocol = harness.Raft
@@ -290,6 +298,12 @@ type SecurityStats struct {
 	// and chain root registered at the CAS. The replica refuses the state
 	// and rebuilds through state transfer instead.
 	RejectedRollback uint64
+	// PipelineStalls counts data-plane stage handoffs that found their
+	// queue full and had to wait (backpressure events in the staged
+	// ingress/egress/commit pipeline, not drops — no message is lost). A
+	// steadily climbing count means a stage is saturated; see
+	// Cluster.PipelineDepths for which one.
+	PipelineStalls uint64
 }
 
 // SecurityStats returns the cluster-wide authn counters (all shards).
@@ -333,6 +347,28 @@ func addNodeStats(s *SecurityStats, n *core.Node) {
 	s.BufferedFutures += st.Buffered.Load()
 	s.DroppedOverflow += n.OverflowDrops()
 	s.RejectedRollback += st.DropRollback.Load()
+	s.PipelineStalls += st.PipelineStalls.Load()
+}
+
+// PipelineDepths sums the instantaneous staged data-plane queue depths
+// across replicas (zero everywhere when the plane runs inline). These are
+// gauges: sampled under load they show which stage a saturated cluster is
+// waiting on — ingress (verify), verified (the protocol core itself),
+// egress (seal/send), or commit (WAL fsync).
+func (c *Cluster) PipelineDepths() core.PipelineDepths {
+	var d core.PipelineDepths
+	for _, id := range c.inner.Order {
+		n, ok := c.inner.Nodes[id]
+		if !ok {
+			continue
+		}
+		nd := n.PipelineDepths()
+		d.Ingress += nd.Ingress
+		d.Verified += nd.Verified
+		d.Egress += nd.Egress
+		d.Commit += nd.Commit
+	}
+	return d
 }
 
 // Client is a session issuing PUT/GET/DELETE operations against a cluster.
