@@ -62,6 +62,14 @@ func reportEnv(b *testing.B) {
 // and reports ops/s.
 func benchThroughput(b *testing.B, opts harness.Options, w workload.Config) {
 	b.Helper()
+	benchThroughputClients(b, opts, w, benchClients, false)
+}
+
+// benchThroughputClients is benchThroughput with an explicit closed-loop
+// client count (the read-scaling experiment grows the client population past
+// benchClients) and optional read-path counter reporting.
+func benchThroughputClients(b *testing.B, opts harness.Options, w workload.Config, clients int, reportReads bool) {
+	b.Helper()
 	w.Keys = benchKeys
 	w.Seed = opts.Seed
 	c, err := harness.New(opts)
@@ -76,13 +84,19 @@ func benchThroughput(b *testing.B, opts harness.Options, w workload.Config) {
 		b.Fatalf("preload: %v", err)
 	}
 	b.ResetTimer()
-	ops, err := c.RunOps(w, benchClients, b.N)
+	ops, err := c.RunOps(w, clients, b.N)
 	b.StopTimer()
 	if err != nil {
 		b.Fatalf("driver: %v", err)
 	}
 	b.ReportMetric(ops, "ops/s")
 	reportEnv(b)
+	if reportReads {
+		local, replica, fallbacks := c.ReadStats()
+		b.ReportMetric(float64(local), "localreads")
+		b.ReportMetric(float64(replica), "replicareads")
+		b.ReportMetric(float64(fallbacks), "leasefallbacks")
+	}
 	b.ReportMetric(0, "ns/op") // throughput is the figure of merit here
 }
 
@@ -642,6 +656,39 @@ func BenchmarkAblationReadScaling(b *testing.B) {
 				evalOptions(proto, true, false),
 				workload.Config{ReadRatio: 0.99, ValueSize: 256})
 		})
+	}
+}
+
+// BenchmarkReadScaling measures the scale-out read path: aggregate
+// throughput on the 95%-read hotspot workload (R-Raft) as the closed-loop
+// client population grows from benchClients to 10x that, across the three
+// read policies plus the session-cached variant of any-clean. Expected
+// shape: leader-only flattens early (every read is a consensus round at one
+// node), lease-local lifts the leader's reads off the log, and any-clean
+// spreads them over every replica — at 10x clients it should clear 3x
+// leader-only's aggregate. The read-path counters are reported alongside so
+// the attribution (local vs replica vs lease fallback) is in the committed
+// numbers. Committed results: BENCH_PR7.json.
+func BenchmarkReadScaling(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy ReadPolicy
+		cache  int
+	}{
+		{"leader-only", ReadLeaderOnly, 0},
+		{"lease-local", ReadLeaseLocal, 0},
+		{"any-clean", ReadAnyClean, 0},
+		{"any-clean-cached", ReadAnyClean, 256},
+	}
+	for _, clients := range []int{benchClients, 10 * benchClients} {
+		for _, p := range policies {
+			b.Run(fmt.Sprintf("%s/clients=%d", p.name, clients), func(b *testing.B) {
+				opts := evalOptions(harness.Raft, true, false)
+				opts.ReadPolicy = p.policy
+				opts.SessionCache = p.cache
+				benchThroughputClients(b, opts, workload.ReadHotspot(256), clients, true)
+			})
+		}
 	}
 }
 

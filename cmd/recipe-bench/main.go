@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem]
+//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem|durability|reads]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"recipe/internal/attest"
+	"recipe/internal/core"
 	"recipe/internal/harness"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
@@ -27,7 +28,7 @@ import (
 
 var (
 	opsFlag        = flag.Int("ops", 4000, "operations per measurement")
-	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability)")
+	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability, reads)")
 	clientsFlag    = flag.Int("clients", 32, "closed-loop clients per measurement")
 	keysFlag       = flag.Int("keys", 20000, "store size (keys) for the durability experiment")
 )
@@ -50,6 +51,7 @@ func run() error {
 		"damysus":    damysusCmp,
 		"mem":        memTable,
 		"durability": durabilityTable,
+		"reads":      readsTable,
 	}
 	if *experimentFlag != "all" {
 		f, ok := experiments[*experimentFlag]
@@ -58,7 +60,7 @@ func run() error {
 		}
 		return f()
 	}
-	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability"} {
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability", "reads"} {
 		if err := experiments[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -104,6 +106,73 @@ func measureRecovery(durable, checkpoint bool, snapshotEvery, keys int) (float64
 		Protocol: harness.Raft, Shielded: true, Seed: 1,
 		Durability: durable, SnapshotEvery: snapshotEvery,
 	}, keys, checkpoint, 5*time.Minute)
+}
+
+// readsTable sweeps the scale-out read path (PR 7): a 95/5 hotspot workload
+// over R-Raft under each ReadPolicy, at the default client count and at 10x.
+// LeaderOnly funnels every read through the coordinator's log; LeaseLocal
+// lets the leaseholder answer locally; AnyClean spreads reads across every
+// replica with a clean committed version, and the cached variant adds the
+// epoch-coherent client session cache on top.
+func readsTable() error {
+	fmt.Printf("\n=== Reads: 95/5 hotspot read scaling by ReadPolicy (R-Raft, 256B values) ===\n")
+	fmt.Println(envLine())
+	tw, flush := newTable("policy", "clients", "kOps/s", "local", "replica", "fallbacks")
+	defer flush()
+	for _, clients := range []int{*clientsFlag, 10 * *clientsFlag} {
+		for _, p := range []struct {
+			name   string
+			policy core.ReadPolicy
+			cache  int
+		}{
+			{"leader-only", core.ReadLeaderOnly, 0},
+			{"lease-local", core.ReadLeaseLocal, 0},
+			{"any-clean", core.ReadAnyClean, 0},
+			{"any-clean-cached", core.ReadAnyClean, 256},
+		} {
+			ops, local, replica, fallbacks, err := measureReads(harness.Options{
+				Protocol: harness.Raft, Shielded: true, Seed: 1,
+				ReadPolicy: p.policy, SessionCache: p.cache,
+			}, clients)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\n",
+				p.name, clients, kops(ops), local, replica, fallbacks)
+		}
+	}
+	return nil
+}
+
+// measureReads is measure() with the cluster handle kept, so the read-path
+// counters can be reported next to the throughput they explain.
+func measureReads(opts harness.Options, clients int) (ops float64, local, replica, fallbacks uint64, err error) {
+	w := workload.ReadHotspot(256)
+	w.Keys = 1024
+	w.Seed = opts.Seed
+	c, err := harness.New(opts)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer c.Stop()
+	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := c.Preload(w); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// Warm up so leases are granted and renewal is steady before the
+	// timed section; then count only the timed section's read paths.
+	if _, err := c.RunOps(w, clients, *opsFlag/10+1); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	l0, r0, f0 := c.ReadStats()
+	ops, err = c.RunOps(w, clients, *opsFlag)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	l1, r1, f1 := c.ReadStats()
+	return ops, l1 - l0, r1 - r0, f1 - f0, nil
 }
 
 // memTable reports the hot-path memory discipline (PR 4): heap traffic and

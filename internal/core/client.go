@@ -6,11 +6,13 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"slices"
+	"strings"
 	"time"
 
 	"recipe/internal/attest"
 	"recipe/internal/authn"
 	"recipe/internal/bufpool"
+	"recipe/internal/kvstore"
 	"recipe/internal/netstack"
 	"recipe/internal/reconfig"
 	"recipe/internal/tee"
@@ -57,6 +59,18 @@ type ClientConfig struct {
 	MaxAttempts int
 	// Seed drives coordinator selection for leaderless protocols.
 	Seed int64
+	// ReadPolicy must match the cluster's read policy. Under ReadAnyClean
+	// the client fans Get requests across the owning group's members
+	// (round-robin) instead of pinning the coordinator, and enforces
+	// session monotonicity via per-key version floors.
+	ReadPolicy ReadPolicy
+	// SessionCache, when > 0, bounds an epoch-coherent per-client read
+	// cache of that many keys: a Get whose entry was produced under the
+	// current configuration epoch is answered without any network traffic.
+	// Entries are invalidated wholesale when a signed shard-map epoch bump
+	// is adopted, and replaced by the session's own writes. 0 disables
+	// value caching (version floors are still tracked under ReadAnyClean).
+	SessionCache int
 }
 
 // ShardOf is the historical bare-hash partitioning function: it hashes key
@@ -93,6 +107,24 @@ type Client struct {
 	epoch uint64
 	coord []string // per-group tracked coordinator
 	seq   uint64
+
+	// Session state (see sessEntry): per-key version floors that keep the
+	// session monotonic across replica reads, doubling as the bounded
+	// epoch-coherent value cache when cfg.SessionCache > 0.
+	sess      map[string]*sessEntry
+	sessOrder []string // keys in first-touch order (FIFO eviction)
+	replicaRR int      // round-robin cursor for ReadAnyClean fan-out
+}
+
+// sessEntry is one key's session state: the highest version this session has
+// observed (the monotonicity floor), and optionally the value produced under
+// epoch (served as a cache hit while the epoch is current).
+type sessEntry struct {
+	ver   uint64 // highest observed version timestamp (the floor)
+	epoch uint64 // configuration epoch the cached value was produced under
+	val   []byte // cached value (only meaningful when has)
+	has   bool   // a cacheable value is present
+	del   bool   // the session last observed the key deleted (at ver)
 }
 
 // NewClient builds a client from its attested enclave and transport.
@@ -183,8 +215,28 @@ func (c *Client) adopt(m *reconfig.ShardMap) error {
 		}
 		coord[g] = members[c.rng.Intn(len(members))]
 	}
+	old := c.rmap
 	c.rmap = m
 	c.coord = coord
+	if c.epoch != m.Epoch {
+		// Epoch bump: every cached value predates the new configuration and
+		// is invalidated wholesale. The version floors survive for keys whose
+		// owning group is unchanged — monotonicity is a session property and
+		// must hold across reconfigurations. A key that moved groups is the
+		// exception: migration installs it under a reset version space
+		// (MigratedVersion, TS 0), so its old floor is incomparable and would
+		// reject every legitimate read in the new group. Its floor resets;
+		// cross-group monotonicity is the migration cutover's obligation (the
+		// destination holds all acknowledged state before it owns the slot).
+		c.flushSessionValues()
+		if old != nil {
+			for key, e := range c.sess {
+				if old.GroupOf(key) != m.GroupOf(key) {
+					*e = sessEntry{}
+				}
+			}
+		}
+	}
 	c.epoch = m.Epoch
 	c.shielder.SetEpoch(m.Epoch)
 	return nil
@@ -246,8 +298,12 @@ func (c *Client) Put(key string, value []byte) (Result, error) {
 	return c.do(Command{Op: OpPut, Key: key, Value: value})
 }
 
-// Get reads key.
+// Get reads key. With a session cache configured, an entry produced under
+// the current epoch answers without any network traffic.
 func (c *Client) Get(key string) (Result, error) {
+	if res, ok := c.cacheGet(key); ok {
+		return res, nil
+	}
 	return c.do(Command{Op: OpGet, Key: key})
 }
 
@@ -266,6 +322,17 @@ func (c *Client) do(cmd Command) (Result, error) {
 	cmd.Seq = c.seq
 	cmd.ClientID = c.cfg.ID
 	cmd.ClientAddr = c.tr.Addr()
+
+	if cmd.Op == OpGet && c.cfg.ReadPolicy == ReadAnyClean {
+		// Scale-out read path: probe shard members round-robin before the
+		// coordinator-pinned loop. Probes are bounded separately and do NOT
+		// charge the MaxAttempts budget — a stale or dead replica must not
+		// burn the budget writes rely on.
+		if res, ok := c.tryReplicaRead(&cmd); ok {
+			c.sessionRecord(&cmd, res)
+			return res, nil
+		}
+	}
 
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt == c.cfg.MaxAttempts/2 {
@@ -289,6 +356,7 @@ func (c *Client) do(cmd Command) (Result, error) {
 				}
 			}
 		}
+		c.sessionRecord(&cmd, res)
 		return res, nil
 	}
 	return Result{}, fmt.Errorf("%w: %s %q after %d attempts", ErrClientTimeout, cmd.Op, cmd.Key, c.cfg.MaxAttempts)
@@ -311,9 +379,16 @@ func (c *Client) tryGroup(cmd *Command, group int) (Result, tryOutcome) {
 		// A failed send (dead node, closed endpoint) costs no await time, so
 		// without a pause the retry budget burns in fast redirect-to-corpse
 		// cycles before the group can re-elect. Back off a slice of the
-		// request timeout instead.
+		// request timeout instead — a smaller slice for reads, whose common
+		// failure (an expired lease detouring to the quorum path, a lagging
+		// replica) clears far faster than a re-election and must not burn
+		// the write retry budget's pacing.
 		c.rotate(group)
-		time.Sleep(c.cfg.RequestTimeout / 8)
+		if cmd.Op == OpGet {
+			time.Sleep(c.cfg.RequestTimeout / 16)
+		} else {
+			time.Sleep(c.cfg.RequestTimeout / 8)
+		}
 		return Result{}, tryRetry
 	}
 	res, redirect, ok := c.await(cmd.Seq, group)
@@ -443,6 +518,179 @@ func (c *Client) await(seq uint64, group int) (res Result, redirect string, ok b
 		case <-deadline.C:
 			return Result{}, "", false
 		}
+	}
+}
+
+// replicaReadAttempts bounds how many shard members a ReadAnyClean Get
+// probes before falling back to the coordinator path. The probes are not
+// charged against MaxAttempts.
+const replicaReadAttempts = 2
+
+// defaultSessionFloors bounds the floor-only session table when no value
+// cache is configured: floors are cheap (no values retained) but must stay
+// bounded for long-lived clients touching unbounded key sets.
+const defaultSessionFloors = 4096
+
+// tryReplicaRead fans one Get across the owning group's members
+// (round-robin). A reply is accepted only if the session floor admits it —
+// a replica lagging behind this session's own observations must not make
+// the session read backward; such replies (and probe failures) fall back to
+// the authoritative coordinator path.
+func (c *Client) tryReplicaRead(cmd *Command) (Result, bool) {
+	for i := 0; i < replicaReadAttempts; i++ {
+		group := c.rmap.GroupOf(cmd.Key)
+		if group < 0 || group >= len(c.rmap.Members) || len(c.rmap.Members[group]) == 0 {
+			return Result{}, false
+		}
+		members := c.rmap.Members[group]
+		c.replicaRR++
+		node := members[c.replicaRR%len(members)]
+		if err := c.send(node, group, &Wire{Kind: KindClientReq, Cmd: cmd}); err != nil {
+			// Fast read retry: a dead replica costs a sliver of the request
+			// timeout, not the write backoff (and no MaxAttempts charge).
+			time.Sleep(c.cfg.RequestTimeout / 16)
+			continue
+		}
+		res, redirect, ok := c.await(cmd.Seq, group)
+		switch {
+		case ok:
+			if !c.sessionAccepts(cmd.Key, res) {
+				return Result{}, false // stale replica: let the coordinator decide
+			}
+			return res, true
+		case redirect != "":
+			// The replica would not serve (e.g. policy disabled node-side);
+			// go straight to the coordinator path.
+			return Result{}, false
+		}
+		// Timeout or epoch refresh: re-resolve and probe the next member.
+	}
+	return Result{}, false
+}
+
+// sessionTracking reports whether per-key session state is maintained.
+func (c *Client) sessionTracking() bool {
+	return c.cfg.ReadPolicy == ReadAnyClean || c.cfg.SessionCache > 0
+}
+
+// sessionBound is the session table's capacity (keys).
+func (c *Client) sessionBound() int {
+	if c.cfg.SessionCache > 0 {
+		return c.cfg.SessionCache
+	}
+	return defaultSessionFloors
+}
+
+// sessionEntry returns (creating if asked) the session entry for key,
+// evicting the oldest entry when the bound is hit.
+func (c *Client) sessionEntry(key string, create bool) *sessEntry {
+	if e, ok := c.sess[key]; ok {
+		return e
+	}
+	if !create {
+		return nil
+	}
+	if c.sess == nil {
+		c.sess = make(map[string]*sessEntry)
+	}
+	for len(c.sessOrder) >= c.sessionBound() {
+		delete(c.sess, c.sessOrder[0])
+		c.sessOrder = c.sessOrder[1:]
+	}
+	e := &sessEntry{}
+	c.sess[key] = e
+	c.sessOrder = append(c.sessOrder, key)
+	return e
+}
+
+// isNotFound reports whether a Result carries the store's not-found error.
+func isNotFound(res Result) bool {
+	return !res.OK && res.Err != "" && strings.Contains(res.Err, kvstore.ErrNotFound.Error())
+}
+
+// sessionAccepts decides whether a replica-read reply may be given to the
+// session: a value must be at or above the session's floor, and a not-found
+// is only believable when the session has never seen the key — or last saw
+// it deleted. Anything else means the replica lags this session.
+func (c *Client) sessionAccepts(key string, res Result) bool {
+	if !c.sessionTracking() {
+		return true
+	}
+	e := c.sessionEntry(key, false)
+	if e == nil {
+		return true
+	}
+	switch {
+	case res.OK:
+		return res.Version.TS >= e.ver
+	case isNotFound(res):
+		return e.ver == 0 || e.del
+	default:
+		return false // transient error: fall back rather than surface it
+	}
+}
+
+// sessionRecord folds a completed command's result into the session state:
+// floors ratchet up on every observed version (reads and the session's own
+// writes and deletes), and — with a value cache configured — successful
+// reads and own writes install the value under the current epoch.
+func (c *Client) sessionRecord(cmd *Command, res Result) {
+	if !c.sessionTracking() {
+		return
+	}
+	caching := c.cfg.SessionCache > 0
+	switch {
+	case res.OK && cmd.Op == OpGet:
+		e := c.sessionEntry(cmd.Key, true)
+		if res.Version.TS >= e.ver {
+			e.ver, e.del = res.Version.TS, false
+			if caching {
+				e.val = append(e.val[:0], res.Value...)
+				e.has, e.epoch = true, c.epoch
+			}
+		}
+	case res.OK && cmd.Op == OpPut:
+		e := c.sessionEntry(cmd.Key, true)
+		if res.Version.TS >= e.ver {
+			e.ver, e.del = res.Version.TS, false
+			if caching {
+				e.val = append(e.val[:0], cmd.Value...)
+				e.has, e.epoch = true, c.epoch
+			}
+		}
+	case res.OK && cmd.Op == OpDelete:
+		e := c.sessionEntry(cmd.Key, true)
+		if res.Version.TS >= e.ver {
+			e.ver, e.del, e.has, e.val = res.Version.TS, true, false, nil
+		}
+	case isNotFound(res) && cmd.Op == OpGet:
+		// An authoritative not-found after the session saw a version means
+		// the key was deleted by someone: record that so lagging-replica
+		// not-founds are distinguishable from backward reads.
+		if e := c.sessionEntry(cmd.Key, false); e != nil && e.ver > 0 {
+			e.del, e.has, e.val = true, false, nil
+		}
+	}
+}
+
+// cacheGet answers a Get from the session cache iff a value cache is
+// configured and the entry was produced under the current epoch.
+func (c *Client) cacheGet(key string) (Result, bool) {
+	if c.cfg.SessionCache <= 0 {
+		return Result{}, false
+	}
+	e := c.sessionEntry(key, false)
+	if e == nil || !e.has || e.epoch != c.epoch {
+		return Result{}, false
+	}
+	return Result{OK: true, Value: append([]byte(nil), e.val...), Version: kvstore.Version{TS: e.ver}}, true
+}
+
+// flushSessionValues drops every cached value (epoch bump) but keeps the
+// version floors: monotonicity outlives reconfigurations.
+func (c *Client) flushSessionValues() {
+	for _, e := range c.sess {
+		e.has, e.val = false, nil
 	}
 }
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"recipe/internal/kvstore"
+)
+
+// sessionClient builds a bare client around the session state machine: the
+// session methods never touch the transport or shielder, so no cluster is
+// needed to test them.
+func sessionClient(policy ReadPolicy, cache int) *Client {
+	return &Client{cfg: ClientConfig{ID: "c", ReadPolicy: policy, SessionCache: cache}, epoch: 1}
+}
+
+func okGet(key string, ts uint64, val string) (Command, Result) {
+	return Command{Op: OpGet, Key: key},
+		Result{OK: true, Value: []byte(val), Version: kvstore.Version{TS: ts}}
+}
+
+func TestSessionFloorRejectsBackwardReads(t *testing.T) {
+	c := sessionClient(ReadAnyClean, 0)
+	cmd, res := okGet("k", 5, "v5")
+	c.sessionRecord(&cmd, res)
+
+	if c.sessionAccepts("k", Result{OK: true, Version: kvstore.Version{TS: 4}}) {
+		t.Fatalf("accepted a read below the session floor")
+	}
+	if !c.sessionAccepts("k", Result{OK: true, Version: kvstore.Version{TS: 5}}) {
+		t.Fatalf("rejected a read at the floor")
+	}
+	if !c.sessionAccepts("k", Result{OK: true, Version: kvstore.Version{TS: 9}}) {
+		t.Fatalf("rejected a read above the floor")
+	}
+	// A not-found from a lagging replica contradicts the observed version.
+	if c.sessionAccepts("k", Result{Err: kvstore.ErrNotFound.Error() + ": \"k\""}) {
+		t.Fatalf("accepted not-found for a key the session has read")
+	}
+	// An unknown key has no floor: anything goes (the coordinator decides).
+	if !c.sessionAccepts("fresh", Result{Err: kvstore.ErrNotFound.Error()}) {
+		t.Fatalf("rejected not-found for a never-seen key")
+	}
+}
+
+func TestSessionDeleteMakesNotFoundBelievable(t *testing.T) {
+	c := sessionClient(ReadAnyClean, 0)
+	cmd, res := okGet("k", 3, "v")
+	c.sessionRecord(&cmd, res)
+
+	del := Command{Op: OpDelete, Key: "k"}
+	c.sessionRecord(&del, Result{OK: true, Version: kvstore.Version{TS: 7}})
+	if !c.sessionAccepts("k", Result{Err: kvstore.ErrNotFound.Error()}) {
+		t.Fatalf("rejected not-found after the session's own delete")
+	}
+	// A resurrected value must still clear the delete's version floor.
+	if c.sessionAccepts("k", Result{OK: true, Version: kvstore.Version{TS: 6}}) {
+		t.Fatalf("accepted a value below the delete's floor")
+	}
+}
+
+func TestSessionCacheHitAndEpochFlush(t *testing.T) {
+	c := sessionClient(ReadAnyClean, 8)
+	cmd, res := okGet("k", 2, "v2")
+	c.sessionRecord(&cmd, res)
+
+	hit, ok := c.cacheGet("k")
+	if !ok || string(hit.Value) != "v2" || hit.Version.TS != 2 {
+		t.Fatalf("cacheGet = %+v ok=%v, want cached v2@2", hit, ok)
+	}
+
+	// Epoch bump: values flush wholesale, floors survive.
+	c.epoch = 2
+	c.flushSessionValues()
+	if _, ok := c.cacheGet("k"); ok {
+		t.Fatalf("cache served a value across an epoch bump")
+	}
+	if c.sessionAccepts("k", Result{OK: true, Version: kvstore.Version{TS: 1}}) {
+		t.Fatalf("floor did not survive the epoch bump")
+	}
+
+	// A fresh read under the new epoch re-populates the cache.
+	cmd, res = okGet("k", 3, "v3")
+	c.sessionRecord(&cmd, res)
+	hit, ok = c.cacheGet("k")
+	if !ok || string(hit.Value) != "v3" {
+		t.Fatalf("cacheGet after refill = %+v ok=%v", hit, ok)
+	}
+}
+
+func TestSessionCacheServesOwnWrites(t *testing.T) {
+	c := sessionClient(ReadLeaseLocal, 4)
+	put := Command{Op: OpPut, Key: "k", Value: []byte("mine")}
+	c.sessionRecord(&put, Result{OK: true, Version: kvstore.Version{TS: 9}})
+	hit, ok := c.cacheGet("k")
+	if !ok || string(hit.Value) != "mine" {
+		t.Fatalf("own write not cached: %+v ok=%v", hit, ok)
+	}
+	del := Command{Op: OpDelete, Key: "k"}
+	c.sessionRecord(&del, Result{OK: true, Version: kvstore.Version{TS: 10}})
+	if _, ok := c.cacheGet("k"); ok {
+		t.Fatalf("cache served a deleted key")
+	}
+}
+
+func TestSessionCacheBoundEvictsFIFO(t *testing.T) {
+	c := sessionClient(ReadAnyClean, 2)
+	for i, key := range []string{"a", "b", "c"} {
+		cmd, res := okGet(key, uint64(i+1), "v")
+		c.sessionRecord(&cmd, res)
+	}
+	if _, ok := c.cacheGet("a"); ok {
+		t.Fatalf("oldest entry not evicted at the bound")
+	}
+	if len(c.sess) != 2 || len(c.sessOrder) != 2 {
+		t.Fatalf("session table size %d/%d, want 2/2", len(c.sess), len(c.sessOrder))
+	}
+	for _, key := range []string{"b", "c"} {
+		if _, ok := c.cacheGet(key); !ok {
+			t.Fatalf("entry %q evicted out of FIFO order", key)
+		}
+	}
+}
+
+func TestSessionDisabledWithoutPolicyOrCache(t *testing.T) {
+	c := sessionClient(ReadLeaseLocal, 0)
+	cmd, res := okGet("k", 5, "v")
+	c.sessionRecord(&cmd, res)
+	if len(c.sess) != 0 {
+		t.Fatalf("session state tracked with tracking disabled")
+	}
+	if !c.sessionAccepts("k", Result{OK: true, Version: kvstore.Version{TS: 1}}) {
+		t.Fatalf("sessionAccepts filtered with tracking disabled")
+	}
+	if _, ok := c.cacheGet("k"); ok {
+		t.Fatalf("cacheGet hit with caching disabled")
+	}
+}

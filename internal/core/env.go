@@ -52,5 +52,29 @@ func (e *nodeEnv) Reply(cmd Command, r Result) {
 // LeaderAlive implements Env via the node's trusted lease table.
 func (e *nodeEnv) LeaderAlive() bool { return (*Node)(e).LeaderAlive() }
 
+var _ ReadEnv = (*nodeEnv)(nil)
+
+// ReadPolicy implements ReadEnv.
+func (e *nodeEnv) ReadPolicy() ReadPolicy { return e.cfg.ReadPolicy }
+
+// HoldsLeaderLease implements ReadEnv.
+func (e *nodeEnv) HoldsLeaderLease() bool { return (*Node)(e).holdsLeaderLease() }
+
+// RenewLease implements ReadEnv.
+func (e *nodeEnv) RenewLease() { (*Node)(e).renewOwnLease() }
+
+// CountRead implements ReadEnv.
+func (e *nodeEnv) CountRead(p ReadPath) {
+	n := (*Node)(e)
+	switch p {
+	case ReadPathLocal:
+		n.stats.LocalReads.Add(1)
+	case ReadPathReplica:
+		n.stats.ReplicaReads.Add(1)
+	case ReadPathFallback:
+		n.stats.LeaseFallbacks.Add(1)
+	}
+}
+
 // Logf implements Env.
 func (e *nodeEnv) Logf(format string, args ...any) { e.cfg.Logf(format, args...) }

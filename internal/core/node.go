@@ -42,6 +42,11 @@ type Stats struct {
 	// pipeline; a climbing value means a stage is the bottleneck — read the
 	// per-stage depths (Node.PipelineDepths) to see which.
 	PipelineStalls atomic.Uint64
+	// Read-path counters (PR 7): where reads were actually served, so the
+	// scale-out benches can prove which path answered.
+	LocalReads     atomic.Uint64 // coordinator served locally under an active lease
+	ReplicaReads   atomic.Uint64 // non-coordinator replica served a clean read
+	LeaseFallbacks atomic.Uint64 // lease expired: local read detoured to consensus
 }
 
 // NodeConfig configures a Recipe node.
@@ -53,6 +58,10 @@ type NodeConfig struct {
 	// LeaderLeaseTicks is the trusted-lease duration for leader liveness,
 	// measured in ticks (default 10).
 	LeaderLeaseTicks int
+	// ReadPolicy selects how OpGet is served (see ReadPolicy). The zero
+	// value, ReadLeaseLocal, lets coordinators answer locally under an
+	// active trusted lease.
+	ReadPolicy ReadPolicy
 	// Shielded selects the Recipe transformation; false runs the protocol
 	// natively (no authn layer) for the Fig 6a baseline.
 	Shielded bool
@@ -1092,6 +1101,13 @@ func (n *Node) dispatchCommand(cmd Command) {
 	}
 	st := n.proto.Status()
 	if !st.IsCoordinator {
+		if cmd.Op == OpGet && n.cfg.ReadPolicy == ReadAnyClean {
+			// Scale-out read path: a non-coordinator replica may answer a
+			// clean, committed read directly instead of redirecting.
+			if cr, ok := n.proto.(CleanReader); ok && cr.ServeCleanRead(cmd) {
+				return
+			}
+		}
 		if st.Leader != "" && st.Leader != n.id {
 			n.sendRedirect(cmd, st.Leader)
 		}
@@ -1109,6 +1125,28 @@ func (n *Node) renewLeaderLease(from string) {
 		return
 	}
 	_, _ = n.lease.Grant("leader", from, n.leaseDur)
+}
+
+// holdsLeaderLease reports whether this node holds its own leader lease on
+// the holder side (no drift margin): the strict view that expires before any
+// follower's grantor-side view does, so a deposed leader stops serving local
+// reads before a successor can be elected, let alone commit. A
+// single-replica group trivially holds it — there is no follower to grant
+// one and none whose divergence could matter.
+func (n *Node) holdsLeaderLease() bool {
+	if len(n.peers) == 1 {
+		return true
+	}
+	return n.lease.HolderActive("leader", n.id)
+}
+
+// renewOwnLease (re-)grants this node's own leader lease in its local lease
+// table. Protocols call it (via ReadEnv.RenewLease) only on quorum evidence
+// of continued leadership — never on a single peer's message, which a
+// minority-partitioned leader could still receive while the majority elects
+// a successor.
+func (n *Node) renewOwnLease() {
+	_, _ = n.lease.Grant("leader", n.id, n.leaseDur)
 }
 
 // LeaderAlive reports whether the trusted leader lease is still active.

@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// ReadPolicy selects how OpGet is served relative to the consensus path. It
+// is threaded NodeConfig → harness.Options → recipe.Options so one knob
+// governs every protocol uniformly. The zero value is ReadLeaseLocal: the
+// coordinator answers locally while its trusted lease is fresh, which is the
+// strongest policy that still skips the per-read consensus round trip.
+type ReadPolicy uint8
+
+const (
+	// ReadLeaseLocal lets the coordinator serve committed reads from its
+	// local store while it holds an active trusted lease; an expired lease
+	// forces the read back onto the consensus path. This is the default.
+	ReadLeaseLocal ReadPolicy = iota
+	// ReadLeaderOnly pushes every read through the full consensus/log path
+	// at the coordinator. Slowest, assumption-free baseline.
+	ReadLeaderOnly
+	// ReadAnyClean additionally lets any replica holding a committed, clean
+	// version of the key answer directly (CRAQ's clean-read rule
+	// generalised), and the client fans reads across shard members instead
+	// of pinning the coordinator. Session monotonicity is enforced
+	// client-side via version floors.
+	ReadAnyClean
+)
+
+// String implements fmt.Stringer using the flag spellings.
+func (p ReadPolicy) String() string {
+	switch p {
+	case ReadLeaderOnly:
+		return "leader-only"
+	case ReadLeaseLocal:
+		return "lease-local"
+	case ReadAnyClean:
+		return "any-clean"
+	default:
+		return fmt.Sprintf("readpolicy(%d)", uint8(p))
+	}
+}
+
+// ParseReadPolicy converts a flag spelling back to a ReadPolicy.
+func ParseReadPolicy(s string) (ReadPolicy, error) {
+	switch s {
+	case "leader-only":
+		return ReadLeaderOnly, nil
+	case "lease-local", "":
+		return ReadLeaseLocal, nil
+	case "any-clean":
+		return ReadAnyClean, nil
+	default:
+		return 0, fmt.Errorf("unknown read policy %q (want leader-only, lease-local, or any-clean)", s)
+	}
+}
+
+// ReadPath tags which route actually served (or detoured) a read, for the
+// Stats counters that let benchmarks prove where reads went.
+type ReadPath uint8
+
+const (
+	// ReadPathLocal is a coordinator answering from its own store under an
+	// active lease (or a CRAQ/chain tail, whose local read is always clean).
+	ReadPathLocal ReadPath = iota
+	// ReadPathReplica is a non-coordinator replica answering a clean read
+	// directly under ReadAnyClean.
+	ReadPathReplica
+	// ReadPathFallback is a lease-gated local read that found the lease
+	// expired and fell back to the consensus path.
+	ReadPathFallback
+)
+
+// ReadEnv is an optional extension of Env. Protocols that want lease-gated
+// local reads or read-path accounting type-assert their Env at Init time; a
+// plain Env (e.g. the fakes in protocol unit tests) simply opts out and the
+// protocol keeps its legacy read behaviour.
+type ReadEnv interface {
+	// ReadPolicy returns the node's configured read policy.
+	ReadPolicy() ReadPolicy
+	// HoldsLeaderLease reports whether this node currently holds the
+	// trusted leader lease on the holder side (no drift margin): the lease
+	// a deposed leader loses strictly before any follower's grantor-side
+	// view expires and a successor can be elected.
+	HoldsLeaderLease() bool
+	// RenewLease renews this node's own leader lease. Protocols must call
+	// it only on evidence a quorum still follows them (e.g. a quorum of
+	// distinct same-term append responses), never on a single peer message.
+	RenewLease()
+	// CountRead bumps the read-path counter for p.
+	CountRead(p ReadPath)
+}
+
+// CleanReader is an optional Protocol extension for protocols that can serve
+// a committed ("clean") read at a non-coordinator replica. Under ReadAnyClean
+// the node offers OpGet commands to ServeCleanRead before the usual
+// coordinator-only routing; returning false falls back to redirect/drop.
+type CleanReader interface {
+	// ServeCleanRead answers cmd locally iff this replica holds a clean,
+	// committed version of the key. It must Reply and return true, or
+	// return false without side effects.
+	ServeCleanRead(cmd Command) bool
+}

@@ -79,6 +79,17 @@ type Options struct {
 	// GOMAXPROCS=1, staged otherwise), -1 = force inline, N>=1 = N ingress
 	// and N egress workers.
 	PipelineWorkers int
+	// ReadPolicy selects how OpGet is served (core.ReadPolicy), applied to
+	// every node and every client the cluster builds. Zero value =
+	// lease-local.
+	ReadPolicy core.ReadPolicy
+	// SessionCache, when > 0, gives every client an epoch-coherent read
+	// cache of that many keys (core.ClientConfig.SessionCache).
+	SessionCache int
+	// LeaderLeaseTicks overrides the trusted leader-lease duration in ticks
+	// (0 = node default of 10). Short leases churn renewal, which the
+	// lease-stress tests exercise.
+	LeaderLeaseTicks int
 	// Injector optionally installs a Byzantine network fault injector.
 	Injector netstack.Injector
 	// Seed makes randomized components deterministic.
@@ -423,15 +434,17 @@ func (g *Group) buildNode(id string, resume bool) (*core.Node, error) {
 		durability = &core.DurabilityConfig{Dir: dir, Registrar: c.CAS, SnapshotEvery: c.opts.SnapshotEvery, Fresh: !resume}
 	}
 	node, err := core.NewNode(enclave, ep, g.newProtocol(id), core.NodeConfig{
-		Secrets:         secrets,
-		TickEvery:       c.opts.TickEvery,
-		MaxBatch:        c.opts.MaxBatch,
-		PipelineWorkers: c.opts.PipelineWorkers,
-		Shielded:        c.shieldedFor(),
-		Confidential:    c.opts.Confidential,
-		StoreConfig:     kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
-		Durability:      durability,
-		Logf:            c.opts.Logf,
+		Secrets:          secrets,
+		TickEvery:        c.opts.TickEvery,
+		LeaderLeaseTicks: c.opts.LeaderLeaseTicks,
+		MaxBatch:         c.opts.MaxBatch,
+		PipelineWorkers:  c.opts.PipelineWorkers,
+		Shielded:         c.shieldedFor(),
+		Confidential:     c.opts.Confidential,
+		ReadPolicy:       c.opts.ReadPolicy,
+		StoreConfig:      kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
+		Durability:       durability,
+		Logf:             c.opts.Logf,
 	})
 	if err != nil {
 		// The fabric registration must not leak: a leaked endpoint would make
@@ -540,7 +553,24 @@ func (c *Cluster) Client() (*core.Client, error) {
 		Shielded:     c.shieldedFor(),
 		Confidential: c.opts.Confidential,
 		Seed:         c.opts.Seed + int64(c.nextCli),
+		ReadPolicy:   c.opts.ReadPolicy,
+		SessionCache: c.opts.SessionCache,
 	})
+}
+
+// ReadStats aggregates the read-path counters across every live node: which
+// route (coordinator-local under lease, clean replica, lease-expiry
+// fallback) actually served the cluster's reads.
+func (c *Cluster) ReadStats() (local, replica, fallbacks uint64) {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	for _, n := range c.Nodes {
+		s := n.Stats()
+		local += s.LocalReads.Load()
+		replica += s.ReplicaReads.Load()
+		fallbacks += s.LeaseFallbacks.Load()
+	}
+	return local, replica, fallbacks
 }
 
 // WaitForCoordinator blocks until some node of this group reports itself

@@ -55,7 +55,14 @@ type op struct {
 
 // ABD is one replica. All methods run on the node event loop.
 type ABD struct {
-	env      core.Env
+	env core.Env
+	// renv is the optional read-path extension (nil with plain Envs). Under
+	// ReadAnyClean a replica answers reads from its local register state
+	// without the quorum round — the "regular register" relaxation: a read
+	// may miss a concurrent write, but every value served was installed by
+	// a completed (or in-progress) quorum write, and the client's session
+	// floor keeps its own reads monotonic.
+	renv     core.ReadEnv
 	id       string
 	peers    []string
 	writerID uint64
@@ -85,6 +92,7 @@ func (a *ABD) Name() string { return "abd" }
 // Init implements core.Protocol.
 func (a *ABD) Init(env core.Env) {
 	a.env = env
+	a.renv, _ = env.(core.ReadEnv)
 	a.id = env.ID()
 	a.peers = env.Peers()
 	for i, p := range a.peers {
@@ -116,6 +124,11 @@ func (a *ABD) Submit(cmd core.Command) {
 		a.env.Broadcast(&core.Wire{Kind: KindTSRead, Index: id, Key: cmd.Key})
 		a.maybeAdvance(id)
 	case core.OpGet:
+		if a.renv != nil && a.renv.ReadPolicy() == core.ReadAnyClean {
+			a.nextOp-- // no quorum op was started
+			a.serveLocalRead(cmd)
+			return
+		}
 		o := &op{cmd: cmd, ph: phaseRead, acks: 1}
 		if v, ver, err := a.env.Store().GetVersioned(cmd.Key); err == nil {
 			o.value, o.highest = v, ver
@@ -129,6 +142,23 @@ func (a *ABD) Submit(cmd core.Command) {
 	default:
 		a.env.Reply(cmd, core.Result{Err: "unknown op"})
 	}
+}
+
+// serveLocalRead answers a read from this replica's own register state
+// (ReadAnyClean): the stored value unless a tombstone at or above it says
+// the register was deleted.
+func (a *ABD) serveLocalRead(cmd core.Command) {
+	a.renv.CountRead(core.ReadPathReplica)
+	v, ver, err := a.env.Store().GetVersioned(cmd.Key)
+	if t, ok := a.tomb[cmd.Key]; ok && (err != nil || ver.Less(t)) {
+		a.env.Reply(cmd, core.Result{Err: kvstore.ErrNotFound.Error()})
+		return
+	}
+	if err != nil {
+		a.env.Reply(cmd, core.Result{Err: err.Error()})
+		return
+	}
+	a.env.Reply(cmd, core.Result{OK: true, Value: v, Version: ver})
 }
 
 // localVersion returns this replica's highest known version for key across

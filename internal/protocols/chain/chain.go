@@ -26,7 +26,12 @@ const beatEveryTicks = 4
 
 // Chain is one chain-replication node.
 type Chain struct {
-	env   core.Env
+	env core.Env
+	// renv is the optional read-path accounting extension (nil with plain
+	// Envs). Chain tail reads need no lease gate: reconfiguration only ever
+	// removes heads, so the tail — the commit point — can never be deposed,
+	// and its local read is linearizable under every ReadPolicy.
+	renv  core.ReadEnv
 	id    string
 	chain []string // current chain order; shrinks on head failure
 	epoch uint64
@@ -46,6 +51,7 @@ func (c *Chain) Name() string { return "cr" }
 // Init implements core.Protocol.
 func (c *Chain) Init(env core.Env) {
 	c.env = env
+	c.renv, _ = env.(core.ReadEnv)
 	c.id = env.ID()
 	c.chain = env.Peers()
 }
@@ -79,6 +85,9 @@ func (c *Chain) Submit(cmd core.Command) {
 	case core.OpGet:
 		// Tail reads are linearizable: a write only commits once the tail
 		// has applied it, so the tail never serves a stale committed value.
+		if c.renv != nil {
+			c.renv.CountRead(core.ReadPathLocal)
+		}
 		c.env.Reply(cmd, readLocal(c.env.Store(), cmd.Key))
 	case core.OpPut, core.OpDelete:
 		// Mutations (writes and deletes) serialize at the head.

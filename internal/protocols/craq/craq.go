@@ -26,7 +26,13 @@ const readTimeoutTicks = 100
 
 // CRAQ is one replica.
 type CRAQ struct {
-	env   core.Env
+	env core.Env
+	// renv is the optional read-path extension (nil with plain Envs). CRAQ
+	// is the in-tree origin of the clean-read rule the ReadPolicy knob
+	// generalises: under ReadLeaderOnly non-tail replicas apportion every
+	// read to the tail (the committed view), under the other policies they
+	// keep serving clean keys locally.
+	renv  core.ReadEnv
 	id    string
 	chain []string
 
@@ -65,6 +71,7 @@ func (c *CRAQ) Name() string { return "craq" }
 // Init implements core.Protocol.
 func (c *CRAQ) Init(env core.Env) {
 	c.env = env
+	c.renv, _ = env.(core.ReadEnv)
 	c.id = env.ID()
 	c.chain = env.Peers()
 }
@@ -110,6 +117,12 @@ func (c *CRAQ) Submit(cmd core.Command) {
 // serveRead answers a read locally when the key is clean, otherwise
 // apportions it to the tail for the committed version.
 func (c *CRAQ) serveRead(cmd core.Command) {
+	if c.id != c.tail() && c.renv != nil && c.renv.ReadPolicy() == core.ReadLeaderOnly {
+		// Coordinator-pinned baseline: only the tail's committed view
+		// answers, so non-tail replicas forward unconditionally.
+		c.apportion(cmd)
+		return
+	}
 	if c.id != c.tail() && c.pendingDelete[cmd.Key] > c.clean[cmd.Key] {
 		// A delete is traversing the chain: whether it committed is only
 		// known at the tail, so the key is dirty regardless of store state.
@@ -128,6 +141,13 @@ func (c *CRAQ) serveRead(cmd core.Command) {
 	if c.id == c.tail() || ver.TS <= c.clean[cmd.Key] {
 		// Clean (committed) version: serve locally. This is CRAQ's read
 		// scaling — any replica answers without network traffic.
+		if c.renv != nil {
+			if c.id == c.tail() {
+				c.renv.CountRead(core.ReadPathLocal)
+			} else {
+				c.renv.CountRead(core.ReadPathReplica)
+			}
+		}
 		c.env.Reply(cmd, core.Result{OK: true, Value: v, Version: ver})
 		return
 	}

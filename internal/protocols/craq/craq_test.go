@@ -126,6 +126,88 @@ func TestMissingKey(t *testing.T) {
 	}
 }
 
+// TestDirtyReadStillApportionsUnderAnyClean: ReadAnyClean relaxes nothing
+// about CRAQ's dirty rule — a key with an uncommitted version in flight must
+// still consult the tail, policy or no policy. Only clean keys scale out.
+func TestDirtyReadStillApportionsUnderAnyClean(t *testing.T) {
+	net := newNet(t, 3)
+	renv := &prototest.ReadPolicyEnv{Env: net.Envs["n2"], Policy: core.ReadAnyClean}
+	net.Protos["n2"].Init(renv)
+
+	// Commit v1 everywhere, then let v2 reach n1/n2 but not the tail.
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v1"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	net.Drop = func(s prototest.Sent) bool {
+		return s.To == "n3" && s.W.Kind == craq.KindWrite
+	}
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v2"), ClientID: "c", Seq: 2})
+	net.Run(10_000)
+	net.Drop = nil
+
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	net.Run(10_000)
+	rep, ok := net.LastReply("n2")
+	if !ok || !rep.Res.OK {
+		t.Fatalf("dirty read under any-clean = %+v ok=%v", rep, ok)
+	}
+	if string(rep.Res.Value) != "v1" {
+		t.Errorf("dirty read under any-clean returned %q, want committed v1", rep.Res.Value)
+	}
+	if renv.Counts[core.ReadPathReplica] != 0 {
+		t.Errorf("dirty read counted as a replica-local serve (%d)", renv.Counts[core.ReadPathReplica])
+	}
+}
+
+// TestLeaderOnlyApportionsCleanReads: under ReadLeaderOnly even a clean key
+// at a non-tail replica forwards to the tail — the coordinator-pinned
+// baseline the read-scaling benches compare against.
+func TestLeaderOnlyApportionsCleanReads(t *testing.T) {
+	net := newNet(t, 3)
+	renv := &prototest.ReadPolicyEnv{Env: net.Envs["n2"], Policy: core.ReadLeaderOnly}
+	net.Protos["n2"].Init(renv)
+
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000) // write + clean acks settle: k is clean at n2
+
+	before := net.Pending()
+	net.Submit("n2", core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	if net.Pending() == before {
+		t.Fatalf("leader-only read served locally at a non-tail replica")
+	}
+	net.Run(10_000)
+	rep, ok := net.LastReply("n2")
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" {
+		t.Fatalf("leader-only read = %+v ok=%v", rep, ok)
+	}
+}
+
+// TestReadPathCounters: a clean read counts ReadPathLocal at the tail and
+// ReadPathReplica elsewhere, so the cluster-level counters attribute CRAQ's
+// scaling to the replicas actually doing the work.
+func TestReadPathCounters(t *testing.T) {
+	net := newNet(t, 3)
+	renvs := make(map[string]*prototest.ReadPolicyEnv)
+	for _, id := range net.Order() {
+		renvs[id] = &prototest.ReadPolicyEnv{Env: net.Envs[id], Policy: core.ReadAnyClean}
+		net.Protos[id].Init(renvs[id])
+	}
+	net.Submit("n1", core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+
+	for i, id := range net.Order() {
+		net.Submit(id, core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: uint64(i + 2)})
+		net.Run(10_000)
+	}
+	if got := renvs["n3"].Counts[core.ReadPathLocal]; got != 1 {
+		t.Errorf("tail local-read count = %d, want 1", got)
+	}
+	for _, id := range []string{"n1", "n2"} {
+		if got := renvs[id].Counts[core.ReadPathReplica]; got != 1 {
+			t.Errorf("%s replica-read count = %d, want 1", id, got)
+		}
+	}
+}
+
 func TestManyKeysConverge(t *testing.T) {
 	net := newNet(t, 3)
 	for i := 0; i < 20; i++ {

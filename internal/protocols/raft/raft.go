@@ -55,7 +55,11 @@ type entry struct {
 
 // Raft is one Raft server. All methods run on the node event loop.
 type Raft struct {
-	env   core.Env
+	env core.Env
+	// renv is the optional read-path extension of env: lease-gated local
+	// reads and read-path accounting. Nil with plain Envs (unit-test fakes),
+	// which keeps the legacy always-local read behaviour.
+	renv  core.ReadEnv
 	id    string
 	peers []string
 	rng   *rand.Rand
@@ -82,6 +86,13 @@ type Raft struct {
 	nextIndex  map[string]uint64
 	matchIndex map[string]uint64
 	votes      map[string]bool
+	// leaseAcks collects the distinct followers that responded in the
+	// current term since the last lease renewal. The leader's own holder-
+	// side lease renews only when a QUORUM of them has responded — renewing
+	// on any single response would let a minority-partitioned leader keep
+	// its lease (and serve stale local reads) while the majority elects and
+	// commits under a successor.
+	leaseAcks map[string]bool
 	// inflight marks followers with an unacknowledged AppendEntries. New
 	// submissions do not trigger extra rounds while one is outstanding —
 	// entries accumulate and ship in the next batch (the paper's batching
@@ -104,6 +115,7 @@ var (
 	_ core.Protocol     = (*Raft)(nil)
 	_ core.Snapshotter  = (*Raft)(nil)
 	_ core.BatchFlusher = (*Raft)(nil)
+	_ core.CleanReader  = (*Raft)(nil)
 )
 
 // New creates a Raft instance. Seed randomizes election timeouts; give each
@@ -122,6 +134,7 @@ func (r *Raft) Name() string { return "raft" }
 // Init implements core.Protocol.
 func (r *Raft) Init(env core.Env) {
 	r.env = env
+	r.renv, _ = env.(core.ReadEnv)
 	r.id = env.ID()
 	r.peers = env.Peers()
 	r.role = follower
@@ -144,15 +157,28 @@ func (r *Raft) Submit(cmd core.Command) {
 		return
 	}
 	if cmd.Op == core.OpGet && r.lastApplied >= r.barrier {
-		// Linearizable local read at the leader: the trusted lease ensures
-		// leadership, the term-start barrier has applied (so every write
-		// committed in prior terms is in the local store), and every entry
-		// committed in this term is applied at commit time.
-		r.env.Reply(cmd, readLocal(r.env.Store(), cmd.Key))
-		return
+		// Linearizable local read at the leader: the term-start barrier has
+		// applied (so every write committed in prior terms is in the local
+		// store), every entry committed in this term is applied at commit
+		// time, and the trusted lease ensures leadership freshness. Under
+		// ReadLeaderOnly the read always takes the log; with an expired
+		// lease it falls back to the log (a deposed leader must not answer).
+		if r.renv == nil {
+			r.env.Reply(cmd, readLocal(r.env.Store(), cmd.Key))
+			return
+		}
+		if r.renv.ReadPolicy() != core.ReadLeaderOnly {
+			if r.renv.HoldsLeaderLease() {
+				r.renv.CountRead(core.ReadPathLocal)
+				r.env.Reply(cmd, readLocal(r.env.Store(), cmd.Key))
+				return
+			}
+			r.renv.CountRead(core.ReadPathFallback)
+		}
 	}
-	// Writes — and reads arriving before the term barrier applies — go
-	// through the log; OpGet entries read the store at apply time.
+	// Writes — and reads arriving before the term barrier applies, under
+	// ReadLeaderOnly, or without a fresh lease — go through the log; OpGet
+	// entries read the store at apply time.
 	r.log = append(r.log, entry{term: r.term, cmd: cmd})
 	idx := r.lastIndex()
 	r.pending[idx] = cmd
@@ -320,6 +346,7 @@ func (r *Raft) maybeWinElection() {
 	r.nextIndex = make(map[string]uint64, len(r.peers))
 	r.matchIndex = make(map[string]uint64, len(r.peers))
 	r.inflight = make(map[string]bool, len(r.peers))
+	r.leaseAcks = make(map[string]bool, len(r.peers))
 	lastIdx, _ := r.lastLog()
 	for _, p := range r.peers {
 		r.nextIndex[p] = lastIdx + 1
@@ -449,6 +476,21 @@ func (r *Raft) onAppendResp(from string, m *core.Wire) {
 		return
 	}
 	r.inflight[from] = false
+	// Any same-term response (OK or not) proves this follower still treats
+	// us as the term's leader. Once a quorum of distinct followers has
+	// responded since the last renewal, the leader's own lease is fresh
+	// again: a majority demonstrably cannot have elected a successor within
+	// the window. Heartbeats every heartbeatTicks keep this alive under
+	// pure-read load.
+	if r.renv != nil {
+		r.leaseAcks[from] = true
+		if len(r.leaseAcks)+1 >= r.quorum() {
+			r.renv.RenewLease()
+			for p := range r.leaseAcks {
+				delete(r.leaseAcks, p)
+			}
+		}
+	}
 	if !m.OK {
 		// Back up nextIndex and retry (never below the compacted base).
 		switch {
@@ -557,6 +599,24 @@ func (r *Raft) maybeCompact() {
 	r.log = append([]entry(nil), r.log[newBase-r.base:]...)
 	r.base = newBase
 	r.baseTerm = bt
+}
+
+// ServeCleanRead implements core.CleanReader: under ReadAnyClean a follower
+// answers reads from its own store. A Raft follower's store only ever holds
+// committed state — applyCommitted applies nothing past the commit index,
+// and recovery restores committed mutations — so every local version is
+// clean by construction. The answer may be stale relative to the leader's
+// commit frontier; the client's session floor enforces monotonicity, which
+// is exactly the relaxation ReadAnyClean advertises.
+func (r *Raft) ServeCleanRead(cmd core.Command) bool {
+	if cmd.Op != core.OpGet {
+		return false
+	}
+	if r.renv != nil {
+		r.renv.CountRead(core.ReadPathReplica)
+	}
+	r.env.Reply(cmd, readLocal(r.env.Store(), cmd.Key))
+	return true
 }
 
 // LogLen reports the number of in-memory log entries (observability).

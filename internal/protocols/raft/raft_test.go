@@ -271,3 +271,147 @@ func TestDeposedLeaderNeverAcksUnreplicatedWrite(t *testing.T) {
 		}
 	}
 }
+
+// wrapReadEnvs re-Inits every instance onto a ReadPolicyEnv (before any
+// election, since Init resets the role) and returns the wrappers.
+func wrapReadEnvs(net *prototest.Net, policy core.ReadPolicy) map[string]*prototest.ReadPolicyEnv {
+	renvs := make(map[string]*prototest.ReadPolicyEnv)
+	for _, id := range net.Order() {
+		renvs[id] = &prototest.ReadPolicyEnv{Env: net.Envs[id], Policy: policy, Lease: true}
+		net.Protos[id].Init(renvs[id])
+	}
+	return renvs
+}
+
+// TestLeaseGatedLocalRead: with an active lease the leader answers a read
+// from its store in the same step (no log round); with the lease expired the
+// same read detours through the log — it still answers correctly, but only
+// after a quorum round, and the fallback is counted.
+func TestLeaseGatedLocalRead(t *testing.T) {
+	net := newNet(t, 3)
+	renvs := wrapReadEnvs(net, core.ReadLeaseLocal)
+	leader := electLeader(t, net)
+	net.Submit(leader, core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+
+	// Active lease: the read replies before any message is delivered.
+	net.Submit(leader, core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	rep, ok := net.LastReply(leader)
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" || rep.Cmd.Op != core.OpGet {
+		t.Fatalf("lease-local read did not serve immediately: %+v ok=%v", rep, ok)
+	}
+	if got := renvs[leader].Counts[core.ReadPathLocal]; got != 1 {
+		t.Errorf("local-read count = %d, want 1", got)
+	}
+
+	// Expired lease: a deposed-leader-shaped node must not answer locally.
+	renvs[leader].Lease = false
+	net.Submit(leader, core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 2})
+	if rep, _ := net.LastReply(leader); rep.Cmd.Op == core.OpGet && rep.Cmd.Seq == 2 {
+		t.Fatalf("read served locally with an expired lease: %+v", rep)
+	}
+	if got := renvs[leader].Counts[core.ReadPathFallback]; got != 1 {
+		t.Errorf("fallback count = %d, want 1", got)
+	}
+	net.Run(10_000) // the quorum round completes the read through the log
+	rep, ok = net.LastReply(leader)
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" || rep.Cmd.Seq != 2 {
+		t.Fatalf("expired-lease read never completed through the log: %+v ok=%v", rep, ok)
+	}
+}
+
+// TestLeaderOnlyAlwaysTakesTheLog: the baseline policy never serves a read
+// from the leader's store directly, lease or no lease.
+func TestLeaderOnlyAlwaysTakesTheLog(t *testing.T) {
+	net := newNet(t, 3)
+	renvs := wrapReadEnvs(net, core.ReadLeaderOnly)
+	leader := electLeader(t, net)
+	net.Submit(leader, core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.Run(10_000)
+	net.Submit(leader, core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1})
+	if rep, _ := net.LastReply(leader); rep.Cmd.Op == core.OpGet {
+		t.Fatalf("leader-only read served before the quorum round: %+v", rep)
+	}
+	net.Run(10_000)
+	rep, ok := net.LastReply(leader)
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" {
+		t.Fatalf("leader-only read = %+v ok=%v", rep, ok)
+	}
+	if got := renvs[leader].Counts[core.ReadPathLocal]; got != 0 {
+		t.Errorf("leader-only counted %d local reads, want 0", got)
+	}
+}
+
+// TestLeaseRenewalNeedsQuorum: the leader's own lease renews only on a
+// quorum of distinct same-term follower responses. One responsive follower
+// out of five nodes must never renew — that is exactly the minority
+// partition in which a successor can be elected elsewhere.
+func TestLeaseRenewalNeedsQuorum(t *testing.T) {
+	net := newNet(t, 5)
+	renvs := wrapReadEnvs(net, core.ReadLeaseLocal)
+	leader := electLeader(t, net)
+	renvs[leader].Renewals = 0
+
+	// Only one follower's responses reach the leader.
+	var responsive string
+	for _, id := range net.Order() {
+		if id != leader {
+			responsive = id
+			break
+		}
+	}
+	net.Drop = func(s prototest.Sent) bool {
+		return s.To == leader && s.W.Kind == raft.KindAppendResp && s.From != responsive
+	}
+	net.TickAndRun(10, 10_000)
+	if renvs[leader].Renewals != 0 {
+		t.Fatalf("lease renewed %d times on a single follower's acks (quorum is 3)", renvs[leader].Renewals)
+	}
+
+	// A second distinct responder completes the quorum (leader + 2 of 5).
+	net.Drop = func(s prototest.Sent) bool {
+		if s.To != leader || s.W.Kind != raft.KindAppendResp {
+			return false
+		}
+		return s.From != responsive && s.From != net.Order()[4]
+	}
+	if net.Order()[4] == leader || net.Order()[4] == responsive {
+		t.Fatalf("test topology assumption broken: leader=%s responsive=%s", leader, responsive)
+	}
+	net.TickAndRun(10, 10_000)
+	if renvs[leader].Renewals == 0 {
+		t.Fatalf("lease never renewed with a quorum of distinct responders")
+	}
+}
+
+// TestFollowerServesCleanRead: ServeCleanRead answers from the follower's
+// store (committed-only by construction) and counts the replica path.
+func TestFollowerServesCleanRead(t *testing.T) {
+	net := newNet(t, 3)
+	renvs := wrapReadEnvs(net, core.ReadAnyClean)
+	leader := electLeader(t, net)
+	net.Submit(leader, core.Command{Op: core.OpPut, Key: "k", Value: []byte("v"), ClientID: "c", Seq: 1})
+	net.TickAndRun(5, 10_000) // commit index piggybacks to followers
+
+	var follower string
+	for _, id := range net.Order() {
+		if id != leader {
+			follower = id
+			break
+		}
+	}
+	cr, ok := net.Protos[follower].(core.CleanReader)
+	if !ok {
+		t.Fatalf("raft does not implement core.CleanReader")
+	}
+	if !cr.ServeCleanRead(core.Command{Op: core.OpGet, Key: "k", ClientID: "r", Seq: 1}) {
+		t.Fatalf("follower refused a clean read")
+	}
+	rep, ok := net.LastReply(follower)
+	if !ok || !rep.Res.OK || string(rep.Res.Value) != "v" {
+		t.Fatalf("follower clean read = %+v ok=%v", rep, ok)
+	}
+	if got := renvs[follower].Counts[core.ReadPathReplica]; got != 1 {
+		t.Errorf("replica-read count = %d, want 1", got)
+	}
+}

@@ -70,6 +70,45 @@ func (e *Env) LeaderAlive() bool { return e.Alive }
 // Logf implements core.Env.
 func (e *Env) Logf(format string, args ...any) {}
 
+// ReadPolicyEnv wraps an Env with the optional core.ReadEnv extension so
+// protocol tests can exercise the read-policy paths (lease-gated leader
+// reads, clean replica reads) deterministically. Re-Init a protocol with one
+// of these to switch it onto the extended environment:
+//
+//	renv := &prototest.ReadPolicyEnv{Env: net.Envs["n2"], Policy: core.ReadAnyClean}
+//	net.Protos["n2"].Init(renv)
+type ReadPolicyEnv struct {
+	*Env
+	// Policy is what ReadPolicy() reports.
+	Policy core.ReadPolicy
+	// Lease is what HoldsLeaderLease() reports (a deposed leader test sets
+	// it false).
+	Lease bool
+	// Renewals counts RenewLease calls (quorum-ack lease renewal evidence).
+	Renewals int
+	// Counts tallies CountRead by path.
+	Counts map[core.ReadPath]int
+}
+
+var _ core.ReadEnv = (*ReadPolicyEnv)(nil)
+
+// ReadPolicy implements core.ReadEnv.
+func (e *ReadPolicyEnv) ReadPolicy() core.ReadPolicy { return e.Policy }
+
+// HoldsLeaderLease implements core.ReadEnv.
+func (e *ReadPolicyEnv) HoldsLeaderLease() bool { return e.Lease }
+
+// RenewLease implements core.ReadEnv.
+func (e *ReadPolicyEnv) RenewLease() { e.Renewals++ }
+
+// CountRead implements core.ReadEnv.
+func (e *ReadPolicyEnv) CountRead(p core.ReadPath) {
+	if e.Counts == nil {
+		e.Counts = make(map[core.ReadPath]int)
+	}
+	e.Counts[p]++
+}
+
 // Net wires N protocol instances through a controllable message queue.
 type Net struct {
 	t      *testing.T

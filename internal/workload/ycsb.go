@@ -48,6 +48,15 @@ type Config struct {
 	Seed int64
 }
 
+// ReadHotspot is the canonical read-scaling workload: 95% reads with the
+// Hotspot skew (90% of operations on 10% of the keys) at the given value
+// size. The read-path experiments (BenchmarkReadScaling, recipe-bench
+// -experiment reads) all measure against this one shape so their numbers
+// compare directly.
+func ReadHotspot(valueSize int) Config {
+	return Config{ReadRatio: 0.95, Skew: Hotspot, ValueSize: valueSize}
+}
+
 // Op is one generated operation.
 type Op struct {
 	Read   bool

@@ -65,6 +65,29 @@ const (
 	Damysus Protocol = "damysus"
 )
 
+// ReadPolicy selects how reads are served relative to the consensus path;
+// see the core constants re-exported below. The zero value, ReadLeaseLocal,
+// is the default: coordinators answer locally under an active trusted lease.
+type ReadPolicy = core.ReadPolicy
+
+// The read policies.
+const (
+	// ReadLeaderOnly routes every read through the full consensus path at
+	// the coordinator: the slowest, assumption-free baseline.
+	ReadLeaderOnly = core.ReadLeaderOnly
+	// ReadLeaseLocal (the default) lets the coordinator serve committed
+	// reads locally while its TEE-clock-bounded lease is fresh.
+	ReadLeaseLocal = core.ReadLeaseLocal
+	// ReadAnyClean additionally lets any replica with a committed, clean
+	// version answer, with clients fanning reads across shard members.
+	// Reads are session-monotonic rather than linearizable.
+	ReadAnyClean = core.ReadAnyClean
+)
+
+// ParseReadPolicy converts a flag spelling ("leader-only", "lease-local",
+// "any-clean") to a ReadPolicy.
+func ParseReadPolicy(s string) (ReadPolicy, error) { return core.ParseReadPolicy(s) }
+
 // Options configures a cluster. The zero value runs a 3-node R-Raft cluster
 // with the SGX-like TEE cost model over the shielded direct-I/O stack.
 type Options struct {
@@ -108,6 +131,16 @@ type Options struct {
 	// inline single-threaded plane, N>=1 = exactly N workers per side.
 	// Ignored for Native clusters, which have no crypto boundary to stage.
 	PipelineWorkers int
+	// ReadPolicy selects how reads are served (default ReadLeaseLocal). See
+	// the "Read path" section of ARCHITECTURE.md for the trust argument and
+	// docs/operations.md for tuning guidance.
+	ReadPolicy ReadPolicy
+	// SessionCache, when > 0, gives every client an epoch-coherent read
+	// cache of that many keys: repeat reads of a key the session already
+	// observed under the current configuration epoch are answered without
+	// network traffic, and every published shard map invalidates the cache
+	// wholesale. 0 disables caching.
+	SessionCache int
 	// Seed makes randomized components deterministic.
 	Seed int64
 }
@@ -145,6 +178,8 @@ func newClusterWithFactory(opts Options, factory func(replica int) CustomProtoco
 		DataDir:         opts.DataDir,
 		TickEvery:       opts.TickEvery,
 		PipelineWorkers: opts.PipelineWorkers,
+		ReadPolicy:      opts.ReadPolicy,
+		SessionCache:    opts.SessionCache,
 		Seed:            opts.Seed,
 	}
 	if opts.Protocol == "" {
@@ -348,6 +383,28 @@ func addNodeStats(s *SecurityStats, n *core.Node) {
 	s.DroppedOverflow += n.OverflowDrops()
 	s.RejectedRollback += st.DropRollback.Load()
 	s.PipelineStalls += st.PipelineStalls.Load()
+}
+
+// ReadStats aggregates the read-path counters across replicas: which route
+// actually served the cluster's reads, so a deployment (or benchmark) can
+// prove its ReadPolicy is doing what it claims.
+type ReadStats struct {
+	// LocalReads were served by a coordinator from its own store under an
+	// active trusted lease (or by a chain/CRAQ tail, whose local read is
+	// unconditionally committed).
+	LocalReads uint64
+	// ReplicaReads were served by a non-coordinator replica holding a
+	// committed, clean version (ReadAnyClean).
+	ReplicaReads uint64
+	// LeaseFallbacks are local reads that found the coordinator's lease
+	// expired and detoured through the consensus path instead.
+	LeaseFallbacks uint64
+}
+
+// ReadStats returns the cluster-wide read-path counters (all shards).
+func (c *Cluster) ReadStats() ReadStats {
+	local, replica, fallbacks := c.inner.ReadStats()
+	return ReadStats{LocalReads: local, ReplicaReads: replica, LeaseFallbacks: fallbacks}
 }
 
 // PipelineDepths sums the instantaneous staged data-plane queue depths
