@@ -21,6 +21,7 @@ import (
 	"recipe/internal/harness"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
+	"recipe/internal/telemetry"
 	"recipe/internal/workload"
 )
 
@@ -54,8 +55,9 @@ var benchSystems = []struct {
 // are meaningless without knowing how many cores were behind the numbers.
 func reportEnv(b *testing.B) {
 	b.Helper()
-	b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	host := telemetry.HostInfo()
+	b.ReportMetric(float64(host.NumCPU), "numcpu")
+	b.ReportMetric(float64(host.GOMAXPROCS), "gomaxprocs")
 }
 
 // benchThroughput drives b.N workload operations against a fresh cluster
@@ -83,6 +85,7 @@ func benchThroughputClients(b *testing.B, opts harness.Options, w workload.Confi
 	if err := c.Preload(w); err != nil {
 		b.Fatalf("preload: %v", err)
 	}
+	lat0 := c.ClientLatency()
 	b.ResetTimer()
 	ops, err := c.RunOps(w, clients, b.N)
 	b.StopTimer()
@@ -91,6 +94,14 @@ func benchThroughputClients(b *testing.B, opts harness.Options, w workload.Confi
 	}
 	b.ReportMetric(ops, "ops/s")
 	reportEnv(b)
+	// Client-observed latency percentiles of the timed section, from the
+	// telemetry layer's round-trip histogram (µs; absent with NoTelemetry).
+	lat1 := c.ClientLatency()
+	if d := lat1.Sub(&lat0); d.Count > 0 {
+		b.ReportMetric(d.Quantile(0.50)/1e3, "p50-us")
+		b.ReportMetric(d.Quantile(0.99)/1e3, "p99-us")
+		b.ReportMetric(d.Quantile(0.999)/1e3, "p999-us")
+	}
 	if reportReads {
 		local, replica, fallbacks := c.ReadStats()
 		b.ReportMetric(float64(local), "localreads")
@@ -851,5 +862,27 @@ func BenchmarkCoreScaling(b *testing.B) {
 				benchThroughput(b, opts, workload.Config{ReadRatio: 0.50, ValueSize: 256})
 			})
 		}
+	}
+}
+
+// BenchmarkTelemetryOverhead is the A/B behind telemetry being on by
+// default: the same 50%-read YCSB R-Raft workload with the full phase
+// instrumentation recording versus Options.NoTelemetry. The acceptance bar
+// is that the enabled run stays within a few percent of the disabled one —
+// the histograms are fixed-footprint atomics and every span site guards on
+// a nil histogram, so the cost is a handful of time.Now calls per request.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{
+		{"enabled", false},
+		{"disabled", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := evalOptions(harness.Raft, true, false)
+			opts.NoTelemetry = mode.off
+			benchThroughput(b, opts, workload.Config{ReadRatio: 0.50, ValueSize: 256})
+		})
 	}
 }

@@ -6,10 +6,16 @@
 //
 // Usage:
 //
-//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem|durability|reads]
+//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem|durability|reads|phases] [-json FILE]
+//
+// Each cluster-driven experiment line carries client-observed latency
+// percentiles (p50/p99/p999, µs) from the harness telemetry layer, and
+// -json FILE additionally collects every measurement as a JSON array of
+// {experiment, label, kops, latency} rows for machine consumption.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,14 +29,16 @@ import (
 	"recipe/internal/harness"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
+	"recipe/internal/telemetry"
 	"recipe/internal/workload"
 )
 
 var (
 	opsFlag        = flag.Int("ops", 4000, "operations per measurement")
-	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability, reads)")
+	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability, reads, phases)")
 	clientsFlag    = flag.Int("clients", 32, "closed-loop clients per measurement")
 	keysFlag       = flag.Int("keys", 20000, "store size (keys) for the durability experiment")
+	jsonFlag       = flag.String("json", "", "write every measurement as a JSON array to FILE")
 )
 
 func main() {
@@ -52,19 +60,89 @@ func run() error {
 		"mem":        memTable,
 		"durability": durabilityTable,
 		"reads":      readsTable,
+		"phases":     phasesTable,
 	}
-	if *experimentFlag != "all" {
-		f, ok := experiments[*experimentFlag]
+	runOne := func(name string) error {
+		f, ok := experiments[name]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q", *experimentFlag)
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 		return f()
 	}
-	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability", "reads"} {
-		if err := experiments[name](); err != nil {
+	if *experimentFlag != "all" {
+		if err := runOne(*experimentFlag); err != nil {
+			return err
+		}
+		return writeJSON()
+	}
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability", "reads", "phases"} {
+		if err := runOne(name); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
+	return writeJSON()
+}
+
+// latencyJSON is the machine-readable shape of one latency distribution.
+type latencyJSON struct {
+	P50us  float64 `json:"p50_us"`
+	P90us  float64 `json:"p90_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+	Count  uint64  `json:"count"`
+}
+
+func toLatencyJSON(s telemetry.Snapshot) *latencyJSON {
+	if s.Count == 0 {
+		return nil
+	}
+	return &latencyJSON{
+		P50us:  s.Quantile(0.50) / 1e3,
+		P90us:  s.Quantile(0.90) / 1e3,
+		P99us:  s.Quantile(0.99) / 1e3,
+		P999us: s.Quantile(0.999) / 1e3,
+		MaxUs:  float64(s.Max) / 1e3,
+		Count:  s.Count,
+	}
+}
+
+// jsonRow is one measurement cell in the -json output.
+type jsonRow struct {
+	Experiment string       `json:"experiment"`
+	Label      string       `json:"label"`
+	KOps       float64      `json:"kops"`
+	Latency    *latencyJSON `json:"latency,omitempty"`
+}
+
+var jsonRows []jsonRow
+
+// record collects one measurement cell for the -json emitter (a no-op
+// without -json, so the tables stay the only output).
+func record(experiment, label string, m measurement) {
+	if *jsonFlag == "" {
+		return
+	}
+	jsonRows = append(jsonRows, jsonRow{
+		Experiment: experiment,
+		Label:      label,
+		KOps:       m.opsPerSec / 1000,
+		Latency:    toLatencyJSON(m.latency),
+	})
+}
+
+func writeJSON() error {
+	if *jsonFlag == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(jsonRows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*jsonFlag, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d measurement rows to %s\n", len(jsonRows), *jsonFlag)
 	return nil
 }
 
@@ -117,7 +195,7 @@ func measureRecovery(durable, checkpoint bool, snapshotEvery, keys int) (float64
 func readsTable() error {
 	fmt.Printf("\n=== Reads: 95/5 hotspot read scaling by ReadPolicy (R-Raft, 256B values) ===\n")
 	fmt.Println(envLine())
-	tw, flush := newTable("policy", "clients", "kOps/s", "local", "replica", "fallbacks")
+	tw, flush := newTable("policy", "clients", "kOps/s", "local", "replica", "fallbacks", "p50(µs)", "p99(µs)", "p999(µs)")
 	defer flush()
 	for _, clients := range []int{*clientsFlag, 10 * *clientsFlag} {
 		for _, p := range []struct {
@@ -130,15 +208,16 @@ func readsTable() error {
 			{"any-clean", core.ReadAnyClean, 0},
 			{"any-clean-cached", core.ReadAnyClean, 256},
 		} {
-			ops, local, replica, fallbacks, err := measureReads(harness.Options{
+			m, local, replica, fallbacks, err := measureReads(harness.Options{
 				Protocol: harness.Raft, Shielded: true, Seed: 1,
 				ReadPolicy: p.policy, SessionCache: p.cache,
 			}, clients)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\n",
-				p.name, clients, kops(ops), local, replica, fallbacks)
+			record("reads", fmt.Sprintf("%s/clients=%d", p.name, clients), m)
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\t%s\n",
+				p.name, clients, kops(m.opsPerSec), local, replica, fallbacks, latCols(m.latency))
 		}
 	}
 	return nil
@@ -146,33 +225,99 @@ func readsTable() error {
 
 // measureReads is measure() with the cluster handle kept, so the read-path
 // counters can be reported next to the throughput they explain.
-func measureReads(opts harness.Options, clients int) (ops float64, local, replica, fallbacks uint64, err error) {
+func measureReads(opts harness.Options, clients int) (m measurement, local, replica, fallbacks uint64, err error) {
 	w := workload.ReadHotspot(256)
 	w.Keys = 1024
 	w.Seed = opts.Seed
 	c, err := harness.New(opts)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return measurement{}, 0, 0, 0, err
 	}
 	defer c.Stop()
 	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
-		return 0, 0, 0, 0, err
+		return measurement{}, 0, 0, 0, err
 	}
 	if err := c.Preload(w); err != nil {
-		return 0, 0, 0, 0, err
+		return measurement{}, 0, 0, 0, err
 	}
 	// Warm up so leases are granted and renewal is steady before the
 	// timed section; then count only the timed section's read paths.
 	if _, err := c.RunOps(w, clients, *opsFlag/10+1); err != nil {
-		return 0, 0, 0, 0, err
+		return measurement{}, 0, 0, 0, err
 	}
 	l0, r0, f0 := c.ReadStats()
-	ops, err = c.RunOps(w, clients, *opsFlag)
+	lat0 := c.ClientLatency()
+	ops, err := c.RunOps(w, clients, *opsFlag)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return measurement{}, 0, 0, 0, err
 	}
+	lat1 := c.ClientLatency()
 	l1, r1, f1 := c.ReadStats()
-	return ops, l1 - l0, r1 - r0, f1 - f0, nil
+	m = measurement{opsPerSec: ops, latency: lat1.Sub(&lat0)}
+	return m, l1 - l0, r1 - r0, f1 - f0, nil
+}
+
+// phasesTable is the telemetry layer's own experiment: it slices a write's
+// life across the data plane — ingress MAC verify, pipeline queue wait,
+// egress seal, WAL fsync, raft append→commit lag, netstack flush and dwell —
+// and reports p50/p99/p999 per phase next to the client round trip they
+// compose, at the default client count and at 10x. Durable pipelined R-Raft,
+// 50% reads, 256B values.
+func phasesTable() error {
+	fmt.Println("\n=== Phases: per-phase latency percentiles (durable pipelined R-Raft, 50%R, 256B) ===")
+	fmt.Println(envLine())
+	phaseOrder := []string{
+		core.MetricPhaseClientRTT,
+		core.MetricPhaseIngressVerify,
+		core.MetricPhaseQueueWait,
+		core.MetricPhaseEgressSeal,
+		core.MetricPhaseWALFsync,
+		core.MetricPhaseRaftCommitLag,
+		core.MetricPhaseNetFlush,
+		core.MetricPhaseNetDwell,
+	}
+	tw, flush := newTable("phase", "clients", "count", "p50(µs)", "p99(µs)", "p999(µs)")
+	defer flush()
+	for _, clients := range []int{*clientsFlag, 10 * *clientsFlag} {
+		w := workload.Config{Keys: 1024, ReadRatio: 0.50, ValueSize: 256, Seed: 1}
+		c, err := harness.New(harness.Options{
+			Protocol: harness.Raft, Shielded: true, Seed: 1,
+			Durability: true, PipelineWorkers: 2,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+			c.Stop()
+			return err
+		}
+		if err := c.Preload(w); err != nil {
+			c.Stop()
+			return err
+		}
+		// Warm-up settles elections, leases, and buffer pools; the phase
+		// histograms are then diffed across the timed section only.
+		if _, err := c.RunOps(w, clients, *opsFlag/10+1); err != nil {
+			c.Stop()
+			return err
+		}
+		base := c.PhaseSnapshots()
+		ops, err := c.RunOps(w, clients, *opsFlag)
+		if err != nil {
+			c.Stop()
+			return err
+		}
+		cur := c.PhaseSnapshots()
+		c.Stop()
+		for _, name := range phaseOrder {
+			snap, b := cur[name], base[name]
+			d := snap.Sub(&b)
+			record("phases", fmt.Sprintf("%s/clients=%d", name, clients),
+				measurement{opsPerSec: ops, latency: d})
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", name, clients, d.Count, latCols(d))
+		}
+	}
+	return nil
 }
 
 // memTable reports the hot-path memory discipline (PR 4): heap traffic and
@@ -181,7 +326,7 @@ func measureReads(opts harness.Options, clients int) (ops float64, local, replic
 func memTable() error {
 	fmt.Println("\n=== Hot-path memory discipline: allocs/op, B/op, GC pause (50%R, 256B) ===")
 	fmt.Println(envLine())
-	tw, flush := newTable("system", "mode", "kOps/s", "allocs/op", "B/op", "gc-pause(ms)")
+	tw, flush := newTable("system", "mode", "kOps/s", "allocs/op", "B/op", "gc-pause(ms)", "p50(µs)", "p99(µs)", "p999(µs)")
 	defer flush()
 	for _, proto := range []harness.ProtocolKind{harness.Raft, harness.Chain} {
 		for _, mode := range []struct {
@@ -199,8 +344,9 @@ func memTable() error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "R-%s\t%s\t%s\t%.0f\t%.0f\t%.2f\n",
-				proto, mode.name, kops(m.opsPerSec), m.allocsPerOp, m.bytesPerOp, m.gcPauseMs)
+			record("mem", fmt.Sprintf("R-%s/%s", proto, mode.name), m)
+			fmt.Fprintf(tw, "R-%s\t%s\t%s\t%.0f\t%.0f\t%.2f\t%s\n",
+				proto, mode.name, kops(m.opsPerSec), m.allocsPerOp, m.bytesPerOp, m.gcPauseMs, latCols(m.latency))
 		}
 	}
 	return nil
@@ -222,12 +368,15 @@ var systems = []struct {
 // measurement is one experiment cell: throughput plus the process-wide heap
 // traffic and GC totals attributed per operation (runtime.ReadMemStats
 // around the timed section), so the memory-discipline trajectory is visible
-// alongside the paper's throughput numbers.
+// alongside the paper's throughput numbers. latency is the client-observed
+// round-trip distribution of the timed section only (warm-up excluded),
+// from the harness telemetry layer.
 type measurement struct {
 	opsPerSec   float64
 	allocsPerOp float64
 	bytesPerOp  float64
 	gcPauseMs   float64 // total GC pause during the timed section
+	latency     telemetry.Snapshot
 }
 
 // measureMem runs one throughput measurement and reports throughput and
@@ -253,10 +402,12 @@ func measureMem(opts harness.Options, w workload.Config) (measurement, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	lat0 := c.ClientLatency()
 	ops, err := c.RunOps(w, *clientsFlag, *opsFlag)
 	if err != nil {
 		return measurement{}, err
 	}
+	lat1 := c.ClientLatency()
 	runtime.ReadMemStats(&after)
 	n := float64(*opsFlag)
 	return measurement{
@@ -264,20 +415,30 @@ func measureMem(opts harness.Options, w workload.Config) (measurement, error) {
 		allocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
 		bytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
 		gcPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		latency:     lat1.Sub(&lat0),
 	}, nil
 }
 
-// measure runs one throughput measurement and returns ops/s.
-func measure(opts harness.Options, w workload.Config) (float64, error) {
-	m, err := measureMem(opts, w)
-	return m.opsPerSec, err
+// measure runs one throughput measurement and returns the full cell,
+// latency distribution included.
+func measure(opts harness.Options, w workload.Config) (measurement, error) {
+	return measureMem(opts, w)
+}
+
+// latCols renders a latency snapshot as the standard three table cells:
+// p50, p99, p999 in microseconds.
+func latCols(s telemetry.Snapshot) string {
+	if s.Count == 0 {
+		return "-\t-\t-"
+	}
+	return fmt.Sprintf("%.0f\t%.0f\t%.0f", s.Quantile(0.50)/1e3, s.Quantile(0.99)/1e3, s.Quantile(0.999)/1e3)
 }
 
 // envLine is printed under every experiment header: several tables (the
 // memory discipline, the staged data plane) only mean something relative to
 // the cores behind them, so the host parallelism travels with the numbers.
 func envLine() string {
-	return fmt.Sprintf("host: numcpu=%d gomaxprocs=%d", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	return "host: " + telemetry.HostInfo().String()
 }
 
 func newTable(header ...string) (*tabwriter.Writer, func()) {
@@ -298,19 +459,22 @@ func fig3() error {
 	fmt.Println("\n=== Fig 3: throughput (kOps/s) vs value size, 90% reads ===")
 	fmt.Println(envLine())
 	sizes := []int{256, 1024, 4096}
-	tw, flush := newTable("system", "256B", "1024B", "4096B")
+	tw, flush := newTable("system", "256B", "1024B", "4096B", "p50(µs)", "p99(µs)", "p999(µs)")
 	defer flush()
 	for _, sys := range systems {
 		fmt.Fprintf(tw, "%s", sys.name)
+		var rowLat telemetry.Snapshot
 		for _, size := range sizes {
-			ops, err := measure(harness.Options{Protocol: sys.proto, Shielded: sys.shielded, Seed: 1},
+			m, err := measure(harness.Options{Protocol: sys.proto, Shielded: sys.shielded, Seed: 1},
 				workload.Config{ReadRatio: 0.90, ValueSize: size})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "\t%s", kops(ops))
+			record("fig3", fmt.Sprintf("%s/%dB", sys.name, size), m)
+			rowLat.Merge(&m.latency)
+			fmt.Fprintf(tw, "\t%s", kops(m.opsPerSec))
 		}
-		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "\t%s\n", latCols(rowLat))
 	}
 	return nil
 }
@@ -322,6 +486,7 @@ func fig4() error {
 	ratios := []int{50, 75, 90, 95, 99}
 	results := make(map[string]map[int]float64, len(systems))
 	mems := make(map[string]measurement, len(systems))
+	lats := make(map[string]telemetry.Snapshot, len(systems))
 	for _, sys := range systems {
 		results[sys.name] = make(map[int]float64, len(ratios))
 		for _, r := range ratios {
@@ -330,20 +495,25 @@ func fig4() error {
 			if err != nil {
 				return err
 			}
+			record("fig4", fmt.Sprintf("%s/%d%%R", sys.name, r), m)
 			results[sys.name][r] = m.opsPerSec
+			rowLat := lats[sys.name]
+			rowLat.Merge(&m.latency)
+			lats[sys.name] = rowLat
 			if r == 50 {
 				mems[sys.name] = m
 			}
 		}
 	}
-	tw, flush := newTable("system", "50%R", "75%R", "90%R", "95%R", "99%R", "allocs/op", "B/op", "gc-pause(ms)")
+	tw, flush := newTable("system", "50%R", "75%R", "90%R", "95%R", "99%R", "allocs/op", "B/op", "gc-pause(ms)", "p50(µs)", "p99(µs)", "p999(µs)")
 	for _, sys := range systems {
 		fmt.Fprintf(tw, "%s", sys.name)
 		for _, r := range ratios {
 			fmt.Fprintf(tw, "\t%s", kops(results[sys.name][r]))
 		}
 		m := mems[sys.name]
-		fmt.Fprintf(tw, "\t%.0f\t%.0f\t%.2f", m.allocsPerOp, m.bytesPerOp, m.gcPauseMs)
+		lat := lats[sys.name]
+		fmt.Fprintf(tw, "\t%.0f\t%.0f\t%.2f\t%s", m.allocsPerOp, m.bytesPerOp, m.gcPauseMs, latCols(lat))
 		fmt.Fprintln(tw)
 	}
 	flush()
@@ -366,21 +536,24 @@ func fig5() error {
 	fmt.Println("\n=== Fig 5: throughput (kOps/s) with confidentiality vs plain PBFT ===")
 	fmt.Println(envLine())
 	ratios := []int{50, 95}
-	tw, flush := newTable("system", "50%R", "95%R")
+	tw, flush := newTable("system", "50%R", "95%R", "p50(µs)", "p99(µs)", "p999(µs)")
 	defer flush()
 	for _, sys := range systems {
 		conf := sys.proto != harness.PBFT
 		fmt.Fprintf(tw, "%s", label(sys.name, conf))
+		var rowLat telemetry.Snapshot
 		for _, r := range ratios {
-			ops, err := measure(
+			m, err := measure(
 				harness.Options{Protocol: sys.proto, Shielded: sys.shielded, Confidential: conf, Seed: 1},
 				workload.Config{ReadRatio: float64(r) / 100, ValueSize: 256})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "\t%s", kops(ops))
+			record("fig5", fmt.Sprintf("%s/%d%%R", label(sys.name, conf), r), m)
+			rowLat.Merge(&m.latency)
+			fmt.Fprintf(tw, "\t%s", kops(m.opsPerSec))
 		}
-		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "\t%s\n", latCols(rowLat))
 	}
 	return nil
 }
@@ -414,7 +587,9 @@ func fig6a() error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(tw, "\t%.1fx", nat/rec)
+			record("fig6a", fmt.Sprintf("R-%s/native/%d%%R", proto, r), nat)
+			record("fig6a", fmt.Sprintf("R-%s/recipe/%d%%R", proto, r), rec)
+			fmt.Fprintf(tw, "\t%.1fx", nat.opsPerSec/rec.opsPerSec)
 		}
 		fmt.Fprintln(tw)
 	}
@@ -530,28 +705,30 @@ func table4() error {
 func damysusCmp() error {
 	fmt.Println("\n=== §B.3: Recipe vs Damysus (kOps/s, 50% reads) ===")
 	fmt.Println(envLine())
-	tw, flush := newTable("system", "payload", "kOps/s")
+	tw, flush := newTable("system", "payload", "kOps/s", "p50(µs)", "p99(µs)", "p999(µs)")
 	damysusAt := make(map[int]float64, 3)
 	for _, payload := range []int{1, 64, 256} {
-		ops, err := measure(harness.Options{Protocol: harness.Damysus, Seed: 1},
+		m, err := measure(harness.Options{Protocol: harness.Damysus, Seed: 1},
 			workload.Config{ReadRatio: 0.50, ValueSize: payload})
 		if err != nil {
 			return err
 		}
-		damysusAt[payload] = ops
-		fmt.Fprintf(tw, "Damysus\t%dB\t%s\n", payload, kops(ops))
+		record("damysus", fmt.Sprintf("Damysus/%dB", payload), m)
+		damysusAt[payload] = m.opsPerSec
+		fmt.Fprintf(tw, "Damysus\t%dB\t%s\t%s\n", payload, kops(m.opsPerSec), latCols(m.latency))
 	}
 	var best float64
 	for _, sys := range systems[1:] {
-		ops, err := measure(harness.Options{Protocol: sys.proto, Shielded: true, Seed: 1},
+		m, err := measure(harness.Options{Protocol: sys.proto, Shielded: true, Seed: 1},
 			workload.Config{ReadRatio: 0.50, ValueSize: 256})
 		if err != nil {
 			return err
 		}
-		if ops > best {
-			best = ops
+		record("damysus", sys.name+"/256B", m)
+		if m.opsPerSec > best {
+			best = m.opsPerSec
 		}
-		fmt.Fprintf(tw, "%s\t256B\t%s\n", sys.name, kops(ops))
+		fmt.Fprintf(tw, "%s\t256B\t%s\t%s\n", sys.name, kops(m.opsPerSec), latCols(m.latency))
 	}
 	flush()
 	fmt.Printf("best Recipe vs Damysus(256B): %.1fx  (paper: 2.3x - 5.9x)\n", best/damysusAt[256])

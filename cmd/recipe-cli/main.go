@@ -9,6 +9,7 @@
 //	recipe-cli -nodes ... -master $KEY delete greeting
 //	recipe-cli -nodes ... -shards 2 -master $KEY bench -ops 1000
 //	recipe-cli -nodes <old> -shards 2 -to-nodes <new> -to-shards 4 -master $KEY resize
+//	recipe-cli metrics localhost:9100
 //
 // Sharded deployments partition the sorted node ids into -shards contiguous
 // equal chunks (recipe-node applies the identical rule with its own -shards
@@ -28,7 +29,10 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -112,8 +116,13 @@ func newClient(nodesSpec string, shards int, master []byte, name string) (*core.
 }
 
 func run(args []string) error {
+	// `metrics` talks plain HTTP to a node's -metrics-addr endpoint — no
+	// master key or membership needed, so it bypasses the client setup.
+	if len(args) > 0 && args[0] == "metrics" {
+		return metrics(args[1:])
+	}
 	if *nodesFlag == "" || *masterFlag == "" || len(args) == 0 {
-		return fmt.Errorf("usage: recipe-cli -nodes id=addr,... [-shards N] -master <hexkey> put|get|delete|bench|resize ...")
+		return fmt.Errorf("usage: recipe-cli -nodes id=addr,... [-shards N] -master <hexkey> put|get|delete|bench|resize|metrics ...")
 	}
 	master, err := hex.DecodeString(*masterFlag)
 	if err != nil || len(master) < 32 {
@@ -200,6 +209,36 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// metrics fetches one node's Prometheus text export and prints it. The
+// argument is the node's -metrics-addr endpoint: "host:9100",
+// "http://host:9100", or a full ".../metrics" URL all work.
+func metrics(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: recipe-cli metrics <host:port>  (a recipe-node's -metrics-addr)")
+	}
+	url := args[0]
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("scrape %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return nil
 }
 
 // resize migrates keys from the -nodes deployment to the -to-nodes one:

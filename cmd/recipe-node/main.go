@@ -24,6 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +57,7 @@ var (
 	masterFlag   = flag.String("master", "", "hex network master key (>=32 bytes), shared by the membership")
 	confFlag     = flag.Bool("confidential", false, "encrypt values and message payloads")
 	dataDirFlag  = flag.String("data-dir", "", "directory for this replica's sealed durable store (empty = in-memory only); committed operations persist to an encrypted WAL and the node recovers them on restart")
+	metricsFlag  = flag.String("metrics-addr", "", "HTTP listen address for the Prometheus text metrics endpoint (e.g. :9100); empty disables it")
 	verboseFlag  = flag.Bool("v", false, "verbose protocol logging")
 )
 
@@ -110,9 +114,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	logf := func(string, ...any) {}
+	// Structured operational logging: recovery, rejection, and crash-stop
+	// events carry node/group/epoch fields so a fleet's stderr streams can
+	// be machine-filtered. Verbose protocol chatter rides the Debug level.
+	level := slog.LevelInfo
 	if *verboseFlag {
-		logf = log.Printf
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})).
+		With("node", *idFlag, "group", group)
+	logf := func(format string, args ...any) {
+		msg := fmt.Sprintf(strings.TrimRight(format, "\n"), args...)
+		// Crash-stop flight-recorder dumps must survive non-verbose runs:
+		// they are the postmortem, and losing them to the Debug filter
+		// would defeat the ring's purpose.
+		if strings.Contains(msg, "crash-stop") {
+			logger.Warn(msg)
+			return
+		}
+		logger.Debug(msg)
 	}
 	// Durable mode: committed operations seal into an encrypted WAL under
 	// -data-dir and replay on restart. Without a CAS in this multi-process
@@ -149,21 +169,61 @@ func run() error {
 			return fmt.Errorf("recover %s: %w", *idFlag, err)
 		}
 		if recovered {
-			log.Printf("recipe-node %s: recovered sealed state from %s (floor %d)",
-				*idFlag, *dataDirFlag, node.RecoveredFloor())
+			logger.Info("recovered sealed state",
+				"dir", *dataDirFlag, "floor", node.RecoveredFloor(), "epoch", node.Epoch())
 		} else if node.Stats().DropRollback.Load() > 0 {
-			log.Printf("recipe-node %s: SEALED STATE REJECTED (rollback/tamper) — starting empty; peers will resync it", *idFlag)
+			logger.Warn("sealed state rejected (rollback/tamper); starting empty, peers will resync",
+				"dir", *dataDirFlag, "epoch", node.Epoch())
 		}
 	}
 	node.Start()
-	log.Printf("recipe-node %s (%s, group %d/%d) listening on %s, membership %v",
-		*idFlag, *protocolFlag, group, *shardsFlag, tcp.Addr(), order)
+	if *metricsFlag != "" {
+		if err := serveMetrics(*metricsFlag, node, logger); err != nil {
+			node.Stop()
+			return err
+		}
+	}
+	logger.Info("listening",
+		"protocol", *protocolFlag, "shards", *shardsFlag,
+		"addr", tcp.Addr(), "membership", fmt.Sprint(order),
+		"epoch", node.Epoch())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down %s", *idFlag)
 	node.Stop()
+	return nil
+}
+
+// serveMetrics exposes the node's telemetry registry as Prometheus text on
+// GET /metrics (and on /, for curl convenience). The listener is bound
+// synchronously so a bad -metrics-addr fails startup instead of logging a
+// warning nobody reads; serving then proceeds in the background for the
+// life of the process.
+func serveMetrics(addr string, node *core.Node, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-metrics-addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		reg := node.Telemetry()
+		if reg == nil {
+			http.Error(w, "telemetry disabled on this node", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	}
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Warn("metrics endpoint stopped", "addr", addr, "err", err.Error())
+		}
+	}()
+	logger.Info("metrics endpoint up", "addr", ln.Addr().String())
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "recipe/internal/kvstore"
+import (
+	"recipe/internal/kvstore"
+	"recipe/internal/telemetry"
+)
 
 // nodeEnv adapts *Node to the Env interface handed to protocols. It is a
 // distinct type so the Env surface stays minimal: protocols cannot reach
@@ -74,6 +77,15 @@ func (e *nodeEnv) CountRead(p ReadPath) {
 	case ReadPathFallback:
 		n.stats.LeaseFallbacks.Add(1)
 	}
+}
+
+var _ PhaseEnv = (*nodeEnv)(nil)
+
+// PhaseHistogram implements PhaseEnv: protocols record phase latencies
+// (e.g. raft's append→commit lag) into the node's registry. Nil when
+// telemetry is disabled — the histogram methods are nil-safe.
+func (e *nodeEnv) PhaseHistogram(name string) *telemetry.Histogram {
+	return (*Node)(e).PhaseHistogram(name)
 }
 
 // Logf implements Env.

@@ -16,6 +16,7 @@ import (
 	"recipe/internal/reconfig"
 	"recipe/internal/seal"
 	"recipe/internal/tee"
+	"recipe/internal/telemetry"
 )
 
 // Node errors.
@@ -91,6 +92,13 @@ type NodeConfig struct {
 	Durability *DurabilityConfig
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
+	// DisableTelemetry turns off the node's metrics registry, phase
+	// histograms, and flight-recorder trace ring. Telemetry is on by
+	// default — recording is a few atomic adds per event, cheap enough to
+	// leave on in production (the overhead A/B in the bench suite holds it
+	// under the noise floor) — but benchmarks that want a zero-telemetry
+	// control can set this.
+	DisableTelemetry bool
 }
 
 // DurabilityConfig configures a node's sealed durable store (internal/seal).
@@ -197,6 +205,22 @@ type Node struct {
 	replyFreeMu sync.Mutex
 	replyFree   [][]deferredReply
 
+	// Telemetry: reg is the node's metrics registry and ring its flight
+	// recorder (both nil when cfg.DisableTelemetry). phase holds the
+	// node-recorded phase histograms; every one is nil-safe to record, so
+	// instrumentation sites need no enabled-checks beyond what saves a
+	// time.Now call.
+	reg   *telemetry.Registry
+	ring  *telemetry.TraceRing
+	phase struct {
+		ingressVerify *telemetry.Histogram
+		queueWait     *telemetry.Histogram
+		egressSeal    *telemetry.Histogram
+		walFsync      *telemetry.Histogram
+		netFlush      *telemetry.Histogram
+		netDwell      *telemetry.Histogram
+	}
+
 	// status is the protocol status as of the last event-loop iteration.
 	// Protocols are single-threaded, so external readers (routing, tests,
 	// WaitForCoordinator polls) get this published snapshot instead of
@@ -263,6 +287,10 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 	}
 	n.bt, _ = tr.(netstack.BatchSender)
 	n.pf, _ = tr.(netstack.PeerFlusher)
+	n.initTelemetry()
+	if it, ok := tr.(netstack.Instrumented); ok {
+		it.SetTelemetry(n.phase.netFlush, n.phase.netDwell)
+	}
 	for id, inc := range cfg.Secrets.Incarnations {
 		n.inc[id] = inc
 	}
@@ -287,7 +315,7 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 	}
 	if d := cfg.Durability; d != nil {
 		wal, err := seal.Open(d.Dir, seal.KeyFor(cfg.Secrets.MasterKey, n.id), n.id,
-			d.Registrar, seal.Options{SnapshotEvery: d.SnapshotEvery, Fresh: d.Fresh})
+			d.Registrar, seal.Options{SnapshotEvery: d.SnapshotEvery, Fresh: d.Fresh, FsyncHist: n.phase.walFsync})
 		if err != nil {
 			return nil, fmt.Errorf("node %s: durability: %w", n.id, err)
 		}
@@ -328,6 +356,9 @@ func (n *Node) InstallShardMap(signedEnc []byte) error {
 	n.curShardMap = m
 	n.shielder.SetEpoch(m.Epoch)
 	n.cfg.Logf("node %s: adopted shard map epoch %d (%d groups)", n.id, m.Epoch, m.Groups())
+	if n.ring != nil {
+		n.trace("epoch-adopt", fmt.Sprintf("%d groups", m.Groups()))
+	}
 	return nil
 }
 
@@ -474,6 +505,7 @@ func (n *Node) RecoverLocal() (bool, error) {
 			// it distinguishably, drop whatever the partial replay installed,
 			// and restart the chain so the registrar stays monotonic.
 			n.cfg.Logf("node %s: sealed recovery rejected: %v", n.id, err)
+			n.trace("recovery-rejected", "sealed state rejected (rollback/fork/tamper); chain reset")
 			n.stats.DropRollback.Add(1)
 			n.store.DropIf(func(string) bool { return true })
 			if rerr := n.wal.Reset(); rerr != nil {
@@ -489,6 +521,7 @@ func (n *Node) RecoverLocal() (bool, error) {
 	if recovered {
 		n.truncateForeignSlots()
 		n.recoveredFloor = maxTS
+		n.trace("recovery", "recovered sealed local state")
 	}
 	n.walReady = true
 	n.walRecovered = recovered
@@ -583,6 +616,7 @@ func (n *Node) Start() {
 						// and recovery rebuilds from the registered prefix.
 						n.cfg.Logf("node %s: wal append failed, crash-stopping: %v", n.id, err)
 						n.walBroken.Store(true)
+						n.dumpTrace("wal append failed")
 						n.enclave.Crash()
 					}
 				})
@@ -606,6 +640,14 @@ func (n *Node) Start() {
 // from the event loop (and once at Start, before the loop exists).
 func (n *Node) publishStatus() {
 	st := n.proto.Status()
+	if n.ring != nil {
+		// Leader/term transitions are rare enough that the formatted detail
+		// string is affordable; steady-state iterations take only the
+		// pointer compare.
+		if old := n.status.Load(); old == nil || old.Leader != st.Leader || old.Term != st.Term {
+			n.trace("leader-change", fmt.Sprintf("leader=%s term=%d", st.Leader, st.Term))
+		}
+	}
 	n.status.Store(&st)
 }
 
@@ -645,6 +687,7 @@ func (n *Node) Stop() {
 // unfsynced and unregistered, so crash/recover tests exercise genuine
 // power-loss recovery rather than a clean close.
 func (n *Node) Crash() {
+	n.dumpTrace("simulated machine failure")
 	n.enclave.Crash()
 	n.Stop()
 }
@@ -729,6 +772,9 @@ func (n *Node) runPipelined() {
 		case <-n.stopCh:
 			return
 		case m := <-n.pipe.verified:
+			if !m.enq.IsZero() {
+				n.phase.queueWait.RecordSince(m.enq)
+			}
 			n.dispatchWire(m.from, m.w)
 			n.drainPipelined(maxLoopDrain - 1)
 		case cmd := <-n.submitCh:
@@ -749,6 +795,9 @@ func (n *Node) drainPipelined(budget int) {
 	for ; budget > 0; budget-- {
 		select {
 		case m := <-n.pipe.verified:
+			if !m.enq.IsZero() {
+				n.phase.queueWait.RecordSince(m.enq)
+			}
 			n.dispatchWire(m.from, m.w)
 		case cmd := <-n.submitCh:
 			n.dispatchCommand(cmd)
@@ -797,6 +846,7 @@ func (n *Node) flushBatch() {
 			// writes are not durable. Withhold the acks and crash-stop.
 			n.cfg.Logf("node %s: wal commit failed, crash-stopping: %v", n.id, err)
 			n.walBroken.Store(true)
+			n.dumpTrace("wal commit failed")
 			n.enclave.Crash()
 		}
 		if n.walBroken.Load() {
@@ -917,7 +967,14 @@ func (n *Node) handleFrame(from string, data []byte) {
 		return
 	}
 	n.ensureChannel(env.Channel)
+	var verifyStart time.Time
+	if n.phase.ingressVerify != nil {
+		verifyStart = time.Now()
+	}
 	status, delivered, err := n.shielder.Verify(env)
+	if !verifyStart.IsZero() {
+		n.phase.ingressVerify.RecordSince(verifyStart)
+	}
 	if err != nil {
 		n.countVerifyError(env.Channel, from, err)
 		return
@@ -1322,6 +1379,10 @@ func (n *Node) flushOutbound() {
 // goroutine ever seals for a given peer, preserving the channel's counter
 // order on the wire.
 func (n *Node) sealAndSend(to string, items []authn.BatchItem) {
+	if n.phase.egressSeal != nil {
+		start := time.Now()
+		defer n.phase.egressSeal.RecordSince(start)
+	}
 	cq := n.sendChannel(to)
 	rest := items
 	for len(rest) > 0 {

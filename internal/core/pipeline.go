@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"recipe/internal/authn"
 	"recipe/internal/bufpool"
@@ -78,9 +79,13 @@ type ingressFrame struct {
 }
 
 // verifiedMsg is one verified, decoded message travelling worker → loop.
+// enq stamps the handoff when telemetry is on (zero otherwise); the loop
+// records the dwell into the queue-wait phase histogram. The message is
+// value-passed through the channel, so the stamp costs no allocation.
 type verifiedMsg struct {
 	from string
 	w    *Wire
+	enq  time.Time
 }
 
 // egressJob is one peer's coalesced batch travelling loop → egress worker.
@@ -258,6 +263,7 @@ func (p *pipeline) dispatchFrame(from string, data []byte) {
 	case ch <- f:
 	default:
 		n.stats.PipelineStalls.Add(1)
+		n.trace("stall", "ingress queue full")
 		select {
 		case ch <- f:
 		case <-n.stopCh:
@@ -279,7 +285,14 @@ func (p *pipeline) ingressWorker(ch chan ingressFrame) {
 			return
 		case f := <-ch:
 			n.ensureChannel(f.env.Channel)
+			var verifyStart time.Time
+			if n.phase.ingressVerify != nil {
+				verifyStart = time.Now()
+			}
 			status, delivered, err := n.shielder.Verify(f.env)
+			if !verifyStart.IsZero() {
+				n.phase.ingressVerify.RecordSince(verifyStart)
+			}
 			if err != nil {
 				n.countVerifyError(f.env.Channel, f.from, err)
 				continue
@@ -294,10 +307,14 @@ func (p *pipeline) ingressWorker(ch chan ingressFrame) {
 					continue
 				}
 				m := verifiedMsg{from: w.From, w: w}
+				if n.phase.queueWait != nil {
+					m.enq = time.Now()
+				}
 				select {
 				case p.verified <- m:
 				default:
 					n.stats.PipelineStalls.Add(1)
+					n.trace("stall", "verified queue full")
 					select {
 					case p.verified <- m:
 					case <-n.stopCh:
@@ -319,6 +336,7 @@ func (p *pipeline) submitEgress(job egressJob) {
 	case ch <- job:
 	default:
 		n.stats.PipelineStalls.Add(1)
+		n.trace("stall", "egress queue full")
 		select {
 		case ch <- job:
 		case <-n.stopCh:
@@ -358,6 +376,7 @@ func (p *pipeline) submitCommit(req commitReq) {
 	case p.commit <- req:
 	default:
 		n.stats.PipelineStalls.Add(1)
+		n.trace("stall", "commit queue full")
 		select {
 		case p.commit <- req:
 		case <-n.stopCh:
@@ -379,6 +398,7 @@ func (p *pipeline) committer() {
 		if err := n.wal.Sync(); err != nil {
 			n.cfg.Logf("node %s: wal sync failed, crash-stopping: %v", n.id, err)
 			n.walBroken.Store(true)
+			n.dumpTrace("wal sync failed")
 			n.enclave.Crash()
 		}
 		if n.walBroken.Load() {

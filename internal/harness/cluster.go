@@ -20,6 +20,7 @@ import (
 	"recipe/internal/protocols/raft"
 	"recipe/internal/reconfig"
 	"recipe/internal/tee"
+	"recipe/internal/telemetry"
 )
 
 // ProtocolKind selects which replication protocol a cluster runs.
@@ -109,6 +110,11 @@ type Options struct {
 	// SnapshotEvery overrides how many WAL records arm an automatic
 	// checkpoint (0 = seal default).
 	SnapshotEvery int
+	// NoTelemetry disables the telemetry layer cluster-wide: no node
+	// registries, phase histograms, or flight recorders, and no client
+	// round-trip recording. Telemetry is on by default; this knob exists so
+	// benchmarks can run a zero-telemetry control for overhead A/Bs.
+	NoTelemetry bool
 	// Logf receives debug logs when set.
 	Logf func(format string, args ...any)
 	// Factory, when set, supplies the protocol instance for each replica
@@ -166,6 +172,12 @@ type Cluster struct {
 	// maps, aggregate Nodes and Order) so Crash/Recover can race an
 	// in-flight Resize safely.
 	topoMu sync.RWMutex
+
+	// Cluster-level telemetry (nil with Options.NoTelemetry): reg holds the
+	// client-side metrics — today the client round-trip histogram rtt,
+	// recorded per operation by the closed-loop driver.
+	reg *telemetry.Registry
+	rtt *telemetry.Histogram
 }
 
 // New builds, attests, and starts a cluster.
@@ -220,6 +232,10 @@ func New(opts Options) (*Cluster, error) {
 		Fabric: netstack.NewFabric(fabricOpts...),
 		Nodes:  make(map[string]*core.Node, opts.Nodes*opts.Shards),
 		code:   []byte("recipe-protocol:" + string(opts.Protocol)),
+	}
+	if !opts.NoTelemetry {
+		c.reg = telemetry.NewRegistry()
+		c.rtt = c.reg.Histogram(core.MetricPhaseClientRTT, "client-observed round trip per operation (ns)")
 	}
 	if opts.Durability {
 		if opts.DataDir == "" {
@@ -445,6 +461,7 @@ func (g *Group) buildNode(id string, resume bool) (*core.Node, error) {
 		StoreConfig:      kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
 		Durability:       durability,
 		Logf:             c.opts.Logf,
+		DisableTelemetry: c.opts.NoTelemetry,
 	})
 	if err != nil {
 		// The fabric registration must not leak: a leaked endpoint would make

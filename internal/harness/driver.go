@@ -85,9 +85,14 @@ func (c *Cluster) runOps(cfg workload.Config, clients, totalOps int) (float64, [
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rtt := c.rtt
 			for n := 0; n < w.ops; n++ {
 				op := w.gen.Next()
 				var err error
+				var opStart time.Time
+				if rtt != nil {
+					opStart = time.Now()
+				}
 				switch {
 				case op.Read:
 					_, err = w.cli.Get(op.Key)
@@ -95,6 +100,9 @@ func (c *Cluster) runOps(cfg workload.Config, clients, totalOps int) (float64, [
 					_, err = w.cli.Delete(op.Key)
 				default:
 					_, err = w.cli.Put(op.Key, op.Value)
+				}
+				if !opStart.IsZero() {
+					rtt.RecordSince(opStart)
 				}
 				if err != nil {
 					errCh <- fmt.Errorf("driver op %d: %w", n, err)

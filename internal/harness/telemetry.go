@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+
+	"recipe/internal/telemetry"
+)
+
+// Telemetry exports the cluster's merged metric set: the cluster-level
+// client metrics (round-trip histogram) plus every live node's registry,
+// same-named points summed/merged across nodes. Returns nil when the
+// cluster was built with Options.NoTelemetry.
+func (c *Cluster) Telemetry() []telemetry.Point {
+	if c.reg == nil {
+		return nil
+	}
+	groups := [][]telemetry.Point{c.reg.Export()}
+	c.topoMu.RLock()
+	for _, id := range c.Order {
+		if n, ok := c.Nodes[id]; ok {
+			if r := n.Telemetry(); r != nil {
+				groups = append(groups, r.Export())
+			}
+		}
+	}
+	c.topoMu.RUnlock()
+	return telemetry.MergePoints(groups...)
+}
+
+// PhaseSnapshots returns the cluster-merged phase histograms keyed by
+// metric name (every "recipe_phase_*" point, client round trip included).
+func (c *Cluster) PhaseSnapshots() map[string]telemetry.Snapshot {
+	out := make(map[string]telemetry.Snapshot)
+	for _, p := range c.Telemetry() {
+		if p.Kind == telemetry.KindHistogram && strings.HasPrefix(p.Name, "recipe_phase_") {
+			out[p.Name] = p.Hist
+		}
+	}
+	return out
+}
+
+// ClientLatency returns the current client round-trip snapshot. Benchmarks
+// bracket a timed section with two calls and Sub the earlier from the
+// later to get the interval's percentiles. Empty with NoTelemetry.
+func (c *Cluster) ClientLatency() telemetry.Snapshot {
+	return c.rtt.Snapshot()
+}
+
+// TraceEvents returns one node's flight-recorder contents, oldest first
+// (nil for unknown nodes or with telemetry disabled).
+func (c *Cluster) TraceEvents(id string) []telemetry.Event {
+	c.topoMu.RLock()
+	n, ok := c.Nodes[id]
+	c.topoMu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return n.TraceEvents()
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"recipe/internal/bufpool"
+	"recipe/internal/telemetry"
 )
 
 // Per-peer send coalescing. A node event-loop iteration typically produces
@@ -178,8 +180,13 @@ func flushRuns(frames [][]byte, sendConsumes bool, send func([]byte) error) erro
 // transmits one packet to one peer; sendConsumes follows flushRuns' contract.
 func flushQueue(mu *sync.Mutex, q *sendQueue, sendConsumes bool, send func(to string, pkt []byte) error) error {
 	mu.Lock()
+	flushHist := q.flushHist
 	order := q.takeOrder()
 	mu.Unlock()
+	var flushStart time.Time
+	if flushHist != nil && len(order) > 0 {
+		flushStart = time.Now()
+	}
 	var firstErr error
 	for _, to := range order {
 		mu.Lock()
@@ -202,6 +209,9 @@ func flushQueue(mu *sync.Mutex, q *sendQueue, sendConsumes bool, send func(to st
 	mu.Lock()
 	q.releaseOrder(order)
 	mu.Unlock()
+	if !flushStart.IsZero() {
+		flushHist.RecordSince(flushStart)
+	}
 	return firstErr
 }
 
@@ -216,6 +226,20 @@ type sendQueue struct {
 	order      []string // peers in first-queued order, for deterministic flush
 	freeFrames [][][]byte
 	freeOrder  [][]string
+
+	// Optional telemetry, attached via Instrumented.SetTelemetry before
+	// traffic starts. flushHist times each flush's network writes; dwellHist
+	// records how long a peer's oldest queued frame waited before its flush.
+	// firstEnq tracks the first enqueue per peer per cycle; steady-state
+	// delete/reinsert of the same peer keys reuses map buckets, so the hot
+	// path stays allocation-free.
+	flushHist *telemetry.Histogram
+	dwellHist *telemetry.Histogram
+	firstEnq  map[string]time.Time
+}
+
+func (q *sendQueue) setTelemetry(flush, dwell *telemetry.Histogram) {
+	q.flushHist, q.dwellHist = flush, dwell
 }
 
 func (q *sendQueue) add(to string, data []byte) {
@@ -228,6 +252,12 @@ func (q *sendQueue) add(to string, data []byte) {
 		if k := len(q.freeFrames); k > 0 {
 			fs = q.freeFrames[k-1]
 			q.freeFrames = q.freeFrames[:k-1]
+		}
+		if q.dwellHist != nil {
+			if q.firstEnq == nil {
+				q.firstEnq = make(map[string]time.Time)
+			}
+			q.firstEnq[to] = time.Now()
 		}
 	}
 	q.pending[to] = append(fs, data)
@@ -253,6 +283,12 @@ func (q *sendQueue) takePeer(to string) [][]byte {
 		return nil
 	}
 	delete(q.pending, to)
+	if q.dwellHist != nil {
+		if t0, tracked := q.firstEnq[to]; tracked {
+			q.dwellHist.RecordSince(t0)
+			delete(q.firstEnq, to)
+		}
+	}
 	return fs
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Packet is one message in flight on the fabric.
@@ -237,13 +238,21 @@ func (e *Endpoint) FlushPeer(to string) error {
 		return ErrClosed
 	}
 	frames := e.queue.takePeer(to)
+	flushHist := e.queue.flushHist
 	e.mu.Unlock()
 	if len(frames) == 0 {
 		return nil
 	}
+	var flushStart time.Time
+	if flushHist != nil {
+		flushStart = time.Now()
+	}
 	err := flushRuns(frames, false, func(pkt []byte) error {
 		return e.fabric.send(Packet{From: e.addr, To: to, Data: pkt})
 	})
+	if !flushStart.IsZero() {
+		flushHist.RecordSince(flushStart)
+	}
 	e.mu.Lock()
 	e.queue.releaseFrames(frames)
 	e.mu.Unlock()

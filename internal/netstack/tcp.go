@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"recipe/internal/bufpool"
 )
@@ -136,13 +137,21 @@ func (t *TCPTransport) FlushPeer(to string) error {
 		return ErrClosed
 	}
 	frames := t.queue.takePeer(to)
+	flushHist := t.queue.flushHist
 	t.mu.Unlock()
 	if len(frames) == 0 {
 		return nil
 	}
+	var flushStart time.Time
+	if flushHist != nil {
+		flushStart = time.Now()
+	}
 	err := flushRuns(frames, true, func(pkt []byte) error {
 		return t.Send(to, pkt)
 	})
+	if !flushStart.IsZero() {
+		flushHist.RecordSince(flushStart)
+	}
 	t.mu.Lock()
 	t.queue.releaseFrames(frames)
 	t.mu.Unlock()

@@ -3,9 +3,11 @@ package raft
 import (
 	"encoding/binary"
 	"math/rand"
+	"time"
 
 	"recipe/internal/core"
 	"recipe/internal/kvstore"
+	"recipe/internal/telemetry"
 )
 
 // Message kinds.
@@ -109,6 +111,12 @@ type Raft struct {
 	heartbeatElapsed int
 
 	pending map[uint64]core.Command // log index -> client command awaiting commit
+	// commitLag, when the env provides phase telemetry, times leader
+	// append → commit apply per pending command; pendingAt holds the
+	// append stamps. Steady-state delete/reinsert keeps the map
+	// allocation-free, like pending itself.
+	commitLag *telemetry.Histogram
+	pendingAt map[uint64]time.Time
 }
 
 var (
@@ -135,6 +143,12 @@ func (r *Raft) Name() string { return "raft" }
 func (r *Raft) Init(env core.Env) {
 	r.env = env
 	r.renv, _ = env.(core.ReadEnv)
+	if pe, ok := env.(core.PhaseEnv); ok {
+		r.commitLag = pe.PhaseHistogram(core.MetricPhaseRaftCommitLag)
+		if r.commitLag != nil {
+			r.pendingAt = make(map[uint64]time.Time)
+		}
+	}
 	r.id = env.ID()
 	r.peers = env.Peers()
 	r.role = follower
@@ -182,6 +196,9 @@ func (r *Raft) Submit(cmd core.Command) {
 	r.log = append(r.log, entry{term: r.term, cmd: cmd})
 	idx := r.lastIndex()
 	r.pending[idx] = cmd
+	if r.pendingAt != nil {
+		r.pendingAt[idx] = time.Now()
+	}
 	r.matchIndex[r.id] = idx
 	// Replication is deferred to FlushBatch so commands submitted in the
 	// same event-loop iteration batch into one AppendEntries.
@@ -550,6 +567,12 @@ func (r *Raft) applyCommitted() {
 		res := applyCommand(r.env.Store(), e.cmd, r.lastApplied)
 		if cmd, ok := r.pending[r.lastApplied]; ok {
 			delete(r.pending, r.lastApplied)
+			if r.pendingAt != nil {
+				if at, stamped := r.pendingAt[r.lastApplied]; stamped {
+					r.commitLag.RecordSince(at)
+					delete(r.pendingAt, r.lastApplied)
+				}
+			}
 			// A pending slot answers only its own command. After a
 			// deposition the suffix this leader appended can be truncated
 			// and the index re-filled by the new leader's entry; binding
@@ -654,6 +677,11 @@ func (r *Raft) InstallSnapshot(index uint64) {
 	for idx := range r.pending {
 		if idx <= index {
 			delete(r.pending, idx)
+		}
+	}
+	for idx := range r.pendingAt {
+		if idx <= index {
+			delete(r.pendingAt, idx)
 		}
 	}
 }

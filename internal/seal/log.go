@@ -13,8 +13,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"recipe/internal/kvstore"
+	"recipe/internal/telemetry"
 )
 
 // File format constants. Magic bytes version the on-disk layout; truth about
@@ -48,6 +50,10 @@ type Options struct {
 	// identity has registered history is the simplest rollback of all — the
 	// host deleted everything — and Recover rejects it as ErrRollback.
 	Fresh bool
+	// FsyncHist, when non-nil, records the latency of every WAL fsync
+	// (both the inline Commit path and the overlapped Sync path). The
+	// histogram is nil-safe, so a zero Options disables recording.
+	FsyncHist *telemetry.Histogram
 }
 
 const (
@@ -350,9 +356,11 @@ func (l *Log) commitLocked() error {
 	if !l.dirty || l.seg == nil {
 		return nil
 	}
+	fsyncStart := time.Now()
 	if err := l.seg.Sync(); err != nil {
 		return fmt.Errorf("seal: commit: %w", err)
 	}
+	l.opts.FsyncHist.RecordSince(fsyncStart)
 	l.dirty = false
 	if err := l.registerLocked(l.counter, l.root); err != nil {
 		return err
@@ -408,7 +416,11 @@ func (l *Log) Sync() error {
 	l.syncing = true
 	l.mu.Unlock()
 
+	fsyncStart := time.Now()
 	err := seg.Sync()
+	if err == nil {
+		l.opts.FsyncHist.RecordSince(fsyncStart)
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

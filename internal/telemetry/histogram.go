@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: values below subCount get one bucket each; above that,
+// each power-of-two range [2^k, 2^(k+1)) is split into subCount linear
+// sub-buckets, so relative bucket width is bounded by 1/subCount.
+const (
+	subBits    = 4
+	subCount   = 1 << subBits // 16 linear sub-buckets per power-of-two
+	numBuckets = (64-subBits)*subCount + subCount
+)
+
+// bucketIndex maps a value (nanoseconds) to its bucket. Monotone and
+// total over all of uint64.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	l := bits.Len64(v) // >= subBits+1
+	top := v >> uint(l-subBits-1)
+	return (l-subBits-1)*subCount + int(top)
+}
+
+// bucketBounds returns the inclusive lower bound and width of bucket idx.
+func bucketBounds(idx int) (low, width uint64) {
+	if idx < 2*subCount {
+		return uint64(idx), 1
+	}
+	g := uint(idx) / subCount // bits.Len64(v) - subBits for values in this bucket
+	return uint64(subCount+idx%subCount) << (g - 1), 1 << (g - 1)
+}
+
+// Histogram is a lock-free log-bucketed latency histogram. The zero value
+// is ready to use; all methods are safe for concurrent use, and Record on
+// a nil receiver is a no-op so call sites can leave telemetry unwired.
+// Recording performs only atomic adds on a fixed array: zero allocations.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// Record adds one duration observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	var v uint64
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordSince records the elapsed time since start.
+func (h *Histogram) RecordSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Record(time.Since(start))
+}
+
+// Snapshot copies the current counters into an immutable value. Safe to
+// call concurrently with Record; the copy is per-bucket atomic (buckets
+// recorded mid-copy may or may not appear — fine for monitoring).
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram. The zero value is an
+// empty snapshot. Values are nanoseconds.
+type Snapshot struct {
+	Counts [numBuckets]uint64
+	Count  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// Merge adds other's observations into s (cross-node aggregation).
+func (s *Snapshot) Merge(other *Snapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Sub returns the observations recorded after base was taken: the
+// interval delta used to bracket a benchmark's timed section. Max is not
+// subtractable; the delta keeps the newer max as an upper bound.
+func (s *Snapshot) Sub(base *Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s.Counts {
+		if s.Counts[i] > base.Counts[i] {
+			d.Counts[i] = s.Counts[i] - base.Counts[i]
+			d.Count += d.Counts[i]
+		}
+	}
+	if s.Sum > base.Sum {
+		d.Sum = s.Sum - base.Sum
+	}
+	d.Max = s.Max
+	return d
+}
+
+// Quantile returns the value (ns) at quantile q in [0, 1], interpolating
+// linearly within the bucket. Returns 0 for an empty snapshot.
+func (s *Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			low, width := bucketBounds(i)
+			frac := (rank - cum) / float64(c)
+			v := float64(low) + frac*float64(width)
+			if s.Max > 0 && v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
+// Mean returns the mean observation in nanoseconds.
+func (s *Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

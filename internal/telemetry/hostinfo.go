@@ -1,0 +1,24 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Host describes the execution environment that every benchmark and
+// experiment line stamps, so numbers are never compared across unlike
+// hosts by accident.
+type Host struct {
+	NumCPU     int
+	GOMAXPROCS int
+}
+
+// HostInfo samples the current host.
+func HostInfo() Host {
+	return Host{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
+// String renders the canonical env stamp, e.g. "numcpu=4 gomaxprocs=4".
+func (h Host) String() string {
+	return fmt.Sprintf("numcpu=%d gomaxprocs=%d", h.NumCPU, h.GOMAXPROCS)
+}

@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind discriminates the exported point types.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Counter is a monotonically increasing counter handle.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value handle.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+type metric struct {
+	name string
+	help string
+	kind MetricKind
+
+	counter     *Counter
+	counterFunc func() uint64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// Registry is a named-metric registry. All methods are safe for
+// concurrent use; registration methods on a nil Registry return usable
+// (unregistered) handles so callers never need nil checks.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byName[m.name]; ok {
+		return old
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[m.name] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter handle under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	m := r.register(&metric{name: name, help: help, kind: KindCounter, counter: new(Counter)})
+	if m.counter == nil {
+		m.counter = new(Counter)
+	}
+	return m.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at export
+// time — the idiom for exposing pre-existing atomic counters without
+// touching the code paths that increment them.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: KindCounter, counterFunc: fn})
+}
+
+// Gauge registers (or returns the existing) gauge handle under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	m := r.register(&metric{name: name, help: help, kind: KindGauge, gauge: new(Gauge)})
+	if m.gauge == nil {
+		m.gauge = new(Gauge)
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at export time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: KindGauge, gaugeFunc: fn})
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{name: name, help: help, kind: KindHistogram, hist: new(Histogram)})
+	if m.hist == nil {
+		m.hist = new(Histogram)
+	}
+	return m.hist
+}
+
+// Point is one exported metric sample.
+type Point struct {
+	Name string
+	Help string
+	Kind MetricKind
+	// Value holds the counter or gauge value.
+	Value float64
+	// Hist holds the snapshot for KindHistogram points.
+	Hist Snapshot
+}
+
+// Export samples every registered metric, in registration order.
+func (r *Registry) Export() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	pts := make([]Point, 0, len(metrics))
+	for _, m := range metrics {
+		p := Point{Name: m.name, Help: m.help, Kind: m.kind}
+		switch {
+		case m.counter != nil:
+			p.Value = float64(m.counter.Value())
+		case m.counterFunc != nil:
+			p.Value = float64(m.counterFunc())
+		case m.gauge != nil:
+			p.Value = m.gauge.Value()
+		case m.gaugeFunc != nil:
+			p.Value = m.gaugeFunc()
+		case m.hist != nil:
+			p.Hist = m.hist.Snapshot()
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// MergePoints sums same-named points across groups: counters and gauges
+// add, histograms merge. Order is first-seen across the inputs, so
+// merging one node's export with its peers' keeps a stable layout.
+func MergePoints(groups ...[]Point) []Point {
+	var out []Point
+	index := make(map[string]int)
+	for _, g := range groups {
+		for _, p := range g {
+			i, ok := index[p.Name]
+			if !ok {
+				index[p.Name] = len(out)
+				out = append(out, p)
+				continue
+			}
+			out[i].Value += p.Value
+			out[i].Hist.Merge(&p.Hist)
+		}
+	}
+	return out
+}
+
+// summaryQuantiles are the quantile labels emitted for histogram points.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.9", 0.90},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePoints renders points in Prometheus text exposition format.
+// Histograms are rendered as summaries (precomputed quantiles) with an
+// extra <name>_max gauge.
+func WritePoints(w io.Writer, pts []Point) error {
+	for _, p := range pts {
+		if p.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, strings.ReplaceAll(p.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		switch p.Kind {
+		case KindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", p.Name); err != nil {
+				return err
+			}
+			for _, sq := range summaryQuantiles {
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", p.Name, sq.label, formatFloat(p.Hist.Quantile(sq.q))); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", p.Name, formatFloat(float64(p.Hist.Sum))); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", p.Name, p.Hist.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", p.Name, p.Name, p.Hist.Max); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", p.Name, p.Kind, p.Name, formatFloat(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteText renders the registry's current state in Prometheus text
+// exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	return WritePoints(w, r.Export())
+}
+
+// SortPoints orders points by name (stable layout for human-facing dumps
+// that merge several registries).
+func SortPoints(pts []Point) {
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Name < pts[j].Name })
+}

@@ -1,0 +1,311 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every value must land in a bucket whose bounds contain it, and bucket
+// indexes must be monotone in the value.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, (1 << 20) + 7, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range cases {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("value %d: index %d out of range [0,%d)", v, idx, numBuckets)
+		}
+		low, width := bucketBounds(idx)
+		if v < low || (width < ^uint64(0)-low && v >= low+width) {
+			t.Fatalf("value %d: bucket %d bounds [%d, %d) do not contain it", v, idx, low, low+width)
+		}
+	}
+	// Exhaustive continuity over the first few major buckets.
+	prev := -1
+	for v := uint64(0); v < 4096; v++ {
+		idx := bucketIndex(v)
+		if idx < prev || idx > prev+1 {
+			t.Fatalf("index not monotone-contiguous at value %d: %d after %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	// Top of the range maps to the last bucket.
+	if got := bucketIndex(^uint64(0)); got != numBuckets-1 {
+		t.Fatalf("max value maps to bucket %d, want %d", got, numBuckets-1)
+	}
+}
+
+// Quantiles must track a sorted-sample oracle within the bucket
+// resolution (1/16 relative width → ~7% worst-case with interpolation).
+func TestQuantileAccuracyVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~[1µs, 100ms]: spans many major buckets.
+		v := time.Duration(1000 * (1 << uint(rng.Intn(17))))
+		v += time.Duration(rng.Int63n(int64(v) + 1))
+		h.Record(v)
+		samples = append(samples, float64(v))
+	}
+	sort.Float64s(samples)
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		oracle := samples[int(q*float64(len(samples)-1))]
+		got := s.Quantile(q)
+		rel := (got - oracle) / oracle
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.07 {
+			t.Errorf("q=%v: got %.0f, oracle %.0f, relative error %.3f > 0.07", q, got, oracle, rel)
+		}
+	}
+	if s.Max != uint64(samples[len(samples)-1]) {
+		t.Errorf("max: got %d, oracle %.0f", s.Max, samples[len(samples)-1])
+	}
+	mean := s.Mean()
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if want := sum / float64(len(samples)); mean < want*0.999 || mean > want*1.001 {
+		t.Errorf("mean: got %.0f, oracle %.0f", mean, want)
+	}
+}
+
+func TestSnapshotMergeAndSub(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(&sb)
+	if merged.Count != 200 {
+		t.Fatalf("merged count %d, want 200", merged.Count)
+	}
+	if merged.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum %d, want %d", merged.Sum, sa.Sum+sb.Sum)
+	}
+	if merged.Max != sb.Max {
+		t.Fatalf("merged max %d, want %d", merged.Max, sb.Max)
+	}
+	// Median of 1..200µs should be near 100µs.
+	if p50 := merged.Quantile(0.5); p50 < 90e3 || p50 > 112e3 {
+		t.Fatalf("merged p50 = %.0fns, want ~100µs", p50)
+	}
+
+	// Sub recovers the interval delta.
+	base := a.Snapshot()
+	for i := 1; i <= 50; i++ {
+		a.Record(time.Millisecond)
+	}
+	d := a.Snapshot()
+	delta := d.Sub(&base)
+	if delta.Count != 50 {
+		t.Fatalf("delta count %d, want 50", delta.Count)
+	}
+	if p50 := delta.Quantile(0.5); p50 < 0.9e6 || p50 > 1.1e6 {
+		t.Fatalf("delta p50 = %.0fns, want ~1ms", p50)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count %d, want %d", s.Count, workers*perWorker)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(time.Second) // must not panic
+	h.RecordSince(time.Now())
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+func TestRegistryExportAndText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("recipe_test_total", "a test counter")
+	c.Add(7)
+	r.CounterFunc("recipe_func_total", "func-backed", func() uint64 { return 42 })
+	r.GaugeFunc("recipe_depth", "a depth", func() float64 { return 3 })
+	g := r.Gauge("recipe_level", "a level")
+	g.Set(1.5)
+	h := r.Histogram("recipe_lat_ns", "a latency")
+	h.Record(100 * time.Microsecond)
+	h.Record(200 * time.Microsecond)
+
+	// Idempotent re-registration returns the same handles.
+	if r.Counter("recipe_test_total", "dup") != c {
+		t.Fatal("Counter re-registration returned a different handle")
+	}
+	if r.Histogram("recipe_lat_ns", "dup") != h {
+		t.Fatal("Histogram re-registration returned a different handle")
+	}
+
+	pts := r.Export()
+	if len(pts) != 5 {
+		t.Fatalf("exported %d points, want 5", len(pts))
+	}
+	byName := map[string]Point{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if byName["recipe_test_total"].Value != 7 {
+		t.Errorf("counter value %v, want 7", byName["recipe_test_total"].Value)
+	}
+	if byName["recipe_func_total"].Value != 42 {
+		t.Errorf("counterFunc value %v, want 42", byName["recipe_func_total"].Value)
+	}
+	if byName["recipe_level"].Value != 1.5 {
+		t.Errorf("gauge value %v, want 1.5", byName["recipe_level"].Value)
+	}
+	if byName["recipe_lat_ns"].Hist.Count != 2 {
+		t.Errorf("hist count %v, want 2", byName["recipe_lat_ns"].Hist.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE recipe_test_total counter",
+		"recipe_test_total 7",
+		"# TYPE recipe_depth gauge",
+		"# TYPE recipe_lat_ns summary",
+		`recipe_lat_ns{quantile="0.99"}`,
+		"recipe_lat_ns_count 2",
+		"recipe_lat_ns_max 200000",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestMergePoints(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("recipe_x_total", "x").Add(3)
+	r2.Counter("recipe_x_total", "x").Add(4)
+	h1 := r1.Histogram("recipe_h_ns", "h")
+	h2 := r2.Histogram("recipe_h_ns", "h")
+	h1.Record(time.Millisecond)
+	h2.Record(2 * time.Millisecond)
+	r2.Counter("recipe_only2_total", "only in 2").Add(1)
+
+	merged := MergePoints(r1.Export(), r2.Export())
+	byName := map[string]Point{}
+	for _, p := range merged {
+		byName[p.Name] = p
+	}
+	if byName["recipe_x_total"].Value != 7 {
+		t.Errorf("merged counter %v, want 7", byName["recipe_x_total"].Value)
+	}
+	if byName["recipe_h_ns"].Hist.Count != 2 {
+		t.Errorf("merged hist count %v, want 2", byName["recipe_h_ns"].Hist.Count)
+	}
+	if byName["recipe_only2_total"].Value != 1 {
+		t.Errorf("singleton counter %v, want 1", byName["recipe_only2_total"].Value)
+	}
+	if merged[0].Name != "recipe_x_total" {
+		t.Errorf("merge order not first-seen: %v", merged[0].Name)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "").Record(time.Second)
+	r.CounterFunc("d", "", func() uint64 { return 1 })
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	if pts := r.Export(); pts != nil {
+		t.Fatal("nil registry exported points")
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	tr := NewTraceRing(8)
+	for i := 0; i < 20; i++ {
+		tr.Record(Event{Kind: "stall", Node: "n1", Epoch: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring retained %d events, want 8", len(evs))
+	}
+	// Oldest-first: epochs 12..19.
+	for i, ev := range evs {
+		if ev.Epoch != uint64(12+i) {
+			t.Fatalf("event %d has epoch %d, want %d", i, ev.Epoch, 12+i)
+		}
+	}
+	if tr.Total() != 20 {
+		t.Fatalf("total %d, want 20", tr.Total())
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "8 retained of 20 total") {
+		t.Errorf("dump header wrong:\n%s", buf.String())
+	}
+
+	var nilRing *TraceRing
+	nilRing.Record(Event{Kind: "x"}) // must not panic
+	if nilRing.Events() != nil || nilRing.Total() != 0 {
+		t.Fatal("nil ring not empty")
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestHostInfo(t *testing.T) {
+	h := HostInfo()
+	if h.NumCPU < 1 || h.GOMAXPROCS < 1 {
+		t.Fatalf("implausible host info %+v", h)
+	}
+	s := h.String()
+	if !strings.Contains(s, "numcpu=") || !strings.Contains(s, "gomaxprocs=") {
+		t.Fatalf("host stamp %q missing fields", s)
+	}
+}

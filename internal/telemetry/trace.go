@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one flight-recorder entry: a protocol-level occurrence worth
+// remembering for a postmortem (election, lease transition, epoch bump,
+// recovery, backpressure stall, crash).
+type Event struct {
+	Time   time.Time
+	Kind   string // e.g. "leader-change", "epoch-adopt", "stall"
+	Node   string
+	Group  uint32
+	Epoch  uint64
+	Detail string
+}
+
+// TraceRing is a bounded flight recorder: a fixed-size ring of recent
+// events, overwriting its oldest entry when full. The zero value is
+// unusable; construct with NewTraceRing. Record on a nil ring is a no-op.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// DefaultTraceRingSize is the per-node ring capacity.
+const DefaultTraceRingSize = 256
+
+// NewTraceRing returns a ring holding the last size events.
+func NewTraceRing(size int) *TraceRing {
+	if size <= 0 {
+		size = DefaultTraceRingSize
+	}
+	return &TraceRing{buf: make([]Event, size)}
+}
+
+// Record appends an event, evicting the oldest when full. Nil-safe.
+// Callers on warm paths should pass preformatted (static) Detail strings
+// so recording stays allocation-free.
+func (t *TraceRing) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *TraceRing) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (t *TraceRing) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dump writes the retained events, oldest first, one per line.
+func (t *TraceRing) Dump(w io.Writer) error {
+	evs := t.Events()
+	if _, err := fmt.Fprintf(w, "flight recorder: %d retained of %d total events\n", len(evs), t.Total()); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		if _, err := fmt.Fprintf(w, "%s %-14s node=%s group=%d epoch=%d %s\n",
+			ev.Time.Format("15:04:05.000000"), ev.Kind, ev.Node, ev.Group, ev.Epoch, ev.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -29,12 +29,14 @@ package recipe
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"recipe/internal/core"
 	"recipe/internal/harness"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
+	"recipe/internal/telemetry"
 )
 
 // Protocol selects the replication protocol a cluster runs.
@@ -141,6 +143,10 @@ type Options struct {
 	// network traffic, and every published shard map invalidates the cache
 	// wholesale. 0 disables caching.
 	SessionCache int
+	// NoTelemetry disables the telemetry layer (metrics registries, phase
+	// histograms, flight recorders, client round-trip recording). On by
+	// default; the knob exists for zero-telemetry benchmark controls.
+	NoTelemetry bool
 	// Seed makes randomized components deterministic.
 	Seed int64
 }
@@ -180,6 +186,7 @@ func newClusterWithFactory(opts Options, factory func(replica int) CustomProtoco
 		PipelineWorkers: opts.PipelineWorkers,
 		ReadPolicy:      opts.ReadPolicy,
 		SessionCache:    opts.SessionCache,
+		NoTelemetry:     opts.NoTelemetry,
 		Seed:            opts.Seed,
 	}
 	if opts.Protocol == "" {
@@ -405,6 +412,33 @@ type ReadStats struct {
 func (c *Cluster) ReadStats() ReadStats {
 	local, replica, fallbacks := c.inner.ReadStats()
 	return ReadStats{LocalReads: local, ReplicaReads: replica, LeaseFallbacks: fallbacks}
+}
+
+// Telemetry exports the cluster's merged metric set — the unified registry
+// of counters, gauges, and phase-latency histograms, aggregated across all
+// replicas plus the client-side round-trip histogram. Nil when the cluster
+// was built with Options.NoTelemetry. Render it with
+// telemetry.WritePoints for Prometheus text exposition.
+func (c *Cluster) Telemetry() []telemetry.Point { return c.inner.Telemetry() }
+
+// PhaseLatencies returns the cluster-merged per-phase latency histograms
+// keyed by metric name (every "recipe_phase_*" series, client round trip
+// included): the phase-sliced answer to "where does a request's time go".
+func (c *Cluster) PhaseLatencies() map[string]telemetry.Snapshot {
+	return c.inner.PhaseSnapshots()
+}
+
+// WriteMetrics renders the cluster's merged metrics in Prometheus text
+// exposition format.
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	return telemetry.WritePoints(w, c.Telemetry())
+}
+
+// TraceEvents returns one replica's flight-recorder ring (recent protocol
+// events: elections, epoch adoptions, recoveries, backpressure stalls),
+// oldest first. Nil for unknown replicas or with telemetry disabled.
+func (c *Cluster) TraceEvents(node string) []telemetry.Event {
+	return c.inner.TraceEvents(node)
 }
 
 // PipelineDepths sums the instantaneous staged data-plane queue depths
