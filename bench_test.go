@@ -886,3 +886,76 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFailoverLatency measures the self-managing membership plane end to
+// end: one iteration crash-stops a follower of a 3-replica self-managing
+// R-Raft group and times (a) detection + signed auto-eviction — SWIM probes
+// miss, suspicion gossips, the survivors condemn by majority, and the CAS
+// publishes the shrunken map — and (b) auto-repair: sealed local recovery,
+// suffix state transfer, and the signed rejoin republish. No operator call
+// happens anywhere in the loop; the two phase means are the figures of merit.
+func BenchmarkFailoverLatency(b *testing.B) {
+	opts := harness.Options{
+		Protocol:   harness.Raft,
+		Shielded:   true,
+		SelfManage: true,
+		Durability: true,
+		TickEvery:  time.Millisecond,
+		Seed:       1,
+	}
+	c, err := harness.New(opts)
+	if err != nil {
+		b.Fatalf("cluster: %v", err)
+	}
+	defer c.Stop()
+	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+		b.Fatalf("coordinator: %v", err)
+	}
+	cli, err := c.Client()
+	if err != nil {
+		b.Fatalf("client: %v", err)
+	}
+	defer func() { _ = cli.Close() }()
+	for j := 0; j < 64; j++ {
+		if _, err := cli.Put(fmt.Sprintf("fo-%03d", j), []byte("durable")); err != nil {
+			b.Fatalf("put: %v", err)
+		}
+	}
+	wait := func(what string, cond func() bool) {
+		b.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for !cond() {
+			if time.Now().After(deadline) {
+				b.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var detectTotal, repairTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lead, err := c.Groups[0].WaitForCoordinator(10 * time.Second)
+		if err != nil {
+			b.Fatalf("coordinator: %v", err)
+		}
+		victim := ""
+		for _, id := range c.Groups[0].Order {
+			if id != lead {
+				victim = id
+				break
+			}
+		}
+		start := time.Now()
+		c.Crash(victim)
+		wait("auto-eviction", func() bool { return c.Evicted(victim) })
+		detect := time.Since(start)
+		wait("auto-repair", func() bool { return !c.Evicted(victim) && c.Live(victim) })
+		detectTotal += detect
+		repairTotal += time.Since(start) - detect
+	}
+	b.StopTimer()
+	b.ReportMetric(detectTotal.Seconds()*1e3/float64(b.N), "detect-evict-ms")
+	b.ReportMetric(repairTotal.Seconds()*1e3/float64(b.N), "repair-ms")
+	reportEnv(b)
+	b.ReportMetric(0, "ns/op")
+}

@@ -114,6 +114,18 @@ type Client struct {
 	sess      map[string]*sessEntry
 	sessOrder []string // keys in first-touch order (FIFO eviction)
 	replicaRR int      // round-robin cursor for ReadAnyClean fan-out
+
+	stats      ClientStats
+	opBackoffs int // backoffs taken within the current op (jitter ceiling)
+}
+
+// ClientStats counts one client's retry and overload events. The client is
+// single-goroutine, so plain fields suffice and Stats snapshots are exact.
+type ClientStats struct {
+	Ops         uint64 // operations completed successfully
+	Retries     uint64 // attempts beyond each op's first (the retry budget spent)
+	BusyRejects uint64 // admission-gate busy replies observed
+	Exhausted   uint64 // operations that ran out of retry budget
 }
 
 // sessEntry is one key's session state: the highest version this session has
@@ -322,6 +334,7 @@ func (c *Client) do(cmd Command) (Result, error) {
 	cmd.Seq = c.seq
 	cmd.ClientID = c.cfg.ID
 	cmd.ClientAddr = c.tr.Addr()
+	c.opBackoffs = 0
 
 	if cmd.Op == OpGet && c.cfg.ReadPolicy == ReadAnyClean {
 		// Scale-out read path: probe shard members round-robin before the
@@ -330,11 +343,15 @@ func (c *Client) do(cmd Command) (Result, error) {
 		// burn the budget writes rely on.
 		if res, ok := c.tryReplicaRead(&cmd); ok {
 			c.sessionRecord(&cmd, res)
+			c.stats.Ops++
 			return res, nil
 		}
 	}
 
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+		}
 		if attempt == c.cfg.MaxAttempts/2 {
 			// Halfway through the budget with no progress: the configuration
 			// may be stale in a way no reachable node can tell us (e.g. the
@@ -357,10 +374,15 @@ func (c *Client) do(cmd Command) (Result, error) {
 			}
 		}
 		c.sessionRecord(&cmd, res)
+		c.stats.Ops++
 		return res, nil
 	}
+	c.stats.Exhausted++
 	return Result{}, fmt.Errorf("%w: %s %q after %d attempts", ErrClientTimeout, cmd.Op, cmd.Key, c.cfg.MaxAttempts)
 }
+
+// Stats returns the client's retry/overload counters.
+func (c *Client) Stats() ClientStats { return c.stats }
 
 // tryGroup outcome.
 type tryOutcome int
@@ -379,24 +401,29 @@ func (c *Client) tryGroup(cmd *Command, group int) (Result, tryOutcome) {
 		// A failed send (dead node, closed endpoint) costs no await time, so
 		// without a pause the retry budget burns in fast redirect-to-corpse
 		// cycles before the group can re-elect. Back off a slice of the
-		// request timeout instead — a smaller slice for reads, whose common
+		// request timeout instead — a smaller base for reads, whose common
 		// failure (an expired lease detouring to the quorum path, a lagging
 		// replica) clears far faster than a re-election and must not burn
-		// the write retry budget's pacing.
+		// the write retry budget's pacing. The backoff is full-jitter: after
+		// an eviction every parked client wakes at once, and synchronized
+		// retries would re-kill the survivor.
 		c.rotate(group)
-		if cmd.Op == OpGet {
-			time.Sleep(c.cfg.RequestTimeout / 16)
-		} else {
-			time.Sleep(c.cfg.RequestTimeout / 8)
-		}
+		c.backoff(cmd.Op != OpGet)
 		return Result{}, tryRetry
 	}
-	res, redirect, ok := c.await(cmd.Seq, group)
+	res, redirect, busy, ok := c.await(cmd.Seq, group)
 	// await may have adopted a newer map (epoch notice) with fewer groups;
 	// everything below re-checks the group index against the current map.
 	switch {
 	case ok:
 		return res, tryOK
+	case busy:
+		// The coordinator shed this op at admission: it is alive, just
+		// saturated — rotating would only push the herd onto a replica that
+		// must redirect back. Keep the coordinator, spread in time instead.
+		c.stats.BusyRejects++
+		c.backoff(cmd.Op != OpGet)
+		return Result{}, tryRetry
 	case redirect != "":
 		if group < len(c.rmap.Members) && group < len(c.coord) &&
 			slices.Contains(c.rmap.Members[group], redirect) {
@@ -407,6 +434,29 @@ func (c *Client) tryGroup(cmd *Command, group int) (Result, tryOutcome) {
 		c.rotate(group)
 		return Result{}, tryRetry
 	}
+}
+
+// backoff sleeps a full-jitter interval before the next attempt: uniform in
+// [0, base<<k) where base is a slice of the request timeout (1/16 for reads,
+// 1/8 for writes) and k counts this op's previous backoffs (capped). Full
+// jitter decorrelates the reconnect storm after an eviction or a busy burst:
+// the expected pause matches the old fixed sleeps, but no two clients wake
+// in lockstep.
+func (c *Client) backoff(write bool) {
+	base := c.cfg.RequestTimeout / 16
+	if write {
+		base = c.cfg.RequestTimeout / 8
+	}
+	shift := c.opBackoffs
+	if shift > 3 {
+		shift = 3
+	}
+	c.opBackoffs++
+	ceil := base << shift
+	if ceil <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(c.rng.Int63n(int64(ceil))))
 }
 
 // rotate picks a different coordinator within the group.
@@ -479,16 +529,18 @@ func (c *Client) send(node string, group int, w *Wire) error {
 }
 
 // await waits for the response to request seq from the given group,
-// returning the result, or a redirect target, or neither on timeout. Epoch
-// notices arriving meanwhile refresh the routing table and end the attempt.
-func (c *Client) await(seq uint64, group int) (res Result, redirect string, ok bool) {
+// returning the result, or a redirect target, or a busy signal (the op was
+// shed by the admission gate — retriable), or none of those on timeout.
+// Epoch notices arriving meanwhile refresh the routing table and end the
+// attempt.
+func (c *Client) await(seq uint64, group int) (res Result, redirect string, busy, ok bool) {
 	deadline := time.NewTimer(c.cfg.RequestTimeout)
 	defer deadline.Stop()
 	for {
 		select {
 		case pkt, chOK := <-c.tr.Inbox():
 			if !chOK {
-				return Result{}, "", false
+				return Result{}, "", false, false
 			}
 			w := c.decode(pkt)
 			if w == nil {
@@ -499,7 +551,7 @@ func (c *Client) await(seq uint64, group int) (res Result, redirect string, ok b
 				// current signed map. Adopt it (after verification) and let
 				// the caller re-route.
 				if c.installSigned(w.Value) {
-					return Result{}, "", false
+					return Result{}, "", false, false
 				}
 				continue
 			}
@@ -511,12 +563,14 @@ func (c *Client) await(seq uint64, group int) (res Result, redirect string, ok b
 				if w.Res == nil {
 					continue
 				}
-				return *w.Res, "", true
+				return *w.Res, "", false, true
 			case KindRedirect:
-				return Result{}, w.Key, false
+				return Result{}, w.Key, false, false
+			case KindBusy:
+				return Result{}, "", true, false
 			}
 		case <-deadline.C:
-			return Result{}, "", false
+			return Result{}, "", false, false
 		}
 	}
 }
@@ -546,18 +600,24 @@ func (c *Client) tryReplicaRead(cmd *Command) (Result, bool) {
 		c.replicaRR++
 		node := members[c.replicaRR%len(members)]
 		if err := c.send(node, group, &Wire{Kind: KindClientReq, Cmd: cmd}); err != nil {
-			// Fast read retry: a dead replica costs a sliver of the request
-			// timeout, not the write backoff (and no MaxAttempts charge).
-			time.Sleep(c.cfg.RequestTimeout / 16)
+			// Fast read retry: a dead replica costs a jittered sliver of the
+			// request timeout, not the write backoff (no MaxAttempts charge).
+			c.backoff(false)
 			continue
 		}
-		res, redirect, ok := c.await(cmd.Seq, group)
+		res, redirect, busy, ok := c.await(cmd.Seq, group)
 		switch {
 		case ok:
 			if !c.sessionAccepts(cmd.Key, res) {
 				return Result{}, false // stale replica: let the coordinator decide
 			}
 			return res, true
+		case busy:
+			// Shed at admission: the coordinator path would hit the same
+			// gate, so pause here before handing over.
+			c.stats.BusyRejects++
+			c.backoff(false)
+			return Result{}, false
 		case redirect != "":
 			// The replica would not serve (e.g. policy disabled node-side);
 			// go straight to the coordinator path.

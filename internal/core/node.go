@@ -48,6 +48,10 @@ type Stats struct {
 	LocalReads     atomic.Uint64 // coordinator served locally under an active lease
 	ReplicaReads   atomic.Uint64 // non-coordinator replica served a clean read
 	LeaseFallbacks atomic.Uint64 // lease expired: local read detoured to consensus
+	// Membership & overload counters (PR 9).
+	Suspicions       atomic.Uint64 // peers newly suspected by the failure detector
+	Evictions        atomic.Uint64 // own-group members removed by an adopted shard map
+	AdmissionRejects atomic.Uint64 // client ops shed by the admission gate
 }
 
 // NodeConfig configures a Recipe node.
@@ -92,6 +96,35 @@ type NodeConfig struct {
 	Durability *DurabilityConfig
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
+	// HeartbeatEveryTicks enables the SWIM failure detector: every this many
+	// event-loop ticks the node probes one peer round-robin, escalating a
+	// missing ack to indirect probes, suspicion, and declared failure (see
+	// internal/membership). 0 (the default) leaves detection off.
+	HeartbeatEveryTicks int
+	// SuspicionMult bounds suspicion: a suspect not refuted within
+	// SuspicionMult probe intervals is declared failed (default 8).
+	SuspicionMult int
+	// IndirectProbes is the relay fan-out K when a direct ack is late
+	// (default 2).
+	IndirectProbes int
+	// AdmissionRate, when > 0, arms the per-client token-bucket admission
+	// gate at the coordinator: each client is admitted at most this many ops
+	// per second sustained (AdmissionBurst above it), and the gate also sheds
+	// load when the staged plane's bounded queues run near their bounds.
+	// Rejected ops get a KindBusy reply — retriable, never submitted — and
+	// count in Stats.AdmissionRejects. 0 disables the gate entirely.
+	AdmissionRate float64
+	// AdmissionBurst is the token-bucket capacity (default AdmissionRate/10,
+	// minimum 1): the burst a client may spend before the sustained rate
+	// applies.
+	AdmissionBurst int
+	// AdaptiveLease lets the leader widen the leader-lease duration when
+	// Stats.LeaseFallbacks shows reads missing the lease window, and narrow
+	// it back (with hysteresis) when fallbacks stop. Width moves between
+	// LeaderLeaseTicks and 4x that; followers adopt a wider grantor view
+	// before the leader widens its holder view, preserving the lease-safety
+	// argument. Off by default.
+	AdaptiveLease bool
 	// DisableTelemetry turns off the node's metrics registry, phase
 	// histograms, and flight-recorder trace ring. Telemetry is on by
 	// default — recording is a few atomic adds per event, cheap enough to
@@ -221,6 +254,14 @@ type Node struct {
 		netDwell      *telemetry.Histogram
 	}
 
+	// mem is the failure-detector driver (nil = detection off); adm the
+	// admission gate (nil = off); al the adaptive-lease controller (nil =
+	// fixed lease width). All three are driven from the event loop; their
+	// published snapshots (failed peers, lease widths) are atomics.
+	mem *memberDriver
+	adm *admitState
+	al  *adaptiveLease
+
 	// status is the protocol status as of the last event-loop iteration.
 	// Protocols are single-threaded, so external readers (routing, tests,
 	// WaitForCoordinator polls) get this published snapshot instead of
@@ -287,6 +328,15 @@ func NewNode(e *tee.Enclave, tr netstack.Transport, proto Protocol, cfg NodeConf
 	}
 	n.bt, _ = tr.(netstack.BatchSender)
 	n.pf, _ = tr.(netstack.PeerFlusher)
+	if cfg.HeartbeatEveryTicks > 0 {
+		n.mem = newMemberDriver(n.id, n.peers, cfg)
+	}
+	if cfg.AdmissionRate > 0 {
+		n.adm = newAdmitState(cfg.AdmissionRate, cfg.AdmissionBurst)
+	}
+	if cfg.AdaptiveLease {
+		n.al = newAdaptiveLease(n.leaseDur)
+	}
 	n.initTelemetry()
 	if it, ok := tr.(netstack.Instrumented); ok {
 		it.SetTelemetry(n.phase.netFlush, n.phase.netDwell)
@@ -352,6 +402,7 @@ func (n *Node) InstallShardMap(signedEnc []byte) error {
 		return nil
 	}
 	n.epoch.Store(m.Epoch) // curMapMu serialises all writers
+	n.noteMembershipDiff(n.curShardMap, m)
 	n.curMap = append([]byte(nil), signedEnc...)
 	n.curShardMap = m
 	n.shielder.SetEpoch(m.Epoch)
@@ -753,6 +804,12 @@ func (n *Node) run() {
 			if n.cfg.Shielded {
 				n.flushFutures()
 			}
+			if n.mem != nil {
+				n.memTick()
+			}
+			if n.al != nil {
+				n.adaptTick()
+			}
 		}
 		n.flushBatch()
 	}
@@ -783,6 +840,12 @@ func (n *Node) runPipelined() {
 		case <-ticker.C:
 			n.proto.Tick()
 			n.flushFutures()
+			if n.mem != nil {
+				n.memTick()
+			}
+			if n.al != nil {
+				n.adaptTick()
+			}
 		}
 		n.flushBatch()
 	}
@@ -1130,9 +1193,37 @@ func (n *Node) dispatchWire(from string, w *Wire) {
 		n.handleStateResp(from, w)
 	case KindJoin:
 		// A freshly attested incarnation of w.Key announced itself; future
-		// sends to it use its new channels.
+		// sends to it use its new channels — and the failure detector forgets
+		// any declared failure of the old incarnation.
 		n.bumpInc(w.Key, w.Index)
-	case KindClientResp, KindRedirect, KindEpochNotice:
+		if n.mem != nil {
+			n.memEvents(n.mem.det.Revive(w.Key))
+		}
+	case KindPing:
+		// Probe traffic deliberately does NOT renew the leader lease (only
+		// protocol messages in the default branch do): a leader that can ping
+		// but not replicate must still lose its lease.
+		n.handlePing(from, w)
+	case KindPingAck:
+		if n.mem != nil {
+			n.memEvents(n.mem.det.OnAck(from, w.Index))
+			n.memEvents(n.mem.det.ApplyGossip(w.Value))
+		}
+	case KindPingReq:
+		// Relay an indirect probe: ping the target on the origin's behalf,
+		// carrying the origin so the target acks it directly.
+		if w.Key != "" && w.Key != n.id {
+			n.sendWire(w.Key, &Wire{Kind: KindPing, Key: from, Index: w.Index, Value: n.memGossip()})
+		}
+	case KindLeaseWidth:
+		if n.al != nil {
+			n.handleLeaseWidth(from, w)
+		}
+	case KindLeaseWidthAck:
+		if n.al != nil {
+			n.handleLeaseWidthAck(from, w)
+		}
+	case KindClientResp, KindRedirect, KindEpochNotice, KindBusy:
 		// Node-to-node these are unexpected; ignore.
 	default:
 		n.proto.Handle(from, w)
@@ -1154,6 +1245,19 @@ func (n *Node) dispatchCommand(cmd Command) {
 				n.sendClientResp(cmd, rec.res) // retransmit cached result
 				return
 			}
+		}
+		// Admission gate: after dedup (a cached retransmit costs nothing and
+		// must stay answerable), before any protocol work. Internal commands
+		// (fence writes, migration control) carry no ClientID and bypass it.
+		if n.adm != nil && !n.admitCommand(&cmd) {
+			n.stats.AdmissionRejects.Add(1)
+			n.trace("admission-reject", cmd.ClientID)
+			if cmd.ClientAddr != "" {
+				// Busy replies bypass the durability deferral: nothing was
+				// submitted, so there is no write to fsync before answering.
+				n.sendToClientNow(cmd, &Wire{Kind: KindBusy, Index: cmd.Seq})
+			}
+			return
 		}
 	}
 	st := n.proto.Status()
@@ -1181,7 +1285,7 @@ func (n *Node) renewLeaderLease(from string) {
 	if st.Leader == "" || from != st.Leader {
 		return
 	}
-	_, _ = n.lease.Grant("leader", from, n.leaseDur)
+	_, _ = n.lease.Grant("leader", from, n.grantWidth())
 }
 
 // holdsLeaderLease reports whether this node holds its own leader lease on
@@ -1203,7 +1307,7 @@ func (n *Node) holdsLeaderLease() bool {
 // minority-partitioned leader could still receive while the majority elects
 // a successor.
 func (n *Node) renewOwnLease() {
-	_, _ = n.lease.Grant("leader", n.id, n.leaseDur)
+	_, _ = n.lease.Grant("leader", n.id, n.holderWidth())
 }
 
 // LeaderAlive reports whether the trusted leader lease is still active.

@@ -77,10 +77,19 @@ func (n *Node) initTelemetry() {
 	r.CounterFunc("recipe_reads_local_total", "reads served locally under an active lease", n.stats.LocalReads.Load)
 	r.CounterFunc("recipe_reads_replica_total", "clean reads served by a non-coordinator replica", n.stats.ReplicaReads.Load)
 	r.CounterFunc("recipe_lease_fallbacks_total", "local reads detoured to consensus on lease expiry", n.stats.LeaseFallbacks.Load)
+	r.CounterFunc("recipe_suspicions_total", "peers newly suspected by the failure detector", n.stats.Suspicions.Load)
+	r.CounterFunc("recipe_evictions_total", "own-group members removed by an adopted shard map", n.stats.Evictions.Load)
+	r.CounterFunc("recipe_admission_rejects_total", "client ops shed by the admission gate", n.stats.AdmissionRejects.Load)
 	r.CounterFunc("recipe_overflow_drops_total", "authenticated messages dropped on future-buffer overflow", n.shielder.OverflowDrops)
 	r.CounterFunc("recipe_trace_events_total", "flight-recorder events recorded (including evicted)", n.ring.Total)
 
 	r.GaugeFunc("recipe_epoch", "current configuration epoch", func() float64 { return float64(n.epoch.Load()) })
+	if n.al != nil {
+		r.GaugeFunc("recipe_lease_width_ns", "adaptive leader-lease holder width", func() float64 {
+			h, _ := n.LeaseWidths()
+			return float64(h)
+		})
+	}
 	// The pipeline is built after telemetry (it needs the histograms), so
 	// the depth closures must tolerate n.pipe staying nil (inline plane).
 	r.GaugeFunc("recipe_pipeline_depth_ingress", "ingress-stage backlog (envelopes awaiting verify)", func() float64 {

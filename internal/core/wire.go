@@ -74,6 +74,29 @@ const (
 	// client can verify, refresh its routing table, and retry — instead of
 	// spinning against a partition function that no longer exists.
 	KindEpochNotice uint16 = 7
+	// KindPing is a failure-detector probe: Index carries the probe nonce
+	// (echoed by the ack), Value piggybacks membership gossip, and Key — when
+	// set — names the origin of an indirect probe this message relays, which
+	// must be acked too.
+	KindPing uint16 = 8
+	// KindPingAck answers a KindPing: Index echoes the nonce, Value
+	// piggybacks gossip.
+	KindPingAck uint16 = 9
+	// KindPingReq asks a relay to ping Key on the sender's behalf (SWIM
+	// indirect probe); Index carries the origin's nonce.
+	KindPingReq uint16 = 10
+	// KindBusy tells a client its op was shed by the admission gate: Index
+	// echoes the request sequence. Distinguishable from failure — the op was
+	// never submitted, so the client retries after backoff without rotating.
+	KindBusy uint16 = 11
+	// KindLeaseWidth announces the leader's proposed lease width (Index, in
+	// nanoseconds) to followers; they widen/narrow their grantor-side grants
+	// and ack.
+	KindLeaseWidth uint16 = 12
+	// KindLeaseWidthAck confirms a follower adopted the announced width
+	// (Index echoes it). The leader widens its holder-side width only once
+	// every live follower acked — the safe adoption order.
+	KindLeaseWidthAck uint16 = 13
 	// KindProtocolBase is the first kind available to protocols.
 	KindProtocolBase uint16 = 100
 )

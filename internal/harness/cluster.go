@@ -110,6 +110,36 @@ type Options struct {
 	// SnapshotEvery overrides how many WAL records arm an automatic
 	// checkpoint (0 = seal default).
 	SnapshotEvery int
+	// SelfManage turns on the self-managing membership plane: every replica
+	// runs the SWIM failure detector (heartbeat probes + suspicion gossip
+	// over the existing shielded wire), and a cluster supervisor collects
+	// the detectors' verdicts, auto-evicts a majority-condemned replica by
+	// republishing the CAS-signed shard map at the next epoch, and
+	// auto-repairs it (sealed local recovery + suffix state transfer + signed
+	// rejoin republish) — zero operator calls. Implies failure detection on
+	// every node (HeartbeatEveryTicks defaults to 2 when unset).
+	SelfManage bool
+	// HeartbeatEveryTicks sets each node's failure-detector probe cadence in
+	// event-loop ticks (0 with SelfManage = 2; 0 otherwise = detector off).
+	HeartbeatEveryTicks int
+	// SuspicionMult scales how long a suspected replica may refute before it
+	// is declared failed (core.NodeConfig.SuspicionMult; 0 = detector
+	// default).
+	SuspicionMult int
+	// RepairDelay is how long the supervisor waits after an eviction before
+	// attempting auto-repair (0 = 25 ticks). SetMachineDown extends it: a
+	// machine marked down is retried until it comes back.
+	RepairDelay time.Duration
+	// AdmissionRate, when > 0, arms every replica's per-client token-bucket
+	// admission gate at that many ops/s per client (overload control).
+	AdmissionRate float64
+	// AdmissionBurst sets the admission bucket depth (0 = rate/10, min 1).
+	AdmissionBurst int
+	// AdaptiveLease lets leaders widen the leader-lease duration under
+	// lease-fallback pressure and narrow it back when calm (bounded to
+	// [lease, 4*lease], follower-acked before the leader trusts the wider
+	// hold — see core/adaptlease.go for the safety argument).
+	AdaptiveLease bool
 	// NoTelemetry disables the telemetry layer cluster-wide: no node
 	// registries, phase histograms, or flight recorders, and no client
 	// round-trip recording. Telemetry is on by default; this knob exists so
@@ -173,6 +203,17 @@ type Cluster struct {
 	// in-flight Resize safely.
 	topoMu sync.RWMutex
 
+	// Self-managing membership state (SelfManage): evicted marks replicas
+	// removed from the published map by the supervisor (memberships() filters
+	// them until repair); machineDown marks hosts the supervisor must not try
+	// to repair yet. Both are topoMu-guarded. The supervisor goroutine and
+	// its pending repairs stop through superStop/superWG.
+	evicted     map[string]bool
+	machineDown map[string]bool
+	superStop   chan struct{}
+	superWG     sync.WaitGroup
+	superOnce   sync.Once
+
 	// Cluster-level telemetry (nil with Options.NoTelemetry): reg holds the
 	// client-side metrics — today the client round-trip histogram rtt,
 	// recorded per operation by the closed-loop driver.
@@ -222,16 +263,24 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.SelfManage && opts.HeartbeatEveryTicks <= 0 {
+		opts.HeartbeatEveryTicks = 2
+	}
+	if opts.RepairDelay <= 0 {
+		opts.RepairDelay = 25 * opts.TickEvery
+	}
 
 	fabricOpts := []netstack.FabricOption{netstack.WithStack(netstack.Stacks[opts.Stack])}
 	if opts.Injector != nil {
 		fabricOpts = append(fabricOpts, netstack.WithInjector(opts.Injector))
 	}
 	c := &Cluster{
-		opts:   opts,
-		Fabric: netstack.NewFabric(fabricOpts...),
-		Nodes:  make(map[string]*core.Node, opts.Nodes*opts.Shards),
-		code:   []byte("recipe-protocol:" + string(opts.Protocol)),
+		opts:        opts,
+		Fabric:      netstack.NewFabric(fabricOpts...),
+		Nodes:       make(map[string]*core.Node, opts.Nodes*opts.Shards),
+		code:        []byte("recipe-protocol:" + string(opts.Protocol)),
+		evicted:     make(map[string]bool),
+		machineDown: make(map[string]bool),
 	}
 	if !opts.NoTelemetry {
 		c.reg = telemetry.NewRegistry()
@@ -337,6 +386,9 @@ func New(opts Options) (*Cluster, error) {
 	}
 	for _, b := range pending {
 		b.g.launch(b.id, b.node)
+	}
+	if opts.SelfManage {
+		c.startSupervisor()
 	}
 	return c, nil
 }
@@ -450,18 +502,23 @@ func (g *Group) buildNode(id string, resume bool) (*core.Node, error) {
 		durability = &core.DurabilityConfig{Dir: dir, Registrar: c.CAS, SnapshotEvery: c.opts.SnapshotEvery, Fresh: !resume}
 	}
 	node, err := core.NewNode(enclave, ep, g.newProtocol(id), core.NodeConfig{
-		Secrets:          secrets,
-		TickEvery:        c.opts.TickEvery,
-		LeaderLeaseTicks: c.opts.LeaderLeaseTicks,
-		MaxBatch:         c.opts.MaxBatch,
-		PipelineWorkers:  c.opts.PipelineWorkers,
-		Shielded:         c.shieldedFor(),
-		Confidential:     c.opts.Confidential,
-		ReadPolicy:       c.opts.ReadPolicy,
-		StoreConfig:      kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
-		Durability:       durability,
-		Logf:             c.opts.Logf,
-		DisableTelemetry: c.opts.NoTelemetry,
+		Secrets:             secrets,
+		TickEvery:           c.opts.TickEvery,
+		LeaderLeaseTicks:    c.opts.LeaderLeaseTicks,
+		MaxBatch:            c.opts.MaxBatch,
+		PipelineWorkers:     c.opts.PipelineWorkers,
+		HeartbeatEveryTicks: c.opts.HeartbeatEveryTicks,
+		SuspicionMult:       c.opts.SuspicionMult,
+		AdmissionRate:       c.opts.AdmissionRate,
+		AdmissionBurst:      c.opts.AdmissionBurst,
+		AdaptiveLease:       c.opts.AdaptiveLease,
+		Shielded:            c.shieldedFor(),
+		Confidential:        c.opts.Confidential,
+		ReadPolicy:          c.opts.ReadPolicy,
+		StoreConfig:         kvstore.Config{HostMemLimit: c.opts.HostMemLimit, Seed: c.opts.Seed},
+		Durability:          durability,
+		Logf:                c.opts.Logf,
+		DisableTelemetry:    c.opts.NoTelemetry,
 	})
 	if err != nil {
 		// The fabric registration must not leak: a leaked endpoint would make
@@ -680,6 +737,12 @@ func (c *Cluster) Crash(id string) {
 func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
 	c.resizeMu.Lock()
 	defer c.resizeMu.Unlock()
+	return c.recoverLocked(id, syncTimeout)
+}
+
+// recoverLocked is Recover for callers already holding resizeMu (the
+// self-managing supervisor's auto-repair path).
+func (c *Cluster) recoverLocked(id string, syncTimeout time.Duration) error {
 	g := c.GroupOf(id)
 	if g == nil {
 		return fmt.Errorf("harness: unknown node %s", id)
@@ -735,6 +798,13 @@ func (c *Cluster) Recover(id string, syncTimeout time.Duration) error {
 			return fmt.Errorf("harness: checkpoint %s: %w", id, err)
 		}
 	}
+	// The node is synced: if the supervisor had evicted this identity from
+	// the published map, the republish below re-admits it (the rejoin leg of
+	// auto-repair). Cleared only after a successful sync so a failed repair
+	// never re-lists a stale replica.
+	c.topoMu.Lock()
+	delete(c.evicted, id)
+	c.topoMu.Unlock()
 	// The recovered node re-attested, so its incarnation bumped — a
 	// membership fact clients must learn (their channels to the node are
 	// incarnation-qualified). Republishing the map at the next epoch
@@ -871,11 +941,17 @@ func (c *Cluster) RecoverGroup(group int, syncTimeout time.Duration) error {
 			}
 		}
 	}
+	c.topoMu.Lock()
+	for _, id := range crashed {
+		delete(c.evicted, id)
+	}
+	c.topoMu.Unlock()
 	return c.republishLocked()
 }
 
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
+	c.stopSupervisor()
 	for _, n := range c.liveNodes() {
 		n.Stop()
 	}

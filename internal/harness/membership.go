@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"time"
+)
+
+// Self-managing membership: the cluster supervisor closes the loop between
+// the per-node SWIM failure detectors (core.Node.FailedPeers, fed by
+// KindPing/KindPingAck/KindPingReq traffic on the shielded wire) and the
+// CAS-signed configuration. It polls the detectors' verdicts, auto-evicts a
+// majority-condemned replica by republishing the shard map at the next epoch
+// with the replica's identity removed from its group's Members (clients learn
+// the eviction exactly like a resize), and auto-repairs it after RepairDelay
+// through the normal recovery path (sealed local recovery + suffix state
+// transfer + signed rejoin republish) — zero operator calls.
+//
+// Trust argument: a single detector's verdict is hearsay — a gray (slow but
+// alive) replica believes its healthy peers failed just as firmly as they
+// believe it failed. The supervisor therefore requires a strict majority of a
+// group's live replicas to condemn before it acts: the gray replica's votes
+// against each healthy peer are one voice each, short of a majority, while
+// the healthy majority's votes against the gray replica carry. Eviction
+// itself changes only the published routing view (clients stop opening
+// channels to the identity); the protocol-level quorum membership, fixed in
+// the attested secrets, is untouched, so safety never rests on the detector
+// being right — a wrongly evicted healthy replica costs availability of one
+// replica until repair, never consistency.
+
+// repairSyncTimeout bounds the suffix state transfer of one auto-repair.
+const repairSyncTimeout = 10 * time.Second
+
+// startSupervisor launches the membership supervisor goroutine.
+func (c *Cluster) startSupervisor() {
+	c.superStop = make(chan struct{})
+	c.superWG.Add(1)
+	go func() {
+		defer c.superWG.Done()
+		ticker := time.NewTicker(2 * c.opts.TickEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.superStop:
+				return
+			case <-ticker.C:
+				for _, id := range c.condemned() {
+					c.evict(id)
+				}
+			}
+		}
+	}()
+}
+
+// stopSupervisor stops the supervisor and waits for any in-flight repair
+// goroutines. Safe to call on a cluster that never started one.
+func (c *Cluster) stopSupervisor() {
+	if c.superStop == nil {
+		return
+	}
+	c.superOnce.Do(func() { close(c.superStop) })
+	c.superWG.Wait()
+}
+
+// condemned collects the identities a strict majority of their group's live
+// replicas have declared failed. A group's last unevicted member is never
+// condemned: an empty published membership would leave clients with nowhere
+// to route the group's slots.
+func (c *Cluster) condemned() []string {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	var out []string
+	for _, g := range c.Groups {
+		live := 0
+		votes := make(map[string]int)
+		for _, id := range g.Order {
+			n, ok := g.Nodes[id]
+			if !ok {
+				continue
+			}
+			live++
+			for _, failed := range n.FailedPeers() {
+				votes[failed]++
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		unevicted := 0
+		for _, id := range g.Order {
+			if !c.evicted[id] {
+				unevicted++
+			}
+		}
+		for _, id := range g.Order {
+			if c.evicted[id] || votes[id]*2 <= live {
+				continue
+			}
+			if unevicted <= 1 {
+				continue
+			}
+			unevicted--
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// evict removes one condemned replica from service: fail-stop it (a gray
+// replica is still running — eviction makes the detector's verdict true),
+// mark it evicted so memberships() leaves it out, republish the CAS-signed
+// map at the next epoch, and schedule the auto-repair. Serialises with
+// Resize/Recover via resizeMu, like every other membership event.
+func (c *Cluster) evict(id string) {
+	c.resizeMu.Lock()
+	c.topoMu.Lock()
+	if c.evicted[id] {
+		c.topoMu.Unlock()
+		c.resizeMu.Unlock()
+		return
+	}
+	c.evicted[id] = true
+	c.topoMu.Unlock()
+	c.Crash(id)
+	err := c.republishLocked()
+	if err != nil {
+		// The eviction did not reach the published map; unmark so the next
+		// supervisor round retries the whole step.
+		c.opts.Logf("harness: evict %s: republish: %v", id, err)
+		c.topoMu.Lock()
+		delete(c.evicted, id)
+		c.topoMu.Unlock()
+	}
+	c.resizeMu.Unlock()
+	if err == nil {
+		c.opts.Logf("harness: evicted %s (auto)", id)
+		c.scheduleRepair(id)
+	}
+}
+
+// scheduleRepair retries auto-repair of an evicted replica every RepairDelay
+// until it succeeds, the machine is marked down (SetMachineDown), the mark
+// was cleared by a manual recovery, or the cluster stops.
+func (c *Cluster) scheduleRepair(id string) {
+	c.superWG.Add(1)
+	go func() {
+		defer c.superWG.Done()
+		timer := time.NewTimer(c.opts.RepairDelay)
+		defer timer.Stop()
+		for {
+			select {
+			case <-c.superStop:
+				return
+			case <-timer.C:
+			}
+			c.topoMu.RLock()
+			down := c.machineDown[id]
+			still := c.evicted[id]
+			c.topoMu.RUnlock()
+			if !still {
+				return // repaired out of band
+			}
+			if !down {
+				if err := c.Repair(id); err == nil {
+					c.opts.Logf("harness: repaired %s (auto)", id)
+					return
+				} else {
+					c.opts.Logf("harness: repair %s: %v", id, err)
+				}
+			}
+			timer.Reset(c.opts.RepairDelay)
+		}
+	}()
+}
+
+// Repair runs one auto-repair attempt: the normal recovery flow (sealed
+// local recovery where available, suffix state transfer, incarnation-bumping
+// republish), which also clears the eviction mark so the republished map
+// re-admits the identity. Exported so tests and operators can trigger the
+// same flow the supervisor uses.
+func (c *Cluster) Repair(id string) error {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	return c.recoverLocked(id, repairSyncTimeout)
+}
+
+// SetMachineDown marks a replica's host as down (true): the supervisor will
+// keep the replica evicted and defer auto-repair until the mark clears.
+// Tests use it to hold an eviction open; operationally it models a host
+// pulled for maintenance.
+func (c *Cluster) SetMachineDown(id string, down bool) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if down {
+		c.machineDown[id] = true
+	} else {
+		delete(c.machineDown, id)
+	}
+}
+
+// Evicted reports whether the supervisor currently holds id out of the
+// published membership.
+func (c *Cluster) Evicted(id string) bool {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.evicted[id]
+}
+
+// Live reports whether id is currently a running replica. Safe against the
+// supervisor's concurrent topology changes, unlike reading Nodes directly.
+func (c *Cluster) Live(id string) bool {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	_, ok := c.Nodes[id]
+	return ok
+}
+
+// MembershipStats aggregates the failure-detection and overload counters
+// across every live node: suspicions raised, evictions observed (per
+// adopting replica), and admission-gate rejects.
+func (c *Cluster) MembershipStats() (suspicions, evictions, admissionRejects uint64) {
+	for _, n := range c.liveNodes() {
+		s := n.Stats()
+		suspicions += s.Suspicions.Load()
+		evictions += s.Evictions.Load()
+		admissionRejects += s.AdmissionRejects.Load()
+	}
+	return suspicions, evictions, admissionRejects
+}

@@ -409,13 +409,25 @@ func (c *Cluster) dropSlots(group int, mask uint64) {
 	}
 }
 
-// memberships snapshots every group's membership order.
+// memberships snapshots every group's membership order, excluding replicas
+// the self-managing supervisor has evicted: a published map's Members list is
+// what clients route by, so leaving an evicted identity out is the eviction —
+// the CAS signs the shrunken list at the next epoch and clients stop opening
+// channels to it. The identity stays in g.Order (protocol quorum membership,
+// fixed at attestation, is unchanged) and returns to the published list when
+// auto-repair clears the mark.
 func (c *Cluster) memberships() [][]string {
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
 	out := make([][]string, len(c.Groups))
 	for i, g := range c.Groups {
-		out[i] = append([]string(nil), g.Order...)
+		members := make([]string, 0, len(g.Order))
+		for _, id := range g.Order {
+			if !c.evicted[id] {
+				members = append(members, id)
+			}
+		}
+		out[i] = members
 	}
 	return out
 }

@@ -1,0 +1,450 @@
+package membership
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+)
+
+// State is a member's health as seen by the local detector.
+type State uint8
+
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateFailed
+)
+
+// EventKind classifies a state transition surfaced by the detector.
+type EventKind uint8
+
+const (
+	// EventSuspect fires when a member misses its ack window (direct and
+	// indirect) or a suspicion rumor overrides local alive knowledge.
+	EventSuspect EventKind = iota + 1
+	// EventAlive fires when a suspected or failed member is refuted back to
+	// life by a fresh ack, an alive rumor at a higher incarnation, or Revive.
+	EventAlive
+	// EventFailed fires when a suspicion ages past the bounded timeout (or a
+	// failed rumor arrives); the caller's supervisor turns a quorum of these
+	// into an attested eviction.
+	EventFailed
+)
+
+// Event is one state transition; Inc is the detector incarnation it carries.
+type Event struct {
+	Kind EventKind
+	Node string
+	Inc  uint64
+}
+
+// ProbeKind distinguishes a direct ping from an indirect relay request.
+type ProbeKind uint8
+
+const (
+	// ProbeDirect asks To to ack us directly.
+	ProbeDirect ProbeKind = iota + 1
+	// ProbeIndirect asks relay To to ping Target on our behalf; Target's ack
+	// comes back to us carrying the same nonce.
+	ProbeIndirect
+)
+
+// Probe is one message the caller must transmit after a Tick.
+type Probe struct {
+	To     string
+	Target string // ProbeIndirect only: the node the relay should ping
+	Nonce  uint64 // echoed by the ack; identifies the probe round
+	Kind   ProbeKind
+}
+
+// Config sizes the detector. All tick counts are in caller ticks (the node's
+// event-loop TickEvery); zero values take the defaults below.
+type Config struct {
+	Self  string
+	Peers []string
+	// ProbeEveryTicks is the gap between successive direct probes (one
+	// round-robin target per probe slot).
+	ProbeEveryTicks int
+	// AckTimeoutTicks is how long a direct probe may go unacked before
+	// indirect probes fan out; at twice this the target becomes suspect.
+	AckTimeoutTicks int
+	// SuspicionMult bounds suspicion: a suspect not refuted within
+	// SuspicionMult*ProbeEveryTicks ticks is declared failed.
+	SuspicionMult int
+	// IndirectProbes is K, the relay fan-out when a direct ack is late.
+	IndirectProbes int
+	// MaxGossip caps rumors piggybacked per message.
+	MaxGossip int
+	// RumorTransmits is each rumor's retransmission budget.
+	RumorTransmits int
+	Seed           int64
+}
+
+const (
+	defaultProbeEvery     = 2
+	defaultAckTimeout     = 2
+	defaultSuspicionMult  = 8
+	defaultIndirectProbes = 2
+	defaultMaxGossip      = 8
+	defaultRumorTransmits = 6
+)
+
+type member struct {
+	state    State
+	inc      uint64
+	since    uint64 // tick the current state was entered
+	probedAt uint64 // nonce/tick of the outstanding direct probe (0 = none)
+	indirect bool   // indirect fan-out already sent for the outstanding probe
+}
+
+type rumor struct {
+	node  string
+	inc   uint64
+	state State
+	left  int
+}
+
+// Detector is the SWIM state machine. It is not safe for concurrent use: the
+// owning node drives every method from its single event loop.
+type Detector struct {
+	cfg     Config
+	rng     *rand.Rand
+	tick    uint64
+	selfInc uint64
+	order   []string // round-robin probe order
+	next    int
+	members map[string]*member
+	rumors  []rumor
+	events  []Event // scratch, reused across calls
+	relays  []string
+}
+
+// New builds a detector for Self among Peers (Self is skipped if listed).
+func New(cfg Config) *Detector {
+	if cfg.ProbeEveryTicks <= 0 {
+		cfg.ProbeEveryTicks = defaultProbeEvery
+	}
+	if cfg.AckTimeoutTicks <= 0 {
+		cfg.AckTimeoutTicks = defaultAckTimeout
+	}
+	if cfg.SuspicionMult <= 0 {
+		cfg.SuspicionMult = defaultSuspicionMult
+	}
+	if cfg.IndirectProbes <= 0 {
+		cfg.IndirectProbes = defaultIndirectProbes
+	}
+	if cfg.MaxGossip <= 0 {
+		cfg.MaxGossip = defaultMaxGossip
+	}
+	if cfg.RumorTransmits <= 0 {
+		cfg.RumorTransmits = defaultRumorTransmits
+	}
+	d := &Detector{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		selfInc: 1,
+		members: make(map[string]*member, len(cfg.Peers)),
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self || p == "" {
+			continue
+		}
+		if _, ok := d.members[p]; ok {
+			continue
+		}
+		d.members[p] = &member{state: StateAlive, inc: 1}
+		d.order = append(d.order, p)
+	}
+	sort.Strings(d.order)
+	d.rng.Shuffle(len(d.order), func(i, j int) {
+		d.order[i], d.order[j] = d.order[j], d.order[i]
+	})
+	return d
+}
+
+func (d *Detector) suspicionTicks() uint64 {
+	return uint64(d.cfg.SuspicionMult) * uint64(d.cfg.ProbeEveryTicks)
+}
+
+// Tick advances the detector one caller tick and returns the probes to send
+// plus any state transitions. Returned slices are valid until the next call.
+func (d *Detector) Tick() ([]Probe, []Event) {
+	d.tick++
+	d.events = d.events[:0]
+	var probes []Probe
+	ackTimeout := uint64(d.cfg.AckTimeoutTicks)
+	for id, m := range d.members {
+		if m.state == StateFailed {
+			continue
+		}
+		if m.probedAt != 0 {
+			wait := d.tick - m.probedAt
+			if wait >= ackTimeout && !m.indirect {
+				m.indirect = true
+				probes = d.appendIndirect(probes, id, m.probedAt)
+			}
+			if wait >= 2*ackTimeout {
+				m.probedAt = 0
+				m.indirect = false
+				if m.state == StateAlive {
+					d.setState(id, m, StateSuspect, m.inc)
+				}
+			}
+		}
+		if m.state == StateSuspect && d.tick-m.since >= d.suspicionTicks() {
+			d.setState(id, m, StateFailed, m.inc)
+		}
+	}
+	if d.tick%uint64(d.cfg.ProbeEveryTicks) == 0 {
+		if t := d.nextTarget(); t != "" {
+			m := d.members[t]
+			m.probedAt = d.tick
+			m.indirect = false
+			probes = append(probes, Probe{To: t, Nonce: d.tick, Kind: ProbeDirect})
+		}
+	}
+	return probes, d.events
+}
+
+// nextTarget picks the next round-robin probe target, skipping failed nodes
+// and targets whose previous probe is still in flight (re-arming would reset
+// the timeout clock and a dead peer would never age into suspicion).
+func (d *Detector) nextTarget() string {
+	for range d.order {
+		t := d.order[d.next%len(d.order)]
+		d.next++
+		if m := d.members[t]; m.state != StateFailed && m.probedAt == 0 {
+			return t
+		}
+	}
+	return ""
+}
+
+// appendIndirect fans the outstanding probe for target out through up to K
+// alive relays.
+func (d *Detector) appendIndirect(probes []Probe, target string, nonce uint64) []Probe {
+	d.relays = d.relays[:0]
+	for id, m := range d.members {
+		if id == target || m.state != StateAlive {
+			continue
+		}
+		d.relays = append(d.relays, id)
+	}
+	sort.Strings(d.relays)
+	d.rng.Shuffle(len(d.relays), func(i, j int) {
+		d.relays[i], d.relays[j] = d.relays[j], d.relays[i]
+	})
+	k := d.cfg.IndirectProbes
+	if k > len(d.relays) {
+		k = len(d.relays)
+	}
+	for _, r := range d.relays[:k] {
+		probes = append(probes, Probe{To: r, Target: target, Nonce: nonce, Kind: ProbeIndirect})
+	}
+	return probes
+}
+
+// OnAck feeds an ack (direct or relayed) that echoes nonce. Only an ack
+// matching the outstanding probe counts as evidence of life — the window
+// closes when the probe times out, so a gray node's late acks never refute
+// its suspicion. Returned events are valid until the next call.
+func (d *Detector) OnAck(from string, nonce uint64) []Event {
+	d.events = d.events[:0]
+	m := d.members[from]
+	if m == nil || m.probedAt == 0 || nonce != m.probedAt {
+		return nil
+	}
+	m.probedAt = 0
+	m.indirect = false
+	if m.state != StateAlive {
+		d.setState(from, m, StateAlive, m.inc)
+	}
+	return d.events
+}
+
+// Revive forces a member alive at a fresh incarnation — used when a node
+// re-announces itself (KindJoin) after recovery.
+func (d *Detector) Revive(node string) []Event {
+	d.events = d.events[:0]
+	m := d.members[node]
+	if m == nil {
+		return nil
+	}
+	m.inc++
+	m.probedAt = 0
+	m.indirect = false
+	if m.state != StateAlive {
+		d.setState(node, m, StateAlive, m.inc)
+	} else {
+		d.queueRumor(node, m.inc, StateAlive)
+	}
+	return d.events
+}
+
+// Failed returns the members currently declared failed, sorted.
+func (d *Detector) Failed() []string {
+	var out []string
+	for id, m := range d.members {
+		if m.state == StateFailed {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StateOf reports the local view of one member (StateAlive for unknown ids,
+// matching the optimistic initial assumption).
+func (d *Detector) StateOf(node string) State {
+	if m := d.members[node]; m != nil {
+		return m.state
+	}
+	return StateAlive
+}
+
+// SelfIncarnation is the local refutation counter (starts at 1).
+func (d *Detector) SelfIncarnation() uint64 { return d.selfInc }
+
+func (d *Detector) setState(id string, m *member, s State, inc uint64) {
+	if m.state == s {
+		return
+	}
+	m.state = s
+	m.since = d.tick
+	var ek EventKind
+	switch s {
+	case StateAlive:
+		ek = EventAlive
+	case StateSuspect:
+		ek = EventSuspect
+	case StateFailed:
+		ek = EventFailed
+	}
+	d.events = append(d.events, Event{Kind: ek, Node: id, Inc: inc})
+	d.queueRumor(id, inc, s)
+}
+
+func (d *Detector) queueRumor(node string, inc uint64, s State) {
+	for i := range d.rumors {
+		if d.rumors[i].node == node {
+			d.rumors[i] = rumor{node: node, inc: inc, state: s, left: d.cfg.RumorTransmits}
+			return
+		}
+	}
+	d.rumors = append(d.rumors, rumor{node: node, inc: inc, state: s, left: d.cfg.RumorTransmits})
+}
+
+// Gossip encodes up to MaxGossip pending rumors for piggybacking on an
+// outgoing probe or ack, charging each encoded rumor's retransmit budget.
+// Returns nil when nothing is pending.
+func (d *Detector) Gossip() []byte {
+	if len(d.rumors) == 0 {
+		return nil
+	}
+	n := len(d.rumors)
+	if n > d.cfg.MaxGossip {
+		n = d.cfg.MaxGossip
+	}
+	buf := make([]byte, 1, 1+n*(1+8+2+16))
+	buf[0] = byte(n)
+	for i := 0; i < n; i++ {
+		r := &d.rumors[i]
+		buf = append(buf, byte(r.state))
+		buf = binary.BigEndian.AppendUint64(buf, r.inc)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.node)))
+		buf = append(buf, r.node...)
+		r.left--
+	}
+	kept := d.rumors[:0]
+	for _, r := range d.rumors {
+		if r.left > 0 {
+			kept = append(kept, r)
+		}
+	}
+	d.rumors = kept
+	return buf
+}
+
+// ApplyGossip merges piggybacked rumors into local state. Malformed input is
+// ignored (the transport already authenticated the envelope; truncation here
+// would mean a peer bug, not an attack we can act on). Returned events are
+// valid until the next call.
+func (d *Detector) ApplyGossip(data []byte) []Event {
+	d.events = d.events[:0]
+	if len(data) < 1 {
+		return nil
+	}
+	n := int(data[0])
+	data = data[1:]
+	for i := 0; i < n; i++ {
+		if len(data) < 1+8+2 {
+			break
+		}
+		s := State(data[0])
+		inc := binary.BigEndian.Uint64(data[1:9])
+		idLen := int(binary.BigEndian.Uint16(data[9:11]))
+		data = data[11:]
+		if idLen > len(data) {
+			break
+		}
+		node := string(data[:idLen])
+		data = data[idLen:]
+		if s > StateFailed {
+			continue
+		}
+		d.applyRumor(node, inc, s)
+	}
+	return d.events
+}
+
+func (d *Detector) applyRumor(node string, inc uint64, s State) {
+	if node == d.cfg.Self {
+		// Someone thinks we are suspect/failed: refute at a higher
+		// incarnation. Alive rumors about self need no action.
+		if s != StateAlive && inc >= d.selfInc {
+			d.selfInc = inc + 1
+			d.queueRumor(d.cfg.Self, d.selfInc, StateAlive)
+		}
+		return
+	}
+	m := d.members[node]
+	if m == nil {
+		return
+	}
+	switch s {
+	case StateAlive:
+		// Alive overrides suspicion/failure only at a strictly higher
+		// incarnation — the refutation rule that makes gossip converge.
+		if inc > m.inc {
+			m.inc = inc
+			m.probedAt = 0
+			m.indirect = false
+			if m.state != StateAlive {
+				d.setState(node, m, StateAlive, inc)
+			} else {
+				d.queueRumor(node, inc, StateAlive)
+			}
+		}
+	case StateSuspect:
+		if m.state == StateFailed {
+			return
+		}
+		if inc > m.inc || (inc == m.inc && m.state == StateAlive) {
+			if inc > m.inc {
+				m.inc = inc
+			}
+			if m.state == StateAlive {
+				d.setState(node, m, StateSuspect, m.inc)
+			}
+		}
+	case StateFailed:
+		// Failure is sticky at any incarnation the rumor carries; only a
+		// strictly newer alive refutation (or Revive) undoes it.
+		if m.state != StateFailed {
+			if inc > m.inc {
+				m.inc = inc
+			}
+			d.setState(node, m, StateFailed, m.inc)
+		}
+	}
+}

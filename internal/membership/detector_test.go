@@ -1,0 +1,275 @@
+package membership
+
+import (
+	"testing"
+)
+
+func newTestDetector(self string, peers ...string) *Detector {
+	return New(Config{
+		Self:            self,
+		Peers:           peers,
+		ProbeEveryTicks: 2,
+		AckTimeoutTicks: 2,
+		SuspicionMult:   4,
+		IndirectProbes:  2,
+		Seed:            1,
+	})
+}
+
+func kinds(events []Event) map[EventKind][]string {
+	out := map[EventKind][]string{}
+	for _, e := range events {
+		out[e.Kind] = append(out[e.Kind], e.Node)
+	}
+	return out
+}
+
+func TestProbeRoundRobin(t *testing.T) {
+	d := newTestDetector("n1", "n1", "n2", "n3")
+	seen := map[string]int{}
+	for i := 0; i < 8; i++ {
+		probes, _ := d.Tick()
+		for _, p := range probes {
+			if p.Kind == ProbeDirect {
+				seen[p.To]++
+				// Ack immediately so no suspicion builds.
+				d.OnAck(p.To, p.Nonce)
+			}
+		}
+	}
+	// 8 ticks at ProbeEvery=2 → 4 probe slots round-robined over 2 peers.
+	if seen["n2"] != 2 || seen["n3"] != 2 {
+		t.Fatalf("round-robin off: %v", seen)
+	}
+}
+
+func TestUnackedProbeEscalatesToFailure(t *testing.T) {
+	d := newTestDetector("n1", "n2", "n3")
+	var suspected, failed, indirect bool
+	var indirectTarget string
+	for i := 0; i < 60 && !failed; i++ {
+		probes, events := d.Tick()
+		for _, p := range probes {
+			if p.Kind == ProbeIndirect {
+				indirect = true
+				indirectTarget = p.Target
+			}
+			// n3 acks, n2 is dead.
+			if p.Kind == ProbeDirect && p.To == "n3" {
+				d.OnAck("n3", p.Nonce)
+			}
+		}
+		k := kinds(events)
+		for _, n := range k[EventSuspect] {
+			if n == "n2" {
+				suspected = true
+			}
+		}
+		for _, n := range k[EventFailed] {
+			if n == "n2" {
+				failed = true
+			}
+		}
+	}
+	if !suspected {
+		t.Fatal("dead peer never suspected")
+	}
+	if !failed {
+		t.Fatal("suspicion never aged into failure")
+	}
+	if !indirect || indirectTarget != "n2" {
+		t.Fatalf("no indirect probe for the silent peer (indirect=%v target=%q)", indirect, indirectTarget)
+	}
+	got := d.Failed()
+	if len(got) != 1 || got[0] != "n2" {
+		t.Fatalf("Failed() = %v, want [n2]", got)
+	}
+}
+
+func TestFreshAckRefutesSuspicion(t *testing.T) {
+	d := newTestDetector("n1", "n2")
+	// Let n2 become suspect by ignoring its probes.
+	var suspect bool
+	for i := 0; i < 12 && !suspect; i++ {
+		_, events := d.Tick()
+		if len(kinds(events)[EventSuspect]) > 0 {
+			suspect = true
+		}
+	}
+	if !suspect {
+		t.Fatal("peer never suspected")
+	}
+	// Next probe gets a fresh ack → alive again.
+	var alive bool
+	for i := 0; i < 12 && !alive; i++ {
+		probes, _ := d.Tick()
+		for _, p := range probes {
+			if p.Kind == ProbeDirect && p.To == "n2" {
+				events := d.OnAck("n2", p.Nonce)
+				if len(kinds(events)[EventAlive]) > 0 {
+					alive = true
+				}
+			}
+		}
+	}
+	if !alive {
+		t.Fatal("fresh ack did not refute suspicion")
+	}
+	if d.StateOf("n2") != StateAlive {
+		t.Fatalf("state = %v, want alive", d.StateOf("n2"))
+	}
+}
+
+func TestStaleAckIsNotEvidence(t *testing.T) {
+	d := newTestDetector("n1", "n2")
+	var nonce uint64
+	for i := 0; i < 4; i++ {
+		probes, _ := d.Tick()
+		for _, p := range probes {
+			if p.Kind == ProbeDirect && p.To == "n2" && nonce == 0 {
+				nonce = p.Nonce
+			}
+		}
+	}
+	// The probe window (2*AckTimeout = 4 ticks) has closed: the outstanding
+	// probe was cleared, so this late ack must not revive anything.
+	for i := 0; i < 20; i++ {
+		d.Tick()
+	}
+	if d.StateOf("n2") == StateAlive {
+		t.Fatal("test setup: n2 should be suspect/failed by now")
+	}
+	if events := d.OnAck("n2", nonce); len(events) != 0 {
+		t.Fatalf("stale ack produced events: %v", events)
+	}
+	if d.StateOf("n2") == StateAlive {
+		t.Fatal("stale ack revived a suspected peer")
+	}
+}
+
+func TestGossipPropagatesSuspicionAndFailure(t *testing.T) {
+	a := newTestDetector("n1", "n2", "n3")
+	b := newTestDetector("n3", "n1", "n2")
+	// Drive a until it declares n2 failed.
+	for i := 0; i < 60; i++ {
+		probes, _ := a.Tick()
+		for _, p := range probes {
+			if p.Kind == ProbeDirect && p.To == "n3" {
+				a.OnAck("n3", p.Nonce)
+			}
+		}
+		if a.StateOf("n2") == StateFailed {
+			break
+		}
+	}
+	if a.StateOf("n2") != StateFailed {
+		t.Fatal("setup: a never declared n2 failed")
+	}
+	g := a.Gossip()
+	if g == nil {
+		t.Fatal("no gossip pending after a failure")
+	}
+	events := b.ApplyGossip(g)
+	k := kinds(events)
+	var sawFailed bool
+	for _, n := range k[EventFailed] {
+		if n == "n2" {
+			sawFailed = true
+		}
+	}
+	if !sawFailed || b.StateOf("n2") != StateFailed {
+		t.Fatalf("failure rumor did not propagate: events=%v state=%v", events, b.StateOf("n2"))
+	}
+}
+
+func TestSelfRefutationBeatsSuspicion(t *testing.T) {
+	accuser := newTestDetector("n1", "n2", "n3")
+	victim := newTestDetector("n2", "n1", "n3")
+	observer := newTestDetector("n3", "n1", "n2")
+	// accuser suspects n2 (no acks from it; n3 stays alive).
+	for i := 0; i < 8 && accuser.StateOf("n2") == StateAlive; i++ {
+		probes, _ := accuser.Tick()
+		for _, p := range probes {
+			if p.Kind == ProbeDirect && p.To == "n3" {
+				accuser.OnAck("n3", p.Nonce)
+			}
+		}
+	}
+	if accuser.StateOf("n2") != StateSuspect {
+		t.Fatalf("setup: n2 not suspect at accuser (state=%v)", accuser.StateOf("n2"))
+	}
+	// The rumor reaches the victim, which refutes at a higher incarnation.
+	before := victim.SelfIncarnation()
+	victim.ApplyGossip(accuser.Gossip())
+	if victim.SelfIncarnation() <= before {
+		t.Fatal("victim did not bump incarnation on hearing its own suspicion")
+	}
+	refutation := victim.Gossip()
+	if refutation == nil {
+		t.Fatal("victim queued no refutation rumor")
+	}
+	// The refutation revives n2 at both the accuser and a third party that
+	// had meanwhile adopted the suspicion.
+	observer.ApplyGossip(accuser.Gossip())
+	for _, d := range []*Detector{accuser, observer} {
+		events := d.ApplyGossip(refutation)
+		if d.StateOf("n2") != StateAlive {
+			t.Fatalf("refutation ignored (events=%v state=%v)", events, d.StateOf("n2"))
+		}
+	}
+}
+
+func TestReviveClearsFailure(t *testing.T) {
+	d := newTestDetector("n1", "n2")
+	for i := 0; i < 60 && d.StateOf("n2") != StateFailed; i++ {
+		d.Tick()
+	}
+	if d.StateOf("n2") != StateFailed {
+		t.Fatal("setup: n2 never failed")
+	}
+	events := d.Revive("n2")
+	if len(kinds(events)[EventAlive]) != 1 {
+		t.Fatalf("Revive events = %v, want one alive", events)
+	}
+	if d.StateOf("n2") != StateAlive || len(d.Failed()) != 0 {
+		t.Fatal("Revive did not clear failure")
+	}
+}
+
+func TestMalformedGossipIgnored(t *testing.T) {
+	d := newTestDetector("n1", "n2")
+	cases := [][]byte{
+		nil,
+		{},
+		{5},          // claims 5 rumors, carries none
+		{1, 0, 0, 0}, // truncated header
+		{1, 9, 0, 0, 0, 0, 0, 0, 0, 1, 0, 2, 'n', '2'}, // unknown state byte
+		{1, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0xff, 0xff},     // id length past buffer
+	}
+	for i, c := range cases {
+		if events := d.ApplyGossip(c); len(events) != 0 {
+			t.Fatalf("case %d: malformed gossip produced events %v", i, events)
+		}
+	}
+	if d.StateOf("n2") != StateAlive {
+		t.Fatal("malformed gossip mutated member state")
+	}
+}
+
+func TestGossipRoundTripAndBudget(t *testing.T) {
+	d := newTestDetector("n1", "n2")
+	for i := 0; i < 60 && d.StateOf("n2") != StateFailed; i++ {
+		d.Tick()
+	}
+	// Rumor budget: each Gossip() call charges encoded rumors; eventually
+	// the queue drains to nil.
+	var sends int
+	for sends = 0; sends < 100; sends++ {
+		if d.Gossip() == nil {
+			break
+		}
+	}
+	if sends == 0 || sends >= 100 {
+		t.Fatalf("rumor budget did not drain sensibly (sends=%d)", sends)
+	}
+}

@@ -1,0 +1,29 @@
+// Package membership implements the SWIM-style failure detector behind the
+// cluster's self-managing membership: periodic direct probes, indirect
+// probes relayed through K peers when a direct ack is late, suspicion with a
+// bounded timeout, and declared failure — with suspicion/alive/failed rumors
+// piggybacked on the probe traffic itself (no extra message class).
+//
+// The Detector is a pure, transport-agnostic state machine: Tick advances
+// its clock and returns the probes to transmit; OnAck, ApplyGossip, and
+// Revive feed evidence back in; every state transition surfaces as an Event
+// the caller turns into counters, trace records, and — at the harness
+// supervisor — attested evictions. The node drives it from its existing
+// event-loop tick, and probes/acks travel as ordinary shielded wire messages
+// (KindPing/KindPingAck/KindPingReq), so the detector inherits the authn
+// layer's transferable authentication: a host cannot forge "X is alive" any
+// more than it can forge any other protocol message.
+//
+// Two deliberate deviations from textbook SWIM:
+//
+//   - Ack freshness. Only an ack that echoes the outstanding probe's nonce
+//     within the ack window counts as evidence of life. A slow-but-alive
+//     (gray) replica whose acks arrive after the window keeps getting
+//     suspected and is eventually declared failed — gray failures must not
+//     be trusted forever, per the operations runbook.
+//   - Incarnations here are detector-local refutation counters, not the
+//     attestation incarnations the CAS stamps into shard maps. A suspected
+//     node refutes by gossiping alive at a higher detector incarnation; a
+//     re-attested node re-enters through Revive (driven by its KindJoin
+//     announcement), which also bumps the local counter.
+package membership

@@ -64,9 +64,16 @@ func WithStack(s StackModel) FabricOption {
 	return func(f *Fabric) { f.stack = s }
 }
 
-// WithInjector installs a Byzantine network fault injector.
+// WithInjector installs a Byzantine network fault injector. Injectors that
+// schedule asynchronous deliveries (DeliverScheduler, e.g. LinkDelay) are
+// handed the fabric's deliver function.
 func WithInjector(inj Injector) FabricOption {
-	return func(f *Fabric) { f.injector = inj }
+	return func(f *Fabric) {
+		f.injector = inj
+		if ds, ok := inj.(DeliverScheduler); ok {
+			ds.SetDeliver(f.deliver)
+		}
+	}
 }
 
 // NewFabric creates an empty fabric.
@@ -82,10 +89,15 @@ func NewFabric(opts ...FabricOption) *Fabric {
 }
 
 // SetInjector swaps the fault injector at runtime (fault schedules).
+// DeliverScheduler injectors are hooked to the fabric's deliver function,
+// as in WithInjector.
 func (f *Fabric) SetInjector(inj Injector) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.injector = inj
+	if ds, ok := inj.(DeliverScheduler); ok {
+		ds.SetDeliver(f.deliver)
+	}
 }
 
 // Register creates an endpoint with the given address.

@@ -3,6 +3,8 @@ package netstack
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Injector mutates the stream of packets crossing the fabric, modelling the
@@ -195,10 +197,138 @@ func (i *Isolate) Apply(pkt Packet) []Packet {
 	return []Packet{pkt}
 }
 
+// DeliverScheduler is implemented by injectors that re-deliver packets
+// asynchronously (delay/jitter): the fabric applies injectors synchronously
+// on the sender's path, so a delaying injector must be handed the fabric's
+// deliver function to complete deliveries from its own timers. The fabric
+// hooks any injector (or Chain member) implementing this when installed via
+// WithInjector or SetInjector.
+type DeliverScheduler interface {
+	SetDeliver(func(Packet))
+}
+
+// LinkDelay injects per-link (or per-node) latency with optional uniform
+// jitter — the slow-but-alive links behind gray failures: packets still
+// arrive, authenticate, and carry valid gossip, just too late to count as
+// evidence of health. With no specs configured it matches the fault layer's
+// zero-rate passthrough contract: no lock, no RNG draw, no copy.
+//
+// Delayed packets are re-delivered from timer goroutines directly into the
+// fabric's deliver path (bypassing any other chained injectors — delay last
+// when composing), which may reorder them behind later fast packets; the
+// authn layer's future buffers absorb that, exactly as a real WAN would
+// require.
+type LinkDelay struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	links   map[linkKey]delaySpec
+	nodes   map[string]delaySpec
+	deliver func(Packet)
+
+	// Delayed counts packets scheduled for late delivery (tests).
+	delayed atomic.Uint64
+}
+
+type linkKey struct{ from, to string }
+
+type delaySpec struct{ base, jitter time.Duration }
+
+var (
+	_ Injector         = (*LinkDelay)(nil)
+	_ DeliverScheduler = (*LinkDelay)(nil)
+)
+
+// NewLinkDelay creates an empty (passthrough) delay injector.
+func NewLinkDelay(seed int64) *LinkDelay {
+	return &LinkDelay{
+		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[linkKey]delaySpec),
+		nodes: make(map[string]delaySpec),
+	}
+}
+
+// SetDeliver implements DeliverScheduler.
+func (d *LinkDelay) SetDeliver(fn func(Packet)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deliver = fn
+}
+
+// SetLink delays packets from -> to by base plus uniform jitter in
+// [0, jitter). base <= 0 clears the link.
+func (d *LinkDelay) SetLink(from, to string, base, jitter time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := linkKey{from, to}
+	if base <= 0 {
+		delete(d.links, k)
+	} else {
+		d.links[k] = delaySpec{base, jitter}
+	}
+	d.enabled.Store(len(d.links)+len(d.nodes) > 0)
+}
+
+// SetNode delays every packet to or from node (both directions of every one
+// of its links) — one slow machine, as a NIC fault or an overloaded host
+// would look. base <= 0 clears it.
+func (d *LinkDelay) SetNode(node string, base, jitter time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if base <= 0 {
+		delete(d.nodes, node)
+	} else {
+		d.nodes[node] = delaySpec{base, jitter}
+	}
+	d.enabled.Store(len(d.links)+len(d.nodes) > 0)
+}
+
+// Delayed returns how many packets have been scheduled for late delivery.
+func (d *LinkDelay) Delayed() uint64 { return d.delayed.Load() }
+
+// Apply implements Injector.
+func (d *LinkDelay) Apply(p Packet) []Packet {
+	if !d.enabled.Load() {
+		return []Packet{p}
+	}
+	d.mu.Lock()
+	spec, ok := d.links[linkKey{p.From, p.To}]
+	if !ok {
+		if spec, ok = d.nodes[p.From]; !ok {
+			spec, ok = d.nodes[p.To]
+		}
+	}
+	var delay time.Duration
+	if ok {
+		delay = spec.base
+		if spec.jitter > 0 {
+			delay += time.Duration(d.rng.Int63n(int64(spec.jitter)))
+		}
+	}
+	deliver := d.deliver
+	d.mu.Unlock()
+	if !ok || delay <= 0 {
+		return []Packet{p}
+	}
+	if deliver == nil {
+		// No async path hooked (e.g. used standalone in a chain the fabric
+		// does not know about): degrade to synchronous delivery rather than
+		// losing traffic.
+		return []Packet{p}
+	}
+	d.delayed.Add(1)
+	time.AfterFunc(delay, func() { deliver(p) })
+	return nil
+}
+
 // Chain composes injectors left to right.
 type Chain []Injector
 
-var _ Injector = Chain(nil)
+var (
+	_ Injector         = Chain(nil)
+	_ DeliverScheduler = Chain(nil)
+)
 
 // Apply implements Injector by threading packets through each stage.
 func (c Chain) Apply(p Packet) []Packet {
@@ -211,4 +341,16 @@ func (c Chain) Apply(p Packet) []Packet {
 		pkts = next
 	}
 	return pkts
+}
+
+// SetDeliver forwards the fabric's deliver hook to every chained injector
+// that schedules deliveries. Note a delayed packet re-enters the fabric
+// directly — it does not pass later chain stages again — so delaying
+// injectors compose best as the final stage.
+func (c Chain) SetDeliver(fn func(Packet)) {
+	for _, inj := range c {
+		if ds, ok := inj.(DeliverScheduler); ok {
+			ds.SetDeliver(fn)
+		}
+	}
 }

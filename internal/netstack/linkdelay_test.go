@@ -1,0 +1,128 @@
+package netstack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkDelayPassthroughWhenUnconfigured(t *testing.T) {
+	f := NewFabric(WithInjector(NewLinkDelay(1)))
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	if err := a.Send("b", []byte("fast")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case pkt := <-b.Inbox():
+		if string(pkt.Data) != "fast" {
+			t.Errorf("got %q", pkt.Data)
+		}
+	default:
+		t.Fatal("unconfigured LinkDelay must deliver synchronously")
+	}
+}
+
+func TestLinkDelayDelaysMatchedLink(t *testing.T) {
+	ld := NewLinkDelay(1)
+	f := NewFabric(WithInjector(ld))
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	c := register(t, f, "c")
+	ld.SetLink("a", "b", 30*time.Millisecond, 10*time.Millisecond)
+
+	start := time.Now()
+	if err := a.Send("b", []byte("slow")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// The delayed packet must not be in b's inbox synchronously.
+	select {
+	case <-b.Inbox():
+		t.Fatal("delayed packet delivered synchronously")
+	default:
+	}
+	// The untouched link a->c stays synchronous.
+	if err := a.Send("c", []byte("fast")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-c.Inbox():
+	default:
+		t.Fatal("unmatched link must deliver synchronously")
+	}
+	select {
+	case pkt := <-b.Inbox():
+		if el := time.Since(start); el < 30*time.Millisecond {
+			t.Errorf("delivered after %v, want >= 30ms", el)
+		}
+		if string(pkt.Data) != "slow" {
+			t.Errorf("got %q", pkt.Data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed packet never delivered")
+	}
+	if ld.Delayed() != 1 {
+		t.Errorf("Delayed() = %d, want 1", ld.Delayed())
+	}
+}
+
+func TestLinkDelayNodeMatchesBothDirections(t *testing.T) {
+	ld := NewLinkDelay(1)
+	f := NewFabric(WithInjector(ld))
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	ld.SetNode("b", 20*time.Millisecond, 0)
+
+	if err := a.Send("b", []byte("in")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := b.Send("a", []byte("out")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	for _, ch := range []<-chan Packet{b.Inbox(), a.Inbox()} {
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatal("delayed packet never delivered")
+		}
+	}
+	if ld.Delayed() != 2 {
+		t.Errorf("Delayed() = %d, want 2", ld.Delayed())
+	}
+	// Clearing the node restores the passthrough fast path.
+	ld.SetNode("b", 0, 0)
+	if err := a.Send("b", []byte("fast")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+	default:
+		t.Fatal("cleared LinkDelay must deliver synchronously")
+	}
+}
+
+func TestLinkDelayHookedViaSetInjectorAndChain(t *testing.T) {
+	ld := NewLinkDelay(1)
+	f := NewFabric()
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	// Chain with a passthrough fault stage in front; SetDeliver must reach
+	// the LinkDelay through the chain.
+	f.SetInjector(Chain{NewByzantineNet(FaultConfig{}), ld})
+	ld.SetLink("a", "b", 10*time.Millisecond, 0)
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("delayed packet delivered synchronously")
+	default:
+	}
+	select {
+	case <-b.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed packet never delivered")
+	}
+	if ld.Delayed() != 1 {
+		t.Errorf("Delayed() = %d, want 1", ld.Delayed())
+	}
+}

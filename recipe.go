@@ -143,6 +143,32 @@ type Options struct {
 	// network traffic, and every published shard map invalidates the cache
 	// wholesale. 0 disables caching.
 	SessionCache int
+	// SelfManage turns on the self-managing membership plane: every replica
+	// runs a SWIM-style failure detector (heartbeat probes with piggybacked
+	// suspicion gossip over the shielded wire), and the cluster auto-evicts a
+	// majority-condemned replica by publishing a new CAS-signed shard map —
+	// clients learn the eviction like any reconfiguration — then auto-repairs
+	// it (sealed local recovery + suffix state transfer + signed rejoin
+	// republish) with zero operator calls. See ARCHITECTURE.md, "Membership &
+	// health".
+	SelfManage bool
+	// HeartbeatEveryTicks sets the failure-detector probe cadence in ticks
+	// (0 with SelfManage = every 2 ticks; 0 otherwise = detector off).
+	HeartbeatEveryTicks int
+	// SuspicionMult scales how long a suspected replica may refute its
+	// suspicion before being declared failed (0 = default).
+	SuspicionMult int
+	// AdmissionRate, when > 0, arms each replica's per-client token-bucket
+	// admission gate at that many ops/s per client. Shed operations receive
+	// a distinguishable retriable "busy" reply (clients back off with full
+	// jitter and retry) and count in SecurityStats.AdmissionRejects.
+	AdmissionRate float64
+	// AdmissionBurst sets the admission bucket depth (0 = rate/10, min 1).
+	AdmissionBurst int
+	// AdaptiveLease lets coordinators widen the leader lease under
+	// lease-fallback pressure and narrow it back when calm (bounded,
+	// follower-acknowledged; see docs/operations.md for tuning).
+	AdaptiveLease bool
 	// NoTelemetry disables the telemetry layer (metrics registries, phase
 	// histograms, flight recorders, client round-trip recording). On by
 	// default; the knob exists for zero-telemetry benchmark controls.
@@ -175,19 +201,25 @@ func NewCluster(opts Options) (*Cluster, error) {
 
 func newClusterWithFactory(opts Options, factory func(replica int) CustomProtocol) (*Cluster, error) {
 	hOpts := harness.Options{
-		Protocol:        harness.ProtocolKind(opts.Protocol),
-		Nodes:           opts.Nodes,
-		Shards:          opts.Shards,
-		Shielded:        !opts.Native,
-		Confidential:    opts.Confidential,
-		Durability:      opts.Durability,
-		DataDir:         opts.DataDir,
-		TickEvery:       opts.TickEvery,
-		PipelineWorkers: opts.PipelineWorkers,
-		ReadPolicy:      opts.ReadPolicy,
-		SessionCache:    opts.SessionCache,
-		NoTelemetry:     opts.NoTelemetry,
-		Seed:            opts.Seed,
+		Protocol:            harness.ProtocolKind(opts.Protocol),
+		Nodes:               opts.Nodes,
+		Shards:              opts.Shards,
+		Shielded:            !opts.Native,
+		Confidential:        opts.Confidential,
+		Durability:          opts.Durability,
+		DataDir:             opts.DataDir,
+		TickEvery:           opts.TickEvery,
+		PipelineWorkers:     opts.PipelineWorkers,
+		ReadPolicy:          opts.ReadPolicy,
+		SessionCache:        opts.SessionCache,
+		SelfManage:          opts.SelfManage,
+		HeartbeatEveryTicks: opts.HeartbeatEveryTicks,
+		SuspicionMult:       opts.SuspicionMult,
+		AdmissionRate:       opts.AdmissionRate,
+		AdmissionBurst:      opts.AdmissionBurst,
+		AdaptiveLease:       opts.AdaptiveLease,
+		NoTelemetry:         opts.NoTelemetry,
+		Seed:                opts.Seed,
 	}
 	if opts.Protocol == "" {
 		hOpts.Protocol = harness.Raft
@@ -346,6 +378,18 @@ type SecurityStats struct {
 	// steadily climbing count means a stage is saturated; see
 	// Cluster.PipelineDepths for which one.
 	PipelineStalls uint64
+	// Suspicions counts peers newly suspected by the failure detectors
+	// (SelfManage / HeartbeatEveryTicks): each is a replica that missed its
+	// probe window, direct and indirect, and entered the refutation grace.
+	Suspicions uint64
+	// Evictions counts own-group member removals observed in adopted shard
+	// maps, summed across replicas — one auto-eviction registers once per
+	// surviving group member. See docs/operations.md.
+	Evictions uint64
+	// AdmissionRejects counts client operations shed by the admission gate
+	// (AdmissionRate): each was answered with the retriable busy reply, not
+	// dropped silently.
+	AdmissionRejects uint64
 }
 
 // SecurityStats returns the cluster-wide authn counters (all shards).
@@ -390,6 +434,9 @@ func addNodeStats(s *SecurityStats, n *core.Node) {
 	s.DroppedOverflow += n.OverflowDrops()
 	s.RejectedRollback += st.DropRollback.Load()
 	s.PipelineStalls += st.PipelineStalls.Load()
+	s.Suspicions += st.Suspicions.Load()
+	s.Evictions += st.Evictions.Load()
+	s.AdmissionRejects += st.AdmissionRejects.Load()
 }
 
 // ReadStats aggregates the read-path counters across replicas: which route
@@ -481,6 +528,26 @@ func (c *Cluster) NewClient() (*Client, error) {
 
 // Close releases the client.
 func (c *Client) Close() error { return c.inner.Close() }
+
+// ClientStats are one client session's operation counters.
+type ClientStats struct {
+	// Ops counts operations that completed successfully.
+	Ops uint64
+	// Retries counts re-sends beyond each operation's first attempt.
+	Retries uint64
+	// BusyRejects counts retriable busy replies received from replicas'
+	// admission gates; each was followed by a full-jitter backoff.
+	BusyRejects uint64
+	// Exhausted counts operations that gave up after the per-op retry
+	// budget.
+	Exhausted uint64
+}
+
+// Stats returns the client's cumulative operation counters.
+func (c *Client) Stats() ClientStats {
+	s := c.inner.Stats()
+	return ClientStats{Ops: s.Ops, Retries: s.Retries, BusyRejects: s.BusyRejects, Exhausted: s.Exhausted}
+}
 
 // Put writes value under key.
 func (c *Client) Put(key string, value []byte) error {
