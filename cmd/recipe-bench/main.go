@@ -4,14 +4,23 @@
 // overheads), Fig 6b (network stacks), Table 4 (CAS vs IAS attestation), and
 // the §B.3 Damysus comparison.
 //
+// Beyond the paper's closed-loop tables, `-experiment openloop` is the
+// honest-scale harness: Poisson arrivals at fixed offered rates
+// (-rate/-sessions/-duration/-conns), coordinated-omission-free percentiles
+// charged from intended arrival time, and an optional chaos schedule
+// (-chaos FILE, or a built-in crash/recover/delay script) executed mid-run.
+//
 // Usage:
 //
-//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem|durability|reads|phases] [-json FILE]
+//	recipe-bench [-ops N] [-experiment all|fig3|fig4|fig5|fig6a|fig6b|table4|damysus|mem|durability|reads|phases|openloop] [-json FILE]
+//	recipe-bench -experiment openloop [-rate 500,1000,2000] [-duration 5s] [-sessions 10000] [-conns 32] [-chaos FILE]
 //
 // Each cluster-driven experiment line carries client-observed latency
 // percentiles (p50/p99/p999, µs) from the harness telemetry layer, and
 // -json FILE additionally collects every measurement as a JSON array of
-// {experiment, label, kops, latency} rows for machine consumption.
+// {experiment, label, kops, latency} rows for machine consumption; every
+// latency object is stamped with the offered and achieved rate (achieved <
+// offered is the saturation signal).
 package main
 
 import (
@@ -21,12 +30,15 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"recipe/internal/attest"
 	"recipe/internal/core"
 	"recipe/internal/harness"
+	"recipe/internal/loadgen"
 	"recipe/internal/netstack"
 	"recipe/internal/tee"
 	"recipe/internal/telemetry"
@@ -35,10 +47,15 @@ import (
 
 var (
 	opsFlag        = flag.Int("ops", 4000, "operations per measurement")
-	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability, reads, phases)")
+	experimentFlag = flag.String("experiment", "all", "experiment to run (all, fig3, fig4, fig5, fig6a, fig6b, table4, damysus, mem, durability, reads, phases, openloop)")
 	clientsFlag    = flag.Int("clients", 32, "closed-loop clients per measurement")
 	keysFlag       = flag.Int("keys", 20000, "store size (keys) for the durability experiment")
 	jsonFlag       = flag.String("json", "", "write every measurement as a JSON array to FILE")
+	rateFlag       = flag.String("rate", "500,1000,2000", "openloop: comma-separated offered arrival rates (ops/s)")
+	durationFlag   = flag.Duration("duration", 5*time.Second, "openloop: arrival-generation window per measurement")
+	sessionsFlag   = flag.Int("sessions", 10_000, "openloop: logical client sessions multiplexed over the pool")
+	connsFlag      = flag.Int("conns", 32, "openloop: pooled real connections (worker goroutines)")
+	chaosFlag      = flag.String("chaos", "", "openloop: chaos schedule file for the chaos leg (default: built-in crash/recover/delay script)")
 )
 
 func main() {
@@ -61,6 +78,7 @@ func run() error {
 		"durability": durabilityTable,
 		"reads":      readsTable,
 		"phases":     phasesTable,
+		"openloop":   openloopTable,
 	}
 	runOne := func(name string) error {
 		f, ok := experiments[name]
@@ -75,7 +93,7 @@ func run() error {
 		}
 		return writeJSON()
 	}
-	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability", "reads", "phases"} {
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6a", "fig6b", "table4", "damysus", "mem", "durability", "reads", "phases", "openloop"} {
 		if err := runOne(name); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -84,13 +102,20 @@ func run() error {
 }
 
 // latencyJSON is the machine-readable shape of one latency distribution.
+// Every distribution carries the offered and achieved rate it was measured
+// under: achieved < offered is the saturation signal operators act on, and
+// a percentile without its arrival rate is not comparable to anything. For
+// closed-loop measurements the two are equal by construction (a closed loop
+// offers exactly what completes).
 type latencyJSON struct {
-	P50us  float64 `json:"p50_us"`
-	P90us  float64 `json:"p90_us"`
-	P99us  float64 `json:"p99_us"`
-	P999us float64 `json:"p999_us"`
-	MaxUs  float64 `json:"max_us"`
-	Count  uint64  `json:"count"`
+	P50us          float64 `json:"p50_us"`
+	P90us          float64 `json:"p90_us"`
+	P99us          float64 `json:"p99_us"`
+	P999us         float64 `json:"p999_us"`
+	MaxUs          float64 `json:"max_us"`
+	Count          uint64  `json:"count"`
+	OfferedOpsSec  float64 `json:"offered_ops_s"`
+	AchievedOpsSec float64 `json:"achieved_ops_s"`
 }
 
 func toLatencyJSON(s telemetry.Snapshot) *latencyJSON {
@@ -123,11 +148,19 @@ func record(experiment, label string, m measurement) {
 	if *jsonFlag == "" {
 		return
 	}
+	lat := toLatencyJSON(m.latency)
+	if lat != nil {
+		lat.AchievedOpsSec = m.opsPerSec
+		lat.OfferedOpsSec = m.offered
+		if lat.OfferedOpsSec == 0 {
+			lat.OfferedOpsSec = m.opsPerSec
+		}
+	}
 	jsonRows = append(jsonRows, jsonRow{
 		Experiment: experiment,
 		Label:      label,
 		KOps:       m.opsPerSec / 1000,
-		Latency:    toLatencyJSON(m.latency),
+		Latency:    lat,
 	})
 }
 
@@ -320,6 +353,149 @@ func phasesTable() error {
 	return nil
 }
 
+// openloopTable is the honest-scale experiment (PR 10): offered load at
+// fixed Poisson arrival rates, latency charged from each arrival's intended
+// start time (coordinated omission measured, not masked), steady and under
+// a chaos schedule, on a fresh R-Raft cluster per cell. The chaos leg runs
+// durable so crash+recover exercises sealed recovery, and every injected
+// event lands in the flight recorders next to the spike it caused.
+func openloopTable() error {
+	rates, err := parseRates(*rateFlag)
+	if err != nil {
+		return err
+	}
+	chaos, err := chaosSchedule(*durationFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n=== Open loop: CO-free latency at fixed arrival rates (R-Raft, 90%%R, 256B, %d sessions, %s) ===\n",
+		*sessionsFlag, *durationFlag)
+	fmt.Println(envLine())
+	tw, flush := newTable("rate(ops/s)", "mode", "achieved", "errors", "p50(µs)", "p99(µs)", "p999(µs)", "service p99(µs)")
+	var chaosLines []string
+	for _, rate := range rates {
+		for _, mode := range []struct {
+			name  string
+			sched *loadgen.ChaosSchedule
+		}{
+			{"steady", nil},
+			{"chaos", chaos},
+		} {
+			m, svc, rep, err := measureOpenLoop(rate, mode.sched)
+			if err != nil {
+				return err
+			}
+			record("openloop", fmt.Sprintf("rate=%.0f/%s", rate, mode.name), m)
+			svcP99 := "-"
+			if svc.Count > 0 {
+				svcP99 = fmt.Sprintf("%.0f", svc.Quantile(0.99)/1e3)
+			}
+			fmt.Fprintf(tw, "%.0f\t%s\t%.0f\t%d\t%s\t%s\n",
+				rate, mode.name, rep.Achieved, rep.Errors, latCols(m.latency), svcP99)
+			for _, ev := range rep.ChaosEvents {
+				status := ev.Detail
+				if ev.Err != nil {
+					status = "error: " + ev.Err.Error()
+				}
+				chaosLines = append(chaosLines, fmt.Sprintf("  rate=%.0f @%s %s %s", rate, ev.Offset.Round(time.Millisecond), ev.Event.Action, status))
+			}
+		}
+	}
+	flush()
+	if len(chaosLines) > 0 {
+		fmt.Println("chaos events as executed:")
+		for _, l := range chaosLines {
+			fmt.Println(l)
+		}
+	}
+	return nil
+}
+
+// parseRates parses the -rate CSV into offered arrival rates.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad -rate entry %q (want positive ops/s)", f)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-rate named no rates")
+	}
+	return rates, nil
+}
+
+// chaosSchedule loads -chaos FILE, or falls back to the built-in script
+// scaled to the run window: crash a follower at 20%, recover it at 45%,
+// slow the leader's links 5ms±2ms over [60%, 80%].
+func chaosSchedule(d time.Duration) (*loadgen.ChaosSchedule, error) {
+	if *chaosFlag != "" {
+		text, err := os.ReadFile(*chaosFlag)
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.ParseChaosSchedule(string(text))
+	}
+	frac := func(x float64) time.Duration { return time.Duration(float64(d) * x).Round(time.Millisecond) }
+	return &loadgen.ChaosSchedule{Events: []loadgen.ChaosEvent{
+		{At: frac(0.20), Action: loadgen.ActCrash, Node: "follower"},
+		{At: frac(0.45), Action: loadgen.ActRecover, Node: "follower"},
+		{At: frac(0.60), Action: loadgen.ActDelay, Node: "leader", Base: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		{At: frac(0.80), Action: loadgen.ActClearDelay, Node: "leader"},
+	}}, nil
+}
+
+// measureOpenLoop runs one open-loop cell on a fresh cluster. The returned
+// measurement's latency is the intended-start→completion distribution; the
+// send→completion (service) snapshot rides along for the table.
+func measureOpenLoop(rate float64, sched *loadgen.ChaosSchedule) (measurement, telemetry.Snapshot, loadgen.Report, error) {
+	opts := harness.Options{Protocol: harness.Raft, Shielded: true, Seed: 1}
+	if sched != nil {
+		opts.Durability = true
+	}
+	c, err := harness.New(opts)
+	if err != nil {
+		return measurement{}, telemetry.Snapshot{}, loadgen.Report{}, err
+	}
+	defer c.Stop()
+	w := workload.Config{Keys: 1024, ReadRatio: 0.90, ValueSize: 256, Seed: 1}
+	if _, err := c.WaitForCoordinator(10 * time.Second); err != nil {
+		return measurement{}, telemetry.Snapshot{}, loadgen.Report{}, err
+	}
+	if err := c.Preload(w); err != nil {
+		return measurement{}, telemetry.Snapshot{}, loadgen.Report{}, err
+	}
+	intended := c.ClientHistogram(loadgen.MetricIntendedRTT, "open-loop intended-start to completion (ns)")
+	service := c.ClientHistogram(core.MetricPhaseClientRTT, "")
+	i0, s0 := intended.Snapshot(), service.Snapshot()
+	rep, err := loadgen.Run(loadgen.Config{
+		Rate:     rate,
+		Duration: *durationFlag,
+		Sessions: *sessionsFlag,
+		Conns:    *connsFlag,
+		Workload: w,
+		NewClient: func() (*core.Client, error) {
+			return c.Client()
+		},
+		Intended: intended,
+		Service:  service,
+		Chaos:    sched,
+		Target:   c,
+	})
+	if err != nil {
+		return measurement{}, telemetry.Snapshot{}, loadgen.Report{}, err
+	}
+	i1, s1 := intended.Snapshot(), service.Snapshot()
+	m := measurement{opsPerSec: rep.Achieved, offered: rep.Offered, latency: i1.Sub(&i0)}
+	return m, s1.Sub(&s0), rep, nil
+}
+
 // memTable reports the hot-path memory discipline (PR 4): heap traffic and
 // GC totals per operation for the per-message worst case (MaxBatch=1) and
 // default batching, 50% reads / 256 B values.
@@ -373,6 +549,7 @@ var systems = []struct {
 // from the harness telemetry layer.
 type measurement struct {
 	opsPerSec   float64
+	offered     float64 // open-loop target arrival rate (0 = closed loop)
 	allocsPerOp float64
 	bytesPerOp  float64
 	gcPauseMs   float64 // total GC pause during the timed section

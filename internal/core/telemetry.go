@@ -138,6 +138,12 @@ func (n *Node) trace(kind, detail string) {
 	})
 }
 
+// RecordTrace stamps an externally-sourced event into the node's flight
+// recorder — the chaos executor uses it so every injected fault appears in
+// the same postmortem timeline as the node's own protocol events. No-op
+// when telemetry is disabled.
+func (n *Node) RecordTrace(kind, detail string) { n.trace(kind, detail) }
+
 // dumpTrace writes the flight-recorder contents through the node's logger —
 // the crash-stop postmortem. reason names what killed the node.
 func (n *Node) dumpTrace(reason string) {

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"recipe/internal/loadgen"
+	"recipe/internal/netstack"
+	"recipe/internal/telemetry"
+)
+
+// Cluster implements loadgen.ChaosTarget: the surface a declarative chaos
+// schedule executes against. Crash and Repair are the cluster's ordinary
+// membership entry points (declared in cluster.go / membership.go); the
+// network-shaping methods below install a partition + delay injector pair
+// on first use.
+var _ loadgen.ChaosTarget = (*Cluster)(nil)
+
+// chaosResolveTimeout bounds how long a role target ("leader", "follower")
+// may wait for an election before the chaos event fails.
+const chaosResolveTimeout = 10 * time.Second
+
+// ensureChaos lazily installs the chaos network injectors, composed after
+// any Options.Injector the cluster was built with. The delay injector is
+// last in the chain: its re-delivered packets re-enter the fabric directly
+// and must not be expected to pass earlier stages again.
+func (c *Cluster) ensureChaos() {
+	c.chaosOnce.Do(func() {
+		c.chaosPart = netstack.NewPartition()
+		c.chaosDelay = netstack.NewLinkDelay(c.opts.Seed + 0x5ca1e)
+		var chain netstack.Chain
+		if c.opts.Injector != nil {
+			chain = append(chain, c.opts.Injector)
+		}
+		chain = append(chain, c.chaosPart, c.chaosDelay)
+		c.Fabric.SetInjector(chain)
+	})
+}
+
+// ResolveNode maps a chaos-schedule target to a node identity: "leader" and
+// "follower" resolve against group 0's current election (waiting for one if
+// mid-churn), anything else must name a known replica slot.
+func (c *Cluster) ResolveNode(target string) (string, error) {
+	c.topoMu.RLock()
+	g := c.Groups[0]
+	c.topoMu.RUnlock()
+	switch target {
+	case "leader":
+		return g.WaitForCoordinator(chaosResolveTimeout)
+	case "follower":
+		lead, err := g.WaitForCoordinator(chaosResolveTimeout)
+		if err != nil {
+			return "", err
+		}
+		c.topoMu.RLock()
+		defer c.topoMu.RUnlock()
+		for _, id := range g.Order {
+			if id == lead {
+				continue
+			}
+			if _, ok := g.Nodes[id]; ok {
+				return id, nil
+			}
+		}
+		return "", fmt.Errorf("harness: no live follower in group 0")
+	default:
+		c.topoMu.RLock()
+		defer c.topoMu.RUnlock()
+		for _, id := range c.Order {
+			if id == target {
+				return id, nil
+			}
+		}
+		return "", fmt.Errorf("harness: unknown chaos target %q", target)
+	}
+}
+
+// Partition cuts sideA off from every other endpoint (replicas and clients
+// alike), replacing any previous cut.
+func (c *Cluster) Partition(sideA []string) {
+	c.ensureChaos()
+	c.chaosPart.SetSides(sideA...)
+}
+
+// Heal removes the active partition.
+func (c *Cluster) Heal() {
+	c.ensureChaos()
+	c.chaosPart.Heal()
+}
+
+// SetLinkDelay delays the directed link from->to (base <= 0 clears).
+func (c *Cluster) SetLinkDelay(from, to string, base, jitter time.Duration) {
+	c.ensureChaos()
+	c.chaosDelay.SetLink(from, to, base, jitter)
+}
+
+// SetNodeDelay delays every link of node (base <= 0 clears).
+func (c *Cluster) SetNodeDelay(node string, base, jitter time.Duration) {
+	c.ensureChaos()
+	c.chaosDelay.SetNode(node, base, jitter)
+}
+
+// SetClockSkew models node's clock running offset behind its peers as an
+// outbound-only link delay: everything the node says arrives offset late,
+// while it hears the world on time (offset <= 0 clears).
+func (c *Cluster) SetClockSkew(node string, offset time.Duration) {
+	c.ensureChaos()
+	c.chaosDelay.SetNodeOut(node, offset, 0)
+}
+
+// ChaosTrace stamps an executed chaos event into the cluster-level chaos
+// ring and into every live node's flight recorder, so a per-node postmortem
+// dump shows the injected faults on the same timeline as the node's own
+// protocol events. No-op with NoTelemetry.
+func (c *Cluster) ChaosTrace(kind, detail string) {
+	if c.chaosRing != nil {
+		c.chaosRing.Record(telemetry.Event{Kind: kind, Detail: detail})
+	}
+	for _, n := range c.liveNodes() {
+		n.RecordTrace(kind, detail)
+	}
+}
+
+// ChaosTraceEvents returns the cluster-level chaos event log, oldest first
+// (nil with NoTelemetry). Unlike per-node rings, this survives the fault
+// targets themselves crashing.
+func (c *Cluster) ChaosTraceEvents() []telemetry.Event {
+	return c.chaosRing.Events()
+}
+
+// ClientHistogram returns (registering on first use) a histogram in the
+// cluster's client-side registry, where PhaseSnapshots and Telemetry pick
+// it up. The open-loop driver records its intended-start→completion
+// latency here. Returns nil with NoTelemetry (Record is nil-safe).
+func (c *Cluster) ClientHistogram(name, help string) *telemetry.Histogram {
+	if c.reg == nil {
+		return nil
+	}
+	return c.reg.Histogram(name, help)
+}

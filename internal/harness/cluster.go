@@ -215,10 +215,20 @@ type Cluster struct {
 	superOnce   sync.Once
 
 	// Cluster-level telemetry (nil with Options.NoTelemetry): reg holds the
-	// client-side metrics — today the client round-trip histogram rtt,
-	// recorded per operation by the closed-loop driver.
+	// client-side metrics — the client round-trip histogram rtt recorded per
+	// operation by the drivers, plus any histogram minted via
+	// ClientHistogram (the open-loop intended-RTT ledger).
 	reg *telemetry.Registry
 	rtt *telemetry.Histogram
+
+	// Chaos plumbing (chaos.go): the partition + delay injector pair is
+	// installed on the fabric the first time a schedule shapes the network;
+	// chaosRing is the cluster-level log of executed chaos events, which —
+	// unlike per-node rings — survives its subjects crashing.
+	chaosOnce  sync.Once
+	chaosPart  *netstack.Partition
+	chaosDelay *netstack.LinkDelay
+	chaosRing  *telemetry.TraceRing
 }
 
 // New builds, attests, and starts a cluster.
@@ -285,6 +295,7 @@ func New(opts Options) (*Cluster, error) {
 	if !opts.NoTelemetry {
 		c.reg = telemetry.NewRegistry()
 		c.rtt = c.reg.Histogram(core.MetricPhaseClientRTT, "client-observed round trip per operation (ns)")
+		c.chaosRing = telemetry.NewTraceRing(0)
 	}
 	if opts.Durability {
 		if opts.DataDir == "" {

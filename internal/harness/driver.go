@@ -57,15 +57,16 @@ func (c *Cluster) runOps(cfg workload.Config, clients, totalOps int) (float64, [
 		gen *workload.Generator
 		ops int
 	}
+	// One parent generator; workers derive per-seed streams from it so the
+	// key table and value buffer are built once, not once per client.
+	parent := workload.New(cfg)
 	workers := make([]worker, clients)
 	for i := range workers {
 		cli, err := c.Client()
 		if err != nil {
 			return 0, nil, err
 		}
-		wcfg := cfg
-		wcfg.Seed = cfg.Seed + int64(i+1)*7919
-		workers[i] = worker{cli: cli, gen: workload.New(wcfg), ops: totalOps / clients}
+		workers[i] = worker{cli: cli, gen: parent.Derive(cfg.Seed + int64(i+1)*7919), ops: totalOps / clients}
 		if i < totalOps%clients {
 			workers[i].ops++
 		}

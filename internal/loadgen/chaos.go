@@ -1,0 +1,477 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ChaosAction names one kind of injected fault.
+type ChaosAction string
+
+// Supported chaos actions.
+const (
+	// ActCrash fail-stops a node (enclave crash + network detach).
+	ActCrash ChaosAction = "crash"
+	// ActRecover repairs a crashed node through the normal recovery flow
+	// (sealed local recovery where available, suffix state transfer).
+	ActRecover ChaosAction = "recover"
+	// ActPartition cuts the network between side A (the listed nodes) and
+	// everyone else. One partition may be active at a time.
+	ActPartition ChaosAction = "partition"
+	// ActHeal removes the active partition.
+	ActHeal ChaosAction = "heal"
+	// ActDelay adds base+jitter latency to a node's links (node form) or to
+	// one directed link (from->to form).
+	ActDelay ChaosAction = "delay"
+	// ActClearDelay removes a previously installed delay.
+	ActClearDelay ChaosAction = "clear-delay"
+	// ActSkew models a clock running Offset behind its peers: every message
+	// the node sends arrives Offset late (outbound-only delay), while it
+	// still hears the world on time.
+	ActSkew ChaosAction = "skew"
+	// ActClearSkew removes a previously installed skew.
+	ActClearSkew ChaosAction = "clear-skew"
+)
+
+// ChaosEvent is one timestamped fault in a schedule. At is the offset from
+// run start. Node targets may be literal ids ("n2") or the roles "leader" /
+// "follower", resolved against the live cluster when the event fires; a
+// role resolves once per run and is remembered, so "recover leader" repairs
+// the node "crash leader" actually crashed.
+type ChaosEvent struct {
+	At     time.Duration
+	Action ChaosAction
+	// Node is the crash/recover/skew target, or the node-form delay target.
+	Node string
+	// From, To are the link-form delay endpoints (exclusive with Node).
+	From, To string
+	// SideA lists partition side A; unlisted nodes are implicitly side B.
+	SideA []string
+	// Base, Jitter parameterise a delay event.
+	Base, Jitter time.Duration
+	// Offset parameterises a skew event.
+	Offset time.Duration
+}
+
+// delayKey is the canonical target spelling for delay/clear-delay pairing.
+func (e ChaosEvent) delayKey() string {
+	if e.Node != "" {
+		return e.Node
+	}
+	return e.From + "->" + e.To
+}
+
+// String renders the event in the schedule text format. Parse of the result
+// yields the event back (the golden round-trip the parser tests pin).
+func (e ChaosEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%s %s", e.At, e.Action)
+	switch e.Action {
+	case ActCrash, ActRecover, ActClearSkew:
+		b.WriteString(" " + e.Node)
+	case ActPartition:
+		b.WriteString(" " + strings.Join(e.SideA, ","))
+	case ActHeal:
+	case ActDelay:
+		fmt.Fprintf(&b, " %s %s", e.delayKey(), e.Base)
+		if e.Jitter > 0 {
+			fmt.Fprintf(&b, " jitter %s", e.Jitter)
+		}
+	case ActClearDelay:
+		b.WriteString(" " + e.delayKey())
+	case ActSkew:
+		fmt.Fprintf(&b, " %s %s", e.Node, e.Offset)
+	}
+	return b.String()
+}
+
+// ChaosSchedule is an ordered list of timestamped fault events, executed
+// against a ChaosTarget during an open-loop run.
+type ChaosSchedule struct {
+	Events []ChaosEvent
+}
+
+// String renders the schedule in the text format, one event per line.
+func (s *ChaosSchedule) String() string {
+	var b strings.Builder
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseChaosSchedule parses the line-oriented schedule text:
+//
+//	# comments and blank lines are ignored
+//	@200ms crash follower
+//	@400ms partition n1,n2
+//	@600ms heal
+//	@800ms delay leader 50ms jitter 10ms
+//	@1s    delay n1->n2 20ms
+//	@1.2s  clear-delay leader
+//	@1.4s  skew n3 200ms
+//	@1.6s  clear-skew n3
+//	@1.8s  recover follower
+//
+// Each line is "@<offset> <action> [args]" with offsets in Go duration
+// syntax. The parsed schedule is validated: offsets must be non-decreasing
+// and events must pair sensibly (no crash of an already-crashed target, no
+// overlapping partitions, no heal/clear without a matching install).
+func ParseChaosSchedule(text string) (*ChaosSchedule, error) {
+	s := &ChaosSchedule{}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseChaosLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("chaos schedule line %d: %w", i+1, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseChaosLine(line string) (ChaosEvent, error) {
+	var ev ChaosEvent
+	f := strings.Fields(line)
+	if !strings.HasPrefix(f[0], "@") {
+		return ev, fmt.Errorf("event must start with @<offset>, got %q", f[0])
+	}
+	at, err := time.ParseDuration(strings.TrimPrefix(f[0], "@"))
+	if err != nil {
+		return ev, fmt.Errorf("bad offset %q: %w", f[0], err)
+	}
+	if at < 0 {
+		return ev, fmt.Errorf("negative offset %s", at)
+	}
+	if len(f) < 2 {
+		return ev, fmt.Errorf("missing action after %q", f[0])
+	}
+	ev.At, ev.Action = at, ChaosAction(f[1])
+	args := f[2:]
+	needArgs := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d argument(s), got %d", ev.Action, n, len(args))
+		}
+		return nil
+	}
+	parseDelayTarget := func(arg string) error {
+		if from, to, ok := strings.Cut(arg, "->"); ok {
+			if from == "" || to == "" || from == to {
+				return fmt.Errorf("bad link %q (want from->to, distinct and non-empty)", arg)
+			}
+			ev.From, ev.To = from, to
+			return nil
+		}
+		ev.Node = arg
+		return nil
+	}
+	switch ev.Action {
+	case ActCrash, ActRecover, ActClearSkew:
+		if err := needArgs(1); err != nil {
+			return ev, err
+		}
+		ev.Node = args[0]
+	case ActHeal:
+		if err := needArgs(0); err != nil {
+			return ev, err
+		}
+	case ActPartition:
+		if err := needArgs(1); err != nil {
+			return ev, err
+		}
+		seen := make(map[string]bool)
+		for _, m := range strings.Split(args[0], ",") {
+			if m == "" {
+				return ev, fmt.Errorf("empty member in partition side %q", args[0])
+			}
+			if seen[m] {
+				return ev, fmt.Errorf("duplicate member %q in partition side", m)
+			}
+			seen[m] = true
+			ev.SideA = append(ev.SideA, m)
+		}
+	case ActDelay:
+		if len(args) != 2 && len(args) != 4 {
+			return ev, fmt.Errorf("delay takes <target> <base> [jitter <j>], got %d argument(s)", len(args))
+		}
+		if err := parseDelayTarget(args[0]); err != nil {
+			return ev, err
+		}
+		if ev.Base, err = time.ParseDuration(args[1]); err != nil {
+			return ev, fmt.Errorf("bad delay base %q: %w", args[1], err)
+		}
+		if ev.Base <= 0 {
+			return ev, fmt.Errorf("delay base must be positive, got %s", ev.Base)
+		}
+		if len(args) == 4 {
+			if args[2] != "jitter" {
+				return ev, fmt.Errorf("expected %q, got %q", "jitter", args[2])
+			}
+			if ev.Jitter, err = time.ParseDuration(args[3]); err != nil {
+				return ev, fmt.Errorf("bad jitter %q: %w", args[3], err)
+			}
+			if ev.Jitter <= 0 {
+				return ev, fmt.Errorf("jitter must be positive, got %s", ev.Jitter)
+			}
+		}
+	case ActClearDelay:
+		if err := needArgs(1); err != nil {
+			return ev, err
+		}
+		if err := parseDelayTarget(args[0]); err != nil {
+			return ev, err
+		}
+	case ActSkew:
+		if err := needArgs(2); err != nil {
+			return ev, err
+		}
+		ev.Node = args[0]
+		if ev.Offset, err = time.ParseDuration(args[1]); err != nil {
+			return ev, fmt.Errorf("bad skew offset %q: %w", args[1], err)
+		}
+		if ev.Offset <= 0 {
+			return ev, fmt.Errorf("skew offset must be positive, got %s", ev.Offset)
+		}
+	default:
+		return ev, fmt.Errorf("unknown action %q", f[1])
+	}
+	return ev, nil
+}
+
+// Validate checks the schedule's static coherence: non-decreasing offsets
+// and sensible event pairing. Targets are compared as written ("leader" is
+// one target regardless of which node it resolves to at run time).
+func (s *ChaosSchedule) Validate() error {
+	var (
+		prev      time.Duration
+		partition bool
+		crashed   = make(map[string]bool)
+		delays    = make(map[string]bool)
+		skews     = make(map[string]bool)
+	)
+	for i, e := range s.Events {
+		evErr := func(format string, args ...any) error {
+			return fmt.Errorf("chaos event %d (@%s %s): %s", i+1, e.At, e.Action, fmt.Sprintf(format, args...))
+		}
+		if e.At < prev {
+			return evErr("offsets must be non-decreasing (%s after %s)", e.At, prev)
+		}
+		prev = e.At
+		switch e.Action {
+		case ActCrash:
+			if crashed[e.Node] {
+				return evErr("%s is already crashed", e.Node)
+			}
+			crashed[e.Node] = true
+		case ActRecover:
+			if !crashed[e.Node] {
+				return evErr("%s is not crashed", e.Node)
+			}
+			delete(crashed, e.Node)
+		case ActPartition:
+			if partition {
+				return evErr("a partition is already active (heal first)")
+			}
+			partition = true
+		case ActHeal:
+			if !partition {
+				return evErr("no partition is active")
+			}
+			partition = false
+		case ActDelay:
+			if k := e.delayKey(); delays[k] {
+				return evErr("a delay on %s is already active (clear-delay first)", k)
+			} else {
+				delays[k] = true
+			}
+		case ActClearDelay:
+			k := e.delayKey()
+			if !delays[k] {
+				return evErr("no delay on %s is active", k)
+			}
+			delete(delays, k)
+		case ActSkew:
+			if skews[e.Node] {
+				return evErr("a skew on %s is already active (clear-skew first)", e.Node)
+			}
+			skews[e.Node] = true
+		case ActClearSkew:
+			if !skews[e.Node] {
+				return evErr("no skew on %s is active", e.Node)
+			}
+			delete(skews, e.Node)
+		}
+	}
+	return nil
+}
+
+// ChaosTarget is the surface a schedule executes against. harness.Cluster
+// implements it; the indirection keeps loadgen free of a harness import (and
+// therefore usable from the harness itself without a cycle).
+type ChaosTarget interface {
+	// ResolveNode maps a schedule target — a literal node id, "leader", or
+	// "follower" — to a live node id.
+	ResolveNode(target string) (string, error)
+	// Crash fail-stops the node.
+	Crash(id string)
+	// Repair recovers a crashed node through the normal recovery flow.
+	Repair(id string) error
+	// Partition cuts side A (the listed nodes) off from everyone else,
+	// replacing any previous cut.
+	Partition(sideA []string)
+	// Heal removes the active partition.
+	Heal()
+	// SetLinkDelay delays the directed link from->to (base <= 0 clears).
+	SetLinkDelay(from, to string, base, jitter time.Duration)
+	// SetNodeDelay delays every link of node (base <= 0 clears).
+	SetNodeDelay(node string, base, jitter time.Duration)
+	// SetClockSkew makes node's clock run offset behind its peers
+	// (outbound-only delay; offset <= 0 clears).
+	SetClockSkew(node string, offset time.Duration)
+	// ChaosTrace stamps an executed event into the flight recorder(s).
+	ChaosTrace(kind, detail string)
+}
+
+// ExecutedEvent records one schedule entry's execution during a run.
+type ExecutedEvent struct {
+	Event ChaosEvent
+	// Detail is the resolved argument string ("leader" → the actual node
+	// id), identical across replays of the same schedule on an identically
+	// seeded cluster — the determinism the replay test pins.
+	Detail string
+	// Offset is the wall offset from run start when the event executed.
+	Offset time.Duration
+	// Err is the execution error, if any (also ErrEventBeyondRun for events
+	// scheduled past the run's duration, which are never executed).
+	Err error
+}
+
+// ErrEventBeyondRun marks schedule events timestamped at or past the run
+// duration: they are reported, not executed.
+var ErrEventBeyondRun = fmt.Errorf("loadgen: chaos event scheduled beyond run duration")
+
+// runChaos executes the schedule against target, firing each event at
+// start+At. Events at or past `until` are not executed (reported with
+// ErrEventBeyondRun); everything earlier runs to completion even if the
+// drivers drain their arrivals early, so replays of one schedule always
+// execute the same event list.
+func runChaos(s *ChaosSchedule, target ChaosTarget, start time.Time, until time.Duration) []ExecutedEvent {
+	memo := make(map[string]string)
+	resolve := func(t string) (string, error) {
+		if id, ok := memo[t]; ok {
+			return id, nil
+		}
+		id, err := target.ResolveNode(t)
+		if err == nil {
+			memo[t] = id
+		}
+		return id, err
+	}
+	out := make([]ExecutedEvent, 0, len(s.Events))
+	for _, e := range s.Events {
+		if e.At >= until {
+			out = append(out, ExecutedEvent{Event: e, Err: ErrEventBeyondRun})
+			continue
+		}
+		if wait := time.Until(start.Add(e.At)); wait > 0 {
+			time.Sleep(wait)
+		}
+		ex := execChaosEvent(target, resolve, e)
+		ex.Offset = time.Since(start)
+		out = append(out, ex)
+	}
+	return out
+}
+
+func execChaosEvent(target ChaosTarget, resolve func(string) (string, error), e ChaosEvent) ExecutedEvent {
+	ex := ExecutedEvent{Event: e}
+	switch e.Action {
+	case ActCrash:
+		if id, err := resolve(e.Node); err != nil {
+			ex.Err = err
+		} else {
+			ex.Detail = id
+			target.Crash(id)
+		}
+	case ActRecover:
+		if id, err := resolve(e.Node); err != nil {
+			ex.Err = err
+		} else {
+			ex.Detail = id
+			ex.Err = target.Repair(id)
+		}
+	case ActPartition:
+		side := make([]string, len(e.SideA))
+		for i, m := range e.SideA {
+			id, err := resolve(m)
+			if err != nil {
+				ex.Err = err
+				break
+			}
+			side[i] = id
+		}
+		if ex.Err == nil {
+			ex.Detail = strings.Join(side, ",")
+			target.Partition(side)
+		}
+	case ActHeal:
+		target.Heal()
+	case ActDelay, ActClearDelay:
+		base, jitter := e.Base, e.Jitter
+		if e.Action == ActClearDelay {
+			base, jitter = 0, 0
+		}
+		if e.Node != "" {
+			if id, err := resolve(e.Node); err != nil {
+				ex.Err = err
+			} else {
+				ex.Detail = id
+				target.SetNodeDelay(id, base, jitter)
+			}
+		} else {
+			from, err := resolve(e.From)
+			if err != nil {
+				ex.Err = err
+				break
+			}
+			to, err := resolve(e.To)
+			if err != nil {
+				ex.Err = err
+				break
+			}
+			ex.Detail = from + "->" + to
+			target.SetLinkDelay(from, to, base, jitter)
+		}
+		if ex.Err == nil && e.Action == ActDelay {
+			ex.Detail += " " + e.Base.String()
+		}
+	case ActSkew, ActClearSkew:
+		offset := e.Offset
+		if e.Action == ActClearSkew {
+			offset = 0
+		}
+		if id, err := resolve(e.Node); err != nil {
+			ex.Err = err
+		} else {
+			ex.Detail = id
+			if e.Action == ActSkew {
+				ex.Detail += " " + offset.String()
+			}
+			target.SetClockSkew(id, offset)
+		}
+	}
+	if ex.Err != nil {
+		target.ChaosTrace("chaos-error", string(e.Action)+": "+ex.Err.Error())
+	} else {
+		target.ChaosTrace("chaos-"+string(e.Action), ex.Detail)
+	}
+	return ex
+}

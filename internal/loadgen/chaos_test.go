@@ -1,0 +1,341 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goldenSchedule exercises every action, both delay target forms, comments,
+// blank lines, and ragged whitespace.
+const goldenSchedule = `
+# warm-up is quiet; first fault fires at 200ms
+@200ms   crash follower
+
+@400ms partition n1,n2
+@600ms heal
+@800ms delay leader 50ms jitter 10ms
+@1s    delay n1->n2 20ms
+@1.2s  clear-delay leader
+@1.25s clear-delay n1->n2
+@1.4s  skew n3 200ms
+@1.6s  clear-skew n3
+@1.8s  recover follower
+`
+
+func TestParseChaosScheduleGolden(t *testing.T) {
+	s, err := ParseChaosSchedule(goldenSchedule)
+	if err != nil {
+		t.Fatalf("ParseChaosSchedule: %v", err)
+	}
+	want := []ChaosEvent{
+		{At: 200 * time.Millisecond, Action: ActCrash, Node: "follower"},
+		{At: 400 * time.Millisecond, Action: ActPartition, SideA: []string{"n1", "n2"}},
+		{At: 600 * time.Millisecond, Action: ActHeal},
+		{At: 800 * time.Millisecond, Action: ActDelay, Node: "leader", Base: 50 * time.Millisecond, Jitter: 10 * time.Millisecond},
+		{At: time.Second, Action: ActDelay, From: "n1", To: "n2", Base: 20 * time.Millisecond},
+		{At: 1200 * time.Millisecond, Action: ActClearDelay, Node: "leader"},
+		{At: 1250 * time.Millisecond, Action: ActClearDelay, From: "n1", To: "n2"},
+		{At: 1400 * time.Millisecond, Action: ActSkew, Node: "n3", Offset: 200 * time.Millisecond},
+		{At: 1600 * time.Millisecond, Action: ActClearSkew, Node: "n3"},
+		{At: 1800 * time.Millisecond, Action: ActRecover, Node: "follower"},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("parsed events:\n%+v\nwant:\n%+v", s.Events, want)
+	}
+}
+
+// TestChaosScheduleRoundTrip pins the canonical form: parse → String →
+// reparse must yield the same events, and String of the reparse must be a
+// fixpoint. This is the property FuzzParseChaosSchedule hammers.
+func TestChaosScheduleRoundTrip(t *testing.T) {
+	s, err := ParseChaosSchedule(goldenSchedule)
+	if err != nil {
+		t.Fatalf("ParseChaosSchedule: %v", err)
+	}
+	canon := s.String()
+	s2, err := ParseChaosSchedule(canon)
+	if err != nil {
+		t.Fatalf("reparse of canonical form failed: %v\ncanonical text:\n%s", err, canon)
+	}
+	if !reflect.DeepEqual(s.Events, s2.Events) {
+		t.Fatalf("round-trip changed events:\n%+v\nvs\n%+v", s.Events, s2.Events)
+	}
+	if again := s2.String(); again != canon {
+		t.Fatalf("String not a fixpoint:\n%q\nvs\n%q", canon, again)
+	}
+}
+
+func TestParseChaosScheduleRejects(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"missing at-sign", "200ms crash n1", "must start with @"},
+		{"bad offset", "@banana crash n1", "bad offset"},
+		{"negative offset", "@-1s crash n1", "negative offset"},
+		{"missing action", "@200ms", "missing action"},
+		{"unknown action", "@200ms meteor n1", `unknown action "meteor"`},
+		{"crash missing arg", "@200ms crash", "takes 1 argument"},
+		{"crash extra arg", "@200ms crash n1 n2", "takes 1 argument"},
+		{"heal with arg", "@200ms heal n1", "takes 0 argument"},
+		{"partition empty member", "@200ms partition n1,,n2", "empty member"},
+		{"partition duplicate member", "@200ms partition n1,n1", "duplicate member"},
+		{"delay missing base", "@200ms delay n1", "delay takes"},
+		{"delay bad base", "@200ms delay n1 soon", "bad delay base"},
+		{"delay zero base", "@200ms delay n1 0s", "must be positive"},
+		{"delay bad jitter keyword", "@200ms delay n1 10ms wobble 5ms", `expected "jitter"`},
+		{"delay zero jitter", "@200ms delay n1 10ms jitter 0s", "jitter must be positive"},
+		{"delay self link", "@200ms delay n1->n1 10ms", "bad link"},
+		{"delay empty link end", "@200ms delay n1-> 10ms", "bad link"},
+		{"skew missing offset", "@200ms skew n1", "takes 2 argument"},
+		{"skew zero offset", "@200ms skew n1 0s", "must be positive"},
+		{"decreasing offsets", "@400ms crash n1\n@200ms crash n2", "non-decreasing"},
+		{"heal without partition", "@200ms heal", "no partition is active"},
+		{"double partition", "@200ms partition n1\n@400ms partition n2", "already active"},
+		{"crash while crashed", "@200ms crash n1\n@400ms crash n1", "already crashed"},
+		{"recover uncrashed", "@200ms recover n1", "not crashed"},
+		{"double delay same target", "@200ms delay n1 10ms\n@400ms delay n1 20ms", "already active"},
+		{"clear-delay without delay", "@200ms clear-delay n1", "no delay on n1"},
+		{"clear-delay wrong form", "@200ms delay n1 10ms\n@400ms clear-delay n1->n2", "no delay on n1->n2"},
+		{"double skew", "@200ms skew n1 10ms\n@400ms skew n1 20ms", "already active"},
+		{"clear-skew without skew", "@200ms clear-skew n1", "no skew on n1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseChaosSchedule(tc.text)
+			if err == nil {
+				t.Fatalf("parse of %q succeeded, want error containing %q", tc.text, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// fakeTarget implements ChaosTarget with an append-only call log, a scripted
+// role table, and no real cluster. The mutex matters: runChaos runs in the
+// caller's goroutine here, but harness runs it concurrently with traces.
+type fakeTarget struct {
+	mu    sync.Mutex
+	calls []string
+	trace []string
+	// roles maps a role to the id it resolves to *on first ask*; resolveCount
+	// tracks asks so tests can prove memoization.
+	roles        map[string]string
+	resolveCount map[string]int
+	failResolve  map[string]bool
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{
+		roles:        map[string]string{"leader": "n1", "follower": "n2"},
+		resolveCount: make(map[string]int),
+		failResolve:  make(map[string]bool),
+	}
+}
+
+func (f *fakeTarget) log(format string, args ...any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeTarget) ResolveNode(target string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.resolveCount[target]++
+	if f.failResolve[target] {
+		return "", fmt.Errorf("no such node %q", target)
+	}
+	if id, ok := f.roles[target]; ok {
+		// Shift the role on every ask: without memoization in the executor,
+		// "recover leader" would repair a different node than "crash leader".
+		f.roles[target] = id + "'"
+		return id, nil
+	}
+	return target, nil
+}
+
+func (f *fakeTarget) Crash(id string)          { f.log("crash %s", id) }
+func (f *fakeTarget) Repair(id string) error   { f.log("repair %s", id); return nil }
+func (f *fakeTarget) Partition(sideA []string) { f.log("partition %s", strings.Join(sideA, ",")) }
+func (f *fakeTarget) Heal()                    { f.log("heal") }
+func (f *fakeTarget) SetLinkDelay(from, to string, base, jitter time.Duration) {
+	f.log("link-delay %s->%s %s/%s", from, to, base, jitter)
+}
+func (f *fakeTarget) SetNodeDelay(node string, base, jitter time.Duration) {
+	f.log("node-delay %s %s/%s", node, base, jitter)
+}
+func (f *fakeTarget) SetClockSkew(node string, offset time.Duration) {
+	f.log("skew %s %s", node, offset)
+}
+func (f *fakeTarget) ChaosTrace(kind, detail string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trace = append(f.trace, kind+" "+detail)
+}
+
+func mustParse(t *testing.T, text string) *ChaosSchedule {
+	t.Helper()
+	s, err := ParseChaosSchedule(text)
+	if err != nil {
+		t.Fatalf("ParseChaosSchedule: %v", err)
+	}
+	return s
+}
+
+// TestRunChaosExecutesAndTraces drives a full schedule (ms-scale offsets so
+// the real-time sleeps stay cheap) against the fake and checks each action
+// maps to the right target call with the right resolved arguments, and that
+// every executed event leaves a chaos-<action> trace.
+func TestRunChaosExecutesAndTraces(t *testing.T) {
+	s := mustParse(t, `
+@1ms crash follower
+@2ms partition leader,n3
+@3ms heal
+@4ms delay n3 10ms jitter 2ms
+@5ms delay n3->n4 7ms
+@6ms clear-delay n3
+@7ms clear-delay n3->n4
+@8ms skew n4 30ms
+@9ms clear-skew n4
+@10ms recover follower
+`)
+	f := newFakeTarget()
+	exec := runChaos(s, f, time.Now(), time.Second)
+	if len(exec) != len(s.Events) {
+		t.Fatalf("executed %d of %d events", len(exec), len(s.Events))
+	}
+	for i, ex := range exec {
+		if ex.Err != nil {
+			t.Fatalf("event %d (%s) failed: %v", i, ex.Event, ex.Err)
+		}
+		if ex.Offset < ex.Event.At {
+			t.Errorf("event %d executed at offset %s, before its scheduled %s", i, ex.Offset, ex.Event.At)
+		}
+	}
+	wantCalls := []string{
+		"crash n2",
+		"partition n1,n3",
+		"heal",
+		"node-delay n3 10ms/2ms",
+		"link-delay n3->n4 7ms/0s",
+		"node-delay n3 0s/0s",
+		"link-delay n3->n4 0s/0s",
+		"skew n4 30ms",
+		"skew n4 0s",
+		"repair n2",
+	}
+	if !reflect.DeepEqual(f.calls, wantCalls) {
+		t.Errorf("target calls:\n%q\nwant:\n%q", f.calls, wantCalls)
+	}
+	wantTrace := []string{
+		"chaos-crash n2",
+		"chaos-partition n1,n3",
+		"chaos-heal ",
+		"chaos-delay n3 10ms",
+		"chaos-delay n3->n4 7ms",
+		"chaos-clear-delay n3",
+		"chaos-clear-delay n3->n4",
+		"chaos-skew n4 30ms",
+		"chaos-clear-skew n4",
+		"chaos-recover n2",
+	}
+	if !reflect.DeepEqual(f.trace, wantTrace) {
+		t.Errorf("trace:\n%q\nwant:\n%q", f.trace, wantTrace)
+	}
+}
+
+// TestRunChaosMemoizesRoles: the fake shifts what "follower" resolves to on
+// every ResolveNode call, so only executor-side memoization makes "recover
+// follower" repair the node "crash follower" crashed.
+func TestRunChaosMemoizesRoles(t *testing.T) {
+	s := mustParse(t, "@1ms crash follower\n@2ms recover follower")
+	f := newFakeTarget()
+	runChaos(s, f, time.Now(), time.Second)
+	want := []string{"crash n2", "repair n2"}
+	if !reflect.DeepEqual(f.calls, want) {
+		t.Fatalf("calls %q, want %q (role must resolve once per run)", f.calls, want)
+	}
+	if n := f.resolveCount["follower"]; n != 1 {
+		t.Fatalf("ResolveNode(follower) called %d times, want 1", n)
+	}
+}
+
+// TestRunChaosReplayDeterministic: the same schedule against fresh identical
+// targets produces identical call logs, traces, and Details.
+func TestRunChaosReplayDeterministic(t *testing.T) {
+	s := mustParse(t, `
+@1ms crash follower
+@2ms delay leader 10ms
+@3ms clear-delay leader
+@4ms recover follower
+`)
+	var logs [][]string
+	var traces [][]string
+	var details [][]string
+	for run := 0; run < 2; run++ {
+		f := newFakeTarget()
+		exec := runChaos(s, f, time.Now(), time.Second)
+		var d []string
+		for _, ex := range exec {
+			if ex.Err != nil {
+				t.Fatalf("run %d: %v", run, ex.Err)
+			}
+			d = append(d, ex.Detail)
+		}
+		logs, traces, details = append(logs, f.calls), append(traces, f.trace), append(details, d)
+	}
+	if !reflect.DeepEqual(logs[0], logs[1]) {
+		t.Errorf("replay call logs diverged:\n%q\nvs\n%q", logs[0], logs[1])
+	}
+	if !reflect.DeepEqual(traces[0], traces[1]) {
+		t.Errorf("replay traces diverged:\n%q\nvs\n%q", traces[0], traces[1])
+	}
+	if !reflect.DeepEqual(details[0], details[1]) {
+		t.Errorf("replay details diverged:\n%q\nvs\n%q", details[0], details[1])
+	}
+}
+
+// TestRunChaosBeyondRun: events at or past `until` are reported with
+// ErrEventBeyondRun and never reach the target.
+func TestRunChaosBeyondRun(t *testing.T) {
+	s := mustParse(t, "@1ms crash n1\n@50ms recover n1")
+	f := newFakeTarget()
+	exec := runChaos(s, f, time.Now(), 10*time.Millisecond)
+	if len(exec) != 2 {
+		t.Fatalf("got %d executed events, want 2", len(exec))
+	}
+	if exec[0].Err != nil {
+		t.Fatalf("in-window event failed: %v", exec[0].Err)
+	}
+	if !errors.Is(exec[1].Err, ErrEventBeyondRun) {
+		t.Fatalf("out-of-window event err = %v, want ErrEventBeyondRun", exec[1].Err)
+	}
+	if want := []string{"crash n1"}; !reflect.DeepEqual(f.calls, want) {
+		t.Fatalf("calls %q, want %q (beyond-run event must not execute)", f.calls, want)
+	}
+}
+
+// TestRunChaosResolveErrorTraced: a resolution failure is reported on the
+// ExecutedEvent, stamped as chaos-error, and does not call the target action.
+func TestRunChaosResolveErrorTraced(t *testing.T) {
+	s := mustParse(t, "@1ms crash ghost")
+	f := newFakeTarget()
+	f.failResolve["ghost"] = true
+	exec := runChaos(s, f, time.Now(), time.Second)
+	if exec[0].Err == nil {
+		t.Fatal("expected a resolve error")
+	}
+	if len(f.calls) != 0 {
+		t.Fatalf("target called despite resolve failure: %q", f.calls)
+	}
+	if len(f.trace) != 1 || !strings.HasPrefix(f.trace[0], "chaos-error ") {
+		t.Fatalf("trace %q, want one chaos-error entry", f.trace)
+	}
+}

@@ -1,0 +1,47 @@
+// Package loadgen is the open-loop load harness: Poisson arrivals at a
+// fixed offered rate, coordinated-omission-free latency accounting, and
+// declarative chaos schedules executed mid-run.
+//
+// # Why open loop
+//
+// A closed-loop driver (N clients, each issuing its next op when the last
+// completes) lets the system set the pace: when a replica stalls, the
+// clients stall with it, the ops that *would* have arrived during the stall
+// are never issued, and the recorded percentiles silently drop exactly the
+// samples that hurt. That measurement error is coordinated omission. The
+// open-loop driver instead fixes the entire arrival timeline up front —
+// exponential inter-arrival gaps at the target rate, wrk2-style — and
+// charges every operation from its *intended* start. An arrival the pool
+// could only claim 400ms late records >=400ms, whether or not the wire part
+// was fast, so a stall surfaces as the tail it really is. Both ledgers are
+// kept: MetricIntendedRTT (intended-start→completion) and the existing
+// client RTT histogram (send→completion); their divergence is the size of
+// the omission a closed loop would have committed.
+//
+// # Sessions over pooled connections
+//
+// Offered load is modeled as 10k-100k logical client sessions, multiplexed
+// over a small pool of real core.Client connections (one per worker
+// goroutine — the client is single-goroutine by contract). The aggregate
+// arrival stream is one Poisson process with uniformly drawn session
+// labels, which by superposition is statistically identical to running the
+// sessions as independent Poisson sources — at four bytes per arrival
+// instead of one generator state per session.
+//
+// # Chaos schedules
+//
+// A ChaosSchedule is a timestamped list of fault events — crash, recover,
+// partition, heal, link delay, clock skew — in a line-oriented text format
+// (ParseChaosSchedule) or built directly as a struct. During a run the
+// executor fires each event at its offset against a ChaosTarget
+// (harness.Cluster implements it), resolving role targets like "leader"
+// once per run, and stamps every event into the flight-recorder rings so a
+// latency spike in the histograms lines up with the fault that caused it.
+// Clock skew is modeled as outbound-only link delay: a clock running D
+// behind means everything the node says arrives D late.
+//
+// cmd/recipe-bench wires this together as `-experiment openloop`
+// (-rate/-sessions/-duration/-chaos), reporting p50/p99/p999 at fixed
+// arrival rates, steady and under chaos, with offered vs achieved rate on
+// every line.
+package loadgen

@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseChaosSchedule mirrors FuzzDecodeWire: throw arbitrary text at the
+// parser and pin the invariants that must hold regardless of input —
+// no panic, and for every accepted schedule the canonical String() form must
+// reparse to the same events with String() as a fixpoint. That property is
+// what lets `recipe-bench -chaos FILE` echo a normalized schedule into run
+// artifacts and trust that re-running from the echo replays the same faults.
+func FuzzParseChaosSchedule(f *testing.F) {
+	f.Add(goldenSchedule)
+	f.Add("@200ms crash follower\n@900ms recover follower\n")
+	f.Add("@0s partition n1,n2\n@1ms heal\n")
+	f.Add("@1ms delay n1->n2 5ms jitter 1ms\n@2ms clear-delay n1->n2\n")
+	f.Add("@1ms skew n3 250ms\n@2ms clear-skew n3\n")
+	// Malformed seeds steer the mutator toward the rejection paths.
+	f.Add("@banana crash n1")
+	f.Add("crash n1")
+	f.Add("@1s delay n1")
+	f.Add("@1s partition n1,n1")
+	f.Add("@2s crash n1\n@1s crash n2")
+	f.Add("# comment only\n\n")
+	f.Add("@1ms delay a->a 1ms")
+	f.Add("@1ms skew n1 -5ms")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseChaosSchedule(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseChaosSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %q", err, text, canon)
+		}
+		if !reflect.DeepEqual(s.Events, s2.Events) {
+			t.Fatalf("round-trip changed events\ninput: %q\nfirst: %+v\nsecond: %+v", text, s.Events, s2.Events)
+		}
+		if again := s2.String(); again != canon {
+			t.Fatalf("String not a fixpoint\ninput: %q\nfirst: %q\nsecond: %q", text, canon, again)
+		}
+	})
+}

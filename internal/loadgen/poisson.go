@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"recipe/internal/workload"
+)
+
+// arrival is one pre-generated intended operation: when it should start
+// (offset from run start), which logical session issues it, and what it does.
+type arrival struct {
+	at      time.Duration
+	session int32
+	op      workload.Op
+}
+
+// maxArrivalsDefault caps the pre-generated schedule. Each arrival is ~56
+// bytes plus its key string, so the default bounds schedule memory at a few
+// hundred MB — far past any rate x duration the benches use, while still
+// failing loudly instead of OOMing on a typo'd rate.
+const maxArrivalsDefault = 4 << 20
+
+// buildSchedule pre-generates the full Poisson arrival timeline for the run:
+// exponential inter-arrival gaps at the target rate, each arrival labeled
+// with a uniformly drawn session id and the next operation of the workload
+// stream. Generating up front (wrk2-style) is what makes the driver
+// open-loop: an arrival's intended start time is fixed before the system
+// under test gets any say, so a stall shows up as arrivals executed late
+// rather than as arrivals never generated.
+//
+// One aggregate stream with uniform session labels is statistically
+// identical to `sessions` independent per-session Poisson sources at
+// rate/sessions each (superposition), so 100k logical sessions cost four
+// bytes per arrival instead of 100k generator states.
+//
+// The ops' value buffers alias the generator's shared value buffer; it is
+// written once at generator construction and never mutated, so retaining it
+// across the schedule is safe.
+func buildSchedule(rate float64, d time.Duration, sessions int, gen *workload.Generator, rng *rand.Rand, maxArrivals int) ([]arrival, error) {
+	if maxArrivals <= 0 {
+		maxArrivals = maxArrivalsDefault
+	}
+	expected := rate * d.Seconds()
+	if expected > float64(maxArrivals) {
+		return nil, fmt.Errorf("loadgen: %g ops/s for %s implies ~%.0f arrivals, over the %d cap — lower the rate, shorten the run, or raise MaxArrivals", rate, d, expected, maxArrivals)
+	}
+	// Headroom past the mean: a Poisson count's spread is sqrt(mean).
+	sched := make([]arrival, 0, int(expected+6*math.Sqrt(expected))+16)
+	gapScale := float64(time.Second) / rate
+	var t time.Duration
+	for {
+		t += time.Duration(rng.ExpFloat64() * gapScale)
+		if t >= d {
+			return sched, nil
+		}
+		if len(sched) >= maxArrivals {
+			return nil, fmt.Errorf("loadgen: arrival schedule hit the %d cap before %s elapsed", maxArrivals, d)
+		}
+		sched = append(sched, arrival{at: t, session: int32(rng.Intn(sessions)), op: gen.Next()})
+	}
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"recipe/internal/workload"
+)
+
+func buildTestSchedule(t *testing.T, rate float64, d time.Duration, sessions int, seed int64) []arrival {
+	t.Helper()
+	gen := workload.New(workload.Config{Keys: 64, ReadRatio: 0.9, Seed: seed})
+	sched, err := buildSchedule(rate, d, sessions, gen, rand.New(rand.NewSource(seed+1)), 0)
+	if err != nil {
+		t.Fatalf("buildSchedule: %v", err)
+	}
+	return sched
+}
+
+// TestPoissonRateAccuracy pins the generator's realized rate: over an
+// expected 1e6 arrivals the count must land within ±2% of rate*duration
+// (a 20-sigma corridor for a Poisson count, so only a generator bug — not
+// sampling noise — can fail it), and every arrival must fall in [0, d).
+func TestPoissonRateAccuracy(t *testing.T) {
+	const rate, d = 1e6, time.Second
+	sched := buildTestSchedule(t, rate, d, 10_000, 42)
+	want := rate * d.Seconds()
+	if got := float64(len(sched)); math.Abs(got-want) > 0.02*want {
+		t.Fatalf("realized %d arrivals for expected %.0f: off by %.2f%%, want within 2%%",
+			len(sched), want, 100*math.Abs(got-want)/want)
+	}
+	var prev time.Duration
+	for i, a := range sched {
+		if a.at < prev {
+			t.Fatalf("arrival %d at %s precedes arrival %d at %s", i, a.at, i-1, prev)
+		}
+		if a.at >= d {
+			t.Fatalf("arrival %d at %s past the %s window", i, a.at, d)
+		}
+		prev = a.at
+	}
+}
+
+// TestPoissonInterArrivalShape checks the gaps actually look exponential,
+// not merely correct in mean: an exponential's standard deviation equals
+// its mean (CV = 1), and the fraction of gaps exceeding the mean is 1/e.
+// A shuffled-constant or uniform-gap generator passes a rate check but
+// fails both of these.
+func TestPoissonInterArrivalShape(t *testing.T) {
+	const rate, d = 200_000, time.Second
+	sched := buildTestSchedule(t, rate, d, 10_000, 7)
+	gaps := make([]float64, len(sched))
+	var prev time.Duration
+	for i, a := range sched {
+		gaps[i] = float64(a.at - prev)
+		prev = a.at
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	var sq float64
+	aboveMean := 0
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+		if g > mean {
+			aboveMean++
+		}
+	}
+	cv := math.Sqrt(sq/float64(len(gaps))) / mean
+	if cv < 0.95 || cv > 1.05 {
+		t.Errorf("inter-arrival coefficient of variation = %.3f, want ~1 (exponential)", cv)
+	}
+	frac := float64(aboveMean) / float64(len(gaps))
+	if want := 1 / math.E; math.Abs(frac-want) > 0.01 {
+		t.Errorf("fraction of gaps above the mean = %.4f, want ~%.4f (exponential tail)", frac, want)
+	}
+}
+
+// TestPoissonSessionLabels checks the session multiplexing: labels stay in
+// range and spread uniformly (each tenth of the session space draws ~10% of
+// the arrivals), which is what makes the one aggregate stream equivalent to
+// `sessions` independent per-session sources.
+func TestPoissonSessionLabels(t *testing.T) {
+	const sessions = 10_000
+	sched := buildTestSchedule(t, 500_000, time.Second, sessions, 11)
+	var bands [10]int
+	for _, a := range sched {
+		if a.session < 0 || a.session >= sessions {
+			t.Fatalf("session label %d out of [0, %d)", a.session, sessions)
+		}
+		bands[int(a.session)*10/sessions]++
+	}
+	for i, n := range bands {
+		frac := float64(n) / float64(len(sched))
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("session band %d drew %.1f%% of arrivals, want ~10%%", i, 100*frac)
+		}
+	}
+}
+
+// TestPoissonDeterministic: one seed, one schedule — byte-identical arrival
+// times, sessions, and ops across rebuilds; a different seed diverges.
+func TestPoissonDeterministic(t *testing.T) {
+	a := buildTestSchedule(t, 50_000, 100*time.Millisecond, 1000, 3)
+	b := buildTestSchedule(t, 50_000, 100*time.Millisecond, 1000, 3)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].at != b[i].at || a[i].session != b[i].session ||
+			a[i].op.Key != b[i].op.Key || a[i].op.Read != b[i].op.Read {
+			t.Fatalf("same seed diverged at arrival %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := buildTestSchedule(t, 50_000, 100*time.Millisecond, 1000, 4)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].at != c[i].at {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}
+
+// TestScheduleCapFailsLoudly: a rate x duration that cannot fit the cap is
+// an error up front, not an OOM or a silently truncated run.
+func TestScheduleCapFailsLoudly(t *testing.T) {
+	gen := workload.New(workload.Config{Keys: 64, Seed: 1})
+	if _, err := buildSchedule(1e9, time.Hour, 10, gen, rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Fatal("expected an error for a schedule over the arrival cap")
+	}
+	if _, err := buildSchedule(100, time.Second, 10, gen, rand.New(rand.NewSource(1)), 5); err == nil {
+		t.Fatal("expected an error when arrivals hit an explicit MaxArrivals cap")
+	}
+}

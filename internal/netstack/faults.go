@@ -152,6 +152,20 @@ func (p *Partition) Heal() {
 	p.on = false
 }
 
+// SetSides replaces side A's membership and activates the partition in one
+// step — the entry point for declarative chaos schedules, where each
+// partition event names its own cut. Addresses not listed are implicitly on
+// side B, as in NewPartition.
+func (p *Partition) SetSides(sideA ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sideA = make(map[string]bool, len(sideA))
+	for _, a := range sideA {
+		p.sideA[a] = true
+	}
+	p.on = true
+}
+
 // Apply implements Injector.
 func (p *Partition) Apply(pkt Packet) []Packet {
 	p.mu.Lock()
@@ -225,6 +239,7 @@ type LinkDelay struct {
 	rng     *rand.Rand
 	links   map[linkKey]delaySpec
 	nodes   map[string]delaySpec
+	out     map[string]delaySpec
 	deliver func(Packet)
 
 	// Delayed counts packets scheduled for late delivery (tests).
@@ -246,6 +261,7 @@ func NewLinkDelay(seed int64) *LinkDelay {
 		rng:   rand.New(rand.NewSource(seed)),
 		links: make(map[linkKey]delaySpec),
 		nodes: make(map[string]delaySpec),
+		out:   make(map[string]delaySpec),
 	}
 }
 
@@ -267,7 +283,7 @@ func (d *LinkDelay) SetLink(from, to string, base, jitter time.Duration) {
 	} else {
 		d.links[k] = delaySpec{base, jitter}
 	}
-	d.enabled.Store(len(d.links)+len(d.nodes) > 0)
+	d.enabled.Store(len(d.links)+len(d.nodes)+len(d.out) > 0)
 }
 
 // SetNode delays every packet to or from node (both directions of every one
@@ -281,7 +297,24 @@ func (d *LinkDelay) SetNode(node string, base, jitter time.Duration) {
 	} else {
 		d.nodes[node] = delaySpec{base, jitter}
 	}
-	d.enabled.Store(len(d.links)+len(d.nodes) > 0)
+	d.enabled.Store(len(d.links)+len(d.nodes)+len(d.out) > 0)
+}
+
+// SetNodeOut delays only the packets node *sends* (every outbound link, no
+// inbound effect) — the wire-observable shape of a clock running base behind
+// its peers: everything the node emits (acks, heartbeats, grants) arrives
+// base too late to be fresh evidence, while it still hears the world on
+// time. Chaos schedules use it for their clock-skew events. base <= 0
+// clears it.
+func (d *LinkDelay) SetNodeOut(node string, base, jitter time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if base <= 0 {
+		delete(d.out, node)
+	} else {
+		d.out[node] = delaySpec{base, jitter}
+	}
+	d.enabled.Store(len(d.links)+len(d.nodes)+len(d.out) > 0)
 }
 
 // Delayed returns how many packets have been scheduled for late delivery.
@@ -296,7 +329,9 @@ func (d *LinkDelay) Apply(p Packet) []Packet {
 	spec, ok := d.links[linkKey{p.From, p.To}]
 	if !ok {
 		if spec, ok = d.nodes[p.From]; !ok {
-			spec, ok = d.nodes[p.To]
+			if spec, ok = d.nodes[p.To]; !ok {
+				spec, ok = d.out[p.From]
+			}
 		}
 	}
 	var delay time.Duration

@@ -100,6 +100,50 @@ func TestLinkDelayNodeMatchesBothDirections(t *testing.T) {
 	}
 }
 
+func TestLinkDelayNodeOutMatchesOutboundOnly(t *testing.T) {
+	ld := NewLinkDelay(1)
+	f := NewFabric(WithInjector(ld))
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	// b's clock runs 20ms behind: everything b says arrives late...
+	ld.SetNodeOut("b", 20*time.Millisecond, 0)
+	if err := b.Send("a", []byte("late")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-a.Inbox():
+		t.Fatal("outbound packet from skewed node delivered synchronously")
+	default:
+	}
+	// ...but b still hears the world on time.
+	if err := a.Send("b", []byte("fresh")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+	default:
+		t.Fatal("inbound packet to skewed node must deliver synchronously")
+	}
+	select {
+	case <-a.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("skewed outbound packet never delivered")
+	}
+	if ld.Delayed() != 1 {
+		t.Errorf("Delayed() = %d, want 1", ld.Delayed())
+	}
+	// Clearing the skew restores the passthrough fast path.
+	ld.SetNodeOut("b", 0, 0)
+	if err := b.Send("a", []byte("fast")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-a.Inbox():
+	default:
+		t.Fatal("cleared skew must deliver synchronously")
+	}
+}
+
 func TestLinkDelayHookedViaSetInjectorAndChain(t *testing.T) {
 	ld := NewLinkDelay(1)
 	f := NewFabric()

@@ -197,6 +197,56 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+func TestPartitionSetSides(t *testing.T) {
+	part := NewPartition()
+	f := NewFabric(WithInjector(part))
+	a := register(t, f, "a")
+	b := register(t, f, "b")
+	c := register(t, f, "c")
+
+	// SetSides both names the cut and activates it in one step.
+	part.SetSides("a")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("packet crossed partition installed by SetSides")
+	default:
+	}
+	// Same-side traffic (b and c are both implicitly on side B) flows.
+	if err := b.Send("c", []byte("y")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if pkt := <-c.Inbox(); string(pkt.Data) != "y" {
+		t.Errorf("got %q on same side", pkt.Data)
+	}
+	// A later SetSides replaces the cut entirely: now {b} is side A, so
+	// a<->c flows and b is cut off.
+	part.SetSides("b")
+	if err := a.Send("c", []byte("z")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if pkt := <-c.Inbox(); string(pkt.Data) != "z" {
+		t.Errorf("got %q after SetSides replacement", pkt.Data)
+	}
+	if err := b.Send("c", []byte("w")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-c.Inbox():
+		t.Fatal("packet escaped the replaced partition")
+	default:
+	}
+	part.Heal()
+	if err := b.Send("c", []byte("healed")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if pkt := <-c.Inbox(); string(pkt.Data) != "healed" {
+		t.Errorf("got %q after heal", pkt.Data)
+	}
+}
+
 func TestIsolate(t *testing.T) {
 	iso := NewIsolate()
 	f := NewFabric(WithInjector(iso))

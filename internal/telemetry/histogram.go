@@ -161,6 +161,32 @@ func (s *Snapshot) Quantile(q float64) float64 {
 	return float64(s.Max)
 }
 
+// ShareAbove returns the fraction of observations at or above threshold
+// (ns), counting whole buckets from the first whose lower bound reaches the
+// threshold. Coordinated-omission tests use it to ask "what share of
+// intended arrivals ate the stall?" — a question quantiles answer awkwardly
+// when the share is far from a standard percentile. Returns 0 for an empty
+// snapshot.
+func (s *Snapshot) ShareAbove(threshold time.Duration) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var t uint64
+	if threshold > 0 {
+		t = uint64(threshold)
+	}
+	var above uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if low, _ := bucketBounds(i); low >= t {
+			above += c
+		}
+	}
+	return float64(above) / float64(s.Count)
+}
+
 // Mean returns the mean observation in nanoseconds.
 func (s *Snapshot) Mean() float64 {
 	if s.Count == 0 {

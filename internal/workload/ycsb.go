@@ -115,6 +115,25 @@ func New(cfg Config) *Generator {
 	return g
 }
 
+// Derive returns a new generator with the same config but its own RNG state
+// under seed, sharing the parent's key table and value buffer. Per-worker
+// streams in a pooled driver derive from one parent so N workers cost N RNG
+// states, not N copies of the key space. The shared value buffer means
+// derived generators must not be used concurrently with each other when the
+// driver mutates values in place (the repo's drivers never do).
+func (g *Generator) Derive(seed int64) *Generator {
+	cfg := g.cfg
+	cfg.Seed = seed
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		cfg:   cfg,
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1)),
+		value: g.value,
+		keys:  g.keys,
+	}
+}
+
 // nextKey picks a key index under the configured skew.
 func (g *Generator) nextKey() string {
 	switch g.cfg.Skew {
